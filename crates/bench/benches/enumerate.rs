@@ -1,0 +1,86 @@
+//! Enumerator micro-benchmarks: cost of building term-store levels, the
+//! dominant cost inside hard synthesis runs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lambda2_lang::env::Env;
+use lambda2_lang::parser::parse_value;
+use lambda2_lang::symbol::Symbol;
+use lambda2_lang::ty::Type;
+use lambda2_synth::enumerate::{EnumLimits, TermStore};
+use lambda2_synth::{ExampleRow, Library, Spec};
+
+/// A typical deduced-hole context: list + two scalars in scope, 3 rows.
+fn context() -> (Vec<(Symbol, Type)>, Spec) {
+    let l = Symbol::intern("l");
+    let a = Symbol::intern("a");
+    let x = Symbol::intern("x");
+    let scope = vec![
+        (l, Type::list(Type::Int)),
+        (a, Type::Int),
+        (x, Type::Int),
+    ];
+    let rows = [("[3 1]", 4, 3, 7), ("[5]", 0, 5, 5), ("[2 9 4]", 15, 2, 17)]
+        .iter()
+        .map(|(lv, av, xv, out)| {
+            ExampleRow::new(
+                Env::empty()
+                    .bind(l, parse_value(lv).unwrap())
+                    .bind(a, lambda2_lang::value::Value::Int(*av))
+                    .bind(x, lambda2_lang::value::Value::Int(*xv)),
+                lambda2_lang::value::Value::Int(*out),
+            )
+        })
+        .collect::<Vec<_>>();
+    (scope, Spec::new(rows).unwrap())
+}
+
+fn bench_enumerate(c: &mut Criterion) {
+    let lib = Library::default();
+
+    let mut group = c.benchmark_group("enumerate/build-to-cost");
+    group.sample_size(20);
+    for &cost in &[3u32, 5, 7] {
+        group.bench_with_input(BenchmarkId::from_parameter(cost), &cost, |b, &cost| {
+            b.iter(|| {
+                let (scope, spec) = context();
+                let mut store = TermStore::new(scope, &spec, EnumLimits::default());
+                store.ensure(cost, &lib);
+                store.len()
+            })
+        });
+    }
+    group.finish();
+
+    // Observational equivalence is the enumerator's pruning lever: compare
+    // level sizes with rows (dedup active) vs a blind store (no rows).
+    let mut group = c.benchmark_group("enumerate/blind-vs-observed");
+    group.sample_size(20);
+    group.bench_function("observed-cost5", |b| {
+        b.iter(|| {
+            let (scope, spec) = context();
+            let mut store = TermStore::new(scope, &spec, EnumLimits::default());
+            store.ensure(5, &lib);
+            store.len()
+        })
+    });
+    group.bench_function("blind-cost5", |b| {
+        b.iter(|| {
+            let (scope, _) = context();
+            let mut store = TermStore::new(
+                scope,
+                &Spec::empty(),
+                EnumLimits {
+                    max_level_terms: 20_000,
+                    max_terms: 200_000,
+                    ..EnumLimits::default()
+                },
+            );
+            store.ensure(5, &lib);
+            store.len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_enumerate);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Evaluator micro-benchmarks: the substrate every synthesis run leans on
+//! (deduction, enumeration and verification all evaluate terms).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lambda2_bench_suite::generators::{random_list, random_tree};
+use lambda2_lang::env::Env;
+use lambda2_lang::eval::eval;
+use lambda2_lang::parser::parse_expr;
+use lambda2_lang::symbol::Symbol;
+use lambda2_lang::value::Value;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_eval(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(7);
+    let l = Symbol::intern("l");
+    let t = Symbol::intern("t");
+
+    let mut group = c.benchmark_group("eval/reverse-fold");
+    for &n in &[10usize, 100, 1000] {
+        let input = random_list(n, 100, &mut rng);
+        let env = Env::empty().bind(l, input);
+        let expr = parse_expr("(foldl (lambda (a x) (cons x a)) [] l)").unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &env, |b, env| {
+            b.iter(|| {
+                let mut fuel = u64::MAX;
+                eval(&expr, env, &mut fuel).unwrap()
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("eval/sumt-foldt");
+    for &n in &[10usize, 100, 1000] {
+        let input = Value::Tree(random_tree(n, 100, &mut rng));
+        let env = Env::empty().bind(t, input);
+        let expr = parse_expr(
+            "(foldt (lambda (v rs) (foldl (lambda (a r) (+ a r)) v rs)) 0 t)",
+        )
+        .unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &env, |b, env| {
+            b.iter(|| {
+                let mut fuel = u64::MAX;
+                eval(&expr, env, &mut fuel).unwrap()
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("eval/filter-map-pipeline");
+    for &n in &[10usize, 100, 1000] {
+        let input = random_list(n, 100, &mut rng);
+        let env = Env::empty().bind(l, input);
+        let expr = parse_expr(
+            "(map (lambda (x) (* x x)) (filter (lambda (x) (< 10 x)) l))",
+        )
+        .unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &env, |b, env| {
+            b.iter(|| {
+                let mut fuel = u64::MAX;
+                eval(&expr, env, &mut fuel).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_eval);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! End-to-end synthesis benchmarks on representative suite problems, one
+//! per combinator family. These are the numbers to watch when changing
+//! the search, the cost model, or the enumerator.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lambda2_bench_suite::by_name;
+use lambda2_synth::{SearchOptions, Synthesizer};
+
+fn synthesize(name: &str) {
+    let bench = by_name(name).unwrap_or_else(|| panic!("unknown benchmark {name}"));
+    let mut options = bench.tune(SearchOptions::default());
+    options.timeout = Some(Duration::from_secs(120));
+    let result = Synthesizer::with_options(options)
+        .synthesize(&bench.problem)
+        .unwrap_or_else(|e| panic!("{name} failed: {e}"));
+    assert!(result.program.satisfies_problem(&bench.problem, 100_000));
+}
+
+fn bench_synthesis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("synthesis");
+    group.sample_size(10);
+
+    // First-order closing only.
+    group.bench_function("shiftl(first-order)", |b| b.iter(|| synthesize("shiftl")));
+    // One map.
+    group.bench_function("incr(map)", |b| b.iter(|| synthesize("incr")));
+    // One filter.
+    group.bench_function("positives(filter)", |b| b.iter(|| synthesize("positives")));
+    // One fold with chains.
+    group.bench_function("sum(foldl)", |b| b.iter(|| synthesize("sum")));
+    // A recl with deduced rows.
+    group.bench_function("droplast(recl)", |b| b.iter(|| synthesize("droplast")));
+    group.finish();
+
+    let mut group = c.benchmark_group("synthesis-nested");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(60));
+    // Nested combinators (map + fold) — the paper's flagship territory.
+    group.bench_function("sums(map+foldl)", |b| b.iter(|| synthesize("sums")));
+    group.finish();
+}
+
+criterion_group!(benches, bench_synthesis);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! **Experiment F2** — the deduction ablation.
+//!
+//! Per benchmark: λ² time vs λ²-without-deduction time, and the slowdown
+//! factor. The paper's claim to reproduce: deduction buys orders of
+//! magnitude on fold-shaped and nested problems (without it, most of them
+//! stop being solvable at all within the budget).
+//!
+//! Usage: `cargo run -p bench --release --bin fig_ablation [-- --quick]`
+
+use bench::{ms, render_table, run_benchmark, Engine};
+use lambda2_bench_suite::catalog;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let suite: Vec<_> = catalog()
+        .into_iter()
+        .filter(|b| !(quick && b.hard))
+        .collect();
+
+    let mut rows = Vec::new();
+    let mut both = 0usize;
+    let mut only_full = 0usize;
+    let mut speedups = Vec::new();
+
+    for bench in &suite {
+        let full = run_benchmark(bench, Engine::Lambda2, None);
+        let ablated = run_benchmark(bench, Engine::NoDeduce, None);
+        eprintln!(
+            "  {}: full {} ({:.1} ms), no-deduce {} ({:.1} ms)",
+            bench.problem.name(),
+            if full.solved { "ok" } else { "--" },
+            full.elapsed.as_secs_f64() * 1e3,
+            if ablated.solved { "ok" } else { "--" },
+            ablated.elapsed.as_secs_f64() * 1e3,
+        );
+        let speedup = match (full.solved, ablated.solved) {
+            (true, true) => {
+                both += 1;
+                let s = ablated.elapsed.as_secs_f64() / full.elapsed.as_secs_f64().max(1e-9);
+                speedups.push(s);
+                format!("{s:.1}x")
+            }
+            (true, false) => {
+                only_full += 1;
+                "unsolved w/o deduction".into()
+            }
+            (false, true) => "ablation only (!)".into(),
+            (false, false) => "neither".into(),
+        };
+        rows.push(vec![
+            bench.problem.name().to_owned(),
+            if full.solved { ms(full.elapsed) } else { "timeout".into() },
+            if ablated.solved { ms(ablated.elapsed) } else { "timeout".into() },
+            speedup,
+        ]);
+    }
+
+    println!("F2: deduction ablation (lambda2 vs no-deduce)\n");
+    println!(
+        "{}",
+        render_table(
+            &["benchmark", "lambda2(ms)", "no-deduce(ms)", "deduction speedup"],
+            &rows,
+        )
+    );
+    speedups.sort_by(|a, b| a.partial_cmp(b).expect("no NaN speedups"));
+    let geo: f64 = if speedups.is_empty() {
+        1.0
+    } else {
+        (speedups.iter().map(|s| s.ln()).sum::<f64>() / speedups.len() as f64).exp()
+    };
+    println!(
+        "\nsummary: both solved on {both} benchmarks (geo-mean speedup {geo:.1}x); \
+         {only_full} benchmarks become unsolvable without deduction"
+    );
+}

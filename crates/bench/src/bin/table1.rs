@@ -1,0 +1,68 @@
+//! **Experiment T1** — the paper's per-benchmark results table.
+//!
+//! For every suite benchmark: category, number of examples, whether λ²
+//! synthesized a program, wall-clock time, program cost/size, and the
+//! program itself. Ends with the summary statistics the paper reports in
+//! prose (solve rate, median/max times).
+//!
+//! Usage: `cargo run -p bench --release --bin table1 [-- --quick]`
+//! (`--quick` skips the hard benchmarks for a fast smoke run).
+
+use bench::{ms, render_table, run_benchmark, Engine};
+use lambda2_bench_suite::catalog;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let suite = catalog();
+    let mut rows = Vec::new();
+    let mut times = Vec::new();
+    let mut solved = 0usize;
+    let mut total = 0usize;
+
+    println!("T1: per-benchmark synthesis results (engine: lambda2)\n");
+    for bench in &suite {
+        if quick && bench.hard {
+            continue;
+        }
+        total += 1;
+        let m = run_benchmark(bench, Engine::Lambda2, None);
+        if m.solved {
+            solved += 1;
+            times.push(m.elapsed);
+        }
+        eprintln!(
+            "  [{}] {} ({})",
+            if m.solved { "ok" } else { "--" },
+            m.name,
+            ms(m.elapsed)
+        );
+        rows.push(vec![
+            m.name.clone(),
+            bench.category.to_string(),
+            m.examples.to_string(),
+            if m.solved { "yes".into() } else { "no".into() },
+            ms(m.elapsed),
+            if m.solved { m.cost.to_string() } else { "-".into() },
+            if m.solved { m.size.to_string() } else { "-".into() },
+            if m.solved { m.program } else { "(timeout/exhausted)".into() },
+        ]);
+    }
+
+    println!(
+        "{}",
+        render_table(
+            &["benchmark", "category", "#ex", "solved", "time(ms)", "cost", "size", "program"],
+            &rows,
+        )
+    );
+
+    times.sort();
+    let median = times.get(times.len() / 2).copied().unwrap_or_default();
+    let max = times.last().copied().unwrap_or_default();
+    println!(
+        "\nsummary: solved {solved}/{total} ({:.0}%), median {} ms, max {} ms",
+        100.0 * solved as f64 / total.max(1) as f64,
+        ms(median),
+        ms(max),
+    );
+}

@@ -1,0 +1,200 @@
+//! Shared experiment-harness code for the λ² reproduction.
+//!
+//! The binaries in `src/bin/` regenerate the paper's tables and figures as
+//! aligned text (see DESIGN.md §4 for the experiment index):
+//!
+//! * `table1` — the per-benchmark results table,
+//! * `fig_cactus` — problems-solved-within-t curves for λ², the
+//!   no-deduction ablation, and the pure-enumeration baseline,
+//! * `fig_ablation` — per-benchmark deduction speedups,
+//! * `fig_examples` — synthesis time vs number of examples.
+
+use std::time::Duration;
+
+use lambda2_bench_suite::Benchmark;
+use lambda2_synth::baseline::{synthesize_baseline, BaselineOptions};
+use lambda2_synth::{Measurement, SearchOptions, Stats, SynthError, Synthesizer};
+
+/// Which engine to run a benchmark with.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Engine {
+    /// Full λ²: hypotheses + deduction + best-first enumeration.
+    Lambda2,
+    /// λ² with deduction disabled (the paper's ablation).
+    NoDeduce,
+    /// Pure cost-ordered enumeration (no hypotheses at all).
+    Baseline,
+}
+
+impl std::fmt::Display for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Engine::Lambda2 => write!(f, "lambda2"),
+            Engine::NoDeduce => write!(f, "no-deduce"),
+            Engine::Baseline => write!(f, "baseline"),
+        }
+    }
+}
+
+/// Per-run timeout applied to ordinary benchmarks.
+pub const DEFAULT_TIMEOUT: Duration = Duration::from_secs(60);
+/// Per-run timeout applied to benchmarks marked `hard`.
+pub const HARD_TIMEOUT: Duration = Duration::from_secs(180);
+
+/// Search options for one benchmark: suite defaults, the benchmark's own
+/// tuning, and the hard-problem timeout when applicable.
+pub fn options_for(bench: &Benchmark, timeout: Option<Duration>) -> SearchOptions {
+    let mut options = bench.tune(SearchOptions::default());
+    options.timeout = Some(timeout.unwrap_or(if bench.hard {
+        HARD_TIMEOUT
+    } else {
+        DEFAULT_TIMEOUT
+    }));
+    options
+}
+
+/// Runs one benchmark under one engine and records the outcome.
+pub fn run_benchmark(
+    bench: &Benchmark,
+    engine: Engine,
+    timeout: Option<Duration>,
+) -> Measurement {
+    let options = options_for(bench, timeout);
+    let problem = &bench.problem;
+    let result = match engine {
+        Engine::Lambda2 => Synthesizer::with_options(options).synthesize(problem),
+        Engine::NoDeduce => {
+            Synthesizer::with_options(options).deduction(false).synthesize(problem)
+        }
+        Engine::Baseline => {
+            let bopts = BaselineOptions {
+                timeout: options.timeout,
+                max_cost: options.max_cost,
+                ..BaselineOptions::default()
+            };
+            synthesize_baseline(problem, &bopts)
+        }
+    };
+    match result {
+        Ok(s) => Measurement {
+            name: problem.name().to_owned(),
+            elapsed: s.elapsed,
+            solved: true,
+            cost: s.cost,
+            size: s.program.body().size(),
+            program: s.program.to_string(),
+            examples: problem.examples().len(),
+            stats: s.stats,
+        },
+        Err(e) => Measurement {
+            name: problem.name().to_owned(),
+            elapsed: timeout_elapsed(&e, bench, timeout),
+            solved: false,
+            cost: 0,
+            size: 0,
+            program: String::new(),
+            examples: problem.examples().len(),
+            stats: Stats::default(),
+        },
+    }
+}
+
+fn timeout_elapsed(
+    err: &SynthError,
+    bench: &Benchmark,
+    timeout: Option<Duration>,
+) -> Duration {
+    match err {
+        SynthError::Timeout => timeout.unwrap_or(if bench.hard {
+            HARD_TIMEOUT
+        } else {
+            DEFAULT_TIMEOUT
+        }),
+        _ => Duration::ZERO,
+    }
+}
+
+/// Renders rows as an aligned text table with a header.
+pub fn render_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        cells
+            .iter()
+            .zip(widths)
+            .map(|(c, w)| format!("{c:<w$}"))
+            .collect::<Vec<_>>()
+            .join("  ")
+            .trim_end()
+            .to_owned()
+    };
+    let header_cells: Vec<String> = header.iter().map(|s| (*s).to_owned()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats a duration as milliseconds with one decimal.
+pub fn ms(d: Duration) -> String {
+    format!("{:.1}", d.as_secs_f64() * 1e3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lambda2_bench_suite::by_name;
+
+    #[test]
+    fn run_benchmark_solves_a_trivial_problem() {
+        let bench = by_name("ident").unwrap();
+        let m = run_benchmark(&bench, Engine::Lambda2, Some(Duration::from_secs(10)));
+        assert!(m.solved);
+        assert_eq!(m.program, "(lambda (l) l)");
+        assert_eq!(m.cost, 1);
+    }
+
+    #[test]
+    fn engines_display_distinctly() {
+        let names: Vec<String> = [Engine::Lambda2, Engine::NoDeduce, Engine::Baseline]
+            .iter()
+            .map(|e| e.to_string())
+            .collect();
+        assert_eq!(names.len(), 3);
+        assert!(names.iter().all(|n| !n.is_empty()));
+    }
+
+    #[test]
+    fn render_table_aligns_columns() {
+        let t = render_table(
+            &["name", "t"],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["longer".into(), "22".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[2].starts_with("a"));
+        assert!(lines[3].starts_with("longer"));
+    }
+
+    #[test]
+    fn ms_formats_milliseconds() {
+        assert_eq!(ms(Duration::from_millis(1500)), "1500.0");
+        assert_eq!(ms(Duration::from_micros(2500)), "2.5");
+    }
+}

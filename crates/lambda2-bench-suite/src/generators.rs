@@ -1,0 +1,201 @@
+//! Workload generators for the scaling experiments.
+//!
+//! The example-sensitivity figure sweeps the *number of examples* given to
+//! the synthesizer. Examples are generated deterministically from a seed:
+//! inputs follow the same chain discipline as the curated suite (prefix
+//! chains for lists, subtree-closed families for trees), and outputs are
+//! computed by the benchmark's reference solution — so every generated
+//! problem is consistent and solvable by construction.
+
+use lambda2_lang::eval::DEFAULT_FUEL;
+use lambda2_lang::ty::Type;
+use lambda2_lang::value::{Tree, Value};
+use lambda2_synth::Problem;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::Benchmark;
+
+/// A uniformly random list of `len` integers in `0..max_val`.
+pub fn random_list(len: usize, max_val: i64, rng: &mut StdRng) -> Value {
+    (0..len)
+        .map(|_| Value::Int(rng.gen_range(0..max_val)))
+        .collect()
+}
+
+/// A random rose tree with exactly `size` nodes and values in `0..max_val`.
+pub fn random_tree(size: usize, max_val: i64, rng: &mut StdRng) -> Tree {
+    if size == 0 {
+        return Tree::empty();
+    }
+    let value = Value::Int(rng.gen_range(0..max_val));
+    let mut remaining = size - 1;
+    let mut children = Vec::new();
+    while remaining > 0 {
+        let take = rng.gen_range(1..=remaining);
+        children.push(random_tree(take, max_val, rng));
+        remaining -= take;
+    }
+    Tree::node(value, children)
+}
+
+/// All subtrees of `t` (including `t` itself), smallest first, preceded by
+/// the empty tree — a subtree-closed input family for `foldt` deduction.
+pub fn subtree_family(t: &Tree) -> Vec<Tree> {
+    let mut out = vec![Tree::empty()];
+    fn go(t: &Tree, out: &mut Vec<Tree>) {
+        if let Some(n) = t.root() {
+            for c in &n.children {
+                go(c, out);
+            }
+            out.push(t.clone());
+        }
+    }
+    go(t, &mut out);
+    out
+}
+
+/// Builds a variant of `bench`'s problem with `k` generated examples.
+///
+/// Returns `None` for signatures the generator does not support
+/// (multi-parameter problems). Inputs are chain-shaped per the input type;
+/// outputs come from the reference solution, skipping inputs on which the
+/// reference errors (e.g. `head []`).
+pub fn example_sweep(bench: &Benchmark, k: usize, seed: u64) -> Option<Problem> {
+    let params = bench.problem.params();
+    if params.len() != 1 {
+        return None;
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let reference = bench.reference_program();
+
+    // Candidate inputs, chain-ordered; generously oversized so that after
+    // dropping reference errors we still have k examples.
+    let budget = 2 * k + 8;
+    let inputs: Vec<Value> = match &params[0].1 {
+        Type::List(inner) if **inner == Type::Int => {
+            let base = random_list(budget, 10, &mut rng);
+            let base = base.as_list().expect("random_list returns a list");
+            (0..=base.len())
+                .map(|n| Value::list(base[..n].to_vec()))
+                .collect()
+        }
+        Type::List(inner) if **inner == Type::list(Type::Int) => {
+            let base: Vec<Value> = (0..budget)
+                .map(|_| random_list(rng.gen_range(1..4), 10, &mut rng))
+                .collect();
+            (0..=base.len())
+                .map(|n| Value::list(base[..n].to_vec()))
+                .collect()
+        }
+        Type::Tree(inner) if **inner == Type::Int => {
+            let t = random_tree(budget.min(14), 10, &mut rng);
+            subtree_family(&t).into_iter().map(Value::Tree).collect()
+        }
+        _ => return None,
+    };
+
+    let mut builder = Problem::builder(format!("{}@{k}", bench.problem.name()))
+        .library(bench.problem.library().clone());
+    builder = builder.param(
+        params[0].0.as_str(),
+        &params[0].1.to_string(),
+    );
+    builder = builder.returns(&bench.problem.return_type().to_string());
+    let mut added = 0;
+    for input in inputs {
+        if added >= k {
+            break;
+        }
+        if let Ok(output) = reference.apply_with_fuel(std::slice::from_ref(&input), DEFAULT_FUEL) {
+            builder = builder.example_values(vec![input], output);
+            added += 1;
+        }
+    }
+    if added == 0 {
+        return None;
+    }
+    builder.build().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::by_name;
+
+    #[test]
+    fn random_list_has_requested_length() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let v = random_list(5, 10, &mut rng);
+        assert_eq!(v.as_list().unwrap().len(), 5);
+    }
+
+    #[test]
+    fn random_tree_has_requested_size() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for size in [0, 1, 5, 12] {
+            let t = random_tree(size, 10, &mut rng);
+            assert_eq!(t.size(), size);
+        }
+    }
+
+    #[test]
+    fn subtree_family_is_closed_and_starts_empty() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = random_tree(7, 10, &mut rng);
+        let fam = subtree_family(&t);
+        assert!(fam[0].is_empty());
+        assert_eq!(fam.len(), 8); // 7 subtrees + the empty tree
+        // Every child of every family member is itself in the family.
+        for m in &fam {
+            if let Some(n) = m.root() {
+                for c in &n.children {
+                    assert!(fam.iter().any(|f| f == c));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn example_sweep_is_deterministic_and_consistent() {
+        let bench = by_name("sum").unwrap();
+        let p1 = example_sweep(&bench, 5, 42).unwrap();
+        let p2 = example_sweep(&bench, 5, 42).unwrap();
+        assert_eq!(p1.examples().len(), 5);
+        assert_eq!(p1.examples(), p2.examples());
+        // Outputs agree with the reference.
+        let reference = bench.reference_program();
+        for ex in p1.examples() {
+            assert_eq!(
+                reference.apply_with_fuel(&ex.inputs, DEFAULT_FUEL).unwrap(),
+                ex.output
+            );
+        }
+    }
+
+    #[test]
+    fn example_sweep_skips_reference_errors() {
+        // `head` errors on []; the sweep must silently drop that input.
+        let bench = by_name("head").unwrap();
+        let p = example_sweep(&bench, 4, 7).unwrap();
+        assert_eq!(p.examples().len(), 4);
+        for ex in p.examples() {
+            assert!(!ex.inputs[0].as_list().unwrap().is_empty());
+        }
+    }
+
+    #[test]
+    fn example_sweep_supports_trees_and_nested_lists() {
+        for name in ["sumt", "sums"] {
+            let bench = by_name(name).unwrap();
+            let p = example_sweep(&bench, 4, 9).unwrap();
+            assert!(p.examples().len() >= 3, "{name}");
+        }
+    }
+
+    #[test]
+    fn example_sweep_rejects_multi_param_problems() {
+        let bench = by_name("append").unwrap();
+        assert!(example_sweep(&bench, 4, 1).is_none());
+    }
+}

@@ -1,0 +1,233 @@
+//! # `lambda2-bench-suite` — the λ² evaluation benchmark suite
+//!
+//! The synthesis problems used by the paper's evaluation (PLDI 2015, §6):
+//! list transformations, tree transformations over variadic trees, and
+//! nested-structure problems, each defined by a typed signature and a
+//! curated input-output example set. Fold-shaped problems ship with
+//! prefix/tail/subtree *chains* in their examples — exactly the example
+//! discipline the paper's deduction rules exploit.
+//!
+//! Every benchmark carries a reference solution (used by tests and by the
+//! workload [`generators`]) and an optional per-problem search-option
+//! tweak for the handful of problems whose minimal solutions exceed the
+//! default enumeration budgets.
+//!
+//! # Examples
+//!
+//! ```
+//! use lambda2_bench_suite::{catalog, Category};
+//!
+//! let suite = catalog();
+//! assert!(suite.len() >= 45);
+//! assert!(suite.iter().any(|b| b.problem.name() == "dropmins"));
+//! assert!(suite.iter().any(|b| b.category == Category::Trees));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod generators;
+mod lists;
+mod nested;
+mod pairs;
+mod trees;
+
+use lambda2_synth::{Problem, SearchOptions};
+
+/// Problem family, mirroring the paper's grouping.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Category {
+    /// Flat list transformations.
+    Lists,
+    /// Variadic-tree transformations.
+    Trees,
+    /// Nested structures (lists of lists, lists of trees, trees of lists).
+    Nested,
+    /// Pair transformations (opt-in `pair`/`fst`/`snd` components).
+    Pairs,
+}
+
+impl std::fmt::Display for Category {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Category::Lists => write!(f, "lists"),
+            Category::Trees => write!(f, "trees"),
+            Category::Nested => write!(f, "nested"),
+            Category::Pairs => write!(f, "pairs"),
+        }
+    }
+}
+
+/// One benchmark of the suite.
+#[derive(Clone, Debug)]
+pub struct Benchmark {
+    /// The synthesis problem (signature + examples + component library).
+    pub problem: Problem,
+    /// The problem family.
+    pub category: Category,
+    /// A reference solution in surface syntax — a witness that the problem
+    /// is solvable, used by tests and by the example generators. The
+    /// synthesizer may find a different (never costlier) program.
+    pub reference: &'static str,
+    /// `true` for problems whose minimal solution needs budgets beyond the
+    /// defaults; the harness runs these with [`Benchmark::tune`]d options
+    /// and a longer timeout.
+    pub hard: bool,
+    /// Per-problem search-option adjustment (applied by [`Benchmark::tune`]).
+    pub adjust: Option<fn(&mut SearchOptions)>,
+}
+
+impl Benchmark {
+    pub(crate) fn new(
+        category: Category,
+        problem: Problem,
+        reference: &'static str,
+    ) -> Benchmark {
+        Benchmark {
+            problem,
+            category,
+            reference,
+            hard: false,
+            adjust: None,
+        }
+    }
+
+    pub(crate) fn hard(mut self) -> Benchmark {
+        self.hard = true;
+        self
+    }
+
+    pub(crate) fn adjust(mut self, f: fn(&mut SearchOptions)) -> Benchmark {
+        self.adjust = Some(f);
+        self
+    }
+
+    /// Applies this benchmark's option adjustments to `options`.
+    pub fn tune(&self, mut options: SearchOptions) -> SearchOptions {
+        if let Some(f) = self.adjust {
+            f(&mut options);
+        }
+        options
+    }
+
+    /// Parses the reference solution into a runnable program.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the reference text is malformed — suite definitions are
+    /// static data validated by the crate's tests.
+    pub fn reference_program(&self) -> lambda2_synth::Program {
+        let body = lambda2_lang::parser::parse_expr(self.reference)
+            .expect("reference solutions parse");
+        lambda2_synth::Program::new(self.problem.params().to_vec(), body)
+    }
+}
+
+/// The full benchmark suite, in a fixed deterministic order
+/// (lists, then trees, then nested, then pairs).
+pub fn catalog() -> Vec<Benchmark> {
+    let mut out = lists::benchmarks();
+    out.extend(trees::benchmarks());
+    out.extend(nested::benchmarks());
+    out.extend(pairs::benchmarks());
+    out
+}
+
+/// Looks a benchmark up by name.
+pub fn by_name(name: &str) -> Option<Benchmark> {
+    catalog().into_iter().find(|b| b.problem.name() == name)
+}
+
+/// Shorthand used by the suite definition modules.
+pub(crate) fn problem(
+    name: &str,
+    params: &[(&str, &str)],
+    ret: &str,
+    describe: &str,
+    examples: &[(&[&str], &str)],
+) -> Problem {
+    let mut b = Problem::builder(name).describe(describe);
+    for (n, t) in params {
+        b = b.param(n, t);
+    }
+    b = b.returns(ret);
+    for (ins, out) in examples {
+        b = b.example(ins, out);
+    }
+    b.build()
+        .unwrap_or_else(|e| panic!("benchmark `{name}` is malformed: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lambda2_lang::eval::DEFAULT_FUEL;
+    use std::collections::HashSet;
+
+    #[test]
+    fn catalog_is_nonempty_and_names_are_unique() {
+        let suite = catalog();
+        assert!(suite.len() >= 45, "only {} benchmarks", suite.len());
+        let names: HashSet<&str> = suite.iter().map(|b| b.problem.name()).collect();
+        assert_eq!(names.len(), suite.len(), "duplicate benchmark names");
+    }
+
+    #[test]
+    fn every_category_is_represented() {
+        let suite = catalog();
+        for cat in [Category::Lists, Category::Trees, Category::Nested] {
+            assert!(
+                suite.iter().filter(|b| b.category == cat).count() >= 5,
+                "too few {cat} benchmarks"
+            );
+        }
+        assert!(
+            suite.iter().filter(|b| b.category == Category::Pairs).count() >= 3,
+            "too few pair benchmarks"
+        );
+    }
+
+    #[test]
+    fn reference_solutions_satisfy_their_examples() {
+        for b in catalog() {
+            let prog = b.reference_program();
+            for (i, ex) in b.problem.examples().iter().enumerate() {
+                let got = prog.apply_with_fuel(&ex.inputs, DEFAULT_FUEL);
+                assert_eq!(
+                    got.as_ref().ok(),
+                    Some(&ex.output),
+                    "benchmark `{}` example #{i}: reference `{}` gave {:?}, expected {}",
+                    b.problem.name(),
+                    b.reference,
+                    got,
+                    ex.output
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_benchmark_has_enough_examples() {
+        for b in catalog() {
+            assert!(
+                b.problem.examples().len() >= 3,
+                "benchmark `{}` has only {} examples",
+                b.problem.name(),
+                b.problem.examples().len()
+            );
+        }
+    }
+
+    #[test]
+    fn by_name_finds_benchmarks() {
+        assert!(by_name("reverse").is_some());
+        assert!(by_name("dropmins").is_some());
+        assert!(by_name("no-such-benchmark").is_none());
+    }
+
+    #[test]
+    fn hard_benchmarks_are_a_small_minority() {
+        let suite = catalog();
+        let hard = suite.iter().filter(|b| b.hard).count();
+        assert!(hard * 5 <= suite.len(), "{hard} hard of {}", suite.len());
+    }
+}

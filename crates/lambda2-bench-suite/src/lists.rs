@@ -1,0 +1,515 @@
+//! List-transformation benchmarks.
+//!
+//! Example sets follow the paper's discipline:
+//!
+//! * fold-shaped problems include prefix/tail chains (`[]`, `[a]`,
+//!   `[a b]`, `[a b c]`) so the chain-deduction rules fire;
+//! * values are irregular (no arithmetic progressions) so that cheap
+//!   coincidental programs are rejected by verification — with a
+//!   minimal-cost synthesizer, weak examples *will* be overfitted.
+
+use lambda2_lang::ast::Op;
+use lambda2_synth::Library;
+
+use crate::{problem, Benchmark, Category};
+
+pub(crate) fn benchmarks() -> Vec<Benchmark> {
+    let b = |p, r| Benchmark::new(Category::Lists, p, r);
+    vec![
+        b(
+            problem(
+                "ident",
+                &[("l", "[int]")],
+                "[int]",
+                "the identity transformation",
+                &[(&["[]"], "[]"), (&["[1 2]"], "[1 2]"), (&["[3]"], "[3]")],
+            ),
+            "l",
+        ),
+        b(
+            problem(
+                "head",
+                &[("l", "[int]")],
+                "int",
+                "first element of a non-empty list",
+                &[(&["[3 1]"], "3"), (&["[5]"], "5"), (&["[2 9 4]"], "2")],
+            ),
+            "(car l)",
+        ),
+        b(
+            problem(
+                "tail",
+                &[("l", "[int]")],
+                "[int]",
+                "all but the first element",
+                &[(&["[3 1]"], "[1]"), (&["[5]"], "[]"), (&["[2 9 4]"], "[9 4]")],
+            ),
+            "(cdr l)",
+        ),
+        b(
+            problem(
+                "last",
+                &[("l", "[int]")],
+                "int",
+                "last element of a non-empty list",
+                &[
+                    (&["[5]"], "5"),
+                    (&["[5 2]"], "2"),
+                    (&["[5 2 4]"], "4"),
+                    (&["[7 1 6 3]"], "3"),
+                ],
+            ),
+            "(foldl (lambda (a x) x) 0 l)",
+        ),
+        b(
+            problem(
+                "length",
+                &[("l", "[int]")],
+                "int",
+                "number of elements",
+                &[
+                    (&["[]"], "0"),
+                    (&["[7]"], "1"),
+                    (&["[7 4]"], "2"),
+                    (&["[7 4 9]"], "3"),
+                ],
+            ),
+            "(foldl (lambda (a x) (+ a 1)) 0 l)",
+        ),
+        b(
+            problem(
+                "sum",
+                &[("l", "[int]")],
+                "int",
+                "sum of the elements",
+                &[
+                    (&["[]"], "0"),
+                    (&["[5]"], "5"),
+                    (&["[5 3]"], "8"),
+                    (&["[5 3 9]"], "17"),
+                ],
+            ),
+            "(foldl (lambda (a x) (+ a x)) 0 l)",
+        ),
+        b(
+            problem(
+                "incr",
+                &[("l", "[int]")],
+                "[int]",
+                "add one to every element",
+                &[(&["[]"], "[]"), (&["[1 7]"], "[2 8]"), (&["[4]"], "[5]")],
+            ),
+            "(map (lambda (x) (+ x 1)) l)",
+        ),
+        b(
+            problem(
+                "double",
+                &[("l", "[int]")],
+                "[int]",
+                "double every element",
+                &[(&["[]"], "[]"), (&["[1 7]"], "[2 14]"), (&["[5]"], "[10]")],
+            ),
+            "(map (lambda (x) (* x 2)) l)",
+        ),
+        b(
+            problem(
+                "square",
+                &[("l", "[int]")],
+                "[int]",
+                "square every element",
+                &[
+                    (&["[]"], "[]"),
+                    (&["[2 3]"], "[4 9]"),
+                    (&["[5]"], "[25]"),
+                    (&["[1 7]"], "[1 49]"),
+                ],
+            ),
+            "(map (lambda (x) (* x x)) l)",
+        ),
+        b(
+            problem(
+                "negate",
+                &[("l", "[int]")],
+                "[int]",
+                "negate every element",
+                &[(&["[]"], "[]"), (&["[1 7]"], "[-1 -7]"), (&["[-3]"], "[3]")],
+            ),
+            "(map (lambda (x) (- 0 x)) l)",
+        ),
+        b(
+            problem(
+                "multfirst",
+                &[("l", "[int]")],
+                "[int]",
+                "replace every element by the first",
+                &[
+                    (&["[]"], "[]"),
+                    (&["[7 3]"], "[7 7]"),
+                    (&["[2 9 4]"], "[2 2 2]"),
+                ],
+            ),
+            "(map (lambda (x) (car l)) l)",
+        ),
+        b(
+            problem(
+                "multlast",
+                &[("l", "[int]")],
+                "[int]",
+                "replace every element by the last",
+                &[
+                    (&["[5]"], "[5]"),
+                    (&["[7 3]"], "[3 3]"),
+                    (&["[2 9 4]"], "[4 4 4]"),
+                ],
+            ),
+            "(map (lambda (x) (foldl (lambda (a y) y) x l)) l)",
+        ),
+        b(
+            problem(
+                "append",
+                &[("p", "[int]"), ("q", "[int]")],
+                "[int]",
+                "concatenate two lists (the `cat` builtin is removed)",
+                &[
+                    (&["[]", "[9]"], "[9]"),
+                    (&["[1]", "[9]"], "[1 9]"),
+                    (&["[2 1]", "[9]"], "[2 1 9]"),
+                    (&["[]", "[]"], "[]"),
+                    (&["[3]", "[8 2]"], "[3 8 2]"),
+                    (&["[5 3]", "[8 2]"], "[5 3 8 2]"),
+                ],
+            )
+            // `cat` would make the task trivial; remove it, as the paper
+            // does for this benchmark.
+            .with_library(Library::default().without_ops(&[Op::Cat])),
+            "(foldr (lambda (x a) (cons x a)) q p)",
+        ),
+        b(
+            problem(
+                "reverse",
+                &[("l", "[int]")],
+                "[int]",
+                "reverse the list",
+                &[
+                    (&["[]"], "[]"),
+                    (&["[5]"], "[5]"),
+                    (&["[5 2]"], "[2 5]"),
+                    (&["[5 2 9]"], "[9 2 5]"),
+                ],
+            ),
+            "(foldl (lambda (a x) (cons x a)) [] l)",
+        ),
+        b(
+            problem(
+                "evens",
+                &[("l", "[int]")],
+                "[int]",
+                "keep the even elements",
+                &[
+                    (&["[]"], "[]"),
+                    (&["[1 2 3 4]"], "[2 4]"),
+                    (&["[5 6]"], "[6]"),
+                    (&["[8]"], "[8]"),
+                    (&["[7 0 9]"], "[0]"),
+                ],
+            ),
+            "(filter (lambda (x) (= (% x 2) 0)) l)",
+        ),
+        b(
+            problem(
+                "odds",
+                &[("l", "[int]")],
+                "[int]",
+                "keep the odd elements",
+                &[
+                    (&["[]"], "[]"),
+                    (&["[1 2 3 4]"], "[1 3]"),
+                    (&["[5 6]"], "[5]"),
+                    (&["[8]"], "[]"),
+                    (&["[7 0 9]"], "[7 9]"),
+                ],
+            ),
+            "(filter (lambda (x) (= (% x 2) 1)) l)",
+        ),
+        b(
+            problem(
+                "positives",
+                &[("l", "[int]")],
+                "[int]",
+                "keep the strictly positive elements",
+                &[
+                    (&["[]"], "[]"),
+                    (&["[1 -2 3]"], "[1 3]"),
+                    (&["[-5 6]"], "[6]"),
+                    (&["[-1 0]"], "[]"),
+                ],
+            ),
+            "(filter (lambda (x) (> x 0)) l)",
+        ),
+        b(
+            problem(
+                "droplast",
+                &[("l", "[int]")],
+                "[int]",
+                "drop the last element",
+                &[
+                    (&["[3]"], "[]"),
+                    (&["[4 7]"], "[4]"),
+                    (&["[9 4 7]"], "[9 4]"),
+                    (&["[5 1]"], "[5]"),
+                    (&["[8 3 8]"], "[8 3]"),
+                ],
+            ),
+            "(recl (lambda (x xs r) (if (empty? xs) r (cons x r))) [] l)",
+        ),
+        b(
+            problem(
+                "dupli",
+                &[("l", "[int]")],
+                "[int]",
+                "duplicate every element in place",
+                &[
+                    (&["[]"], "[]"),
+                    (&["[2]"], "[2 2]"),
+                    (&["[1 2]"], "[1 1 2 2]"),
+                    (&["[3 1 2]"], "[3 3 1 1 2 2]"),
+                ],
+            ),
+            "(foldr (lambda (x a) (cons x (cons x a))) [] l)",
+        ),
+        b(
+            problem(
+                "add",
+                &[("l", "[int]"), ("n", "int")],
+                "[int]",
+                "add n to every element",
+                &[
+                    (&["[]", "5"], "[]"),
+                    (&["[1 7]", "5"], "[6 12]"),
+                    (&["[3]", "2"], "[5]"),
+                ],
+            ),
+            "(map (lambda (x) (+ x n)) l)",
+        ),
+        b(
+            problem(
+                "member",
+                &[("l", "[int]"), ("n", "int")],
+                "bool",
+                "does the list contain n? (the `member` builtin is absent)",
+                &[
+                    (&["[]", "1"], "false"),
+                    (&["[1]", "1"], "true"),
+                    (&["[2]", "1"], "false"),
+                    (&["[2 1]", "1"], "true"),
+                    (&["[4 8 2]", "8"], "true"),
+                    (&["[4 8 2]", "4"], "true"),
+                    (&["[4 8 2]", "3"], "false"),
+                    (&["[8 2]", "8"], "true"),
+                    (&["[2]", "8"], "false"),
+                    (&["[1 1]", "1"], "true"),
+                    (&["[1]", "1"], "true"),
+                ],
+            ),
+            "(foldl (lambda (a x) (| a (= x n))) false l)",
+        ),
+        b(
+            problem(
+                "concat",
+                &[("l", "[[int]]")],
+                "[int]",
+                "flatten one level of nesting",
+                &[
+                    (&["[]"], "[]"),
+                    (&["[[3]]"], "[3]"),
+                    (&["[[1 2] [3]]"], "[1 2 3]"),
+                    (&["[[] [4 7] [9]]"], "[4 7 9]"),
+                    (&["[[4 7] [9]]"], "[4 7 9]"),
+                    (&["[[9]]"], "[9]"),
+                ],
+            ),
+            "(foldr (lambda (x a) (cat x a)) [] l)",
+        ),
+        b(
+            problem(
+                "max",
+                &[("l", "[int]")],
+                "int",
+                "largest element (non-negative lists)",
+                &[
+                    (&["[]"], "0"),
+                    (&["[5]"], "5"),
+                    (&["[5 9]"], "9"),
+                    (&["[5 9 2]"], "9"),
+                    (&["[8]"], "8"),
+                    (&["[8 3]"], "8"),
+                    (&["[2 7 4]"], "7"),
+                ],
+            ),
+            "(foldl (lambda (a x) (if (< a x) x a)) 0 l)",
+        ),
+        b(
+            problem(
+                "min",
+                &[("l", "[int]")],
+                "int",
+                "smallest element of a non-empty list",
+                &[
+                    (&["[5]"], "5"),
+                    (&["[5 2]"], "2"),
+                    (&["[5 2 9]"], "2"),
+                    (&["[3]"], "3"),
+                    (&["[3 8]"], "3"),
+                    (&["[7 4 6]"], "4"),
+                    (&["[9 2 1]"], "1"),
+                    (&["[6 7]"], "6"),
+                    (&["[9 2]"], "2"),
+                    (&["[9]"], "9"),
+                ],
+            ),
+            "(foldl (lambda (a x) (if (< x a) x a)) (car l) l)",
+        ),
+        b(
+            problem(
+                "count",
+                &[("l", "[int]"), ("n", "int")],
+                "int",
+                "number of occurrences of n",
+                &[
+                    (&["[]", "2"], "0"),
+                    (&["[2]", "2"], "1"),
+                    (&["[2 3]", "2"], "1"),
+                    (&["[2 3 2]", "2"], "2"),
+                    (&["[3]", "2"], "0"),
+                    (&["[1 2]", "2"], "1"),
+                    (&["[5 5 5]", "5"], "3"),
+                    (&["[5 5]", "5"], "2"),
+                    (&["[5]", "5"], "1"),
+                    (&["[4]", "2"], "0"),
+                    (&["[2 4]", "2"], "1"),
+                    (&["[7]", "2"], "0"),
+                    (&["[2]", "4"], "0"),
+                    (&["[2 2]", "4"], "0"),
+                ],
+            ),
+            "(foldl (lambda (a x) (if (= x n) (+ a 1) a)) 0 l)",
+        ),
+        b(
+            problem(
+                "dedup",
+                &[("l", "[int]")],
+                "[int]",
+                "remove duplicates, keeping last occurrences (`member` is \
+                 available as a component for this problem)",
+                &[
+                    (&["[]"], "[]"),
+                    (&["[1]"], "[1]"),
+                    (&["[2 1]"], "[2 1]"),
+                    (&["[1 2 1]"], "[2 1]"),
+                    (&["[3 3]"], "[3]"),
+                    (&["[4]"], "[4]"),
+                    (&["[6 4]"], "[6 4]"),
+                    (&["[5 6 4]"], "[5 6 4]"),
+                    (&["[4 5 6 4]"], "[5 6 4]"),
+                    (&["[1 1]"], "[1]"),
+                    (&["[2 1 1]"], "[2 1]"),
+                    (&["[1 2 1 1]"], "[2 1]"),
+                ],
+            )
+            .with_library(Library::default().with_ops(&[Op::Member])),
+            "(recl (lambda (x xs r) (if (member x xs) r (cons x r))) [] l)",
+        ),
+        b(
+            problem(
+                "shiftl",
+                &[("l", "[int]")],
+                "[int]",
+                "rotate left by one (non-empty lists)",
+                &[
+                    (&["[5]"], "[5]"),
+                    (&["[1 7]"], "[7 1]"),
+                    (&["[1 7 3]"], "[7 3 1]"),
+                    (&["[4 9 7 2]"], "[9 7 2 4]"),
+                ],
+            ),
+            "(cat (cdr l) (cons (car l) []))",
+        ),
+        b(
+            problem(
+                "shiftr",
+                &[("l", "[int]")],
+                "[int]",
+                "rotate right by one (non-empty lists)",
+                &[
+                    (&["[5]"], "[5]"),
+                    (&["[1 7]"], "[7 1]"),
+                    (&["[1 7 3]"], "[3 1 7]"),
+                    (&["[4 9 7 2]"], "[2 4 9 7]"),
+                ],
+            ),
+            "(recl (lambda (x xs r) (if (empty? xs) (cons x r) (cons (car r) \
+             (cons x (cdr r))))) [] l)",
+        )
+        .hard()
+        .adjust(|o| {
+            // The minimal known solution's step function costs 13 — just
+            // over the default per-hole enumeration budget.
+            o.max_term_cost = o.max_term_cost.max(13);
+        }),
+        b(
+            problem(
+                "prepend_sum",
+                &[("l", "[int]")],
+                "[int]",
+                "prepend the list's sum (a combinator under a constructor — \
+                 exercises the constructor-hypothesis extension)",
+                &[
+                    (&["[]"], "[0]"),
+                    (&["[5]"], "[5 5]"),
+                    (&["[5 3]"], "[8 5 3]"),
+                    (&["[5 3 9]"], "[17 5 3 9]"),
+                ],
+            ),
+            "(cons (foldl (lambda (a x) (+ a x)) 0 l) l)",
+        )
+        .adjust(|o| o.constructor_hypotheses = true),
+        b(
+            problem(
+                "takewhile",
+                &[("l", "[int]")],
+                "[int]",
+                "keep the leading positive elements",
+                &[
+                    (&["[]"], "[]"),
+                    (&["[3]"], "[3]"),
+                    (&["[-1]"], "[]"),
+                    (&["[3 -1]"], "[3]"),
+                    (&["[5 3 -1]"], "[5 3]"),
+                    (&["[3 -1 5]"], "[3]"),
+                    (&["[-1 5]"], "[]"),
+                    (&["[5 -2 6]"], "[5]"),
+                ],
+            ),
+            "(recl (lambda (x xs r) (if (< 0 x) (cons x r) [])) [] l)",
+        ),
+        b(
+            problem(
+                "dropwhile",
+                &[("l", "[int]")],
+                "[int]",
+                "drop the leading negative elements",
+                &[
+                    (&["[]"], "[]"),
+                    (&["[3]"], "[3]"),
+                    (&["[-1]"], "[]"),
+                    (&["[-1 3]"], "[3]"),
+                    (&["[-2 -1 3]"], "[3]"),
+                    (&["[3 -1]"], "[3 -1]"),
+                    (&["[-2 5 -1]"], "[5 -1]"),
+                    (&["[5 -1]"], "[5 -1]"),
+                ],
+            ),
+            "(recl (lambda (x xs r) (if (< x 0) r (cons x xs))) [] l)",
+        ),
+    ]
+}

@@ -1,0 +1,244 @@
+//! Nested-structure benchmarks: lists of lists, lists of trees, trees of
+//! lists. These require combinators *inside* deduced lambda bodies — the
+//! paper's headline capability — including `dropmins`, which the paper
+//! highlights as "believed to be the world's earliest functional pearl".
+//!
+//! Example discipline for nested folds: one outer example contains
+//! *sibling* inner collections forming a chain (`[]`, `[a]`, `[b a]`, …),
+//! so that after `map`'s pointwise deduction the inner fold's chain rule
+//! still fires (the rows share the outer environment).
+
+use crate::{problem, Benchmark, Category};
+
+pub(crate) fn benchmarks() -> Vec<Benchmark> {
+    let b = |p, r| Benchmark::new(Category::Nested, p, r);
+    vec![
+        b(
+            problem(
+                "dropmins",
+                &[("l", "[[int]]")],
+                "[[int]]",
+                "drop the minimum of each (non-empty) inner list — the \
+                 paper's functional-pearl highlight",
+                &[
+                    (&["[]"], "[]"),
+                    (&["[[1]]"], "[[]]"),
+                    (&["[[2 1]]"], "[[2]]"),
+                    (&["[[1 2] [4 3]]"], "[[2] [4]]"),
+                    (&["[[5 3 6]]"], "[[5 6]]"),
+                    (&["[[1 0 5]]"], "[[1 5]]"),
+                    (&["[[6 8 6]]"], "[[8]]"),
+                    (&["[[7 9 2 9]]"], "[[7 9 9]]"),
+                ],
+            ),
+            "(map (lambda (x) (filter (lambda (x0) (foldl (lambda (a y) \
+             (| a (< y x0))) false x)) x)) l)",
+        )
+        .hard()
+        .adjust(|o| {
+            // The pearl's deepest enumerated fragment costs 5 and all its
+            // initial values are leaves; tighter budgets keep the triple
+            // nesting tractable.
+            o.max_term_cost = 8;
+            o.max_init_cost = 2;
+            o.max_free_init_cost = 1;
+        }),
+        b(
+            problem(
+                "dropmax",
+                &[("l", "[int]")],
+                "[int]",
+                "drop every occurrence of the maximum",
+                &[
+                    (&["[]"], "[]"),
+                    (&["[3]"], "[]"),
+                    (&["[1 3]"], "[1]"),
+                    (&["[5 9 2]"], "[5 2]"),
+                    (&["[7 3 7]"], "[3]"),
+                    (&["[2 9]"], "[2]"),
+                ],
+            ),
+            "(filter (lambda (x) (foldl (lambda (a y) (| a (< x y))) false l)) l)",
+        )
+        .hard()
+        .adjust(|o| {
+            o.max_term_cost = 8;
+            o.max_free_init_cost = 1;
+        }),
+        b(
+            problem(
+                "sums",
+                &[("l", "[[int]]")],
+                "[int]",
+                "sum of each inner list",
+                &[
+                    (&["[]"], "[]"),
+                    (&["[[]]"], "[0]"),
+                    (&["[[] [2] [1 2]]"], "[0 2 3]"),
+                    (&["[[3] [9 3]]"], "[3 12]"),
+                    (&["[[5 2 4]]"], "[11]"),
+                ],
+            ),
+            "(map (lambda (x) (foldl (lambda (a y) (+ a y)) 0 x)) l)",
+        ),
+        b(
+            problem(
+                "incrs",
+                &[("l", "[[int]]")],
+                "[[int]]",
+                "add one to every element of every inner list",
+                &[
+                    (&["[]"], "[]"),
+                    (&["[[1] [7 3]]"], "[[2] [8 4]]"),
+                    (&["[[4]]"], "[[5]]"),
+                ],
+            ),
+            "(map (lambda (x) (map (lambda (y) (+ y 1)) x)) l)",
+        ),
+        b(
+            problem(
+                "lengths",
+                &[("l", "[[int]]")],
+                "[int]",
+                "length of each inner list",
+                &[
+                    (&["[]"], "[]"),
+                    (&["[[] [7] [4 7]]"], "[0 1 2]"),
+                    (&["[[9 2 6]]"], "[3]"),
+                    (&["[[4 5]]"], "[2]"),
+                ],
+            ),
+            "(map (lambda (x) (foldl (lambda (a y) (+ a 1)) 0 x)) l)",
+        ),
+        b(
+            problem(
+                "reverses",
+                &[("l", "[[int]]")],
+                "[[int]]",
+                "reverse each inner list",
+                &[
+                    (&["[]"], "[]"),
+                    (&["[[] [1] [2 1]]"], "[[] [1] [1 2]]"),
+                    (&["[[4 5 6]]"], "[[6 5 4]]"),
+                    (&["[[7 3]]"], "[[3 7]]"),
+                ],
+            ),
+            "(map (lambda (x) (foldl (lambda (a y) (cons y a)) [] x)) l)",
+        ),
+        b(
+            problem(
+                "maxes",
+                &[("l", "[[int]]")],
+                "[int]",
+                "maximum of each (non-empty, non-negative) inner list",
+                &[
+                    (&["[]"], "[]"),
+                    (&["[[2] [5 2]]"], "[2 5]"),
+                    (&["[[1 5] [3 2]]"], "[5 3]"),
+                    (&["[[9] [4 9 1]]"], "[9 9]"),
+                    (&["[[7 2 8]]"], "[8]"),
+                ],
+            ),
+            "(map (lambda (x) (foldl (lambda (a y) (if (< a y) y a)) 0 x)) l)",
+        ),
+        b(
+            problem(
+                "sumtrees",
+                &[("l", "[(tree int)]")],
+                "[int]",
+                "sum of each tree in a list of trees",
+                &[
+                    (&["[]"], "[]"),
+                    (&["[{}]"], "[0]"),
+                    (&["[{2} {4} {1 {2} {4}}]"], "[2 4 7]"),
+                    (&["[{9} {3 {9}}]"], "[9 12]"),
+                ],
+            ),
+            "(map (lambda (x) (foldt (lambda (v rs) (foldl (lambda (a r) \
+             (+ a r)) v rs)) 0 x)) l)",
+        )
+        .hard(),
+        b(
+            problem(
+                "incrtl",
+                &[("t", "(tree [int])")],
+                "(tree [int])",
+                "add one to every element of every node list",
+                &[
+                    (&["{}"], "{}"),
+                    (&["{[1 7]}"], "{[2 8]}"),
+                    (&["{[4] {[2 9]}}"], "{[5] {[3 10]}}"),
+                ],
+            ),
+            "(mapt (lambda (x) (map (lambda (y) (+ y 1)) x)) t)",
+        ),
+        b(
+            problem(
+                "heads",
+                &[("l", "[[int]]")],
+                "[int]",
+                "first element of each (non-empty) inner list",
+                &[
+                    (&["[]"], "[]"),
+                    (&["[[3 1]]"], "[3]"),
+                    (&["[[5] [2 9]]"], "[5 2]"),
+                    (&["[[7 4 6]]"], "[7]"),
+                ],
+            ),
+            "(map (lambda (x) (car x)) l)",
+        ),
+        b(
+            problem(
+                "lasts",
+                &[("l", "[[int]]")],
+                "[int]",
+                "last element of each (non-empty) inner list",
+                &[
+                    (&["[]"], "[]"),
+                    (&["[[3 1]]"], "[1]"),
+                    (&["[[5] [2 9]]"], "[5 9]"),
+                    (&["[[7 4 6]]"], "[6]"),
+                ],
+            ),
+            "(map (lambda (x) (foldl (lambda (a y) y) 0 x)) l)",
+        ),
+        b(
+            problem(
+                "tails",
+                &[("l", "[[int]]")],
+                "[[int]]",
+                "tail of each (non-empty) inner list",
+                &[
+                    (&["[]"], "[]"),
+                    (&["[[3 1]]"], "[[1]]"),
+                    (&["[[5] [2 9 4]]"], "[[] [9 4]]"),
+                    (&["[[7 4]]"], "[[4]]"),
+                ],
+            ),
+            "(map (lambda (x) (cdr x)) l)",
+        ),
+        b(
+            problem(
+                "cprod",
+                &[("l", "[[int]]")],
+                "[[int]]",
+                "cartesian product of the inner lists",
+                &[
+                    (&["[]"], "[[]]"),
+                    (&["[[5]]"], "[[5]]"),
+                    (&["[[3 5]]"], "[[3] [5]]"),
+                    (&["[[1 2] [3 4]]"], "[[1 3] [1 4] [2 3] [2 4]]"),
+                ],
+            ),
+            "(foldr (lambda (x a) (foldr (lambda (y acc) (foldr (lambda (z \
+             acc2) (cons (cons y z) acc2)) acc a)) [] x)) (cons [] []) l)",
+        )
+        .hard()
+        .adjust(|o| {
+            o.max_cost = o.max_cost.max(34);
+            o.max_term_cost = 8;
+            o.max_init_cost = 3;
+            o.max_free_init_cost = 1;
+        }),
+    ]
+}

@@ -1,0 +1,112 @@
+//! Pair-transformation benchmarks.
+//!
+//! The pair operators (`pair`, `fst`, `snd`) are opt-in components — the
+//! default library omits them so they don't enlarge the search space of
+//! problems that never mention pairs — so every benchmark here carries an
+//! extended library.
+
+use lambda2_lang::ast::Op;
+use lambda2_synth::Library;
+
+use crate::{problem, Benchmark, Category};
+
+fn pair_library() -> Library {
+    Library::default().with_ops(&[Op::MkPair, Op::Fst, Op::Snd])
+}
+
+pub(crate) fn benchmarks() -> Vec<Benchmark> {
+    // `pair` composes any two terms, so unrestricted first-order
+    // enumeration is quadratic per level; every solution's enumerable
+    // fragment costs <= 5, so a tier cap keeps these fast.
+    let b = |p: lambda2_synth::Problem, r| {
+        Benchmark::new(Category::Pairs, p.with_library(pair_library()), r)
+            .adjust(|o| o.max_term_cost = 6)
+    };
+    vec![
+        b(
+            problem(
+                "firsts",
+                &[("l", "[(pair int int)]")],
+                "[int]",
+                "first component of every pair",
+                &[
+                    (&["[]"], "[]"),
+                    (&["[(pair 1 7)]"], "[1]"),
+                    (&["[(pair 3 2) (pair 9 4)]"], "[3 9]"),
+                ],
+            ),
+            "(map (lambda (x) (fst x)) l)",
+        ),
+        b(
+            problem(
+                "seconds",
+                &[("l", "[(pair int int)]")],
+                "[int]",
+                "second component of every pair",
+                &[
+                    (&["[]"], "[]"),
+                    (&["[(pair 1 7)]"], "[7]"),
+                    (&["[(pair 3 2) (pair 9 4)]"], "[2 4]"),
+                ],
+            ),
+            "(map (lambda (x) (snd x)) l)",
+        ),
+        b(
+            problem(
+                "swaps",
+                &[("l", "[(pair int int)]")],
+                "[(pair int int)]",
+                "swap the components of every pair",
+                &[
+                    (&["[]"], "[]"),
+                    (&["[(pair 1 7)]"], "[(pair 7 1)]"),
+                    (&["[(pair 3 2) (pair 9 4)]"], "[(pair 2 3) (pair 4 9)]"),
+                ],
+            ),
+            "(map (lambda (x) (pair (snd x) (fst x))) l)",
+        ),
+        b(
+            problem(
+                "sumpairs",
+                &[("l", "[(pair int int)]")],
+                "[int]",
+                "componentwise sum of every pair",
+                &[
+                    (&["[]"], "[]"),
+                    (&["[(pair 3 2)]"], "[5]"),
+                    (&["[(pair 1 7) (pair 9 4)]"], "[8 13]"),
+                    (&["[(pair 2 2)]"], "[4]"),
+                ],
+            ),
+            "(map (lambda (x) (+ (fst x) (snd x))) l)",
+        ),
+        b(
+            problem(
+                "swap",
+                &[("p", "(pair int int)")],
+                "(pair int int)",
+                "swap the components of a pair",
+                &[
+                    (&["(pair 1 7)"], "(pair 7 1)"),
+                    (&["(pair 3 3)"], "(pair 3 3)"),
+                    (&["(pair 9 4)"], "(pair 4 9)"),
+                ],
+            ),
+            "(pair (snd p) (fst p))",
+        ),
+        b(
+            problem(
+                "unzip_firsts",
+                &[("p", "(pair [int] [int])")],
+                "[int]",
+                "project a pair of lists onto its first list",
+                &[
+                    (&["(pair [] [])"], "[]"),
+                    (&["(pair [3 1] [7])"], "[3 1]"),
+                    (&["(pair [9] [2 5])"], "[9]"),
+                ],
+            ),
+            "(fst p)",
+        ),
+    ]
+}

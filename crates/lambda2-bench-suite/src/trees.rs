@@ -1,0 +1,248 @@
+//! Variadic-tree benchmarks.
+//!
+//! Example sets are *subtree-closed* where the `foldt` chain rule needs
+//! them: whenever an interior node appears, its children appear as
+//! whole-tree examples too (in the same environment), so deduction can
+//! reconstruct the step function's inputs. Values are irregular to starve
+//! coincidental programs (a minimal-cost synthesizer will happily return
+//! `(* (car rs) (car (cdr rs)))` for a sum if `2 · 3 = 2 + 3 + 1`).
+
+use crate::{problem, Benchmark, Category};
+
+pub(crate) fn benchmarks() -> Vec<Benchmark> {
+    let b = |p, r| Benchmark::new(Category::Trees, p, r);
+    vec![
+        b(
+            problem(
+                "incrt",
+                &[("t", "(tree int)")],
+                "(tree int)",
+                "add one to every node value",
+                &[
+                    (&["{}"], "{}"),
+                    (&["{4}"], "{5}"),
+                    (&["{1 {7} {3}}"], "{2 {8} {4}}"),
+                ],
+            ),
+            "(mapt (lambda (x) (+ x 1)) t)",
+        ),
+        b(
+            problem(
+                "doublet",
+                &[("t", "(tree int)")],
+                "(tree int)",
+                "double every node value",
+                &[
+                    (&["{}"], "{}"),
+                    (&["{3}"], "{6}"),
+                    (&["{1 {7} {5}}"], "{2 {14} {10}}"),
+                ],
+            ),
+            "(mapt (lambda (x) (* x 2)) t)",
+        ),
+        b(
+            problem(
+                "squaret",
+                &[("t", "(tree int)")],
+                "(tree int)",
+                "square every node value",
+                &[
+                    (&["{}"], "{}"),
+                    (&["{3}"], "{9}"),
+                    (&["{1 {7} {5}}"], "{1 {49} {25}}"),
+                ],
+            ),
+            "(mapt (lambda (x) (* x x)) t)",
+        ),
+        b(
+            problem(
+                "sumt",
+                &[("t", "(tree int)")],
+                "int",
+                "sum of all node values",
+                &[
+                    (&["{}"], "0"),
+                    (&["{2}"], "2"),
+                    (&["{4}"], "4"),
+                    (&["{1 {2} {4}}"], "7"),
+                    (&["{9}"], "9"),
+                    (&["{3 {9}}"], "12"),
+                ],
+            ),
+            "(foldt (lambda (v rs) (foldl (lambda (a r) (+ a r)) v rs)) 0 t)",
+        ),
+        b(
+            problem(
+                "sizet",
+                &[("t", "(tree int)")],
+                "int",
+                "number of nodes",
+                &[
+                    (&["{}"], "0"),
+                    (&["{5}"], "1"),
+                    (&["{9}"], "1"),
+                    (&["{1 {5} {9}}"], "3"),
+                    (&["{7 {5}}"], "2"),
+                    (&["{2 {7 {5}}}"], "3"),
+                    (&["{1}"], "1"),
+                ],
+            ),
+            "(foldt (lambda (v rs) (foldl (lambda (a r) (+ a r)) 1 rs)) 0 t)",
+        ),
+        b(
+            problem(
+                "height",
+                &[("t", "(tree int)")],
+                "int",
+                "height of the tree (empty tree has height 0)",
+                &[
+                    (&["{}"], "0"),
+                    (&["{5}"], "1"),
+                    (&["{2}"], "1"),
+                    (&["{3}"], "1"),
+                    (&["{5 {2}}"], "2"),
+                    (&["{1 {5 {2}} {3}}"], "3"),
+                    (&["{9 {1 {5 {2}} {3}}}"], "4"),
+                    (&["{1 {3} {5 {2}}}"], "3"),
+                    (&["{4}"], "1"),
+                    (&["{2 {4}}"], "2"),
+                    (&["{5 {2 {4}}}"], "3"),
+                    (&["{1 {3} {5 {2 {4}}}}"], "4"),
+                    (&["{1 {5 {2 {4}}} {3}}"], "4"),
+                    (&["{1 {3}}"], "2"),
+                    (&["{7 {3} {4}}"], "2"),
+                    (&["{5 {3}}"], "2"),
+                    (&["{7 {2 {4}} {5 {3}}}"], "3"),
+                ],
+            ),
+            "(foldt (lambda (v rs) (foldl (lambda (a r) (if (< a (+ r 1)) \
+             (+ r 1) a)) 1 rs)) 0 t)",
+        )
+        .hard(),
+        b(
+            problem(
+                "count_leaves",
+                &[("t", "(tree int)")],
+                "int",
+                "number of leaves",
+                &[
+                    (&["{}"], "0"),
+                    (&["{5}"], "1"),
+                    (&["{3}"], "1"),
+                    (&["{4}"], "1"),
+                    (&["{2 {5} {3}}"], "2"),
+                    (&["{1 {2 {5} {3}} {4}}"], "3"),
+                    (&["{6 {4}}"], "1"),
+                ],
+            ),
+            "(foldt (lambda (v rs) (foldl (lambda (a r) (+ a r)) \
+             (if (empty? rs) 1 0) rs)) 0 t)",
+        )
+        .hard(),
+        b(
+            problem(
+                "maxt",
+                &[("t", "(tree int)")],
+                "int",
+                "largest node value (non-negative trees)",
+                &[
+                    (&["{}"], "0"),
+                    (&["{2}"], "2"),
+                    (&["{9}"], "9"),
+                    (&["{3 {2} {9}}"], "9"),
+                    (&["{3 {9} {2}}"], "9"),
+                    (&["{5 {9}}"], "9"),
+                    (&["{8 {2}}"], "8"),
+                    (&["{7}"], "7"),
+                    (&["{3 {9} {7}}"], "9"),
+                ],
+            ),
+            "(foldt (lambda (v rs) (foldl (lambda (a r) (if (< a r) r a)) v rs)) 0 t)",
+        ),
+        b(
+            problem(
+                "membt",
+                &[("t", "(tree int)"), ("n", "int")],
+                "bool",
+                "does any node carry the value n?",
+                &[
+                    (&["{}", "2"], "false"),
+                    (&["{2}", "2"], "true"),
+                    (&["{3}", "2"], "false"),
+                    (&["{2}", "7"], "false"),
+                    (&["{3 {2}}", "2"], "true"),
+                    (&["{8}", "2"], "false"),
+                    (&["{3 {8}}", "2"], "false"),
+                    (&["{2 {8}}", "2"], "true"),
+                    (&["{5}", "5"], "true"),
+                    (&["{8}", "8"], "true"),
+                    (&["{2}", "8"], "false"),
+                    (&["{4 {2} {8}}", "8"], "true"),
+                    (&["{4 {2} {2}}", "2"], "true"),
+                    (&["{4}", "2"], "false"),
+                ],
+            ),
+            "(foldt (lambda (v rs) (foldl (lambda (a r) (| a r)) (= v n) rs)) false t)",
+        ),
+        b(
+            problem(
+                "flatten",
+                &[("t", "(tree int)")],
+                "[int]",
+                "node values in preorder",
+                &[
+                    (&["{}"], "[]"),
+                    (&["{2}"], "[2]"),
+                    (&["{4}"], "[4]"),
+                    (&["{1 {2} {4}}"], "[1 2 4]"),
+                    (&["{7}"], "[7]"),
+                    (&["{3 {7}}"], "[3 7]"),
+                    (&["{5 {3 {7}}}"], "[5 3 7]"),
+                ],
+            ),
+            "(foldt (lambda (v rs) (foldl (lambda (a r) (cat a r)) \
+             (cons v []) rs)) [] t)",
+        ),
+        b(
+            problem(
+                "flattenl",
+                &[("t", "(tree [int])")],
+                "[int]",
+                "concatenate the node lists in preorder",
+                &[
+                    (&["{}"], "[]"),
+                    (&["{[1 2]}"], "[1 2]"),
+                    (&["{[3]}"], "[3]"),
+                    (&["{[5] {[1 2]} {[3]}}"], "[5 1 2 3]"),
+                    (&["{[9 4]}"], "[9 4]"),
+                    (&["{[] {[9 4]}}"], "[9 4]"),
+                ],
+            ),
+            "(foldt (lambda (v rs) (foldl (lambda (a r) (cat a r)) v rs)) [] t)",
+        ),
+        b(
+            problem(
+                "leaves",
+                &[("t", "(tree int)")],
+                "[int]",
+                "leaf values, left to right",
+                &[
+                    (&["{}"], "[]"),
+                    (&["{5}"], "[5]"),
+                    (&["{2}"], "[2]"),
+                    (&["{3}"], "[3]"),
+                    (&["{1 {2} {3}}"], "[2 3]"),
+                    (&["{4 {1 {2} {3}}}"], "[2 3]"),
+                    (&["{7 {5}}"], "[5]"),
+                ],
+            ),
+            "(foldt (lambda (v rs) (foldl (lambda (a r) (cat a r)) \
+             (if (empty? rs) (cons v []) []) rs)) [] t)",
+        )
+        .hard()
+        .adjust(|o| {
+            // The minimal known solution's initial value costs 7.
+            o.max_init_cost = o.max_init_cost.max(7);
+        }),
+    ]
+}

@@ -1,0 +1,233 @@
+//! `l2` — the λ² synthesizer command-line tool.
+//!
+//! ```text
+//! l2 synth <problem.l2>     synthesize a program from a problem file
+//! l2 run <problem.l2> ARGS  synthesize, then run the program on ARGS
+//! l2 eval <expr> [x=v]...   evaluate an expression under bindings
+//! l2 bench <name>           run one suite benchmark by name
+//! l2 list                   list the benchmark suite
+//! ```
+//!
+//! Problem files are s-expressions:
+//!
+//! ```text
+//! (problem evens
+//!   (params (l [int]))
+//!   (returns [int])
+//!   (example ([]) [])
+//!   (example ([1 2 3 4]) [2 4])
+//!   (example ([5 6]) [6]))
+//! ```
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use lambda2_lang::parser::{parse_sexps, type_of_sexp, value_of_sexp, Sexp};
+use lambda2_synth::{Problem, ProblemBuilder, Synthesizer};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("synth") if args.len() == 2 => cmd_synth(&args[1], &[]),
+        Some("run") if args.len() >= 3 => cmd_synth(&args[1], &args[2..]),
+        Some("eval") if args.len() >= 2 => cmd_eval(&args[1], &args[2..]),
+        Some("bench") if args.len() == 2 => cmd_bench(&args[1]),
+        Some("list") => cmd_list(),
+        _ => {
+            eprintln!(
+                "usage:\n  l2 synth <problem.l2>\n  l2 run <problem.l2> <arg>...\n  \
+                 l2 eval <expr> [x=v]...\n  l2 bench <name>\n  l2 list"
+            );
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_synth(path: &str, run_args: &[String]) -> Result<(), String> {
+    let src = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let problem = parse_problem(&src)?;
+    eprintln!(
+        "synthesizing `{}` from {} examples...",
+        problem.name(),
+        problem.examples().len()
+    );
+    let synthesizer = Synthesizer::new().timeout(Duration::from_secs(60));
+    let result = synthesizer
+        .synthesize(&problem)
+        .map_err(|e| e.to_string())?;
+    println!("{}", result.program);
+    eprintln!(
+        "cost {}, {:.1} ms, {}",
+        result.cost,
+        result.elapsed.as_secs_f64() * 1e3,
+        result.stats
+    );
+    if !run_args.is_empty() {
+        let vals = run_args
+            .iter()
+            .map(|a| lambda2_lang::parser::parse_value(a).map_err(|e| e.to_string()))
+            .collect::<Result<Vec<_>, _>>()?;
+        let out = result.program.apply(&vals).map_err(|e| e.to_string())?;
+        println!("{out}");
+    }
+    Ok(())
+}
+
+fn cmd_eval(expr: &str, bindings: &[String]) -> Result<(), String> {
+    let e = lambda2_lang::parser::parse_expr(expr).map_err(|e| e.to_string())?;
+    let mut env = lambda2_lang::env::Env::empty();
+    for b in bindings {
+        let (name, value) = b
+            .split_once('=')
+            .ok_or_else(|| format!("binding `{b}` is not of the form name=value"))?;
+        let v = lambda2_lang::parser::parse_value(value).map_err(|e| e.to_string())?;
+        env = env.bind(lambda2_lang::symbol::Symbol::intern(name), v);
+    }
+    let out = lambda2_lang::eval::eval_default(&e, &env).map_err(|e| e.to_string())?;
+    println!("{out}");
+    Ok(())
+}
+
+fn cmd_bench(name: &str) -> Result<(), String> {
+    let bench = lambda2_bench_suite::by_name(name)
+        .ok_or_else(|| format!("unknown benchmark `{name}` (try `l2 list`)"))?;
+    let mut options = bench.tune(lambda2_synth::SearchOptions::default());
+    options.timeout = Some(Duration::from_secs(if bench.hard { 180 } else { 60 }));
+    let result = Synthesizer::with_options(options)
+        .synthesize(&bench.problem)
+        .map_err(|e| e.to_string())?;
+    println!("{}", result.program);
+    eprintln!(
+        "cost {}, {:.1} ms, {}",
+        result.cost,
+        result.elapsed.as_secs_f64() * 1e3,
+        result.stats
+    );
+    Ok(())
+}
+
+fn cmd_list() -> Result<(), String> {
+    use std::io::Write;
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    for b in lambda2_bench_suite::catalog() {
+        // Ignore broken pipes (e.g. `l2 list | head`).
+        let _ = writeln!(
+            out,
+            "{:12} {:7} {:2} examples  {}{}",
+            b.problem.name(),
+            b.category.to_string(),
+            b.problem.examples().len(),
+            b.problem.description().unwrap_or(""),
+            if b.hard { "  [hard]" } else { "" }
+        );
+    }
+    Ok(())
+}
+
+/// Parses the `(problem …)` file format.
+fn parse_problem(src: &str) -> Result<Problem, String> {
+    let forms = parse_sexps(src).map_err(|e| e.to_string())?;
+    let [Sexp::List(items)] = forms.as_slice() else {
+        return Err("expected a single top-level `(problem …)` form".into());
+    };
+    let mut it = items.iter();
+    match it.next() {
+        Some(Sexp::Atom(a)) if a == "problem" => {}
+        _ => return Err("file must start with `(problem <name> …)`".into()),
+    }
+    let name = match it.next() {
+        Some(Sexp::Atom(n)) => n.clone(),
+        _ => return Err("missing problem name".into()),
+    };
+    let mut builder: ProblemBuilder = Problem::builder(name);
+    for form in it {
+        let Sexp::List(parts) = form else {
+            return Err(format!("unexpected form `{form}`"));
+        };
+        match parts.split_first() {
+            Some((Sexp::Atom(head), rest)) => match head.as_str() {
+                "params" => {
+                    for p in rest {
+                        let Sexp::List(pair) = p else {
+                            return Err(format!("bad param `{p}`"));
+                        };
+                        let [Sexp::Atom(pname), ty] = pair.as_slice() else {
+                            return Err(format!("bad param `{p}` (want `(name type)`)"));
+                        };
+                        let ty = type_of_sexp(ty).map_err(|e| e.to_string())?;
+                        builder = builder.param(pname, &ty.to_string());
+                    }
+                }
+                "returns" => {
+                    let [ty] = rest else {
+                        return Err("`returns` takes one type".into());
+                    };
+                    let ty = type_of_sexp(ty).map_err(|e| e.to_string())?;
+                    builder = builder.returns(&ty.to_string());
+                }
+                "example" => {
+                    let [Sexp::List(ins), out] = rest else {
+                        return Err("`example` takes `(args…)` and an output".into());
+                    };
+                    let inputs = ins
+                        .iter()
+                        .map(value_of_sexp)
+                        .collect::<Result<Vec<_>, _>>()
+                        .map_err(|e| e.to_string())?;
+                    let output = value_of_sexp(out).map_err(|e| e.to_string())?;
+                    builder = builder.example_values(inputs, output);
+                }
+                "describe" => {
+                    let [Sexp::Atom(text)] = rest else {
+                        return Err("`describe` takes one atom".into());
+                    };
+                    builder = builder.describe(text.clone());
+                }
+                other => return Err(format!("unknown section `{other}`")),
+            },
+            _ => return Err(format!("unexpected form `{form}`")),
+        }
+    }
+    builder.build().map_err(|e| e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "(problem evens\n  (params (l [int]))\n  (returns [int])\n  \
+                          (example ([]) [])\n  (example ([1 2 3 4]) [2 4])\n  \
+                          (example ([5 6]) [6]))";
+
+    #[test]
+    fn parse_problem_accepts_the_documented_format() {
+        let p = parse_problem(SAMPLE).unwrap();
+        assert_eq!(p.name(), "evens");
+        assert_eq!(p.params().len(), 1);
+        assert_eq!(p.examples().len(), 3);
+        assert_eq!(p.return_type().to_string(), "[int]");
+    }
+
+    #[test]
+    fn parse_problem_rejects_malformed_files() {
+        assert!(parse_problem("(nonsense)").is_err());
+        assert!(parse_problem("(problem)").is_err());
+        assert!(parse_problem("(problem p (params (l [int])) (wat))").is_err());
+        assert!(parse_problem("(problem p (params (l [int])) (returns [int]))").is_err());
+        assert!(parse_problem("atom").is_err());
+    }
+
+    #[test]
+    fn parse_problem_checks_example_shapes() {
+        let bad = "(problem p (params (l [int])) (returns [int]) (example [1] [1]))";
+        assert!(parse_problem(bad).is_err());
+    }
+}

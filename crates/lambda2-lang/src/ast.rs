@@ -1,0 +1,551 @@
+//! Abstract syntax of the λ² object language.
+//!
+//! Expressions are immutable and share subtrees via [`Rc`]: the synthesizer
+//! creates new hypotheses by rebuilding only the spine from the root to a
+//! hole, which keeps expansion cheap. Holes ([`Expr::Hole`]) are part of the
+//! language so that hypotheses (partial programs) and complete programs are
+//! the same type; evaluation of a hole is an error.
+
+use std::fmt;
+use std::rc::Rc;
+
+use crate::symbol::Symbol;
+use crate::value::Value;
+
+/// Identifier for a hole in a hypothesis. Allocated by the synthesizer.
+pub type HoleId = u32;
+
+/// First-order built-in operators.
+///
+/// The higher-order combinators live in [`Comb`]; everything here is a plain
+/// strict function on first-order values.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub enum Op {
+    /// Integer addition `(+ a b)`.
+    Add,
+    /// Integer subtraction `(- a b)`.
+    Sub,
+    /// Integer multiplication `(* a b)`.
+    Mul,
+    /// Integer division `(/ a b)`; errors on division by zero.
+    Div,
+    /// Integer remainder `(% a b)`; errors on division by zero.
+    Mod,
+    /// Less-than `(< a b)`.
+    Lt,
+    /// Less-or-equal `(<= a b)`.
+    Le,
+    /// Greater-than `(> a b)`.
+    Gt,
+    /// Greater-or-equal `(>= a b)`.
+    Ge,
+    /// Structural equality `(= a b)` on any first-order type.
+    Eq,
+    /// Structural disequality `(!= a b)`.
+    Neq,
+    /// Boolean conjunction `(& a b)` (strict).
+    And,
+    /// Boolean disjunction `(| a b)` (strict).
+    Or,
+    /// Boolean negation `(~ a)`.
+    Not,
+    /// List construction `(cons x xs)`.
+    Cons,
+    /// Head of a list `(car xs)`; errors on `[]`.
+    Car,
+    /// Tail of a list `(cdr xs)`; errors on `[]`.
+    Cdr,
+    /// Emptiness test `(empty? xs)`.
+    IsEmpty,
+    /// List concatenation `(cat xs ys)`.
+    Cat,
+    /// List membership `(member x xs)`. (Extension op, excluded from the
+    /// default library; the `dedup` benchmark adds it.)
+    Member,
+    /// Last element of a list `(last xs)`; errors on `[]`. (Extension op,
+    /// excluded from the default library.)
+    Last,
+    /// Tree construction `(tree v cs)` from a value and a list of subtrees.
+    TreeMake,
+    /// Value at the root `(value t)`; errors on `{}`.
+    TreeValue,
+    /// Children of the root `(children t)` as a list; errors on `{}`.
+    TreeChildren,
+    /// Test for the empty tree `(empty-tree? t)`.
+    IsEmptyTree,
+    /// Test for a childless node `(leaf? t)`; errors on `{}`.
+    IsLeaf,
+    /// Pair construction `(pair a b)`.
+    MkPair,
+    /// First component `(fst p)`.
+    Fst,
+    /// Second component `(snd p)`.
+    Snd,
+}
+
+impl Op {
+    /// All operators, in a fixed deterministic order.
+    pub const ALL: [Op; 29] = [
+        Op::Add,
+        Op::Sub,
+        Op::Mul,
+        Op::Div,
+        Op::Mod,
+        Op::Lt,
+        Op::Le,
+        Op::Gt,
+        Op::Ge,
+        Op::Eq,
+        Op::Neq,
+        Op::And,
+        Op::Or,
+        Op::Not,
+        Op::Cons,
+        Op::Car,
+        Op::Cdr,
+        Op::IsEmpty,
+        Op::Cat,
+        Op::Member,
+        Op::Last,
+        Op::TreeMake,
+        Op::TreeValue,
+        Op::TreeChildren,
+        Op::IsEmptyTree,
+        Op::IsLeaf,
+        Op::MkPair,
+        Op::Fst,
+        Op::Snd,
+    ];
+
+    /// The operator's surface-syntax name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Op::Add => "+",
+            Op::Sub => "-",
+            Op::Mul => "*",
+            Op::Div => "/",
+            Op::Mod => "%",
+            Op::Lt => "<",
+            Op::Le => "<=",
+            Op::Gt => ">",
+            Op::Ge => ">=",
+            Op::Eq => "=",
+            Op::Neq => "!=",
+            Op::And => "&",
+            Op::Or => "|",
+            Op::Not => "~",
+            Op::Cons => "cons",
+            Op::Car => "car",
+            Op::Cdr => "cdr",
+            Op::IsEmpty => "empty?",
+            Op::Cat => "cat",
+            Op::Member => "member",
+            Op::Last => "last",
+            Op::TreeMake => "tree",
+            Op::TreeValue => "value",
+            Op::TreeChildren => "children",
+            Op::IsEmptyTree => "empty-tree?",
+            Op::IsLeaf => "leaf?",
+            Op::MkPair => "pair",
+            Op::Fst => "fst",
+            Op::Snd => "snd",
+        }
+    }
+
+    /// Looks an operator up by its surface name.
+    pub fn from_name(name: &str) -> Option<Op> {
+        Op::ALL.iter().copied().find(|op| op.name() == name)
+    }
+
+    /// Number of arguments the operator takes.
+    pub fn arity(self) -> usize {
+        match self {
+            Op::Not
+            | Op::Car
+            | Op::Cdr
+            | Op::IsEmpty
+            | Op::Last
+            | Op::TreeValue
+            | Op::TreeChildren
+            | Op::IsEmptyTree
+            | Op::IsLeaf
+            | Op::Fst
+            | Op::Snd => 1,
+            _ => 2,
+        }
+    }
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The higher-order combinators of the language.
+///
+/// These are the paper's generalization targets: each has a dedicated
+/// deduction rule in the synthesizer.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub enum Comb {
+    /// `(map f l)` — apply `f` to every element.
+    Map,
+    /// `(filter p l)` — keep elements satisfying `p`.
+    Filter,
+    /// `(foldl f e l)` — left fold; `f` takes `(acc, x)`.
+    Foldl,
+    /// `(foldr f e l)` — right fold; `f` takes `(x, acc)`.
+    Foldr,
+    /// `(recl f e l)` — general list recursion;
+    /// `recl f e [] = e`, `recl f e (x:xs) = f(x, xs, recl f e xs)`.
+    Recl,
+    /// `(mapt f t)` — apply `f` to every node value of a tree.
+    Mapt,
+    /// `(foldt f e t)` — tree fold; `foldt f e {} = e`,
+    /// `foldt f e {v, c…} = f(v, [foldt f e c, …])`.
+    Foldt,
+}
+
+impl Comb {
+    /// All combinators, in a fixed deterministic order.
+    pub const ALL: [Comb; 7] = [
+        Comb::Map,
+        Comb::Filter,
+        Comb::Foldl,
+        Comb::Foldr,
+        Comb::Recl,
+        Comb::Mapt,
+        Comb::Foldt,
+    ];
+
+    /// The combinator's surface-syntax name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Comb::Map => "map",
+            Comb::Filter => "filter",
+            Comb::Foldl => "foldl",
+            Comb::Foldr => "foldr",
+            Comb::Recl => "recl",
+            Comb::Mapt => "mapt",
+            Comb::Foldt => "foldt",
+        }
+    }
+
+    /// Looks a combinator up by its surface name.
+    pub fn from_name(name: &str) -> Option<Comb> {
+        Comb::ALL.iter().copied().find(|c| c.name() == name)
+    }
+
+    /// Number of arguments (including the function argument).
+    pub fn arity(self) -> usize {
+        match self {
+            Comb::Map | Comb::Filter | Comb::Mapt => 2,
+            Comb::Foldl | Comb::Foldr | Comb::Recl | Comb::Foldt => 3,
+        }
+    }
+
+    /// Arity of the function argument the combinator expects.
+    pub fn fun_arity(self) -> usize {
+        match self {
+            Comb::Map | Comb::Filter | Comb::Mapt => 1,
+            Comb::Foldl | Comb::Foldr | Comb::Foldt => 2,
+            Comb::Recl => 3,
+        }
+    }
+}
+
+impl fmt::Display for Comb {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// An expression of the object language (possibly containing holes).
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub enum Expr {
+    /// A literal first-order value (`42`, `true`, `[]`, `{}` …).
+    Lit(Value),
+    /// A variable reference.
+    Var(Symbol),
+    /// `(if c t e)`.
+    If(Rc<Expr>, Rc<Expr>, Rc<Expr>),
+    /// `(lambda (x…) body)`.
+    Lambda(Rc<[Symbol]>, Rc<Expr>),
+    /// Application of a combinator or closure to arguments.
+    App(Rc<Expr>, Rc<[Expr]>),
+    /// A saturated first-order operator application.
+    Op(Op, Rc<[Expr]>),
+    /// A built-in combinator in callee position.
+    Comb(Comb),
+    /// A hole (free metavariable) in a hypothesis.
+    Hole(HoleId),
+}
+
+impl Expr {
+    /// Integer literal.
+    pub fn int(n: i64) -> Expr {
+        Expr::Lit(Value::Int(n))
+    }
+
+    /// Boolean literal.
+    pub fn bool(b: bool) -> Expr {
+        Expr::Lit(Value::Bool(b))
+    }
+
+    /// Variable reference.
+    pub fn var(name: impl Into<Symbol>) -> Expr {
+        Expr::Var(name.into())
+    }
+
+    /// Operator application; panics if the argument count mismatches the
+    /// operator arity (programming error in the caller).
+    pub fn op(op: Op, args: Vec<Expr>) -> Expr {
+        assert_eq!(args.len(), op.arity(), "arity mismatch for {op}");
+        Expr::Op(op, args.into())
+    }
+
+    /// Combinator application, e.g. `Expr::comb(Comb::Map, vec![f, l])`.
+    pub fn comb(comb: Comb, args: Vec<Expr>) -> Expr {
+        assert_eq!(args.len(), comb.arity(), "arity mismatch for {comb}");
+        Expr::App(Rc::new(Expr::Comb(comb)), args.into())
+    }
+
+    /// Lambda abstraction.
+    pub fn lambda(params: Vec<Symbol>, body: Expr) -> Expr {
+        Expr::Lambda(params.into(), Rc::new(body))
+    }
+
+    /// Conditional.
+    pub fn if_(c: Expr, t: Expr, e: Expr) -> Expr {
+        Expr::If(Rc::new(c), Rc::new(t), Rc::new(e))
+    }
+
+    /// Number of AST nodes. Lambdas count their binder list as one node.
+    pub fn size(&self) -> usize {
+        match self {
+            Expr::Lit(_) | Expr::Var(_) | Expr::Comb(_) | Expr::Hole(_) => 1,
+            Expr::If(c, t, e) => 1 + c.size() + t.size() + e.size(),
+            Expr::Lambda(_, b) => 1 + b.size(),
+            Expr::App(f, args) => f.size() + args.iter().map(Expr::size).sum::<usize>(),
+            Expr::Op(_, args) => 1 + args.iter().map(Expr::size).sum::<usize>(),
+        }
+    }
+
+    /// `true` if the expression contains no [`Expr::Hole`].
+    pub fn is_complete(&self) -> bool {
+        match self {
+            Expr::Hole(_) => false,
+            Expr::Lit(_) | Expr::Var(_) | Expr::Comb(_) => true,
+            Expr::If(c, t, e) => c.is_complete() && t.is_complete() && e.is_complete(),
+            Expr::Lambda(_, b) => b.is_complete(),
+            Expr::App(f, args) => f.is_complete() && args.iter().all(Expr::is_complete),
+            Expr::Op(_, args) => args.iter().all(Expr::is_complete),
+        }
+    }
+
+    /// Collects hole ids in left-to-right order into `out`.
+    pub fn holes(&self, out: &mut Vec<HoleId>) {
+        match self {
+            Expr::Hole(h) => out.push(*h),
+            Expr::Lit(_) | Expr::Var(_) | Expr::Comb(_) => {}
+            Expr::If(c, t, e) => {
+                c.holes(out);
+                t.holes(out);
+                e.holes(out);
+            }
+            Expr::Lambda(_, b) => b.holes(out),
+            Expr::App(f, args) => {
+                f.holes(out);
+                for a in args.iter() {
+                    a.holes(out);
+                }
+            }
+            Expr::Op(_, args) => {
+                for a in args.iter() {
+                    a.holes(out);
+                }
+            }
+        }
+    }
+
+    /// Returns a copy of `self` with hole `target` replaced by `filler`.
+    ///
+    /// Only the spine from the root to the hole is rebuilt; untouched
+    /// subtrees are shared with `self`.
+    pub fn fill_hole(&self, target: HoleId, filler: &Expr) -> Expr {
+        match self {
+            Expr::Hole(h) if *h == target => filler.clone(),
+            Expr::Hole(_) | Expr::Lit(_) | Expr::Var(_) | Expr::Comb(_) => self.clone(),
+            Expr::If(c, t, e) => Expr::If(
+                fill_rc(c, target, filler),
+                fill_rc(t, target, filler),
+                fill_rc(e, target, filler),
+            ),
+            Expr::Lambda(ps, b) => Expr::Lambda(ps.clone(), fill_rc(b, target, filler)),
+            Expr::App(f, args) => Expr::App(
+                fill_rc(f, target, filler),
+                fill_slice(args, target, filler),
+            ),
+            Expr::Op(op, args) => Expr::Op(*op, fill_slice(args, target, filler)),
+        }
+    }
+
+    /// Free variables of the expression, in first-occurrence order.
+    pub fn free_vars(&self) -> Vec<Symbol> {
+        let mut out = Vec::new();
+        let mut bound = Vec::new();
+        fn go(e: &Expr, bound: &mut Vec<Symbol>, out: &mut Vec<Symbol>) {
+            match e {
+                Expr::Var(x) => {
+                    if !bound.contains(x) && !out.contains(x) {
+                        out.push(*x);
+                    }
+                }
+                Expr::Lit(_) | Expr::Comb(_) | Expr::Hole(_) => {}
+                Expr::If(c, t, el) => {
+                    go(c, bound, out);
+                    go(t, bound, out);
+                    go(el, bound, out);
+                }
+                Expr::Lambda(ps, b) => {
+                    let n = bound.len();
+                    bound.extend(ps.iter().copied());
+                    go(b, bound, out);
+                    bound.truncate(n);
+                }
+                Expr::App(f, args) => {
+                    go(f, bound, out);
+                    for a in args.iter() {
+                        go(a, bound, out);
+                    }
+                }
+                Expr::Op(_, args) => {
+                    for a in args.iter() {
+                        go(a, bound, out);
+                    }
+                }
+            }
+        }
+        go(self, &mut bound, &mut out);
+        out
+    }
+}
+
+fn fill_rc(e: &Rc<Expr>, target: HoleId, filler: &Expr) -> Rc<Expr> {
+    let mut holes = Vec::new();
+    e.holes(&mut holes);
+    if holes.contains(&target) {
+        Rc::new(e.fill_hole(target, filler))
+    } else {
+        e.clone()
+    }
+}
+
+fn fill_slice(args: &Rc<[Expr]>, target: HoleId, filler: &Expr) -> Rc<[Expr]> {
+    let mut holes = Vec::new();
+    for a in args.iter() {
+        a.holes(&mut holes);
+    }
+    if holes.contains(&target) {
+        args.iter().map(|a| a.fill_hole(target, filler)).collect()
+    } else {
+        args.clone()
+    }
+}
+
+impl fmt::Debug for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Debug shares the s-expression rendering; see `pretty`.
+        write!(f, "{}", crate::pretty::pretty(self))
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", crate::pretty::pretty(self))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_metadata_is_consistent() {
+        for op in Op::ALL {
+            assert_eq!(Op::from_name(op.name()), Some(op));
+            assert!(op.arity() == 1 || op.arity() == 2);
+        }
+        assert_eq!(Op::from_name("nonsense"), None);
+    }
+
+    #[test]
+    fn comb_metadata_is_consistent() {
+        for c in Comb::ALL {
+            assert_eq!(Comb::from_name(c.name()), Some(c));
+            assert!(c.arity() >= 2 && c.arity() <= 3);
+            assert!(c.fun_arity() >= 1 && c.fun_arity() <= 3);
+        }
+    }
+
+    #[test]
+    fn size_counts_nodes() {
+        let e = Expr::op(
+            Op::Add,
+            vec![Expr::int(1), Expr::op(Op::Mul, vec![Expr::var("x"), Expr::int(2)])],
+        );
+        assert_eq!(e.size(), 5);
+        let l = Expr::lambda(vec![Symbol::intern("x")], Expr::var("x"));
+        assert_eq!(l.size(), 2);
+    }
+
+    #[test]
+    fn holes_and_completeness() {
+        let h = Expr::comb(Comb::Map, vec![Expr::Hole(0), Expr::var("l")]);
+        assert!(!h.is_complete());
+        let mut ids = Vec::new();
+        h.holes(&mut ids);
+        assert_eq!(ids, vec![0]);
+
+        let filled = h.fill_hole(0, &Expr::lambda(vec![Symbol::intern("x")], Expr::var("x")));
+        assert!(filled.is_complete());
+        let mut ids2 = Vec::new();
+        filled.holes(&mut ids2);
+        assert!(ids2.is_empty());
+    }
+
+    #[test]
+    fn fill_hole_shares_untouched_subtrees() {
+        let shared = Rc::new(Expr::var("big"));
+        let e = Expr::If(
+            Rc::new(Expr::Hole(1)),
+            shared.clone(),
+            Rc::new(Expr::int(0)),
+        );
+        let filled = e.fill_hole(1, &Expr::bool(true));
+        match filled {
+            Expr::If(_, t, _) => assert!(Rc::ptr_eq(&t, &shared)),
+            _ => panic!("expected if"),
+        }
+    }
+
+    #[test]
+    fn free_vars_respect_binders() {
+        let x = Symbol::intern("x");
+        let e = Expr::comb(
+            Comb::Map,
+            vec![
+                Expr::lambda(vec![x], Expr::op(Op::Add, vec![Expr::var("x"), Expr::var("y")])),
+                Expr::var("l"),
+            ],
+        );
+        let fv = e.free_vars();
+        assert_eq!(fv, vec![Symbol::intern("y"), Symbol::intern("l")]);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn op_constructor_checks_arity() {
+        let _ = Expr::op(Op::Add, vec![Expr::int(1)]);
+    }
+}

@@ -1,0 +1,128 @@
+//! Typing of the higher-order combinators.
+//!
+//! The operational semantics of the combinators live in [`crate::eval`],
+//! which needs mutual recursion with the core evaluator; this module pins
+//! down their type schemes, shared by type inference, hypothesis expansion
+//! and the enumerator.
+
+use crate::ast::Comb;
+use crate::ty::Type;
+
+impl Comb {
+    /// The combinator's type scheme, with `t0`/`t1` implicitly quantified:
+    ///
+    /// ```text
+    /// map    : ((a) -> b, [a])                 -> [b]
+    /// filter : ((a) -> bool, [a])              -> [a]
+    /// foldl  : ((b, a) -> b, b, [a])           -> b
+    /// foldr  : ((a, b) -> b, b, [a])           -> b
+    /// recl   : ((a, [a], b) -> b, b, [a])      -> b
+    /// mapt   : ((a) -> b, tree a)              -> tree b
+    /// foldt  : ((a, [b]) -> b, b, tree a)      -> b
+    /// ```
+    pub fn type_scheme(self) -> Type {
+        let a = || Type::Var(0);
+        let b = || Type::Var(1);
+        match self {
+            Comb::Map => Type::fun(
+                vec![Type::fun(vec![a()], b()), Type::list(a())],
+                Type::list(b()),
+            ),
+            Comb::Filter => Type::fun(
+                vec![Type::fun(vec![a()], Type::Bool), Type::list(a())],
+                Type::list(a()),
+            ),
+            Comb::Foldl => Type::fun(
+                vec![Type::fun(vec![b(), a()], b()), b(), Type::list(a())],
+                b(),
+            ),
+            Comb::Foldr => Type::fun(
+                vec![Type::fun(vec![a(), b()], b()), b(), Type::list(a())],
+                b(),
+            ),
+            Comb::Recl => Type::fun(
+                vec![
+                    Type::fun(vec![a(), Type::list(a()), b()], b()),
+                    b(),
+                    Type::list(a()),
+                ],
+                b(),
+            ),
+            Comb::Mapt => Type::fun(
+                vec![Type::fun(vec![a()], b()), Type::tree(a())],
+                Type::tree(b()),
+            ),
+            Comb::Foldt => Type::fun(
+                vec![
+                    Type::fun(vec![a(), Type::list(b())], b()),
+                    b(),
+                    Type::tree(a()),
+                ],
+                b(),
+            ),
+        }
+    }
+
+    /// Index of the collection argument (the list or tree being traversed).
+    pub fn collection_index(self) -> usize {
+        self.arity() - 1
+    }
+
+    /// Index of the initial-value argument, for combinators that have one.
+    pub fn init_index(self) -> Option<usize> {
+        match self {
+            Comb::Foldl | Comb::Foldr | Comb::Recl | Comb::Foldt => Some(1),
+            Comb::Map | Comb::Filter | Comb::Mapt => None,
+        }
+    }
+
+    /// `true` if the combinator traverses a tree rather than a list.
+    pub fn is_tree(self) -> bool {
+        matches!(self, Comb::Mapt | Comb::Foldt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schemes_match_arity() {
+        for c in Comb::ALL {
+            match c.type_scheme() {
+                Type::Fun(params, _) => {
+                    assert_eq!(params.len(), c.arity(), "{c}");
+                    match &params[0] {
+                        Type::Fun(fparams, _) => assert_eq!(fparams.len(), c.fun_arity(), "{c}"),
+                        other => panic!("first arg of {c} is not a function: {other}"),
+                    }
+                }
+                other => panic!("scheme of {c} is not a function: {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn collection_argument_is_last() {
+        for c in Comb::ALL {
+            let Type::Fun(params, _) = c.type_scheme() else {
+                unreachable!()
+            };
+            let coll = &params[c.collection_index()];
+            assert!(
+                matches!(coll, Type::List(_) | Type::Tree(_)),
+                "{c} collection arg: {coll}"
+            );
+        }
+    }
+
+    #[test]
+    fn init_index_only_on_folds() {
+        assert_eq!(Comb::Map.init_index(), None);
+        assert_eq!(Comb::Filter.init_index(), None);
+        assert_eq!(Comb::Mapt.init_index(), None);
+        for c in [Comb::Foldl, Comb::Foldr, Comb::Recl, Comb::Foldt] {
+            assert_eq!(c.init_index(), Some(1));
+        }
+    }
+}

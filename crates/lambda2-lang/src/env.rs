@@ -1,0 +1,172 @@
+//! Persistent evaluation environments.
+//!
+//! Environments are immutable linked lists shared via [`Rc`]. Extending an
+//! environment is O(1) and never invalidates existing references, which the
+//! deduction rules rely on: a deduced sub-example's environment is the parent
+//! example's environment extended with the lambda's binders.
+
+use std::fmt;
+use std::rc::Rc;
+
+use crate::symbol::Symbol;
+use crate::value::Value;
+
+/// An immutable mapping from variables to values.
+///
+/// Lookup is linear, which is fast in practice because synthesis scopes are
+/// tiny (problem parameters plus a few lambda binders).
+///
+/// # Examples
+///
+/// ```
+/// use lambda2_lang::env::Env;
+/// use lambda2_lang::symbol::Symbol;
+/// use lambda2_lang::value::Value;
+///
+/// let x = Symbol::intern("x");
+/// let env = Env::empty().bind(x, Value::Int(3));
+/// assert_eq!(env.lookup(x), Some(&Value::Int(3)));
+/// ```
+#[derive(Clone, Default)]
+pub struct Env(Option<Rc<EnvNode>>);
+
+struct EnvNode {
+    sym: Symbol,
+    val: Value,
+    next: Env,
+}
+
+impl Env {
+    /// The empty environment.
+    pub fn empty() -> Env {
+        Env(None)
+    }
+
+    /// Returns a new environment with `sym ↦ val` added (shadowing any
+    /// earlier binding of `sym`).
+    pub fn bind(&self, sym: Symbol, val: Value) -> Env {
+        Env(Some(Rc::new(EnvNode {
+            sym,
+            val,
+            next: self.clone(),
+        })))
+    }
+
+    /// Builds an environment from `(symbol, value)` pairs; later pairs
+    /// shadow earlier ones.
+    pub fn from_bindings(bindings: impl IntoIterator<Item = (Symbol, Value)>) -> Env {
+        bindings
+            .into_iter()
+            .fold(Env::empty(), |env, (s, v)| env.bind(s, v))
+    }
+
+    /// Looks up the innermost binding of `sym`.
+    pub fn lookup(&self, sym: Symbol) -> Option<&Value> {
+        let mut cur = self;
+        while let Some(node) = &cur.0 {
+            if node.sym == sym {
+                return Some(&node.val);
+            }
+            cur = &node.next;
+        }
+        None
+    }
+
+    /// Iterates over visible bindings, innermost first, skipping shadowed
+    /// entries.
+    pub fn bindings(&self) -> Vec<(Symbol, &Value)> {
+        let mut seen = Vec::new();
+        let mut out = Vec::new();
+        let mut cur = self;
+        while let Some(node) = &cur.0 {
+            if !seen.contains(&node.sym) {
+                seen.push(node.sym);
+                out.push((node.sym, &node.val));
+            }
+            cur = &node.next;
+        }
+        out
+    }
+
+    /// `true` if no variables are bound.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_none()
+    }
+
+    /// A canonical fingerprint of the visible bindings, used to detect
+    /// duplicate example rows. Two environments with the same visible
+    /// bindings produce equal fingerprints regardless of shadowed history.
+    pub fn fingerprint(&self) -> Vec<(Symbol, Value)> {
+        let mut b: Vec<(Symbol, Value)> = self
+            .bindings()
+            .into_iter()
+            .map(|(s, v)| (s, v.clone()))
+            .collect();
+        b.sort_by_key(|(s, _)| *s);
+        b
+    }
+}
+
+impl fmt::Debug for Env {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut map = f.debug_map();
+        for (s, v) in self.bindings() {
+            map.entry(&s.as_str(), v);
+        }
+        map.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sym(s: &str) -> Symbol {
+        Symbol::intern(s)
+    }
+
+    #[test]
+    fn bind_and_lookup() {
+        let env = Env::empty()
+            .bind(sym("a"), Value::Int(1))
+            .bind(sym("b"), Value::Int(2));
+        assert_eq!(env.lookup(sym("a")), Some(&Value::Int(1)));
+        assert_eq!(env.lookup(sym("b")), Some(&Value::Int(2)));
+        assert_eq!(env.lookup(sym("c")), None);
+    }
+
+    #[test]
+    fn shadowing_is_innermost_wins() {
+        let env = Env::empty()
+            .bind(sym("x"), Value::Int(1))
+            .bind(sym("x"), Value::Int(2));
+        assert_eq!(env.lookup(sym("x")), Some(&Value::Int(2)));
+        assert_eq!(env.bindings().len(), 1);
+    }
+
+    #[test]
+    fn extension_preserves_parent() {
+        let parent = Env::empty().bind(sym("p"), Value::Bool(true));
+        let child = parent.bind(sym("q"), Value::Bool(false));
+        assert_eq!(parent.lookup(sym("q")), None);
+        assert_eq!(child.lookup(sym("p")), Some(&Value::Bool(true)));
+    }
+
+    #[test]
+    fn fingerprint_ignores_shadowed_history() {
+        let a = Env::empty()
+            .bind(sym("x"), Value::Int(9))
+            .bind(sym("x"), Value::Int(1))
+            .bind(sym("y"), Value::Int(2));
+        let b = Env::empty()
+            .bind(sym("y"), Value::Int(2))
+            .bind(sym("x"), Value::Int(1));
+        assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn from_bindings_orders_latest_last() {
+        let env = Env::from_bindings([(sym("k"), Value::Int(1)), (sym("k"), Value::Int(7))]);
+        assert_eq!(env.lookup(sym("k")), Some(&Value::Int(7)));
+    }
+}

@@ -1,0 +1,110 @@
+//! Error types for evaluation and parsing.
+
+use std::fmt;
+
+use crate::ast::HoleId;
+use crate::symbol::Symbol;
+
+/// An evaluation error.
+///
+/// Evaluation errors are *normal* during synthesis — the enumerator probes
+/// millions of candidate terms, most of which crash on some example (car of
+/// an empty list, division by zero, …). The type is therefore small and
+/// allocation-free.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum EvalError {
+    /// A variable was not bound in the environment.
+    Unbound(Symbol),
+    /// An operator or combinator received a value of the wrong shape.
+    TypeMismatch,
+    /// Division or remainder by zero.
+    DivByZero,
+    /// `car`, `cdr` or `last` applied to `[]`.
+    EmptyList,
+    /// `value`, `children` or `leaf?` applied to `{}`.
+    EmptyTree,
+    /// A function was applied to the wrong number of arguments.
+    ArityMismatch,
+    /// A non-function appeared in callee position.
+    NotAFunction,
+    /// Evaluation of a hole: hypotheses cannot be run to completion.
+    Hole(HoleId),
+    /// The fuel budget was exhausted (guards against runaway recursion
+    /// in synthesized candidates).
+    OutOfFuel,
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::Unbound(s) => write!(f, "unbound variable `{s}`"),
+            EvalError::TypeMismatch => write!(f, "operand has the wrong shape"),
+            EvalError::DivByZero => write!(f, "division by zero"),
+            EvalError::EmptyList => write!(f, "list operation on empty list"),
+            EvalError::EmptyTree => write!(f, "tree operation on empty tree"),
+            EvalError::ArityMismatch => write!(f, "wrong number of arguments"),
+            EvalError::NotAFunction => write!(f, "value is not applicable"),
+            EvalError::Hole(h) => write!(f, "evaluated hole ◻{h}"),
+            EvalError::OutOfFuel => write!(f, "evaluation fuel exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// A parse error with a byte offset into the source.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset where the error was detected.
+    pub offset: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl ParseError {
+    pub(crate) fn new(offset: usize, message: impl Into<String>) -> ParseError {
+        ParseError {
+            offset,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errors = [
+            EvalError::TypeMismatch,
+            EvalError::DivByZero,
+            EvalError::EmptyList,
+            EvalError::EmptyTree,
+            EvalError::ArityMismatch,
+            EvalError::NotAFunction,
+            EvalError::Hole(3),
+            EvalError::OutOfFuel,
+            EvalError::Unbound(Symbol::intern("q")),
+        ];
+        for e in errors {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn parse_error_reports_offset() {
+        let e = ParseError::new(7, "unexpected `)`");
+        assert_eq!(e.to_string(), "parse error at byte 7: unexpected `)`");
+    }
+}

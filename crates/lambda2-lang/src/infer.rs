@@ -1,0 +1,312 @@
+//! Type inference for object-language expressions.
+//!
+//! A small Hindley-Milner-style checker (without let-polymorphism — the
+//! language has no `let`): operator and combinator type schemes are
+//! instantiated at each use and constraints are solved by unification.
+//! The synthesizer uses this to reject ill-typed hypothesis expansions and
+//! to type problem signatures.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::ast::{Expr, HoleId};
+use crate::symbol::Symbol;
+use crate::ty::{Subst, Type, UnifyError};
+use crate::value::Value;
+
+/// A typing error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TypeError {
+    /// Two types failed to unify.
+    Unify(UnifyError),
+    /// A free variable had no declared type.
+    Unbound(Symbol),
+    /// A hole had no declared type.
+    UnboundHole(HoleId),
+    /// A literal contained a non-first-order value.
+    HigherOrderLiteral,
+}
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TypeError::Unify(e) => write!(f, "{e}"),
+            TypeError::Unbound(s) => write!(f, "variable `{s}` has no declared type"),
+            TypeError::UnboundHole(h) => write!(f, "hole ?{h} has no declared type"),
+            TypeError::HigherOrderLiteral => write!(f, "literal is not first-order"),
+        }
+    }
+}
+
+impl std::error::Error for TypeError {}
+
+impl From<UnifyError> for TypeError {
+    fn from(e: UnifyError) -> TypeError {
+        TypeError::Unify(e)
+    }
+}
+
+/// A typing context mapping variables (and holes) to types.
+#[derive(Clone, Debug, Default)]
+pub struct TypeEnv {
+    vars: HashMap<Symbol, Type>,
+    holes: HashMap<HoleId, Type>,
+}
+
+impl TypeEnv {
+    /// Creates an empty typing context.
+    pub fn new() -> TypeEnv {
+        TypeEnv::default()
+    }
+
+    /// Declares a variable's type, returning `self` for chaining.
+    pub fn with_var(mut self, sym: Symbol, ty: Type) -> TypeEnv {
+        self.vars.insert(sym, ty);
+        self
+    }
+
+    /// Declares a hole's type, returning `self` for chaining.
+    pub fn with_hole(mut self, hole: HoleId, ty: Type) -> TypeEnv {
+        self.holes.insert(hole, ty);
+        self
+    }
+
+    /// Looks up a variable.
+    pub fn var(&self, sym: Symbol) -> Option<&Type> {
+        self.vars.get(&sym)
+    }
+}
+
+/// Infers the type of `expr` in `env`, extending `subst` with the
+/// constraints discovered along the way.
+///
+/// # Errors
+///
+/// Returns a [`TypeError`] if the expression is ill-typed or mentions an
+/// undeclared variable or hole.
+///
+/// # Examples
+///
+/// ```
+/// use lambda2_lang::infer::{infer, TypeEnv};
+/// use lambda2_lang::parser::{parse_expr, parse_type};
+/// use lambda2_lang::symbol::Symbol;
+/// use lambda2_lang::ty::Subst;
+///
+/// let env = TypeEnv::new().with_var(Symbol::intern("l"), parse_type("[int]").unwrap());
+/// let mut subst = Subst::new();
+/// let e = parse_expr("(map (lambda (x) (+ x 1)) l)").unwrap();
+/// let ty = infer(&e, &env, &mut subst).unwrap();
+/// assert_eq!(subst.apply(&ty).to_string(), "[int]");
+/// ```
+pub fn infer(expr: &Expr, env: &TypeEnv, subst: &mut Subst) -> Result<Type, TypeError> {
+    match expr {
+        Expr::Lit(v) => {
+            if !v.is_first_order() {
+                return Err(TypeError::HigherOrderLiteral);
+            }
+            let mut fresh = |s: &mut Subst| s.fresh();
+            Ok(type_of_value(v, subst, &mut fresh))
+        }
+        Expr::Var(x) => env.var(*x).cloned().ok_or(TypeError::Unbound(*x)),
+        Expr::Hole(h) => env
+            .holes
+            .get(h)
+            .cloned()
+            .ok_or(TypeError::UnboundHole(*h)),
+        Expr::Comb(c) => Ok(subst.instantiate(&c.type_scheme())),
+        Expr::If(c, t, e) => {
+            let ct = infer(c, env, subst)?;
+            subst.unify(&ct, &Type::Bool)?;
+            let tt = infer(t, env, subst)?;
+            let et = infer(e, env, subst)?;
+            subst.unify(&tt, &et)?;
+            Ok(tt)
+        }
+        Expr::Lambda(params, body) => {
+            let mut inner = env.clone();
+            let mut ptys = Vec::with_capacity(params.len());
+            for p in params.iter() {
+                let t = subst.fresh();
+                inner = inner.with_var(*p, t.clone());
+                ptys.push(t);
+            }
+            let rty = infer(body, &inner, subst)?;
+            Ok(Type::fun(ptys, rty))
+        }
+        Expr::Op(op, args) => {
+            let scheme = subst.instantiate(&op.type_scheme());
+            apply_fun_type(&scheme, args, env, subst)
+        }
+        Expr::App(f, args) => {
+            let fty = infer(f, env, subst)?;
+            apply_fun_type(&fty, args, env, subst)
+        }
+    }
+}
+
+fn apply_fun_type(
+    fty: &Type,
+    args: &[Expr],
+    env: &TypeEnv,
+    subst: &mut Subst,
+) -> Result<Type, TypeError> {
+    let mut atys = Vec::with_capacity(args.len());
+    for a in args {
+        atys.push(infer(a, env, subst)?);
+    }
+    let ret = subst.fresh();
+    subst.unify(fty, &Type::fun(atys, ret.clone()))?;
+    Ok(ret)
+}
+
+fn type_of_value(
+    v: &Value,
+    subst: &mut Subst,
+    fresh: &mut dyn FnMut(&mut Subst) -> Type,
+) -> Type {
+    let mut mk = || fresh(subst);
+    // `Value::type_of` needs a plain FnMut; adapt through a small closure.
+    fn go(v: &Value, mk: &mut dyn FnMut() -> Type) -> Type {
+        v.type_of(mk)
+    }
+    go(v, &mut mk)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_expr, parse_type};
+
+    fn check(src: &str, vars: &[(&str, &str)]) -> Result<String, TypeError> {
+        let mut env = TypeEnv::new();
+        for (name, ty) in vars {
+            env = env.with_var(Symbol::intern(name), parse_type(ty).unwrap());
+        }
+        let mut subst = Subst::new();
+        let e = parse_expr(src).unwrap();
+        let t = infer(&e, &env, &mut subst)?;
+        Ok(subst.apply(&t).to_string())
+    }
+
+    #[test]
+    fn simple_expressions() {
+        assert_eq!(check("(+ 1 2)", &[]).unwrap(), "int");
+        assert_eq!(check("(< 1 2)", &[]).unwrap(), "bool");
+        assert_eq!(check("(cons 1 [])", &[]).unwrap(), "[int]");
+        assert_eq!(check("(if true 1 2)", &[]).unwrap(), "int");
+    }
+
+    #[test]
+    fn ill_typed_expressions_are_rejected() {
+        assert!(check("(+ 1 true)", &[]).is_err());
+        assert!(check("(if 1 2 3)", &[]).is_err());
+        assert!(check("(if true 1 false)", &[]).is_err());
+        assert!(check("(cons 1 [true])", &[]).is_err());
+        assert!(check("(car 5)", &[]).is_err());
+    }
+
+    #[test]
+    fn variables_need_declarations() {
+        assert!(matches!(check("x", &[]), Err(TypeError::Unbound(_))));
+        assert_eq!(check("x", &[("x", "int")]).unwrap(), "int");
+    }
+
+    #[test]
+    fn combinator_applications() {
+        assert_eq!(
+            check("(map (lambda (x) (* x x)) l)", &[("l", "[int]")]).unwrap(),
+            "[int]"
+        );
+        assert_eq!(
+            check("(filter (lambda (x) (empty? x)) l)", &[("l", "[[int]]")]).unwrap(),
+            "[[int]]"
+        );
+        assert_eq!(
+            check("(foldl (lambda (a x) (+ a x)) 0 l)", &[("l", "[int]")]).unwrap(),
+            "int"
+        );
+        assert_eq!(
+            check(
+                "(foldt (lambda (v rs) (foldl (lambda (a r) (+ a r)) v rs)) 0 t)",
+                &[("t", "(tree int)")]
+            )
+            .unwrap(),
+            "int"
+        );
+        assert_eq!(
+            check("(mapt (lambda (x) (= x 0)) t)", &[("t", "(tree int)")]).unwrap(),
+            "(tree bool)"
+        );
+        assert_eq!(
+            check(
+                "(recl (lambda (x xs r) (cons x r)) [] l)",
+                &[("l", "[int]")]
+            )
+            .unwrap(),
+            "[int]"
+        );
+    }
+
+    #[test]
+    fn combinator_misuse_is_rejected() {
+        // map's function must take the element type.
+        assert!(check("(map (lambda (x) (~ x)) l)", &[("l", "[int]")]).is_err());
+        // filter's predicate must return bool.
+        assert!(check("(filter (lambda (x) (+ x 1)) l)", &[("l", "[int]")]).is_err());
+        // fold over a tree is not a list fold.
+        assert!(check("(foldl (lambda (a x) a) 0 t)", &[("t", "(tree int)")]).is_err());
+    }
+
+    #[test]
+    fn holes_type_through_declarations() {
+        let env = TypeEnv::new()
+            .with_var(Symbol::intern("l"), parse_type("[int]").unwrap())
+            .with_hole(0, Type::fun(vec![Type::Int], Type::Int));
+        let mut subst = Subst::new();
+        let e = parse_expr("(map ?0 l)").unwrap();
+        let t = infer(&e, &env, &mut subst).unwrap();
+        assert_eq!(subst.apply(&t).to_string(), "[int]");
+
+        // Undeclared holes error out.
+        let e = parse_expr("?9").unwrap();
+        assert!(matches!(
+            infer(&e, &TypeEnv::new(), &mut subst),
+            Err(TypeError::UnboundHole(9))
+        ));
+    }
+
+    #[test]
+    fn pair_expressions_infer() {
+        assert_eq!(check("(pair 1 true)", &[]).unwrap(), "(pair int bool)");
+        assert_eq!(
+            check("(fst p)", &[("p", "(pair int [bool])")]).unwrap(),
+            "int"
+        );
+        assert_eq!(
+            check("(snd p)", &[("p", "(pair int [bool])")]).unwrap(),
+            "[bool]"
+        );
+        assert!(check("(fst 3)", &[]).is_err());
+        assert_eq!(
+            check("(map (lambda (x) (fst x)) l)", &[("l", "[(pair int bool)]")]).unwrap(),
+            "[int]"
+        );
+    }
+
+    #[test]
+    fn empty_list_literal_is_polymorphic() {
+        assert_eq!(check("(cons 1 [])", &[]).unwrap(), "[int]");
+        // Element type stays an (arbitrary-numbered) variable.
+        let t = check("(cons [] [])", &[]).unwrap();
+        assert!(t.starts_with("[[t") && t.ends_with("]]"), "{t}");
+    }
+
+    #[test]
+    fn nested_empty_literals_unify_with_context() {
+        assert_eq!(
+            check("(cat l [])", &[("l", "[[int]]")]).unwrap(),
+            "[[int]]"
+        );
+    }
+}

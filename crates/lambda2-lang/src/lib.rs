@@ -1,0 +1,55 @@
+//! # `lambda2-lang` — the λ² object language
+//!
+//! The functional object language of the λ² synthesizer (Feser, Chaudhuri,
+//! Dillig, PLDI 2015): integers, booleans, homogeneous lists and variadic
+//! trees; first-order operators; and the higher-order combinators
+//! `map`, `filter`, `foldl`, `foldr`, `recl`, `mapt`, `foldt`.
+//!
+//! The crate provides everything the synthesizer needs from its substrate:
+//!
+//! * [`value`] — runtime values (O(1) clone via structural sharing),
+//! * [`ast`] — immutable expressions with first-class holes,
+//! * [`ty`] / [`infer`] — types, unification, and inference,
+//! * [`eval`] — a fuelled evaluator with native combinator semantics,
+//! * [`parser`] / [`pretty`] — an s-expression front end whose printer and
+//!   parser are mutually inverse,
+//! * [`env`] — persistent environments shared between example rows.
+//!
+//! # Examples
+//!
+//! Evaluate `(map (lambda (x) (+ x 1)) l)` on `[1 2 3]`:
+//!
+//! ```
+//! use lambda2_lang::env::Env;
+//! use lambda2_lang::eval::eval_default;
+//! use lambda2_lang::parser::{parse_expr, parse_value};
+//! use lambda2_lang::symbol::Symbol;
+//!
+//! let expr = parse_expr("(map (lambda (x) (+ x 1)) l)")?;
+//! let env = Env::empty().bind(Symbol::intern("l"), parse_value("[1 2 3]")?);
+//! let out = eval_default(&expr, &env)?;
+//! assert_eq!(out, parse_value("[2 3 4]")?);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod combinators;
+pub mod env;
+pub mod error;
+pub mod eval;
+pub mod infer;
+pub mod ops;
+pub mod parser;
+pub mod pretty;
+pub mod symbol;
+pub mod ty;
+pub mod value;
+
+pub use ast::{Comb, Expr, HoleId, Op};
+pub use env::Env;
+pub use error::{EvalError, ParseError};
+pub use symbol::Symbol;
+pub use ty::Type;
+pub use value::{Tree, Value};

@@ -1,0 +1,115 @@
+//! Pretty-printing of expressions.
+//!
+//! The output is valid input for [`crate::parser::parse_expr`], so
+//! `parse ∘ pretty` is the identity on well-formed expressions (a property
+//! test in the synth crate checks this on random ASTs).
+
+use std::fmt::Write as _;
+
+use crate::ast::Expr;
+
+/// Renders an expression in the s-expression surface syntax.
+///
+/// # Examples
+///
+/// ```
+/// use lambda2_lang::parser::parse_expr;
+/// use lambda2_lang::pretty::pretty;
+/// let e = parse_expr("(map (lambda (x) (+ x 1)) l)").unwrap();
+/// assert_eq!(pretty(&e), "(map (lambda (x) (+ x 1)) l)");
+/// ```
+pub fn pretty(expr: &Expr) -> String {
+    let mut out = String::new();
+    write_expr(&mut out, expr);
+    out
+}
+
+fn write_expr(out: &mut String, expr: &Expr) {
+    match expr {
+        Expr::Lit(v) => {
+            let _ = write!(out, "{v}");
+        }
+        Expr::Var(x) => out.push_str(x.as_str()),
+        Expr::Comb(c) => out.push_str(c.name()),
+        Expr::Hole(h) => {
+            let _ = write!(out, "?{h}");
+        }
+        Expr::If(c, t, e) => {
+            out.push_str("(if ");
+            write_expr(out, c);
+            out.push(' ');
+            write_expr(out, t);
+            out.push(' ');
+            write_expr(out, e);
+            out.push(')');
+        }
+        Expr::Lambda(params, body) => {
+            out.push_str("(lambda (");
+            for (i, p) in params.iter().enumerate() {
+                if i > 0 {
+                    out.push(' ');
+                }
+                out.push_str(p.as_str());
+            }
+            out.push_str(") ");
+            write_expr(out, body);
+            out.push(')');
+        }
+        Expr::Op(op, args) => {
+            out.push('(');
+            out.push_str(op.name());
+            for a in args.iter() {
+                out.push(' ');
+                write_expr(out, a);
+            }
+            out.push(')');
+        }
+        Expr::App(f, args) => {
+            out.push('(');
+            write_expr(out, f);
+            for a in args.iter() {
+                out.push(' ');
+                write_expr(out, a);
+            }
+            out.push(')');
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{Comb, Op};
+    use crate::symbol::Symbol;
+    use crate::value::Value;
+
+    #[test]
+    fn holes_render_with_question_mark() {
+        let e = Expr::comb(Comb::Map, vec![Expr::Hole(7), Expr::var("l")]);
+        assert_eq!(pretty(&e), "(map ?7 l)");
+    }
+
+    #[test]
+    fn literals_render_as_values() {
+        assert_eq!(pretty(&Expr::Lit(Value::nil())), "[]");
+        assert_eq!(pretty(&Expr::int(-3)), "-3");
+        assert_eq!(pretty(&Expr::bool(true)), "true");
+    }
+
+    #[test]
+    fn nested_structure() {
+        let x = Symbol::intern("x");
+        let e = Expr::comb(
+            Comb::Foldr,
+            vec![
+                Expr::lambda(
+                    vec![x, Symbol::intern("a")],
+                    Expr::op(Op::Cons, vec![Expr::var("x"), Expr::var("a")]),
+                ),
+                Expr::Lit(Value::nil()),
+                Expr::var("l"),
+            ],
+        );
+        assert_eq!(pretty(&e), "(foldr (lambda (x a) (cons x a)) [] l)");
+    }
+}

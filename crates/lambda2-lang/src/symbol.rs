@@ -1,0 +1,138 @@
+//! Interned identifiers.
+//!
+//! The synthesizer manipulates millions of small expressions; identifiers are
+//! interned into `u32`-sized [`Symbol`]s so that variable lookup and
+//! expression hashing never touch string data. The interner is a global,
+//! append-only table: symbols are never freed, which is fine for a tool whose
+//! identifier population is tiny (input parameters plus a handful of
+//! generated lambda binders).
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Mutex, OnceLock};
+
+/// An interned identifier.
+///
+/// Two `Symbol`s are equal iff they were created from equal strings.
+/// `Symbol` is `Copy` and 4 bytes, so it can be embedded freely in AST nodes.
+///
+/// # Examples
+///
+/// ```
+/// use lambda2_lang::symbol::Symbol;
+/// let a = Symbol::intern("x");
+/// let b = Symbol::intern("x");
+/// assert_eq!(a, b);
+/// assert_eq!(a.as_str(), "x");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Symbol(u32);
+
+struct Interner {
+    names: Vec<&'static str>,
+    table: HashMap<&'static str, u32>,
+}
+
+fn interner() -> &'static Mutex<Interner> {
+    static INTERNER: OnceLock<Mutex<Interner>> = OnceLock::new();
+    INTERNER.get_or_init(|| {
+        Mutex::new(Interner {
+            names: Vec::new(),
+            table: HashMap::new(),
+        })
+    })
+}
+
+impl Symbol {
+    /// Interns `name`, returning its canonical [`Symbol`].
+    pub fn intern(name: &str) -> Symbol {
+        let mut int = interner().lock().expect("symbol interner poisoned");
+        if let Some(&id) = int.table.get(name) {
+            return Symbol(id);
+        }
+        let id = u32::try_from(int.names.len()).expect("interner overflow");
+        // Leaking is intentional: the identifier population of a synthesis
+        // session is small and symbols must live for the program's lifetime.
+        let leaked: &'static str = Box::leak(name.to_owned().into_boxed_str());
+        int.names.push(leaked);
+        int.table.insert(leaked, id);
+        Symbol(id)
+    }
+
+    /// Returns the string this symbol was interned from.
+    pub fn as_str(self) -> &'static str {
+        let int = interner().lock().expect("symbol interner poisoned");
+        int.names[self.0 as usize]
+    }
+
+    /// Returns a fresh symbol guaranteed not to collide with `taken`.
+    ///
+    /// Used by the synthesizer to generate lambda binders (`x0`, `x1`, …)
+    /// that do not shadow problem parameters.
+    pub fn fresh(prefix: &str, taken: &[Symbol]) -> Symbol {
+        for i in 0.. {
+            let cand = Symbol::intern(&format!("{prefix}{i}"));
+            if !taken.contains(&cand) {
+                return cand;
+            }
+        }
+        unreachable!("ran out of fresh symbols")
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Symbol({})", self.as_str())
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl From<&str> for Symbol {
+    fn from(s: &str) -> Symbol {
+        Symbol::intern(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let a = Symbol::intern("hello");
+        let b = Symbol::intern("hello");
+        let c = Symbol::intern("world");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.as_str(), "hello");
+        assert_eq!(c.as_str(), "world");
+    }
+
+    #[test]
+    fn display_matches_source() {
+        let s = Symbol::intern("acc");
+        assert_eq!(s.to_string(), "acc");
+        assert_eq!(format!("{s:?}"), "Symbol(acc)");
+    }
+
+    #[test]
+    fn fresh_avoids_taken() {
+        let taken = [Symbol::intern("v0"), Symbol::intern("v1")];
+        let f = Symbol::fresh("v", &taken);
+        assert!(!taken.contains(&f));
+        assert!(f.as_str().starts_with('v'));
+    }
+
+    #[test]
+    fn symbols_are_ordered_deterministically() {
+        let a = Symbol::intern("zeta-test-unique-a");
+        let b = Symbol::intern("zeta-test-unique-b");
+        // Interning order decides Ord, which is all determinism needs.
+        assert!(a < b || b < a);
+    }
+}

@@ -1,0 +1,407 @@
+//! Types and unification for the λ² object language.
+//!
+//! The type language is deliberately small: base types `int` and `bool`,
+//! the two recursive structures `[τ]` (lists) and `tree τ` (rose trees),
+//! first-order function types (functions are never curried in the object
+//! language — combinators apply them fully), and type variables used for
+//! unknowns such as the element type of an empty list.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::rc::Rc;
+
+/// A λ² object-language type.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub enum Type {
+    /// 64-bit integers.
+    Int,
+    /// Booleans.
+    Bool,
+    /// Homogeneous lists `[τ]`.
+    List(Rc<Type>),
+    /// Rose trees `tree τ`.
+    Tree(Rc<Type>),
+    /// Ordered pairs `(pair τ1 τ2)`.
+    Pair(Rc<Type>, Rc<Type>),
+    /// Uncurried function types `(τ1, …, τn) → τ`.
+    Fun(Rc<[Type]>, Rc<Type>),
+    /// A unification variable.
+    Var(u32),
+}
+
+impl Type {
+    /// Builds `[elem]`.
+    pub fn list(elem: Type) -> Type {
+        Type::List(Rc::new(elem))
+    }
+
+    /// Builds `tree elem`.
+    pub fn tree(elem: Type) -> Type {
+        Type::Tree(Rc::new(elem))
+    }
+
+    /// Builds `(pair first second)`.
+    pub fn pair(first: Type, second: Type) -> Type {
+        Type::Pair(Rc::new(first), Rc::new(second))
+    }
+
+    /// Builds `(params…) → ret`.
+    pub fn fun(params: Vec<Type>, ret: Type) -> Type {
+        Type::Fun(params.into(), Rc::new(ret))
+    }
+
+    /// `true` if the type mentions no type variables.
+    pub fn is_ground(&self) -> bool {
+        match self {
+            Type::Int | Type::Bool => true,
+            Type::List(t) | Type::Tree(t) => t.is_ground(),
+            Type::Pair(a, b) => a.is_ground() && b.is_ground(),
+            Type::Fun(ps, r) => ps.iter().all(Type::is_ground) && r.is_ground(),
+            Type::Var(_) => false,
+        }
+    }
+
+    /// `true` if the type is first-order (contains no function type).
+    pub fn is_first_order(&self) -> bool {
+        match self {
+            Type::Int | Type::Bool | Type::Var(_) => true,
+            Type::List(t) | Type::Tree(t) => t.is_first_order(),
+            Type::Pair(a, b) => a.is_first_order() && b.is_first_order(),
+            Type::Fun(..) => false,
+        }
+    }
+
+    /// Collects the free type variables into `out` (in first-occurrence order).
+    pub fn vars(&self, out: &mut Vec<u32>) {
+        match self {
+            Type::Int | Type::Bool => {}
+            Type::List(t) | Type::Tree(t) => t.vars(out),
+            Type::Pair(a, b) => {
+                a.vars(out);
+                b.vars(out);
+            }
+            Type::Fun(ps, r) => {
+                for p in ps.iter() {
+                    p.vars(out);
+                }
+                r.vars(out);
+            }
+            Type::Var(v) => {
+                if !out.contains(v) {
+                    out.push(*v);
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Type::Int => write!(f, "int"),
+            Type::Bool => write!(f, "bool"),
+            Type::List(t) => write!(f, "[{t}]"),
+            Type::Tree(t) => write!(f, "(tree {t})"),
+            Type::Pair(a, b) => write!(f, "(pair {a} {b})"),
+            Type::Fun(ps, r) => {
+                write!(f, "(")?;
+                for (i, p) in ps.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                write!(f, ") -> {r}")
+            }
+            Type::Var(v) => write!(f, "t{v}"),
+        }
+    }
+}
+
+impl fmt::Debug for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+/// A substitution from type variables to types, with union-find-free
+/// path-following resolution (substitutions are tiny in practice).
+///
+/// # Examples
+///
+/// ```
+/// use lambda2_lang::ty::{Subst, Type};
+/// let mut s = Subst::new();
+/// let a = s.fresh();
+/// s.unify(&Type::list(a.clone()), &Type::list(Type::Int)).unwrap();
+/// assert_eq!(s.apply(&a), Type::Int);
+/// ```
+#[derive(Clone, Default)]
+pub struct Subst {
+    map: HashMap<u32, Type>,
+    next_var: u32,
+}
+
+/// Error returned when two types cannot be unified.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnifyError {
+    /// The first type (after substitution) at the point of mismatch.
+    pub left: Type,
+    /// The second type (after substitution) at the point of mismatch.
+    pub right: Type,
+}
+
+impl fmt::Display for UnifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cannot unify `{}` with `{}`", self.left, self.right)
+    }
+}
+
+impl std::error::Error for UnifyError {}
+
+impl Subst {
+    /// Creates an empty substitution.
+    pub fn new() -> Subst {
+        Subst::default()
+    }
+
+    /// Returns a fresh type variable unused by this substitution.
+    pub fn fresh(&mut self) -> Type {
+        let v = self.next_var;
+        self.next_var += 1;
+        Type::Var(v)
+    }
+
+    /// Ensures future [`Subst::fresh`] calls do not collide with any
+    /// variable occurring in `ty`.
+    pub fn reserve(&mut self, ty: &Type) {
+        let mut vs = Vec::new();
+        ty.vars(&mut vs);
+        for v in vs {
+            self.next_var = self.next_var.max(v + 1);
+        }
+    }
+
+    fn resolve(&self, ty: &Type) -> Type {
+        let mut t = ty.clone();
+        while let Type::Var(v) = t {
+            match self.map.get(&v) {
+                Some(next) => t = next.clone(),
+                None => break,
+            }
+        }
+        t
+    }
+
+    /// Fully applies the substitution to `ty`.
+    pub fn apply(&self, ty: &Type) -> Type {
+        let t = self.resolve(ty);
+        match t {
+            Type::Int | Type::Bool | Type::Var(_) => t,
+            Type::List(e) => Type::list(self.apply(&e)),
+            Type::Tree(e) => Type::tree(self.apply(&e)),
+            Type::Pair(a, b) => Type::pair(self.apply(&a), self.apply(&b)),
+            Type::Fun(ps, r) => Type::fun(ps.iter().map(|p| self.apply(p)).collect(), self.apply(&r)),
+        }
+    }
+
+    fn occurs(&self, v: u32, ty: &Type) -> bool {
+        match self.resolve(ty) {
+            Type::Var(w) => w == v,
+            Type::Int | Type::Bool => false,
+            Type::List(e) | Type::Tree(e) => self.occurs(v, &e),
+            Type::Pair(a, b) => self.occurs(v, &a) || self.occurs(v, &b),
+            Type::Fun(ps, r) => ps.iter().any(|p| self.occurs(v, p)) || self.occurs(v, &r),
+        }
+    }
+
+    /// Unifies `a` with `b`, extending the substitution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnifyError`] if the types clash or the occurs check fails;
+    /// the substitution may be partially extended on failure, so callers
+    /// that need transactionality should clone first (hypothesis expansion
+    /// does exactly this).
+    pub fn unify(&mut self, a: &Type, b: &Type) -> Result<(), UnifyError> {
+        let ra = self.resolve(a);
+        let rb = self.resolve(b);
+        match (&ra, &rb) {
+            (Type::Var(v), Type::Var(w)) if v == w => Ok(()),
+            (Type::Var(v), _) => {
+                if self.occurs(*v, &rb) {
+                    Err(UnifyError { left: ra, right: rb })
+                } else {
+                    self.map.insert(*v, rb);
+                    Ok(())
+                }
+            }
+            (_, Type::Var(w)) => {
+                if self.occurs(*w, &ra) {
+                    Err(UnifyError { left: ra, right: rb })
+                } else {
+                    self.map.insert(*w, ra);
+                    Ok(())
+                }
+            }
+            (Type::Int, Type::Int) | (Type::Bool, Type::Bool) => Ok(()),
+            (Type::List(x), Type::List(y)) | (Type::Tree(x), Type::Tree(y)) => self.unify(x, y),
+            (Type::Pair(a1, b1), Type::Pair(a2, b2)) => {
+                let (a1, b1) = (a1.clone(), b1.clone());
+                let (a2, b2) = (a2.clone(), b2.clone());
+                self.unify(&a1, &a2)?;
+                self.unify(&b1, &b2)
+            }
+            (Type::Fun(ps, r), Type::Fun(qs, s)) => {
+                if ps.len() != qs.len() {
+                    return Err(UnifyError { left: ra.clone(), right: rb.clone() });
+                }
+                let (ps, r) = (ps.clone(), r.clone());
+                let (qs, s) = (qs.clone(), s.clone());
+                for (p, q) in ps.iter().zip(qs.iter()) {
+                    self.unify(p, q)?;
+                }
+                self.unify(&r, &s)
+            }
+            _ => Err(UnifyError { left: ra, right: rb }),
+        }
+    }
+
+    /// Instantiates a type scheme: replaces every variable in `ty` with a
+    /// fresh variable (consistently). Used when drawing a polymorphic
+    /// operator type from the component library.
+    pub fn instantiate(&mut self, ty: &Type) -> Type {
+        // Never hand out the scheme's own variable ids as "fresh": a caller
+        // mixing scheme types with its own would silently alias them.
+        self.reserve(ty);
+        let mut vs = Vec::new();
+        ty.vars(&mut vs);
+        let mapping: HashMap<u32, Type> = vs.into_iter().map(|v| (v, self.fresh())).collect();
+        fn go(ty: &Type, m: &HashMap<u32, Type>) -> Type {
+            match ty {
+                Type::Int | Type::Bool => ty.clone(),
+                Type::List(e) => Type::list(go(e, m)),
+                Type::Tree(e) => Type::tree(go(e, m)),
+                Type::Pair(a, b) => Type::pair(go(a, m), go(b, m)),
+                Type::Fun(ps, r) => Type::fun(ps.iter().map(|p| go(p, m)).collect(), go(r, m)),
+                Type::Var(v) => m[v].clone(),
+            }
+        }
+        go(ty, &mapping)
+    }
+}
+
+impl fmt::Debug for Subst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut entries: Vec<_> = self.map.iter().collect();
+        entries.sort_by_key(|(v, _)| **v);
+        f.debug_map().entries(entries.iter().map(|(v, t)| (format!("t{v}"), t))).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unify_ground_types() {
+        let mut s = Subst::new();
+        assert!(s.unify(&Type::Int, &Type::Int).is_ok());
+        assert!(s.unify(&Type::Int, &Type::Bool).is_err());
+        assert!(s
+            .unify(&Type::list(Type::Int), &Type::list(Type::Int))
+            .is_ok());
+        assert!(s
+            .unify(&Type::list(Type::Int), &Type::tree(Type::Int))
+            .is_err());
+    }
+
+    #[test]
+    fn unify_binds_variables_transitively() {
+        let mut s = Subst::new();
+        let a = s.fresh();
+        let b = s.fresh();
+        s.unify(&a, &b).unwrap();
+        s.unify(&b, &Type::Bool).unwrap();
+        assert_eq!(s.apply(&a), Type::Bool);
+    }
+
+    #[test]
+    fn occurs_check_rejects_infinite_types() {
+        let mut s = Subst::new();
+        let a = s.fresh();
+        let err = s.unify(&a, &Type::list(a.clone()));
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn unify_pair_types() {
+        let mut s = Subst::new();
+        let a = s.fresh();
+        let b = s.fresh();
+        s.unify(
+            &Type::pair(a.clone(), b.clone()),
+            &Type::pair(Type::Int, Type::list(Type::Bool)),
+        )
+        .unwrap();
+        assert_eq!(s.apply(&a), Type::Int);
+        assert_eq!(s.apply(&b), Type::list(Type::Bool));
+        assert!(s
+            .unify(&Type::pair(Type::Int, Type::Int), &Type::Int)
+            .is_err());
+    }
+
+    #[test]
+    fn unify_function_types() {
+        let mut s = Subst::new();
+        let a = s.fresh();
+        let f1 = Type::fun(vec![Type::Int, a.clone()], a.clone());
+        let f2 = Type::fun(vec![Type::Int, Type::Bool], Type::Bool);
+        s.unify(&f1, &f2).unwrap();
+        assert_eq!(s.apply(&a), Type::Bool);
+
+        let wrong_arity = Type::fun(vec![Type::Int], Type::Bool);
+        assert!(s.unify(&f1, &wrong_arity).is_err());
+    }
+
+    #[test]
+    fn instantiate_renames_consistently() {
+        let mut s = Subst::new();
+        let scheme = Type::fun(vec![Type::Var(0), Type::Var(0)], Type::Var(1));
+        let inst = s.instantiate(&scheme);
+        match inst {
+            Type::Fun(ps, r) => {
+                assert_eq!(ps[0], ps[1]);
+                assert_ne!(ps[0], *r);
+                assert_ne!(ps[0], Type::Var(0)); // fresh, not the scheme var
+            }
+            other => panic!("expected function type, got {other}"),
+        }
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Type::list(Type::Int).to_string(), "[int]");
+        assert_eq!(Type::tree(Type::Bool).to_string(), "(tree bool)");
+        assert_eq!(
+            Type::fun(vec![Type::Int, Type::Int], Type::Bool).to_string(),
+            "(int int) -> bool"
+        );
+    }
+
+    #[test]
+    fn reserve_prevents_collisions() {
+        let mut s = Subst::new();
+        s.reserve(&Type::list(Type::Var(7)));
+        let f = s.fresh();
+        assert_eq!(f, Type::Var(8));
+    }
+
+    #[test]
+    fn is_ground_and_first_order() {
+        assert!(Type::list(Type::Int).is_ground());
+        assert!(!Type::list(Type::Var(0)).is_ground());
+        assert!(Type::tree(Type::Int).is_first_order());
+        assert!(!Type::fun(vec![Type::Int], Type::Int).is_first_order());
+    }
+}

@@ -1,0 +1,482 @@
+//! Runtime values of the λ² object language.
+//!
+//! The language is first-order at its example boundary: problem inputs and
+//! outputs are integers, booleans, homogeneous lists, and variadic ("rose")
+//! trees, nested arbitrarily. Functions ([`Value::Closure`]) and first-class
+//! combinator references ([`Value::Comb`]) only occur transiently during
+//! evaluation of higher-order combinators.
+
+use std::fmt;
+use std::rc::Rc;
+
+use crate::ast::{Comb, Expr};
+use crate::env::Env;
+use crate::symbol::Symbol;
+use crate::ty::Type;
+
+/// A runtime value.
+///
+/// Lists and trees share their spines via [`Rc`], so cloning a value is O(1);
+/// this matters because deduction rules decompose example values heavily.
+#[derive(Clone)]
+pub enum Value {
+    /// A 64-bit integer.
+    Int(i64),
+    /// A boolean.
+    Bool(bool),
+    /// A homogeneous list.
+    List(Rc<Vec<Value>>),
+    /// A variadic tree (possibly empty).
+    Tree(Tree),
+    /// An ordered pair.
+    Pair(Rc<(Value, Value)>),
+    /// A lambda closed over an environment. Never appears in examples.
+    Closure(Rc<Closure>),
+    /// A first-class reference to a built-in combinator.
+    Comb(Comb),
+}
+
+/// A lambda value: parameters, body, and captured environment.
+pub struct Closure {
+    /// Binder names, in order.
+    pub params: Rc<[Symbol]>,
+    /// The function body.
+    pub body: Rc<Expr>,
+    /// The captured environment.
+    pub env: Env,
+}
+
+/// A variadic ("rose") tree: either empty (`{}`) or a node `{v, c1 … cn}`
+/// carrying a value and zero or more child trees.
+///
+/// # Examples
+///
+/// ```
+/// use lambda2_lang::value::{Tree, Value};
+/// let leaf = Tree::node(Value::Int(2), vec![]);
+/// let t = Tree::node(Value::Int(1), vec![leaf.clone(), leaf]);
+/// assert_eq!(t.size(), 3);
+/// assert_eq!(t.to_string(), "{1 {2} {2}}");
+/// ```
+#[derive(Clone)]
+pub struct Tree(Option<Rc<TreeNode>>);
+
+/// An interior node of a [`Tree`].
+pub struct TreeNode {
+    /// The value stored at this node.
+    pub value: Value,
+    /// The node's children, left to right.
+    pub children: Vec<Tree>,
+}
+
+impl Tree {
+    /// The empty tree `{}`.
+    pub fn empty() -> Tree {
+        Tree(None)
+    }
+
+    /// Builds a node `{value, children…}`.
+    pub fn node(value: Value, children: Vec<Tree>) -> Tree {
+        Tree(Some(Rc::new(TreeNode { value, children })))
+    }
+
+    /// Returns `true` for the empty tree.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_none()
+    }
+
+    /// Returns the root node, or `None` for the empty tree.
+    pub fn root(&self) -> Option<&TreeNode> {
+        self.0.as_deref()
+    }
+
+    /// Number of nodes in the tree.
+    pub fn size(&self) -> usize {
+        match self.root() {
+            None => 0,
+            Some(n) => 1 + n.children.iter().map(Tree::size).sum::<usize>(),
+        }
+    }
+
+    /// Height of the tree (empty tree has height 0, a leaf height 1).
+    pub fn height(&self) -> usize {
+        match self.root() {
+            None => 0,
+            Some(n) => 1 + n.children.iter().map(Tree::height).max().unwrap_or(0),
+        }
+    }
+
+    /// Returns `true` if `self` and `other` have identical shape
+    /// (ignoring node values). Used by the `mapt` deduction rule.
+    pub fn same_shape(&self, other: &Tree) -> bool {
+        match (self.root(), other.root()) {
+            (None, None) => true,
+            (Some(a), Some(b)) => {
+                a.children.len() == b.children.len()
+                    && a.children
+                        .iter()
+                        .zip(&b.children)
+                        .all(|(x, y)| x.same_shape(y))
+            }
+            _ => false,
+        }
+    }
+
+    /// Pre-order iterator over node values.
+    pub fn values(&self) -> Vec<&Value> {
+        let mut out = Vec::with_capacity(self.size());
+        fn go<'a>(t: &'a Tree, out: &mut Vec<&'a Value>) {
+            if let Some(n) = t.root() {
+                out.push(&n.value);
+                for c in &n.children {
+                    go(c, out);
+                }
+            }
+        }
+        go(self, &mut out);
+        out
+    }
+}
+
+impl Value {
+    /// Convenience constructor for list values.
+    pub fn list(items: Vec<Value>) -> Value {
+        Value::List(Rc::new(items))
+    }
+
+    /// The empty list `[]`.
+    pub fn nil() -> Value {
+        Value::list(Vec::new())
+    }
+
+    /// Returns the contained integer, if this is an `Int`.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Returns the contained boolean, if this is a `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Returns the contained list, if this is a `List`.
+    pub fn as_list(&self) -> Option<&[Value]> {
+        match self {
+            Value::List(xs) => Some(xs),
+            _ => None,
+        }
+    }
+
+    /// Returns the contained tree, if this is a `Tree`.
+    pub fn as_tree(&self) -> Option<&Tree> {
+        match self {
+            Value::Tree(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// Convenience constructor for pair values.
+    pub fn pair(first: Value, second: Value) -> Value {
+        Value::Pair(Rc::new((first, second)))
+    }
+
+    /// Returns the components, if this is a `Pair`.
+    pub fn as_pair(&self) -> Option<(&Value, &Value)> {
+        match self {
+            Value::Pair(p) => Some((&p.0, &p.1)),
+            _ => None,
+        }
+    }
+
+    /// `true` if the value contains no closures or combinator references,
+    /// i.e. it could appear in an input-output example.
+    pub fn is_first_order(&self) -> bool {
+        match self {
+            Value::Int(_) | Value::Bool(_) => true,
+            Value::List(xs) => xs.iter().all(Value::is_first_order),
+            Value::Tree(t) => t
+                .values()
+                .into_iter()
+                .all(Value::is_first_order),
+            Value::Pair(p) => p.0.is_first_order() && p.1.is_first_order(),
+            Value::Closure(_) | Value::Comb(_) => false,
+        }
+    }
+
+    /// Infers the runtime type of a first-order value.
+    ///
+    /// Empty lists and trees produce fresh-variable element types via
+    /// `fresh`, since their element type is unconstrained.
+    pub fn type_of(&self, fresh: &mut dyn FnMut() -> Type) -> Type {
+        match self {
+            Value::Int(_) => Type::Int,
+            Value::Bool(_) => Type::Bool,
+            Value::List(xs) => match xs.first() {
+                Some(x) => Type::list(x.type_of(fresh)),
+                None => Type::list(fresh()),
+            },
+            Value::Tree(t) => match t.root() {
+                Some(n) => Type::tree(n.value.type_of(fresh)),
+                None => Type::tree(fresh()),
+            },
+            Value::Pair(p) => Type::pair(p.0.type_of(fresh), p.1.type_of(fresh)),
+            Value::Closure(_) | Value::Comb(_) => fresh(),
+        }
+    }
+
+    /// Structural size of the value (number of scalar constituents).
+    /// Used by workload generators and statistics.
+    pub fn size(&self) -> usize {
+        match self {
+            Value::Int(_) | Value::Bool(_) => 1,
+            Value::List(xs) => 1 + xs.iter().map(Value::size).sum::<usize>(),
+            Value::Tree(t) => 1 + t.values().iter().map(|v| v.size()).sum::<usize>(),
+            Value::Pair(p) => 1 + p.0.size() + p.1.size(),
+            Value::Closure(_) | Value::Comb(_) => 1,
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Value) -> bool {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => a == b,
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            (Value::List(a), Value::List(b)) => a == b,
+            (Value::Tree(a), Value::Tree(b)) => a == b,
+            (Value::Pair(a), Value::Pair(b)) => a.0 == b.0 && a.1 == b.1,
+            // Closures compare by identity: good enough for the synthesizer,
+            // which never compares higher-order values structurally.
+            (Value::Closure(a), Value::Closure(b)) => Rc::ptr_eq(a, b),
+            (Value::Comb(a), Value::Comb(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl Eq for Value {}
+
+impl std::hash::Hash for Value {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Int(n) => {
+                state.write_u8(0);
+                n.hash(state);
+            }
+            Value::Bool(b) => {
+                state.write_u8(1);
+                b.hash(state);
+            }
+            Value::List(xs) => {
+                state.write_u8(2);
+                state.write_usize(xs.len());
+                for x in xs.iter() {
+                    x.hash(state);
+                }
+            }
+            Value::Tree(t) => {
+                state.write_u8(3);
+                t.hash(state);
+            }
+            Value::Pair(p) => {
+                state.write_u8(6);
+                p.0.hash(state);
+                p.1.hash(state);
+            }
+            Value::Closure(c) => {
+                state.write_u8(4);
+                state.write_usize(Rc::as_ptr(c) as usize);
+            }
+            Value::Comb(c) => {
+                state.write_u8(5);
+                (*c as u8).hash(state);
+            }
+        }
+    }
+}
+
+impl PartialEq for Tree {
+    fn eq(&self, other: &Tree) -> bool {
+        match (self.root(), other.root()) {
+            (None, None) => true,
+            (Some(a), Some(b)) => {
+                a.value == b.value
+                    && a.children.len() == b.children.len()
+                    && a.children.iter().zip(&b.children).all(|(x, y)| x == y)
+            }
+            _ => false,
+        }
+    }
+}
+
+impl Eq for Tree {}
+
+impl std::hash::Hash for Tree {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        match self.root() {
+            None => state.write_u8(0),
+            Some(n) => {
+                state.write_u8(1);
+                n.value.hash(state);
+                state.write_usize(n.children.len());
+                for c in &n.children {
+                    c.hash(state);
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(n) => write!(f, "{n}"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::List(xs) => {
+                write!(f, "[")?;
+                for (i, x) in xs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ")?;
+                    }
+                    write!(f, "{x}")?;
+                }
+                write!(f, "]")
+            }
+            Value::Tree(t) => write!(f, "{t}"),
+            Value::Pair(p) => write!(f, "(pair {} {})", p.0, p.1),
+            Value::Closure(_) => write!(f, "<closure>"),
+            Value::Comb(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+impl fmt::Display for Tree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.root() {
+            None => write!(f, "{{}}"),
+            Some(n) => {
+                write!(f, "{{{}", n.value)?;
+                for c in &n.children {
+                    write!(f, " {c}")?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Debug for Tree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(n: i64) -> Value {
+        Value::Int(n)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Value {
+        Value::Bool(b)
+    }
+}
+
+impl FromIterator<Value> for Value {
+    fn from_iter<I: IntoIterator<Item = Value>>(iter: I) -> Value {
+        Value::list(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ints(ns: &[i64]) -> Value {
+        ns.iter().copied().map(Value::Int).collect()
+    }
+
+    #[test]
+    fn display_round_trips_shapes() {
+        assert_eq!(ints(&[1, 2, 3]).to_string(), "[1 2 3]");
+        assert_eq!(Value::nil().to_string(), "[]");
+        let t = Tree::node(
+            Value::Int(1),
+            vec![Tree::node(Value::Int(2), vec![]), Tree::empty()],
+        );
+        assert_eq!(Value::Tree(t).to_string(), "{1 {2} {}}");
+    }
+
+    #[test]
+    fn equality_is_structural() {
+        assert_eq!(ints(&[1, 2]), ints(&[1, 2]));
+        assert_ne!(ints(&[1, 2]), ints(&[2, 1]));
+        assert_ne!(Value::Int(1), Value::Bool(true));
+        let a = Tree::node(Value::Int(5), vec![Tree::empty()]);
+        let b = Tree::node(Value::Int(5), vec![Tree::empty()]);
+        assert_eq!(Value::Tree(a), Value::Tree(b));
+    }
+
+    #[test]
+    fn tree_metrics() {
+        let leaf = |n| Tree::node(Value::Int(n), vec![]);
+        let t = Tree::node(Value::Int(0), vec![leaf(1), Tree::node(Value::Int(2), vec![leaf(3)])]);
+        assert_eq!(t.size(), 4);
+        assert_eq!(t.height(), 3);
+        assert_eq!(Tree::empty().size(), 0);
+        assert_eq!(Tree::empty().height(), 0);
+        assert_eq!(
+            t.values().iter().map(|v| v.as_int().unwrap()).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3]
+        );
+    }
+
+    #[test]
+    fn same_shape_ignores_values() {
+        let a = Tree::node(Value::Int(1), vec![Tree::node(Value::Int(2), vec![])]);
+        let b = Tree::node(Value::Int(9), vec![Tree::node(Value::Int(8), vec![])]);
+        let c = Tree::node(Value::Int(1), vec![]);
+        assert!(a.same_shape(&b));
+        assert!(!a.same_shape(&c));
+        assert!(Tree::empty().same_shape(&Tree::empty()));
+        assert!(!Tree::empty().same_shape(&c));
+    }
+
+    #[test]
+    fn type_of_first_order_values() {
+        let mut fresh = || Type::Var(99);
+        assert_eq!(ints(&[1]).type_of(&mut fresh), Type::list(Type::Int));
+        assert_eq!(Value::nil().type_of(&mut fresh), Type::list(Type::Var(99)));
+        assert_eq!(Value::Bool(true).type_of(&mut fresh), Type::Bool);
+        let t = Value::Tree(Tree::node(Value::Bool(false), vec![]));
+        assert_eq!(t.type_of(&mut fresh), Type::tree(Type::Bool));
+    }
+
+    #[test]
+    fn is_first_order() {
+        assert!(ints(&[1, 2]).is_first_order());
+        assert!(Value::Tree(Tree::empty()).is_first_order());
+        assert!(!Value::Comb(Comb::Map).is_first_order());
+    }
+
+    #[test]
+    fn value_size() {
+        assert_eq!(Value::Int(3).size(), 1);
+        assert_eq!(ints(&[1, 2, 3]).size(), 4);
+        let nested = Value::list(vec![ints(&[1]), ints(&[])]);
+        assert_eq!(nested.size(), 4);
+    }
+}

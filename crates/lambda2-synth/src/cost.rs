@@ -1,0 +1,118 @@
+//! The cost model.
+//!
+//! λ²'s central guarantee is that the synthesized program is the *simplest*
+//! program in the language fitting the examples, where simplicity is the
+//! total cost of the AST under this model. Search explores hypotheses in
+//! cost order using an admissible lower bound (every hole is counted at the
+//! minimum cost of any expression, [`CostModel::hole_min`]), so the first
+//! verified complete program is cost-minimal.
+
+use lambda2_lang::ast::{Comb, Expr, Op};
+
+/// Per-construct costs. All costs are strictly positive.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CostModel {
+    /// Cost of a variable reference.
+    pub var: u32,
+    /// Cost of a literal constant.
+    pub lit: u32,
+    /// Cost of a first-order operator node (the node, not its arguments).
+    pub op: u32,
+    /// Cost of an `if` node.
+    pub if_: u32,
+    /// Cost of a lambda node.
+    pub lambda: u32,
+    /// Cost of a combinator node. Pricier than first-order operators so
+    /// that first-order solutions are preferred when both exist.
+    pub comb: u32,
+}
+
+impl Default for CostModel {
+    fn default() -> CostModel {
+        CostModel {
+            var: 1,
+            lit: 1,
+            op: 1,
+            if_: 1,
+            lambda: 1,
+            comb: 4,
+        }
+    }
+}
+
+impl CostModel {
+    /// The minimum cost of any completion of a hole: the cheapest leaf.
+    pub fn hole_min(&self) -> u32 {
+        self.var.min(self.lit)
+    }
+
+    /// Cost of a single operator application node.
+    pub fn op_cost(&self, _op: Op) -> u32 {
+        self.op
+    }
+
+    /// Cost of a single combinator node.
+    pub fn comb_cost(&self, _comb: Comb) -> u32 {
+        self.comb
+    }
+
+    /// Total cost of an expression; holes are priced at [`CostModel::hole_min`],
+    /// making this an admissible lower bound for hypotheses and the exact
+    /// cost for complete programs.
+    pub fn cost(&self, expr: &Expr) -> u32 {
+        match expr {
+            Expr::Lit(_) => self.lit,
+            Expr::Var(_) => self.var,
+            Expr::Hole(_) => self.hole_min(),
+            Expr::Comb(c) => self.comb_cost(*c),
+            Expr::If(c, t, e) => self.if_ + self.cost(c) + self.cost(t) + self.cost(e),
+            Expr::Lambda(_, b) => self.lambda + self.cost(b),
+            Expr::App(f, args) => {
+                self.cost(f) + args.iter().map(|a| self.cost(a)).sum::<u32>()
+            }
+            Expr::Op(op, args) => {
+                self.op_cost(*op) + args.iter().map(|a| self.cost(a)).sum::<u32>()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lambda2_lang::parser::parse_expr;
+
+    fn cost(src: &str) -> u32 {
+        CostModel::default().cost(&parse_expr(src).unwrap())
+    }
+
+    #[test]
+    fn leaves() {
+        assert_eq!(cost("x"), 1);
+        assert_eq!(cost("42"), 1);
+        assert_eq!(cost("[]"), 1);
+    }
+
+    #[test]
+    fn compound_expressions_sum() {
+        assert_eq!(cost("(+ x 1)"), 3);
+        assert_eq!(cost("(if (empty? l) 0 1)"), 1 + 2 + 1 + 1);
+        // map node (4) + lambda (1) + body (3) + l (1)
+        assert_eq!(cost("(map (lambda (x) (+ x 1)) l)"), 4 + 1 + 3 + 1);
+    }
+
+    #[test]
+    fn holes_use_admissible_minimum() {
+        let m = CostModel::default();
+        assert_eq!(m.hole_min(), 1);
+        assert_eq!(cost("(map ?0 l)"), 4 + 1 + 1);
+        // A hole is never cheaper than its cheapest completion.
+        assert!(cost("(map ?0 l)") <= cost("(map (lambda (x) x) l)"));
+    }
+
+    #[test]
+    fn combinators_cost_more_than_operators() {
+        let m = CostModel::default();
+        assert!(m.comb_cost(Comb::Map) > m.op_cost(Op::Add));
+    }
+}

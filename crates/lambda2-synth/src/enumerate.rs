@@ -1,0 +1,1071 @@
+//! Bottom-up term enumeration with observational-equivalence pruning.
+//!
+//! Holes that are not expanded with a combinator are *closed* with
+//! combinator-free expressions (variables, constants, operators, `if`).
+//! Terms are generated bottom-up in strict cost order and evaluated
+//! compositionally on the hole's example environments; two terms with
+//! identical output vectors ("signatures") are interchangeable for this
+//! hole, so only the cheapest representative is kept. This is the
+//! enumerative-search leg of the paper's algorithm.
+//!
+//! The same store also supplies *collection candidates* (list- or
+//! tree-typed terms such as `l`, `(cdr l)`, `(children t)`) for combinator
+//! expansion, so their per-row values are computed once and reused by every
+//! deduction rule.
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use lambda2_lang::ast::Expr;
+use lambda2_lang::env::Env;
+use lambda2_lang::error::EvalError;
+use lambda2_lang::symbol::Symbol;
+use lambda2_lang::ty::{Subst, Type};
+use lambda2_lang::value::Value;
+
+use crate::library::Library;
+use crate::spec::Spec;
+
+/// A term's outputs on each example environment.
+pub type Signature = Vec<Result<Value, EvalError>>;
+
+/// Key identifying an enumeration context: the variables in scope (with
+/// types) and the example environments. Two holes with equal keys see
+/// exactly the same term universe, so stores are cached on this key.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct StoreKey {
+    scope: Vec<(Symbol, String)>,
+    envs: Vec<Vec<(Symbol, Value)>>,
+    probes: Vec<Vec<(Symbol, Value)>>,
+}
+
+impl StoreKey {
+    /// Builds the key for a scope and the environments of a spec.
+    pub fn new(scope: &[(Symbol, Type)], spec: &Spec) -> StoreKey {
+        StoreKey::with_probes(scope, spec, &[])
+    }
+
+    /// Like [`StoreKey::new`], additionally keyed on trace-probe
+    /// environments (see [`crate::deduce::Deduction::probes`]).
+    pub fn with_probes(scope: &[(Symbol, Type)], spec: &Spec, probes: &[Env]) -> StoreKey {
+        StoreKey {
+            scope: scope
+                .iter()
+                .map(|(s, t)| (*s, canonical(t).to_string()))
+                .collect(),
+            envs: spec.envs().map(Env::fingerprint).collect(),
+            probes: probes.iter().map(Env::fingerprint).collect(),
+        }
+    }
+}
+
+/// Hard limits guarding against blow-up when observational equivalence is
+/// unavailable (empty-spec holes in the no-deduction ablation).
+#[derive(Clone, Copy, Debug)]
+pub struct EnumLimits {
+    /// Maximum number of terms kept per cost level.
+    pub max_level_terms: usize,
+    /// Maximum number of terms kept in the whole store.
+    pub max_terms: usize,
+    /// Evaluate terms on synthetic perturbation probes (see
+    /// [`TermStore::with_probes`]). Disabling is an ablation knob.
+    pub synthetic_probes: bool,
+}
+
+impl Default for EnumLimits {
+    /// Loose safety valves: memory across stores is governed globally by
+    /// the search's byte budget (LRU store eviction), so per-store caps
+    /// only guard against single-context blow-ups.
+    fn default() -> EnumLimits {
+        EnumLimits {
+            max_level_terms: 150_000,
+            max_terms: 1_500_000,
+            synthetic_probes: true,
+        }
+    }
+}
+
+/// An enumerated term: expression, type, signature, and cost.
+#[derive(Clone, Debug)]
+pub struct TermEntry {
+    /// The expression (combinator-free, lambda-free).
+    pub expr: Rc<Expr>,
+    /// Its (canonicalized) type; may contain variables for empty containers.
+    pub ty: Type,
+    /// Its outputs per example environment (empty when there are none).
+    pub sig: Signature,
+    /// Its exact cost.
+    pub cost: u32,
+}
+
+/// A cost-stratified store of enumerated terms for one context.
+#[derive(Debug)]
+pub struct TermStore {
+    scope: Vec<(Symbol, Type)>,
+    envs: Vec<Env>,
+    /// Number of leading entries of `envs` that are real spec rows; the
+    /// rest are dedup probes. Closing checks and argument values use only
+    /// the row part.
+    n_rows: usize,
+    terms: Vec<TermEntry>,
+    levels: Vec<Vec<usize>>, // levels[k] = indices of terms with cost k
+    // Observational-equivalence index: hash of (type, signature) -> term
+    // indices with that hash (collisions resolved by real comparison).
+    seen: HashMap<u64, Vec<usize>>,
+    built_upto: u32,
+    limits: EnumLimits,
+    truncated: bool,
+    approx_bytes: usize,
+}
+
+impl TermStore {
+    /// Creates an empty store for a scope and the environments of `spec`.
+    ///
+    /// Besides the spec's environments, the store evaluates every term on
+    /// deterministically *perturbed* probe environments. Probes sharpen
+    /// the observational-equivalence classes: deduced specs are necessary
+    /// but not sufficient, so two terms that agree on the (few) deduced
+    /// rows may still behave differently on the full examples — without
+    /// probes, deduplication could discard the true solution in favor of a
+    /// row-equivalent term that fails final verification.
+    pub fn new(scope: Vec<(Symbol, Type)>, spec: &Spec, limits: EnumLimits) -> TermStore {
+        TermStore::with_probes(scope, spec, &[], limits)
+    }
+
+    /// Like [`TermStore::new`] with additional *trace probe* environments
+    /// (real upcoming argument combinations emitted by deduction; see
+    /// [`crate::deduce::Deduction::probes`]). Trace probes join the
+    /// synthetic perturbation probes in the dedup signature.
+    pub fn with_probes(
+        scope: Vec<(Symbol, Type)>,
+        spec: &Spec,
+        trace_probes: &[Env],
+        limits: EnumLimits,
+    ) -> TermStore {
+        let rows: Vec<Env> = spec.envs().cloned().collect();
+        let n_rows = rows.len();
+        let mut envs = rows;
+        if limits.synthetic_probes {
+            let probes = probe_envs(&envs);
+            envs.extend(trace_probes.iter().cloned());
+            envs.extend(probes);
+        } else {
+            envs.extend(trace_probes.iter().cloned());
+        }
+        TermStore {
+            scope,
+            envs,
+            n_rows,
+            terms: Vec::new(),
+            levels: vec![Vec::new()], // level 0 is always empty
+            seen: HashMap::new(),
+            built_upto: 0,
+            limits,
+            truncated: false,
+            approx_bytes: 0,
+        }
+    }
+
+    /// `true` if a limit forced the store to drop terms; completeness up to
+    /// the requested cost is no longer guaranteed.
+    pub fn truncated(&self) -> bool {
+        self.truncated
+    }
+
+    /// Total number of terms currently stored.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Rough heap footprint of the stored terms. Signatures dominate:
+    /// each holds one value per environment, and values can be large
+    /// nested structures; the search's eviction budget is denominated in
+    /// these bytes rather than in term counts.
+    pub fn approx_bytes(&self) -> usize {
+        self.approx_bytes
+    }
+
+    /// `true` if no terms are stored.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Builds all levels up to and including `cost`.
+    pub fn ensure(&mut self, cost: u32, library: &Library) {
+        while self.built_upto < cost {
+            let next = self.built_upto + 1;
+            self.build_level(next, library);
+            self.built_upto = next;
+        }
+    }
+
+    /// Terms of exactly `cost` (must have been built with [`TermStore::ensure`]).
+    pub fn at_cost(&self, cost: u32) -> impl Iterator<Item = &TermEntry> {
+        self.levels
+            .get(cost as usize)
+            .into_iter()
+            .flatten()
+            .map(move |&i| &self.terms[i])
+    }
+
+    /// Terms of cost `<= cost`.
+    pub fn up_to_cost(&self, cost: u32) -> impl Iterator<Item = &TermEntry> {
+        (1..=cost).flat_map(move |k| self.at_cost(k))
+    }
+
+    /// Terms at exactly `cost` that close a hole of type `ty` with the given
+    /// spec: the type must be compatible and the signature must match every
+    /// row's output. For an empty spec only the type filter applies.
+    pub fn closings<'a>(
+        &'a self,
+        cost: u32,
+        ty: &'a Type,
+        spec: &'a Spec,
+    ) -> impl Iterator<Item = &'a TermEntry> {
+        debug_assert_eq!(spec.len(), self.n_rows);
+        self.at_cost(cost).filter(move |t| {
+            if !unifiable(&t.ty, ty) {
+                return false;
+            }
+            if spec.is_empty() {
+                return true;
+            }
+            t.sig[..self.n_rows]
+                .iter()
+                .zip(spec.rows())
+                .all(|(s, row)| matches!(s, Ok(v) if *v == row.output))
+        })
+    }
+
+    /// Terms of cost `<= cost` whose signature is error-free on every row,
+    /// paired with their per-row values. These are the argument candidates
+    /// for combinator expansion (collections and fold initial values).
+    pub fn error_free(&self, cost: u32) -> Vec<(&TermEntry, Vec<Value>)> {
+        let mut out = Vec::new();
+        for t in self.up_to_cost(cost) {
+            let mut vals = Vec::with_capacity(self.n_rows);
+            let mut ok = true;
+            for s in &t.sig[..self.n_rows] {
+                match s {
+                    Ok(v) => vals.push(v.clone()),
+                    Err(_) => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            if ok {
+                out.push((t, vals));
+            }
+        }
+        out
+    }
+
+    /// Collection candidates for combinator expansion: list- or tree-typed
+    /// terms of cost `<= cost` whose signature is error-free on every row.
+    /// Returns `(entry, per-row values)`.
+    pub fn collections(&self, cost: u32) -> Vec<(&TermEntry, Vec<Value>)> {
+        self.error_free(cost)
+            .into_iter()
+            .filter(|(t, _)| matches!(t.ty, Type::List(_) | Type::Tree(_)))
+            .collect()
+    }
+
+    fn build_level(&mut self, cost: u32, library: &Library) {
+        debug_assert_eq!(self.levels.len(), cost as usize);
+        self.levels.push(Vec::new());
+        let costs = library.costs().clone();
+
+        // Leaves: constants.
+        if cost == costs.lit {
+            for c in library.constants() {
+                let mut n = 0u32;
+                let ty = c.type_of(&mut || {
+                    n += 1;
+                    Type::Var(n - 1)
+                });
+                let sig: Signature = self.envs.iter().map(|_| Ok(c.clone())).collect();
+                self.insert(Rc::new(Expr::Lit(c.clone())), ty, sig, cost);
+            }
+        }
+        // Leaves: variables.
+        if cost == costs.var {
+            for (sym, ty) in self.scope.clone() {
+                let sig: Signature = self
+                    .envs
+                    .iter()
+                    .map(|env| env.lookup(sym).cloned().ok_or(EvalError::Unbound(sym)))
+                    .collect();
+                self.insert(Rc::new(Expr::Var(sym)), ty.clone(), sig, cost);
+            }
+        }
+
+        // Operator applications, iterating only shape-compatible argument
+        // candidates via the per-level shape index (arithmetic never sees
+        // list-typed terms, `car` never sees integers, …).
+        for &op in library.ops() {
+            if self.over_op_limit(cost) {
+                break;
+            }
+            let node = costs.op_cost(op);
+            if cost <= node {
+                continue;
+            }
+            let budget = cost - node;
+            match op.arity() {
+                1 => {
+                    let shape = unary_arg_shape(op);
+                    for i in self.shaped_indices(budget, shape) {
+                        self.try_op1(op, i, cost);
+                        if self.over_op_limit(cost) {
+                            break;
+                        }
+                    }
+                }
+                2 => {
+                    let (s1, s2) = binary_arg_shapes(op);
+                    for k1 in 1..budget {
+                        if self.over_op_limit(cost) {
+                            break;
+                        }
+                        let k2 = budget - k1;
+                        let lhs = self.shaped_indices(k1, s1);
+                        if lhs.is_empty() {
+                            continue;
+                        }
+                        let rhs = self.shaped_indices(k2, s2);
+                        'op2: for &i in &lhs {
+                            for &j in &rhs {
+                                self.try_op2(op, i, j, cost);
+                                if self.over_op_limit(cost) {
+                                    break 'op2;
+                                }
+                            }
+                        }
+                    }
+                }
+                _ => unreachable!("operators have arity 1 or 2"),
+            }
+        }
+
+        // Conditionals: branches must share a type, so iterate same-type
+        // buckets (plus the rare variable-typed terms against everything).
+        // Buckets are iterated lazily — materializing the cross product
+        // can reach hundreds of millions of pairs on large levels.
+        if cost > costs.if_ {
+            let budget = cost - costs.if_;
+            for kc in 1..budget.saturating_sub(1) {
+                let conds = self.shaped_indices(kc, Shape::Bool);
+                if conds.is_empty() {
+                    continue;
+                }
+                for kt in 1..budget - kc {
+                    let ke = budget - kc - kt;
+                    let thens = self.type_buckets(kt);
+                    let elses = self.type_buckets(ke);
+                    for (tty, tis) in &thens {
+                        for (ety, eis) in &elses {
+                            // Ground types must match exactly; any
+                            // variable-typed side joins with everything
+                            // (the precise join is re-checked in try_if).
+                            let compatible = if tty.is_ground() && ety.is_ground() {
+                                tty == ety
+                            } else {
+                                true
+                            };
+                            if !compatible {
+                                continue;
+                            }
+                            for &ti in tis {
+                                for &ei in eis {
+                                    for &ci in &conds {
+                                        self.try_if(ci, ti, ei, cost);
+                                        if self.over_limit(cost) {
+                                            return;
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Groups a level's term indices by canonical type.
+    fn type_buckets(&self, cost: u32) -> Vec<(Type, Vec<usize>)> {
+        let mut out: Vec<(Type, Vec<usize>)> = Vec::new();
+        for &i in self.levels.get(cost as usize).into_iter().flatten() {
+            let ty = &self.terms[i].ty;
+            match out.iter_mut().find(|(t, _)| t == ty) {
+                Some((_, ids)) => ids.push(i),
+                None => out.push((ty.clone(), vec![i])),
+            }
+        }
+        out
+    }
+
+    /// Indices at exactly `cost` whose type matches `shape` (variable-typed
+    /// terms match every shape).
+    fn shaped_indices(&self, cost: u32, shape: Shape) -> Vec<usize> {
+        self.levels
+            .get(cost as usize)
+            .into_iter()
+            .flatten()
+            .copied()
+            .filter(|&i| shape.admits(&self.terms[i].ty))
+            .collect()
+    }
+
+    fn over_limit(&mut self, cost: u32) -> bool {
+        self.over_cap(cost, self.limits.max_level_terms)
+    }
+
+    /// Like [`TermStore::over_limit`] with a reduced level cap — the
+    /// operator phase leaves headroom so conditionals (built last) are
+    /// never entirely starved when a level truncates.
+    fn over_op_limit(&mut self, cost: u32) -> bool {
+        self.over_cap(cost, self.limits.max_level_terms / 4 * 3)
+    }
+
+    fn over_cap(&mut self, cost: u32, level_cap: usize) -> bool {
+        let over = self.levels[cost as usize].len() >= level_cap
+            || self.terms.len() >= self.limits.max_terms;
+        if over {
+            self.truncated = true;
+        }
+        over
+    }
+
+    fn try_op1(&mut self, op: lambda2_lang::ast::Op, i: usize, cost: u32) {
+        let Some(ret) = op_result_type(op, &[self.terms[i].ty.clone()]) else {
+            return;
+        };
+        let sig: Signature = self.terms[i]
+            .sig
+            .iter()
+            .map(|a| match a {
+                Ok(v) => op.apply(std::slice::from_ref(v)),
+                Err(e) => Err(*e),
+            })
+            .collect();
+        if self.all_err(&sig) {
+            return;
+        }
+        let expr = Rc::new(Expr::Op(op, [(*self.terms[i].expr).clone()].into()));
+        self.insert(expr, ret, sig, cost);
+    }
+
+    fn try_op2(&mut self, op: lambda2_lang::ast::Op, i: usize, j: usize, cost: u32) {
+        let Some(ret) = op_result_type(op, &[self.terms[i].ty.clone(), self.terms[j].ty.clone()])
+        else {
+            return;
+        };
+        let sig: Signature = self.terms[i]
+            .sig
+            .iter()
+            .zip(&self.terms[j].sig)
+            .map(|(a, b)| match (a, b) {
+                (Ok(x), Ok(y)) => op.apply(&[x.clone(), y.clone()]),
+                (Err(e), _) | (_, Err(e)) => Err(*e),
+            })
+            .collect();
+        if self.all_err(&sig) {
+            return;
+        }
+        let expr = Rc::new(Expr::Op(
+            op,
+            [(*self.terms[i].expr).clone(), (*self.terms[j].expr).clone()].into(),
+        ));
+        self.insert(expr, ret, sig, cost);
+    }
+
+    fn try_if(&mut self, ci: usize, ti: usize, ei: usize, cost: u32) {
+        let (tty, ety) = (self.terms[ti].ty.clone(), self.terms[ei].ty.clone());
+        let Some(ret) = join_types(&tty, &ety) else {
+            return;
+        };
+        let sig: Signature = (0..self.envs.len().max(self.terms[ci].sig.len()))
+            .map(|r| match &self.terms[ci].sig[r] {
+                Ok(Value::Bool(true)) => self.terms[ti].sig[r].clone(),
+                Ok(Value::Bool(false)) => self.terms[ei].sig[r].clone(),
+                Ok(_) => Err(EvalError::TypeMismatch),
+                Err(e) => Err(*e),
+            })
+            .collect();
+        if self.all_err(&sig) {
+            return;
+        }
+        let expr = Rc::new(Expr::If(
+            self.terms[ci].expr.clone(),
+            self.terms[ti].expr.clone(),
+            self.terms[ei].expr.clone(),
+        ));
+        self.insert(expr, ret, sig, cost);
+    }
+
+    fn all_err(&self, sig: &Signature) -> bool {
+        self.n_rows > 0 && sig[..self.n_rows].iter().all(Result::is_err)
+    }
+
+    fn insert(&mut self, expr: Rc<Expr>, ty: Type, sig: Signature, cost: u32) {
+        let ty = canonical(&ty);
+        // Observational equivalence: with at least one environment, terms
+        // with equal (type, signature) are interchangeable — keep the first
+        // (cheapest, since levels are built in cost order).
+        if !self.envs.is_empty() {
+            use std::hash::{Hash, Hasher};
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            ty.hash(&mut h);
+            sig.hash(&mut h);
+            let key = h.finish();
+            let bucket = self.seen.entry(key).or_default();
+            if bucket
+                .iter()
+                .any(|&i| self.terms[i].ty == ty && self.terms[i].sig == sig)
+            {
+                return;
+            }
+            bucket.push(self.terms.len());
+        }
+        let idx = self.terms.len();
+        self.approx_bytes += 160
+            + sig
+                .iter()
+                .map(|r| match r {
+                    Ok(v) => 24 * v.size(),
+                    Err(_) => 8,
+                })
+                .sum::<usize>();
+        self.terms.push(TermEntry { expr, ty, sig, cost });
+        self.levels[cost as usize].push(idx);
+    }
+}
+
+/// Deterministic probe environments: for each of (up to) the first three
+/// row environments, two variants with every binding perturbed. Perturbing
+/// keeps the value's type: integers shift, booleans flip, lists and trees
+/// grow or shrink.
+fn probe_envs(rows: &[Env]) -> Vec<Env> {
+    fn perturb(v: &Value, variant: i64) -> Value {
+        match v {
+            Value::Int(n) => Value::Int(n.wrapping_add(variant).wrapping_mul(2) + 1),
+            Value::Bool(b) => Value::Bool(*b == (variant % 2 == 0)),
+            Value::List(xs) => {
+                let mut out: Vec<Value> = xs.iter().map(|x| perturb(x, variant)).collect();
+                match xs.first() {
+                    Some(first) if variant % 2 == 0 => {
+                        // Grow: duplicate-and-perturb the first element.
+                        out.insert(0, perturb(first, variant + 1));
+                    }
+                    Some(_) => {
+                        out.remove(0);
+                    }
+                    None => {
+                        // Empty lists MUST change under perturbation:
+                        // otherwise a term seeded from `[]` (e.g. a fold
+                        // accumulator) would be probe-equal to one that
+                        // ignores it. The seed may be heterogeneous with
+                        // the list's nominal element type — probes are
+                        // dedup-only, so a type-error entry in the
+                        // signature distinguishes just as well.
+                        out.push(Value::Int(variant.wrapping_mul(3) + 2));
+                    }
+                }
+                Value::list(out)
+            }
+            Value::Tree(t) => match t.root() {
+                None => {
+                    // Same reasoning as empty lists: seed a node.
+                    Value::Tree(lambda2_lang::value::Tree::node(
+                        Value::Int(variant.wrapping_mul(5) + 3),
+                        Vec::new(),
+                    ))
+                }
+                Some(n) => {
+                    if variant % 2 == 0 {
+                        Value::Tree(lambda2_lang::value::Tree::node(
+                            perturb(&n.value, variant),
+                            n.children.clone(),
+                        ))
+                    } else {
+                        // Shrink: drop the children.
+                        Value::Tree(lambda2_lang::value::Tree::node(
+                            perturb(&n.value, variant),
+                            Vec::new(),
+                        ))
+                    }
+                }
+            },
+            Value::Pair(p) => Value::pair(
+                perturb(&p.0, variant),
+                perturb(&p.1, variant + 1),
+            ),
+            Value::Closure(_) | Value::Comb(_) => v.clone(),
+        }
+    }
+    let mut out = Vec::new();
+    // Few rows mean coarse observational classes; compensate with more
+    // probe variants so distinct behaviors stay distinct (a single-row
+    // store gets 8 probes, three-plus rows get 2 each).
+    let probed_rows = rows.len().clamp(1, 3);
+    let variants_per_row = (8 / probed_rows).max(2);
+    for (i, env) in rows.iter().take(3).enumerate() {
+        for v in 0..variants_per_row {
+            let variant = (variants_per_row * i + v) as i64;
+            // Salt each binding differently: two variables that happen to
+            // be *equal* in the rows (e.g. a fold accumulator seeded with
+            // another variable) must diverge under the probes, or the
+            // dedup would conflate terms that differ only in which of the
+            // two they mention.
+            let mut bindings: Vec<(Symbol, Value)> = env
+                .bindings()
+                .into_iter()
+                .enumerate()
+                .map(|(j, (s, v))| (s, perturb(v, variant * 16 + j as i64)))
+                .collect();
+            bindings.reverse(); // outermost first
+            out.push(Env::from_bindings(bindings));
+        }
+    }
+    out
+}
+
+/// Coarse type shapes used to pre-filter operator argument candidates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Shape {
+    Int,
+    Bool,
+    List,
+    Tree,
+    Pair,
+    Any,
+}
+
+impl Shape {
+    fn admits(self, ty: &Type) -> bool {
+        match self {
+            Shape::Any => true,
+            Shape::Int => matches!(ty, Type::Int | Type::Var(_)),
+            Shape::Bool => matches!(ty, Type::Bool | Type::Var(_)),
+            Shape::List => matches!(ty, Type::List(_) | Type::Var(_)),
+            Shape::Tree => matches!(ty, Type::Tree(_) | Type::Var(_)),
+            Shape::Pair => matches!(ty, Type::Pair(..) | Type::Var(_)),
+        }
+    }
+}
+
+fn unary_arg_shape(op: lambda2_lang::ast::Op) -> Shape {
+    use lambda2_lang::ast::Op;
+    match op {
+        Op::Not => Shape::Bool,
+        Op::Car | Op::Cdr | Op::IsEmpty | Op::Last => Shape::List,
+        Op::TreeValue | Op::TreeChildren | Op::IsEmptyTree | Op::IsLeaf => Shape::Tree,
+        Op::Fst | Op::Snd => Shape::Pair,
+        _ => Shape::Any,
+    }
+}
+
+fn binary_arg_shapes(op: lambda2_lang::ast::Op) -> (Shape, Shape) {
+    use lambda2_lang::ast::Op;
+    match op {
+        Op::Add | Op::Sub | Op::Mul | Op::Div | Op::Mod | Op::Lt | Op::Le | Op::Gt
+        | Op::Ge => (Shape::Int, Shape::Int),
+        Op::And | Op::Or => (Shape::Bool, Shape::Bool),
+        Op::Cons | Op::Member => (Shape::Any, Shape::List),
+        Op::Cat => (Shape::List, Shape::List),
+        Op::TreeMake => (Shape::Any, Shape::List),
+        Op::Eq | Op::Neq => (Shape::Any, Shape::Any),
+        // Unary operators never reach this table.
+        _ => (Shape::Any, Shape::Any),
+    }
+}
+
+/// Renames type variables to `t0, t1, …` in first-occurrence order so that
+/// structurally identical types compare equal.
+pub fn canonical(ty: &Type) -> Type {
+    let mut vs = Vec::new();
+    ty.vars(&mut vs);
+    if vs.is_empty() {
+        return ty.clone();
+    }
+    fn go(ty: &Type, vs: &[u32]) -> Type {
+        match ty {
+            Type::Int | Type::Bool => ty.clone(),
+            Type::List(e) => Type::list(go(e, vs)),
+            Type::Tree(e) => Type::tree(go(e, vs)),
+            Type::Pair(a, b) => Type::pair(go(a, vs), go(b, vs)),
+            Type::Fun(ps, r) => {
+                Type::fun(ps.iter().map(|p| go(p, vs)).collect(), go(r, vs))
+            }
+            Type::Var(v) => {
+                let i = vs.iter().position(|w| w == v).expect("collected var");
+                Type::Var(u32::try_from(i).expect("few vars"))
+            }
+        }
+    }
+    go(ty, &vs)
+}
+
+/// `true` if two types unify (vars from the two sides are kept disjoint).
+pub fn unifiable(a: &Type, b: &Type) -> bool {
+    if a.is_ground() && b.is_ground() {
+        return a == b;
+    }
+    let mut s = Subst::new();
+    let a = s.instantiate(a);
+    let b = s.instantiate(b);
+    s.unify(&a, &b).is_ok()
+}
+
+/// Computes the result type of applying `op` to arguments of the given
+/// types, or `None` if ill-typed. Argument type variables are treated as
+/// independent unknowns.
+///
+/// This sits on the enumerator's hottest path (millions of candidate
+/// pairs), so ground argument types take an allocation-free fast path;
+/// only types containing variables (empty-container literals and their
+/// derivatives) fall back to full unification.
+pub fn op_result_type(op: lambda2_lang::ast::Op, args: &[Type]) -> Option<Type> {
+    use lambda2_lang::ast::Op;
+    if args.len() != op.arity() {
+        return None;
+    }
+    if args.iter().all(Type::is_ground) {
+        return match op {
+            Op::Add | Op::Sub | Op::Mul | Op::Div | Op::Mod => {
+                (args[0] == Type::Int && args[1] == Type::Int).then_some(Type::Int)
+            }
+            Op::Lt | Op::Le | Op::Gt | Op::Ge => {
+                (args[0] == Type::Int && args[1] == Type::Int).then_some(Type::Bool)
+            }
+            Op::Eq | Op::Neq => (args[0] == args[1]).then_some(Type::Bool),
+            Op::And | Op::Or => {
+                (args[0] == Type::Bool && args[1] == Type::Bool).then_some(Type::Bool)
+            }
+            Op::Not => (args[0] == Type::Bool).then_some(Type::Bool),
+            Op::Cons => match &args[1] {
+                Type::List(e) if **e == args[0] => Some(args[1].clone()),
+                _ => None,
+            },
+            Op::Car | Op::Last => match &args[0] {
+                Type::List(e) => Some((**e).clone()),
+                _ => None,
+            },
+            Op::Cdr => matches!(args[0], Type::List(_)).then(|| args[0].clone()),
+            Op::IsEmpty => matches!(args[0], Type::List(_)).then_some(Type::Bool),
+            Op::Member => match &args[1] {
+                Type::List(e) if **e == args[0] => Some(Type::Bool),
+                _ => None,
+            },
+            Op::Cat => match (&args[0], &args[1]) {
+                (Type::List(_), Type::List(_)) if args[0] == args[1] => Some(args[0].clone()),
+                _ => None,
+            },
+            Op::TreeMake => match &args[1] {
+                Type::List(inner) => match &**inner {
+                    Type::Tree(e) if **e == args[0] => Some((**inner).clone()),
+                    _ => None,
+                },
+                _ => None,
+            },
+            Op::TreeValue => match &args[0] {
+                Type::Tree(e) => Some((**e).clone()),
+                _ => None,
+            },
+            Op::TreeChildren => match &args[0] {
+                Type::Tree(_) => Some(Type::list(args[0].clone())),
+                _ => None,
+            },
+            Op::IsEmptyTree | Op::IsLeaf => {
+                matches!(args[0], Type::Tree(_)).then_some(Type::Bool)
+            }
+            Op::MkPair => Some(Type::pair(args[0].clone(), args[1].clone())),
+            Op::Fst => match &args[0] {
+                Type::Pair(a, _) => Some((**a).clone()),
+                _ => None,
+            },
+            Op::Snd => match &args[0] {
+                Type::Pair(_, b) => Some((**b).clone()),
+                _ => None,
+            },
+        };
+    }
+    op_result_type_slow(op, args)
+}
+
+fn op_result_type_slow(op: lambda2_lang::ast::Op, args: &[Type]) -> Option<Type> {
+    let mut s = Subst::new();
+    let scheme = s.instantiate(&op.type_scheme());
+    let Type::Fun(params, ret) = scheme else {
+        unreachable!("op schemes are functions")
+    };
+    if params.len() != args.len() {
+        return None;
+    }
+    for (p, a) in params.iter().zip(args) {
+        let a = s.instantiate(a); // disjoint vars per argument
+        s.unify(p, &a).ok()?;
+    }
+    Some(s.apply(&ret))
+}
+
+/// The common instance of two types (for `if` branches), or `None`.
+pub fn join_types(a: &Type, b: &Type) -> Option<Type> {
+    if a.is_ground() && b.is_ground() {
+        return (a == b).then(|| a.clone());
+    }
+    let mut s = Subst::new();
+    let a = s.instantiate(a);
+    let b = s.instantiate(b);
+    s.unify(&a, &b).ok()?;
+    Some(s.apply(&a))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{ExampleRow, Spec};
+    use lambda2_lang::ast::Op;
+    use lambda2_lang::parser::parse_value;
+
+    fn sym(s: &str) -> Symbol {
+        Symbol::intern(s)
+    }
+
+    /// Context: one int-list variable `l`, two example rows.
+    fn store_with_rows() -> (TermStore, Spec) {
+        let scope = vec![(sym("l"), Type::list(Type::Int))];
+        let rows = vec![
+            ExampleRow::new(
+                Env::empty().bind(sym("l"), parse_value("[1 2]").unwrap()),
+                Value::Int(1),
+            ),
+            ExampleRow::new(
+                Env::empty().bind(sym("l"), parse_value("[5]").unwrap()),
+                Value::Int(5),
+            ),
+        ];
+        let spec = Spec::new(rows).unwrap();
+        (
+            TermStore::new(scope, &spec, EnumLimits::default()),
+            spec,
+        )
+    }
+
+    #[test]
+    fn level_one_contains_leaves() {
+        let (mut st, _) = store_with_rows();
+        st.ensure(1, &Library::default());
+        let names: Vec<String> = st.at_cost(1).map(|t| t.expr.to_string()).collect();
+        assert!(names.contains(&"l".to_string()));
+        assert!(names.contains(&"0".to_string()));
+        assert!(names.contains(&"[]".to_string()));
+    }
+
+    #[test]
+    fn car_l_closes_the_head_spec() {
+        let (mut st, spec) = store_with_rows();
+        st.ensure(2, &Library::default());
+        let found: Vec<String> = st
+            .closings(2, &Type::Int, &spec)
+            .map(|t| t.expr.to_string())
+            .collect();
+        assert_eq!(found, vec!["(car l)".to_string()]);
+    }
+
+    #[test]
+    fn observational_equivalence_dedups() {
+        let (mut st, _) = store_with_rows();
+        st.ensure(3, &Library::default());
+        // (+ 0 0), (* 0 1), (- 0 0) … all collapse onto the constant 0.
+        let zeros: Vec<String> = st
+            .up_to_cost(3)
+            .filter(|t| {
+                t.ty == Type::Int && t.sig.iter().all(|s| *s == Ok(Value::Int(0)))
+            })
+            .map(|t| t.expr.to_string())
+            .collect();
+        assert_eq!(zeros, vec!["0".to_string()]);
+    }
+
+    #[test]
+    fn all_error_terms_are_pruned() {
+        // In a context where l is always [], (car l) errors on every row.
+        let scope = vec![(sym("l"), Type::list(Type::Int))];
+        let spec = Spec::new(vec![ExampleRow::new(
+            Env::empty().bind(sym("l"), Value::nil()),
+            Value::Int(0),
+        )])
+        .unwrap();
+        let mut st = TermStore::new(scope, &spec, EnumLimits::default());
+        st.ensure(3, &Library::default());
+        assert!(!st
+            .up_to_cost(3)
+            .any(|t| t.expr.to_string() == "(car l)"));
+    }
+
+    #[test]
+    fn collections_are_error_free_lists_or_trees() {
+        let (mut st, _) = store_with_rows();
+        st.ensure(2, &Library::default());
+        let colls = st.collections(2);
+        let names: Vec<String> = colls.iter().map(|(t, _)| t.expr.to_string()).collect();
+        assert!(names.contains(&"l".to_string()));
+        assert!(names.contains(&"(cdr l)".to_string()));
+        // (cdr l) values are per-row tails.
+        let (_, vals) = colls
+            .iter()
+            .find(|(t, _)| t.expr.to_string() == "(cdr l)")
+            .unwrap();
+        assert_eq!(vals[0], parse_value("[2]").unwrap());
+        assert_eq!(vals[1], parse_value("[]").unwrap());
+    }
+
+    #[test]
+    fn if_terms_appear_with_correct_semantics() {
+        // Scope: x:int. Rows: x=1 -> 5, x=2 -> 9. Closing requires an `if`.
+        let scope = vec![(sym("x"), Type::Int)];
+        let spec = Spec::new(vec![
+            ExampleRow::new(Env::empty().bind(sym("x"), Value::Int(1)), Value::Int(5)),
+            ExampleRow::new(Env::empty().bind(sym("x"), Value::Int(2)), Value::Int(9)),
+        ])
+        .unwrap();
+        let mut st = TermStore::new(scope, &spec, EnumLimits::default());
+        let lib = Library::default().with_constant(Value::Int(5)).with_constant(Value::Int(9));
+        let mut found = None;
+        for k in 1..=6 {
+            st.ensure(k, &lib);
+            if let Some(t) = st.closings(k, &Type::Int, &spec).next() {
+                found = Some(t.expr.to_string());
+                break;
+            }
+        }
+        let found = found.expect("an if-term closes this spec within cost 6");
+        assert!(found.starts_with("(if "), "{found}");
+    }
+
+    #[test]
+    fn canonicalization_makes_types_comparable() {
+        assert_eq!(canonical(&Type::list(Type::Var(7))), Type::list(Type::Var(0)));
+        assert_eq!(
+            canonical(&Type::fun(vec![Type::Var(3), Type::Var(3)], Type::Var(5))),
+            Type::fun(vec![Type::Var(0), Type::Var(0)], Type::Var(1))
+        );
+    }
+
+    #[test]
+    fn op_result_type_enforces_consistency() {
+        // cons : (a, [a]) -> [a] — int vs [bool] must fail.
+        assert!(op_result_type(Op::Cons, &[Type::Int, Type::list(Type::Bool)]).is_none());
+        assert_eq!(
+            op_result_type(Op::Cons, &[Type::Int, Type::list(Type::Int)]),
+            Some(Type::list(Type::Int))
+        );
+        // cons onto an empty list: the element type wins.
+        assert_eq!(
+            op_result_type(Op::Cons, &[Type::Int, Type::list(Type::Var(0))]),
+            Some(Type::list(Type::Int))
+        );
+    }
+
+    #[test]
+    fn unifiable_and_join() {
+        assert!(unifiable(&Type::list(Type::Var(0)), &Type::list(Type::Int)));
+        assert!(!unifiable(&Type::Int, &Type::Bool));
+        assert_eq!(
+            join_types(&Type::list(Type::Var(0)), &Type::list(Type::Int)),
+            Some(Type::list(Type::Int))
+        );
+        assert_eq!(join_types(&Type::Int, &Type::Bool), None);
+    }
+
+    #[test]
+    fn probes_distinguish_equal_bindings() {
+        // Regression: with `a` and `v` bound to the SAME value in every
+        // row (a fold accumulator seeded with `v`), `(+ a x)` and
+        // `(+ v x)` are row-equivalent; the per-binding probe salts must
+        // keep them as distinct terms, or the true solution can be
+        // deduped into a broken representative.
+        let a = sym("a");
+        let v = sym("v");
+        let x = sym("x");
+        let scope = vec![(a, Type::Int), (v, Type::Int), (x, Type::Int)];
+        let spec = Spec::new(vec![ExampleRow::new(
+            Env::empty()
+                .bind(v, Value::Int(3))
+                .bind(a, Value::Int(3))
+                .bind(x, Value::Int(9)),
+            Value::Int(12),
+        )])
+        .unwrap();
+        let mut st = TermStore::new(scope, &spec, EnumLimits::default());
+        st.ensure(3, &Library::default());
+        let names: Vec<String> = st
+            .closings(3, &Type::Int, &spec)
+            .map(|t| t.expr.to_string())
+            .collect();
+        assert!(names.iter().any(|n| n == "(+ a x)"), "{names:?}");
+        assert!(names.iter().any(|n| n == "(+ v x)"), "{names:?}");
+    }
+
+    #[test]
+    fn probes_distinguish_terms_seeded_from_empty_containers() {
+        // Regression: `a = []` in the only row made `(cat a x)` and `x`
+        // probe-equal until empty containers learned to grow a seed
+        // element under perturbation.
+        let a = sym("a");
+        let x = sym("x");
+        let scope = vec![
+            (a, Type::list(Type::Int)),
+            (x, Type::list(Type::Int)),
+        ];
+        let spec = Spec::new(vec![ExampleRow::new(
+            Env::empty()
+                .bind(a, Value::nil())
+                .bind(x, parse_value("[9 4]").unwrap()),
+            parse_value("[9 4]").unwrap(),
+        )])
+        .unwrap();
+        let mut st = TermStore::new(scope, &spec, EnumLimits::default());
+        st.ensure(3, &Library::default());
+        let names: Vec<String> = st
+            .closings(3, &Type::list(Type::Int), &spec)
+            .map(|t| t.expr.to_string())
+            .collect();
+        assert!(names.iter().any(|n| n == "(cat a x)"), "{names:?}");
+    }
+
+    #[test]
+    fn approx_bytes_grows_with_terms() {
+        let (mut st, _) = store_with_rows();
+        assert_eq!(st.approx_bytes(), 0);
+        st.ensure(1, &Library::default());
+        let b1 = st.approx_bytes();
+        assert!(b1 > 0);
+        st.ensure(3, &Library::default());
+        assert!(st.approx_bytes() > b1);
+    }
+
+    #[test]
+    fn limits_truncate_gracefully() {
+        let (mut st, _) = store_with_rows();
+        let limits = EnumLimits {
+            max_level_terms: 5,
+            max_terms: 10,
+            synthetic_probes: true,
+        };
+        let mut st2 = TermStore::new(
+            std::mem::take(&mut st.scope),
+            &Spec::empty(),
+            limits,
+        );
+        // Empty spec means no OE dedup — limits must kick in. Caps are
+        // approximate: each production may overshoot by one term per
+        // operator before the check fires.
+        st2.ensure(4, &Library::default());
+        assert!(st2.truncated());
+        assert!(st2.len() <= 10 + 40, "{}", st2.len());
+    }
+}

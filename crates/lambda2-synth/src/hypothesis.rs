@@ -1,0 +1,211 @@
+//! Hypotheses: partial programs with example-annotated holes.
+//!
+//! A [`Hypothesis`] is an expression that may contain holes, together with
+//! per-hole metadata ([`HoleInfo`]): the hole's type, the variables in scope
+//! at the hole, and the hole's (possibly deduced) example [`Spec`]. The
+//! hypothesis's `cost` is an admissible lower bound on the cost of any
+//! completion — each hole is priced at the cheapest possible leaf — which
+//! is what makes best-first search return the *simplest* fitting program.
+
+use std::rc::Rc;
+
+use lambda2_lang::ast::{Expr, HoleId};
+use lambda2_lang::symbol::Symbol;
+use lambda2_lang::ty::Type;
+
+use crate::cost::CostModel;
+use crate::enumerate::StoreKey;
+use crate::spec::Spec;
+
+/// Metadata for a single hole.
+#[derive(Debug)]
+pub struct HoleInfo {
+    /// The type an expression filling this hole must have.
+    pub ty: Type,
+    /// Variables in scope at the hole, outermost first.
+    pub scope: Vec<(Symbol, Type)>,
+    /// Example rows the filling expression must satisfy.
+    pub spec: Spec,
+    /// Trace-probe environments from deduction (see
+    /// [`crate::deduce::Deduction::probes`]).
+    pub probes: Vec<lambda2_lang::env::Env>,
+    /// Cache key for the hole's enumeration context.
+    pub store_key: StoreKey,
+}
+
+impl HoleInfo {
+    /// Creates hole metadata, precomputing the enumeration cache key.
+    pub fn new(ty: Type, scope: Vec<(Symbol, Type)>, spec: Spec) -> HoleInfo {
+        HoleInfo::with_probes(ty, scope, spec, Vec::new())
+    }
+
+    /// Like [`HoleInfo::new`] with deduction-emitted trace probes.
+    pub fn with_probes(
+        ty: Type,
+        scope: Vec<(Symbol, Type)>,
+        spec: Spec,
+        probes: Vec<lambda2_lang::env::Env>,
+    ) -> HoleInfo {
+        let store_key = StoreKey::with_probes(&scope, &spec, &probes);
+        HoleInfo {
+            ty,
+            scope,
+            spec,
+            probes,
+            store_key,
+        }
+    }
+}
+
+/// A partial program in the best-first queue.
+#[derive(Clone, Debug)]
+pub struct Hypothesis {
+    /// The program body (parameters live in the enclosing [`crate::verify::Program`]).
+    pub expr: Expr,
+    /// Open holes in left-to-right order, paired with their metadata.
+    holes: Vec<(HoleId, Rc<HoleInfo>)>,
+    /// Admissible lower bound on the cost of any completion.
+    pub cost: u32,
+}
+
+impl Hypothesis {
+    /// The root hypothesis: a single hole covering the whole body.
+    pub fn root(info: HoleInfo, costs: &CostModel) -> Hypothesis {
+        Hypothesis {
+            expr: Expr::Hole(0),
+            holes: vec![(0, Rc::new(info))],
+            cost: costs.hole_min(),
+        }
+    }
+
+    /// `true` when no holes remain.
+    pub fn is_complete(&self) -> bool {
+        self.holes.is_empty()
+    }
+
+    /// The leftmost open hole, if any.
+    pub fn first_hole(&self) -> Option<(HoleId, &Rc<HoleInfo>)> {
+        self.holes.first().map(|(h, i)| (*h, i))
+    }
+
+    /// All open holes, leftmost first.
+    pub fn holes(&self) -> &[(HoleId, Rc<HoleInfo>)] {
+        &self.holes
+    }
+
+    /// Returns a new hypothesis with `hole` replaced by `filler`.
+    ///
+    /// `new_holes` lists the holes inside `filler` (leftmost first) — they
+    /// take the replaced hole's position to keep the left-to-right order.
+    /// `cost` is the child's (caller-computed) admissible cost.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hole` is not open in this hypothesis (caller bug).
+    pub fn fill(
+        &self,
+        hole: HoleId,
+        filler: &Expr,
+        new_holes: Vec<(HoleId, Rc<HoleInfo>)>,
+        cost: u32,
+    ) -> Hypothesis {
+        let pos = self
+            .holes
+            .iter()
+            .position(|(h, _)| *h == hole)
+            .expect("filled hole must be open");
+        let mut holes = Vec::with_capacity(self.holes.len() - 1 + new_holes.len());
+        holes.extend_from_slice(&self.holes[..pos]);
+        holes.extend(new_holes);
+        holes.extend_from_slice(&self.holes[pos + 1..]);
+        Hypothesis {
+            expr: self.expr.fill_hole(hole, filler),
+            holes,
+            cost,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lambda2_lang::ast::Comb;
+
+    fn info(ty: Type) -> HoleInfo {
+        HoleInfo::new(ty, vec![(Symbol::intern("l"), Type::list(Type::Int))], Spec::empty())
+    }
+
+    #[test]
+    fn root_hypothesis_is_one_hole() {
+        let h = Hypothesis::root(info(Type::Int), &CostModel::default());
+        assert!(!h.is_complete());
+        assert_eq!(h.first_hole().unwrap().0, 0);
+        assert_eq!(h.cost, 1);
+        assert_eq!(h.expr.to_string(), "?0");
+    }
+
+    #[test]
+    fn fill_replaces_hole_and_preserves_order() {
+        let h = Hypothesis::root(info(Type::list(Type::Int)), &CostModel::default());
+        // Expand ?0 into (map (lambda (x) ?1) l), leaving hole 1.
+        let skeleton = Expr::comb(
+            Comb::Map,
+            vec![
+                Expr::lambda(vec![Symbol::intern("x")], Expr::Hole(1)),
+                Expr::var("l"),
+            ],
+        );
+        let child = h.fill(
+            0,
+            &skeleton,
+            vec![(1, Rc::new(info(Type::Int)))],
+            7,
+        );
+        assert_eq!(child.expr.to_string(), "(map (lambda (x) ?1) l)");
+        assert_eq!(child.first_hole().unwrap().0, 1);
+        assert_eq!(child.cost, 7);
+
+        // Closing hole 1 completes the hypothesis.
+        let done = child.fill(1, &Expr::var("x"), vec![], 8);
+        assert!(done.is_complete());
+        assert_eq!(done.expr.to_string(), "(map (lambda (x) x) l)");
+    }
+
+    #[test]
+    fn fill_keeps_sibling_holes_ordered() {
+        let h = Hypothesis::root(info(Type::Int), &CostModel::default());
+        let skeleton = Expr::comb(
+            Comb::Foldl,
+            vec![
+                Expr::lambda(
+                    vec![Symbol::intern("a"), Symbol::intern("x")],
+                    Expr::Hole(1),
+                ),
+                Expr::Hole(2),
+                Expr::var("l"),
+            ],
+        );
+        let child = h.fill(
+            0,
+            &skeleton,
+            vec![
+                (1, Rc::new(info(Type::Int))),
+                (2, Rc::new(info(Type::Int))),
+            ],
+            10,
+        );
+        let ids: Vec<HoleId> = child.holes().iter().map(|(h, _)| *h).collect();
+        assert_eq!(ids, vec![1, 2]);
+        // Filling the middle hole keeps the other.
+        let c2 = child.fill(1, &Expr::var("a"), vec![], 10);
+        let ids: Vec<HoleId> = c2.holes().iter().map(|(h, _)| *h).collect();
+        assert_eq!(ids, vec![2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "filled hole must be open")]
+    fn filling_unknown_hole_panics() {
+        let h = Hypothesis::root(info(Type::Int), &CostModel::default());
+        let _ = h.fill(42, &Expr::int(0), vec![], 1);
+    }
+}

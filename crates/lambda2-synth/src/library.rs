@@ -1,0 +1,165 @@
+//! Component libraries.
+//!
+//! A [`Library`] fixes the vocabulary the synthesizer may use: which
+//! first-order operators, which higher-order combinators, and which literal
+//! constants. Problems can override the default — e.g. the `append`
+//! benchmark removes the `cat` builtin so the synthesizer must *discover*
+//! concatenation as `(foldr (lambda (x a) (cons x a)) y x)`, exactly as in
+//! the paper's evaluation.
+
+use lambda2_lang::ast::{Comb, Op};
+use lambda2_lang::value::{Tree, Value};
+
+use crate::cost::CostModel;
+
+/// The component vocabulary plus the cost model.
+#[derive(Clone, Debug)]
+pub struct Library {
+    ops: Vec<Op>,
+    combs: Vec<Comb>,
+    constants: Vec<Value>,
+    costs: CostModel,
+}
+
+impl Default for Library {
+    /// The default λ² library: every operator except `last` (redundant),
+    /// `member` (makes `dedup` trivial) and the pair operators (pair
+    /// problems opt in via [`Library::with_ops`]); every combinator; and
+    /// the constants `0`, `1`, `true`, `false`, `[]` and `{}`.
+    fn default() -> Library {
+        let ops = Op::ALL
+            .iter()
+            .copied()
+            .filter(|op| {
+                !matches!(op, Op::Last | Op::Member | Op::MkPair | Op::Fst | Op::Snd)
+            })
+            .collect();
+        Library {
+            ops,
+            combs: Comb::ALL.to_vec(),
+            constants: vec![
+                Value::Int(0),
+                Value::Int(1),
+                Value::Bool(true),
+                Value::Bool(false),
+                Value::nil(),
+                Value::Tree(Tree::empty()),
+            ],
+            costs: CostModel::default(),
+        }
+    }
+}
+
+impl Library {
+    /// Starts from the default library.
+    pub fn new() -> Library {
+        Library::default()
+    }
+
+    /// Removes operators from the library (chainable).
+    pub fn without_ops(mut self, remove: &[Op]) -> Library {
+        self.ops.retain(|op| !remove.contains(op));
+        self
+    }
+
+    /// Adds operators to the library (chainable, deduplicated).
+    pub fn with_ops(mut self, add: &[Op]) -> Library {
+        for op in add {
+            if !self.ops.contains(op) {
+                self.ops.push(*op);
+            }
+        }
+        self
+    }
+
+    /// Removes combinators from the library (chainable).
+    pub fn without_combs(mut self, remove: &[Comb]) -> Library {
+        self.combs.retain(|c| !remove.contains(c));
+        self
+    }
+
+    /// Replaces the constant pool (chainable).
+    pub fn with_constants(mut self, constants: Vec<Value>) -> Library {
+        self.constants = constants;
+        self
+    }
+
+    /// Adds a constant if not already present (chainable).
+    pub fn with_constant(mut self, c: Value) -> Library {
+        if !self.constants.contains(&c) {
+            self.constants.push(c);
+        }
+        self
+    }
+
+    /// Replaces the cost model (chainable).
+    pub fn with_costs(mut self, costs: CostModel) -> Library {
+        self.costs = costs;
+        self
+    }
+
+    /// Available first-order operators, in deterministic order.
+    pub fn ops(&self) -> &[Op] {
+        &self.ops
+    }
+
+    /// Available combinators, in deterministic order.
+    pub fn combs(&self) -> &[Comb] {
+        &self.combs
+    }
+
+    /// Available literal constants.
+    pub fn constants(&self) -> &[Value] {
+        &self.constants
+    }
+
+    /// The cost model.
+    pub fn costs(&self) -> &CostModel {
+        &self.costs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_library_has_core_vocabulary() {
+        let lib = Library::default();
+        assert!(lib.ops().contains(&Op::Cons));
+        assert!(lib.ops().contains(&Op::Cat));
+        assert!(!lib.ops().contains(&Op::Last));
+        assert!(!lib.ops().contains(&Op::Member));
+        assert_eq!(lib.combs().len(), Comb::ALL.len());
+        assert!(lib.constants().contains(&Value::Int(0)));
+    }
+
+    #[test]
+    fn without_ops_removes() {
+        let lib = Library::default().without_ops(&[Op::Cat]);
+        assert!(!lib.ops().contains(&Op::Cat));
+        assert!(lib.ops().contains(&Op::Cons));
+    }
+
+    #[test]
+    fn with_ops_adds_once() {
+        let lib = Library::default().with_ops(&[Op::Last, Op::Last]);
+        assert_eq!(lib.ops().iter().filter(|o| **o == Op::Last).count(), 1);
+    }
+
+    #[test]
+    fn constants_are_editable() {
+        let lib = Library::default()
+            .with_constants(vec![Value::Int(7)])
+            .with_constant(Value::Int(7))
+            .with_constant(Value::Int(9));
+        assert_eq!(lib.constants(), &[Value::Int(7), Value::Int(9)]);
+    }
+
+    #[test]
+    fn without_combs_removes() {
+        let lib = Library::default().without_combs(&[Comb::Recl]);
+        assert!(!lib.combs().contains(&Comb::Recl));
+        assert!(lib.combs().contains(&Comb::Map));
+    }
+}

@@ -1,0 +1,408 @@
+//! Synthesis problems.
+//!
+//! A [`Problem`] is a named function signature plus input-output examples
+//! and (optionally) a per-problem component [`Library`]. The builder parses
+//! types and values from the s-expression surface syntax, which keeps
+//! benchmark definitions readable.
+
+use std::fmt;
+
+use lambda2_lang::parser::{parse_type, parse_value};
+use lambda2_lang::symbol::Symbol;
+use lambda2_lang::ty::Type;
+use lambda2_lang::value::Value;
+
+use crate::library::Library;
+
+/// One input-output example: argument values and the expected result.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Example {
+    /// Argument values, one per parameter.
+    pub inputs: Vec<Value>,
+    /// Expected output.
+    pub output: Value,
+}
+
+/// A synthesis problem.
+#[derive(Clone, Debug)]
+pub struct Problem {
+    name: String,
+    description: Option<String>,
+    params: Vec<(Symbol, Type)>,
+    ret: Type,
+    examples: Vec<Example>,
+    library: Library,
+}
+
+/// Error constructing a [`Problem`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ProblemError {
+    /// A type or value failed to parse.
+    Parse(String),
+    /// An example has the wrong number of arguments.
+    Arity {
+        /// Declared parameter count.
+        expected: usize,
+        /// Argument count in the offending example.
+        got: usize,
+    },
+    /// An example value does not conform to the declared type.
+    TypeMismatch {
+        /// The offending value, rendered.
+        value: String,
+        /// The declared type, rendered.
+        ty: String,
+    },
+    /// The problem has no examples.
+    NoExamples,
+    /// The problem has no parameters.
+    NoParams,
+}
+
+impl fmt::Display for ProblemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProblemError::Parse(m) => write!(f, "parse error in problem: {m}"),
+            ProblemError::Arity { expected, got } => {
+                write!(f, "example has {got} arguments, expected {expected}")
+            }
+            ProblemError::TypeMismatch { value, ty } => {
+                write!(f, "example value `{value}` does not have type `{ty}`")
+            }
+            ProblemError::NoExamples => write!(f, "problem has no examples"),
+            ProblemError::NoParams => write!(f, "problem has no parameters"),
+        }
+    }
+}
+
+impl std::error::Error for ProblemError {}
+
+/// Checks that a first-order value inhabits a type. Type variables match
+/// any value shape (they arise from empty containers).
+pub fn value_conforms(value: &Value, ty: &Type) -> bool {
+    match (value, ty) {
+        (_, Type::Var(_)) => true,
+        (Value::Int(_), Type::Int) => true,
+        (Value::Bool(_), Type::Bool) => true,
+        (Value::List(xs), Type::List(e)) => xs.iter().all(|x| value_conforms(x, e)),
+        (Value::Tree(t), Type::Tree(e)) => t.values().iter().all(|v| value_conforms(v, e)),
+        (Value::Pair(p), Type::Pair(a, b)) => {
+            value_conforms(&p.0, a) && value_conforms(&p.1, b)
+        }
+        _ => false,
+    }
+}
+
+impl Problem {
+    /// Starts building a problem.
+    pub fn builder(name: impl Into<String>) -> ProblemBuilder {
+        ProblemBuilder {
+            name: name.into(),
+            description: None,
+            params: Vec::new(),
+            ret: None,
+            examples: Vec::new(),
+            library: None,
+            error: None,
+        }
+    }
+
+    /// The problem's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Optional prose description.
+    pub fn description(&self) -> Option<&str> {
+        self.description.as_deref()
+    }
+
+    /// Parameter names and types, in order.
+    pub fn params(&self) -> &[(Symbol, Type)] {
+        &self.params
+    }
+
+    /// The return type.
+    pub fn return_type(&self) -> &Type {
+        &self.ret
+    }
+
+    /// The input-output examples.
+    pub fn examples(&self) -> &[Example] {
+        &self.examples
+    }
+
+    /// The component library for this problem.
+    pub fn library(&self) -> &Library {
+        &self.library
+    }
+
+    /// Returns a copy with a different library (used by ablations and by
+    /// benchmark definitions that restrict the vocabulary).
+    pub fn with_library(mut self, library: Library) -> Problem {
+        self.library = library;
+        self
+    }
+
+    /// Returns a copy keeping only the first `n` examples (used by the
+    /// example-sensitivity experiment). Keeps at least one example.
+    pub fn truncate_examples(mut self, n: usize) -> Problem {
+        self.examples.truncate(n.max(1));
+        self
+    }
+}
+
+/// Builder for [`Problem`]; see [`Problem::builder`].
+///
+/// # Examples
+///
+/// ```
+/// use lambda2_synth::Problem;
+/// let p = Problem::builder("sum")
+///     .param("l", "[int]")
+///     .returns("int")
+///     .example(&["[]"], "0")
+///     .example(&["[1 2]"], "3")
+///     .build()?;
+/// assert_eq!(p.name(), "sum");
+/// assert_eq!(p.examples().len(), 2);
+/// # Ok::<(), lambda2_synth::ProblemError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct ProblemBuilder {
+    name: String,
+    description: Option<String>,
+    params: Vec<(Symbol, Type)>,
+    ret: Option<Type>,
+    examples: Vec<Example>,
+    library: Option<Library>,
+    error: Option<ProblemError>,
+}
+
+impl ProblemBuilder {
+    /// Adds a parameter with an s-expression type (`"[int]"`, `"(tree int)"`).
+    pub fn param(mut self, name: &str, ty: &str) -> ProblemBuilder {
+        match parse_type(ty) {
+            Ok(t) => self.params.push((Symbol::intern(name), t)),
+            Err(e) => self.set_error(ProblemError::Parse(e.to_string())),
+        }
+        self
+    }
+
+    /// Sets the return type from s-expression syntax.
+    pub fn returns(mut self, ty: &str) -> ProblemBuilder {
+        match parse_type(ty) {
+            Ok(t) => self.ret = Some(t),
+            Err(e) => self.set_error(ProblemError::Parse(e.to_string())),
+        }
+        self
+    }
+
+    /// Adds an example with s-expression argument and output values.
+    pub fn example(mut self, inputs: &[&str], output: &str) -> ProblemBuilder {
+        let mut vals = Vec::with_capacity(inputs.len());
+        for i in inputs {
+            match parse_value(i) {
+                Ok(v) => vals.push(v),
+                Err(e) => {
+                    self.set_error(ProblemError::Parse(e.to_string()));
+                    return self;
+                }
+            }
+        }
+        match parse_value(output) {
+            Ok(out) => self.examples.push(Example {
+                inputs: vals,
+                output: out,
+            }),
+            Err(e) => self.set_error(ProblemError::Parse(e.to_string())),
+        }
+        self
+    }
+
+    /// Adds an example from already-parsed values.
+    pub fn example_values(mut self, inputs: Vec<Value>, output: Value) -> ProblemBuilder {
+        self.examples.push(Example { inputs, output });
+        self
+    }
+
+    /// Sets the prose description.
+    pub fn describe(mut self, text: impl Into<String>) -> ProblemBuilder {
+        self.description = Some(text.into());
+        self
+    }
+
+    /// Overrides the component library.
+    pub fn library(mut self, library: Library) -> ProblemBuilder {
+        self.library = Some(library);
+        self
+    }
+
+    fn set_error(&mut self, e: ProblemError) {
+        if self.error.is_none() {
+            self.error = Some(e);
+        }
+    }
+
+    /// Finishes the builder, validating shape and types.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ProblemError`] encountered: parse failures,
+    /// missing pieces, arity mismatches, or example values that do not
+    /// conform to the declared signature.
+    pub fn build(self) -> Result<Problem, ProblemError> {
+        if let Some(e) = self.error {
+            return Err(e);
+        }
+        if self.params.is_empty() {
+            return Err(ProblemError::NoParams);
+        }
+        if self.examples.is_empty() {
+            return Err(ProblemError::NoExamples);
+        }
+        let ret = self.ret.ok_or_else(|| {
+            ProblemError::Parse("missing return type (call `.returns(..)`)".into())
+        })?;
+        for ex in &self.examples {
+            if ex.inputs.len() != self.params.len() {
+                return Err(ProblemError::Arity {
+                    expected: self.params.len(),
+                    got: ex.inputs.len(),
+                });
+            }
+            for (v, (_, t)) in ex.inputs.iter().zip(&self.params) {
+                if !value_conforms(v, t) {
+                    return Err(ProblemError::TypeMismatch {
+                        value: v.to_string(),
+                        ty: t.to_string(),
+                    });
+                }
+            }
+            if !value_conforms(&ex.output, &ret) {
+                return Err(ProblemError::TypeMismatch {
+                    value: ex.output.to_string(),
+                    ty: ret.to_string(),
+                });
+            }
+        }
+        Ok(Problem {
+            name: self.name,
+            description: self.description,
+            params: self.params,
+            ret,
+            examples: self.examples,
+            library: self.library.unwrap_or_default(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lambda2_lang::value::Tree;
+
+    #[test]
+    fn builder_happy_path() {
+        let p = Problem::builder("reverse")
+            .describe("reverse a list")
+            .param("l", "[int]")
+            .returns("[int]")
+            .example(&["[]"], "[]")
+            .example(&["[1 2]"], "[2 1]")
+            .build()
+            .unwrap();
+        assert_eq!(p.name(), "reverse");
+        assert_eq!(p.params().len(), 1);
+        assert_eq!(p.return_type(), &Type::list(Type::Int));
+        assert_eq!(p.examples().len(), 2);
+        assert_eq!(p.description(), Some("reverse a list"));
+    }
+
+    #[test]
+    fn arity_mismatch_detected() {
+        let err = Problem::builder("f")
+            .param("a", "int")
+            .param("b", "int")
+            .returns("int")
+            .example(&["1"], "2")
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ProblemError::Arity { expected: 2, got: 1 });
+    }
+
+    #[test]
+    fn type_mismatch_detected() {
+        let err = Problem::builder("f")
+            .param("l", "[int]")
+            .returns("int")
+            .example(&["[true]"], "0")
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ProblemError::TypeMismatch { .. }));
+
+        let err = Problem::builder("f")
+            .param("l", "[int]")
+            .returns("int")
+            .example(&["[1]"], "true")
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ProblemError::TypeMismatch { .. }));
+    }
+
+    #[test]
+    fn missing_pieces_detected() {
+        assert!(matches!(
+            Problem::builder("f").returns("int").example(&[], "1").build(),
+            Err(ProblemError::NoParams)
+        ));
+        assert!(matches!(
+            Problem::builder("f").param("x", "int").returns("int").build(),
+            Err(ProblemError::NoExamples)
+        ));
+        assert!(Problem::builder("f")
+            .param("x", "int")
+            .example(&["1"], "1")
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn parse_errors_surface() {
+        let err = Problem::builder("f")
+            .param("x", "floaty")
+            .returns("int")
+            .example(&["1"], "1")
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ProblemError::Parse(_)));
+    }
+
+    #[test]
+    fn value_conformance() {
+        assert!(value_conforms(&Value::Int(1), &Type::Int));
+        assert!(!value_conforms(&Value::Int(1), &Type::Bool));
+        assert!(value_conforms(&Value::nil(), &Type::list(Type::Int)));
+        assert!(value_conforms(
+            &Value::list(vec![Value::nil()]),
+            &Type::list(Type::list(Type::Bool))
+        ));
+        let t = Value::Tree(Tree::node(Value::Int(1), vec![Tree::empty()]));
+        assert!(value_conforms(&t, &Type::tree(Type::Int)));
+        assert!(!value_conforms(&t, &Type::tree(Type::Bool)));
+        assert!(value_conforms(&Value::nil(), &Type::Var(0)));
+    }
+
+    #[test]
+    fn truncate_examples_keeps_at_least_one() {
+        let p = Problem::builder("f")
+            .param("x", "int")
+            .returns("int")
+            .example(&["1"], "1")
+            .example(&["2"], "2")
+            .build()
+            .unwrap();
+        assert_eq!(p.clone().truncate_examples(1).examples().len(), 1);
+        assert_eq!(p.truncate_examples(0).examples().len(), 1);
+    }
+}

@@ -1,0 +1,1014 @@
+//! Best-first enumerative search over hypotheses.
+//!
+//! The queue holds two kinds of work, both priced with the admissible cost
+//! bound from [`crate::hypothesis`]:
+//!
+//! * **hypotheses** — when popped, a complete hypothesis is verified against
+//!   the original examples (first success is the minimal-cost answer);
+//!   an open hypothesis spawns (a) combinator expansions of its leftmost
+//!   hole for every combinator × collection candidate, pruned and annotated
+//!   by deduction, and (b) a *closing stream* for the same hole;
+//! * **closing streams** — `(hypothesis, hole, tier)` items that lazily
+//!   materialize the enumerator's terms of exactly cost `tier` which
+//!   satisfy the hole's spec, then reschedule themselves at `tier + 1`.
+//!   This keeps enumeration interleaved with expansion in strict cost
+//!   order without ever building a level eagerly ahead of need.
+//!
+//! Work is shared aggressively across hypotheses: enumeration stores are
+//! cached by [`StoreKey`] (same scope + same example environments ⇒ same
+//! term universe), and combinator expansions are *planned once per hole
+//! context* ([`crate::expand::Template`]) — thousands of sibling
+//! hypotheses holding the same open hole reuse the same deduction results.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap};
+use std::rc::Rc;
+use std::time::{Duration, Instant};
+
+use lambda2_lang::ast::{Comb, HoleId};
+use lambda2_lang::env::Env;
+use lambda2_lang::ty::Type;
+
+use crate::enumerate::{canonical, EnumLimits, StoreKey, TermStore};
+use crate::expand::{plan_constructors, plan_expansion, Candidate, ConsTemplate, ExpandFail, Template};
+use crate::hypothesis::{HoleInfo, Hypothesis};
+use crate::problem::Problem;
+use crate::spec::{ExampleRow, Spec};
+use crate::stats::Stats;
+use crate::verify::Program;
+
+/// Tunables for the search. The defaults reproduce the paper's
+/// configuration; the ablation experiments toggle [`SearchOptions::deduction`].
+#[derive(Clone, Debug)]
+pub struct SearchOptions {
+    /// Enable deduction (refutation + example propagation). Disabling this
+    /// is the paper's "λ² without deduction" ablation.
+    pub deduction: bool,
+    /// Maximum cost of an enumerated closing term per hole.
+    pub max_term_cost: u32,
+    /// Maximum closing-term cost for *blind* holes (holes with an empty
+    /// spec, where observational equivalence cannot prune). Keeping this
+    /// lower than [`SearchOptions::max_term_cost`] prevents structural
+    /// blow-up on fold initial-value holes and in the no-deduction
+    /// ablation.
+    pub max_term_cost_blind: u32,
+    /// Maximum cost of a collection argument in a combinator expansion.
+    /// The default (1) admits exactly the variables in scope, matching the
+    /// paper's hypothesis grammar — fold chain-deduction only works on
+    /// variable collections anyway. Raise to admit projections like
+    /// `(cdr l)` at a significant search-space cost.
+    pub max_collection_cost: u32,
+    /// Maximum cost of a fold's concrete initial-value candidate when the
+    /// hole's rows contain empty-collection examples (which pin the value
+    /// and prune aggressively).
+    pub max_init_cost: u32,
+    /// Maximum init-candidate cost when *no* empty-collection row
+    /// constrains the value — every typed term qualifies, so the budget
+    /// must stay small.
+    pub max_free_init_cost: u32,
+    /// Global cost ceiling: hypotheses above this are abandoned.
+    pub max_cost: u32,
+    /// Wall-clock budget; `None` searches until exhaustion.
+    pub timeout: Option<Duration>,
+    /// Hard cap on popped queue items (guards unattended runs).
+    pub max_popped: u64,
+    /// Evaluation fuel for verification runs.
+    pub eval_fuel: u64,
+    /// Limits for the enumeration stores.
+    pub enum_limits: EnumLimits,
+    /// Global cap on the approximate heap bytes held across all
+    /// enumeration stores; exceeding it evicts least-recently-used stores
+    /// (they are deterministic caches and rebuild on demand). Bounds
+    /// memory on hard problems.
+    pub max_store_bytes: usize,
+    /// Expand holes with invertible-constructor hypotheses
+    /// (`(cons ◻ ◻)`, `(pair ◻ ◻)`, `(tree ◻ ◻)`) whose component holes
+    /// get exact deduced specs. Extends the paper's hypothesis grammar —
+    /// enabling combinator-under-constructor programs like
+    /// `(cons (foldl …) l)` — at a measurable search-space cost, so it is
+    /// off by default (matching the paper) and opted into per problem.
+    pub constructor_hypotheses: bool,
+    /// Use deduction-emitted trace probes in the enumerator's dedup
+    /// signatures (ablation knob; see `enumerate`). On by default — the
+    /// nested benchmarks rely on them.
+    pub trace_probes: bool,
+    /// Expand holes with *empty* deduced specs using combinators. Off by
+    /// default: a hole deduction could say nothing about gives nested
+    /// combinators no guidance, and such hypotheses are overwhelmingly
+    /// junk — every known suite solution carries deduced rows at every
+    /// level. Enable to restore the unrestricted hypothesis grammar.
+    /// (Ignored when deduction is disabled: the ablation must still form
+    /// hypotheses.)
+    pub expand_blind_holes: bool,
+}
+
+impl Default for SearchOptions {
+    fn default() -> SearchOptions {
+        SearchOptions {
+            deduction: true,
+            max_term_cost: 12,
+            max_term_cost_blind: 6,
+            max_collection_cost: 1,
+            max_init_cost: 5,
+            max_free_init_cost: 2,
+            max_cost: 28,
+            timeout: Some(Duration::from_secs(20)),
+            max_popped: 20_000_000,
+            eval_fuel: 50_000,
+            enum_limits: EnumLimits::default(),
+            max_store_bytes: 3_000_000_000,
+            constructor_hypotheses: false,
+            trace_probes: true,
+            expand_blind_holes: false,
+        }
+    }
+}
+
+/// Why synthesis failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SynthError {
+    /// The user's examples are contradictory.
+    InconsistentExamples,
+    /// The wall-clock budget was exhausted.
+    Timeout,
+    /// The whole (cost-bounded) space was searched without a fit.
+    Exhausted,
+    /// The popped-item cap was reached.
+    LimitReached,
+}
+
+impl std::fmt::Display for SynthError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SynthError::InconsistentExamples => {
+                write!(f, "examples are inconsistent (same inputs, different outputs)")
+            }
+            SynthError::Timeout => write!(f, "synthesis timed out"),
+            SynthError::Exhausted => {
+                write!(f, "no program within the cost bounds fits the examples")
+            }
+            SynthError::LimitReached => write!(f, "search node limit reached"),
+        }
+    }
+}
+
+impl std::error::Error for SynthError {}
+
+/// A successful synthesis.
+#[derive(Clone, Debug)]
+pub struct Synthesis {
+    /// The minimal-cost program fitting all examples.
+    pub program: Program,
+    /// Its cost under the problem's cost model.
+    pub cost: u32,
+    /// Search counters.
+    pub stats: Stats,
+    /// Wall-clock time spent.
+    pub elapsed: Duration,
+}
+
+/// One planned expansion of either flavor, for the Apply stream.
+enum Planned {
+    Comb(Template),
+    Cons(ConsTemplate),
+}
+
+impl Planned {
+    fn delta_cost(&self) -> u32 {
+        match self {
+            Planned::Comb(t) => t.delta_cost,
+            Planned::Cons(t) => t.delta_cost,
+        }
+    }
+
+    fn instantiate(
+        &self,
+        hyp: &Hypothesis,
+        hole: lambda2_lang::ast::HoleId,
+        costs: &crate::cost::CostModel,
+        next_hole: &mut lambda2_lang::ast::HoleId,
+    ) -> Hypothesis {
+        match self {
+            Planned::Comb(t) => t.instantiate(hyp, hole, costs, next_hole),
+            Planned::Cons(t) => t.instantiate(hyp, hole, costs, next_hole),
+        }
+    }
+}
+
+enum Kind {
+    Hyp(Hypothesis),
+    /// A lazy stream over a hole's planned expansions (sorted by cost):
+    /// popping instantiates template `index` and reschedules `index + 1`.
+    /// Instantiation (hole-id minting + spine rebuild) is deferred until a
+    /// child is actually due — most never are.
+    Apply {
+        hyp: Hypothesis,
+        hole: HoleId,
+        templates: Rc<Vec<Planned>>,
+        index: usize,
+    },
+    Close {
+        hyp: Hypothesis,
+        hole: HoleId,
+        tier: u32,
+    },
+}
+
+struct Entry {
+    cost: u32,
+    seq: u64,
+    kind: Kind,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Entry) -> bool {
+        self.cost == other.cost && self.seq == other.seq
+    }
+}
+impl Eq for Entry {}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Entry) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Entry {
+    fn cmp(&self, other: &Entry) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the cheapest pops first,
+        // FIFO within equal costs for determinism.
+        other
+            .cost
+            .cmp(&self.cost)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Runs best-first synthesis on `problem`.
+///
+/// # Errors
+///
+/// See [`SynthError`].
+pub fn search(problem: &Problem, options: &SearchOptions) -> Result<Synthesis, SynthError> {
+    let start = Instant::now();
+    let library = problem.library();
+    let costs = library.costs().clone();
+
+    // Root spec: the user's examples, verbatim.
+    let rows: Vec<ExampleRow> = problem
+        .examples()
+        .iter()
+        .map(|ex| {
+            let mut env = Env::empty();
+            for ((sym, _), v) in problem.params().iter().zip(&ex.inputs) {
+                env = env.bind(*sym, v.clone());
+            }
+            ExampleRow::new(env, ex.output.clone())
+        })
+        .collect();
+    let root_spec = Spec::new(rows).map_err(|_| SynthError::InconsistentExamples)?;
+    let root_info = HoleInfo::new(
+        problem.return_type().clone(),
+        problem.params().to_vec(),
+        root_spec,
+    );
+
+    let mut stats = Stats::default();
+    // Stores carry a last-used tick for LRU eviction under the global
+    // term budget.
+    let mut stores: HashMap<StoreKey, (TermStore, u64)> = HashMap::new();
+    let mut store_tick: u64 = 0;
+    let mut templates: HashMap<(StoreKey, Type), Rc<Vec<Planned>>> = HashMap::new();
+    let mut queue: BinaryHeap<Entry> = BinaryHeap::new();
+    let mut seq: u64 = 0;
+    let mut next_hole: HoleId = 1;
+
+    let root = Hypothesis::root(root_info, &costs);
+    queue.push(Entry {
+        cost: root.cost,
+        seq,
+        kind: Kind::Hyp(root),
+    });
+
+    while let Some(entry) = queue.pop() {
+        stats.popped += 1;
+        if stats.popped >= options.max_popped {
+            return Err(SynthError::LimitReached);
+        }
+        if stats.popped % 64 == 0 {
+            if let Some(t) = options.timeout {
+                if start.elapsed() >= t {
+                    return Err(SynthError::Timeout);
+                }
+            }
+        }
+        if stats.popped % 65_536 == 0 && std::env::var_os("LAMBDA2_STORE_DEBUG").is_some() {
+            let rss = std::fs::read_to_string("/proc/self/status")
+                .ok()
+                .and_then(|s| {
+                    s.lines()
+                        .find(|l| l.starts_with("VmRSS"))
+                        .map(|l| l.trim().to_owned())
+                })
+                .unwrap_or_default();
+            eprintln!(
+                "[debug] popped {}k queue {} stores {} terms {} ~{}MB templates {} (sum {} max {}) {rss}",
+                stats.popped / 1024,
+                queue.len(),
+                stores.len(),
+                stores.values().map(|(s, _)| s.len()).sum::<usize>(),
+                stores.values().map(|(s, _)| s.approx_bytes()).sum::<usize>() / 1_048_576,
+                templates.len(),
+                templates.values().map(|t| t.len()).sum::<usize>(),
+                templates.values().map(|t| t.len()).max().unwrap_or(0),
+            );
+        }
+
+        match entry.kind {
+            Kind::Hyp(hyp) => {
+                if hyp.cost > options.max_cost {
+                    continue;
+                }
+                if let Some(filter) = std::env::var_os("LAMBDA2_TRACE") {
+                    let shown = hyp.expr.to_string();
+                    if shown.contains(filter.to_str().unwrap_or("")) {
+                        eprintln!("[pop {} cost {}] {}", stats.popped, hyp.cost, shown);
+                    }
+                }
+                if hyp.is_complete() {
+                    stats.verified += 1;
+                    let program = Program::new(problem.params().to_vec(), hyp.expr.clone());
+                    if program.satisfies_problem(problem, options.eval_fuel) {
+                        stats.enumerated_terms =
+                            stores.values().map(|(s, _)| s.len() as u64).sum();
+                        if std::env::var_os("LAMBDA2_STORE_DEBUG").is_some() {
+                            let mut sizes: Vec<usize> =
+                                stores.values().map(|(s, _)| s.len()).collect();
+                            sizes.sort_unstable_by(|a, b| b.cmp(a));
+                            eprintln!(
+                                "[debug] {} stores, sizes top10 {:?}, total {}",
+                                sizes.len(),
+                                &sizes[..sizes.len().min(10)],
+                                sizes.iter().sum::<usize>()
+                            );
+                        }
+                        return Ok(Synthesis {
+                            program,
+                            cost: hyp.cost,
+                            stats,
+                            elapsed: start.elapsed(),
+                        });
+                    }
+                    stats.verify_failures += 1;
+                    continue;
+                }
+
+                let (hole, info) = hyp.first_hole().expect("incomplete has a hole");
+                let info = Rc::clone(info);
+
+                // (a) Closing stream for this hole, starting at the
+                // cheapest term tier.
+                let tier0 = costs.hole_min();
+                seq += 1;
+                queue.push(Entry {
+                    cost: hyp.cost - costs.hole_min() + tier0,
+                    seq,
+                    kind: Kind::Close {
+                        hyp: hyp.clone(),
+                        hole,
+                        tier: tier0,
+                    },
+                });
+
+                // (b) Combinator expansions, via the per-hole-context
+                // template cache. Skip planning entirely when even the
+                // cheapest conceivable template (comb + lambda + two
+                // leaves) cannot fit the global budget — deep holes near
+                // the cost ceiling otherwise pay for stores they never use.
+                let min_comb_cost = library
+                    .combs()
+                    .iter()
+                    .map(|c| costs.comb_cost(*c))
+                    .min()
+                    .unwrap_or(u32::MAX);
+                let min_delta = min_comb_cost
+                    .saturating_add(costs.lambda)
+                    .saturating_add(2 * costs.hole_min());
+                if hyp.cost - costs.hole_min() + min_delta > options.max_cost {
+                    continue;
+                }
+                if options.deduction && !options.expand_blind_holes && info.spec.is_empty() {
+                    // Deduction had nothing to say about this hole;
+                    // closings (first-order terms) remain available.
+                    continue;
+                }
+                let tkey = (info.store_key.clone(), canonical(&info.ty));
+                let planned = match templates.get(&tkey) {
+                    Some(ts) => Rc::clone(ts),
+                    None => {
+                        store_tick += 1;
+                        let entry = stores
+                            .entry(info.store_key.clone())
+                            .or_insert_with(|| {
+                                (
+                                    TermStore::with_probes(
+                                        info.scope.clone(),
+                                        &info.spec,
+                                        if options.trace_probes {
+                                            &info.probes
+                                        } else {
+                                            &[]
+                                        },
+                                        options.enum_limits,
+                                    ),
+                                    0,
+                                )
+                            });
+                        entry.1 = store_tick;
+                        let store = &mut entry.0;
+                        // The collection pool is cheap (cost <= 3); the
+                        // larger init pool is only materialized when some
+                        // collection candidate actually has empty-collection
+                        // rows to constrain it.
+                        store.ensure(options.max_collection_cost, library);
+                        let needs_deep_inits = options.deduction
+                            && store.collections(options.max_collection_cost).iter().any(
+                                |(_, vals)| {
+                                    vals.iter().any(|v| match v {
+                                        lambda2_lang::value::Value::List(xs) => xs.is_empty(),
+                                        lambda2_lang::value::Value::Tree(t) => t.is_empty(),
+                                        _ => false,
+                                    })
+                                },
+                            );
+                        let arg_cost = if needs_deep_inits {
+                            options.max_collection_cost.max(options.max_init_cost)
+                        } else {
+                            options
+                                .max_collection_cost
+                                .max(options.max_free_init_cost)
+                        };
+                        store.ensure(arg_cost, library);
+                        let pool: Vec<_> = store
+                            .error_free(arg_cost)
+                            .into_iter()
+                            .map(|(t, vals)| (t.expr.clone(), t.ty.clone(), vals, t.cost))
+                            .collect();
+
+                        let mut planned = Vec::new();
+                        for &comb in library.combs() {
+                            // Cheap shape pre-filter on the hole type.
+                            let hole_ok = match comb {
+                                Comb::Map | Comb::Filter => {
+                                    matches!(info.ty, Type::List(_) | Type::Var(_))
+                                }
+                                Comb::Mapt => {
+                                    matches!(info.ty, Type::Tree(_) | Type::Var(_))
+                                }
+                                _ => true,
+                            };
+                            if !hole_ok {
+                                continue;
+                            }
+                            for (expr, ty, vals, cost) in &pool {
+                                // Shape pre-filter on the collection.
+                                let coll_ok = *cost <= options.max_collection_cost
+                                    && if comb.is_tree() {
+                                        matches!(ty, Type::Tree(_))
+                                    } else {
+                                        matches!(ty, Type::List(_))
+                                    };
+                                if !coll_ok {
+                                    continue;
+                                }
+                                let cand = Candidate {
+                                    expr,
+                                    ty,
+                                    values: vals.clone(),
+                                    cost: *cost,
+                                };
+                                if comb.init_index().is_none() {
+                                    match plan_expansion(
+                                        &info,
+                                        comb,
+                                        &cand,
+                                        None,
+                                        &costs,
+                                        options.deduction,
+                                    ) {
+                                        Ok(t) => planned.push(Planned::Comb(t)),
+                                        Err(ExpandFail::Refuted) => stats.refuted += 1,
+                                        Err(ExpandFail::IllTyped) => stats.ill_typed += 1,
+                                    }
+                                    continue;
+                                }
+                                // Folds: one template per initial-value
+                                // candidate of the hole's (result) type.
+                                // Empty-collection rows pin the init value,
+                                // allowing a larger budget; without them
+                                // every typed term qualifies, so keep the
+                                // budget tight.
+                                let empty_rows: Vec<(usize, &lambda2_lang::value::Value)> =
+                                    if options.deduction {
+                                        info.spec
+                                            .rows()
+                                            .iter()
+                                            .enumerate()
+                                            .filter(|(i, _)| match &vals[*i] {
+                                                lambda2_lang::value::Value::List(xs) => {
+                                                    xs.is_empty()
+                                                }
+                                                lambda2_lang::value::Value::Tree(t) => {
+                                                    t.is_empty()
+                                                }
+                                                _ => false,
+                                            })
+                                            .map(|(i, r)| (i, &r.output))
+                                            .collect()
+                                    } else {
+                                        Vec::new()
+                                    };
+                                let init_budget = if empty_rows.is_empty() {
+                                    options.max_free_init_cost
+                                } else {
+                                    options.max_init_cost
+                                };
+                                for (ie, ity, ivals, icost) in &pool {
+                                    if *icost > init_budget
+                                        || !crate::enumerate::unifiable(ity, &info.ty)
+                                    {
+                                        continue;
+                                    }
+                                    if empty_rows
+                                        .iter()
+                                        .any(|(i, out)| &ivals[*i] != *out)
+                                    {
+                                        stats.refuted += 1;
+                                        continue;
+                                    }
+                                    let init = Candidate {
+                                        expr: ie,
+                                        ty: ity,
+                                        values: ivals.clone(),
+                                        cost: *icost,
+                                    };
+                                    match plan_expansion(
+                                        &info,
+                                        comb,
+                                        &cand,
+                                        Some(&init),
+                                        &costs,
+                                        options.deduction,
+                                    ) {
+                                        Ok(t) => planned.push(Planned::Comb(t)),
+                                        Err(ExpandFail::Refuted) => stats.refuted += 1,
+                                        Err(ExpandFail::IllTyped) => stats.ill_typed += 1,
+                                    }
+                                }
+                            }
+                        }
+                        // Constructor hypotheses: invertible constructors
+                        // split a hole into exactly-specified components.
+                        if options.constructor_hypotheses && options.deduction {
+                            planned.extend(
+                                plan_constructors(&info, &costs)
+                                    .into_iter()
+                                    .map(Planned::Cons),
+                            );
+                        }
+                        // The Apply stream below walks templates in order,
+                        // so sort by cost for best-first behavior.
+                        planned.sort_by_key(Planned::delta_cost);
+                        let planned = Rc::new(planned);
+                        templates.insert(tkey, Rc::clone(&planned));
+                        evict_stores(&mut stores, options.max_store_bytes, &info.store_key);
+                        planned
+                    }
+                };
+
+                if !planned.is_empty() {
+                    seq += 1;
+                    let first_cost = hyp.cost - costs.hole_min() + planned[0].delta_cost();
+                    if first_cost <= options.max_cost {
+                        queue.push(Entry {
+                            cost: first_cost,
+                            seq,
+                            kind: Kind::Apply {
+                                hyp: hyp.clone(),
+                                hole,
+                                templates: planned,
+                                index: 0,
+                            },
+                        });
+                    }
+                }
+            }
+            Kind::Apply {
+                hyp,
+                hole,
+                templates,
+                index,
+            } => {
+                stats.expansions += 1;
+                let child =
+                    templates[index].instantiate(&hyp, hole, &costs, &mut next_hole);
+                seq += 1;
+                queue.push(Entry {
+                    cost: child.cost,
+                    seq,
+                    kind: Kind::Hyp(child),
+                });
+                // Advance the stream.
+                if index + 1 < templates.len() {
+                    let next_cost =
+                        hyp.cost - costs.hole_min() + templates[index + 1].delta_cost();
+                    if next_cost <= options.max_cost {
+                        seq += 1;
+                        queue.push(Entry {
+                            cost: next_cost,
+                            seq,
+                            kind: Kind::Apply {
+                                hyp,
+                                hole,
+                                templates,
+                                index: index + 1,
+                            },
+                        });
+                    }
+                }
+            }
+            Kind::Close { hyp, hole, tier } => {
+                let info = hyp
+                    .holes()
+                    .iter()
+                    .find(|(h, _)| *h == hole)
+                    .map(|(_, i)| Rc::clone(i))
+                    .expect("close item refers to an open hole");
+                store_tick += 1;
+                let entry = stores
+                    .entry(info.store_key.clone())
+                    .or_insert_with(|| {
+                        (
+                            TermStore::with_probes(
+                                info.scope.clone(),
+                                &info.spec,
+                                if options.trace_probes {
+                                    &info.probes
+                                } else {
+                                    &[]
+                                },
+                                options.enum_limits,
+                            ),
+                            0,
+                        )
+                    });
+                entry.1 = store_tick;
+                let store = &mut entry.0;
+                store.ensure(tier, library);
+                let fills: Vec<(Rc<lambda2_lang::ast::Expr>, u32)> = store
+                    .closings(tier, &info.ty, &info.spec)
+                    .map(|t| (t.expr.clone(), t.cost))
+                    .collect();
+                evict_stores(&mut stores, options.max_store_bytes, &info.store_key);
+                let closes_last_hole = hyp.holes().len() == 1;
+                for (expr, term_cost) in fills {
+                    let child_cost = hyp.cost - costs.hole_min() + term_cost;
+                    if child_cost > options.max_cost {
+                        continue;
+                    }
+                    stats.closings += 1;
+                    // Closing the last hole completes the program; verify
+                    // *now* and only enqueue survivors — blind holes can
+                    // produce tens of thousands of candidates per tier,
+                    // and queueing the failures (the vast majority) would
+                    // balloon memory. Survivors still go through the
+                    // queue so the cheapest fitting program wins.
+                    if closes_last_hole {
+                        stats.verified += 1;
+                        let child = hyp.fill(hole, &expr, vec![], child_cost);
+                        let program =
+                            Program::new(problem.params().to_vec(), child.expr.clone());
+                        if program.satisfies_problem(problem, options.eval_fuel) {
+                            seq += 1;
+                            queue.push(Entry {
+                                cost: child_cost,
+                                seq,
+                                kind: Kind::Hyp(child),
+                            });
+                        } else {
+                            stats.verify_failures += 1;
+                        }
+                        continue;
+                    }
+                    let child = hyp.fill(hole, &expr, vec![], child_cost);
+                    seq += 1;
+                    queue.push(Entry {
+                        cost: child_cost,
+                        seq,
+                        kind: Kind::Hyp(child),
+                    });
+                }
+                // Reschedule the stream at the next tier; blind holes (no
+                // spec rows, hence no observational pruning) get a tighter
+                // cap.
+                let tier_cap = if info.spec.is_empty() {
+                    options.max_term_cost_blind.min(options.max_term_cost)
+                } else {
+                    options.max_term_cost
+                };
+                let next_tier = tier + 1;
+                let next_cost = hyp.cost - costs.hole_min() + next_tier;
+                if next_tier <= tier_cap && next_cost <= options.max_cost {
+                    seq += 1;
+                    queue.push(Entry {
+                        cost: next_cost,
+                        seq,
+                        kind: Kind::Close {
+                            hyp,
+                            hole,
+                            tier: next_tier,
+                        },
+                    });
+                }
+            }
+        }
+    }
+
+    Err(SynthError::Exhausted)
+}
+
+/// Evicts least-recently-used stores until the approximate heap footprint
+/// fits the budget, never evicting `current` (just touched). Evicted
+/// stores rebuild deterministically if revisited, trading CPU for bounded
+/// memory.
+fn evict_stores(
+    stores: &mut HashMap<StoreKey, (TermStore, u64)>,
+    budget: usize,
+    current: &StoreKey,
+) {
+    let mut total: usize = stores.values().map(|(s, _)| s.approx_bytes()).sum();
+    while total > budget && stores.len() > 1 {
+        let victim = stores
+            .iter()
+            .filter(|(k, _)| *k != current)
+            .min_by_key(|(_, (_, tick))| *tick)
+            .map(|(k, (s, _))| (k.clone(), s.approx_bytes()));
+        match victim {
+            Some((key, bytes)) => {
+                stores.remove(&key);
+                total -= bytes;
+            }
+            None => break,
+        }
+    }
+}
+
+// Debug instrumentation: set LAMBDA2_STORE_DEBUG=1 to dump store sizes.
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn solve(problem: &Problem) -> Synthesis {
+        search(problem, &SearchOptions::default()).expect("should synthesize")
+    }
+
+    fn problem(
+        name: &str,
+        params: &[(&str, &str)],
+        ret: &str,
+        examples: &[(&[&str], &str)],
+    ) -> Problem {
+        let mut b = Problem::builder(name);
+        for (n, t) in params {
+            b = b.param(n, t);
+        }
+        b = b.returns(ret);
+        for (ins, out) in examples {
+            b = b.example(ins, out);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn synthesizes_identity() {
+        let p = problem(
+            "id",
+            &[("l", "[int]")],
+            "[int]",
+            &[(&["[1 2]"], "[1 2]"), (&["[]"], "[]"), (&["[3]"], "[3]")],
+        );
+        let s = solve(&p);
+        assert_eq!(s.program.body().to_string(), "l");
+        assert_eq!(s.cost, 1);
+    }
+
+    #[test]
+    fn synthesizes_increment_map() {
+        let p = problem(
+            "incr",
+            &[("l", "[int]")],
+            "[int]",
+            &[(&["[]"], "[]"), (&["[1 2]"], "[2 3]"), (&["[7]"], "[8]")],
+        );
+        let s = solve(&p);
+        let shown = s.program.body().to_string();
+        assert!(shown.starts_with("(map (lambda (x) "), "{shown}");
+        let out = s
+            .program
+            .apply(&[lambda2_lang::parser::parse_value("[10 20]").unwrap()])
+            .unwrap();
+        assert_eq!(out, lambda2_lang::parser::parse_value("[11 21]").unwrap());
+    }
+
+    #[test]
+    fn synthesizes_length_via_fold() {
+        let p = problem(
+            "length",
+            &[("l", "[int]")],
+            "int",
+            &[
+                (&["[]"], "0"),
+                (&["[7]"], "1"),
+                (&["[7 4]"], "2"),
+                (&["[7 4 9]"], "3"),
+            ],
+        );
+        let s = solve(&p);
+        let out = s
+            .program
+            .apply(&[lambda2_lang::parser::parse_value("[1 2 3 4 5]").unwrap()])
+            .unwrap();
+        assert_eq!(out, lambda2_lang::value::Value::Int(5));
+    }
+
+    #[test]
+    fn minimality_prefers_first_order_solutions() {
+        // car is expressible first-order; no combinator should appear.
+        let p = problem(
+            "head",
+            &[("l", "[int]")],
+            "int",
+            &[(&["[3 1]"], "3"), (&["[5]"], "5"), (&["[2 9 9]"], "2")],
+        );
+        let s = solve(&p);
+        assert_eq!(s.program.body().to_string(), "(car l)");
+    }
+
+    #[test]
+    fn inconsistent_examples_error_out() {
+        let p = problem(
+            "bad",
+            &[("x", "int")],
+            "int",
+            &[(&["1"], "1"), (&["1"], "2")],
+        );
+        assert_eq!(
+            search(&p, &SearchOptions::default()).unwrap_err(),
+            SynthError::InconsistentExamples
+        );
+    }
+
+    #[test]
+    fn impossible_problems_exhaust_or_time_out() {
+        // Output depends on information not present in the input under a
+        // tiny cost budget: forces exhaustion quickly.
+        let p = problem(
+            "impossible",
+            &[("x", "int")],
+            "int",
+            &[(&["1"], "100"), (&["2"], "-3"), (&["3"], "77"), (&["4"], "1234")],
+        );
+        let opts = SearchOptions {
+            max_cost: 5,
+            max_term_cost: 5,
+            timeout: Some(Duration::from_secs(5)),
+            ..SearchOptions::default()
+        };
+        let err = search(&p, &opts).unwrap_err();
+        assert!(matches!(err, SynthError::Exhausted | SynthError::Timeout));
+    }
+
+    #[test]
+    fn verification_rejects_overfit_closings() {
+        // reverse: the [] and [5] examples alone admit `l` itself, but the
+        // two-element example forces the fold. Checks end-to-end behavior.
+        let p = problem(
+            "reverse",
+            &[("l", "[int]")],
+            "[int]",
+            &[
+                (&["[]"], "[]"),
+                (&["[5]"], "[5]"),
+                (&["[5 2]"], "[2 5]"),
+                (&["[5 2 9]"], "[9 2 5]"),
+            ],
+        );
+        let s = solve(&p);
+        let rev = s
+            .program
+            .apply(&[lambda2_lang::parser::parse_value("[1 2 3 4]").unwrap()])
+            .unwrap();
+        assert_eq!(rev, lambda2_lang::parser::parse_value("[4 3 2 1]").unwrap());
+    }
+
+    #[test]
+    fn tiny_store_budget_still_solves_via_eviction() {
+        // Eviction trades CPU for memory but must not change answers.
+        let p = problem(
+            "sum",
+            &[("l", "[int]")],
+            "int",
+            &[
+                (&["[]"], "0"),
+                (&["[5]"], "5"),
+                (&["[5 3]"], "8"),
+                (&["[5 3 9]"], "17"),
+            ],
+        );
+        let opts = SearchOptions {
+            max_store_bytes: 200_000, // absurdly small
+            ..SearchOptions::default()
+        };
+        let s = search(&p, &opts).expect("solves despite eviction churn");
+        assert!(s.program.satisfies_problem(&p, 100_000));
+    }
+
+    #[test]
+    fn blind_hole_expansion_is_opt_in() {
+        // With deduction on, holes that deduction said nothing about are
+        // not expanded with combinators by default; the option restores
+        // the unrestricted grammar. Both settings must agree on problems
+        // whose solutions carry rows everywhere (the whole suite).
+        let p = problem(
+            "incr",
+            &[("l", "[int]")],
+            "[int]",
+            &[(&["[]"], "[]"), (&["[1 7]"], "[2 8]"), (&["[4]"], "[5]")],
+        );
+        let restricted = search(&p, &SearchOptions::default()).unwrap();
+        let unrestricted = search(
+            &p,
+            &SearchOptions {
+                expand_blind_holes: true,
+                ..SearchOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(restricted.cost, unrestricted.cost);
+        // The restricted search never does more expansion work.
+        assert!(restricted.stats.expansions <= unrestricted.stats.expansions);
+    }
+
+    #[test]
+    fn constructor_hypotheses_unlock_fold_under_cons() {
+        // (cons (foldl + 0 l) l) buries a combinator inside a constructor:
+        // reachable only through the constructor-hypothesis extension.
+        let p = problem(
+            "prepend_sum",
+            &[("l", "[int]")],
+            "[int]",
+            &[
+                (&["[]"], "[0]"),
+                (&["[5]"], "[5 5]"),
+                (&["[5 3]"], "[8 5 3]"),
+                (&["[5 3 9]"], "[17 5 3 9]"),
+            ],
+        );
+        let opts = SearchOptions {
+            constructor_hypotheses: true,
+            ..SearchOptions::default()
+        };
+        let s = search(&p, &opts).expect("solves with constructors");
+        assert!(
+            s.program.body().to_string().starts_with("(cons "),
+            "{}",
+            s.program
+        );
+        assert!(s.program.body().to_string().contains("foldl"), "{}", s.program);
+
+        // Without the extension (the default) the program is out of the
+        // grammar.
+        let opts = SearchOptions {
+            timeout: Some(Duration::from_secs(5)),
+            max_cost: 14,
+            ..SearchOptions::default()
+        };
+        assert!(search(&p, &opts).is_err());
+    }
+
+    #[test]
+    fn deduction_off_still_solves_trivial_problems() {
+        let p = problem(
+            "id",
+            &[("l", "[int]")],
+            "[int]",
+            &[(&["[1 2]"], "[1 2]"), (&["[]"], "[]"), (&["[3]"], "[3]")],
+        );
+        let opts = SearchOptions {
+            deduction: false,
+            ..SearchOptions::default()
+        };
+        let s = search(&p, &opts).unwrap();
+        assert_eq!(s.program.body().to_string(), "l");
+    }
+}

@@ -1,0 +1,207 @@
+//! Example specifications.
+//!
+//! A [`Spec`] is the semantic annotation on a hole: a set of rows, each
+//! pairing an environment (values for every variable in scope at the hole)
+//! with the output the hole's eventual expression must produce there.
+//!
+//! The root hole's spec is exactly the user's input-output examples;
+//! deeper specs are *deduced* by the combinator rules. A spec is kept
+//! *functionally consistent* by construction: two rows with identical
+//! environments and different outputs would be unrealizable, so building
+//! such a spec fails — this failure is precisely how deduction refutes a
+//! hypothesis.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use lambda2_lang::env::Env;
+use lambda2_lang::symbol::Symbol;
+use lambda2_lang::value::Value;
+
+/// One input-output example row: produce `output` under `env`.
+#[derive(Clone, Debug)]
+pub struct ExampleRow {
+    /// Bindings for every variable in scope.
+    pub env: Env,
+    /// Required output of the hole under `env`.
+    pub output: Value,
+}
+
+impl ExampleRow {
+    /// Creates a row.
+    pub fn new(env: Env, output: Value) -> ExampleRow {
+        ExampleRow { env, output }
+    }
+}
+
+/// Error signalling that a set of rows is not a function: two identical
+/// environments demand different outputs.
+#[derive(Clone, Debug)]
+pub struct Inconsistent {
+    /// The two conflicting outputs.
+    pub first: Value,
+    /// See [`Inconsistent::first`].
+    pub second: Value,
+}
+
+impl fmt::Display for Inconsistent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "inconsistent examples: same inputs require `{}` and `{}`",
+            self.first, self.second
+        )
+    }
+}
+
+impl std::error::Error for Inconsistent {}
+
+/// A functionally consistent, duplicate-free set of example rows.
+#[derive(Clone, Debug, Default)]
+pub struct Spec {
+    rows: Vec<ExampleRow>,
+}
+
+impl Spec {
+    /// The empty spec (no constraints). Holes with empty specs can only be
+    /// pruned by types and final verification.
+    pub fn empty() -> Spec {
+        Spec::default()
+    }
+
+    /// Builds a spec from rows, deduplicating identical rows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Inconsistent`] if two rows have equal environments but
+    /// different outputs. Deduction rules treat this as a refutation.
+    pub fn new(rows: impl IntoIterator<Item = ExampleRow>) -> Result<Spec, Inconsistent> {
+        let mut seen: HashMap<Vec<(Symbol, Value)>, usize> = HashMap::new();
+        let mut out = Vec::new();
+        for row in rows {
+            let key = row.env.fingerprint();
+            match seen.get(&key) {
+                Some(&i) => {
+                    let existing: &ExampleRow = &out[i];
+                    if existing.output != row.output {
+                        return Err(Inconsistent {
+                            first: existing.output.clone(),
+                            second: row.output,
+                        });
+                    }
+                }
+                None => {
+                    seen.insert(key, out.len());
+                    out.push(row);
+                }
+            }
+        }
+        Ok(Spec { rows: out })
+    }
+
+    /// The rows, in insertion order (deterministic).
+    pub fn rows(&self) -> &[ExampleRow] {
+        &self.rows
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` if the spec has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The row environments, in order. This is the observational-equivalence
+    /// context used by the enumerator.
+    pub fn envs(&self) -> impl Iterator<Item = &Env> {
+        self.rows.iter().map(|r| &r.env)
+    }
+}
+
+impl fmt::Display for Spec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{} example row(s):", self.rows.len())?;
+        for r in &self.rows {
+            let mut binds: Vec<String> = r
+                .env
+                .bindings()
+                .iter()
+                .map(|(s, v)| format!("{s}={v}"))
+                .collect();
+            binds.reverse(); // outermost first reads better
+            writeln!(f, "  {{{}}} -> {}", binds.join(", "), r.output)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sym(s: &str) -> Symbol {
+        Symbol::intern(s)
+    }
+
+    fn row(bind: &[(&str, i64)], out: i64) -> ExampleRow {
+        let env = Env::from_bindings(
+            bind.iter().map(|(s, v)| (sym(s), Value::Int(*v))),
+        );
+        ExampleRow::new(env, Value::Int(out))
+    }
+
+    #[test]
+    fn consistent_rows_build_a_spec() {
+        let s = Spec::new(vec![row(&[("x", 1)], 2), row(&[("x", 2)], 3)]).unwrap();
+        assert_eq!(s.len(), 2);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn duplicate_rows_are_merged() {
+        let s = Spec::new(vec![row(&[("x", 1)], 2), row(&[("x", 1)], 2)]).unwrap();
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn conflicting_rows_are_rejected() {
+        let err = Spec::new(vec![row(&[("x", 1)], 2), row(&[("x", 1)], 3)]).unwrap_err();
+        assert_eq!(err.first, Value::Int(2));
+        assert_eq!(err.second, Value::Int(3));
+    }
+
+    #[test]
+    fn conflict_detection_ignores_binding_order() {
+        let a = ExampleRow::new(
+            Env::empty()
+                .bind(sym("x"), Value::Int(1))
+                .bind(sym("y"), Value::Int(2)),
+            Value::Int(0),
+        );
+        let b = ExampleRow::new(
+            Env::empty()
+                .bind(sym("y"), Value::Int(2))
+                .bind(sym("x"), Value::Int(1)),
+            Value::Int(9),
+        );
+        assert!(Spec::new(vec![a, b]).is_err());
+    }
+
+    #[test]
+    fn empty_spec() {
+        let s = Spec::empty();
+        assert!(s.is_empty());
+        assert_eq!(s.envs().count(), 0);
+    }
+
+    #[test]
+    fn display_shows_rows() {
+        let s = Spec::new(vec![row(&[("x", 1)], 2)]).unwrap();
+        let shown = s.to_string();
+        assert!(shown.contains("x=1"));
+        assert!(shown.contains("-> 2"));
+    }
+}

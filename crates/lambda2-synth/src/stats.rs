@@ -1,0 +1,110 @@
+//! Search statistics, reported with every synthesis result and consumed by
+//! the experiment harness.
+
+use std::fmt;
+use std::time::Duration;
+
+/// Counters describing one synthesis run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Stats {
+    /// Queue items popped.
+    pub popped: u64,
+    /// Hypotheses created by combinator expansion.
+    pub expansions: u64,
+    /// Combinator expansions refuted by deduction.
+    pub refuted: u64,
+    /// Combinator expansions rejected by typing.
+    pub ill_typed: u64,
+    /// Hole closings attempted (terms that matched a hole's spec).
+    pub closings: u64,
+    /// Complete candidate programs verified against the examples.
+    pub verified: u64,
+    /// Complete candidates that failed verification.
+    pub verify_failures: u64,
+    /// Terms materialized across all enumeration stores.
+    pub enumerated_terms: u64,
+}
+
+impl Stats {
+    /// Merges another run's counters into this one (used when aggregating
+    /// over a benchmark suite).
+    pub fn merge(&mut self, other: &Stats) {
+        self.popped += other.popped;
+        self.expansions += other.expansions;
+        self.refuted += other.refuted;
+        self.ill_typed += other.ill_typed;
+        self.closings += other.closings;
+        self.verified += other.verified;
+        self.verify_failures += other.verify_failures;
+        self.enumerated_terms += other.enumerated_terms;
+    }
+}
+
+impl fmt::Display for Stats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "popped={} expansions={} refuted={} ill-typed={} closings={} verified={} (failed {}) terms={}",
+            self.popped,
+            self.expansions,
+            self.refuted,
+            self.ill_typed,
+            self.closings,
+            self.verified,
+            self.verify_failures,
+            self.enumerated_terms
+        )
+    }
+}
+
+/// Outcome of a timed synthesis attempt, as recorded by the harness.
+#[derive(Clone, Debug)]
+pub struct Measurement {
+    /// Problem name.
+    pub name: String,
+    /// Wall-clock time spent.
+    pub elapsed: Duration,
+    /// Whether a program was found.
+    pub solved: bool,
+    /// Cost of the found program (0 when unsolved).
+    pub cost: u32,
+    /// Size (AST nodes) of the found program's body (0 when unsolved).
+    pub size: usize,
+    /// The found program, rendered (empty when unsolved).
+    pub program: String,
+    /// Number of examples used.
+    pub examples: usize,
+    /// Search counters.
+    pub stats: Stats,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_adds_counters() {
+        let mut a = Stats {
+            popped: 1,
+            expansions: 2,
+            refuted: 3,
+            ill_typed: 4,
+            closings: 5,
+            verified: 6,
+            verify_failures: 7,
+            enumerated_terms: 8,
+        };
+        let b = a.clone();
+        a.merge(&b);
+        assert_eq!(a.popped, 2);
+        assert_eq!(a.enumerated_terms, 16);
+    }
+
+    #[test]
+    fn display_mentions_every_counter() {
+        let s = Stats::default().to_string();
+        for key in ["popped", "expansions", "refuted", "closings", "verified", "terms"] {
+            assert!(s.contains(key), "missing {key} in `{s}`");
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! The public synthesizer façade.
+
+use std::time::Duration;
+
+use crate::problem::Problem;
+use crate::search::{search, SearchOptions, Synthesis, SynthError};
+
+/// Example-guided program synthesizer (the λ² algorithm).
+///
+/// Wraps [`SearchOptions`] behind a builder-style API.
+///
+/// # Examples
+///
+/// ```
+/// use lambda2_synth::{Problem, Synthesizer};
+///
+/// let problem = Problem::builder("double")
+///     .param("l", "[int]")
+///     .returns("[int]")
+///     .example(&["[]"], "[]")
+///     .example(&["[1 2]"], "[2 4]")
+///     .example(&["[5]"], "[10]")
+///     .build()?;
+/// let result = Synthesizer::default().synthesize(&problem).expect("solved");
+/// // A minimal map over the list; exact argument order may vary.
+/// assert!(result.program.body().to_string().starts_with("(map (lambda (x) "));
+/// # use lambda2_lang::parser::parse_value;
+/// let out = result.program.apply(&[parse_value("[3 4]").unwrap()]).unwrap();
+/// assert_eq!(out, parse_value("[6 8]").unwrap());
+/// # Ok::<(), lambda2_synth::ProblemError>(())
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Synthesizer {
+    options: SearchOptions,
+}
+
+impl Synthesizer {
+    /// Creates a synthesizer with default options.
+    pub fn new() -> Synthesizer {
+        Synthesizer::default()
+    }
+
+    /// Creates a synthesizer from explicit options.
+    pub fn with_options(options: SearchOptions) -> Synthesizer {
+        Synthesizer { options }
+    }
+
+    /// Sets the wall-clock budget (chainable).
+    pub fn timeout(mut self, timeout: Duration) -> Synthesizer {
+        self.options.timeout = Some(timeout);
+        self
+    }
+
+    /// Removes the wall-clock budget (chainable).
+    pub fn no_timeout(mut self) -> Synthesizer {
+        self.options.timeout = None;
+        self
+    }
+
+    /// Enables or disables deduction — the paper's key ablation (chainable).
+    pub fn deduction(mut self, enabled: bool) -> Synthesizer {
+        self.options.deduction = enabled;
+        self
+    }
+
+    /// Sets the global cost ceiling (chainable).
+    pub fn max_cost(mut self, max_cost: u32) -> Synthesizer {
+        self.options.max_cost = max_cost;
+        self
+    }
+
+    /// The active options.
+    pub fn options(&self) -> &SearchOptions {
+        &self.options
+    }
+
+    /// Synthesizes the minimal-cost program fitting `problem`'s examples.
+    ///
+    /// # Errors
+    ///
+    /// See [`SynthError`].
+    pub fn synthesize(&self, problem: &Problem) -> Result<Synthesis, SynthError> {
+        search(problem, &self.options)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_methods_set_options() {
+        let s = Synthesizer::new()
+            .timeout(Duration::from_secs(3))
+            .deduction(false)
+            .max_cost(17);
+        assert_eq!(s.options().timeout, Some(Duration::from_secs(3)));
+        assert!(!s.options().deduction);
+        assert_eq!(s.options().max_cost, 17);
+        let s = s.no_timeout();
+        assert_eq!(s.options().timeout, None);
+    }
+
+    #[test]
+    fn synthesize_smoke() {
+        let p = Problem::builder("sum")
+            .param("l", "[int]")
+            .returns("int")
+            .example(&["[]"], "0")
+            .example(&["[1]"], "1")
+            .example(&["[1 2]"], "3")
+            .example(&["[1 2 3]"], "6")
+            .build()
+            .unwrap();
+        let s = Synthesizer::new().synthesize(&p).unwrap();
+        assert!(s.program.satisfies_problem(&p, 10_000));
+        assert!(s.stats.popped > 0);
+    }
+}

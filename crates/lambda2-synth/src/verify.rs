@@ -1,0 +1,219 @@
+//! Complete programs and verification.
+//!
+//! Deduced specs are necessary-but-not-sufficient, so every complete
+//! candidate is re-checked against the *original* examples before being
+//! returned. Soundness of the synthesizer rests on this check alone.
+
+use std::fmt;
+
+use lambda2_lang::ast::Expr;
+use lambda2_lang::env::Env;
+use lambda2_lang::error::EvalError;
+use lambda2_lang::eval::eval;
+use lambda2_lang::infer::{infer, TypeEnv, TypeError};
+use lambda2_lang::symbol::Symbol;
+use lambda2_lang::ty::{Subst, Type};
+
+use crate::problem::{Example, Problem};
+
+/// A synthesized (or hand-written) program: a named parameter list and a
+/// complete body expression.
+#[derive(Clone, Debug)]
+pub struct Program {
+    params: Vec<(Symbol, Type)>,
+    body: Expr,
+}
+
+impl Program {
+    /// Creates a program.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `body` still contains holes (programs are complete by
+    /// definition; hypotheses are the partial form).
+    pub fn new(params: Vec<(Symbol, Type)>, body: Expr) -> Program {
+        assert!(body.is_complete(), "program bodies must be hole-free");
+        Program { params, body }
+    }
+
+    /// The parameter list.
+    pub fn params(&self) -> &[(Symbol, Type)] {
+        &self.params
+    }
+
+    /// The body expression.
+    pub fn body(&self) -> &Expr {
+        &self.body
+    }
+
+    /// Runs the program on argument values.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvalError::ArityMismatch`] on a wrong argument count, or
+    /// whatever the body's evaluation raises.
+    pub fn apply(&self, args: &[lambda2_lang::value::Value]) -> Result<lambda2_lang::value::Value, EvalError> {
+        self.apply_with_fuel(args, lambda2_lang::eval::DEFAULT_FUEL)
+    }
+
+    /// Runs the program with an explicit fuel budget.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Program::apply`].
+    pub fn apply_with_fuel(
+        &self,
+        args: &[lambda2_lang::value::Value],
+        fuel: u64,
+    ) -> Result<lambda2_lang::value::Value, EvalError> {
+        if args.len() != self.params.len() {
+            return Err(EvalError::ArityMismatch);
+        }
+        let mut env = Env::empty();
+        for ((sym, _), v) in self.params.iter().zip(args) {
+            env = env.bind(*sym, v.clone());
+        }
+        let mut fuel = fuel;
+        eval(&self.body, &env, &mut fuel)
+    }
+
+    /// `true` if the program satisfies every example.
+    pub fn satisfies(&self, examples: &[Example], fuel: u64) -> bool {
+        examples.iter().all(|ex| {
+            matches!(self.apply_with_fuel(&ex.inputs, fuel), Ok(v) if v == ex.output)
+        })
+    }
+
+    /// `true` if the program satisfies every example of `problem`.
+    pub fn satisfies_problem(&self, problem: &Problem, fuel: u64) -> bool {
+        self.satisfies(problem.examples(), fuel)
+    }
+
+    /// Infers the program's result type from its parameter types.
+    ///
+    /// Synthesized programs are well-typed by construction (hypothesis
+    /// expansion and the enumerator are type-directed); this method makes
+    /// that checkable, and lets hand-written programs be validated before
+    /// running.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TypeError`] if the body is ill-typed under the
+    /// parameter types.
+    pub fn infer_type(&self) -> Result<Type, TypeError> {
+        let mut subst = Subst::new();
+        let mut env = TypeEnv::new();
+        for (sym, ty) in &self.params {
+            subst.reserve(ty);
+            env = env.with_var(*sym, ty.clone());
+        }
+        let ty = infer(&self.body, &env, &mut subst)?;
+        Ok(subst.apply(&ty))
+    }
+}
+
+impl fmt::Display for Program {
+    /// Renders as a lambda: `(lambda (l) (map … l))`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(lambda (")?;
+        for (i, (p, _)) in self.params.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{p}")?;
+        }
+        write!(f, ") {})", self.body)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lambda2_lang::eval::DEFAULT_FUEL;
+    use lambda2_lang::parser::{parse_expr, parse_value};
+
+    fn prog(body: &str, params: &[(&str, Type)]) -> Program {
+        Program::new(
+            params
+                .iter()
+                .map(|(n, t)| (Symbol::intern(n), t.clone()))
+                .collect(),
+            parse_expr(body).unwrap(),
+        )
+    }
+
+    #[test]
+    fn apply_binds_parameters_in_order() {
+        let p = prog("(- a b)", &[("a", Type::Int), ("b", Type::Int)]);
+        assert_eq!(
+            p.apply(&[parse_value("5").unwrap(), parse_value("3").unwrap()]),
+            Ok(parse_value("2").unwrap())
+        );
+        assert_eq!(
+            p.apply(&[parse_value("5").unwrap()]),
+            Err(EvalError::ArityMismatch)
+        );
+    }
+
+    #[test]
+    fn satisfies_checks_all_examples() {
+        let p = prog(
+            "(map (lambda (x) (+ x 1)) l)",
+            &[("l", Type::list(Type::Int))],
+        );
+        let good = vec![
+            Example {
+                inputs: vec![parse_value("[]").unwrap()],
+                output: parse_value("[]").unwrap(),
+            },
+            Example {
+                inputs: vec![parse_value("[1 2]").unwrap()],
+                output: parse_value("[2 3]").unwrap(),
+            },
+        ];
+        assert!(p.satisfies(&good, DEFAULT_FUEL));
+        let mut bad = good;
+        bad[1].output = parse_value("[9 9]").unwrap();
+        assert!(!p.satisfies(&bad, DEFAULT_FUEL));
+    }
+
+    #[test]
+    fn crashing_programs_do_not_satisfy() {
+        let p = prog("(car l)", &[("l", Type::list(Type::Int))]);
+        let ex = vec![Example {
+            inputs: vec![parse_value("[]").unwrap()],
+            output: parse_value("0").unwrap(),
+        }];
+        assert!(!p.satisfies(&ex, DEFAULT_FUEL));
+    }
+
+    #[test]
+    fn display_is_a_lambda() {
+        let p = prog("(+ a b)", &[("a", Type::Int), ("b", Type::Int)]);
+        assert_eq!(p.to_string(), "(lambda (a b) (+ a b))");
+    }
+
+    #[test]
+    #[should_panic(expected = "hole-free")]
+    fn incomplete_bodies_are_rejected() {
+        let _ = prog("?0", &[("a", Type::Int)]);
+    }
+
+    #[test]
+    fn infer_type_on_well_typed_programs() {
+        let p = prog(
+            "(map (lambda (x) (+ x 1)) l)",
+            &[("l", Type::list(Type::Int))],
+        );
+        assert_eq!(p.infer_type().unwrap(), Type::list(Type::Int));
+
+        let p = prog("(empty? l)", &[("l", Type::list(Type::Int))]);
+        assert_eq!(p.infer_type().unwrap(), Type::Bool);
+    }
+
+    #[test]
+    fn infer_type_rejects_ill_typed_programs() {
+        let p = prog("(+ l 1)", &[("l", Type::list(Type::Int))]);
+        assert!(p.infer_type().is_err());
+    }
+}

@@ -1,0 +1,51 @@
+//! Synthesis over variadic ("rose") trees: `mapt` and `foldt` programs
+//! discovered from subtree-closed example sets.
+//!
+//! ```text
+//! cargo run --release --example tree_transforms
+//! ```
+
+use std::time::Duration;
+
+use lambda2::lang::parser::parse_value;
+use lambda2::suite::by_name;
+use lambda2::synth::Synthesizer;
+
+fn main() {
+    // 1. incrt — a pointwise tree map. The mapt rule checks the output
+    //    tree has exactly the input's shape, then reads the function's
+    //    examples off the node values.
+    run("incrt", "{10 {20} {30 {40}}}", "{11 {21} {31 {41}}}");
+
+    // 2. sumt — a tree fold with a list fold inside: the foldt rule
+    //    deduces step examples from subtree-closed inputs, and the inner
+    //    fold's initial value is discovered to be the node's own value.
+    run("sumt", "{1 {2 {3} {4}} {5}}", "15");
+
+    // 3. flatten — preorder traversal; the synthesized program seeds the
+    //    inner concatenation with `(cons v [])`.
+    run("flatten", "{1 {2 {3}} {4}}", "[1 2 3 4]");
+}
+
+fn run(name: &str, held_out_input: &str, expected: &str) {
+    let bench = by_name(name).expect("benchmark exists");
+    println!(
+        "{name}: {}",
+        bench.problem.description().unwrap_or_default()
+    );
+    let options = bench.tune(lambda2::synth::SearchOptions::default());
+    let result = Synthesizer::with_options(options)
+        .timeout(Duration::from_secs(120))
+        .synthesize(&bench.problem)
+        .unwrap_or_else(|e| panic!("{name} failed: {e}"));
+    println!("  {}", result.program);
+    println!(
+        "  cost {}, {:.1} s",
+        result.cost,
+        result.elapsed.as_secs_f64()
+    );
+    let input = parse_value(held_out_input).unwrap();
+    let out = result.program.apply(std::slice::from_ref(&input)).expect("evaluates");
+    assert_eq!(out, parse_value(expected).unwrap(), "{name} generalizes");
+    println!("  {input}  =>  {out}  ✓\n");
+}

@@ -1,0 +1,42 @@
+//! # λ² — example-guided synthesis of data structure transformations
+//!
+//! This is the façade crate for a Rust reproduction of
+//! *"Synthesizing data structure transformations from input-output
+//! examples"* (Feser, Chaudhuri, Dillig — PLDI 2015). It re-exports the
+//! three workspace crates that make up the system:
+//!
+//! * [`lang`] — the object language: values, ASTs, types, an evaluator with
+//!   native higher-order combinators, and an s-expression front end.
+//! * [`synth`] — the synthesizer: hypotheses, deduction rules, best-first
+//!   search, bottom-up enumeration, and the baseline/ablation engines.
+//! * [`suite`] — the benchmark suite from the paper's evaluation plus
+//!   workload generators.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use lambda2::synth::{Problem, Synthesizer};
+//! use lambda2::lang::parser::parse_value;
+//!
+//! // Synthesize `length` from three examples.
+//! let problem = Problem::builder("length")
+//!     .param("l", "[int]")
+//!     .returns("int")
+//!     .example(&["[]"], "0")
+//!     .example(&["[7]"], "1")
+//!     .example(&["[2 9]"], "2")
+//!     .example(&["[4 5 6]"], "3")
+//!     .build()
+//!     .expect("well-formed problem");
+//!
+//! let result = Synthesizer::default().synthesize(&problem).expect("solved");
+//! let out = result
+//!     .program
+//!     .apply(&[parse_value("[1 2 3 4 5]").unwrap()])
+//!     .unwrap();
+//! assert_eq!(out, parse_value("5").unwrap());
+//! ```
+
+pub use lambda2_bench_suite as suite;
+pub use lambda2_lang as lang;
+pub use lambda2_synth as synth;

@@ -1,0 +1,208 @@
+//! Property tests for the deduction rules (proptest).
+//!
+//! The load-bearing invariant: deduced rows are **necessary** conditions.
+//! If a known step function `f` (and initial value `e`) makes the
+//! combinator program satisfy the parent examples, then `f` satisfies
+//! every row the rule deduces — i.e. deduction never prunes the truth.
+//!
+//! We generate random inputs, compute parent examples by *running* a known
+//! program, deduce, and check the known function against the deduced rows.
+
+use lambda2::lang::ast::Comb;
+use lambda2::lang::env::Env;
+use lambda2::lang::eval::eval;
+use lambda2::lang::parser::parse_expr;
+use lambda2::lang::symbol::Symbol;
+use lambda2::lang::value::Value;
+use lambda2::synth::deduce::{deduce, CollectionArg, Outcome};
+use lambda2::synth::{ExampleRow, Spec};
+use proptest::prelude::*;
+
+fn ints(ns: &[i64]) -> Value {
+    ns.iter().copied().map(Value::Int).collect()
+}
+
+/// Builds parent rows by running `program` (over free variable `l`) on the
+/// given inputs; returns rows plus the collection argument for `l`.
+fn rows_from_program(
+    program: &str,
+    inputs: &[Vec<i64>],
+) -> (Vec<ExampleRow>, CollectionArg) {
+    let l = Symbol::intern("l");
+    let expr = parse_expr(program).expect("parses");
+    let mut rows = Vec::new();
+    let mut values = Vec::new();
+    for input in inputs {
+        let iv = ints(input);
+        let env = Env::empty().bind(l, iv.clone());
+        let mut fuel = 100_000;
+        let out = eval(&expr, &env, &mut fuel).expect("ground truth evaluates");
+        rows.push(ExampleRow::new(env, out));
+        values.push(iv);
+    }
+    (rows, CollectionArg { values, var: Some(l) })
+}
+
+/// Checks `f_body` (over `binders`) against every deduced row.
+fn f_satisfies_rows(f_body: &str, spec: &Spec) -> bool {
+    let body = parse_expr(f_body).expect("parses");
+    spec.rows().iter().all(|row| {
+        let mut fuel = 100_000;
+        eval(&body, &row.env, &mut fuel).ok() == Some(row.output.clone())
+    })
+}
+
+/// A pool of (combinator, function body, init expr) ground truths. Binder
+/// names follow the synthesizer's conventions: map/filter bind `x`,
+/// foldl binds `a x`, foldr binds `x a`, recl binds `x xs r`.
+const TRUTHS: &[(Comb, &str, &str)] = &[
+    (Comb::Map, "(+ x 1)", ""),
+    (Comb::Map, "(* x x)", ""),
+    (Comb::Map, "(- 0 x)", ""),
+    (Comb::Filter, "(> x 0)", ""),
+    (Comb::Filter, "(= (% x 2) 0)", ""),
+    (Comb::Foldl, "(+ a x)", "0"),
+    (Comb::Foldl, "(cons x a)", "[]"),
+    (Comb::Foldl, "(+ a 1)", "0"),
+    (Comb::Foldr, "(cons x a)", "[]"),
+    (Comb::Foldr, "(cons x (cons x a))", "[]"),
+    (Comb::Recl, "(cons x r)", "[]"),
+    (Comb::Recl, "(if (empty? xs) r (cons x r))", "[]"),
+];
+
+fn binders(comb: Comb) -> Vec<Symbol> {
+    let names: &[&str] = match comb {
+        Comb::Map | Comb::Filter | Comb::Mapt => &["x"],
+        Comb::Foldl => &["a", "x"],
+        Comb::Foldr => &["x", "a"],
+        Comb::Recl => &["x", "xs", "r"],
+        Comb::Foldt => &["v", "rs"],
+    };
+    names.iter().map(|n| Symbol::intern(n)).collect()
+}
+
+/// Builds the full program text for a ground truth.
+fn program_text(comb: Comb, f_body: &str, init: &str) -> String {
+    let bs = binders(comb)
+        .iter()
+        .map(|s| s.as_str().to_owned())
+        .collect::<Vec<_>>()
+        .join(" ");
+    match comb.init_index() {
+        Some(_) => format!("({} (lambda ({bs}) {f_body}) {init} l)", comb.name()),
+        None => format!("({} (lambda ({bs}) {f_body}) l)", comb.name()),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Necessity: the true step function satisfies every deduced row.
+    #[test]
+    fn deduced_rows_are_necessary(
+        truth_idx in 0..TRUTHS.len(),
+        lists in proptest::collection::vec(
+            proptest::collection::vec(-5i64..10, 0..5),
+            1..5,
+        ),
+    ) {
+        let (comb, f_body, init) = TRUTHS[truth_idx];
+        let program = program_text(comb, f_body, init);
+        let (rows, coll) = rows_from_program(&program, &lists);
+
+        // Per-row init values (inits in the pool are closed constants).
+        let init_vals: Option<Vec<Value>> = comb.init_index().map(|_| {
+            let e = parse_expr(init).expect("init parses");
+            rows.iter()
+                .map(|r| {
+                    let mut fuel = 1_000;
+                    eval(&e, &r.env, &mut fuel).expect("init evaluates")
+                })
+                .collect()
+        });
+
+        match deduce(
+            comb,
+            &rows,
+            &coll,
+            init_vals.as_deref(),
+            &binders(comb),
+            true,
+        ) {
+            Outcome::Refuted => prop_assert!(
+                false,
+                "deduction refuted its own ground truth {program}"
+            ),
+            Outcome::Deduced(d) => prop_assert!(
+                f_satisfies_rows(f_body, &d.fun_spec),
+                "{f_body} violates a deduced row for {program}"
+            ),
+        }
+    }
+
+    /// Refutation soundness for map: mismatched lengths are impossible.
+    #[test]
+    fn map_length_mismatch_always_refutes(
+        input in proptest::collection::vec(-5i64..10, 0..6),
+        extra in 1usize..3,
+    ) {
+        let l = Symbol::intern("l");
+        let iv = ints(&input);
+        // Output longer than the input can never come from a map.
+        let ov = ints(&vec![0; input.len() + extra]);
+        let rows = vec![ExampleRow::new(Env::empty().bind(l, iv.clone()), ov)];
+        let coll = CollectionArg { values: vec![iv], var: Some(l) };
+        prop_assert!(matches!(
+            deduce(Comb::Map, &rows, &coll, None, &[Symbol::intern("x")], true),
+            Outcome::Refuted
+        ));
+    }
+
+    /// Refutation soundness for filter: reordered outputs are impossible.
+    #[test]
+    fn filter_reorder_always_refutes(
+        mut input in proptest::collection::vec(0i64..50, 2..6),
+    ) {
+        // Make elements distinct so reversal is a genuine reorder.
+        input.sort_unstable();
+        input.dedup();
+        prop_assume!(input.len() >= 2);
+        let l = Symbol::intern("l");
+        let iv = ints(&input);
+        let reversed: Vec<i64> = input.iter().rev().copied().collect();
+        let rows = vec![ExampleRow::new(
+            Env::empty().bind(l, iv.clone()),
+            ints(&reversed),
+        )];
+        let coll = CollectionArg { values: vec![iv], var: Some(l) };
+        prop_assert!(matches!(
+            deduce(Comb::Filter, &rows, &coll, None, &[Symbol::intern("x")], true),
+            Outcome::Refuted
+        ));
+    }
+
+    /// Fold base check: an init that disagrees with an empty-collection row
+    /// is always refuted; one that agrees never is (for consistent rows).
+    #[test]
+    fn fold_base_check_is_exact(expected in -10i64..10, wrong_delta in 1i64..5) {
+        let l = Symbol::intern("l");
+        let rows = vec![ExampleRow::new(
+            Env::empty().bind(l, Value::nil()),
+            Value::Int(expected),
+        )];
+        let coll = CollectionArg { values: vec![Value::nil()], var: Some(l) };
+        let bs = [Symbol::intern("a"), Symbol::intern("x")];
+
+        let good = vec![Value::Int(expected)];
+        prop_assert!(matches!(
+            deduce(Comb::Foldl, &rows, &coll, Some(&good), &bs, true),
+            Outcome::Deduced(_)
+        ));
+
+        let bad = vec![Value::Int(expected + wrong_delta)];
+        prop_assert!(matches!(
+            deduce(Comb::Foldl, &rows, &coll, Some(&bad), &bs, true),
+            Outcome::Refuted
+        ));
+    }
+}

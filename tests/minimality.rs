@@ -1,0 +1,78 @@
+//! The paper's headline guarantee: the synthesized program is the
+//! *simplest* (minimal-cost) program fitting the examples.
+//!
+//! We cannot enumerate all programs to certify global minimality, but the
+//! suite's reference solutions give sound upper bounds: synthesis must
+//! never return a program costlier than the reference. (The converse —
+//! cheaper than the reference — is fine and does happen, e.g. `shiftl`.)
+
+use std::time::Duration;
+
+use lambda2::suite::by_name;
+use lambda2::synth::{CostModel, SearchOptions, Synthesizer};
+
+fn assert_not_costlier_than_reference(name: &str) {
+    let bench = by_name(name).unwrap_or_else(|| panic!("unknown benchmark {name}"));
+    let mut options = bench.tune(SearchOptions::default());
+    options.timeout = Some(Duration::from_secs(60));
+    let result = Synthesizer::with_options(options)
+        .synthesize(&bench.problem)
+        .unwrap_or_else(|e| panic!("{name} failed: {e}"));
+    let costs = CostModel::default();
+    let reference_cost = costs.cost(bench.reference_program().body());
+    assert!(
+        result.cost <= reference_cost,
+        "{name}: synthesized cost {} exceeds reference cost {} ({} vs {})",
+        result.cost,
+        reference_cost,
+        result.program,
+        bench.reference
+    );
+    // The reported cost is the real cost of the returned program.
+    assert_eq!(result.cost, costs.cost(result.program.body()));
+}
+
+#[test]
+fn minimality_ident() {
+    assert_not_costlier_than_reference("ident");
+}
+
+#[test]
+fn minimality_head() {
+    assert_not_costlier_than_reference("head");
+}
+
+#[test]
+fn minimality_last() {
+    assert_not_costlier_than_reference("last");
+}
+
+#[test]
+fn minimality_length() {
+    assert_not_costlier_than_reference("length");
+}
+
+#[test]
+fn minimality_sum() {
+    assert_not_costlier_than_reference("sum");
+}
+
+#[test]
+fn minimality_reverse() {
+    assert_not_costlier_than_reference("reverse");
+}
+
+#[test]
+fn minimality_incr() {
+    assert_not_costlier_than_reference("incr");
+}
+
+#[test]
+fn minimality_positives() {
+    assert_not_costlier_than_reference("positives");
+}
+
+#[test]
+fn minimality_shiftl() {
+    assert_not_costlier_than_reference("shiftl");
+}

@@ -1,0 +1,246 @@
+//! Cross-crate property tests: parser/printer inversion, evaluator laws,
+//! enumerator completeness, and cost-model sanity.
+
+use lambda2::lang::ast::{Comb, Expr, Op};
+use lambda2::lang::env::Env;
+use lambda2::lang::eval::{eval, eval_default};
+use lambda2::lang::parser::{parse_expr, parse_value};
+use lambda2::lang::symbol::Symbol;
+use lambda2::lang::ty::Type;
+use lambda2::lang::value::Value;
+use lambda2::synth::enumerate::{EnumLimits, TermStore};
+use lambda2::synth::{CostModel, ExampleRow, Library, Spec};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------------
+// Random AST generation
+// ---------------------------------------------------------------------------
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        (-20i64..20).prop_map(Value::Int),
+        any::<bool>().prop_map(Value::Bool),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 0..4).prop_map(Value::list),
+            (inner, proptest::collection::vec(arb_tree_of_ints(), 0..3))
+                .prop_map(|(v, cs)| Value::Tree(lambda2::lang::value::Tree::node(v, cs))),
+        ]
+    })
+}
+
+fn arb_tree_of_ints() -> impl Strategy<Value = lambda2::lang::value::Tree> {
+    (-9i64..9)
+        .prop_map(|n| lambda2::lang::value::Tree::node(Value::Int(n), vec![]))
+}
+
+/// Random well-formed expressions over variables `x`, `y`, `l`.
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (-20i64..20).prop_map(Expr::int),
+        any::<bool>().prop_map(Expr::bool),
+        Just(Expr::var("x")),
+        Just(Expr::var("y")),
+        Just(Expr::var("l")),
+        Just(Expr::Lit(Value::nil())),
+    ];
+    leaf.prop_recursive(4, 48, 3, |inner| {
+        let unary = prop_oneof![
+            Just(Op::Not),
+            Just(Op::Car),
+            Just(Op::Cdr),
+            Just(Op::IsEmpty),
+        ];
+        let binary = prop_oneof![
+            Just(Op::Add),
+            Just(Op::Sub),
+            Just(Op::Mul),
+            Just(Op::Lt),
+            Just(Op::Eq),
+            Just(Op::Cons),
+            Just(Op::Cat),
+        ];
+        prop_oneof![
+            (unary, inner.clone()).prop_map(|(op, a)| Expr::Op(op, [a].into())),
+            (binary, inner.clone(), inner.clone())
+                .prop_map(|(op, a, b)| Expr::Op(op, [a, b].into())),
+            (inner.clone(), inner.clone(), inner.clone())
+                .prop_map(|(c, t, e)| Expr::if_(c, t, e)),
+            inner.clone().prop_map(|b| {
+                Expr::lambda(vec![Symbol::intern("x")], b)
+            }),
+            (inner.clone(), inner.clone()).prop_map(|(f, l)| {
+                Expr::comb(Comb::Map, vec![Expr::lambda(vec![Symbol::intern("x")], f), l])
+            }),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// `parse ∘ pretty = id` on random expressions.
+    #[test]
+    fn parser_inverts_pretty_printer(e in arb_expr()) {
+        let shown = e.to_string();
+        let reparsed = parse_expr(&shown).expect("printed expressions parse");
+        prop_assert_eq!(&reparsed, &e, "{}", shown);
+        // And printing is a fixpoint.
+        prop_assert_eq!(reparsed.to_string(), shown);
+    }
+
+    /// Value display also round-trips.
+    #[test]
+    fn value_display_round_trips(v in arb_value()) {
+        let shown = v.to_string();
+        let reparsed = parse_value(&shown).expect("printed values parse");
+        prop_assert_eq!(reparsed, v);
+    }
+
+    /// Evaluation is deterministic and fuel-monotone: succeeding with fuel
+    /// F succeeds identically with any fuel >= F.
+    #[test]
+    fn evaluation_is_deterministic_and_fuel_monotone(e in arb_expr()) {
+        let env = Env::empty()
+            .bind(Symbol::intern("x"), Value::Int(3))
+            .bind(Symbol::intern("y"), Value::Int(-2))
+            .bind(Symbol::intern("l"), parse_value("[4 1 5]").unwrap());
+        let r1 = eval_default(&e, &env);
+        let r2 = eval_default(&e, &env);
+        // Closures compare by identity, so determinism is only observable
+        // on first-order results.
+        if matches!(&r1, Ok(v) if !v.is_first_order()) {
+            return Ok(());
+        }
+        prop_assert_eq!(&r1, &r2);
+        if r1.is_ok() {
+            let mut big = 10 * lambda2::lang::eval::DEFAULT_FUEL;
+            prop_assert_eq!(eval(&e, &env, &mut big), r1);
+        }
+    }
+
+    /// map fusion: map f (map g l) == map (f ∘ g) l.
+    #[test]
+    fn map_fusion_law(l in proptest::collection::vec(-9i64..9, 0..6)) {
+        let env = Env::empty().bind(
+            Symbol::intern("l"),
+            l.iter().copied().map(Value::Int).collect::<Value>(),
+        );
+        let nested = parse_expr(
+            "(map (lambda (x) (* x x)) (map (lambda (x) (+ x 1)) l))",
+        ).unwrap();
+        let fused = parse_expr(
+            "(map (lambda (x) (* (+ x 1) (+ x 1))) l)",
+        ).unwrap();
+        prop_assert_eq!(eval_default(&nested, &env).unwrap(),
+                        eval_default(&fused, &env).unwrap());
+    }
+
+    /// foldr cons [] is the identity; foldl with swapped cons reverses.
+    #[test]
+    fn fold_identities(l in proptest::collection::vec(-9i64..9, 0..6)) {
+        let lv: Value = l.iter().copied().map(Value::Int).collect();
+        let env = Env::empty().bind(Symbol::intern("l"), lv.clone());
+        let id = parse_expr("(foldr (lambda (x a) (cons x a)) [] l)").unwrap();
+        prop_assert_eq!(eval_default(&id, &env).unwrap(), lv);
+
+        let rev = parse_expr("(foldl (lambda (a x) (cons x a)) [] l)").unwrap();
+        let mut reversed = l.clone();
+        reversed.reverse();
+        prop_assert_eq!(
+            eval_default(&rev, &env).unwrap(),
+            reversed.into_iter().map(Value::Int).collect::<Value>()
+        );
+    }
+
+    /// recl agrees with foldr when it ignores the tail argument.
+    #[test]
+    fn recl_subsumes_foldr(l in proptest::collection::vec(-9i64..9, 0..6)) {
+        let env = Env::empty().bind(
+            Symbol::intern("l"),
+            l.iter().copied().map(Value::Int).collect::<Value>(),
+        );
+        let via_recl = parse_expr("(recl (lambda (x xs r) (cons (+ x 1) r)) [] l)").unwrap();
+        let via_foldr = parse_expr("(foldr (lambda (x a) (cons (+ x 1) a)) [] l)").unwrap();
+        prop_assert_eq!(
+            eval_default(&via_recl, &env).unwrap(),
+            eval_default(&via_foldr, &env).unwrap()
+        );
+    }
+
+    /// Cost model: positive, and compositional over `if`.
+    #[test]
+    fn cost_model_sanity(e in arb_expr()) {
+        let m = CostModel::default();
+        let c = m.cost(&e);
+        prop_assert!(c >= 1);
+        let wrapped = Expr::if_(Expr::bool(true), e.clone(), e);
+        prop_assert_eq!(m.cost(&wrapped), 1 + 1 + 2 * c);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Enumerator completeness (bounded)
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// If *some* combinator-free term of cost <= 5 over `l` produces the
+    /// observed outputs, the enumerator's closings find a term doing the
+    /// same, at no greater cost. We sample the witness from a fixed pool
+    /// and derive the spec by evaluating it.
+    #[test]
+    fn enumerator_finds_an_equivalent_closing(
+        witness_idx in 0usize..6,
+        lists in proptest::collection::vec(
+            proptest::collection::vec(-9i64..9, 1..5), // non-empty: car/cdr safe
+            1..4,
+        ),
+    ) {
+        let pool = [
+            ("l", 1u32),
+            ("(car l)", 2),
+            ("(cdr l)", 2),
+            ("(cons 0 l)", 4),
+            ("(car (cdr (cons 1 l)))", 5),
+            ("(cat l l)", 3),
+        ];
+        let (witness, wcost) = pool[witness_idx];
+        let wexpr = parse_expr(witness).unwrap();
+        let l = Symbol::intern("l");
+
+        let rows: Vec<ExampleRow> = lists
+            .iter()
+            .map(|xs| {
+                let lv: Value = xs.iter().copied().map(Value::Int).collect();
+                let env = Env::empty().bind(l, lv);
+                let out = eval_default(&wexpr, &env).expect("witness evaluates");
+                ExampleRow::new(env, out)
+            })
+            .collect();
+        let spec = Spec::new(rows).expect("consistent by construction");
+        let ret_ty = match witness_idx {
+            1 | 4 => Type::Int,
+            _ => Type::list(Type::Int),
+        };
+
+        let mut store = TermStore::new(
+            vec![(l, Type::list(Type::Int))],
+            &spec,
+            EnumLimits::default(),
+        );
+        let lib = Library::default();
+        let mut found_at = None;
+        for k in 1..=wcost {
+            store.ensure(k, &lib);
+            if store.closings(k, &ret_ty, &spec).next().is_some() {
+                found_at = Some(k);
+                break;
+            }
+        }
+        let found_at = found_at.expect("a closing must exist within the witness's cost");
+        prop_assert!(found_at <= wcost);
+    }
+}

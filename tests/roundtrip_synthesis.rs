@@ -1,0 +1,125 @@
+//! Round-trip synthesis: the paper's own methodology, automated.
+//!
+//! For each target program drawn from a pool of ground-truth programs:
+//! generate chain-structured examples *by running the target*, hand only
+//! the examples to the synthesizer, and check that the synthesized
+//! program agrees with the target on held-out inputs. This exercises the
+//! whole pipeline — deduction, enumeration, search, verification — against
+//! targets the suite does not contain verbatim.
+
+use std::time::Duration;
+
+use lambda2::lang::eval::DEFAULT_FUEL;
+use lambda2::lang::parser::{parse_expr, parse_type};
+use lambda2::lang::symbol::Symbol;
+use lambda2::lang::value::Value;
+use lambda2::suite::generators::random_list;
+use lambda2::synth::{Problem, Program, SearchOptions, Synthesizer};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A random list over a *signed* range — training data must exercise both
+/// sides of predicates like `x > 0` or a target is underdetermined.
+fn signed_list(len: usize, rng: &mut StdRng) -> Vec<Value> {
+    (0..len).map(|_| Value::Int(rng.gen_range(-5..10))).collect()
+}
+
+/// Ground-truth targets: (name, parameter type, body). All single-list
+/// programs so the chain-example generator below applies.
+const TARGETS: &[(&str, &str, &str)] = &[
+    ("rt_sum_sq", "[int]", "(foldl (lambda (a x) (+ a (* x x))) 0 l)"),
+    ("rt_count_pos", "[int]", "(foldl (lambda (a x) (if (< 0 x) (+ a 1) a)) 0 l)"),
+    ("rt_map_double_incr", "[int]", "(map (lambda (x) (+ (+ x x) 1)) l)"),
+    ("rt_keep_big", "[int]", "(filter (lambda (x) (< 4 x)) l)"),
+    ("rt_snoc_zero", "[int]", "(cat l (cons 0 []))"),
+];
+
+fn roundtrip(name: &str, param_ty: &str, body: &str, seed: u64) {
+    let target = Program::new(
+        vec![(Symbol::intern("l"), parse_type(param_ty).unwrap())],
+        parse_expr(body).unwrap(),
+    );
+
+    // Chain-structured training inputs: all prefixes of a *fixed,
+    // value-diverse* base (a boundary value for every target's predicate:
+    // 1 kills division tricks, 0 and negatives kill length-for-count,
+    // 4/5 straddle the `> 4` threshold), plus two random signed lists.
+    // A minimal-cost synthesizer will exploit any slack the data leaves.
+    let mut rng = StdRng::seed_from_u64(seed);
+    let base: Vec<Value> = [1, -2, 5, 0, 9, 4, 2, 6].map(Value::Int).to_vec();
+    let mut builder = Problem::builder(name).param("l", param_ty).returns(
+        &target.infer_type().expect("targets are well-typed").to_string(),
+    );
+    let mut inputs: Vec<Value> = (0..=base.len())
+        .map(|n| Value::list(base[..n].to_vec()))
+        .collect();
+    // A second chain with a different head: prefix chains share their
+    // first element, which otherwise licenses `(car l)`-flavored junk.
+    let base2: Vec<Value> = [-3, 7, 1, 4].map(Value::Int).to_vec();
+    inputs.extend((1..=base2.len()).map(|n| Value::list(base2[..n].to_vec())));
+    inputs.push(Value::list(signed_list(4, &mut rng)));
+    inputs.push(Value::list(signed_list(3, &mut rng)));
+    for input in inputs {
+        let output = target
+            .apply_with_fuel(std::slice::from_ref(&input), DEFAULT_FUEL)
+            .expect("target evaluates");
+        builder = builder.example_values(vec![input], output);
+    }
+    let problem = builder.build().expect("well-formed generated problem");
+
+    let options = SearchOptions {
+        timeout: Some(Duration::from_secs(60)),
+        ..SearchOptions::default()
+    };
+    let result = Synthesizer::with_options(options)
+        .synthesize(&problem)
+        .unwrap_or_else(|e| panic!("{name}: failed to synthesize: {e}"));
+
+    // Behavioral agreement on held-out random inputs. The synthesized
+    // program may be cheaper than the target but must compute the same
+    // function wherever the target is defined.
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xdead);
+    for len in 0..8 {
+        let input = Value::list(signed_list(len, &mut rng));
+        let _ = random_list; // generator retained for symmetric API use
+        let want = target.apply_with_fuel(std::slice::from_ref(&input), DEFAULT_FUEL);
+        let got = result.program.apply_with_fuel(std::slice::from_ref(&input), DEFAULT_FUEL);
+        assert_eq!(
+            got.as_ref().ok(),
+            want.as_ref().ok(),
+            "{name}: disagreement on {input}: target {want:?}, synthesized {got:?} \
+             (program: {})",
+            result.program
+        );
+    }
+}
+
+#[test]
+fn roundtrip_sum_of_squares() {
+    let (n, t, b) = TARGETS[0];
+    roundtrip(n, t, b, 101);
+}
+
+#[test]
+fn roundtrip_count_positives() {
+    let (n, t, b) = TARGETS[1];
+    roundtrip(n, t, b, 202);
+}
+
+#[test]
+fn roundtrip_affine_map() {
+    let (n, t, b) = TARGETS[2];
+    roundtrip(n, t, b, 303);
+}
+
+#[test]
+fn roundtrip_threshold_filter() {
+    let (n, t, b) = TARGETS[3];
+    roundtrip(n, t, b, 404);
+}
+
+#[test]
+fn roundtrip_snoc() {
+    let (n, t, b) = TARGETS[4];
+    roundtrip(n, t, b, 505);
+}

@@ -1,0 +1,137 @@
+//! End-to-end synthesis over a fast subset of the benchmark suite.
+//!
+//! Each test synthesizes a program from the suite's curated examples and
+//! then checks the result against *held-out* inputs computed with the
+//! benchmark's reference solution — catching both failures to synthesize
+//! and overfitted solutions.
+
+use std::time::Duration;
+
+use lambda2::suite::{by_name, generators::example_sweep};
+use lambda2::synth::{SearchOptions, Synthesizer};
+
+/// Synthesizes `name` and validates against generated held-out inputs.
+fn solve_and_validate(name: &str) {
+    let bench = by_name(name).unwrap_or_else(|| panic!("unknown benchmark {name}"));
+    let mut options = bench.tune(SearchOptions::default());
+    options.timeout = Some(Duration::from_secs(60));
+    let result = Synthesizer::with_options(options)
+        .synthesize(&bench.problem)
+        .unwrap_or_else(|e| panic!("{name} failed to synthesize: {e}"));
+
+    // The synthesized program satisfies the training examples…
+    assert!(
+        result.program.satisfies_problem(&bench.problem, 100_000),
+        "{name}: synthesized program fails its own examples"
+    );
+
+    // …is well-typed at the declared signature…
+    let inferred = result
+        .program
+        .infer_type()
+        .unwrap_or_else(|e| panic!("{name}: synthesized program is ill-typed: {e}"));
+    assert!(
+        lambda2::synth::enumerate::unifiable(&inferred, bench.problem.return_type()),
+        "{name}: inferred type {} does not fit declared {}",
+        inferred,
+        bench.problem.return_type()
+    );
+
+    // …and agrees with the reference on held-out inputs (single-parameter
+    // benchmarks only; multi-parameter ones are checked on training data).
+    if let Some(holdout) = example_sweep(&bench, 10, 0xfeed) {
+        let reference = bench.reference_program();
+        for ex in holdout.examples() {
+            let got = result.program.apply(&ex.inputs);
+            let want = reference.apply(&ex.inputs);
+            assert_eq!(
+                got.as_ref().ok(),
+                want.as_ref().ok(),
+                "{name} overfits: on {} got {:?}, reference says {:?}",
+                ex.inputs[0],
+                got,
+                want
+            );
+        }
+    }
+}
+
+#[test]
+fn synthesizes_ident() {
+    solve_and_validate("ident");
+}
+
+#[test]
+fn synthesizes_head() {
+    solve_and_validate("head");
+}
+
+#[test]
+fn synthesizes_tail() {
+    solve_and_validate("tail");
+}
+
+#[test]
+fn synthesizes_last() {
+    solve_and_validate("last");
+}
+
+#[test]
+fn synthesizes_length() {
+    solve_and_validate("length");
+}
+
+#[test]
+fn synthesizes_sum() {
+    solve_and_validate("sum");
+}
+
+#[test]
+fn synthesizes_incr() {
+    solve_and_validate("incr");
+}
+
+#[test]
+fn synthesizes_square() {
+    solve_and_validate("square");
+}
+
+#[test]
+fn synthesizes_multfirst() {
+    solve_and_validate("multfirst");
+}
+
+#[test]
+fn synthesizes_reverse() {
+    solve_and_validate("reverse");
+}
+
+#[test]
+fn synthesizes_positives() {
+    solve_and_validate("positives");
+}
+
+#[test]
+fn synthesizes_shiftl() {
+    solve_and_validate("shiftl");
+}
+
+#[test]
+fn synthesizes_append_without_cat() {
+    solve_and_validate("append");
+}
+
+#[test]
+fn synthesizes_concat() {
+    solve_and_validate("concat");
+}
+
+#[test]
+fn synthesizes_incrt() {
+    solve_and_validate("incrt");
+}
+
+#[test]
+fn synthesizes_multi_parameter_add() {
+    solve_and_validate("add");
+}
