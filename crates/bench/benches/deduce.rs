@@ -29,7 +29,13 @@ fn map_rows(n_rows: usize) -> (Vec<ExampleRow>, CollectionArg) {
         rows.push(ExampleRow::new(env, out));
         values.push(input);
     }
-    (rows, CollectionArg { values, var: Some(l) })
+    (
+        rows,
+        CollectionArg {
+            values,
+            var: Some(l),
+        },
+    )
 }
 
 /// Prefix-chain rows for `foldl (+) 0` (every chain link deduces).
@@ -49,7 +55,14 @@ fn fold_rows(n_rows: usize) -> (Vec<ExampleRow>, CollectionArg, Vec<Value>) {
         values.push(input);
     }
     let inits = vec![Value::Int(0); rows.len()];
-    (rows, CollectionArg { values, var: Some(l) }, inits)
+    (
+        rows,
+        CollectionArg {
+            values,
+            var: Some(l),
+        },
+        inits,
+    )
 }
 
 fn bench_deduce(c: &mut Criterion) {

@@ -14,11 +14,7 @@ fn context() -> (Vec<(Symbol, Type)>, Spec) {
     let l = Symbol::intern("l");
     let a = Symbol::intern("a");
     let x = Symbol::intern("x");
-    let scope = vec![
-        (l, Type::list(Type::Int)),
-        (a, Type::Int),
-        (x, Type::Int),
-    ];
+    let scope = vec![(l, Type::list(Type::Int)), (a, Type::Int), (x, Type::Int)];
     let rows = [("[3 1]", 4, 3, 7), ("[5]", 0, 5, 5), ("[2 9 4]", 15, 2, 17)]
         .iter()
         .map(|(lv, av, xv, out)| {

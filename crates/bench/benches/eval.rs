@@ -34,10 +34,8 @@ fn bench_eval(c: &mut Criterion) {
     for &n in &[10usize, 100, 1000] {
         let input = Value::Tree(random_tree(n, 100, &mut rng));
         let env = Env::empty().bind(t, input);
-        let expr = parse_expr(
-            "(foldt (lambda (v rs) (foldl (lambda (a r) (+ a r)) v rs)) 0 t)",
-        )
-        .unwrap();
+        let expr =
+            parse_expr("(foldt (lambda (v rs) (foldl (lambda (a r) (+ a r)) v rs)) 0 t)").unwrap();
         group.bench_with_input(BenchmarkId::from_parameter(n), &env, |b, env| {
             b.iter(|| {
                 let mut fuel = u64::MAX;
@@ -51,10 +49,8 @@ fn bench_eval(c: &mut Criterion) {
     for &n in &[10usize, 100, 1000] {
         let input = random_list(n, 100, &mut rng);
         let env = Env::empty().bind(l, input);
-        let expr = parse_expr(
-            "(map (lambda (x) (* x x)) (filter (lambda (x) (< 10 x)) l))",
-        )
-        .unwrap();
+        let expr =
+            parse_expr("(map (lambda (x) (* x x)) (filter (lambda (x) (< 10 x)) l))").unwrap();
         group.bench_with_input(BenchmarkId::from_parameter(n), &env, |b, env| {
             b.iter(|| {
                 let mut fuel = u64::MAX;

@@ -7,7 +7,7 @@
 //!
 //! Usage: `cargo run -p bench --release --bin fig_ablation [-- --quick]`
 
-use bench::{ms, render_table, run_benchmark, Engine};
+use bench::{ms, record, render_table, run_benchmark, write_bench_json, Engine};
 use lambda2_bench_suite::catalog;
 
 fn main() {
@@ -18,6 +18,7 @@ fn main() {
         .collect();
 
     let mut rows = Vec::new();
+    let mut records = Vec::new();
     let mut both = 0usize;
     let mut only_full = 0usize;
     let mut speedups = Vec::new();
@@ -25,6 +26,16 @@ fn main() {
     for bench in &suite {
         let full = run_benchmark(bench, Engine::Lambda2, None);
         let ablated = run_benchmark(bench, Engine::NoDeduce, None);
+        records.push(record(
+            &format!("lambda2/{}", full.name),
+            &full,
+            &[("engine", "lambda2".into())],
+        ));
+        records.push(record(
+            &format!("no-deduce/{}", ablated.name),
+            &ablated,
+            &[("engine", "no-deduce".into())],
+        ));
         eprintln!(
             "  {}: full {} ({:.1} ms), no-deduce {} ({:.1} ms)",
             bench.problem.name(),
@@ -49,8 +60,16 @@ fn main() {
         };
         rows.push(vec![
             bench.problem.name().to_owned(),
-            if full.solved { ms(full.elapsed) } else { "timeout".into() },
-            if ablated.solved { ms(ablated.elapsed) } else { "timeout".into() },
+            if full.solved {
+                ms(full.elapsed)
+            } else {
+                "timeout".into()
+            },
+            if ablated.solved {
+                ms(ablated.elapsed)
+            } else {
+                "timeout".into()
+            },
             speedup,
         ]);
     }
@@ -59,7 +78,12 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["benchmark", "lambda2(ms)", "no-deduce(ms)", "deduction speedup"],
+            &[
+                "benchmark",
+                "lambda2(ms)",
+                "no-deduce(ms)",
+                "deduction speedup"
+            ],
             &rows,
         )
     );
@@ -73,4 +97,9 @@ fn main() {
         "\nsummary: both solved on {both} benchmarks (geo-mean speedup {geo:.1}x); \
          {only_full} benchmarks become unsolvable without deduction"
     );
+
+    match write_bench_json("fig_ablation", &[("quick", quick.into())], records) {
+        Ok(path) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("warning: could not write BENCH_fig_ablation.json: {e}"),
+    }
 }

@@ -10,13 +10,14 @@
 
 use std::time::Duration;
 
-use bench::{render_table, run_benchmark, Engine};
+use bench::{record, render_table, run_benchmark, write_bench_json, Engine, Json};
 use lambda2_bench_suite::catalog;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let budgets_ms: &[u64] =
-        &[100, 250, 500, 1000, 2500, 5000, 10_000, 30_000, 60_000, 180_000];
+    let budgets_ms: &[u64] = &[
+        100, 250, 500, 1000, 2500, 5000, 10_000, 30_000, 60_000, 180_000,
+    ];
     let engines = [Engine::Lambda2, Engine::NoDeduce, Engine::Baseline];
     let suite: Vec<_> = catalog()
         .into_iter()
@@ -27,14 +28,13 @@ fn main() {
     // times. The ablated engines get a smaller per-run cap: they either
     // solve fast or not at all, and full caps would cost hours.
     let mut solve_times: Vec<Vec<Option<Duration>>> = Vec::new();
+    let mut records = Vec::new();
     for engine in engines {
         let mut col = Vec::new();
         for bench in &suite {
             let cap = match (quick, engine) {
                 (true, _) => Duration::from_secs(5),
-                (false, Engine::Lambda2) => {
-                    Duration::from_millis(*budgets_ms.last().unwrap())
-                }
+                (false, Engine::Lambda2) => Duration::from_millis(*budgets_ms.last().unwrap()),
                 (false, _) => Duration::from_secs(30),
             };
             let m = run_benchmark(bench, engine, Some(cap));
@@ -44,6 +44,11 @@ fn main() {
                 m.name,
                 m.elapsed.as_secs_f64() * 1e3
             );
+            records.push(record(
+                &format!("{engine}/{}", m.name),
+                &m,
+                &[("engine", engine.to_string().into())],
+            ));
             col.push(m.solved.then_some(m.elapsed));
         }
         solve_times.push(col);
@@ -91,5 +96,15 @@ fn main() {
             })
             .collect();
         println!("  {engine:>9} |{bar}|");
+    }
+
+    let budgets = Json::Arr(budgets_ms.iter().map(|&b| b.into()).collect());
+    match write_bench_json(
+        "fig_cactus",
+        &[("quick", quick.into()), ("budgets_ms", budgets)],
+        records,
+    ) {
+        Ok(path) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("warning: could not write BENCH_fig_cactus.json: {e}"),
     }
 }

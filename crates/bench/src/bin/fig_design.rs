@@ -17,20 +17,12 @@
 
 use std::time::Duration;
 
-use bench::{ms, render_table};
+use bench::{measurement_of, ms, record, render_table, write_bench_json};
 use lambda2_bench_suite::by_name;
 use lambda2_synth::{SearchOptions, Synthesizer};
 
 const SLICE: &[&str] = &[
-    "sum",
-    "reverse",
-    "evens",
-    "droplast",
-    "multlast",
-    "sumt",
-    "flattenl",
-    "sums",
-    "maxes",
+    "sum", "reverse", "evens", "droplast", "multlast", "sumt", "flattenl", "sums", "maxes",
 ];
 
 struct Config {
@@ -70,6 +62,7 @@ const CONFIGS: &[Config] = &[
 
 fn main() {
     let mut rows = Vec::new();
+    let mut records = Vec::new();
     for name in SLICE {
         let bench = by_name(name).unwrap_or_else(|| panic!("unknown benchmark {name}"));
         let mut row = vec![(*name).to_owned()];
@@ -77,7 +70,18 @@ fn main() {
             let mut options = bench.tune(SearchOptions::default());
             options.timeout = Some(Duration::from_secs(60));
             (config.apply)(&mut options);
-            let cell = match Synthesizer::with_options(options).synthesize(&bench.problem) {
+            let result = Synthesizer::with_options(options).synthesize(&bench.problem);
+            records.push(record(
+                &format!("{name}/{}", config.name),
+                &measurement_of(
+                    name,
+                    bench.problem.examples().len(),
+                    &result,
+                    Duration::from_secs(60),
+                ),
+                &[("config", config.name.into())],
+            ));
+            let cell = match &result {
                 Ok(s) => {
                     // A solution that fails held-out generalization is
                     // still *sound* (it fits the examples) but reveals the
@@ -106,4 +110,9 @@ fn main() {
          contributes. `collections<=3` and `blind-holes-on` only enlarge the\n\
          space on this suite."
     );
+
+    match write_bench_json("fig_design", &[], records) {
+        Ok(path) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("warning: could not write BENCH_fig_design.json: {e}"),
+    }
 }

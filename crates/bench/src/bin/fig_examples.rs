@@ -11,9 +11,9 @@
 
 use std::time::Duration;
 
-use bench::{ms, options_for, render_table};
-use lambda2_bench_suite::generators::example_sweep;
+use bench::{measurement_of, ms, options_for, record, render_table, write_bench_json};
 use lambda2_bench_suite::by_name;
+use lambda2_bench_suite::generators::example_sweep;
 use lambda2_lang::eval::DEFAULT_FUEL;
 use lambda2_synth::Synthesizer;
 
@@ -23,6 +23,7 @@ const SEED: u64 = 20150603; // the paper's publication date
 
 fn main() {
     let mut rows = Vec::new();
+    let mut records = Vec::new();
     for name in PROBLEMS {
         let bench = by_name(name).unwrap_or_else(|| panic!("unknown benchmark {name}"));
         let reference = bench.reference_program();
@@ -33,7 +34,13 @@ fn main() {
             let mut options = options_for(&bench, Some(Duration::from_secs(20)));
             options.timeout = Some(Duration::from_secs(20));
             let result = Synthesizer::with_options(options).synthesize(&problem);
-            let (solved, time, generalizes) = match result {
+            let m = measurement_of(
+                name,
+                problem.examples().len(),
+                &result,
+                Duration::from_secs(20),
+            );
+            let (solved, time, generalizes) = match &result {
                 Ok(s) => {
                     // Held-out check: the synthesized program must agree
                     // with the reference on fresh inputs.
@@ -46,11 +53,20 @@ fn main() {
                 }
                 Err(_) => (false, Duration::from_secs(20), false),
             };
+            records.push(record(
+                &format!("{name}/k{k}"),
+                &m,
+                &[("k", k.into()), ("generalizes", generalizes.into())],
+            ));
             eprintln!(
                 "  {name} k={k}: {} ({:.1} ms){}",
                 if solved { "ok" } else { "--" },
                 time.as_secs_f64() * 1e3,
-                if solved && !generalizes { " [overfit]" } else { "" }
+                if solved && !generalizes {
+                    " [overfit]"
+                } else {
+                    ""
+                }
             );
             rows.push(vec![
                 (*name).to_owned(),
@@ -76,4 +92,9 @@ fn main() {
             &rows,
         )
     );
+
+    match write_bench_json("fig_examples", &[("seed", SEED.into())], records) {
+        Ok(path) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("warning: could not write BENCH_fig_examples.json: {e}"),
+    }
 }

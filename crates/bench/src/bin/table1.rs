@@ -8,13 +8,14 @@
 //! Usage: `cargo run -p bench --release --bin table1 [-- --quick]`
 //! (`--quick` skips the hard benchmarks for a fast smoke run).
 
-use bench::{ms, render_table, run_benchmark, Engine};
+use bench::{ms, record, render_table, run_benchmark, write_bench_json, Engine};
 use lambda2_bench_suite::catalog;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let suite = catalog();
     let mut rows = Vec::new();
+    let mut records = Vec::new();
     let mut times = Vec::new();
     let mut solved = 0usize;
     let mut total = 0usize;
@@ -26,6 +27,14 @@ fn main() {
         }
         total += 1;
         let m = run_benchmark(bench, Engine::Lambda2, None);
+        records.push(record(
+            &m.name,
+            &m,
+            &[
+                ("category", bench.category.to_string().into()),
+                ("hard", bench.hard.into()),
+            ],
+        ));
         if m.solved {
             solved += 1;
             times.push(m.elapsed);
@@ -42,16 +51,37 @@ fn main() {
             m.examples.to_string(),
             if m.solved { "yes".into() } else { "no".into() },
             ms(m.elapsed),
-            if m.solved { m.cost.to_string() } else { "-".into() },
-            if m.solved { m.size.to_string() } else { "-".into() },
-            if m.solved { m.program } else { "(timeout/exhausted)".into() },
+            if m.solved {
+                m.cost.to_string()
+            } else {
+                "-".into()
+            },
+            if m.solved {
+                m.size.to_string()
+            } else {
+                "-".into()
+            },
+            if m.solved {
+                m.program
+            } else {
+                "(timeout/exhausted)".into()
+            },
         ]);
     }
 
     println!(
         "{}",
         render_table(
-            &["benchmark", "category", "#ex", "solved", "time(ms)", "cost", "size", "program"],
+            &[
+                "benchmark",
+                "category",
+                "#ex",
+                "solved",
+                "time(ms)",
+                "cost",
+                "size",
+                "program"
+            ],
             &rows,
         )
     );
@@ -65,4 +95,13 @@ fn main() {
         ms(median),
         ms(max),
     );
+
+    match write_bench_json(
+        "table1",
+        &[("quick", quick.into()), ("engine", "lambda2".into())],
+        records,
+    ) {
+        Ok(path) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("warning: could not write BENCH_table1.json: {e}"),
+    }
 }

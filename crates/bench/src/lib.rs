@@ -8,12 +8,19 @@
 //!   no-deduction ablation, and the pure-enumeration baseline,
 //! * `fig_ablation` — per-benchmark deduction speedups,
 //! * `fig_examples` — synthesis time vs number of examples.
+//!
+//! Besides the text tables, every binary writes a machine-readable
+//! `BENCH_<name>.json` report (see [`write_bench_json`]) into the current
+//! directory, carrying per-problem [`Measurement`]s with phase timings.
 
+use std::path::PathBuf;
 use std::time::Duration;
 
 use lambda2_bench_suite::Benchmark;
 use lambda2_synth::baseline::{synthesize_baseline, BaselineOptions};
-use lambda2_synth::{Measurement, SearchOptions, Stats, SynthError, Synthesizer};
+use lambda2_synth::{Measurement, SearchOptions, Stats, SynthError, Synthesis, Synthesizer};
+
+pub use lambda2_synth::obs::json::Json;
 
 /// Which engine to run a benchmark with.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -54,18 +61,14 @@ pub fn options_for(bench: &Benchmark, timeout: Option<Duration>) -> SearchOption
 }
 
 /// Runs one benchmark under one engine and records the outcome.
-pub fn run_benchmark(
-    bench: &Benchmark,
-    engine: Engine,
-    timeout: Option<Duration>,
-) -> Measurement {
+pub fn run_benchmark(bench: &Benchmark, engine: Engine, timeout: Option<Duration>) -> Measurement {
     let options = options_for(bench, timeout);
     let problem = &bench.problem;
     let result = match engine {
         Engine::Lambda2 => Synthesizer::with_options(options).synthesize(problem),
-        Engine::NoDeduce => {
-            Synthesizer::with_options(options).deduction(false).synthesize(problem)
-        }
+        Engine::NoDeduce => Synthesizer::with_options(options)
+            .deduction(false)
+            .synthesize(problem),
         Engine::Baseline => {
             let bopts = BaselineOptions {
                 timeout: options.timeout,
@@ -75,43 +78,84 @@ pub fn run_benchmark(
             synthesize_baseline(problem, &bopts)
         }
     };
+    let budget = timeout.unwrap_or(if bench.hard {
+        HARD_TIMEOUT
+    } else {
+        DEFAULT_TIMEOUT
+    });
+    measurement_of(problem.name(), problem.examples().len(), &result, budget)
+}
+
+/// Converts a synthesis outcome into a [`Measurement`]. Timeouts are
+/// charged the full `budget`; other failures (exhausted space,
+/// inconsistent examples) report zero elapsed.
+pub fn measurement_of(
+    name: &str,
+    examples: usize,
+    result: &Result<Synthesis, SynthError>,
+    budget: Duration,
+) -> Measurement {
     match result {
         Ok(s) => Measurement {
-            name: problem.name().to_owned(),
+            name: name.to_owned(),
             elapsed: s.elapsed,
             solved: true,
             cost: s.cost,
             size: s.program.body().size(),
             program: s.program.to_string(),
-            examples: problem.examples().len(),
-            stats: s.stats,
+            examples,
+            stats: s.stats.clone(),
         },
         Err(e) => Measurement {
-            name: problem.name().to_owned(),
-            elapsed: timeout_elapsed(&e, bench, timeout),
+            name: name.to_owned(),
+            elapsed: if matches!(e, SynthError::Timeout) {
+                budget
+            } else {
+                Duration::ZERO
+            },
             solved: false,
             cost: 0,
             size: 0,
             program: String::new(),
-            examples: problem.examples().len(),
+            examples,
             stats: Stats::default(),
         },
     }
 }
 
-fn timeout_elapsed(
-    err: &SynthError,
-    bench: &Benchmark,
-    timeout: Option<Duration>,
-) -> Duration {
-    match err {
-        SynthError::Timeout => timeout.unwrap_or(if bench.hard {
-            HARD_TIMEOUT
-        } else {
-            DEFAULT_TIMEOUT
-        }),
-        _ => Duration::ZERO,
+/// One record of a `BENCH_*.json` report: a labeled [`Measurement`] plus
+/// experiment-specific extra fields (engine, config, sweep parameter, …).
+pub fn record(label: &str, m: &Measurement, extra: &[(&'static str, Json)]) -> Json {
+    let mut pairs = vec![("label".to_owned(), Json::str(label))];
+    if let Json::Obj(mpairs) = m.to_json() {
+        pairs.extend(mpairs);
     }
+    for (k, v) in extra {
+        pairs.push(((*k).to_owned(), v.clone()));
+    }
+    Json::Obj(pairs)
+}
+
+/// Writes `BENCH_<name>.json` in the current directory: a single JSON
+/// object with the experiment name, top-level `meta` fields, and a
+/// `results` array of [`record`]s. Returns the path written.
+///
+/// # Errors
+///
+/// Propagates the underlying filesystem write failure.
+pub fn write_bench_json(
+    name: &str,
+    meta: &[(&'static str, Json)],
+    records: Vec<Json>,
+) -> std::io::Result<PathBuf> {
+    let path = PathBuf::from(format!("BENCH_{name}.json"));
+    let mut pairs = vec![("bench".to_owned(), Json::str(name))];
+    for (k, v) in meta {
+        pairs.push(((*k).to_owned(), v.clone()));
+    }
+    pairs.push(("results".to_owned(), Json::Arr(records)));
+    std::fs::write(&path, format!("{}\n", Json::Obj(pairs)))?;
+    Ok(path)
 }
 
 /// Renders rows as an aligned text table with a header.
@@ -196,5 +240,38 @@ mod tests {
     fn ms_formats_milliseconds() {
         assert_eq!(ms(Duration::from_millis(1500)), "1500.0");
         assert_eq!(ms(Duration::from_micros(2500)), "2.5");
+    }
+
+    #[test]
+    fn records_carry_label_measurement_and_extras() {
+        let bench = by_name("ident").unwrap();
+        let m = run_benchmark(&bench, Engine::Lambda2, Some(Duration::from_secs(10)));
+        let r = record("lambda2/ident", &m, &[("engine", "lambda2".into())]);
+        assert_eq!(r.get("label").unwrap().as_str(), Some("lambda2/ident"));
+        assert_eq!(r.get("engine").unwrap().as_str(), Some("lambda2"));
+        assert_eq!(r.get("solved"), Some(&Json::Bool(true)));
+        assert!(r.get("stats").unwrap().get("phases").is_some());
+    }
+
+    #[test]
+    fn write_bench_json_emits_a_parseable_report() {
+        let dir = std::env::temp_dir().join("bench-json-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let old = std::env::current_dir().unwrap();
+        std::env::set_current_dir(&dir).unwrap();
+        let bench = by_name("ident").unwrap();
+        let m = run_benchmark(&bench, Engine::Lambda2, Some(Duration::from_secs(10)));
+        let path = write_bench_json(
+            "selftest",
+            &[("quick", true.into())],
+            vec![record("ident", &m, &[])],
+        )
+        .unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::env::set_current_dir(old).unwrap();
+        let doc = lambda2_synth::obs::json::parse(&text).unwrap();
+        assert_eq!(doc.get("bench").unwrap().as_str(), Some("selftest"));
+        assert_eq!(doc.get("quick"), Some(&Json::Bool(true)));
+        assert_eq!(doc.get("results").unwrap().as_arr().unwrap().len(), 1);
     }
 }

@@ -97,10 +97,7 @@ pub fn example_sweep(bench: &Benchmark, k: usize, seed: u64) -> Option<Problem> 
 
     let mut builder = Problem::builder(format!("{}@{k}", bench.problem.name()))
         .library(bench.problem.library().clone());
-    builder = builder.param(
-        params[0].0.as_str(),
-        &params[0].1.to_string(),
-    );
+    builder = builder.param(params[0].0.as_str(), &params[0].1.to_string());
     builder = builder.returns(&bench.problem.return_type().to_string());
     let mut added = 0;
     for input in inputs {
@@ -146,7 +143,7 @@ mod tests {
         let fam = subtree_family(&t);
         assert!(fam[0].is_empty());
         assert_eq!(fam.len(), 8); // 7 subtrees + the empty tree
-        // Every child of every family member is itself in the family.
+                                  // Every child of every family member is itself in the family.
         for m in &fam {
             if let Some(n) = m.root() {
                 for c in &n.children {

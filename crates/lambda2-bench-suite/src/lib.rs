@@ -77,11 +77,7 @@ pub struct Benchmark {
 }
 
 impl Benchmark {
-    pub(crate) fn new(
-        category: Category,
-        problem: Problem,
-        reference: &'static str,
-    ) -> Benchmark {
+    pub(crate) fn new(category: Category, problem: Problem, reference: &'static str) -> Benchmark {
         Benchmark {
             problem,
             category,
@@ -116,8 +112,8 @@ impl Benchmark {
     /// Panics if the reference text is malformed — suite definitions are
     /// static data validated by the crate's tests.
     pub fn reference_program(&self) -> lambda2_synth::Program {
-        let body = lambda2_lang::parser::parse_expr(self.reference)
-            .expect("reference solutions parse");
+        let body =
+            lambda2_lang::parser::parse_expr(self.reference).expect("reference solutions parse");
         lambda2_synth::Program::new(self.problem.params().to_vec(), body)
     }
 }
@@ -181,7 +177,11 @@ mod tests {
             );
         }
         assert!(
-            suite.iter().filter(|b| b.category == Category::Pairs).count() >= 3,
+            suite
+                .iter()
+                .filter(|b| b.category == Category::Pairs)
+                .count()
+                >= 3,
             "too few pair benchmarks"
         );
     }

@@ -42,7 +42,11 @@ pub(crate) fn benchmarks() -> Vec<Benchmark> {
                 &[("l", "[int]")],
                 "[int]",
                 "all but the first element",
-                &[(&["[3 1]"], "[1]"), (&["[5]"], "[]"), (&["[2 9 4]"], "[9 4]")],
+                &[
+                    (&["[3 1]"], "[1]"),
+                    (&["[5]"], "[]"),
+                    (&["[2 9 4]"], "[9 4]"),
+                ],
             ),
             "(cdr l)",
         ),

@@ -6,6 +6,10 @@
 //! l2 eval <expr> [x=v]...   evaluate an expression under bindings
 //! l2 bench <name>           run one suite benchmark by name
 //! l2 list                   list the benchmark suite
+//!
+//! flags (synth/run/bench):
+//!   --trace <path>   stream search telemetry as JSON Lines to <path>
+//!   --stats-json     print the final measurement as one JSON line
 //! ```
 //!
 //! Problem files are s-expressions:
@@ -19,24 +23,69 @@
 //!   (example ([5 6]) [6]))
 //! ```
 
+use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Duration;
 
 use lambda2_lang::parser::{parse_sexps, type_of_sexp, value_of_sexp, Sexp};
-use lambda2_synth::{Problem, ProblemBuilder, Synthesizer};
+use lambda2_synth::{JsonlTracer, Measurement, Problem, ProblemBuilder, Synthesis, Synthesizer};
+
+/// Telemetry flags shared by the synthesizing commands.
+#[derive(Debug, Default)]
+struct Flags {
+    /// Write a JSONL trace of the search to this path.
+    trace: Option<PathBuf>,
+    /// Print the final `Measurement` as a single JSON line on stdout.
+    stats_json: bool,
+}
+
+impl Flags {
+    /// Extracts `--trace <path>` and `--stats-json` from `args` (any
+    /// position), leaving the positional arguments behind.
+    fn extract(args: &mut Vec<String>) -> Result<Flags, String> {
+        let mut flags = Flags::default();
+        let mut rest = Vec::with_capacity(args.len());
+        let mut it = args.drain(..);
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--trace" => match it.next() {
+                    Some(path) => flags.trace = Some(PathBuf::from(path)),
+                    None => return Err("--trace requires a file path".into()),
+                },
+                "--stats-json" => flags.stats_json = true,
+                other if other.starts_with("--") => {
+                    return Err(format!("unknown flag `{other}`"));
+                }
+                _ => rest.push(a),
+            }
+        }
+        drop(it);
+        *args = rest;
+        Ok(flags)
+    }
+}
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let flags = match Flags::extract(&mut args) {
+        Ok(f) => f,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            return ExitCode::from(2);
+        }
+    };
     let result = match args.first().map(String::as_str) {
-        Some("synth") if args.len() == 2 => cmd_synth(&args[1], &[]),
-        Some("run") if args.len() >= 3 => cmd_synth(&args[1], &args[2..]),
+        Some("synth") if args.len() == 2 => cmd_synth(&args[1], &[], &flags),
+        Some("run") if args.len() >= 3 => cmd_synth(&args[1], &args[2..], &flags),
         Some("eval") if args.len() >= 2 => cmd_eval(&args[1], &args[2..]),
-        Some("bench") if args.len() == 2 => cmd_bench(&args[1]),
+        Some("bench") if args.len() == 2 => cmd_bench(&args[1], &flags),
         Some("list") => cmd_list(),
         _ => {
             eprintln!(
-                "usage:\n  l2 synth <problem.l2>\n  l2 run <problem.l2> <arg>...\n  \
-                 l2 eval <expr> [x=v]...\n  l2 bench <name>\n  l2 list"
+                "usage:\n  l2 [--trace <path>] [--stats-json] synth <problem.l2>\n  \
+                 l2 [--trace <path>] [--stats-json] run <problem.l2> <arg>...\n  \
+                 l2 eval <expr> [x=v]...\n  \
+                 l2 [--trace <path>] [--stats-json] bench <name>\n  l2 list"
             );
             return ExitCode::from(2);
         }
@@ -50,7 +99,54 @@ fn main() -> ExitCode {
     }
 }
 
-fn cmd_synth(path: &str, run_args: &[String]) -> Result<(), String> {
+/// Runs synthesis, honoring `--trace`.
+fn run_synthesis(
+    synthesizer: &Synthesizer,
+    problem: &Problem,
+    flags: &Flags,
+) -> Result<Synthesis, String> {
+    let result = match &flags.trace {
+        Some(path) => {
+            let mut tracer = JsonlTracer::create(path)
+                .map_err(|e| format!("opening trace file {}: {e}", path.display()))?;
+            let r = synthesizer.synthesize_traced(problem, &mut tracer);
+            let lines = tracer
+                .finish()
+                .map_err(|e| format!("writing trace file {}: {e}", path.display()))?;
+            eprintln!("trace: {lines} events -> {}", path.display());
+            r
+        }
+        None => synthesizer.synthesize(problem),
+    };
+    result.map_err(|e| e.to_string())
+}
+
+/// Prints the shared result summary (and the `--stats-json` line).
+fn report(problem: &Problem, result: &Synthesis, flags: &Flags) {
+    println!("{}", result.program);
+    eprintln!(
+        "cost {}, {:.1} ms, {}",
+        result.cost,
+        result.elapsed.as_secs_f64() * 1e3,
+        result.stats
+    );
+    eprintln!("phases: {}", result.stats.phases);
+    if flags.stats_json {
+        let m = Measurement {
+            name: problem.name().to_owned(),
+            elapsed: result.elapsed,
+            solved: true,
+            cost: result.cost,
+            size: result.program.body().size(),
+            program: result.program.to_string(),
+            examples: problem.examples().len(),
+            stats: result.stats.clone(),
+        };
+        println!("{}", m.to_json());
+    }
+}
+
+fn cmd_synth(path: &str, run_args: &[String], flags: &Flags) -> Result<(), String> {
     let src = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
     let problem = parse_problem(&src)?;
     eprintln!(
@@ -59,16 +155,8 @@ fn cmd_synth(path: &str, run_args: &[String]) -> Result<(), String> {
         problem.examples().len()
     );
     let synthesizer = Synthesizer::new().timeout(Duration::from_secs(60));
-    let result = synthesizer
-        .synthesize(&problem)
-        .map_err(|e| e.to_string())?;
-    println!("{}", result.program);
-    eprintln!(
-        "cost {}, {:.1} ms, {}",
-        result.cost,
-        result.elapsed.as_secs_f64() * 1e3,
-        result.stats
-    );
+    let result = run_synthesis(&synthesizer, &problem, flags)?;
+    report(&problem, &result, flags);
     if !run_args.is_empty() {
         let vals = run_args
             .iter()
@@ -95,21 +183,14 @@ fn cmd_eval(expr: &str, bindings: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_bench(name: &str) -> Result<(), String> {
+fn cmd_bench(name: &str, flags: &Flags) -> Result<(), String> {
     let bench = lambda2_bench_suite::by_name(name)
         .ok_or_else(|| format!("unknown benchmark `{name}` (try `l2 list`)"))?;
     let mut options = bench.tune(lambda2_synth::SearchOptions::default());
     options.timeout = Some(Duration::from_secs(if bench.hard { 180 } else { 60 }));
-    let result = Synthesizer::with_options(options)
-        .synthesize(&bench.problem)
-        .map_err(|e| e.to_string())?;
-    println!("{}", result.program);
-    eprintln!(
-        "cost {}, {:.1} ms, {}",
-        result.cost,
-        result.elapsed.as_secs_f64() * 1e3,
-        result.stats
-    );
+    let synthesizer = Synthesizer::with_options(options);
+    let result = run_synthesis(&synthesizer, &bench.problem, flags)?;
+    report(&bench.problem, &result, flags);
     Ok(())
 }
 
@@ -229,5 +310,25 @@ mod tests {
     fn parse_problem_checks_example_shapes() {
         let bad = "(problem p (params (l [int])) (returns [int]) (example [1] [1]))";
         assert!(parse_problem(bad).is_err());
+    }
+
+    #[test]
+    fn flags_extract_from_any_position() {
+        let mut args: Vec<String> = ["synth", "--trace", "out.jsonl", "p.l2", "--stats-json"]
+            .iter()
+            .map(|s| (*s).to_owned())
+            .collect();
+        let flags = Flags::extract(&mut args).unwrap();
+        assert_eq!(
+            flags.trace.as_deref(),
+            Some(std::path::Path::new("out.jsonl"))
+        );
+        assert!(flags.stats_json);
+        assert_eq!(args, vec!["synth".to_owned(), "p.l2".to_owned()]);
+
+        let mut missing: Vec<String> = vec!["synth".into(), "--trace".into()];
+        assert!(Flags::extract(&mut missing).is_err());
+        let mut unknown: Vec<String> = vec!["--wat".into()];
+        assert!(Flags::extract(&mut unknown).is_err());
     }
 }

@@ -382,10 +382,9 @@ impl Expr {
                 fill_rc(e, target, filler),
             ),
             Expr::Lambda(ps, b) => Expr::Lambda(ps.clone(), fill_rc(b, target, filler)),
-            Expr::App(f, args) => Expr::App(
-                fill_rc(f, target, filler),
-                fill_slice(args, target, filler),
-            ),
+            Expr::App(f, args) => {
+                Expr::App(fill_rc(f, target, filler), fill_slice(args, target, filler))
+            }
             Expr::Op(op, args) => Expr::Op(*op, fill_slice(args, target, filler)),
         }
     }
@@ -492,7 +491,10 @@ mod tests {
     fn size_counts_nodes() {
         let e = Expr::op(
             Op::Add,
-            vec![Expr::int(1), Expr::op(Op::Mul, vec![Expr::var("x"), Expr::int(2)])],
+            vec![
+                Expr::int(1),
+                Expr::op(Op::Mul, vec![Expr::var("x"), Expr::int(2)]),
+            ],
         );
         assert_eq!(e.size(), 5);
         let l = Expr::lambda(vec![Symbol::intern("x")], Expr::var("x"));
@@ -535,7 +537,10 @@ mod tests {
         let e = Expr::comb(
             Comb::Map,
             vec![
-                Expr::lambda(vec![x], Expr::op(Op::Add, vec![Expr::var("x"), Expr::var("y")])),
+                Expr::lambda(
+                    vec![x],
+                    Expr::op(Op::Add, vec![Expr::var("x"), Expr::var("y")]),
+                ),
                 Expr::var("l"),
             ],
         );

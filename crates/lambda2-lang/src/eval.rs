@@ -171,11 +171,11 @@ fn apply_comb(comb: Comb, args: &[Value], fuel: &mut u64) -> Result<Value, EvalE
                     Some(n) => {
                         spend(fuel)?;
                         let v = apply_value(f, std::slice::from_ref(&n.value), fuel)?;
-                        let children = n
-                            .children
-                            .iter()
-                            .map(|c| go(f, c, fuel))
-                            .collect::<Result<Vec<_>, _>>()?;
+                        let children = n.children.iter().map(|c| go(f, c, fuel)).collect::<Result<
+                            Vec<_>,
+                            _,
+                        >>(
+                        )?;
                         Ok(Tree::node(v, children))
                     }
                 }
@@ -296,7 +296,10 @@ mod tests {
             vec![sym("x")],
             Expr::op(
                 Op::Eq,
-                vec![Expr::op(Op::Mod, vec![Expr::var("x"), Expr::int(2)]), Expr::int(1)],
+                vec![
+                    Expr::op(Op::Mod, vec![Expr::var("x"), Expr::int(2)]),
+                    Expr::int(1),
+                ],
             ),
         );
         let e = Expr::comb(Comb::Filter, vec![odd, Expr::var("l")]);
@@ -329,14 +332,20 @@ mod tests {
             vec![sym("x"), sym("a")],
             Expr::op(Op::Cons, vec![Expr::var("x"), Expr::var("a")]),
         );
-        let e = Expr::comb(Comb::Foldr, vec![f, Expr::Lit(Value::nil()), Expr::var("l")]);
+        let e = Expr::comb(
+            Comb::Foldr,
+            vec![f, Expr::Lit(Value::nil()), Expr::var("l")],
+        );
         assert_eq!(run(&e, &env), Ok(ints(&[1, 2, 3])));
 
         let f = Expr::lambda(
             vec![sym("a"), sym("x")],
             Expr::op(Op::Cons, vec![Expr::var("x"), Expr::var("a")]),
         );
-        let e = Expr::comb(Comb::Foldl, vec![f, Expr::Lit(Value::nil()), Expr::var("l")]);
+        let e = Expr::comb(
+            Comb::Foldl,
+            vec![f, Expr::Lit(Value::nil()), Expr::var("l")],
+        );
         assert_eq!(run(&e, &env), Ok(ints(&[3, 2, 1])));
     }
 
@@ -417,7 +426,10 @@ mod tests {
     fn fuel_exhaustion_is_detected() {
         let e = Expr::op(Op::Add, vec![Expr::int(1), Expr::int(2)]);
         let mut fuel = 2; // needs 4
-        assert_eq!(eval(&e, &Env::empty(), &mut fuel), Err(EvalError::OutOfFuel));
+        assert_eq!(
+            eval(&e, &Env::empty(), &mut fuel),
+            Err(EvalError::OutOfFuel)
+        );
     }
 
     #[test]

@@ -109,11 +109,7 @@ pub fn infer(expr: &Expr, env: &TypeEnv, subst: &mut Subst) -> Result<Type, Type
             Ok(type_of_value(v, subst, &mut fresh))
         }
         Expr::Var(x) => env.var(*x).cloned().ok_or(TypeError::Unbound(*x)),
-        Expr::Hole(h) => env
-            .holes
-            .get(h)
-            .cloned()
-            .ok_or(TypeError::UnboundHole(*h)),
+        Expr::Hole(h) => env.holes.get(h).cloned().ok_or(TypeError::UnboundHole(*h)),
         Expr::Comb(c) => Ok(subst.instantiate(&c.type_scheme())),
         Expr::If(c, t, e) => {
             let ct = infer(c, env, subst)?;
@@ -160,11 +156,7 @@ fn apply_fun_type(
     Ok(ret)
 }
 
-fn type_of_value(
-    v: &Value,
-    subst: &mut Subst,
-    fresh: &mut dyn FnMut(&mut Subst) -> Type,
-) -> Type {
+fn type_of_value(v: &Value, subst: &mut Subst, fresh: &mut dyn FnMut(&mut Subst) -> Type) -> Type {
     let mut mk = || fresh(subst);
     // `Value::type_of` needs a plain FnMut; adapt through a small closure.
     fn go(v: &Value, mk: &mut dyn FnMut() -> Type) -> Type {
@@ -289,7 +281,11 @@ mod tests {
         );
         assert!(check("(fst 3)", &[]).is_err());
         assert_eq!(
-            check("(map (lambda (x) (fst x)) l)", &[("l", "[(pair int bool)]")]).unwrap(),
+            check(
+                "(map (lambda (x) (fst x)) l)",
+                &[("l", "[(pair int bool)]")]
+            )
+            .unwrap(),
             "[int]"
         );
     }
@@ -304,9 +300,6 @@ mod tests {
 
     #[test]
     fn nested_empty_literals_unify_with_context() {
-        assert_eq!(
-            check("(cat l [])", &[("l", "[[int]]")]).unwrap(),
-            "[[int]]"
-        );
+        assert_eq!(check("(cat l [])", &[("l", "[[int]]")]).unwrap(), "[[int]]");
     }
 }

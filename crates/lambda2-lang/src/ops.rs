@@ -18,9 +18,7 @@ impl Op {
             Op::Add | Op::Sub | Op::Mul | Op::Div | Op::Mod => {
                 Type::fun(vec![Type::Int, Type::Int], Type::Int)
             }
-            Op::Lt | Op::Le | Op::Gt | Op::Ge => {
-                Type::fun(vec![Type::Int, Type::Int], Type::Bool)
-            }
+            Op::Lt | Op::Le | Op::Gt | Op::Ge => Type::fun(vec![Type::Int, Type::Int], Type::Bool),
             Op::Eq | Op::Neq => Type::fun(vec![a(), a()], Type::Bool),
             Op::And | Op::Or => Type::fun(vec![Type::Bool, Type::Bool], Type::Bool),
             Op::Not => Type::fun(vec![Type::Bool], Type::Bool),
@@ -30,10 +28,7 @@ impl Op {
             Op::IsEmpty => Type::fun(vec![Type::list(a())], Type::Bool),
             Op::Cat => Type::fun(vec![Type::list(a()), Type::list(a())], Type::list(a())),
             Op::Member => Type::fun(vec![a(), Type::list(a())], Type::Bool),
-            Op::TreeMake => Type::fun(
-                vec![a(), Type::list(Type::tree(a()))],
-                Type::tree(a()),
-            ),
+            Op::TreeMake => Type::fun(vec![a(), Type::list(Type::tree(a()))], Type::tree(a())),
             Op::TreeValue => Type::fun(vec![Type::tree(a())], a()),
             Op::TreeChildren => Type::fun(vec![Type::tree(a())], Type::list(Type::tree(a()))),
             Op::IsEmptyTree => Type::fun(vec![Type::tree(a())], Type::Bool),
@@ -198,11 +193,26 @@ mod tests {
 
     #[test]
     fn arithmetic() {
-        assert_eq!(Op::Add.apply(&[Value::Int(2), Value::Int(3)]), Ok(Value::Int(5)));
-        assert_eq!(Op::Sub.apply(&[Value::Int(2), Value::Int(3)]), Ok(Value::Int(-1)));
-        assert_eq!(Op::Mul.apply(&[Value::Int(4), Value::Int(3)]), Ok(Value::Int(12)));
-        assert_eq!(Op::Div.apply(&[Value::Int(7), Value::Int(2)]), Ok(Value::Int(3)));
-        assert_eq!(Op::Mod.apply(&[Value::Int(7), Value::Int(2)]), Ok(Value::Int(1)));
+        assert_eq!(
+            Op::Add.apply(&[Value::Int(2), Value::Int(3)]),
+            Ok(Value::Int(5))
+        );
+        assert_eq!(
+            Op::Sub.apply(&[Value::Int(2), Value::Int(3)]),
+            Ok(Value::Int(-1))
+        );
+        assert_eq!(
+            Op::Mul.apply(&[Value::Int(4), Value::Int(3)]),
+            Ok(Value::Int(12))
+        );
+        assert_eq!(
+            Op::Div.apply(&[Value::Int(7), Value::Int(2)]),
+            Ok(Value::Int(3))
+        );
+        assert_eq!(
+            Op::Mod.apply(&[Value::Int(7), Value::Int(2)]),
+            Ok(Value::Int(1))
+        );
         assert_eq!(
             Op::Div.apply(&[Value::Int(1), Value::Int(0)]),
             Err(EvalError::DivByZero)
@@ -215,8 +225,14 @@ mod tests {
 
     #[test]
     fn comparisons_and_booleans() {
-        assert_eq!(Op::Lt.apply(&[Value::Int(1), Value::Int(2)]), Ok(Value::Bool(true)));
-        assert_eq!(Op::Ge.apply(&[Value::Int(2), Value::Int(2)]), Ok(Value::Bool(true)));
+        assert_eq!(
+            Op::Lt.apply(&[Value::Int(1), Value::Int(2)]),
+            Ok(Value::Bool(true))
+        );
+        assert_eq!(
+            Op::Ge.apply(&[Value::Int(2), Value::Int(2)]),
+            Ok(Value::Bool(true))
+        );
         assert_eq!(
             Op::And.apply(&[Value::Bool(true), Value::Bool(false)]),
             Ok(Value::Bool(false))
@@ -275,7 +291,10 @@ mod tests {
             .apply(&[Value::Int(1), Value::list(vec![leaf.clone()])])
             .unwrap();
         assert_eq!(made.to_string(), "{1 {7}}");
-        assert_eq!(Op::TreeValue.apply(std::slice::from_ref(&made)), Ok(Value::Int(1)));
+        assert_eq!(
+            Op::TreeValue.apply(std::slice::from_ref(&made)),
+            Ok(Value::Int(1))
+        );
         assert_eq!(
             Op::TreeChildren.apply(std::slice::from_ref(&made)),
             Ok(Value::list(vec![leaf.clone()]))
@@ -283,7 +302,10 @@ mod tests {
         assert_eq!(Op::IsLeaf.apply(&[leaf]), Ok(Value::Bool(true)));
         assert_eq!(Op::IsLeaf.apply(&[made]), Ok(Value::Bool(false)));
         let empty = Value::Tree(Tree::empty());
-        assert_eq!(Op::IsEmptyTree.apply(std::slice::from_ref(&empty)), Ok(Value::Bool(true)));
+        assert_eq!(
+            Op::IsEmptyTree.apply(std::slice::from_ref(&empty)),
+            Ok(Value::Bool(true))
+        );
         assert_eq!(Op::TreeValue.apply(&[empty]), Err(EvalError::EmptyTree));
     }
 
@@ -307,7 +329,10 @@ mod tests {
 
     #[test]
     fn arity_is_enforced() {
-        assert_eq!(Op::Add.apply(&[Value::Int(1)]), Err(EvalError::ArityMismatch));
+        assert_eq!(
+            Op::Add.apply(&[Value::Int(1)]),
+            Err(EvalError::ArityMismatch)
+        );
     }
 
     #[test]

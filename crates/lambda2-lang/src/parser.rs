@@ -113,7 +113,10 @@ impl<'a> Lexer<'a> {
                     self.pos += 1;
                 }
                 if self.pos == start {
-                    return Err(ParseError::new(start, format!("unexpected character `{c}`")));
+                    return Err(ParseError::new(
+                        start,
+                        format!("unexpected character `{c}`"),
+                    ));
                 }
                 Ok(Some(Token::Atom(self.src[start..self.pos].to_owned())))
             }
@@ -179,8 +182,7 @@ fn read_sexp(lex: &mut Lexer<'_>) -> Result<Option<Sexp>, ParseError> {
 /// Returns [`ParseError`] on malformed or trailing input.
 pub fn parse_sexp(src: &str) -> Result<Sexp, ParseError> {
     let mut lex = Lexer::new(src);
-    let sexp = read_sexp(&mut lex)?
-        .ok_or_else(|| ParseError::new(0, "empty input"))?;
+    let sexp = read_sexp(&mut lex)?.ok_or_else(|| ParseError::new(0, "empty input"))?;
     lex.skip_trivia();
     if lex.pos < src.len() {
         return Err(ParseError::new(lex.pos, "trailing input"));
@@ -240,10 +242,14 @@ pub fn value_of_sexp(sexp: &Sexp) -> Result<Value, ParseError> {
             Ok(Value::Tree(Tree::node(v, children)))
         }
         Sexp::List(items) => match items.split_first() {
-            Some((Sexp::Atom(head), rest)) if head == "pair" && rest.len() == 2 => {
-                Ok(Value::pair(value_of_sexp(&rest[0])?, value_of_sexp(&rest[1])?))
-            }
-            _ => Err(ParseError::new(0, "`(…)` is not a value form (except `(pair v v)`)")),
+            Some((Sexp::Atom(head), rest)) if head == "pair" && rest.len() == 2 => Ok(Value::pair(
+                value_of_sexp(&rest[0])?,
+                value_of_sexp(&rest[1])?,
+            )),
+            _ => Err(ParseError::new(
+                0,
+                "`(…)` is not a value form (except `(pair v v)`)",
+            )),
         },
     }
 }
@@ -280,7 +286,10 @@ pub fn type_of_sexp(sexp: &Sexp) -> Result<Type, ParseError> {
         },
         Sexp::Bracket(items) => {
             if items.len() != 1 {
-                return Err(ParseError::new(0, "list type takes exactly one element type"));
+                return Err(ParseError::new(
+                    0,
+                    "list type takes exactly one element type",
+                ));
             }
             Ok(Type::list(type_of_sexp(&items[0])?))
         }
@@ -350,7 +359,10 @@ pub fn expr_of_sexp(sexp: &Sexp) -> Result<Expr, ParseError> {
                     }
                     "lambda" => {
                         if rest.len() != 2 {
-                            return Err(ParseError::new(0, "`lambda` takes a binder list and a body"));
+                            return Err(ParseError::new(
+                                0,
+                                "`lambda` takes a binder list and a body",
+                            ));
                         }
                         let Sexp::List(binders) = &rest[0] else {
                             return Err(ParseError::new(0, "lambda binders must be `(x …)`"));
@@ -421,10 +433,22 @@ mod tests {
 
     #[test]
     fn values_round_trip() {
-        for src in ["42", "-7", "true", "false", "[]", "[1 2 3]", "[[1] [] [2 3]]",
-                    "{}", "{5}", "{1 {2} {3 {4} {5}}}", "[{1} {}]",
-                    "(pair 1 2)", "[(pair 1 [2]) (pair 3 [])]",
-                    "(pair (pair 1 2) {3})"] {
+        for src in [
+            "42",
+            "-7",
+            "true",
+            "false",
+            "[]",
+            "[1 2 3]",
+            "[[1] [] [2 3]]",
+            "{}",
+            "{5}",
+            "{1 {2} {3 {4} {5}}}",
+            "[{1} {}]",
+            "(pair 1 2)",
+            "[(pair 1 [2]) (pair 3 [])]",
+            "(pair (pair 1 2) {3})",
+        ] {
             let v = parse_value(src).unwrap();
             assert_eq!(v.to_string(), src, "round-trip of {src}");
         }
@@ -478,7 +502,10 @@ mod tests {
 
     #[test]
     fn op_names_parse_as_ops_with_arity_checked() {
-        assert!(matches!(parse_expr("(cons 1 [])").unwrap(), Expr::Op(Op::Cons, _)));
+        assert!(matches!(
+            parse_expr("(cons 1 [])").unwrap(),
+            Expr::Op(Op::Cons, _)
+        ));
         assert!(parse_expr("(cons 1)").is_err());
         assert!(parse_expr("(if 1 2)").is_err());
     }

@@ -201,7 +201,9 @@ impl Subst {
             Type::List(e) => Type::list(self.apply(&e)),
             Type::Tree(e) => Type::tree(self.apply(&e)),
             Type::Pair(a, b) => Type::pair(self.apply(&a), self.apply(&b)),
-            Type::Fun(ps, r) => Type::fun(ps.iter().map(|p| self.apply(p)).collect(), self.apply(&r)),
+            Type::Fun(ps, r) => {
+                Type::fun(ps.iter().map(|p| self.apply(p)).collect(), self.apply(&r))
+            }
         }
     }
 
@@ -230,7 +232,10 @@ impl Subst {
             (Type::Var(v), Type::Var(w)) if v == w => Ok(()),
             (Type::Var(v), _) => {
                 if self.occurs(*v, &rb) {
-                    Err(UnifyError { left: ra, right: rb })
+                    Err(UnifyError {
+                        left: ra,
+                        right: rb,
+                    })
                 } else {
                     self.map.insert(*v, rb);
                     Ok(())
@@ -238,7 +243,10 @@ impl Subst {
             }
             (_, Type::Var(w)) => {
                 if self.occurs(*w, &ra) {
-                    Err(UnifyError { left: ra, right: rb })
+                    Err(UnifyError {
+                        left: ra,
+                        right: rb,
+                    })
                 } else {
                     self.map.insert(*w, ra);
                     Ok(())
@@ -254,7 +262,10 @@ impl Subst {
             }
             (Type::Fun(ps, r), Type::Fun(qs, s)) => {
                 if ps.len() != qs.len() {
-                    return Err(UnifyError { left: ra.clone(), right: rb.clone() });
+                    return Err(UnifyError {
+                        left: ra.clone(),
+                        right: rb.clone(),
+                    });
                 }
                 let (ps, r) = (ps.clone(), r.clone());
                 let (qs, s) = (qs.clone(), s.clone());
@@ -263,7 +274,10 @@ impl Subst {
                 }
                 self.unify(&r, &s)
             }
-            _ => Err(UnifyError { left: ra, right: rb }),
+            _ => Err(UnifyError {
+                left: ra,
+                right: rb,
+            }),
         }
     }
 
@@ -295,7 +309,9 @@ impl fmt::Debug for Subst {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let mut entries: Vec<_> = self.map.iter().collect();
         entries.sort_by_key(|(v, _)| **v);
-        f.debug_map().entries(entries.iter().map(|(v, t)| (format!("t{v}"), t))).finish()
+        f.debug_map()
+            .entries(entries.iter().map(|(v, t)| (format!("t{v}"), t)))
+            .finish()
     }
 }
 

@@ -200,10 +200,7 @@ impl Value {
         match self {
             Value::Int(_) | Value::Bool(_) => true,
             Value::List(xs) => xs.iter().all(Value::is_first_order),
-            Value::Tree(t) => t
-                .values()
-                .into_iter()
-                .all(Value::is_first_order),
+            Value::Tree(t) => t.values().into_iter().all(Value::is_first_order),
             Value::Pair(p) => p.0.is_first_order() && p.1.is_first_order(),
             Value::Closure(_) | Value::Comb(_) => false,
         }
@@ -433,13 +430,19 @@ mod tests {
     #[test]
     fn tree_metrics() {
         let leaf = |n| Tree::node(Value::Int(n), vec![]);
-        let t = Tree::node(Value::Int(0), vec![leaf(1), Tree::node(Value::Int(2), vec![leaf(3)])]);
+        let t = Tree::node(
+            Value::Int(0),
+            vec![leaf(1), Tree::node(Value::Int(2), vec![leaf(3)])],
+        );
         assert_eq!(t.size(), 4);
         assert_eq!(t.height(), 3);
         assert_eq!(Tree::empty().size(), 0);
         assert_eq!(Tree::empty().height(), 0);
         assert_eq!(
-            t.values().iter().map(|v| v.as_int().unwrap()).collect::<Vec<_>>(),
+            t.values()
+                .iter()
+                .map(|v| v.as_int().unwrap())
+                .collect::<Vec<_>>(),
             vec![0, 1, 2, 3]
         );
     }

@@ -25,7 +25,7 @@ use lambda2_lang::value::Value;
 
 use crate::enumerate::{canonical, op_result_type, EnumLimits, TermStore};
 use crate::problem::Problem;
-use crate::search::{Synthesis, SynthError};
+use crate::search::{SynthError, Synthesis};
 use crate::spec::Spec;
 use crate::stats::Stats;
 use crate::verify::Program;
@@ -148,10 +148,7 @@ pub fn synthesize_baseline(
                 vec![tau.clone(), Type::list(tau.clone()), beta.clone()],
                 beta.clone(),
             ),
-            Comb::Foldt => (
-                vec![tau.clone(), Type::list(beta.clone())],
-                beta.clone(),
-            ),
+            Comb::Foldt => (vec![tau.clone(), Type::list(beta.clone())], beta.clone()),
         }
     };
 
@@ -161,12 +158,12 @@ pub fn synthesize_baseline(
     let mut seen: HashSet<(String, Vec<Option<Value>>)> = HashSet::new();
 
     let test_and_insert = |e: Rc<Expr>,
-                               ty: Type,
-                               sig: Vec<Option<Value>>,
-                               level: &mut Vec<usize>,
-                               terms: &mut Vec<Entry>,
-                               seen: &mut HashSet<(String, Vec<Option<Value>>)>,
-                               stats: &mut Stats|
+                           ty: Type,
+                           sig: Vec<Option<Value>>,
+                           level: &mut Vec<usize>,
+                           terms: &mut Vec<Entry>,
+                           seen: &mut HashSet<(String, Vec<Option<Value>>)>,
+                           stats: &mut Stats|
      -> Option<Program> {
         if sig.iter().all(Option::is_none) {
             return None;
@@ -181,10 +178,7 @@ pub fn synthesize_baseline(
             .zip(&outputs)
             .all(|(s, o)| matches!(s, Some(v) if v == *o))
         {
-            return Some(Program::new(
-                problem.params().to_vec(),
-                (*e).clone(),
-            ));
+            return Some(Program::new(problem.params().to_vec(), (*e).clone()));
         }
         stats.verify_failures += 1;
         terms.push(Entry { expr: e, ty, sig });
@@ -234,10 +228,7 @@ pub fn synthesize_baseline(
         }
         if k == costs.var {
             for (sym, ty) in problem.params() {
-                let sig = envs
-                    .iter()
-                    .map(|env| env.lookup(*sym).cloned())
-                    .collect();
+                let sig = envs.iter().map(|env| env.lookup(*sym).cloned()).collect();
                 if let Some(p) = test_and_insert(
                     Rc::new(Expr::Var(*sym)),
                     ty.clone(),
@@ -301,9 +292,9 @@ pub fn synthesize_baseline(
                         .collect::<Vec<_>>()
                         .into(),
                 ));
-                if let Some(p) =
-                    test_and_insert(expr, ret, sig, &mut level, &mut terms, &mut seen, &mut stats)
-                {
+                if let Some(p) = test_and_insert(
+                    expr, ret, sig, &mut level, &mut terms, &mut seen, &mut stats,
+                ) {
                     return finish(p, k, stats, start);
                 }
             }
@@ -368,8 +359,7 @@ pub fn synthesize_baseline(
                                     if !crate::enumerate::unifiable(&terms[ii].ty, beta) {
                                         continue;
                                     }
-                                    for &ci in
-                                        levels.get(coll_cost as usize).into_iter().flatten()
+                                    for &ci in levels.get(coll_cost as usize).into_iter().flatten()
                                     {
                                         if crate::enumerate::unifiable(&terms[ci].ty, &coll_ty) {
                                             v.push((Some(ii), ci));
@@ -383,17 +373,13 @@ pub fn synthesize_baseline(
                                 .get(rest as usize)
                                 .into_iter()
                                 .flatten()
-                                .filter(|&&ci| {
-                                    crate::enumerate::unifiable(&terms[ci].ty, &coll_ty)
-                                })
+                                .filter(|&&ci| crate::enumerate::unifiable(&terms[ci].ty, &coll_ty))
                                 .map(|&ci| (None, ci))
                                 .collect()
                         };
                         for body in &bodies {
-                            let lam = Expr::Lambda(
-                                bnames.clone().into(),
-                                Rc::new((**body).clone()),
-                            );
+                            let lam =
+                                Expr::Lambda(bnames.clone().into(), Rc::new((**body).clone()));
                             for (init, ci) in &splits {
                                 if let Some(t) = options.timeout {
                                     if start.elapsed() >= t {
@@ -423,12 +409,7 @@ pub fn synthesize_baseline(
                                     _ => beta.clone(),
                                 };
                                 if let Some(p) = test_and_insert(
-                                    expr,
-                                    out_ty,
-                                    sig,
-                                    &mut level,
-                                    &mut terms,
-                                    &mut seen,
+                                    expr, out_ty, sig, &mut level, &mut terms, &mut seen,
                                     &mut stats,
                                 ) {
                                     return finish(p, k, stats, start);
@@ -450,11 +431,7 @@ pub fn synthesize_baseline(
 mod tests {
     use super::*;
 
-    fn problem(
-        params: &[(&str, &str)],
-        ret: &str,
-        examples: &[(&[&str], &str)],
-    ) -> Problem {
+    fn problem(params: &[(&str, &str)], ret: &str, examples: &[(&[&str], &str)]) -> Problem {
         let mut b = Problem::builder("t");
         for (n, t) in params {
             b = b.param(n, t);
@@ -514,11 +491,7 @@ mod tests {
 
     #[test]
     fn baseline_rejects_inconsistent_examples() {
-        let p = problem(
-            &[("x", "int")],
-            "int",
-            &[(&["1"], "1"), (&["1"], "2")],
-        );
+        let p = problem(&[("x", "int")], "int", &[(&["1"], "1"), (&["1"], "2")]);
         assert_eq!(
             synthesize_baseline(&p, &BaselineOptions::default()).unwrap_err(),
             SynthError::InconsistentExamples

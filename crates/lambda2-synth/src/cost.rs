@@ -67,9 +67,7 @@ impl CostModel {
             Expr::Comb(c) => self.comb_cost(*c),
             Expr::If(c, t, e) => self.if_ + self.cost(c) + self.cost(t) + self.cost(e),
             Expr::Lambda(_, b) => self.lambda + self.cost(b),
-            Expr::App(f, args) => {
-                self.cost(f) + args.iter().map(|a| self.cost(a)).sum::<u32>()
-            }
+            Expr::App(f, args) => self.cost(f) + args.iter().map(|a| self.cost(a)).sum::<u32>(),
             Expr::Op(op, args) => {
                 self.op_cost(*op) + args.iter().map(|a| self.cost(a)).sum::<u32>()
             }

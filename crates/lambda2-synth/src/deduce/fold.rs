@@ -76,22 +76,27 @@ pub fn deduce_foldl(
     acc: Symbol,
     x: Symbol,
 ) -> Outcome {
-    let out = deduce_fold(rows, coll, init, &mut |row, list, init_val, lookup, fun_rows| {
-        if list.len() == 1 {
-            fun_rows.push(ExampleRow::new(
-                row.env.bind(acc, init_val.clone()).bind(x, list[0].clone()),
-                row.output.clone(),
-            ));
-            return;
-        }
-        let (prefix, last) = list.split_at(list.len() - 1);
-        if let Some(prev_out) = lookup(prefix) {
-            fun_rows.push(ExampleRow::new(
-                row.env.bind(acc, prev_out).bind(x, last[0].clone()),
-                row.output.clone(),
-            ));
-        }
-    });
+    let out = deduce_fold(
+        rows,
+        coll,
+        init,
+        &mut |row, list, init_val, lookup, fun_rows| {
+            if list.len() == 1 {
+                fun_rows.push(ExampleRow::new(
+                    row.env.bind(acc, init_val.clone()).bind(x, list[0].clone()),
+                    row.output.clone(),
+                ));
+                return;
+            }
+            let (prefix, last) = list.split_at(list.len() - 1);
+            if let Some(prev_out) = lookup(prefix) {
+                fun_rows.push(ExampleRow::new(
+                    row.env.bind(acc, prev_out).bind(x, last[0].clone()),
+                    row.output.clone(),
+                ));
+            }
+        },
+    );
     with_probes(out, || {
         fold_probes(rows, coll, init, |row, _, _, elem, cand| {
             row.env.bind(acc, cand.clone()).bind(x, elem.clone())
@@ -107,22 +112,27 @@ pub fn deduce_foldr(
     x: Symbol,
     acc: Symbol,
 ) -> Outcome {
-    let out = deduce_fold(rows, coll, init, &mut |row, list, init_val, lookup, fun_rows| {
-        if list.len() == 1 {
-            fun_rows.push(ExampleRow::new(
-                row.env.bind(x, list[0].clone()).bind(acc, init_val.clone()),
-                row.output.clone(),
-            ));
-            return;
-        }
-        let (head, tail) = list.split_at(1);
-        if let Some(tail_out) = lookup(tail) {
-            fun_rows.push(ExampleRow::new(
-                row.env.bind(x, head[0].clone()).bind(acc, tail_out),
-                row.output.clone(),
-            ));
-        }
-    });
+    let out = deduce_fold(
+        rows,
+        coll,
+        init,
+        &mut |row, list, init_val, lookup, fun_rows| {
+            if list.len() == 1 {
+                fun_rows.push(ExampleRow::new(
+                    row.env.bind(x, list[0].clone()).bind(acc, init_val.clone()),
+                    row.output.clone(),
+                ));
+                return;
+            }
+            let (head, tail) = list.split_at(1);
+            if let Some(tail_out) = lookup(tail) {
+                fun_rows.push(ExampleRow::new(
+                    row.env.bind(x, head[0].clone()).bind(acc, tail_out),
+                    row.output.clone(),
+                ));
+            }
+        },
+    );
     with_probes(out, || {
         fold_probes(rows, coll, init, |row, _, _, elem, cand| {
             row.env.bind(x, elem.clone()).bind(acc, cand.clone())
@@ -139,23 +149,28 @@ pub fn deduce_recl(
     xs: Symbol,
     rec: Symbol,
 ) -> Outcome {
-    let out = deduce_fold(rows, coll, init, &mut |row, list, init_val, lookup, fun_rows| {
-        let (head, tail) = list.split_at(1);
-        let rec_out = if tail.is_empty() {
-            Some(init_val.clone())
-        } else {
-            lookup(tail)
-        };
-        if let Some(rec_out) = rec_out {
-            fun_rows.push(ExampleRow::new(
-                row.env
-                    .bind(x, head[0].clone())
-                    .bind(xs, Value::list(tail.to_vec()))
-                    .bind(rec, rec_out),
-                row.output.clone(),
-            ));
-        }
-    });
+    let out = deduce_fold(
+        rows,
+        coll,
+        init,
+        &mut |row, list, init_val, lookup, fun_rows| {
+            let (head, tail) = list.split_at(1);
+            let rec_out = if tail.is_empty() {
+                Some(init_val.clone())
+            } else {
+                lookup(tail)
+            };
+            if let Some(rec_out) = rec_out {
+                fun_rows.push(ExampleRow::new(
+                    row.env
+                        .bind(x, head[0].clone())
+                        .bind(xs, Value::list(tail.to_vec()))
+                        .bind(rec, rec_out),
+                    row.output.clone(),
+                ));
+            }
+        },
+    );
     with_probes(out, || {
         fold_probes(rows, coll, init, |row, j, elems, elem, cand| {
             row.env
@@ -269,7 +284,13 @@ mod tests {
     #[test]
     fn singletons_deduce_step_rows_from_the_init() {
         let (rows, coll) = rows_on_var("l", &[("[5]", "5")]);
-        let d = deduction(deduce_foldl(&rows, &coll, &inits("0", 1), sym("a"), sym("x")));
+        let d = deduction(deduce_foldl(
+            &rows,
+            &coll,
+            &inits("0", 1),
+            sym("a"),
+            sym("x"),
+        ));
         assert_eq!(d.fun_spec.len(), 1);
         let row = &d.fun_spec.rows()[0];
         assert_eq!(row.env.lookup(sym("a")), Some(&Value::Int(0)));
@@ -284,7 +305,13 @@ mod tests {
             "l",
             &[("[]", "0"), ("[1]", "1"), ("[1 2]", "3"), ("[1 2 3]", "6")],
         );
-        let d = deduction(deduce_foldl(&rows, &coll, &inits("0", 4), sym("a"), sym("x")));
+        let d = deduction(deduce_foldl(
+            &rows,
+            &coll,
+            &inits("0", 4),
+            sym("a"),
+            sym("x"),
+        ));
         // f(0,1)=1, f(1,2)=3, f(3,3)=6
         assert_eq!(d.fun_spec.len(), 3);
         for row in d.fun_spec.rows() {
@@ -300,7 +327,13 @@ mod tests {
             "l",
             &[("[]", "[]"), ("[2]", "[2 2]"), ("[1 2]", "[1 1 2 2]")],
         );
-        let d = deduction(deduce_foldr(&rows, &coll, &inits("[]", 3), sym("x"), sym("a")));
+        let d = deduction(deduce_foldr(
+            &rows,
+            &coll,
+            &inits("[]", 3),
+            sym("x"),
+            sym("a"),
+        ));
         // f(2, []) = [2 2]; f(1, [2 2]) = [1 1 2 2]
         assert_eq!(d.fun_spec.len(), 2);
         let r0 = &d.fun_spec.rows()[0];
@@ -341,10 +374,7 @@ mod tests {
         let l = sym("p");
         let y = sym("q");
         let mk = |lv: &str, yv: &str, out: &str| {
-            ExampleRow::new(
-                Env::empty().bind(l, val(lv)).bind(y, val(yv)),
-                val(out),
-            )
+            ExampleRow::new(Env::empty().bind(l, val(lv)).bind(y, val(yv)), val(out))
         };
         let rows = vec![
             mk("[]", "[9]", "[9]"),
@@ -370,7 +400,13 @@ mod tests {
     #[test]
     fn non_variable_collections_get_singleton_rows() {
         let (rows, coll) = rows_on_expr(&[("[]", "0"), ("[1]", "1"), ("[1 2]", "3")]);
-        let d = deduction(deduce_foldl(&rows, &coll, &inits("0", 3), sym("a"), sym("x")));
+        let d = deduction(deduce_foldl(
+            &rows,
+            &coll,
+            &inits("0", 3),
+            sym("a"),
+            sym("x"),
+        ));
         // Only the singleton [1] row deduces; [1 2] has no usable chain.
         assert_eq!(d.fun_spec.len(), 1);
     }
@@ -419,7 +455,13 @@ mod tests {
     #[test]
     fn foldl_emits_trace_probes_for_every_element() {
         let (rows, coll) = rows_on_var("l", &[("[4 7]", "11")]);
-        let d = deduction(deduce_foldl(&rows, &coll, &inits("0", 1), sym("a"), sym("x")));
+        let d = deduction(deduce_foldl(
+            &rows,
+            &coll,
+            &inits("0", 1),
+            sym("a"),
+            sym("x"),
+        ));
         // 2 elements x 2 accumulator candidates (init and output).
         assert_eq!(d.probes.len(), 4);
         for env in &d.probes {
@@ -458,7 +500,13 @@ mod tests {
             (0..40).map(|i| i.to_string()).collect::<Vec<_>>().join(" ")
         );
         let (rows, coll) = rows_on_var("l", &[(big.as_str(), "0")]);
-        let d = deduction(deduce_foldl(&rows, &coll, &inits("0", 1), sym("a"), sym("x")));
+        let d = deduction(deduce_foldl(
+            &rows,
+            &coll,
+            &inits("0", 1),
+            sym("a"),
+            sym("x"),
+        ));
         assert!(d.probes.len() <= 24);
     }
 

@@ -20,14 +20,14 @@ pub fn deduce_map(rows: &[ExampleRow], coll: &CollectionArg, x: Symbol) -> Outco
             return Outcome::Refuted;
         }
         for (xi, yi) in xs.iter().zip(ys) {
-            fun_rows.push(ExampleRow::new(
-                row.env.bind(x, xi.clone()),
-                yi.clone(),
-            ));
+            fun_rows.push(ExampleRow::new(row.env.bind(x, xi.clone()), yi.clone()));
         }
     }
     match spec_or_refute(fun_rows) {
-        Ok(fun_spec) => Outcome::Deduced(Deduction { fun_spec, probes: Vec::new() }),
+        Ok(fun_spec) => Outcome::Deduced(Deduction {
+            fun_spec,
+            probes: Vec::new(),
+        }),
         Err(r) => r,
     }
 }
@@ -71,7 +71,10 @@ pub fn deduce_filter(rows: &[ExampleRow], coll: &CollectionArg, x: Symbol) -> Ou
         }
     }
     match spec_or_refute(fun_rows) {
-        Ok(fun_spec) => Outcome::Deduced(Deduction { fun_spec, probes: Vec::new() }),
+        Ok(fun_spec) => Outcome::Deduced(Deduction {
+            fun_spec,
+            probes: Vec::new(),
+        }),
         Err(r) => r,
     }
 }
@@ -109,20 +112,29 @@ mod tests {
     #[test]
     fn map_refutes_on_length_mismatch() {
         let (rows, coll) = rows_on_var("l", &[("[1 2]", "[2]")]);
-        assert!(matches!(deduce_map(&rows, &coll, sym("x")), Outcome::Refuted));
+        assert!(matches!(
+            deduce_map(&rows, &coll, sym("x")),
+            Outcome::Refuted
+        ));
     }
 
     #[test]
     fn map_refutes_on_non_list_output() {
         let (rows, coll) = rows_on_var("l", &[("[1 2]", "3")]);
-        assert!(matches!(deduce_map(&rows, &coll, sym("x")), Outcome::Refuted));
+        assert!(matches!(
+            deduce_map(&rows, &coll, sym("x")),
+            Outcome::Refuted
+        ));
     }
 
     #[test]
     fn map_refutes_on_pointwise_conflict() {
         // Within one row, 1 must map to both 2 and 9 — not a function.
         let (rows, coll) = rows_on_var("l", &[("[1 1]", "[2 9]")]);
-        assert!(matches!(deduce_map(&rows, &coll, sym("x")), Outcome::Refuted));
+        assert!(matches!(
+            deduce_map(&rows, &coll, sym("x")),
+            Outcome::Refuted
+        ));
     }
 
     #[test]

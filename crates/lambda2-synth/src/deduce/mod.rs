@@ -114,12 +114,20 @@ pub fn deduce(
     match comb {
         Comb::Map => list::deduce_map(rows, coll, binders[0]),
         Comb::Filter => list::deduce_filter(rows, coll, binders[0]),
-        Comb::Foldl => {
-            fold::deduce_foldl(rows, coll, init.expect("fold has init"), binders[0], binders[1])
-        }
-        Comb::Foldr => {
-            fold::deduce_foldr(rows, coll, init.expect("fold has init"), binders[0], binders[1])
-        }
+        Comb::Foldl => fold::deduce_foldl(
+            rows,
+            coll,
+            init.expect("fold has init"),
+            binders[0],
+            binders[1],
+        ),
+        Comb::Foldr => fold::deduce_foldr(
+            rows,
+            coll,
+            init.expect("fold has init"),
+            binders[0],
+            binders[1],
+        ),
         Comb::Recl => fold::deduce_recl(
             rows,
             coll,
@@ -129,9 +137,13 @@ pub fn deduce(
             binders[2],
         ),
         Comb::Mapt => tree::deduce_mapt(rows, coll, binders[0]),
-        Comb::Foldt => {
-            tree::deduce_foldt(rows, coll, init.expect("fold has init"), binders[0], binders[1])
-        }
+        Comb::Foldt => tree::deduce_foldt(
+            rows,
+            coll,
+            init.expect("fold has init"),
+            binders[0],
+            binders[1],
+        ),
     }
 }
 
@@ -143,10 +155,7 @@ fn spec_or_refute(rows: Vec<ExampleRow>) -> Result<Spec, Outcome> {
 /// Groups row indices by their environment with `var`'s binding removed.
 /// Rows in the same group differ only in the collection variable, which is
 /// exactly when cross-row chain deduction is sound.
-fn group_rows_without(
-    rows: &[ExampleRow],
-    var: Symbol,
-) -> Vec<Vec<usize>> {
+fn group_rows_without(rows: &[ExampleRow], var: Symbol) -> Vec<Vec<usize>> {
     use std::collections::HashMap;
     let mut groups: HashMap<Vec<(Symbol, Value)>, Vec<usize>> = HashMap::new();
     let mut order: Vec<Vec<(Symbol, Value)>> = Vec::new();
@@ -158,7 +167,10 @@ fn group_rows_without(
         }
         groups.entry(key).or_default().push(i);
     }
-    order.into_iter().map(|k| groups.remove(&k).unwrap()).collect()
+    order
+        .into_iter()
+        .map(|k| groups.remove(&k).unwrap())
+        .collect()
 }
 
 #[cfg(test)]
@@ -174,10 +186,7 @@ pub(crate) mod testutil {
 
     /// Builds rows binding `l` to each input and the matching collection
     /// argument for the variable `l` itself.
-    pub fn rows_on_var(
-        var: &str,
-        pairs: &[(&str, &str)],
-    ) -> (Vec<ExampleRow>, CollectionArg) {
+    pub fn rows_on_var(var: &str, pairs: &[(&str, &str)]) -> (Vec<ExampleRow>, CollectionArg) {
         let v = Symbol::intern(var);
         let mut rows = Vec::new();
         let mut values = Vec::new();
@@ -187,7 +196,13 @@ pub(crate) mod testutil {
             rows.push(ExampleRow::new(Env::empty().bind(v, iv.clone()), ov));
             values.push(iv);
         }
-        (rows, CollectionArg { values, var: Some(v) })
+        (
+            rows,
+            CollectionArg {
+                values,
+                var: Some(v),
+            },
+        )
     }
 
     /// Like [`rows_on_var`] but the collection is treated as a non-variable

@@ -25,7 +25,10 @@ pub fn deduce_mapt(rows: &[ExampleRow], coll: &CollectionArg, x: Symbol) -> Outc
         }
     }
     match spec_or_refute(fun_rows) {
-        Ok(fun_spec) => Outcome::Deduced(Deduction { fun_spec, probes: Vec::new() }),
+        Ok(fun_spec) => Outcome::Deduced(Deduction {
+            fun_spec,
+            probes: Vec::new(),
+        }),
         Err(r) => r,
     }
 }
@@ -116,16 +119,11 @@ pub fn deduce_foldt(
     'rows: for (row, cv) in rows.iter().zip(&coll.values) {
         let t = cv.as_tree().expect("checked above");
         for node_value in t.values() {
-            for rs_candidate in [
-                Value::nil(),
-                Value::list(vec![row.output.clone()]),
-            ] {
+            for rs_candidate in [Value::nil(), Value::list(vec![row.output.clone()])] {
                 if probes.len() >= 24 {
                     break 'rows;
                 }
-                probes.push(
-                    row.env.bind(v, node_value.clone()).bind(rs, rs_candidate),
-                );
+                probes.push(row.env.bind(v, node_value.clone()).bind(rs, rs_candidate));
             }
         }
     }
@@ -158,9 +156,15 @@ mod tests {
     #[test]
     fn mapt_refutes_on_shape_change() {
         let (rows, coll) = rows_on_var("t", &[("{1 {2}}", "{1}")]);
-        assert!(matches!(deduce_mapt(&rows, &coll, sym("x")), Outcome::Refuted));
+        assert!(matches!(
+            deduce_mapt(&rows, &coll, sym("x")),
+            Outcome::Refuted
+        ));
         let (rows, coll) = rows_on_var("t", &[("{1 {2}}", "[1 2]")]);
-        assert!(matches!(deduce_mapt(&rows, &coll, sym("x")), Outcome::Refuted));
+        assert!(matches!(
+            deduce_mapt(&rows, &coll, sym("x")),
+            Outcome::Refuted
+        ));
     }
 
     #[test]
@@ -185,10 +189,7 @@ mod tests {
     #[test]
     fn foldt_chains_through_subtree_examples() {
         // sumt with subtree-complete examples: {2}, {3}, {1 {2} {3}}.
-        let (rows, coll) = rows_on_var(
-            "t",
-            &[("{2}", "2"), ("{3}", "3"), ("{1 {2} {3}}", "6")],
-        );
+        let (rows, coll) = rows_on_var("t", &[("{2}", "2"), ("{3}", "3"), ("{1 {2} {3}}", "6")]);
         let init = vec![val("0"); 3];
         let d = deduction(deduce_foldt(&rows, &coll, &init, sym("v"), sym("rs")));
         // Leaves give f(2,[])=2, f(3,[])=3; the root gives f(1,[2 3])=6.
@@ -233,6 +234,9 @@ mod tests {
     #[test]
     fn mapt_conflicting_node_examples_refute() {
         let (rows, coll) = rows_on_var("t", &[("{1 {1}}", "{2 {3}}")]);
-        assert!(matches!(deduce_mapt(&rows, &coll, sym("x")), Outcome::Refuted));
+        assert!(matches!(
+            deduce_mapt(&rows, &coll, sym("x")),
+            Outcome::Refuted
+        ));
     }
 }

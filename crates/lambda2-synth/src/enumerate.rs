@@ -538,7 +538,12 @@ impl TermStore {
                     Err(_) => 8,
                 })
                 .sum::<usize>();
-        self.terms.push(TermEntry { expr, ty, sig, cost });
+        self.terms.push(TermEntry {
+            expr,
+            ty,
+            sig,
+            cost,
+        });
         self.levels[cost as usize].push(idx);
     }
 }
@@ -598,10 +603,7 @@ fn probe_envs(rows: &[Env]) -> Vec<Env> {
                     }
                 }
             },
-            Value::Pair(p) => Value::pair(
-                perturb(&p.0, variant),
-                perturb(&p.1, variant + 1),
-            ),
+            Value::Pair(p) => Value::pair(perturb(&p.0, variant), perturb(&p.1, variant + 1)),
             Value::Closure(_) | Value::Comb(_) => v.clone(),
         }
     }
@@ -670,8 +672,9 @@ fn unary_arg_shape(op: lambda2_lang::ast::Op) -> Shape {
 fn binary_arg_shapes(op: lambda2_lang::ast::Op) -> (Shape, Shape) {
     use lambda2_lang::ast::Op;
     match op {
-        Op::Add | Op::Sub | Op::Mul | Op::Div | Op::Mod | Op::Lt | Op::Le | Op::Gt
-        | Op::Ge => (Shape::Int, Shape::Int),
+        Op::Add | Op::Sub | Op::Mul | Op::Div | Op::Mod | Op::Lt | Op::Le | Op::Gt | Op::Ge => {
+            (Shape::Int, Shape::Int)
+        }
         Op::And | Op::Or => (Shape::Bool, Shape::Bool),
         Op::Cons | Op::Member => (Shape::Any, Shape::List),
         Op::Cat => (Shape::List, Shape::List),
@@ -696,9 +699,7 @@ pub fn canonical(ty: &Type) -> Type {
             Type::List(e) => Type::list(go(e, vs)),
             Type::Tree(e) => Type::tree(go(e, vs)),
             Type::Pair(a, b) => Type::pair(go(a, vs), go(b, vs)),
-            Type::Fun(ps, r) => {
-                Type::fun(ps.iter().map(|p| go(p, vs)).collect(), go(r, vs))
-            }
+            Type::Fun(ps, r) => Type::fun(ps.iter().map(|p| go(p, vs)).collect(), go(r, vs)),
             Type::Var(v) => {
                 let i = vs.iter().position(|w| w == v).expect("collected var");
                 Type::Var(u32::try_from(i).expect("few vars"))
@@ -778,9 +779,7 @@ pub fn op_result_type(op: lambda2_lang::ast::Op, args: &[Type]) -> Option<Type> 
                 Type::Tree(_) => Some(Type::list(args[0].clone())),
                 _ => None,
             },
-            Op::IsEmptyTree | Op::IsLeaf => {
-                matches!(args[0], Type::Tree(_)).then_some(Type::Bool)
-            }
+            Op::IsEmptyTree | Op::IsLeaf => matches!(args[0], Type::Tree(_)).then_some(Type::Bool),
             Op::MkPair => Some(Type::pair(args[0].clone(), args[1].clone())),
             Op::Fst => match &args[0] {
                 Type::Pair(a, _) => Some((**a).clone()),
@@ -848,10 +847,7 @@ mod tests {
             ),
         ];
         let spec = Spec::new(rows).unwrap();
-        (
-            TermStore::new(scope, &spec, EnumLimits::default()),
-            spec,
-        )
+        (TermStore::new(scope, &spec, EnumLimits::default()), spec)
     }
 
     #[test]
@@ -882,9 +878,7 @@ mod tests {
         // (+ 0 0), (* 0 1), (- 0 0) … all collapse onto the constant 0.
         let zeros: Vec<String> = st
             .up_to_cost(3)
-            .filter(|t| {
-                t.ty == Type::Int && t.sig.iter().all(|s| *s == Ok(Value::Int(0)))
-            })
+            .filter(|t| t.ty == Type::Int && t.sig.iter().all(|s| *s == Ok(Value::Int(0))))
             .map(|t| t.expr.to_string())
             .collect();
         assert_eq!(zeros, vec!["0".to_string()]);
@@ -901,9 +895,7 @@ mod tests {
         .unwrap();
         let mut st = TermStore::new(scope, &spec, EnumLimits::default());
         st.ensure(3, &Library::default());
-        assert!(!st
-            .up_to_cost(3)
-            .any(|t| t.expr.to_string() == "(car l)"));
+        assert!(!st.up_to_cost(3).any(|t| t.expr.to_string() == "(car l)"));
     }
 
     #[test]
@@ -933,7 +925,9 @@ mod tests {
         ])
         .unwrap();
         let mut st = TermStore::new(scope, &spec, EnumLimits::default());
-        let lib = Library::default().with_constant(Value::Int(5)).with_constant(Value::Int(9));
+        let lib = Library::default()
+            .with_constant(Value::Int(5))
+            .with_constant(Value::Int(9));
         let mut found = None;
         for k in 1..=6 {
             st.ensure(k, &lib);
@@ -948,7 +942,10 @@ mod tests {
 
     #[test]
     fn canonicalization_makes_types_comparable() {
-        assert_eq!(canonical(&Type::list(Type::Var(7))), Type::list(Type::Var(0)));
+        assert_eq!(
+            canonical(&Type::list(Type::Var(7))),
+            Type::list(Type::Var(0))
+        );
         assert_eq!(
             canonical(&Type::fun(vec![Type::Var(3), Type::Var(3)], Type::Var(5))),
             Type::fun(vec![Type::Var(0), Type::Var(0)], Type::Var(1))
@@ -1017,10 +1014,7 @@ mod tests {
         // element under perturbation.
         let a = sym("a");
         let x = sym("x");
-        let scope = vec![
-            (a, Type::list(Type::Int)),
-            (x, Type::list(Type::Int)),
-        ];
+        let scope = vec![(a, Type::list(Type::Int)), (x, Type::list(Type::Int))];
         let spec = Spec::new(vec![ExampleRow::new(
             Env::empty()
                 .bind(a, Value::nil())
@@ -1056,11 +1050,7 @@ mod tests {
             max_terms: 10,
             synthetic_probes: true,
         };
-        let mut st2 = TermStore::new(
-            std::mem::take(&mut st.scope),
-            &Spec::empty(),
-            limits,
-        );
+        let mut st2 = TermStore::new(std::mem::take(&mut st.scope), &Spec::empty(), limits);
         // Empty spec means no OE dedup — limits must kick in. Caps are
         // approximate: each production may overshoot by one term per
         // operator before the check fires.

@@ -172,10 +172,7 @@ pub fn plan_expansion(
         Comb::Foldt => {
             let tau = s.fresh();
             unify!(&coll_ty, &Type::tree(tau.clone()));
-            (
-                vec![tau, Type::list(hole_ty.clone())],
-                hole_ty.clone(),
-            )
+            (vec![tau, Type::list(hole_ty.clone())], hole_ty.clone())
         }
     };
 
@@ -320,10 +317,7 @@ pub fn plan_constructors(info: &HoleInfo, costs: &CostModel) -> Vec<ConsTemplate
                     xs.split_first().map(|(h, t)| {
                         (
                             crate::spec::ExampleRow::new(r.env.clone(), h.clone()),
-                            crate::spec::ExampleRow::new(
-                                r.env.clone(),
-                                Value::list(t.to_vec()),
-                            ),
+                            crate::spec::ExampleRow::new(r.env.clone(), Value::list(t.to_vec())),
                         )
                     })
                 })
@@ -336,11 +330,7 @@ pub fn plan_constructors(info: &HoleInfo, costs: &CostModel) -> Vec<ConsTemplate
                 out.push(ConsTemplate {
                     op: Op::Cons,
                     parts: [
-                        Rc::new(HoleInfo::new(
-                            (**elem).clone(),
-                            info.scope.clone(),
-                            hspec,
-                        )),
+                        Rc::new(HoleInfo::new((**elem).clone(), info.scope.clone(), hspec)),
                         Rc::new(HoleInfo::new(info.ty.clone(), info.scope.clone(), tspec)),
                     ],
                     delta_cost: delta,
@@ -370,16 +360,8 @@ pub fn plan_constructors(info: &HoleInfo, costs: &CostModel) -> Vec<ConsTemplate
                 out.push(ConsTemplate {
                     op: Op::MkPair,
                     parts: [
-                        Rc::new(HoleInfo::new(
-                            (**a_ty).clone(),
-                            info.scope.clone(),
-                            fspec,
-                        )),
-                        Rc::new(HoleInfo::new(
-                            (**b_ty).clone(),
-                            info.scope.clone(),
-                            sspec,
-                        )),
+                        Rc::new(HoleInfo::new((**a_ty).clone(), info.scope.clone(), fspec)),
+                        Rc::new(HoleInfo::new((**b_ty).clone(), info.scope.clone(), sspec)),
                     ],
                     delta_cost: delta,
                 });
@@ -398,9 +380,7 @@ pub fn plan_constructors(info: &HoleInfo, costs: &CostModel) -> Vec<ConsTemplate
                             crate::spec::ExampleRow::new(r.env.clone(), n.value.clone()),
                             crate::spec::ExampleRow::new(
                                 r.env.clone(),
-                                Value::list(
-                                    n.children.iter().cloned().map(Value::Tree).collect(),
-                                ),
+                                Value::list(n.children.iter().cloned().map(Value::Tree).collect()),
                             ),
                         )
                     })
@@ -415,11 +395,7 @@ pub fn plan_constructors(info: &HoleInfo, costs: &CostModel) -> Vec<ConsTemplate
                 out.push(ConsTemplate {
                     op: Op::TreeMake,
                     parts: [
-                        Rc::new(HoleInfo::new(
-                            (**elem).clone(),
-                            info.scope.clone(),
-                            vspec,
-                        )),
+                        Rc::new(HoleInfo::new((**elem).clone(), info.scope.clone(), vspec)),
                         Rc::new(HoleInfo::new(
                             Type::list(info.ty.clone()),
                             info.scope.clone(),
@@ -490,11 +466,7 @@ mod tests {
         (Hypothesis::root(info, &CostModel::default()), vals)
     }
 
-    fn var_candidate<'a>(
-        expr: &'a Rc<Expr>,
-        ty: &'a Type,
-        values: Vec<Value>,
-    ) -> Candidate<'a> {
+    fn var_candidate<'a>(expr: &'a Rc<Expr>, ty: &'a Type, values: Vec<Value>) -> Candidate<'a> {
         Candidate {
             expr,
             ty,
@@ -505,8 +477,7 @@ mod tests {
 
     #[test]
     fn map_expansion_builds_skeleton_and_deduces() {
-        let (h, vals) =
-            root_with_examples(&[("[1 2]", "[2 3]")], Type::list(Type::Int));
+        let (h, vals) = root_with_examples(&[("[1 2]", "[2 3]")], Type::list(Type::Int));
         let (hole, info) = h.first_hole().unwrap();
         let info = info.clone();
         let expr = Rc::new(Expr::var("l"));
@@ -529,21 +500,19 @@ mod tests {
         assert_eq!(body.ty, Type::Int);
         assert_eq!(body.spec.len(), 2);
         assert_eq!(body.scope.len(), 2); // l and x
-        // cost: root(1) - 1 + comb(4) + lambda(1) + coll(1) + hole(1) = 7
+                                         // cost: root(1) - 1 + comb(4) + lambda(1) + coll(1) + hole(1) = 7
         assert_eq!(child.cost, 7);
     }
 
     #[test]
     fn templates_are_reusable_across_hypotheses() {
-        let (h, vals) =
-            root_with_examples(&[("[1 2]", "[2 3]")], Type::list(Type::Int));
+        let (h, vals) = root_with_examples(&[("[1 2]", "[2 3]")], Type::list(Type::Int));
         let (hole, info) = h.first_hole().unwrap();
         let info = info.clone();
         let expr = Rc::new(Expr::var("l"));
         let ty = Type::list(Type::Int);
         let cand = var_candidate(&expr, &ty, vals);
-        let t = plan_expansion(&info, Comb::Map, &cand, None, &CostModel::default(), true)
-            .unwrap();
+        let t = plan_expansion(&info, Comb::Map, &cand, None, &CostModel::default(), true).unwrap();
 
         let mut next = 10;
         let c1 = t.instantiate(&h, hole, &CostModel::default(), &mut next);

@@ -132,7 +132,11 @@ mod tests {
     use lambda2_lang::ast::Comb;
 
     fn info(ty: Type) -> HoleInfo {
-        HoleInfo::new(ty, vec![(Symbol::intern("l"), Type::list(Type::Int))], Spec::empty())
+        HoleInfo::new(
+            ty,
+            vec![(Symbol::intern("l"), Type::list(Type::Int))],
+            Spec::empty(),
+        )
     }
 
     #[test]
@@ -155,12 +159,7 @@ mod tests {
                 Expr::var("l"),
             ],
         );
-        let child = h.fill(
-            0,
-            &skeleton,
-            vec![(1, Rc::new(info(Type::Int)))],
-            7,
-        );
+        let child = h.fill(0, &skeleton, vec![(1, Rc::new(info(Type::Int)))], 7);
         assert_eq!(child.expr.to_string(), "(map (lambda (x) ?1) l)");
         assert_eq!(child.first_hole().unwrap().0, 1);
         assert_eq!(child.cost, 7);
@@ -188,10 +187,7 @@ mod tests {
         let child = h.fill(
             0,
             &skeleton,
-            vec![
-                (1, Rc::new(info(Type::Int))),
-                (2, Rc::new(info(Type::Int))),
-            ],
+            vec![(1, Rc::new(info(Type::Int))), (2, Rc::new(info(Type::Int)))],
             10,
         );
         let ids: Vec<HoleId> = child.holes().iter().map(|(h, _)| *h).collect();

@@ -53,6 +53,7 @@ pub mod enumerate;
 pub mod expand;
 pub mod hypothesis;
 pub mod library;
+pub mod obs;
 pub mod problem;
 pub mod search;
 pub mod spec;
@@ -62,6 +63,7 @@ pub mod verify;
 
 pub use cost::CostModel;
 pub use library::Library;
+pub use obs::{CollectTracer, JsonlTracer, NoopTracer, PhaseTimes, TraceEvent, Tracer};
 pub use problem::{Example, Problem, ProblemBuilder, ProblemError};
 pub use search::{SearchOptions, SynthError, Synthesis};
 pub use spec::{ExampleRow, Spec};

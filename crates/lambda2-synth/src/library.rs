@@ -30,9 +30,7 @@ impl Default for Library {
         let ops = Op::ALL
             .iter()
             .copied()
-            .filter(|op| {
-                !matches!(op, Op::Last | Op::Member | Op::MkPair | Op::Fst | Op::Snd)
-            })
+            .filter(|op| !matches!(op, Op::Last | Op::Member | Op::MkPair | Op::Fst | Op::Snd))
             .collect();
         Library {
             ops,

@@ -1,0 +1,505 @@
+//! Search telemetry: structured trace events, tracer sinks, and phase
+//! timing.
+//!
+//! The paper's claims are *search-behavior* claims — deduction refutes
+//! hypotheses early, best-first order finds the least-cost program, hard
+//! instances blow up in enumeration. This module is the window into that
+//! behavior: the search loop, deduction-driven planner, enumeration
+//! stores, and verifier emit [`TraceEvent`]s into a [`Tracer`], and the
+//! search accounts wall-time per phase in [`PhaseTimes`].
+//!
+//! Design constraints:
+//!
+//! * **Zero heavy deps** — events serialize through the hand-rolled
+//!   [`json`] module.
+//! * **Free when off** — the default [`NoopTracer`] reports
+//!   `enabled() == false`, and every call site that would render an
+//!   expression or build a `String` checks that flag first, so the hot
+//!   path pays one inlinable virtual call per event site at most.
+//!
+//! Sinks provided here: [`NoopTracer`] (default), [`CollectTracer`]
+//! (in-memory, for tests and programmatic consumers), and [`JsonlTracer`]
+//! (one JSON object per line, the `l2 --trace <path>` format).
+
+pub mod json;
+
+use std::io::{self, Write};
+use std::time::Duration;
+
+use json::Json;
+
+/// Which queue-item flavor a [`TraceEvent::Pop`] refers to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PopKind {
+    /// A hypothesis (complete → verify; open → spawn expansions/closings).
+    Hypothesis,
+    /// A lazy combinator-expansion stream item.
+    Apply,
+    /// A closing-stream item at some term-cost tier.
+    Close,
+}
+
+impl PopKind {
+    fn name(self) -> &'static str {
+        match self {
+            PopKind::Hypothesis => "hyp",
+            PopKind::Apply => "apply",
+            PopKind::Close => "close",
+        }
+    }
+}
+
+/// Why the planner rejected a combinator expansion.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RefuteReason {
+    /// A deduction rule proved no step function can exist.
+    Deduction,
+    /// The combinator cannot produce the hole's type here.
+    IllTyped,
+    /// A fold initial-value candidate disagreed with an
+    /// empty-collection example row.
+    InitMismatch,
+}
+
+impl RefuteReason {
+    fn name(self) -> &'static str {
+        match self {
+            RefuteReason::Deduction => "deduction",
+            RefuteReason::IllTyped => "ill-typed",
+            RefuteReason::InitMismatch => "init-mismatch",
+        }
+    }
+}
+
+/// Lifecycle stage in a [`TraceEvent::Store`] event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StoreAction {
+    /// A new enumeration store was materialized for a hole context.
+    Create,
+    /// An existing store was reused (scope + examples matched).
+    Hit,
+    /// A store was evicted by the LRU byte-budget sweep.
+    Evict,
+}
+
+impl StoreAction {
+    fn name(self) -> &'static str {
+        match self {
+            StoreAction::Create => "create",
+            StoreAction::Hit => "hit",
+            StoreAction::Evict => "evict",
+        }
+    }
+}
+
+/// One structured event emitted by the search.
+///
+/// The JSONL rendering of every variant carries an `"ev"` discriminator;
+/// see [`TraceEvent::to_json`] for the exact schema (documented field by
+/// field in DESIGN.md §Observability).
+#[derive(Clone, Debug, PartialEq)]
+pub enum TraceEvent {
+    /// A queue item was popped.
+    Pop {
+        /// Running pop counter (1-based, matches `Stats::popped`).
+        n: u64,
+        /// Item flavor.
+        kind: PopKind,
+        /// Priority (admissible cost bound) of the item.
+        cost: u32,
+        /// Open holes in the underlying hypothesis.
+        holes: usize,
+        /// The hypothesis sketch, holes rendered as `?N`.
+        sketch: String,
+    },
+    /// The planner admitted a combinator expansion for a hole context.
+    Plan {
+        /// Combinator name (`map`, `foldl`, …).
+        comb: &'static str,
+        /// Rendered collection argument.
+        coll: String,
+        /// Rendered initial-value candidate (folds only).
+        init: Option<String>,
+        /// Cost the expansion adds to the hypothesis.
+        delta_cost: u32,
+    },
+    /// The planner refuted a combinator expansion.
+    Refute {
+        /// Combinator name.
+        comb: &'static str,
+        /// Rendered collection argument.
+        coll: String,
+        /// Rendered initial-value candidate (folds only).
+        init: Option<String>,
+        /// Why it was rejected.
+        reason: RefuteReason,
+    },
+    /// A closing stream advanced to a new term-cost tier.
+    Tier {
+        /// The tier (exact term cost) that was just enumerated.
+        tier: u32,
+        /// Queue priority of the stream item.
+        cost: u32,
+        /// Spec-satisfying terms the tier produced for this hole.
+        fills: usize,
+    },
+    /// An enumeration store was created, reused, or evicted.
+    Store {
+        /// What happened.
+        action: StoreAction,
+        /// Terms held by the store at event time.
+        terms: usize,
+        /// Approximate heap bytes held by the store at event time.
+        bytes: usize,
+    },
+    /// A complete candidate program was checked against the examples.
+    Verify {
+        /// Whether it satisfied every example.
+        ok: bool,
+        /// Candidate cost.
+        cost: u32,
+        /// Rendered candidate body.
+        program: String,
+    },
+}
+
+impl TraceEvent {
+    /// Serializes the event to its JSONL object form.
+    pub fn to_json(&self) -> Json {
+        match self {
+            TraceEvent::Pop {
+                n,
+                kind,
+                cost,
+                holes,
+                sketch,
+            } => Json::obj([
+                ("ev", "pop".into()),
+                ("n", (*n).into()),
+                ("kind", kind.name().into()),
+                ("cost", (*cost).into()),
+                ("holes", (*holes).into()),
+                ("sketch", sketch.as_str().into()),
+            ]),
+            TraceEvent::Plan {
+                comb,
+                coll,
+                init,
+                delta_cost,
+            } => {
+                let mut pairs = vec![
+                    ("ev", "plan".into()),
+                    ("comb", (*comb).into()),
+                    ("coll", coll.as_str().into()),
+                ];
+                if let Some(init) = init {
+                    pairs.push(("init", init.as_str().into()));
+                }
+                pairs.push(("delta_cost", (*delta_cost).into()));
+                Json::obj(pairs)
+            }
+            TraceEvent::Refute {
+                comb,
+                coll,
+                init,
+                reason,
+            } => {
+                let mut pairs = vec![
+                    ("ev", "refute".into()),
+                    ("comb", (*comb).into()),
+                    ("coll", coll.as_str().into()),
+                ];
+                if let Some(init) = init {
+                    pairs.push(("init", init.as_str().into()));
+                }
+                pairs.push(("reason", reason.name().into()));
+                Json::obj(pairs)
+            }
+            TraceEvent::Tier { tier, cost, fills } => Json::obj([
+                ("ev", "tier".into()),
+                ("tier", (*tier).into()),
+                ("cost", (*cost).into()),
+                ("fills", (*fills).into()),
+            ]),
+            TraceEvent::Store {
+                action,
+                terms,
+                bytes,
+            } => Json::obj([
+                ("ev", "store".into()),
+                ("action", action.name().into()),
+                ("terms", (*terms).into()),
+                ("bytes", (*bytes).into()),
+            ]),
+            TraceEvent::Verify { ok, cost, program } => Json::obj([
+                ("ev", "verify".into()),
+                ("ok", (*ok).into()),
+                ("cost", (*cost).into()),
+                ("program", program.as_str().into()),
+            ]),
+        }
+    }
+}
+
+/// A sink for [`TraceEvent`]s.
+///
+/// Implementations must keep [`Tracer::enabled`] cheap: the search calls
+/// it before constructing any event whose payload requires rendering.
+pub trait Tracer {
+    /// Whether this tracer wants events at all. When `false`, callers
+    /// skip event construction entirely, so tracing costs nothing.
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    /// Receives one event. The default implementation drops it.
+    fn emit(&mut self, event: TraceEvent) {
+        let _ = event;
+    }
+}
+
+/// The default tracer: drops everything, reports disabled.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoopTracer;
+
+impl Tracer for NoopTracer {}
+
+/// Collects events in memory — for tests and programmatic consumers.
+#[derive(Debug, Default)]
+pub struct CollectTracer {
+    /// The events, in emission order.
+    pub events: Vec<TraceEvent>,
+}
+
+impl Tracer for CollectTracer {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn emit(&mut self, event: TraceEvent) {
+        self.events.push(event);
+    }
+}
+
+/// Streams events as JSON Lines: one compact object per line.
+///
+/// This is the sink behind `l2 --trace <path>`. IO errors are recorded
+/// (and reported by [`JsonlTracer::finish`]) rather than panicking
+/// mid-search — telemetry must never take down a run.
+pub struct JsonlTracer<W: Write> {
+    out: io::BufWriter<W>,
+    lines: u64,
+    error: Option<io::Error>,
+}
+
+impl JsonlTracer<std::fs::File> {
+    /// Opens (truncating) a trace file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying `File::create` failure.
+    pub fn create(path: &std::path::Path) -> io::Result<JsonlTracer<std::fs::File>> {
+        Ok(JsonlTracer::new(std::fs::File::create(path)?))
+    }
+}
+
+impl<W: Write> JsonlTracer<W> {
+    /// Wraps any writer.
+    pub fn new(out: W) -> JsonlTracer<W> {
+        JsonlTracer {
+            out: io::BufWriter::new(out),
+            lines: 0,
+            error: None,
+        }
+    }
+
+    /// Lines written so far.
+    pub fn lines(&self) -> u64 {
+        self.lines
+    }
+
+    /// Flushes and returns the line count, or the first IO error
+    /// encountered while writing.
+    ///
+    /// # Errors
+    ///
+    /// Returns the deferred write/flush error, if any.
+    pub fn finish(mut self) -> io::Result<u64> {
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        self.out.flush()?;
+        Ok(self.lines)
+    }
+}
+
+impl<W: Write> Tracer for JsonlTracer<W> {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn emit(&mut self, event: TraceEvent) {
+        if self.error.is_some() {
+            return;
+        }
+        if let Err(e) = writeln!(self.out, "{}", event.to_json()) {
+            self.error = Some(e);
+            return;
+        }
+        self.lines += 1;
+    }
+}
+
+/// Wall-time spent in each search phase during one run.
+///
+/// The four phases partition the instrumented regions of the search loop
+/// (queue bookkeeping in between is unaccounted), so their sum is a lower
+/// bound on — never exceeds — the run's elapsed time.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PhaseTimes {
+    /// Deduction: planning combinator expansions (refute + propagate).
+    pub deduce: Duration,
+    /// Enumeration: building term-store levels and collecting closings.
+    pub enumerate: Duration,
+    /// Expansion: instantiating planned templates into child hypotheses.
+    pub expand: Duration,
+    /// Verification: running complete candidates on the examples.
+    pub verify: Duration,
+}
+
+impl PhaseTimes {
+    /// Sum of all phases.
+    pub fn total(&self) -> Duration {
+        self.deduce + self.enumerate + self.expand + self.verify
+    }
+
+    /// Adds another run's phase times (suite aggregation).
+    pub fn merge(&mut self, other: &PhaseTimes) {
+        self.deduce += other.deduce;
+        self.enumerate += other.enumerate;
+        self.expand += other.expand;
+        self.verify += other.verify;
+    }
+
+    /// Serializes as an object of millisecond floats.
+    pub fn to_json(&self) -> Json {
+        let ms = |d: Duration| Json::Float(d.as_secs_f64() * 1e3);
+        Json::obj([
+            ("deduce_ms", ms(self.deduce)),
+            ("enumerate_ms", ms(self.enumerate)),
+            ("expand_ms", ms(self.expand)),
+            ("verify_ms", ms(self.verify)),
+        ])
+    }
+}
+
+impl std::fmt::Display for PhaseTimes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let ms = |d: Duration| d.as_secs_f64() * 1e3;
+        write!(
+            f,
+            "deduce={:.1}ms enumerate={:.1}ms expand={:.1}ms verify={:.1}ms",
+            ms(self.deduce),
+            ms(self.enumerate),
+            ms(self.expand),
+            ms(self.verify)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_tracer_is_disabled_and_silent() {
+        let mut t = NoopTracer;
+        assert!(!t.enabled());
+        t.emit(TraceEvent::Tier {
+            tier: 1,
+            cost: 2,
+            fills: 0,
+        });
+    }
+
+    #[test]
+    fn collect_tracer_keeps_order() {
+        let mut t = CollectTracer::default();
+        assert!(t.enabled());
+        t.emit(TraceEvent::Store {
+            action: StoreAction::Create,
+            terms: 3,
+            bytes: 100,
+        });
+        t.emit(TraceEvent::Verify {
+            ok: true,
+            cost: 5,
+            program: "l".into(),
+        });
+        assert_eq!(t.events.len(), 2);
+        assert!(matches!(t.events[0], TraceEvent::Store { .. }));
+    }
+
+    #[test]
+    fn jsonl_tracer_writes_one_parseable_object_per_line() {
+        let mut t = JsonlTracer::new(Vec::new());
+        t.emit(TraceEvent::Pop {
+            n: 1,
+            kind: PopKind::Hypothesis,
+            cost: 3,
+            holes: 1,
+            sketch: "(map (lambda (x) ?1) l)".into(),
+        });
+        t.emit(TraceEvent::Refute {
+            comb: "map",
+            coll: "l".into(),
+            init: None,
+            reason: RefuteReason::Deduction,
+        });
+        assert_eq!(t.lines(), 2);
+        let buf = String::from_utf8(t.out.into_inner().unwrap()).unwrap();
+        for line in buf.lines() {
+            let v = json::parse(line).expect("parseable");
+            assert!(v.get("ev").is_some());
+        }
+    }
+
+    #[test]
+    fn event_json_schema_is_stable() {
+        let ev = TraceEvent::Plan {
+            comb: "foldl",
+            coll: "l".into(),
+            init: Some("0".into()),
+            delta_cost: 7,
+        };
+        assert_eq!(
+            ev.to_json().to_string(),
+            r#"{"ev":"plan","comb":"foldl","coll":"l","init":"0","delta_cost":7}"#
+        );
+        let ev = TraceEvent::Store {
+            action: StoreAction::Evict,
+            terms: 10,
+            bytes: 4096,
+        };
+        assert_eq!(
+            ev.to_json().to_string(),
+            r#"{"ev":"store","action":"evict","terms":10,"bytes":4096}"#
+        );
+    }
+
+    #[test]
+    fn phase_times_total_and_merge() {
+        let mut a = PhaseTimes {
+            deduce: Duration::from_millis(10),
+            enumerate: Duration::from_millis(20),
+            expand: Duration::from_millis(30),
+            verify: Duration::from_millis(40),
+        };
+        assert_eq!(a.total(), Duration::from_millis(100));
+        let b = a;
+        a.merge(&b);
+        assert_eq!(a.total(), Duration::from_millis(200));
+        let j = a.to_json();
+        assert_eq!(j.get("deduce_ms").unwrap().as_f64(), Some(20.0));
+    }
+}

@@ -86,9 +86,7 @@ pub fn value_conforms(value: &Value, ty: &Type) -> bool {
         (Value::Bool(_), Type::Bool) => true,
         (Value::List(xs), Type::List(e)) => xs.iter().all(|x| value_conforms(x, e)),
         (Value::Tree(t), Type::Tree(e)) => t.values().iter().all(|v| value_conforms(v, e)),
-        (Value::Pair(p), Type::Pair(a, b)) => {
-            value_conforms(&p.0, a) && value_conforms(&p.1, b)
-        }
+        (Value::Pair(p), Type::Pair(a, b)) => value_conforms(&p.0, a) && value_conforms(&p.1, b),
         _ => false,
     }
 }
@@ -328,7 +326,13 @@ mod tests {
             .example(&["1"], "2")
             .build()
             .unwrap_err();
-        assert_eq!(err, ProblemError::Arity { expected: 2, got: 1 });
+        assert_eq!(
+            err,
+            ProblemError::Arity {
+                expected: 2,
+                got: 1
+            }
+        );
     }
 
     #[test]
@@ -353,11 +357,17 @@ mod tests {
     #[test]
     fn missing_pieces_detected() {
         assert!(matches!(
-            Problem::builder("f").returns("int").example(&[], "1").build(),
+            Problem::builder("f")
+                .returns("int")
+                .example(&[], "1")
+                .build(),
             Err(ProblemError::NoParams)
         ));
         assert!(matches!(
-            Problem::builder("f").param("x", "int").returns("int").build(),
+            Problem::builder("f")
+                .param("x", "int")
+                .returns("int")
+                .build(),
             Err(ProblemError::NoExamples)
         ));
         assert!(Problem::builder("f")

@@ -30,8 +30,11 @@ use lambda2_lang::env::Env;
 use lambda2_lang::ty::Type;
 
 use crate::enumerate::{canonical, EnumLimits, StoreKey, TermStore};
-use crate::expand::{plan_constructors, plan_expansion, Candidate, ConsTemplate, ExpandFail, Template};
+use crate::expand::{
+    plan_constructors, plan_expansion, Candidate, ConsTemplate, ExpandFail, Template,
+};
 use crate::hypothesis::{HoleInfo, Hypothesis};
+use crate::obs::{NoopTracer, PopKind, RefuteReason, StoreAction, TraceEvent, Tracer};
 use crate::problem::Problem;
 use crate::spec::{ExampleRow, Spec};
 use crate::stats::Stats;
@@ -141,7 +144,10 @@ impl std::fmt::Display for SynthError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SynthError::InconsistentExamples => {
-                write!(f, "examples are inconsistent (same inputs, different outputs)")
+                write!(
+                    f,
+                    "examples are inconsistent (same inputs, different outputs)"
+                )
             }
             SynthError::Timeout => write!(f, "synthesis timed out"),
             SynthError::Exhausted => {
@@ -248,6 +254,23 @@ impl Ord for Entry {
 ///
 /// See [`SynthError`].
 pub fn search(problem: &Problem, options: &SearchOptions) -> Result<Synthesis, SynthError> {
+    search_traced(problem, options, &mut NoopTracer)
+}
+
+/// [`search`], with telemetry: every pop, plan/refute decision, closing
+/// tier, store lifecycle change, and verification attempt is reported to
+/// `tracer`. With the default [`NoopTracer`] this is exactly [`search`] —
+/// call sites check [`Tracer::enabled`] before rendering event payloads,
+/// so a disabled tracer costs nothing.
+///
+/// # Errors
+///
+/// See [`SynthError`].
+pub fn search_traced(
+    problem: &Problem,
+    options: &SearchOptions,
+    tracer: &mut dyn Tracer,
+) -> Result<Synthesis, SynthError> {
     let start = Instant::now();
     let library = problem.library();
     let costs = library.costs().clone();
@@ -290,6 +313,20 @@ pub fn search(problem: &Problem, options: &SearchOptions) -> Result<Synthesis, S
 
     while let Some(entry) = queue.pop() {
         stats.popped += 1;
+        if tracer.enabled() {
+            let (kind, hyp) = match &entry.kind {
+                Kind::Hyp(h) => (PopKind::Hypothesis, h),
+                Kind::Apply { hyp, .. } => (PopKind::Apply, hyp),
+                Kind::Close { hyp, .. } => (PopKind::Close, hyp),
+            };
+            tracer.emit(TraceEvent::Pop {
+                n: stats.popped,
+                kind,
+                cost: entry.cost,
+                holes: hyp.holes().len(),
+                sketch: hyp.expr.to_string(),
+            });
+        }
         if stats.popped >= options.max_popped {
             return Err(SynthError::LimitReached);
         }
@@ -322,23 +359,27 @@ pub fn search(problem: &Problem, options: &SearchOptions) -> Result<Synthesis, S
             );
         }
 
+        let entry_cost = entry.cost;
         match entry.kind {
             Kind::Hyp(hyp) => {
                 if hyp.cost > options.max_cost {
                     continue;
                 }
-                if let Some(filter) = std::env::var_os("LAMBDA2_TRACE") {
-                    let shown = hyp.expr.to_string();
-                    if shown.contains(filter.to_str().unwrap_or("")) {
-                        eprintln!("[pop {} cost {}] {}", stats.popped, hyp.cost, shown);
-                    }
-                }
                 if hyp.is_complete() {
                     stats.verified += 1;
                     let program = Program::new(problem.params().to_vec(), hyp.expr.clone());
-                    if program.satisfies_problem(problem, options.eval_fuel) {
-                        stats.enumerated_terms =
-                            stores.values().map(|(s, _)| s.len() as u64).sum();
+                    let t_verify = Instant::now();
+                    let ok = program.satisfies_problem(problem, options.eval_fuel);
+                    stats.phases.verify += t_verify.elapsed();
+                    if tracer.enabled() {
+                        tracer.emit(TraceEvent::Verify {
+                            ok,
+                            cost: hyp.cost,
+                            program: program.body().to_string(),
+                        });
+                    }
+                    if ok {
+                        stats.enumerated_terms = stores.values().map(|(s, _)| s.len() as u64).sum();
                         if std::env::var_os("LAMBDA2_STORE_DEBUG").is_some() {
                             let mut sizes: Vec<usize> =
                                 stores.values().map(|(s, _)| s.len()).collect();
@@ -404,26 +445,15 @@ pub fn search(problem: &Problem, options: &SearchOptions) -> Result<Synthesis, S
                 let planned = match templates.get(&tkey) {
                     Some(ts) => Rc::clone(ts),
                     None => {
-                        store_tick += 1;
-                        let entry = stores
-                            .entry(info.store_key.clone())
-                            .or_insert_with(|| {
-                                (
-                                    TermStore::with_probes(
-                                        info.scope.clone(),
-                                        &info.spec,
-                                        if options.trace_probes {
-                                            &info.probes
-                                        } else {
-                                            &[]
-                                        },
-                                        options.enum_limits,
-                                    ),
-                                    0,
-                                )
-                            });
-                        entry.1 = store_tick;
-                        let store = &mut entry.0;
+                        let t_enum = Instant::now();
+                        let store = touch_store(
+                            &mut stores,
+                            &mut store_tick,
+                            &info,
+                            options,
+                            &mut stats,
+                            tracer,
+                        );
                         // The collection pool is cheap (cost <= 3); the
                         // larger init pool is only materialized when some
                         // collection candidate actually has empty-collection
@@ -442,9 +472,7 @@ pub fn search(problem: &Problem, options: &SearchOptions) -> Result<Synthesis, S
                         let arg_cost = if needs_deep_inits {
                             options.max_collection_cost.max(options.max_init_cost)
                         } else {
-                            options
-                                .max_collection_cost
-                                .max(options.max_free_init_cost)
+                            options.max_collection_cost.max(options.max_free_init_cost)
                         };
                         store.ensure(arg_cost, library);
                         let pool: Vec<_> = store
@@ -452,7 +480,9 @@ pub fn search(problem: &Problem, options: &SearchOptions) -> Result<Synthesis, S
                             .into_iter()
                             .map(|(t, vals)| (t.expr.clone(), t.ty.clone(), vals, t.cost))
                             .collect();
+                        stats.phases.enumerate += t_enum.elapsed();
 
+                        let t_deduce = Instant::now();
                         let mut planned = Vec::new();
                         for &comb in library.combs() {
                             // Cheap shape pre-filter on the hole type.
@@ -494,9 +524,20 @@ pub fn search(problem: &Problem, options: &SearchOptions) -> Result<Synthesis, S
                                         &costs,
                                         options.deduction,
                                     ) {
-                                        Ok(t) => planned.push(Planned::Comb(t)),
-                                        Err(ExpandFail::Refuted) => stats.refuted += 1,
-                                        Err(ExpandFail::IllTyped) => stats.ill_typed += 1,
+                                        Ok(t) => {
+                                            if tracer.enabled() {
+                                                tracer.emit(TraceEvent::Plan {
+                                                    comb: comb.name(),
+                                                    coll: expr.to_string(),
+                                                    init: None,
+                                                    delta_cost: t.delta_cost,
+                                                });
+                                            }
+                                            planned.push(Planned::Comb(t));
+                                        }
+                                        Err(fail) => {
+                                            refute(&mut stats, tracer, fail, comb, expr, None);
+                                        }
                                     }
                                     continue;
                                 }
@@ -516,9 +557,7 @@ pub fn search(problem: &Problem, options: &SearchOptions) -> Result<Synthesis, S
                                                 lambda2_lang::value::Value::List(xs) => {
                                                     xs.is_empty()
                                                 }
-                                                lambda2_lang::value::Value::Tree(t) => {
-                                                    t.is_empty()
-                                                }
+                                                lambda2_lang::value::Value::Tree(t) => t.is_empty(),
                                                 _ => false,
                                             })
                                             .map(|(i, r)| (i, &r.output))
@@ -537,11 +576,16 @@ pub fn search(problem: &Problem, options: &SearchOptions) -> Result<Synthesis, S
                                     {
                                         continue;
                                     }
-                                    if empty_rows
-                                        .iter()
-                                        .any(|(i, out)| &ivals[*i] != *out)
-                                    {
+                                    if empty_rows.iter().any(|(i, out)| &ivals[*i] != *out) {
                                         stats.refuted += 1;
+                                        if tracer.enabled() {
+                                            tracer.emit(TraceEvent::Refute {
+                                                comb: comb.name(),
+                                                coll: expr.to_string(),
+                                                init: Some(ie.to_string()),
+                                                reason: RefuteReason::InitMismatch,
+                                            });
+                                        }
                                         continue;
                                     }
                                     let init = Candidate {
@@ -558,9 +602,20 @@ pub fn search(problem: &Problem, options: &SearchOptions) -> Result<Synthesis, S
                                         &costs,
                                         options.deduction,
                                     ) {
-                                        Ok(t) => planned.push(Planned::Comb(t)),
-                                        Err(ExpandFail::Refuted) => stats.refuted += 1,
-                                        Err(ExpandFail::IllTyped) => stats.ill_typed += 1,
+                                        Ok(t) => {
+                                            if tracer.enabled() {
+                                                tracer.emit(TraceEvent::Plan {
+                                                    comb: comb.name(),
+                                                    coll: expr.to_string(),
+                                                    init: Some(ie.to_string()),
+                                                    delta_cost: t.delta_cost,
+                                                });
+                                            }
+                                            planned.push(Planned::Comb(t));
+                                        }
+                                        Err(fail) => {
+                                            refute(&mut stats, tracer, fail, comb, expr, Some(ie));
+                                        }
                                     }
                                 }
                             }
@@ -577,9 +632,16 @@ pub fn search(problem: &Problem, options: &SearchOptions) -> Result<Synthesis, S
                         // The Apply stream below walks templates in order,
                         // so sort by cost for best-first behavior.
                         planned.sort_by_key(Planned::delta_cost);
+                        stats.phases.deduce += t_deduce.elapsed();
                         let planned = Rc::new(planned);
                         templates.insert(tkey, Rc::clone(&planned));
-                        evict_stores(&mut stores, options.max_store_bytes, &info.store_key);
+                        evict_stores(
+                            &mut stores,
+                            options.max_store_bytes,
+                            &info.store_key,
+                            &mut stats,
+                            tracer,
+                        );
                         planned
                     }
                 };
@@ -608,8 +670,9 @@ pub fn search(problem: &Problem, options: &SearchOptions) -> Result<Synthesis, S
                 index,
             } => {
                 stats.expansions += 1;
-                let child =
-                    templates[index].instantiate(&hyp, hole, &costs, &mut next_hole);
+                let t_expand = Instant::now();
+                let child = templates[index].instantiate(&hyp, hole, &costs, &mut next_hole);
+                stats.phases.expand += t_expand.elapsed();
                 seq += 1;
                 queue.push(Entry {
                     cost: child.cost,
@@ -618,8 +681,7 @@ pub fn search(problem: &Problem, options: &SearchOptions) -> Result<Synthesis, S
                 });
                 // Advance the stream.
                 if index + 1 < templates.len() {
-                    let next_cost =
-                        hyp.cost - costs.hole_min() + templates[index + 1].delta_cost();
+                    let next_cost = hyp.cost - costs.hole_min() + templates[index + 1].delta_cost();
                     if next_cost <= options.max_cost {
                         seq += 1;
                         queue.push(Entry {
@@ -642,32 +704,35 @@ pub fn search(problem: &Problem, options: &SearchOptions) -> Result<Synthesis, S
                     .find(|(h, _)| *h == hole)
                     .map(|(_, i)| Rc::clone(i))
                     .expect("close item refers to an open hole");
-                store_tick += 1;
-                let entry = stores
-                    .entry(info.store_key.clone())
-                    .or_insert_with(|| {
-                        (
-                            TermStore::with_probes(
-                                info.scope.clone(),
-                                &info.spec,
-                                if options.trace_probes {
-                                    &info.probes
-                                } else {
-                                    &[]
-                                },
-                                options.enum_limits,
-                            ),
-                            0,
-                        )
-                    });
-                entry.1 = store_tick;
-                let store = &mut entry.0;
+                let t_enum = Instant::now();
+                let store = touch_store(
+                    &mut stores,
+                    &mut store_tick,
+                    &info,
+                    options,
+                    &mut stats,
+                    tracer,
+                );
                 store.ensure(tier, library);
                 let fills: Vec<(Rc<lambda2_lang::ast::Expr>, u32)> = store
                     .closings(tier, &info.ty, &info.spec)
                     .map(|t| (t.expr.clone(), t.cost))
                     .collect();
-                evict_stores(&mut stores, options.max_store_bytes, &info.store_key);
+                stats.phases.enumerate += t_enum.elapsed();
+                if tracer.enabled() {
+                    tracer.emit(TraceEvent::Tier {
+                        tier,
+                        cost: entry_cost,
+                        fills: fills.len(),
+                    });
+                }
+                evict_stores(
+                    &mut stores,
+                    options.max_store_bytes,
+                    &info.store_key,
+                    &mut stats,
+                    tracer,
+                );
                 let closes_last_hole = hyp.holes().len() == 1;
                 for (expr, term_cost) in fills {
                     let child_cost = hyp.cost - costs.hole_min() + term_cost;
@@ -684,9 +749,18 @@ pub fn search(problem: &Problem, options: &SearchOptions) -> Result<Synthesis, S
                     if closes_last_hole {
                         stats.verified += 1;
                         let child = hyp.fill(hole, &expr, vec![], child_cost);
-                        let program =
-                            Program::new(problem.params().to_vec(), child.expr.clone());
-                        if program.satisfies_problem(problem, options.eval_fuel) {
+                        let program = Program::new(problem.params().to_vec(), child.expr.clone());
+                        let t_verify = Instant::now();
+                        let ok = program.satisfies_problem(problem, options.eval_fuel);
+                        stats.phases.verify += t_verify.elapsed();
+                        if tracer.enabled() {
+                            tracer.emit(TraceEvent::Verify {
+                                ok,
+                                cost: child_cost,
+                                program: program.body().to_string(),
+                            });
+                        }
+                        if ok {
                             seq += 1;
                             queue.push(Entry {
                                 cost: child_cost,
@@ -735,6 +809,81 @@ pub fn search(problem: &Problem, options: &SearchOptions) -> Result<Synthesis, S
     Err(SynthError::Exhausted)
 }
 
+/// Looks up (or creates) the enumeration store for a hole context,
+/// refreshing its LRU tick and accounting the hit/create in `stats` and
+/// the trace.
+fn touch_store<'a>(
+    stores: &'a mut HashMap<StoreKey, (TermStore, u64)>,
+    store_tick: &mut u64,
+    info: &HoleInfo,
+    options: &SearchOptions,
+    stats: &mut Stats,
+    tracer: &mut dyn Tracer,
+) -> &'a mut TermStore {
+    *store_tick += 1;
+    let hit = stores.contains_key(&info.store_key);
+    let entry = stores.entry(info.store_key.clone()).or_insert_with(|| {
+        (
+            TermStore::with_probes(
+                info.scope.clone(),
+                &info.spec,
+                if options.trace_probes {
+                    &info.probes
+                } else {
+                    &[]
+                },
+                options.enum_limits,
+            ),
+            0,
+        )
+    });
+    entry.1 = *store_tick;
+    if hit {
+        stats.store_hits += 1;
+    }
+    if tracer.enabled() {
+        tracer.emit(TraceEvent::Store {
+            action: if hit {
+                StoreAction::Hit
+            } else {
+                StoreAction::Create
+            },
+            terms: entry.0.len(),
+            bytes: entry.0.approx_bytes(),
+        });
+    }
+    &mut entry.0
+}
+
+/// Accounts a rejected combinator expansion in `stats` and the trace.
+fn refute(
+    stats: &mut Stats,
+    tracer: &mut dyn Tracer,
+    fail: ExpandFail,
+    comb: Comb,
+    coll: &Rc<lambda2_lang::ast::Expr>,
+    init: Option<&Rc<lambda2_lang::ast::Expr>>,
+) {
+    let reason = match fail {
+        ExpandFail::Refuted => {
+            stats.refuted += 1;
+            RefuteReason::Deduction
+        }
+        ExpandFail::IllTyped => {
+            stats.ill_typed += 1;
+            RefuteReason::IllTyped
+        }
+    };
+    if tracer.enabled() {
+        tracer.emit(TraceEvent::Refute {
+            comb: comb.name(),
+            coll: coll.to_string(),
+            init: init.map(|e| e.to_string()),
+            reason,
+        });
+    }
+}
+
 /// Evicts least-recently-used stores until the approximate heap footprint
 /// fits the budget, never evicting `current` (just touched). Evicted
 /// stores rebuild deterministically if revisited, trading CPU for bounded
@@ -743,6 +892,8 @@ fn evict_stores(
     stores: &mut HashMap<StoreKey, (TermStore, u64)>,
     budget: usize,
     current: &StoreKey,
+    stats: &mut Stats,
+    tracer: &mut dyn Tracer,
 ) {
     let mut total: usize = stores.values().map(|(s, _)| s.approx_bytes()).sum();
     while total > budget && stores.len() > 1 {
@@ -750,10 +901,18 @@ fn evict_stores(
             .iter()
             .filter(|(k, _)| *k != current)
             .min_by_key(|(_, (_, tick))| *tick)
-            .map(|(k, (s, _))| (k.clone(), s.approx_bytes()));
+            .map(|(k, (s, _))| (k.clone(), s.len(), s.approx_bytes()));
         match victim {
-            Some((key, bytes)) => {
+            Some((key, terms, bytes)) => {
                 stores.remove(&key);
+                stats.store_evictions += 1;
+                if tracer.enabled() {
+                    tracer.emit(TraceEvent::Store {
+                        action: StoreAction::Evict,
+                        terms,
+                        bytes,
+                    });
+                }
                 total -= bytes;
             }
             None => break,
@@ -762,7 +921,6 @@ fn evict_stores(
 }
 
 // Debug instrumentation: set LAMBDA2_STORE_DEBUG=1 to dump store sizes.
-
 
 #[cfg(test)]
 mod tests {
@@ -876,7 +1034,12 @@ mod tests {
             "impossible",
             &[("x", "int")],
             "int",
-            &[(&["1"], "100"), (&["2"], "-3"), (&["3"], "77"), (&["4"], "1234")],
+            &[
+                (&["1"], "100"),
+                (&["2"], "-3"),
+                (&["3"], "77"),
+                (&["4"], "1234"),
+            ],
         );
         let opts = SearchOptions {
             max_cost: 5,
@@ -984,7 +1147,11 @@ mod tests {
             "{}",
             s.program
         );
-        assert!(s.program.body().to_string().contains("foldl"), "{}", s.program);
+        assert!(
+            s.program.body().to_string().contains("foldl"),
+            "{}",
+            s.program
+        );
 
         // Without the extension (the default) the program is out of the
         // grammar.

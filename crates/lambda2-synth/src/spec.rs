@@ -147,9 +147,7 @@ mod tests {
     }
 
     fn row(bind: &[(&str, i64)], out: i64) -> ExampleRow {
-        let env = Env::from_bindings(
-            bind.iter().map(|(s, v)| (sym(s), Value::Int(*v))),
-        );
+        let env = Env::from_bindings(bind.iter().map(|(s, v)| (sym(s), Value::Int(*v))));
         ExampleRow::new(env, Value::Int(out))
     }
 

@@ -4,6 +4,9 @@
 use std::fmt;
 use std::time::Duration;
 
+use crate::obs::json::Json;
+use crate::obs::PhaseTimes;
+
 /// Counters describing one synthesis run.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Stats {
@@ -23,6 +26,12 @@ pub struct Stats {
     pub verify_failures: u64,
     /// Terms materialized across all enumeration stores.
     pub enumerated_terms: u64,
+    /// Enumeration-store cache hits (an existing store was reused).
+    pub store_hits: u64,
+    /// Enumeration stores evicted by the LRU byte-budget sweep.
+    pub store_evictions: u64,
+    /// Wall-time spent per search phase.
+    pub phases: PhaseTimes,
 }
 
 impl Stats {
@@ -37,6 +46,26 @@ impl Stats {
         self.verified += other.verified;
         self.verify_failures += other.verify_failures;
         self.enumerated_terms += other.enumerated_terms;
+        self.store_hits += other.store_hits;
+        self.store_evictions += other.store_evictions;
+        self.phases.merge(&other.phases);
+    }
+
+    /// Serializes the counters (including phase timings) as a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("popped", self.popped.into()),
+            ("expansions", self.expansions.into()),
+            ("refuted", self.refuted.into()),
+            ("ill_typed", self.ill_typed.into()),
+            ("closings", self.closings.into()),
+            ("verified", self.verified.into()),
+            ("verify_failures", self.verify_failures.into()),
+            ("enumerated_terms", self.enumerated_terms.into()),
+            ("store_hits", self.store_hits.into()),
+            ("store_evictions", self.store_evictions.into()),
+            ("phases", self.phases.to_json()),
+        ])
     }
 }
 
@@ -44,7 +73,8 @@ impl fmt::Display for Stats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "popped={} expansions={} refuted={} ill-typed={} closings={} verified={} (failed {}) terms={}",
+            "popped={} expansions={} refuted={} ill-typed={} closings={} verified={} \
+             (failed {}) terms={} store-hits={} store-evictions={}",
             self.popped,
             self.expansions,
             self.refuted,
@@ -52,7 +82,9 @@ impl fmt::Display for Stats {
             self.closings,
             self.verified,
             self.verify_failures,
-            self.enumerated_terms
+            self.enumerated_terms,
+            self.store_hits,
+            self.store_evictions
         )
     }
 }
@@ -78,13 +110,35 @@ pub struct Measurement {
     pub stats: Stats,
 }
 
+impl Measurement {
+    /// The run's per-phase wall times (carried inside [`Stats`]).
+    pub fn phases(&self) -> &PhaseTimes {
+        &self.stats.phases
+    }
+
+    /// Serializes the measurement as a JSON object — the record format of
+    /// `BENCH_*.json` files and of `l2 --stats-json`.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("name", self.name.as_str().into()),
+            ("solved", self.solved.into()),
+            ("elapsed_ms", Json::Float(self.elapsed.as_secs_f64() * 1e3)),
+            ("cost", self.cost.into()),
+            ("size", self.size.into()),
+            ("program", self.program.as_str().into()),
+            ("examples", self.examples.into()),
+            ("stats", self.stats.to_json()),
+        ])
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::obs::json;
 
-    #[test]
-    fn merge_adds_counters() {
-        let mut a = Stats {
+    fn ones() -> Stats {
+        Stats {
             popped: 1,
             expansions: 2,
             refuted: 3,
@@ -93,18 +147,89 @@ mod tests {
             verified: 6,
             verify_failures: 7,
             enumerated_terms: 8,
-        };
+            store_hits: 9,
+            store_evictions: 10,
+            phases: PhaseTimes {
+                deduce: Duration::from_millis(1),
+                enumerate: Duration::from_millis(2),
+                expand: Duration::from_millis(3),
+                verify: Duration::from_millis(4),
+            },
+        }
+    }
+
+    #[test]
+    fn merge_adds_counters() {
+        let mut a = ones();
         let b = a.clone();
         a.merge(&b);
         assert_eq!(a.popped, 2);
         assert_eq!(a.enumerated_terms, 16);
+        assert_eq!(a.store_hits, 18);
+        assert_eq!(a.store_evictions, 20);
+        assert_eq!(a.phases.total(), Duration::from_millis(20));
     }
 
     #[test]
     fn display_mentions_every_counter() {
         let s = Stats::default().to_string();
-        for key in ["popped", "expansions", "refuted", "closings", "verified", "terms"] {
+        for key in [
+            "popped",
+            "expansions",
+            "refuted",
+            "closings",
+            "verified",
+            "terms",
+            "store-hits",
+            "store-evictions",
+        ] {
             assert!(s.contains(key), "missing {key} in `{s}`");
         }
+    }
+
+    #[test]
+    fn stats_json_includes_every_counter_and_phases() {
+        let j = ones().to_json();
+        for key in [
+            "popped",
+            "expansions",
+            "refuted",
+            "ill_typed",
+            "closings",
+            "verified",
+            "verify_failures",
+            "enumerated_terms",
+            "store_hits",
+            "store_evictions",
+        ] {
+            assert!(j.get(key).is_some(), "missing {key}");
+        }
+        let phases = j.get("phases").unwrap();
+        assert_eq!(phases.get("expand_ms").unwrap().as_f64(), Some(3.0));
+        // And the rendering is parseable.
+        assert_eq!(json::parse(&j.to_string()).unwrap(), j);
+    }
+
+    #[test]
+    fn measurement_json_schema() {
+        let m = Measurement {
+            name: "evens".into(),
+            elapsed: Duration::from_millis(12),
+            solved: true,
+            cost: 7,
+            size: 9,
+            program: "(lambda (l) l)".into(),
+            examples: 3,
+            stats: ones(),
+        };
+        let j = m.to_json();
+        assert_eq!(j.get("name").unwrap().as_str(), Some("evens"));
+        assert_eq!(j.get("elapsed_ms").unwrap().as_f64(), Some(12.0));
+        assert_eq!(
+            j.get("stats").unwrap().get("store_hits").unwrap().as_i64(),
+            Some(9)
+        );
+        assert_eq!(m.phases().verify, Duration::from_millis(4));
+        assert_eq!(json::parse(&j.to_string()).unwrap(), j);
     }
 }

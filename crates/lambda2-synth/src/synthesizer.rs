@@ -2,8 +2,9 @@
 
 use std::time::Duration;
 
+use crate::obs::Tracer;
 use crate::problem::Problem;
-use crate::search::{search, SearchOptions, Synthesis, SynthError};
+use crate::search::{search, search_traced, SearchOptions, SynthError, Synthesis};
 
 /// Example-guided program synthesizer (the λ² algorithm).
 ///
@@ -81,6 +82,20 @@ impl Synthesizer {
     /// See [`SynthError`].
     pub fn synthesize(&self, problem: &Problem) -> Result<Synthesis, SynthError> {
         search(problem, &self.options)
+    }
+
+    /// [`Synthesizer::synthesize`], streaming telemetry into `tracer`
+    /// (see [`crate::obs`]).
+    ///
+    /// # Errors
+    ///
+    /// See [`SynthError`].
+    pub fn synthesize_traced(
+        &self,
+        problem: &Problem,
+        tracer: &mut dyn Tracer,
+    ) -> Result<Synthesis, SynthError> {
+        search_traced(problem, &self.options, tracer)
     }
 }
 

@@ -52,7 +52,10 @@ impl Program {
     ///
     /// Returns [`EvalError::ArityMismatch`] on a wrong argument count, or
     /// whatever the body's evaluation raises.
-    pub fn apply(&self, args: &[lambda2_lang::value::Value]) -> Result<lambda2_lang::value::Value, EvalError> {
+    pub fn apply(
+        &self,
+        args: &[lambda2_lang::value::Value],
+    ) -> Result<lambda2_lang::value::Value, EvalError> {
         self.apply_with_fuel(args, lambda2_lang::eval::DEFAULT_FUEL)
     }
 
@@ -79,9 +82,9 @@ impl Program {
 
     /// `true` if the program satisfies every example.
     pub fn satisfies(&self, examples: &[Example], fuel: u64) -> bool {
-        examples.iter().all(|ex| {
-            matches!(self.apply_with_fuel(&ex.inputs, fuel), Ok(v) if v == ex.output)
-        })
+        examples
+            .iter()
+            .all(|ex| matches!(self.apply_with_fuel(&ex.inputs, fuel), Ok(v) if v == ex.output))
     }
 
     /// `true` if the program satisfies every example of `problem`.

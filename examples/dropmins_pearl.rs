@@ -19,7 +19,10 @@ use lambda2::synth::Synthesizer;
 
 fn main() {
     let bench = by_name("dropmins").expect("dropmins is in the suite");
-    println!("problem: {}", bench.problem.description().unwrap_or("dropmins"));
+    println!(
+        "problem: {}",
+        bench.problem.description().unwrap_or("dropmins")
+    );
     for ex in bench.problem.examples() {
         println!("  {} -> {}", ex.inputs[0], ex.output);
     }
@@ -41,7 +44,10 @@ fn main() {
 
     // The pearl, applied to fresh data.
     let input = parse_value("[[3 1 4] [1 5] [9 2 6]]").unwrap();
-    let out = result.program.apply(std::slice::from_ref(&input)).expect("evaluates");
+    let out = result
+        .program
+        .apply(std::slice::from_ref(&input))
+        .expect("evaluates");
     println!("\n{input}  =>  {out}");
     assert_eq!(out, parse_value("[[3 4] [5] [9 6]]").unwrap());
     println!("verified on held-out input ✓");

@@ -26,9 +26,15 @@ fn main() {
         .example(&["[7 4 9]"], "3")
         .build()
         .expect("well-formed problem");
-    let result = synthesizer.synthesize(&length).expect("length is synthesizable");
+    let result = synthesizer
+        .synthesize(&length)
+        .expect("length is synthesizable");
     println!("length  = {}", result.program);
-    println!("          cost {}, {:.1} ms", result.cost, result.elapsed.as_secs_f64() * 1e3);
+    println!(
+        "          cost {}, {:.1} ms",
+        result.cost,
+        result.elapsed.as_secs_f64() * 1e3
+    );
 
     // Run the synthesized program on an input it has never seen.
     let out = result
@@ -48,7 +54,9 @@ fn main() {
         .example(&["[5 2 9]"], "[9 2 5]")
         .build()
         .expect("well-formed problem");
-    let result = synthesizer.synthesize(&reverse).expect("reverse is synthesizable");
+    let result = synthesizer
+        .synthesize(&reverse)
+        .expect("reverse is synthesizable");
     println!("reverse = {}", result.program);
     let out = result
         .program
@@ -68,7 +76,9 @@ fn main() {
         .example(&["[-1 0]"], "[]")
         .build()
         .expect("well-formed problem");
-    let result = synthesizer.synthesize(&positives).expect("positives is synthesizable");
+    let result = synthesizer
+        .synthesize(&positives)
+        .expect("positives is synthesizable");
     println!("positives = {}", result.program);
     println!("\nall three synthesized programs verified on held-out inputs ✓");
 }

@@ -45,7 +45,10 @@ fn run(name: &str, held_out_input: &str, expected: &str) {
         result.elapsed.as_secs_f64()
     );
     let input = parse_value(held_out_input).unwrap();
-    let out = result.program.apply(std::slice::from_ref(&input)).expect("evaluates");
+    let out = result
+        .program
+        .apply(std::slice::from_ref(&input))
+        .expect("evaluates");
     assert_eq!(out, parse_value(expected).unwrap(), "{name} generalizes");
     println!("  {input}  =>  {out}  ✓\n");
 }

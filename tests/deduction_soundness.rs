@@ -1,4 +1,4 @@
-//! Property tests for the deduction rules (proptest).
+//! Property tests for the deduction rules.
 //!
 //! The load-bearing invariant: deduced rows are **necessary** conditions.
 //! If a known step function `f` (and initial value `e`) makes the
@@ -7,6 +7,8 @@
 //!
 //! We generate random inputs, compute parent examples by *running* a known
 //! program, deduce, and check the known function against the deduced rows.
+//! (Originally `proptest`; now seeded random generation via the vendored
+//! `rand` shim — same invariants, deterministic failures.)
 
 use lambda2::lang::ast::Comb;
 use lambda2::lang::env::Env;
@@ -16,7 +18,8 @@ use lambda2::lang::symbol::Symbol;
 use lambda2::lang::value::Value;
 use lambda2::synth::deduce::{deduce, CollectionArg, Outcome};
 use lambda2::synth::{ExampleRow, Spec};
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 fn ints(ns: &[i64]) -> Value {
     ns.iter().copied().map(Value::Int).collect()
@@ -24,10 +27,7 @@ fn ints(ns: &[i64]) -> Value {
 
 /// Builds parent rows by running `program` (over free variable `l`) on the
 /// given inputs; returns rows plus the collection argument for `l`.
-fn rows_from_program(
-    program: &str,
-    inputs: &[Vec<i64>],
-) -> (Vec<ExampleRow>, CollectionArg) {
+fn rows_from_program(program: &str, inputs: &[Vec<i64>]) -> (Vec<ExampleRow>, CollectionArg) {
     let l = Symbol::intern("l");
     let expr = parse_expr(program).expect("parses");
     let mut rows = Vec::new();
@@ -40,7 +40,13 @@ fn rows_from_program(
         rows.push(ExampleRow::new(env, out));
         values.push(iv);
     }
-    (rows, CollectionArg { values, var: Some(l) })
+    (
+        rows,
+        CollectionArg {
+            values,
+            var: Some(l),
+        },
+    )
 }
 
 /// Checks `f_body` (over `binders`) against every deduced row.
@@ -94,18 +100,23 @@ fn program_text(comb: Comb, f_body: &str, init: &str) -> String {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn random_lists(rng: &mut StdRng, n_range: std::ops::Range<usize>) -> Vec<Vec<i64>> {
+    let n = rng.gen_range(n_range);
+    (0..n)
+        .map(|_| {
+            let len = rng.gen_range(0usize..5);
+            (0..len).map(|_| rng.gen_range(-5i64..10)).collect()
+        })
+        .collect()
+}
 
-    /// Necessity: the true step function satisfies every deduced row.
-    #[test]
-    fn deduced_rows_are_necessary(
-        truth_idx in 0..TRUTHS.len(),
-        lists in proptest::collection::vec(
-            proptest::collection::vec(-5i64..10, 0..5),
-            1..5,
-        ),
-    ) {
+/// Necessity: the true step function satisfies every deduced row.
+#[test]
+fn deduced_rows_are_necessary() {
+    let mut rng = StdRng::seed_from_u64(0xD1);
+    for _ in 0..64 {
+        let truth_idx = rng.gen_range(0..TRUTHS.len());
+        let lists = random_lists(&mut rng, 1..5);
         let (comb, f_body, init) = TRUTHS[truth_idx];
         let program = program_text(comb, f_body, init);
         let (rows, coll) = rows_from_program(&program, &lists);
@@ -129,44 +140,60 @@ proptest! {
             &binders(comb),
             true,
         ) {
-            Outcome::Refuted => prop_assert!(
-                false,
-                "deduction refuted its own ground truth {program}"
-            ),
-            Outcome::Deduced(d) => prop_assert!(
+            Outcome::Refuted => {
+                panic!("deduction refuted its own ground truth {program}")
+            }
+            Outcome::Deduced(d) => assert!(
                 f_satisfies_rows(f_body, &d.fun_spec),
                 "{f_body} violates a deduced row for {program}"
             ),
         }
     }
+}
 
-    /// Refutation soundness for map: mismatched lengths are impossible.
-    #[test]
-    fn map_length_mismatch_always_refutes(
-        input in proptest::collection::vec(-5i64..10, 0..6),
-        extra in 1usize..3,
-    ) {
+/// Refutation soundness for map: mismatched lengths are impossible.
+#[test]
+fn map_length_mismatch_always_refutes() {
+    let mut rng = StdRng::seed_from_u64(0xD2);
+    for _ in 0..64 {
+        let input: Vec<i64> = {
+            let len = rng.gen_range(0usize..6);
+            (0..len).map(|_| rng.gen_range(-5i64..10)).collect()
+        };
+        let extra = rng.gen_range(1usize..3);
         let l = Symbol::intern("l");
         let iv = ints(&input);
         // Output longer than the input can never come from a map.
         let ov = ints(&vec![0; input.len() + extra]);
         let rows = vec![ExampleRow::new(Env::empty().bind(l, iv.clone()), ov)];
-        let coll = CollectionArg { values: vec![iv], var: Some(l) };
-        prop_assert!(matches!(
+        let coll = CollectionArg {
+            values: vec![iv],
+            var: Some(l),
+        };
+        assert!(matches!(
             deduce(Comb::Map, &rows, &coll, None, &[Symbol::intern("x")], true),
             Outcome::Refuted
         ));
     }
+}
 
-    /// Refutation soundness for filter: reordered outputs are impossible.
-    #[test]
-    fn filter_reorder_always_refutes(
-        mut input in proptest::collection::vec(0i64..50, 2..6),
-    ) {
+/// Refutation soundness for filter: reordered outputs are impossible.
+#[test]
+fn filter_reorder_always_refutes() {
+    let mut rng = StdRng::seed_from_u64(0xD3);
+    let mut checked = 0;
+    while checked < 64 {
+        let mut input: Vec<i64> = {
+            let len = rng.gen_range(2usize..6);
+            (0..len).map(|_| rng.gen_range(0i64..50)).collect()
+        };
         // Make elements distinct so reversal is a genuine reorder.
         input.sort_unstable();
         input.dedup();
-        prop_assume!(input.len() >= 2);
+        if input.len() < 2 {
+            continue; // prop_assume equivalent: resample
+        }
+        checked += 1;
         let l = Symbol::intern("l");
         let iv = ints(&input);
         let reversed: Vec<i64> = input.iter().rev().copied().collect();
@@ -174,33 +201,51 @@ proptest! {
             Env::empty().bind(l, iv.clone()),
             ints(&reversed),
         )];
-        let coll = CollectionArg { values: vec![iv], var: Some(l) };
-        prop_assert!(matches!(
-            deduce(Comb::Filter, &rows, &coll, None, &[Symbol::intern("x")], true),
+        let coll = CollectionArg {
+            values: vec![iv],
+            var: Some(l),
+        };
+        assert!(matches!(
+            deduce(
+                Comb::Filter,
+                &rows,
+                &coll,
+                None,
+                &[Symbol::intern("x")],
+                true
+            ),
             Outcome::Refuted
         ));
     }
+}
 
-    /// Fold base check: an init that disagrees with an empty-collection row
-    /// is always refuted; one that agrees never is (for consistent rows).
-    #[test]
-    fn fold_base_check_is_exact(expected in -10i64..10, wrong_delta in 1i64..5) {
+/// Fold base check: an init that disagrees with an empty-collection row
+/// is always refuted; one that agrees never is (for consistent rows).
+#[test]
+fn fold_base_check_is_exact() {
+    let mut rng = StdRng::seed_from_u64(0xD4);
+    for _ in 0..64 {
+        let expected = rng.gen_range(-10i64..10);
+        let wrong_delta = rng.gen_range(1i64..5);
         let l = Symbol::intern("l");
         let rows = vec![ExampleRow::new(
             Env::empty().bind(l, Value::nil()),
             Value::Int(expected),
         )];
-        let coll = CollectionArg { values: vec![Value::nil()], var: Some(l) };
+        let coll = CollectionArg {
+            values: vec![Value::nil()],
+            var: Some(l),
+        };
         let bs = [Symbol::intern("a"), Symbol::intern("x")];
 
         let good = vec![Value::Int(expected)];
-        prop_assert!(matches!(
+        assert!(matches!(
             deduce(Comb::Foldl, &rows, &coll, Some(&good), &bs, true),
             Outcome::Deduced(_)
         ));
 
         let bad = vec![Value::Int(expected + wrong_delta)];
-        prop_assert!(matches!(
+        assert!(matches!(
             deduce(Comb::Foldl, &rows, &coll, Some(&bad), &bs, true),
             Outcome::Refuted
         ));

@@ -1,5 +1,10 @@
 //! Cross-crate property tests: parser/printer inversion, evaluator laws,
 //! enumerator completeness, and cost-model sanity.
+//!
+//! Originally written against `proptest`; the build environment has no
+//! registry access, so the properties now run over seeded random case
+//! generators backed by the vendored `rand` shim. Same invariants, fixed
+//! seeds, deterministic failures.
 
 use lambda2::lang::ast::{Comb, Expr, Op};
 use lambda2::lang::env::Env;
@@ -10,98 +15,116 @@ use lambda2::lang::ty::Type;
 use lambda2::lang::value::Value;
 use lambda2::synth::enumerate::{EnumLimits, TermStore};
 use lambda2::synth::{CostModel, ExampleRow, Library, Spec};
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 // ---------------------------------------------------------------------------
 // Random AST generation
 // ---------------------------------------------------------------------------
 
-fn arb_value() -> impl Strategy<Value = Value> {
-    let leaf = prop_oneof![
-        (-20i64..20).prop_map(Value::Int),
-        any::<bool>().prop_map(Value::Bool),
-    ];
-    leaf.prop_recursive(3, 24, 4, |inner| {
-        prop_oneof![
-            proptest::collection::vec(inner.clone(), 0..4).prop_map(Value::list),
-            (inner, proptest::collection::vec(arb_tree_of_ints(), 0..3))
-                .prop_map(|(v, cs)| Value::Tree(lambda2::lang::value::Tree::node(v, cs))),
-        ]
-    })
-}
-
-fn arb_tree_of_ints() -> impl Strategy<Value = lambda2::lang::value::Tree> {
-    (-9i64..9)
-        .prop_map(|n| lambda2::lang::value::Tree::node(Value::Int(n), vec![]))
+fn random_value(depth: u32, rng: &mut StdRng) -> Value {
+    let leaf = depth == 0 || rng.gen_range(0..3u32) == 0;
+    if leaf {
+        if rng.gen_bool(0.5) {
+            Value::Int(rng.gen_range(-20i64..20))
+        } else {
+            Value::Bool(rng.gen_bool(0.5))
+        }
+    } else if rng.gen_bool(0.5) {
+        let n = rng.gen_range(0usize..4);
+        Value::list((0..n).map(|_| random_value(depth - 1, rng)).collect())
+    } else {
+        let v = random_value(depth - 1, rng);
+        let n = rng.gen_range(0usize..3);
+        let children = (0..n)
+            .map(|_| lambda2::lang::value::Tree::node(Value::Int(rng.gen_range(-9i64..9)), vec![]))
+            .collect();
+        Value::Tree(lambda2::lang::value::Tree::node(v, children))
+    }
 }
 
 /// Random well-formed expressions over variables `x`, `y`, `l`.
-fn arb_expr() -> impl Strategy<Value = Expr> {
-    let leaf = prop_oneof![
-        (-20i64..20).prop_map(Expr::int),
-        any::<bool>().prop_map(Expr::bool),
-        Just(Expr::var("x")),
-        Just(Expr::var("y")),
-        Just(Expr::var("l")),
-        Just(Expr::Lit(Value::nil())),
-    ];
-    leaf.prop_recursive(4, 48, 3, |inner| {
-        let unary = prop_oneof![
-            Just(Op::Not),
-            Just(Op::Car),
-            Just(Op::Cdr),
-            Just(Op::IsEmpty),
-        ];
-        let binary = prop_oneof![
-            Just(Op::Add),
-            Just(Op::Sub),
-            Just(Op::Mul),
-            Just(Op::Lt),
-            Just(Op::Eq),
-            Just(Op::Cons),
-            Just(Op::Cat),
-        ];
-        prop_oneof![
-            (unary, inner.clone()).prop_map(|(op, a)| Expr::Op(op, [a].into())),
-            (binary, inner.clone(), inner.clone())
-                .prop_map(|(op, a, b)| Expr::Op(op, [a, b].into())),
-            (inner.clone(), inner.clone(), inner.clone())
-                .prop_map(|(c, t, e)| Expr::if_(c, t, e)),
-            inner.clone().prop_map(|b| {
-                Expr::lambda(vec![Symbol::intern("x")], b)
-            }),
-            (inner.clone(), inner.clone()).prop_map(|(f, l)| {
-                Expr::comb(Comb::Map, vec![Expr::lambda(vec![Symbol::intern("x")], f), l])
-            }),
-        ]
-    })
+fn random_expr(depth: u32, rng: &mut StdRng) -> Expr {
+    const UNARY: &[Op] = &[Op::Not, Op::Car, Op::Cdr, Op::IsEmpty];
+    const BINARY: &[Op] = &[Op::Add, Op::Sub, Op::Mul, Op::Lt, Op::Eq, Op::Cons, Op::Cat];
+    let leaf = depth == 0 || rng.gen_range(0..4u32) == 0;
+    if leaf {
+        match rng.gen_range(0..6u32) {
+            0 => Expr::int(rng.gen_range(-20i64..20)),
+            1 => Expr::bool(rng.gen_bool(0.5)),
+            2 => Expr::var("x"),
+            3 => Expr::var("y"),
+            4 => Expr::var("l"),
+            _ => Expr::Lit(Value::nil()),
+        }
+    } else {
+        match rng.gen_range(0..5u32) {
+            0 => {
+                let op = UNARY[rng.gen_range(0..UNARY.len())];
+                Expr::Op(op, [random_expr(depth - 1, rng)].into())
+            }
+            1 => {
+                let op = BINARY[rng.gen_range(0..BINARY.len())];
+                Expr::Op(
+                    op,
+                    [random_expr(depth - 1, rng), random_expr(depth - 1, rng)].into(),
+                )
+            }
+            2 => Expr::if_(
+                random_expr(depth - 1, rng),
+                random_expr(depth - 1, rng),
+                random_expr(depth - 1, rng),
+            ),
+            3 => Expr::lambda(vec![Symbol::intern("x")], random_expr(depth - 1, rng)),
+            _ => Expr::comb(
+                Comb::Map,
+                vec![
+                    Expr::lambda(vec![Symbol::intern("x")], random_expr(depth - 1, rng)),
+                    random_expr(depth - 1, rng),
+                ],
+            ),
+        }
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+fn random_int_list(len_range: std::ops::Range<usize>, rng: &mut StdRng) -> Vec<i64> {
+    let n = rng.gen_range(len_range);
+    (0..n).map(|_| rng.gen_range(-9i64..9)).collect()
+}
 
-    /// `parse ∘ pretty = id` on random expressions.
-    #[test]
-    fn parser_inverts_pretty_printer(e in arb_expr()) {
+/// `parse ∘ pretty = id` on random expressions.
+#[test]
+fn parser_inverts_pretty_printer() {
+    let mut rng = StdRng::seed_from_u64(0xA11CE);
+    for _ in 0..128 {
+        let e = random_expr(4, &mut rng);
         let shown = e.to_string();
         let reparsed = parse_expr(&shown).expect("printed expressions parse");
-        prop_assert_eq!(&reparsed, &e, "{}", shown);
+        assert_eq!(reparsed, e, "{shown}");
         // And printing is a fixpoint.
-        prop_assert_eq!(reparsed.to_string(), shown);
+        assert_eq!(reparsed.to_string(), shown);
     }
+}
 
-    /// Value display also round-trips.
-    #[test]
-    fn value_display_round_trips(v in arb_value()) {
+/// Value display also round-trips.
+#[test]
+fn value_display_round_trips() {
+    let mut rng = StdRng::seed_from_u64(0xB0B);
+    for _ in 0..128 {
+        let v = random_value(3, &mut rng);
         let shown = v.to_string();
         let reparsed = parse_value(&shown).expect("printed values parse");
-        prop_assert_eq!(reparsed, v);
+        assert_eq!(reparsed, v, "{shown}");
     }
+}
 
-    /// Evaluation is deterministic and fuel-monotone: succeeding with fuel
-    /// F succeeds identically with any fuel >= F.
-    #[test]
-    fn evaluation_is_deterministic_and_fuel_monotone(e in arb_expr()) {
+/// Evaluation is deterministic and fuel-monotone: succeeding with fuel
+/// F succeeds identically with any fuel >= F.
+#[test]
+fn evaluation_is_deterministic_and_fuel_monotone() {
+    let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+    for _ in 0..128 {
+        let e = random_expr(4, &mut rng);
         let env = Env::empty()
             .bind(Symbol::intern("x"), Value::Int(3))
             .bind(Symbol::intern("y"), Value::Int(-2))
@@ -111,72 +134,88 @@ proptest! {
         // Closures compare by identity, so determinism is only observable
         // on first-order results.
         if matches!(&r1, Ok(v) if !v.is_first_order()) {
-            return Ok(());
+            continue;
         }
-        prop_assert_eq!(&r1, &r2);
+        assert_eq!(r1, r2, "{e}");
         if r1.is_ok() {
             let mut big = 10 * lambda2::lang::eval::DEFAULT_FUEL;
-            prop_assert_eq!(eval(&e, &env, &mut big), r1);
+            assert_eq!(eval(&e, &env, &mut big), r1, "{e}");
         }
     }
+}
 
-    /// map fusion: map f (map g l) == map (f ∘ g) l.
-    #[test]
-    fn map_fusion_law(l in proptest::collection::vec(-9i64..9, 0..6)) {
+/// map fusion: map f (map g l) == map (f ∘ g) l.
+#[test]
+fn map_fusion_law() {
+    let mut rng = StdRng::seed_from_u64(0xF0);
+    let nested = parse_expr("(map (lambda (x) (* x x)) (map (lambda (x) (+ x 1)) l))").unwrap();
+    let fused = parse_expr("(map (lambda (x) (* (+ x 1) (+ x 1))) l)").unwrap();
+    for _ in 0..64 {
+        let l = random_int_list(0..6, &mut rng);
         let env = Env::empty().bind(
             Symbol::intern("l"),
             l.iter().copied().map(Value::Int).collect::<Value>(),
         );
-        let nested = parse_expr(
-            "(map (lambda (x) (* x x)) (map (lambda (x) (+ x 1)) l))",
-        ).unwrap();
-        let fused = parse_expr(
-            "(map (lambda (x) (* (+ x 1) (+ x 1))) l)",
-        ).unwrap();
-        prop_assert_eq!(eval_default(&nested, &env).unwrap(),
-                        eval_default(&fused, &env).unwrap());
+        assert_eq!(
+            eval_default(&nested, &env).unwrap(),
+            eval_default(&fused, &env).unwrap(),
+            "on {l:?}"
+        );
     }
+}
 
-    /// foldr cons [] is the identity; foldl with swapped cons reverses.
-    #[test]
-    fn fold_identities(l in proptest::collection::vec(-9i64..9, 0..6)) {
+/// foldr cons [] is the identity; foldl with swapped cons reverses.
+#[test]
+fn fold_identities() {
+    let mut rng = StdRng::seed_from_u64(0xF1);
+    let id = parse_expr("(foldr (lambda (x a) (cons x a)) [] l)").unwrap();
+    let rev = parse_expr("(foldl (lambda (a x) (cons x a)) [] l)").unwrap();
+    for _ in 0..64 {
+        let l = random_int_list(0..6, &mut rng);
         let lv: Value = l.iter().copied().map(Value::Int).collect();
         let env = Env::empty().bind(Symbol::intern("l"), lv.clone());
-        let id = parse_expr("(foldr (lambda (x a) (cons x a)) [] l)").unwrap();
-        prop_assert_eq!(eval_default(&id, &env).unwrap(), lv);
+        assert_eq!(eval_default(&id, &env).unwrap(), lv);
 
-        let rev = parse_expr("(foldl (lambda (a x) (cons x a)) [] l)").unwrap();
         let mut reversed = l.clone();
         reversed.reverse();
-        prop_assert_eq!(
+        assert_eq!(
             eval_default(&rev, &env).unwrap(),
             reversed.into_iter().map(Value::Int).collect::<Value>()
         );
     }
+}
 
-    /// recl agrees with foldr when it ignores the tail argument.
-    #[test]
-    fn recl_subsumes_foldr(l in proptest::collection::vec(-9i64..9, 0..6)) {
+/// recl agrees with foldr when it ignores the tail argument.
+#[test]
+fn recl_subsumes_foldr() {
+    let mut rng = StdRng::seed_from_u64(0xF2);
+    let via_recl = parse_expr("(recl (lambda (x xs r) (cons (+ x 1) r)) [] l)").unwrap();
+    let via_foldr = parse_expr("(foldr (lambda (x a) (cons (+ x 1) a)) [] l)").unwrap();
+    for _ in 0..64 {
+        let l = random_int_list(0..6, &mut rng);
         let env = Env::empty().bind(
             Symbol::intern("l"),
             l.iter().copied().map(Value::Int).collect::<Value>(),
         );
-        let via_recl = parse_expr("(recl (lambda (x xs r) (cons (+ x 1) r)) [] l)").unwrap();
-        let via_foldr = parse_expr("(foldr (lambda (x a) (cons (+ x 1) a)) [] l)").unwrap();
-        prop_assert_eq!(
+        assert_eq!(
             eval_default(&via_recl, &env).unwrap(),
-            eval_default(&via_foldr, &env).unwrap()
+            eval_default(&via_foldr, &env).unwrap(),
+            "on {l:?}"
         );
     }
+}
 
-    /// Cost model: positive, and compositional over `if`.
-    #[test]
-    fn cost_model_sanity(e in arb_expr()) {
-        let m = CostModel::default();
+/// Cost model: positive, and compositional over `if`.
+#[test]
+fn cost_model_sanity() {
+    let mut rng = StdRng::seed_from_u64(0xF3);
+    let m = CostModel::default();
+    for _ in 0..128 {
+        let e = random_expr(4, &mut rng);
         let c = m.cost(&e);
-        prop_assert!(c >= 1);
+        assert!(c >= 1);
         let wrapped = Expr::if_(Expr::bool(true), e.clone(), e);
-        prop_assert_eq!(m.cost(&wrapped), 1 + 1 + 2 * c);
+        assert_eq!(m.cost(&wrapped), 1 + 1 + 2 * c);
     }
 }
 
@@ -184,29 +223,29 @@ proptest! {
 // Enumerator completeness (bounded)
 // ---------------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+/// If *some* combinator-free term of cost <= 5 over `l` produces the
+/// observed outputs, the enumerator's closings find a term doing the
+/// same, at no greater cost. We sample the witness from a fixed pool
+/// and derive the spec by evaluating it.
+#[test]
+fn enumerator_finds_an_equivalent_closing() {
+    let pool = [
+        ("l", 1u32),
+        ("(car l)", 2),
+        ("(cdr l)", 2),
+        ("(cons 0 l)", 4),
+        ("(car (cdr (cons 1 l)))", 5),
+        ("(cat l l)", 3),
+    ];
+    let mut rng = StdRng::seed_from_u64(0xE1);
+    for case in 0..48 {
+        let witness_idx = rng.gen_range(0..pool.len());
+        let n_lists = rng.gen_range(1usize..4);
+        // Non-empty lists: car/cdr safe.
+        let lists: Vec<Vec<i64>> = (0..n_lists)
+            .map(|_| random_int_list(1..5, &mut rng))
+            .collect();
 
-    /// If *some* combinator-free term of cost <= 5 over `l` produces the
-    /// observed outputs, the enumerator's closings find a term doing the
-    /// same, at no greater cost. We sample the witness from a fixed pool
-    /// and derive the spec by evaluating it.
-    #[test]
-    fn enumerator_finds_an_equivalent_closing(
-        witness_idx in 0usize..6,
-        lists in proptest::collection::vec(
-            proptest::collection::vec(-9i64..9, 1..5), // non-empty: car/cdr safe
-            1..4,
-        ),
-    ) {
-        let pool = [
-            ("l", 1u32),
-            ("(car l)", 2),
-            ("(cdr l)", 2),
-            ("(cons 0 l)", 4),
-            ("(car (cdr (cons 1 l)))", 5),
-            ("(cat l l)", 3),
-        ];
         let (witness, wcost) = pool[witness_idx];
         let wexpr = parse_expr(witness).unwrap();
         let l = Symbol::intern("l");
@@ -240,7 +279,8 @@ proptest! {
                 break;
             }
         }
-        let found_at = found_at.expect("a closing must exist within the witness's cost");
-        prop_assert!(found_at <= wcost);
+        let found_at =
+            found_at.unwrap_or_else(|| panic!("case {case}: no closing within cost of {witness}"));
+        assert!(found_at <= wcost, "case {case}: {witness}");
     }
 }

@@ -21,15 +21,29 @@ use rand::{Rng, SeedableRng};
 /// A random list over a *signed* range — training data must exercise both
 /// sides of predicates like `x > 0` or a target is underdetermined.
 fn signed_list(len: usize, rng: &mut StdRng) -> Vec<Value> {
-    (0..len).map(|_| Value::Int(rng.gen_range(-5..10))).collect()
+    (0..len)
+        .map(|_| Value::Int(rng.gen_range(-5..10)))
+        .collect()
 }
 
 /// Ground-truth targets: (name, parameter type, body). All single-list
 /// programs so the chain-example generator below applies.
 const TARGETS: &[(&str, &str, &str)] = &[
-    ("rt_sum_sq", "[int]", "(foldl (lambda (a x) (+ a (* x x))) 0 l)"),
-    ("rt_count_pos", "[int]", "(foldl (lambda (a x) (if (< 0 x) (+ a 1) a)) 0 l)"),
-    ("rt_map_double_incr", "[int]", "(map (lambda (x) (+ (+ x x) 1)) l)"),
+    (
+        "rt_sum_sq",
+        "[int]",
+        "(foldl (lambda (a x) (+ a (* x x))) 0 l)",
+    ),
+    (
+        "rt_count_pos",
+        "[int]",
+        "(foldl (lambda (a x) (if (< 0 x) (+ a 1) a)) 0 l)",
+    ),
+    (
+        "rt_map_double_incr",
+        "[int]",
+        "(map (lambda (x) (+ (+ x x) 1)) l)",
+    ),
     ("rt_keep_big", "[int]", "(filter (lambda (x) (< 4 x)) l)"),
     ("rt_snoc_zero", "[int]", "(cat l (cons 0 []))"),
 ];
@@ -48,7 +62,10 @@ fn roundtrip(name: &str, param_ty: &str, body: &str, seed: u64) {
     let mut rng = StdRng::seed_from_u64(seed);
     let base: Vec<Value> = [1, -2, 5, 0, 9, 4, 2, 6].map(Value::Int).to_vec();
     let mut builder = Problem::builder(name).param("l", param_ty).returns(
-        &target.infer_type().expect("targets are well-typed").to_string(),
+        &target
+            .infer_type()
+            .expect("targets are well-typed")
+            .to_string(),
     );
     let mut inputs: Vec<Value> = (0..=base.len())
         .map(|n| Value::list(base[..n].to_vec()))
@@ -83,7 +100,9 @@ fn roundtrip(name: &str, param_ty: &str, body: &str, seed: u64) {
         let input = Value::list(signed_list(len, &mut rng));
         let _ = random_list; // generator retained for symmetric API use
         let want = target.apply_with_fuel(std::slice::from_ref(&input), DEFAULT_FUEL);
-        let got = result.program.apply_with_fuel(std::slice::from_ref(&input), DEFAULT_FUEL);
+        let got = result
+            .program
+            .apply_with_fuel(std::slice::from_ref(&input), DEFAULT_FUEL);
         assert_eq!(
             got.as_ref().ok(),
             want.as_ref().ok(),

@@ -1,0 +1,263 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no registry access, so this workspace vendors
+//! the slice of the criterion 0.5 API its benches use, backed by a plain
+//! wall-clock harness. Semantics mirror criterion where it matters:
+//!
+//! * under `cargo bench` (cargo passes `--bench`) each benchmark is
+//!   measured over `sample_size` samples within `measurement_time`, and a
+//!   min/median/mean summary is printed;
+//! * under `cargo test` (no `--bench` flag) each benchmark body runs
+//!   exactly once, as a smoke test.
+//!
+//! No statistics beyond the summary line; no plotting; no baselines.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::hint::black_box as hint_black_box;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier, re-exported for parity with criterion.
+pub fn black_box<T>(x: T) -> T {
+    hint_black_box(x)
+}
+
+/// Harness entry point handed to benchmark functions.
+pub struct Criterion {
+    bench_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        // cargo bench invokes the target with `--bench`; cargo test does
+        // not. Criterion proper keys "test mode" off the same flag.
+        let bench_mode = std::env::args().any(|a| a == "--bench");
+        Criterion { bench_mode }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        let bench_mode = self.bench_mode;
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_owned(),
+            bench_mode,
+            sample_size: 100,
+            measurement_time: Duration::from_secs(3),
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mode = self.bench_mode;
+        let mut g = self.benchmark_group("");
+        g.bench_mode = mode;
+        g.bench_function(name, f);
+        g.finish();
+    }
+}
+
+/// Identifier for one parameterized benchmark within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a parameter.
+    pub fn new(function: &str, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// Builds an id from a parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// A group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    bench_mode: bool,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the wall-clock budget for one benchmark's measurement.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Runs one benchmark with an input value.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(&id.id, |b| f(b, input));
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(name, |b| f(b));
+    }
+
+    /// Ends the group (provided for API parity; nothing to flush).
+    pub fn finish(self) {}
+
+    fn run<F>(&mut self, name: &str, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = if self.name.is_empty() {
+            name.to_owned()
+        } else {
+            format!("{}/{name}", self.name)
+        };
+        let mut bencher = Bencher {
+            bench_mode: self.bench_mode,
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            samples: Vec::new(),
+        };
+        f(&mut bencher);
+        if !self.bench_mode {
+            println!("test {label} ... ok (smoke, 1 iteration)");
+            return;
+        }
+        let mut s = bencher.samples;
+        if s.is_empty() {
+            println!("{label}: no samples recorded");
+            return;
+        }
+        s.sort_unstable();
+        let min = s[0];
+        let median = s[s.len() / 2];
+        let mean = s.iter().sum::<Duration>() / s.len() as u32;
+        println!(
+            "{label}: min {:>12?}  median {:>12?}  mean {:>12?}  ({} samples)",
+            min,
+            median,
+            mean,
+            s.len()
+        );
+    }
+}
+
+/// Timing callback passed to each benchmark body.
+pub struct Bencher {
+    bench_mode: bool,
+    sample_size: usize,
+    measurement_time: Duration,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Measures `f`, recording per-iteration wall time.
+    pub fn iter<O, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> O,
+    {
+        if !self.bench_mode {
+            hint_black_box(f());
+            return;
+        }
+        // Warm-up and per-iteration estimate.
+        let warm = Instant::now();
+        hint_black_box(f());
+        let mut est = warm.elapsed().max(Duration::from_nanos(50));
+        if est < Duration::from_millis(1) {
+            // Refine the estimate for very fast bodies.
+            let n = 64u32;
+            let t = Instant::now();
+            for _ in 0..n {
+                hint_black_box(f());
+            }
+            est = (t.elapsed() / n).max(Duration::from_nanos(10));
+        }
+        let per_sample = self.measurement_time / self.sample_size as u32;
+        let iters = (per_sample.as_nanos() / est.as_nanos().max(1)).clamp(1, 1 << 24) as u32;
+        let deadline = Instant::now() + self.measurement_time.mul_f64(1.5);
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..iters {
+                hint_black_box(f());
+            }
+            self.samples.push(t.elapsed() / iters);
+            if Instant::now() > deadline {
+                break; // keep hard benches within ~1.5x the budget
+            }
+        }
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_runs_bodies_once() {
+        let mut c = Criterion { bench_mode: false };
+        let mut runs = 0;
+        c.bench_function("noop", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn bench_mode_collects_samples() {
+        let mut c = Criterion { bench_mode: true };
+        let mut g = c.benchmark_group("g");
+        g.sample_size(5).measurement_time(Duration::from_millis(20));
+        g.bench_with_input(BenchmarkId::from_parameter(3), &3u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn ids_render_like_criterion() {
+        assert_eq!(BenchmarkId::from_parameter(10).id, "10");
+        assert_eq!(BenchmarkId::new("f", 10).id, "f/10");
+    }
+}

@@ -1,0 +1,250 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no registry access, so this workspace vendors
+//! the (tiny) slice of the `rand` 0.8 API it actually uses: seedable
+//! deterministic generators and uniform range sampling. The generator is
+//! xoshiro256** seeded through SplitMix64 — statistically solid for
+//! workload generation, deterministic across platforms, and dependency-free.
+//!
+//! Not a cryptographic RNG; never use for secrets.
+
+#![warn(missing_docs)]
+
+/// Generators, mirroring `rand::rngs`.
+pub mod rngs {
+    /// The workspace's standard deterministic generator (xoshiro256**).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        pub(crate) s: [u64; 4],
+    }
+}
+
+use rngs::StdRng;
+
+/// Seedable construction, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose whole state is derived from `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> StdRng {
+        // SplitMix64 expansion, as recommended by the xoshiro authors.
+        let mut x = seed;
+        let mut next = || {
+            x = x.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^ (z >> 31)
+        };
+        let s = [next(), next(), next(), next()];
+        StdRng { s }
+    }
+}
+
+impl StdRng {
+    /// The next raw 64-bit output (xoshiro256**).
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+/// Types a [`Rng`] can sample uniformly from a range.
+pub trait SampleUniform: Copy {
+    /// Samples uniformly from `[low, high]` (both inclusive).
+    fn sample_inclusive(rng: &mut StdRng, low: Self, high: Self) -> Self;
+}
+
+/// Uniform `u64` in `[0, span]` via Lemire-style rejection (debiased).
+fn uniform_u64(rng: &mut StdRng, span: u64) -> u64 {
+    if span == u64::MAX {
+        return rng.next_u64();
+    }
+    let bound = span + 1;
+    // Rejection zone keeping the multiply-shift map exactly uniform.
+    let zone = u64::MAX - (u64::MAX - bound + 1) % bound;
+    loop {
+        let v = rng.next_u64();
+        let (hi, lo) = {
+            let m = (v as u128) * (bound as u128);
+            ((m >> 64) as u64, m as u64)
+        };
+        if lo <= zone {
+            return hi;
+        }
+    }
+}
+
+impl SampleUniform for i64 {
+    fn sample_inclusive(rng: &mut StdRng, low: Self, high: Self) -> Self {
+        let span = high.wrapping_sub(low) as u64;
+        low.wrapping_add(uniform_u64(rng, span) as i64)
+    }
+}
+
+impl SampleUniform for u64 {
+    fn sample_inclusive(rng: &mut StdRng, low: Self, high: Self) -> Self {
+        low + uniform_u64(rng, high - low)
+    }
+}
+
+impl SampleUniform for usize {
+    fn sample_inclusive(rng: &mut StdRng, low: Self, high: Self) -> Self {
+        low + uniform_u64(rng, (high - low) as u64) as usize
+    }
+}
+
+impl SampleUniform for u32 {
+    fn sample_inclusive(rng: &mut StdRng, low: Self, high: Self) -> Self {
+        low + uniform_u64(rng, (high - low) as u64) as u32
+    }
+}
+
+/// Range arguments accepted by [`Rng::gen_range`], mirroring
+/// `rand::distributions::uniform::SampleRange`.
+pub trait SampleRange<T> {
+    /// Samples one value from the range.
+    fn sample(self, rng: &mut StdRng) -> T;
+}
+
+impl<T: SampleUniform + PartialOrd + One> SampleRange<T> for std::ops::Range<T> {
+    fn sample(self, rng: &mut StdRng) -> T {
+        assert!(
+            self.start < self.end,
+            "gen_range called with an empty range"
+        );
+        T::sample_inclusive(rng, self.start, self.end.minus_one())
+    }
+}
+
+impl<T: SampleUniform + PartialOrd> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample(self, rng: &mut StdRng) -> T {
+        let (low, high) = self.into_inner();
+        assert!(low <= high, "gen_range called with an empty range");
+        T::sample_inclusive(rng, low, high)
+    }
+}
+
+/// Internal helper to turn an exclusive upper bound into an inclusive one.
+pub trait One: Sized {
+    /// `self - 1`.
+    fn minus_one(self) -> Self;
+}
+
+impl One for i64 {
+    fn minus_one(self) -> Self {
+        self - 1
+    }
+}
+impl One for u64 {
+    fn minus_one(self) -> Self {
+        self - 1
+    }
+}
+impl One for usize {
+    fn minus_one(self) -> Self {
+        self - 1
+    }
+}
+impl One for u32 {
+    fn minus_one(self) -> Self {
+        self - 1
+    }
+}
+
+/// The user-facing sampling methods, mirroring `rand::Rng`.
+pub trait Rng {
+    /// Uniform sample from `range` (half-open or inclusive).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>;
+
+    /// A uniformly random `bool`.
+    fn gen_bool(&mut self, p: f64) -> bool;
+}
+
+impl Rng for StdRng {
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+    {
+        range.sample(self)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "gen_bool probability out of range"
+        );
+        // 53 random bits -> uniform double in [0, 1).
+        let u = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        u < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeding_is_deterministic() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(StdRng::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v: i64 = rng.gen_range(-5..10);
+            assert!((-5..10).contains(&v));
+            let u: usize = rng.gen_range(1..=3);
+            assert!((1..=3).contains(&u));
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_the_whole_range() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut seen = [false; 15];
+        for _ in 0..10_000 {
+            let v: i64 = rng.gen_range(-5..10);
+            seen[(v + 5) as usize] = true;
+        }
+        assert!(
+            seen.iter().all(|s| *s),
+            "some values never sampled: {seen:?}"
+        );
+    }
+
+    #[test]
+    fn gen_bool_is_roughly_calibrated() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "{hits}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_ranges_panic() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let _: i64 = rng.gen_range(5..5);
+    }
+}
