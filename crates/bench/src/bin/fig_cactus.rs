@@ -34,7 +34,9 @@ fn main() {
         for bench in &suite {
             let cap = match (quick, engine) {
                 (true, _) => Duration::from_secs(5),
-                (false, Engine::Lambda2) => Duration::from_millis(*budgets_ms.last().unwrap()),
+                (false, Engine::Lambda2) => {
+                    Duration::from_millis(*budgets_ms.last().expect("budget list is nonempty"))
+                }
                 (false, _) => Duration::from_secs(30),
             };
             let m = run_benchmark(bench, engine, Some(cap));

@@ -17,7 +17,10 @@
 
 use std::time::Duration;
 
-use bench::{measurement_of, ms, record, render_table, write_bench_json};
+use bench::{
+    measurement_of_isolated, ms, record, render_table, synthesize_isolated, write_bench_json,
+    RunError,
+};
 use lambda2_bench_suite::by_name;
 use lambda2_synth::{SearchOptions, Synthesizer};
 
@@ -64,16 +67,19 @@ fn main() {
     let mut rows = Vec::new();
     let mut records = Vec::new();
     for name in SLICE {
-        let bench = by_name(name).unwrap_or_else(|| panic!("unknown benchmark {name}"));
+        let Some(bench) = by_name(name) else {
+            eprintln!("warning: unknown benchmark `{name}` — skipping");
+            continue;
+        };
         let mut row = vec![(*name).to_owned()];
         for config in CONFIGS {
             let mut options = bench.tune(SearchOptions::default());
             options.timeout = Some(Duration::from_secs(60));
             (config.apply)(&mut options);
-            let result = Synthesizer::with_options(options).synthesize(&bench.problem);
+            let result = synthesize_isolated(&Synthesizer::with_options(options), &bench.problem);
             records.push(record(
                 &format!("{name}/{}", config.name),
-                &measurement_of(
+                &measurement_of_isolated(
                     name,
                     bench.problem.examples().len(),
                     &result,
@@ -89,10 +95,8 @@ fn main() {
                     // intended one — mark the cost.
                     format!("{} (c{})", ms(s.elapsed), s.cost)
                 }
-                Err(e) => match e {
-                    lambda2_synth::SynthError::Timeout => "timeout".into(),
-                    other => format!("{other:?}"),
-                },
+                Err(RunError::Synth(lambda2_synth::SynthError::Timeout)) => "timeout".into(),
+                Err(other) => other.to_string(),
             };
             eprintln!("  {name} / {}: {cell}", config.name);
             row.push(cell);

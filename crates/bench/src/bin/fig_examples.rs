@@ -11,7 +11,10 @@
 
 use std::time::Duration;
 
-use bench::{measurement_of, ms, options_for, record, render_table, write_bench_json};
+use bench::{
+    measurement_of_isolated, ms, options_for, record, render_table, synthesize_isolated,
+    write_bench_json,
+};
 use lambda2_bench_suite::by_name;
 use lambda2_bench_suite::generators::example_sweep;
 use lambda2_lang::eval::DEFAULT_FUEL;
@@ -25,7 +28,10 @@ fn main() {
     let mut rows = Vec::new();
     let mut records = Vec::new();
     for name in PROBLEMS {
-        let bench = by_name(name).unwrap_or_else(|| panic!("unknown benchmark {name}"));
+        let Some(bench) = by_name(name) else {
+            eprintln!("warning: unknown benchmark `{name}` — skipping");
+            continue;
+        };
         let reference = bench.reference_program();
         for &k in KS {
             let Some(problem) = example_sweep(&bench, k, SEED) else {
@@ -33,8 +39,8 @@ fn main() {
             };
             let mut options = options_for(&bench, Some(Duration::from_secs(20)));
             options.timeout = Some(Duration::from_secs(20));
-            let result = Synthesizer::with_options(options).synthesize(&problem);
-            let m = measurement_of(
+            let result = synthesize_isolated(&Synthesizer::with_options(options), &problem);
+            let m = measurement_of_isolated(
                 name,
                 problem.examples().len(),
                 &result,
@@ -44,7 +50,8 @@ fn main() {
                 Ok(s) => {
                     // Held-out check: the synthesized program must agree
                     // with the reference on fresh inputs.
-                    let holdout = example_sweep(&bench, 12, SEED + 1).expect("holdout");
+                    let holdout = example_sweep(&bench, 12, SEED + 1)
+                        .expect("example generator always yields a 12-example holdout set");
                     let gen = holdout.examples().iter().all(|ex| {
                         s.program.apply_with_fuel(&ex.inputs, DEFAULT_FUEL).ok()
                             == reference.apply_with_fuel(&ex.inputs, DEFAULT_FUEL).ok()

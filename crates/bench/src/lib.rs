@@ -13,11 +13,13 @@
 //! `BENCH_<name>.json` report (see [`write_bench_json`]) into the current
 //! directory, carrying per-problem [`Measurement`]s with phase timings.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::time::Duration;
 
 use lambda2_bench_suite::Benchmark;
 use lambda2_synth::baseline::{synthesize_baseline, BaselineOptions};
+use lambda2_synth::govern::panic_message;
 use lambda2_synth::{Measurement, SearchOptions, Stats, SynthError, Synthesis, Synthesizer};
 
 pub use lambda2_synth::obs::json::Json;
@@ -61,12 +63,16 @@ pub fn options_for(bench: &Benchmark, timeout: Option<Duration>) -> SearchOption
 }
 
 /// Runs one benchmark under one engine and records the outcome.
+///
+/// The run is panic-isolated: a crash inside the engine becomes a
+/// `solved: false` measurement carrying the panic message in `error`, so
+/// a batch sweep records the failure and moves on instead of aborting.
 pub fn run_benchmark(bench: &Benchmark, engine: Engine, timeout: Option<Duration>) -> Measurement {
     let options = options_for(bench, timeout);
     let problem = &bench.problem;
-    let result = match engine {
-        Engine::Lambda2 => Synthesizer::with_options(options).synthesize(problem),
-        Engine::NoDeduce => Synthesizer::with_options(options)
+    let outcome = catch_unwind(AssertUnwindSafe(|| match engine {
+        Engine::Lambda2 => Synthesizer::with_options(options.clone()).synthesize(problem),
+        Engine::NoDeduce => Synthesizer::with_options(options.clone())
             .deduction(false)
             .synthesize(problem),
         Engine::Baseline => {
@@ -77,13 +83,82 @@ pub fn run_benchmark(bench: &Benchmark, engine: Engine, timeout: Option<Duration
             };
             synthesize_baseline(problem, &bopts)
         }
-    };
+    }));
     let budget = timeout.unwrap_or(if bench.hard {
         HARD_TIMEOUT
     } else {
         DEFAULT_TIMEOUT
     });
-    measurement_of(problem.name(), problem.examples().len(), &result, budget)
+    match outcome {
+        Ok(result) => measurement_of(problem.name(), problem.examples().len(), &result, budget),
+        Err(payload) => Measurement {
+            name: problem.name().to_owned(),
+            elapsed: Duration::ZERO,
+            solved: false,
+            cost: 0,
+            size: 0,
+            program: String::new(),
+            examples: problem.examples().len(),
+            stats: Stats::default(),
+            error: Some(format!("panicked: {}", panic_message(&*payload))),
+        },
+    }
+}
+
+/// A per-run failure seen by the harness: the engine's own terminal
+/// error, or a panic caught at the isolation boundary.
+#[derive(Clone, Debug)]
+pub enum RunError {
+    /// The engine returned a structured error.
+    Synth(SynthError),
+    /// The engine panicked; the rendered payload message.
+    Panic(String),
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::Synth(e) => write!(f, "{e}"),
+            RunError::Panic(msg) => write!(f, "panicked: {msg}"),
+        }
+    }
+}
+
+/// Runs `synthesizer` on `problem` under panic isolation: a crash inside
+/// the engine becomes [`RunError::Panic`] instead of aborting the sweep.
+pub fn synthesize_isolated(
+    synthesizer: &Synthesizer,
+    problem: &lambda2_synth::Problem,
+) -> Result<Synthesis, RunError> {
+    match catch_unwind(AssertUnwindSafe(|| synthesizer.synthesize(problem))) {
+        Ok(Ok(s)) => Ok(s),
+        Ok(Err(e)) => Err(RunError::Synth(e)),
+        Err(payload) => Err(RunError::Panic(panic_message(&*payload))),
+    }
+}
+
+/// [`measurement_of`] over a panic-isolated outcome.
+pub fn measurement_of_isolated(
+    name: &str,
+    examples: usize,
+    result: &Result<Synthesis, RunError>,
+    budget: Duration,
+) -> Measurement {
+    match result {
+        Ok(s) => measurement_of(name, examples, &Ok(s.clone()), budget),
+        Err(RunError::Synth(e)) => measurement_of(name, examples, &Err(e.clone()), budget),
+        Err(e @ RunError::Panic(_)) => Measurement {
+            name: name.to_owned(),
+            elapsed: Duration::ZERO,
+            solved: false,
+            cost: 0,
+            size: 0,
+            program: String::new(),
+            examples,
+            stats: Stats::default(),
+            error: Some(e.to_string()),
+        },
+    }
 }
 
 /// Converts a synthesis outcome into a [`Measurement`]. Timeouts are
@@ -105,6 +180,7 @@ pub fn measurement_of(
             program: s.program.to_string(),
             examples,
             stats: s.stats.clone(),
+            error: None,
         },
         Err(e) => Measurement {
             name: name.to_owned(),
@@ -119,6 +195,7 @@ pub fn measurement_of(
             program: String::new(),
             examples,
             stats: Stats::default(),
+            error: Some(e.to_string()),
         },
     }
 }
@@ -208,6 +285,20 @@ mod tests {
         assert!(m.solved);
         assert_eq!(m.program, "(lambda (l) l)");
         assert_eq!(m.cost, 1);
+    }
+
+    #[test]
+    fn measurement_of_records_the_terminal_error() {
+        let ok: Result<Synthesis, SynthError> = Err(SynthError::Timeout);
+        let m = measurement_of("p", 2, &ok, Duration::from_secs(3));
+        assert!(!m.solved);
+        assert_eq!(m.elapsed, Duration::from_secs(3));
+        assert_eq!(m.error.as_deref(), Some("synthesis timed out"));
+
+        let exhausted: Result<Synthesis, SynthError> = Err(SynthError::Exhausted);
+        let m = measurement_of("p", 2, &exhausted, Duration::from_secs(3));
+        assert_eq!(m.elapsed, Duration::ZERO);
+        assert!(m.error.is_some());
     }
 
     #[test]

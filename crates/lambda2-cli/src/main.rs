@@ -1,16 +1,25 @@
 //! `l2` — the λ² synthesizer command-line tool.
 //!
 //! ```text
-//! l2 synth <problem.l2>     synthesize a program from a problem file
+//! l2 synth <problem.l2>...  synthesize a program from each problem file
 //! l2 run <problem.l2> ARGS  synthesize, then run the program on ARGS
 //! l2 eval <expr> [x=v]...   evaluate an expression under bindings
-//! l2 bench <name>           run one suite benchmark by name
+//! l2 bench <name>...        run suite benchmarks by name
 //! l2 list                   list the benchmark suite
 //!
 //! flags (synth/run/bench):
-//!   --trace <path>   stream search telemetry as JSON Lines to <path>
-//!   --stats-json     print the final measurement as one JSON line
+//!   --trace <path>          stream search telemetry as JSON Lines to <path>
+//!   --stats-json            print each measurement as one JSON line
+//!   --timeout-ms <n>        wall-clock budget per problem (default 60000)
+//!   --max-overshoot-ms <n>  deadline overshoot bound (default 100)
+//!   --retry-ladder          on resource exhaustion, retry with degraded
+//!                           options, then the enumerative baseline
 //! ```
+//!
+//! Batch runs (`synth`/`bench` with several problems) isolate each
+//! problem: a failure — timeout, exhaustion, even a panic — is reported
+//! (and recorded in the `--stats-json` line) and the batch continues;
+//! the exit code is nonzero only if at least one problem failed.
 //!
 //! Problem files are s-expressions:
 //!
@@ -23,26 +32,41 @@
 //!   (example ([5 6]) [6]))
 //! ```
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Duration;
 
 use lambda2_lang::parser::{parse_sexps, type_of_sexp, value_of_sexp, Sexp};
-use lambda2_synth::{JsonlTracer, Measurement, Problem, ProblemBuilder, Synthesis, Synthesizer};
+use lambda2_synth::govern::panic_message;
+use lambda2_synth::{
+    JsonlTracer, Measurement, Problem, ProblemBuilder, SearchOptions, SearchReport, Synthesizer,
+};
 
-/// Telemetry flags shared by the synthesizing commands.
+/// Flags shared by the synthesizing commands.
 #[derive(Debug, Default)]
 struct Flags {
     /// Write a JSONL trace of the search to this path.
     trace: Option<PathBuf>,
     /// Print the final `Measurement` as a single JSON line on stdout.
     stats_json: bool,
+    /// Wall-clock budget per problem, in milliseconds.
+    timeout_ms: Option<u64>,
+    /// Deadline overshoot bound, in milliseconds.
+    max_overshoot_ms: Option<u64>,
+    /// Retry with degraded options, then the baseline, on resource limits.
+    retry_ladder: bool,
 }
 
 impl Flags {
-    /// Extracts `--trace <path>` and `--stats-json` from `args` (any
-    /// position), leaving the positional arguments behind.
+    /// Extracts the known flags from `args` (any position), leaving the
+    /// positional arguments behind.
     fn extract(args: &mut Vec<String>) -> Result<Flags, String> {
+        fn ms_arg(flag: &str, next: Option<String>) -> Result<u64, String> {
+            let raw = next.ok_or_else(|| format!("{flag} requires a millisecond count"))?;
+            raw.parse::<u64>()
+                .map_err(|_| format!("{flag}: `{raw}` is not a whole number of milliseconds"))
+        }
         let mut flags = Flags::default();
         let mut rest = Vec::with_capacity(args.len());
         let mut it = args.drain(..);
@@ -53,6 +77,11 @@ impl Flags {
                     None => return Err("--trace requires a file path".into()),
                 },
                 "--stats-json" => flags.stats_json = true,
+                "--timeout-ms" => flags.timeout_ms = Some(ms_arg("--timeout-ms", it.next())?),
+                "--max-overshoot-ms" => {
+                    flags.max_overshoot_ms = Some(ms_arg("--max-overshoot-ms", it.next())?);
+                }
+                "--retry-ladder" => flags.retry_ladder = true,
                 other if other.starts_with("--") => {
                     return Err(format!("unknown flag `{other}`"));
                 }
@@ -62,6 +91,20 @@ impl Flags {
         drop(it);
         *args = rest;
         Ok(flags)
+    }
+
+    /// Applies the governance flags on top of `options`.
+    fn apply(&self, mut options: SearchOptions) -> SearchOptions {
+        if let Some(ms) = self.timeout_ms {
+            options.timeout = Some(Duration::from_millis(ms));
+        }
+        if let Some(ms) = self.max_overshoot_ms {
+            options.max_overshoot = Duration::from_millis(ms);
+        }
+        if self.retry_ladder {
+            options.retry_ladder = true;
+        }
+        options
     }
 }
 
@@ -75,17 +118,19 @@ fn main() -> ExitCode {
         }
     };
     let result = match args.first().map(String::as_str) {
-        Some("synth") if args.len() == 2 => cmd_synth(&args[1], &[], &flags),
-        Some("run") if args.len() >= 3 => cmd_synth(&args[1], &args[2..], &flags),
+        Some("synth") if args.len() >= 2 => cmd_synth(&args[1..], &flags),
+        Some("run") if args.len() >= 3 => cmd_run(&args[1], &args[2..], &flags),
         Some("eval") if args.len() >= 2 => cmd_eval(&args[1], &args[2..]),
-        Some("bench") if args.len() == 2 => cmd_bench(&args[1], &flags),
+        Some("bench") if args.len() >= 2 => cmd_bench(&args[1..], &flags),
         Some("list") => cmd_list(),
         _ => {
             eprintln!(
-                "usage:\n  l2 [--trace <path>] [--stats-json] synth <problem.l2>\n  \
-                 l2 [--trace <path>] [--stats-json] run <problem.l2> <arg>...\n  \
+                "usage:\n  l2 [flags] synth <problem.l2>...\n  \
+                 l2 [flags] run <problem.l2> <arg>...\n  \
                  l2 eval <expr> [x=v]...\n  \
-                 l2 [--trace <path>] [--stats-json] bench <name>\n  l2 list"
+                 l2 [flags] bench <name>...\n  l2 list\n\
+                 flags: --trace <path>  --stats-json  --timeout-ms <n>  \
+                 --max-overshoot-ms <n>  --retry-ladder"
             );
             return ExitCode::from(2);
         }
@@ -99,72 +144,131 @@ fn main() -> ExitCode {
     }
 }
 
-/// Runs synthesis, honoring `--trace`.
+/// Runs one governed synthesis, honoring `--trace`, with panic isolation:
+/// a crash inside the engine becomes an error measurement, not an abort.
 fn run_synthesis(
     synthesizer: &Synthesizer,
     problem: &Problem,
     flags: &Flags,
-) -> Result<Synthesis, String> {
-    let result = match &flags.trace {
+) -> Result<SearchReport, String> {
+    let report = match &flags.trace {
         Some(path) => {
             let mut tracer = JsonlTracer::create(path)
                 .map_err(|e| format!("opening trace file {}: {e}", path.display()))?;
-            let r = synthesizer.synthesize_traced(problem, &mut tracer);
+            let r = catch_unwind(AssertUnwindSafe(|| {
+                synthesizer.synthesize_report_traced(problem, &mut tracer)
+            }));
             let lines = tracer
                 .finish()
                 .map_err(|e| format!("writing trace file {}: {e}", path.display()))?;
             eprintln!("trace: {lines} events -> {}", path.display());
             r
         }
-        None => synthesizer.synthesize(problem),
+        None => catch_unwind(AssertUnwindSafe(|| synthesizer.synthesize_report(problem))),
     };
-    result.map_err(|e| e.to_string())
+    report.map_err(|payload| format!("synthesis panicked: {}", panic_message(&*payload)))
 }
 
-/// Prints the shared result summary (and the `--stats-json` line).
-fn report(problem: &Problem, result: &Synthesis, flags: &Flags) {
-    println!("{}", result.program);
-    eprintln!(
-        "cost {}, {:.1} ms, {}",
-        result.cost,
-        result.elapsed.as_secs_f64() * 1e3,
-        result.stats
-    );
-    eprintln!("phases: {}", result.stats.phases);
-    if flags.stats_json {
-        let m = Measurement {
-            name: problem.name().to_owned(),
-            elapsed: result.elapsed,
-            solved: true,
-            cost: result.cost,
-            size: result.program.body().size(),
-            program: result.program.to_string(),
-            examples: problem.examples().len(),
-            stats: result.stats.clone(),
-        };
-        println!("{}", m.to_json());
+/// Prints the result summary (and the `--stats-json` line). Returns `Ok`
+/// when the problem was solved.
+fn report(problem: &Problem, outcome: &Result<SearchReport, String>, flags: &Flags) -> bool {
+    let (solved, error, measurement) = match outcome {
+        Ok(report) => {
+            let m = report.to_measurement(problem.name(), problem.examples().len());
+            match &report.outcome {
+                Ok(s) => {
+                    println!("{}", s.program);
+                    eprintln!(
+                        "cost {}, {:.1} ms, {}",
+                        s.cost,
+                        report.elapsed.as_secs_f64() * 1e3,
+                        s.stats
+                    );
+                    eprintln!("phases: {}", s.stats.phases);
+                    (true, None, m)
+                }
+                Err(e) => {
+                    if !report.frontier.is_empty() {
+                        eprintln!("best incomplete candidates:");
+                        for item in &report.frontier {
+                            eprintln!("  cost {:3}  {}", item.cost, item.sketch);
+                        }
+                    }
+                    (false, Some(e.to_string()), m)
+                }
+            }
+        }
+        Err(msg) => {
+            let m = Measurement {
+                name: problem.name().to_owned(),
+                elapsed: Duration::ZERO,
+                solved: false,
+                cost: 0,
+                size: 0,
+                program: String::new(),
+                examples: problem.examples().len(),
+                stats: Default::default(),
+                error: Some(msg.clone()),
+            };
+            (false, Some(msg.clone()), m)
+        }
+    };
+    if let Some(e) = &error {
+        eprintln!("{}: error: {e}", problem.name());
     }
+    if flags.stats_json {
+        println!("{}", measurement.to_json());
+    }
+    solved
 }
 
-fn cmd_synth(path: &str, run_args: &[String], flags: &Flags) -> Result<(), String> {
-    let src = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
-    let problem = parse_problem(&src)?;
+fn cmd_synth(paths: &[String], flags: &Flags) -> Result<(), String> {
+    let mut failed = 0usize;
+    for path in paths {
+        match load_problem(path) {
+            Ok(problem) => {
+                eprintln!(
+                    "synthesizing `{}` from {} examples...",
+                    problem.name(),
+                    problem.examples().len()
+                );
+                let synthesizer = synthesizer_for(flags);
+                let outcome = run_synthesis(&synthesizer, &problem, flags);
+                if !report(&problem, &outcome, flags) {
+                    failed += 1;
+                }
+            }
+            Err(msg) => {
+                eprintln!("{path}: error: {msg}");
+                failed += 1;
+            }
+        }
+    }
+    batch_verdict(failed, paths.len())
+}
+
+fn cmd_run(path: &str, run_args: &[String], flags: &Flags) -> Result<(), String> {
+    let problem = load_problem(path)?;
     eprintln!(
         "synthesizing `{}` from {} examples...",
         problem.name(),
         problem.examples().len()
     );
-    let synthesizer = Synthesizer::new().timeout(Duration::from_secs(60));
-    let result = run_synthesis(&synthesizer, &problem, flags)?;
-    report(&problem, &result, flags);
-    if !run_args.is_empty() {
-        let vals = run_args
-            .iter()
-            .map(|a| lambda2_lang::parser::parse_value(a).map_err(|e| e.to_string()))
-            .collect::<Result<Vec<_>, _>>()?;
-        let out = result.program.apply(&vals).map_err(|e| e.to_string())?;
-        println!("{out}");
+    let synthesizer = synthesizer_for(flags);
+    let outcome = run_synthesis(&synthesizer, &problem, flags);
+    if !report(&problem, &outcome, flags) {
+        return Err(format!("`{}` was not solved", problem.name()));
     }
+    let program = match outcome {
+        Ok(r) => r.outcome.expect("reported solved").program,
+        Err(_) => unreachable!("report() returned true"),
+    };
+    let vals = run_args
+        .iter()
+        .map(|a| lambda2_lang::parser::parse_value(a).map_err(|e| e.to_string()))
+        .collect::<Result<Vec<_>, _>>()?;
+    let out = program.apply(&vals).map_err(|e| e.to_string())?;
+    println!("{out}");
     Ok(())
 }
 
@@ -183,15 +287,24 @@ fn cmd_eval(expr: &str, bindings: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_bench(name: &str, flags: &Flags) -> Result<(), String> {
-    let bench = lambda2_bench_suite::by_name(name)
-        .ok_or_else(|| format!("unknown benchmark `{name}` (try `l2 list`)"))?;
-    let mut options = bench.tune(lambda2_synth::SearchOptions::default());
-    options.timeout = Some(Duration::from_secs(if bench.hard { 180 } else { 60 }));
-    let synthesizer = Synthesizer::with_options(options);
-    let result = run_synthesis(&synthesizer, &bench.problem, flags)?;
-    report(&bench.problem, &result, flags);
-    Ok(())
+fn cmd_bench(names: &[String], flags: &Flags) -> Result<(), String> {
+    let mut failed = 0usize;
+    for name in names {
+        let Some(bench) = lambda2_bench_suite::by_name(name) else {
+            eprintln!("{name}: error: unknown benchmark (try `l2 list`)");
+            failed += 1;
+            continue;
+        };
+        let mut options = bench.tune(SearchOptions::default());
+        options.timeout = Some(Duration::from_secs(if bench.hard { 180 } else { 60 }));
+        let options = flags.apply(options);
+        let synthesizer = Synthesizer::with_options(options);
+        let outcome = run_synthesis(&synthesizer, &bench.problem, flags);
+        if !report(&bench.problem, &outcome, flags) {
+            failed += 1;
+        }
+    }
+    batch_verdict(failed, names.len())
 }
 
 fn cmd_list() -> Result<(), String> {
@@ -211,6 +324,31 @@ fn cmd_list() -> Result<(), String> {
         );
     }
     Ok(())
+}
+
+/// Builds the default synthesizer for file-based commands.
+fn synthesizer_for(flags: &Flags) -> Synthesizer {
+    let options = flags.apply(SearchOptions {
+        timeout: Some(Duration::from_secs(60)),
+        ..SearchOptions::default()
+    });
+    Synthesizer::with_options(options)
+}
+
+/// Reads and parses a problem file.
+fn load_problem(path: &str) -> Result<Problem, String> {
+    let src = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    parse_problem(&src)
+}
+
+/// Summarizes a batch: `Ok` when every problem solved, a counting error
+/// otherwise (the per-problem diagnostics were already printed).
+fn batch_verdict(failed: usize, total: usize) -> Result<(), String> {
+    if failed == 0 {
+        Ok(())
+    } else {
+        Err(format!("{failed} of {total} problems failed"))
+    }
 }
 
 /// Parses the `(problem …)` file format.
@@ -330,5 +468,49 @@ mod tests {
         assert!(Flags::extract(&mut missing).is_err());
         let mut unknown: Vec<String> = vec!["--wat".into()];
         assert!(Flags::extract(&mut unknown).is_err());
+    }
+
+    #[test]
+    fn governance_flags_parse_and_apply() {
+        let mut args: Vec<String> = [
+            "synth",
+            "--timeout-ms",
+            "250",
+            "--max-overshoot-ms",
+            "50",
+            "--retry-ladder",
+            "p.l2",
+        ]
+        .iter()
+        .map(|s| (*s).to_owned())
+        .collect();
+        let flags = Flags::extract(&mut args).unwrap();
+        assert_eq!(flags.timeout_ms, Some(250));
+        assert_eq!(flags.max_overshoot_ms, Some(50));
+        assert!(flags.retry_ladder);
+        assert_eq!(args, vec!["synth".to_owned(), "p.l2".to_owned()]);
+
+        let opts = flags.apply(SearchOptions::default());
+        assert_eq!(opts.timeout, Some(Duration::from_millis(250)));
+        assert_eq!(opts.max_overshoot, Duration::from_millis(50));
+        assert!(opts.retry_ladder);
+    }
+
+    #[test]
+    fn governance_flags_reject_bad_milliseconds() {
+        let mut missing: Vec<String> = vec!["--timeout-ms".into()];
+        assert!(Flags::extract(&mut missing).is_err());
+        let mut junk: Vec<String> = vec!["--timeout-ms".into(), "soon".into()];
+        let err = Flags::extract(&mut junk).unwrap_err();
+        assert!(err.contains("soon"), "{err}");
+        let mut negative: Vec<String> = vec!["--max-overshoot-ms".into(), "-5".into()];
+        assert!(Flags::extract(&mut negative).is_err());
+    }
+
+    #[test]
+    fn batch_verdict_counts_failures() {
+        assert!(batch_verdict(0, 3).is_ok());
+        let err = batch_verdict(2, 3).unwrap_err();
+        assert!(err.contains("2 of 3"), "{err}");
     }
 }

@@ -129,7 +129,7 @@ fn closer_of(open: char) -> char {
         '(' => ')',
         '[' => ']',
         '{' => '}',
-        _ => unreachable!(),
+        other => unreachable!("closer_of is only called on open brackets, got `{other}`"),
     }
 }
 
@@ -169,7 +169,7 @@ fn read_sexp(lex: &mut Lexer<'_>) -> Result<Option<Sexp>, ParseError> {
                 '(' => Sexp::List(items),
                 '[' => Sexp::Bracket(items),
                 '{' => Sexp::Brace(items),
-                _ => unreachable!(),
+                other => unreachable!("delimited reads start at an open bracket, got `{other}`"),
             }))
         }
     }

@@ -24,6 +24,7 @@ use lambda2_lang::ty::Type;
 use lambda2_lang::value::Value;
 
 use crate::enumerate::{canonical, op_result_type, EnumLimits, TermStore};
+use crate::govern::{Budget, DEFAULT_MAX_OVERSHOOT};
 use crate::problem::Problem;
 use crate::search::{SynthError, Synthesis};
 use crate::spec::Spec;
@@ -72,6 +73,23 @@ struct Entry {
 pub fn synthesize_baseline(
     problem: &Problem,
     options: &BaselineOptions,
+) -> Result<Synthesis, SynthError> {
+    let budget = Budget::new(options.timeout, DEFAULT_MAX_OVERSHOOT);
+    synthesize_baseline_within(problem, options, &budget)
+}
+
+/// [`synthesize_baseline`] under an explicit resource [`Budget`]: the
+/// budget (not `options.timeout`) decides when to stop, is ticked inside
+/// the candidate loops and pool construction, and supports cooperative
+/// cancellation — the baseline rung of the retry ladder runs through here.
+///
+/// # Errors
+///
+/// See [`SynthError`].
+pub fn synthesize_baseline_within(
+    problem: &Problem,
+    options: &BaselineOptions,
+    budget: &Budget,
 ) -> Result<Synthesis, SynthError> {
     let start = Instant::now();
     let library = problem.library();
@@ -197,10 +215,8 @@ pub fn synthesize_baseline(
     };
 
     for k in 1..=options.max_cost {
-        if let Some(t) = options.timeout {
-            if start.elapsed() >= t {
-                return Err(SynthError::Timeout);
-            }
+        if let Err(e) = budget.check_now() {
+            return Err(e.to_synth_error());
         }
         let mut level: Vec<usize> = Vec::new();
 
@@ -249,19 +265,19 @@ pub fn synthesize_baseline(
             if k <= node {
                 continue;
             }
-            let budget = k - node;
+            let arg_budget = k - node;
             let arity = op.arity();
             let combos: Vec<Vec<usize>> = match arity {
                 1 => levels
-                    .get(budget as usize)
+                    .get(arg_budget as usize)
                     .into_iter()
                     .flatten()
                     .map(|&i| vec![i])
                     .collect(),
                 2 => {
                     let mut v = Vec::new();
-                    for k1 in 1..budget {
-                        let k2 = budget - k1;
+                    for k1 in 1..arg_budget {
+                        let k2 = arg_budget - k1;
                         for &i in levels.get(k1 as usize).into_iter().flatten() {
                             for &j in levels.get(k2 as usize).into_iter().flatten() {
                                 v.push(vec![i, j]);
@@ -273,6 +289,9 @@ pub fn synthesize_baseline(
                 _ => unreachable!(),
             };
             for combo in combos {
+                if let Err(e) = budget.tick() {
+                    return Err(e.to_synth_error());
+                }
                 let atys: Vec<Type> = combo.iter().map(|&i| terms[i].ty.clone()).collect();
                 let Some(ret) = op_result_type(op, &atys) else {
                     continue;
@@ -306,7 +325,7 @@ pub fn synthesize_baseline(
             if k <= node {
                 continue;
             }
-            let budget = k - node; // body + [init] + collection
+            let split_cap = k - node; // body + [init] + collection
             for tau in &universe {
                 for beta in &universe {
                     if matches!(comb, Comb::Filter) && beta != &Type::Bool {
@@ -335,11 +354,17 @@ pub fn synthesize_baseline(
                             },
                         )
                     });
-                    pool.ensure(options.max_lambda_body_cost.min(budget), library);
+                    if let Err(e) = pool.ensure_within(
+                        options.max_lambda_body_cost.min(split_cap),
+                        library,
+                        budget,
+                    ) {
+                        return Err(e.to_synth_error());
+                    }
 
                     let has_init = comb.init_index().is_some();
                     // Split budget: body_cost + init_cost? + coll_cost.
-                    for body_cost in 1..=budget.saturating_sub(if has_init { 2 } else { 1 }) {
+                    for body_cost in 1..=split_cap.saturating_sub(if has_init { 2 } else { 1 }) {
                         if body_cost > options.max_lambda_body_cost {
                             break;
                         }
@@ -350,7 +375,7 @@ pub fn synthesize_baseline(
                         if bodies.is_empty() {
                             continue;
                         }
-                        let rest = budget - body_cost;
+                        let rest = split_cap - body_cost;
                         let splits: Vec<(Option<usize>, usize)> = if has_init {
                             let mut v = Vec::new();
                             for init_cost in 1..rest {
@@ -381,10 +406,8 @@ pub fn synthesize_baseline(
                             let lam =
                                 Expr::Lambda(bnames.clone().into(), Rc::new((**body).clone()));
                             for (init, ci) in &splits {
-                                if let Some(t) = options.timeout {
-                                    if start.elapsed() >= t {
-                                        return Err(SynthError::Timeout);
-                                    }
+                                if let Err(e) = budget.tick() {
+                                    return Err(e.to_synth_error());
                                 }
                                 let mut args = vec![lam.clone()];
                                 if let Some(ii) = init {

@@ -28,6 +28,7 @@ use lambda2_lang::ast::Comb;
 use lambda2_lang::symbol::Symbol;
 use lambda2_lang::value::Value;
 
+use crate::govern::{Budget, BudgetExceeded};
 use crate::spec::{ExampleRow, Spec};
 
 /// The evaluated collection argument of a combinator hypothesis.
@@ -147,6 +148,30 @@ pub fn deduce(
     }
 }
 
+/// [`deduce`] under a resource [`Budget`]: charges one budget tick per
+/// example row (rule work is linear-ish in the rows) before dispatching,
+/// so a deadline or cancellation is observed between rule invocations —
+/// inside the search's deduction phase — rather than only at queue pops.
+///
+/// # Errors
+///
+/// Propagates the budget's (latched) [`BudgetExceeded`] verdict; no rule
+/// runs in that case.
+pub fn deduce_within(
+    comb: Comb,
+    rows: &[ExampleRow],
+    coll: &CollectionArg,
+    init: Option<&[Value]>,
+    binders: &[Symbol],
+    enabled: bool,
+    budget: &Budget,
+) -> Result<Outcome, BudgetExceeded> {
+    for _ in 0..rows.len().max(1) {
+        budget.tick()?;
+    }
+    Ok(deduce(comb, rows, coll, init, binders, enabled))
+}
+
 /// Builds a [`Spec`], mapping inconsistency to refutation.
 fn spec_or_refute(rows: Vec<ExampleRow>) -> Result<Spec, Outcome> {
     Spec::new(rows).map_err(|_| Outcome::Refuted)
@@ -254,6 +279,20 @@ mod tests {
             Outcome::Deduced(d) => assert!(d.fun_spec.is_empty()),
             Outcome::Refuted => panic!("disabled deduction must not refute"),
         }
+    }
+
+    #[test]
+    fn deduce_within_respects_a_tripped_budget() {
+        let (rows, coll) = rows_on_var("l", &[("[1 2]", "[2 3]")]);
+        let budget = Budget::unlimited();
+        let out = deduce_within(Comb::Map, &rows, &coll, None, &[sym("x")], true, &budget)
+            .expect("unlimited budget");
+        assert!(matches!(out, Outcome::Deduced(_)));
+
+        budget.force_expire();
+        let err = deduce_within(Comb::Map, &rows, &coll, None, &[sym("x")], true, &budget)
+            .expect_err("expired budget refuses to run");
+        assert_eq!(err, BudgetExceeded::Deadline);
     }
 
     #[test]

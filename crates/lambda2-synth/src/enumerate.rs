@@ -23,6 +23,8 @@ use lambda2_lang::symbol::Symbol;
 use lambda2_lang::ty::{Subst, Type};
 use lambda2_lang::value::Value;
 
+use crate::failpoints::{self, FailAction};
+use crate::govern::{Budget, BudgetExceeded};
 use crate::library::Library;
 use crate::spec::Spec;
 
@@ -192,10 +194,74 @@ impl TermStore {
 
     /// Builds all levels up to and including `cost`.
     pub fn ensure(&mut self, cost: u32, library: &Library) {
+        self.ensure_within(cost, library, &Budget::unlimited())
+            .expect("an unlimited budget cannot trip");
+    }
+
+    /// [`TermStore::ensure`] under a resource [`Budget`]: the budget is
+    /// ticked inside every candidate loop, so a deadline or cancellation
+    /// interrupts level construction mid-way with bounded overshoot.
+    ///
+    /// On abort the partially built level is **rolled back** — terms,
+    /// dedup index, and byte accounting return to the last completed
+    /// level — so an interrupted store remains a deterministic cache: a
+    /// later `ensure` (e.g. from a retry) rebuilds the level from scratch
+    /// and produces exactly the terms an uninterrupted build would have.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the budget's (latched) [`BudgetExceeded`] verdict.
+    pub fn ensure_within(
+        &mut self,
+        cost: u32,
+        library: &Library,
+        budget: &Budget,
+    ) -> Result<(), BudgetExceeded> {
         while self.built_upto < cost {
+            if let Some(FailAction::ExpireDeadline) = failpoints::check("enumerate.level") {
+                budget.force_expire();
+            }
+            budget.check_now()?;
             let next = self.built_upto + 1;
-            self.build_level(next, library);
+            if let Err(e) = self.build_level(next, library, budget) {
+                self.rollback_level(next);
+                return Err(e);
+            }
             self.built_upto = next;
+        }
+        Ok(())
+    }
+
+    /// Undoes a partially built level `cost`: pops the level, drops its
+    /// terms (always a suffix of `terms` — inserts only append), removes
+    /// them from the dedup index, and returns their bytes.
+    fn rollback_level(&mut self, cost: u32) {
+        debug_assert_eq!(self.levels.len(), cost as usize + 1);
+        let removed = self.levels.pop().expect("level was pushed at build entry");
+        let keep = self.terms.len() - removed.len();
+        debug_assert!(removed.iter().all(|&i| i >= keep));
+        for t in self.terms.drain(keep..) {
+            self.approx_bytes -= 160
+                + t.sig
+                    .iter()
+                    .map(|r| match r {
+                        Ok(v) => 24 * v.size(),
+                        Err(_) => 8,
+                    })
+                    .sum::<usize>();
+            if !self.envs.is_empty() {
+                use std::hash::{Hash, Hasher};
+                let mut h = std::collections::hash_map::DefaultHasher::new();
+                t.ty.hash(&mut h);
+                t.sig.hash(&mut h);
+                let key = h.finish();
+                if let Some(bucket) = self.seen.get_mut(&key) {
+                    bucket.retain(|&i| i < keep);
+                    if bucket.is_empty() {
+                        self.seen.remove(&key);
+                    }
+                }
+            }
         }
     }
 
@@ -271,7 +337,12 @@ impl TermStore {
             .collect()
     }
 
-    fn build_level(&mut self, cost: u32, library: &Library) {
+    fn build_level(
+        &mut self,
+        cost: u32,
+        library: &Library,
+        budget: &Budget,
+    ) -> Result<(), BudgetExceeded> {
         debug_assert_eq!(self.levels.len(), cost as usize);
         self.levels.push(Vec::new());
         let costs = library.costs().clone();
@@ -311,11 +382,12 @@ impl TermStore {
             if cost <= node {
                 continue;
             }
-            let budget = cost - node;
+            let arg_budget = cost - node;
             match op.arity() {
                 1 => {
                     let shape = unary_arg_shape(op);
-                    for i in self.shaped_indices(budget, shape) {
+                    for i in self.shaped_indices(arg_budget, shape) {
+                        budget.tick()?;
                         self.try_op1(op, i, cost);
                         if self.over_op_limit(cost) {
                             break;
@@ -324,11 +396,11 @@ impl TermStore {
                 }
                 2 => {
                     let (s1, s2) = binary_arg_shapes(op);
-                    for k1 in 1..budget {
+                    for k1 in 1..arg_budget {
                         if self.over_op_limit(cost) {
                             break;
                         }
-                        let k2 = budget - k1;
+                        let k2 = arg_budget - k1;
                         let lhs = self.shaped_indices(k1, s1);
                         if lhs.is_empty() {
                             continue;
@@ -336,6 +408,7 @@ impl TermStore {
                         let rhs = self.shaped_indices(k2, s2);
                         'op2: for &i in &lhs {
                             for &j in &rhs {
+                                budget.tick()?;
                                 self.try_op2(op, i, j, cost);
                                 if self.over_op_limit(cost) {
                                     break 'op2;
@@ -353,14 +426,14 @@ impl TermStore {
         // Buckets are iterated lazily — materializing the cross product
         // can reach hundreds of millions of pairs on large levels.
         if cost > costs.if_ {
-            let budget = cost - costs.if_;
-            for kc in 1..budget.saturating_sub(1) {
+            let arg_budget = cost - costs.if_;
+            for kc in 1..arg_budget.saturating_sub(1) {
                 let conds = self.shaped_indices(kc, Shape::Bool);
                 if conds.is_empty() {
                     continue;
                 }
-                for kt in 1..budget - kc {
-                    let ke = budget - kc - kt;
+                for kt in 1..arg_budget - kc {
+                    let ke = arg_budget - kc - kt;
                     let thens = self.type_buckets(kt);
                     let elses = self.type_buckets(ke);
                     for (tty, tis) in &thens {
@@ -379,9 +452,10 @@ impl TermStore {
                             for &ti in tis {
                                 for &ei in eis {
                                     for &ci in &conds {
+                                        budget.tick()?;
                                         self.try_if(ci, ti, ei, cost);
                                         if self.over_limit(cost) {
-                                            return;
+                                            return Ok(());
                                         }
                                     }
                                 }
@@ -391,6 +465,7 @@ impl TermStore {
                 }
             }
         }
+        Ok(())
     }
 
     /// Groups a level's term indices by canonical type.
@@ -1029,6 +1104,44 @@ mod tests {
             .map(|t| t.expr.to_string())
             .collect();
         assert!(names.iter().any(|n| n == "(cat a x)"), "{names:?}");
+    }
+
+    #[test]
+    fn tripped_budget_stops_ensure_at_a_level_boundary() {
+        let (mut st, _) = store_with_rows();
+        st.ensure(2, &Library::default());
+        let len2 = st.len();
+        let b = Budget::unlimited();
+        b.force_expire();
+        assert!(st.ensure_within(4, &Library::default(), &b).is_err());
+        // Nothing was built past the completed levels.
+        assert_eq!(st.len(), len2);
+        // A fresh unlimited ensure proceeds normally afterwards.
+        st.ensure(3, &Library::default());
+        assert!(st.len() > len2);
+    }
+
+    #[test]
+    fn rollback_restores_the_previous_level_state_exactly() {
+        let (mut st, _) = store_with_rows();
+        st.ensure(2, &Library::default());
+        let len2 = st.len();
+        let bytes2 = st.approx_bytes();
+        let seen2: usize = st.seen.values().map(Vec::len).sum();
+        st.ensure(3, &Library::default());
+        assert!(st.len() > len2);
+        // Simulate a mid-level abort: roll level 3 back and rebuild.
+        st.rollback_level(3);
+        st.built_upto = 2;
+        assert_eq!(st.len(), len2);
+        assert_eq!(st.approx_bytes(), bytes2);
+        assert_eq!(st.seen.values().map(Vec::len).sum::<usize>(), seen2);
+        st.ensure(3, &Library::default());
+        let (mut fresh, _) = store_with_rows();
+        fresh.ensure(3, &Library::default());
+        let rebuilt: Vec<String> = st.up_to_cost(3).map(|t| t.expr.to_string()).collect();
+        let scratch: Vec<String> = fresh.up_to_cost(3).map(|t| t.expr.to_string()).collect();
+        assert_eq!(rebuilt, scratch);
     }
 
     #[test]

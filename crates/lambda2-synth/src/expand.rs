@@ -21,7 +21,8 @@ use lambda2_lang::ty::{Subst, Type};
 use lambda2_lang::value::Value;
 
 use crate::cost::CostModel;
-use crate::deduce::{deduce, CollectionArg, Outcome};
+use crate::deduce::{deduce_within, CollectionArg, Outcome};
+use crate::govern::{Budget, BudgetExceeded};
 use crate::hypothesis::{HoleInfo, Hypothesis};
 
 /// Why an expansion produced no child.
@@ -31,6 +32,9 @@ pub enum ExpandFail {
     IllTyped,
     /// Deduction proved no completion can satisfy the hole's rows.
     Refuted,
+    /// The resource budget tripped mid-planning; the caller should abort
+    /// its planning sweep, not count a refutation.
+    Budget(BudgetExceeded),
 }
 
 /// A collection candidate: a concrete (hole-free, combinator-free)
@@ -110,6 +114,40 @@ pub fn plan_expansion(
     init_cand: Option<&Candidate<'_>>,
     costs: &CostModel,
     deduction_enabled: bool,
+) -> Result<Template, ExpandFail> {
+    plan_expansion_within(
+        info,
+        comb,
+        cand,
+        init_cand,
+        costs,
+        deduction_enabled,
+        &Budget::unlimited(),
+    )
+}
+
+/// [`plan_expansion`] under a resource [`Budget`]: deduction runs through
+/// [`deduce_within`], so a deadline or cancellation surfaces as
+/// [`ExpandFail::Budget`] mid-planning instead of waiting for the next
+/// queue pop.
+///
+/// # Errors
+///
+/// See [`plan_expansion`]; additionally [`ExpandFail::Budget`] when the
+/// budget trips.
+///
+/// # Panics
+///
+/// Debug-asserts that `init_cand` is present exactly for fold combinators.
+#[allow(clippy::too_many_arguments)] // one budget handle over the planning signature
+pub fn plan_expansion_within(
+    info: &HoleInfo,
+    comb: Comb,
+    cand: &Candidate<'_>,
+    init_cand: Option<&Candidate<'_>>,
+    costs: &CostModel,
+    deduction_enabled: bool,
+    budget: &Budget,
 ) -> Result<Template, ExpandFail> {
     debug_assert_eq!(init_cand.is_some(), comb.init_index().is_some());
     // --- Types ------------------------------------------------------------
@@ -193,14 +231,17 @@ pub fn plan_expansion(
             _ => None,
         },
     };
-    let deduction = match deduce(
+    let deduction = match deduce_within(
         comb,
         info.spec.rows(),
         &coll_arg,
         init_cand.map(|c| c.values.as_slice()),
         &binders,
         deduction_enabled,
-    ) {
+        budget,
+    )
+    .map_err(ExpandFail::Budget)?
+    {
         Outcome::Refuted => return Err(ExpandFail::Refuted),
         Outcome::Deduced(d) => d,
     };

@@ -51,6 +51,8 @@ pub mod cost;
 pub mod deduce;
 pub mod enumerate;
 pub mod expand;
+pub mod failpoints;
+pub mod govern;
 pub mod hypothesis;
 pub mod library;
 pub mod obs;
@@ -62,10 +64,13 @@ pub mod synthesizer;
 pub mod verify;
 
 pub use cost::CostModel;
+pub use govern::{
+    Attempt, Budget, BudgetExceeded, BudgetSnapshot, CancelToken, FrontierItem, Rung, SearchReport,
+};
 pub use library::Library;
 pub use obs::{CollectTracer, JsonlTracer, NoopTracer, PhaseTimes, TraceEvent, Tracer};
 pub use problem::{Example, Problem, ProblemBuilder, ProblemError};
-pub use search::{SearchOptions, SynthError, Synthesis};
+pub use search::{search_governed, SearchOptions, SynthError, Synthesis};
 pub use spec::{ExampleRow, Spec};
 pub use stats::{Measurement, Stats};
 pub use synthesizer::Synthesizer;

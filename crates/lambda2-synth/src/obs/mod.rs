@@ -161,6 +161,14 @@ pub enum TraceEvent {
         /// Rendered candidate body.
         program: String,
     },
+    /// A panic was caught (and isolated) at a governed engine site; the
+    /// offending candidate was counted and skipped, never fatal to the run.
+    Fault {
+        /// The isolation site (`verify.candidate`, `deduce.plan`, …).
+        site: &'static str,
+        /// The rendered panic payload.
+        detail: String,
+    },
 }
 
 impl TraceEvent {
@@ -236,6 +244,11 @@ impl TraceEvent {
                 ("ok", (*ok).into()),
                 ("cost", (*cost).into()),
                 ("program", program.as_str().into()),
+            ]),
+            TraceEvent::Fault { site, detail } => Json::obj([
+                ("ev", "fault".into()),
+                ("site", (*site).into()),
+                ("detail", detail.as_str().into()),
             ]),
         }
     }
@@ -484,6 +497,14 @@ mod tests {
         assert_eq!(
             ev.to_json().to_string(),
             r#"{"ev":"store","action":"evict","terms":10,"bytes":4096}"#
+        );
+        let ev = TraceEvent::Fault {
+            site: "verify.candidate",
+            detail: "boom".into(),
+        };
+        assert_eq!(
+            ev.to_json().to_string(),
+            r#"{"ev":"fault","site":"verify.candidate","detail":"boom"}"#
         );
     }
 

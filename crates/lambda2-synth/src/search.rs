@@ -19,19 +19,34 @@
 //! term universe), and combinator expansions are *planned once per hole
 //! context* ([`crate::expand::Template`]) — thousands of sibling
 //! hypotheses holding the same open hole reuse the same deduction results.
+//!
+//! The search runs under a cooperative resource [`Budget`]
+//! ([`crate::govern`]): deadlines, cancellation, pop caps, and cumulative
+//! eval fuel are all checked *inside* the long phases (enumeration levels,
+//! planning sweeps, verification), not just at pop boundaries, so aborts
+//! land within [`SearchOptions::max_overshoot`]. Verification and planning
+//! are panic-isolated — a crashing candidate is counted, traced, and
+//! skipped. [`search_governed`] returns a structured [`SearchReport`] on
+//! every path; [`search`]/[`search_traced`] are thin `Result` wrappers.
 
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashMap};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::rc::Rc;
 use std::time::{Duration, Instant};
 
-use lambda2_lang::ast::{Comb, HoleId};
+use lambda2_lang::ast::{Comb, Expr, HoleId};
 use lambda2_lang::env::Env;
 use lambda2_lang::ty::Type;
 
+use crate::cost::CostModel;
 use crate::enumerate::{canonical, EnumLimits, StoreKey, TermStore};
 use crate::expand::{
-    plan_constructors, plan_expansion, Candidate, ConsTemplate, ExpandFail, Template,
+    plan_constructors, plan_expansion_within, Candidate, ConsTemplate, ExpandFail, Template,
+};
+use crate::failpoints::{self, FailAction};
+use crate::govern::{
+    panic_message, Budget, BudgetExceeded, FrontierItem, SearchReport, DEFAULT_MAX_OVERSHOOT,
 };
 use crate::hypothesis::{HoleInfo, Hypothesis};
 use crate::obs::{NoopTracer, PopKind, RefuteReason, StoreAction, TraceEvent, Tracer};
@@ -73,10 +88,26 @@ pub struct SearchOptions {
     pub max_cost: u32,
     /// Wall-clock budget; `None` searches until exhaustion.
     pub timeout: Option<Duration>,
+    /// Bound on how far past [`SearchOptions::timeout`] the search may run
+    /// before it notices and returns. The governing [`Budget`] adapts its
+    /// clock-poll stride to keep the gap between polls a fraction of this;
+    /// smaller bounds poll more often. The default (100ms) keeps polling
+    /// cost unmeasurable while bounding overshoot tightly.
+    pub max_overshoot: Duration,
     /// Hard cap on popped queue items (guards unattended runs).
     pub max_popped: u64,
-    /// Evaluation fuel for verification runs.
+    /// Evaluation fuel for verification runs (per candidate).
     pub eval_fuel: u64,
+    /// Cumulative cap on evaluation fuel consumed by verification across
+    /// the whole search (`u64::MAX` = unlimited). Bounds total eval work
+    /// independently of wall-clock on candidate sets that are cheap to
+    /// generate but expensive to run.
+    pub max_total_fuel: u64,
+    /// After a resource-bounded failure (timeout, pop cap, fuel cap),
+    /// retry with degraded options and finally the baseline enumerator.
+    /// Read by `Synthesizer::synthesize_report` — the core search loop
+    /// itself never retries.
+    pub retry_ladder: bool,
     /// Limits for the enumeration stores.
     pub enum_limits: EnumLimits,
     /// Global cap on the approximate heap bytes held across all
@@ -116,8 +147,11 @@ impl Default for SearchOptions {
             max_free_init_cost: 2,
             max_cost: 28,
             timeout: Some(Duration::from_secs(20)),
+            max_overshoot: DEFAULT_MAX_OVERSHOOT,
             max_popped: 20_000_000,
             eval_fuel: 50_000,
+            max_total_fuel: u64::MAX,
+            retry_ladder: false,
             enum_limits: EnumLimits::default(),
             max_store_bytes: 3_000_000_000,
             constructor_hypotheses: false,
@@ -138,6 +172,11 @@ pub enum SynthError {
     Exhausted,
     /// The popped-item cap was reached.
     LimitReached,
+    /// Cancelled cooperatively via a [`crate::govern::CancelToken`].
+    Cancelled,
+    /// The cumulative evaluation-fuel cap
+    /// ([`SearchOptions::max_total_fuel`]) was exhausted.
+    FuelExhausted,
 }
 
 impl std::fmt::Display for SynthError {
@@ -154,6 +193,8 @@ impl std::fmt::Display for SynthError {
                 write!(f, "no program within the cost bounds fits the examples")
             }
             SynthError::LimitReached => write!(f, "search node limit reached"),
+            SynthError::Cancelled => write!(f, "synthesis was cancelled"),
+            SynthError::FuelExhausted => write!(f, "evaluation fuel budget exhausted"),
         }
     }
 }
@@ -191,7 +232,7 @@ impl Planned {
         &self,
         hyp: &Hypothesis,
         hole: lambda2_lang::ast::HoleId,
-        costs: &crate::cost::CostModel,
+        costs: &CostModel,
         next_hole: &mut lambda2_lang::ast::HoleId,
     ) -> Hypothesis {
         match self {
@@ -258,10 +299,10 @@ pub fn search(problem: &Problem, options: &SearchOptions) -> Result<Synthesis, S
 }
 
 /// [`search`], with telemetry: every pop, plan/refute decision, closing
-/// tier, store lifecycle change, and verification attempt is reported to
-/// `tracer`. With the default [`NoopTracer`] this is exactly [`search`] —
-/// call sites check [`Tracer::enabled`] before rendering event payloads,
-/// so a disabled tracer costs nothing.
+/// tier, store lifecycle change, verification attempt, and isolated fault
+/// is reported to `tracer`. With the default [`NoopTracer`] this is
+/// exactly [`search`] — call sites check [`Tracer::enabled`] before
+/// rendering event payloads, so a disabled tracer costs nothing.
 ///
 /// # Errors
 ///
@@ -271,9 +312,37 @@ pub fn search_traced(
     options: &SearchOptions,
     tracer: &mut dyn Tracer,
 ) -> Result<Synthesis, SynthError> {
+    let budget = Budget::for_search(options);
+    search_governed(problem, options, &budget, tracer).outcome
+}
+
+/// [`search_traced`] under an explicit resource [`Budget`], returning a
+/// structured [`SearchReport`] on *every* path — success, exhaustion,
+/// timeout, cancellation, resource caps, injected faults.
+///
+/// This is the engine's primary entry point; [`search`] and
+/// [`search_traced`] build a budget from the options and keep only the
+/// outcome. Call this directly for anytime results (the best-cost
+/// [`FrontierItem`] snapshot), resource accounting, or cooperative
+/// cancellation via [`Budget::cancel_token`].
+///
+/// The budget is ticked inside every long phase — enumeration levels,
+/// deduction planning sweeps, closing-tier materialization, and
+/// per-candidate verification — so a deadline or cancellation is observed
+/// within [`SearchOptions::max_overshoot`] even when a single phase runs
+/// long. Verification and planning run under panic isolation: a panicking
+/// candidate is counted in [`Stats::faults`], traced as
+/// [`TraceEvent::Fault`], and skipped; it never aborts the search.
+pub fn search_governed(
+    problem: &Problem,
+    options: &SearchOptions,
+    budget: &Budget,
+    tracer: &mut dyn Tracer,
+) -> SearchReport {
     let start = Instant::now();
     let library = problem.library();
     let costs = library.costs().clone();
+    let mut stats = Stats::default();
 
     // Root spec: the user's examples, verbatim.
     let rows: Vec<ExampleRow> = problem
@@ -287,14 +356,25 @@ pub fn search_traced(
             ExampleRow::new(env, ex.output.clone())
         })
         .collect();
-    let root_spec = Spec::new(rows).map_err(|_| SynthError::InconsistentExamples)?;
+    let root_spec = match Spec::new(rows) {
+        Ok(spec) => spec,
+        Err(_) => {
+            return SearchReport {
+                outcome: Err(SynthError::InconsistentExamples),
+                frontier: Vec::new(),
+                stats,
+                elapsed: start.elapsed(),
+                budget: budget.snapshot(),
+                attempts: Vec::new(),
+            }
+        }
+    };
     let root_info = HoleInfo::new(
         problem.return_type().clone(),
         problem.params().to_vec(),
         root_spec,
     );
 
-    let mut stats = Stats::default();
     // Stores carry a last-used tick for LRU eviction under the global
     // term budget.
     let mut stores: HashMap<StoreKey, (TermStore, u64)> = HashMap::new();
@@ -311,502 +391,713 @@ pub fn search_traced(
         kind: Kind::Hyp(root),
     });
 
-    while let Some(entry) = queue.pop() {
-        stats.popped += 1;
-        if tracer.enabled() {
-            let (kind, hyp) = match &entry.kind {
-                Kind::Hyp(h) => (PopKind::Hypothesis, h),
-                Kind::Apply { hyp, .. } => (PopKind::Apply, hyp),
-                Kind::Close { hyp, .. } => (PopKind::Close, hyp),
-            };
-            tracer.emit(TraceEvent::Pop {
-                n: stats.popped,
-                kind,
-                cost: entry.cost,
-                holes: hyp.holes().len(),
-                sketch: hyp.expr.to_string(),
-            });
-        }
-        if stats.popped >= options.max_popped {
-            return Err(SynthError::LimitReached);
-        }
-        if stats.popped % 64 == 0 {
-            if let Some(t) = options.timeout {
-                if start.elapsed() >= t {
-                    return Err(SynthError::Timeout);
-                }
-            }
-        }
-        if stats.popped % 65_536 == 0 && std::env::var_os("LAMBDA2_STORE_DEBUG").is_some() {
-            let rss = std::fs::read_to_string("/proc/self/status")
-                .ok()
-                .and_then(|s| {
-                    s.lines()
-                        .find(|l| l.starts_with("VmRSS"))
-                        .map(|l| l.trim().to_owned())
-                })
-                .unwrap_or_default();
-            eprintln!(
-                "[debug] popped {}k queue {} stores {} terms {} ~{}MB templates {} (sum {} max {}) {rss}",
-                stats.popped / 1024,
-                queue.len(),
-                stores.len(),
-                stores.values().map(|(s, _)| s.len()).sum::<usize>(),
-                stores.values().map(|(s, _)| s.approx_bytes()).sum::<usize>() / 1_048_576,
-                templates.len(),
-                templates.values().map(|t| t.len()).sum::<usize>(),
-                templates.values().map(|t| t.len()).max().unwrap_or(0),
-            );
-        }
-
-        let entry_cost = entry.cost;
-        match entry.kind {
-            Kind::Hyp(hyp) => {
-                if hyp.cost > options.max_cost {
-                    continue;
-                }
-                if hyp.is_complete() {
-                    stats.verified += 1;
-                    let program = Program::new(problem.params().to_vec(), hyp.expr.clone());
-                    let t_verify = Instant::now();
-                    let ok = program.satisfies_problem(problem, options.eval_fuel);
-                    stats.phases.verify += t_verify.elapsed();
-                    if tracer.enabled() {
-                        tracer.emit(TraceEvent::Verify {
-                            ok,
-                            cost: hyp.cost,
-                            program: program.body().to_string(),
-                        });
-                    }
-                    if ok {
-                        stats.enumerated_terms = stores.values().map(|(s, _)| s.len() as u64).sum();
-                        if std::env::var_os("LAMBDA2_STORE_DEBUG").is_some() {
-                            let mut sizes: Vec<usize> =
-                                stores.values().map(|(s, _)| s.len()).collect();
-                            sizes.sort_unstable_by(|a, b| b.cmp(a));
-                            eprintln!(
-                                "[debug] {} stores, sizes top10 {:?}, total {}",
-                                sizes.len(),
-                                &sizes[..sizes.len().min(10)],
-                                sizes.iter().sum::<usize>()
-                            );
-                        }
-                        return Ok(Synthesis {
-                            program,
-                            cost: hyp.cost,
-                            stats,
-                            elapsed: start.elapsed(),
-                        });
-                    }
-                    stats.verify_failures += 1;
-                    continue;
-                }
-
-                let (hole, info) = hyp.first_hole().expect("incomplete has a hole");
-                let info = Rc::clone(info);
-
-                // (a) Closing stream for this hole, starting at the
-                // cheapest term tier.
-                let tier0 = costs.hole_min();
-                seq += 1;
-                queue.push(Entry {
-                    cost: hyp.cost - costs.hole_min() + tier0,
-                    seq,
-                    kind: Kind::Close {
-                        hyp: hyp.clone(),
-                        hole,
-                        tier: tier0,
-                    },
+    let outcome: Result<(Program, u32), SynthError> = 'search: {
+        while let Some(entry) = queue.pop() {
+            stats.popped += 1;
+            if tracer.enabled() {
+                let (kind, hyp) = match &entry.kind {
+                    Kind::Hyp(h) => (PopKind::Hypothesis, h),
+                    Kind::Apply { hyp, .. } => (PopKind::Apply, hyp),
+                    Kind::Close { hyp, .. } => (PopKind::Close, hyp),
+                };
+                tracer.emit(TraceEvent::Pop {
+                    n: stats.popped,
+                    kind,
+                    cost: entry.cost,
+                    holes: hyp.holes().len(),
+                    sketch: hyp.expr.to_string(),
                 });
+            }
+            if let Some(FailAction::ExpireDeadline) = failpoints::check("search.pop") {
+                budget.force_expire();
+            }
+            if let Err(e) = budget.note_pop() {
+                break 'search Err(e.to_synth_error());
+            }
+            if stats.popped % 65_536 == 0 && std::env::var_os("LAMBDA2_STORE_DEBUG").is_some() {
+                let rss = std::fs::read_to_string("/proc/self/status")
+                    .ok()
+                    .and_then(|s| {
+                        s.lines()
+                            .find(|l| l.starts_with("VmRSS"))
+                            .map(|l| l.trim().to_owned())
+                    })
+                    .unwrap_or_default();
+                eprintln!(
+                    "[debug] popped {}k queue {} stores {} terms {} ~{}MB templates {} (sum {} max {}) {rss}",
+                    stats.popped / 1024,
+                    queue.len(),
+                    stores.len(),
+                    stores.values().map(|(s, _)| s.len()).sum::<usize>(),
+                    stores.values().map(|(s, _)| s.approx_bytes()).sum::<usize>() / 1_048_576,
+                    templates.len(),
+                    templates.values().map(|t| t.len()).sum::<usize>(),
+                    templates.values().map(|t| t.len()).max().unwrap_or(0),
+                );
+            }
 
-                // (b) Combinator expansions, via the per-hole-context
-                // template cache. Skip planning entirely when even the
-                // cheapest conceivable template (comb + lambda + two
-                // leaves) cannot fit the global budget — deep holes near
-                // the cost ceiling otherwise pay for stores they never use.
-                let min_comb_cost = library
-                    .combs()
-                    .iter()
-                    .map(|c| costs.comb_cost(*c))
-                    .min()
-                    .unwrap_or(u32::MAX);
-                let min_delta = min_comb_cost
-                    .saturating_add(costs.lambda)
-                    .saturating_add(2 * costs.hole_min());
-                if hyp.cost - costs.hole_min() + min_delta > options.max_cost {
-                    continue;
-                }
-                if options.deduction && !options.expand_blind_holes && info.spec.is_empty() {
-                    // Deduction had nothing to say about this hole;
-                    // closings (first-order terms) remain available.
-                    continue;
-                }
-                let tkey = (info.store_key.clone(), canonical(&info.ty));
-                let planned = match templates.get(&tkey) {
-                    Some(ts) => Rc::clone(ts),
-                    None => {
-                        let t_enum = Instant::now();
-                        let store = touch_store(
-                            &mut stores,
-                            &mut store_tick,
-                            &info,
-                            options,
-                            &mut stats,
-                            tracer,
-                        );
-                        // The collection pool is cheap (cost <= 3); the
-                        // larger init pool is only materialized when some
-                        // collection candidate actually has empty-collection
-                        // rows to constrain it.
-                        store.ensure(options.max_collection_cost, library);
-                        let needs_deep_inits = options.deduction
-                            && store.collections(options.max_collection_cost).iter().any(
-                                |(_, vals)| {
-                                    vals.iter().any(|v| match v {
-                                        lambda2_lang::value::Value::List(xs) => xs.is_empty(),
-                                        lambda2_lang::value::Value::Tree(t) => t.is_empty(),
-                                        _ => false,
-                                    })
-                                },
-                            );
-                        let arg_cost = if needs_deep_inits {
-                            options.max_collection_cost.max(options.max_init_cost)
-                        } else {
-                            options.max_collection_cost.max(options.max_free_init_cost)
-                        };
-                        store.ensure(arg_cost, library);
-                        let pool: Vec<_> = store
-                            .error_free(arg_cost)
-                            .into_iter()
-                            .map(|(t, vals)| (t.expr.clone(), t.ty.clone(), vals, t.cost))
-                            .collect();
-                        stats.phases.enumerate += t_enum.elapsed();
-
-                        let t_deduce = Instant::now();
-                        let mut planned = Vec::new();
-                        for &comb in library.combs() {
-                            // Cheap shape pre-filter on the hole type.
-                            let hole_ok = match comb {
-                                Comb::Map | Comb::Filter => {
-                                    matches!(info.ty, Type::List(_) | Type::Var(_))
+            let entry_cost = entry.cost;
+            match entry.kind {
+                Kind::Hyp(hyp) => {
+                    if hyp.cost > options.max_cost {
+                        continue;
+                    }
+                    if hyp.is_complete() {
+                        match verify_candidate(
+                            problem, &hyp.expr, hyp.cost, options, budget, &mut stats, tracer,
+                        ) {
+                            Verdict::Pass(program) => {
+                                if std::env::var_os("LAMBDA2_STORE_DEBUG").is_some() {
+                                    let mut sizes: Vec<usize> =
+                                        stores.values().map(|(s, _)| s.len()).collect();
+                                    sizes.sort_unstable_by(|a, b| b.cmp(a));
+                                    eprintln!(
+                                        "[debug] {} stores, sizes top10 {:?}, total {}",
+                                        sizes.len(),
+                                        &sizes[..sizes.len().min(10)],
+                                        sizes.iter().sum::<usize>()
+                                    );
                                 }
-                                Comb::Mapt => {
-                                    matches!(info.ty, Type::Tree(_) | Type::Var(_))
-                                }
-                                _ => true,
-                            };
-                            if !hole_ok {
+                                break 'search Ok((program, hyp.cost));
+                            }
+                            Verdict::Fail => {
+                                stats.verify_failures += 1;
                                 continue;
                             }
-                            for (expr, ty, vals, cost) in &pool {
-                                // Shape pre-filter on the collection.
-                                let coll_ok = *cost <= options.max_collection_cost
-                                    && if comb.is_tree() {
-                                        matches!(ty, Type::Tree(_))
-                                    } else {
-                                        matches!(ty, Type::List(_))
-                                    };
-                                if !coll_ok {
-                                    continue;
-                                }
-                                let cand = Candidate {
-                                    expr,
-                                    ty,
-                                    values: vals.clone(),
-                                    cost: *cost,
-                                };
-                                if comb.init_index().is_none() {
-                                    match plan_expansion(
-                                        &info,
-                                        comb,
-                                        &cand,
-                                        None,
-                                        &costs,
-                                        options.deduction,
-                                    ) {
-                                        Ok(t) => {
-                                            if tracer.enabled() {
-                                                tracer.emit(TraceEvent::Plan {
-                                                    comb: comb.name(),
-                                                    coll: expr.to_string(),
-                                                    init: None,
-                                                    delta_cost: t.delta_cost,
-                                                });
-                                            }
-                                            planned.push(Planned::Comb(t));
-                                        }
-                                        Err(fail) => {
-                                            refute(&mut stats, tracer, fail, comb, expr, None);
-                                        }
+                            Verdict::Fault => continue,
+                            Verdict::Budget(e) => break 'search Err(e.to_synth_error()),
+                        }
+                    }
+
+                    let (hole, info) = hyp.first_hole().expect("incomplete has a hole");
+                    let info = Rc::clone(info);
+
+                    // (a) Closing stream for this hole, starting at the
+                    // cheapest term tier.
+                    let tier0 = costs.hole_min();
+                    seq += 1;
+                    queue.push(Entry {
+                        cost: hyp.cost - costs.hole_min() + tier0,
+                        seq,
+                        kind: Kind::Close {
+                            hyp: hyp.clone(),
+                            hole,
+                            tier: tier0,
+                        },
+                    });
+
+                    // (b) Combinator expansions, via the per-hole-context
+                    // template cache. Skip planning entirely when even the
+                    // cheapest conceivable template (comb + lambda + two
+                    // leaves) cannot fit the global budget — deep holes near
+                    // the cost ceiling otherwise pay for stores they never use.
+                    let min_comb_cost = library
+                        .combs()
+                        .iter()
+                        .map(|c| costs.comb_cost(*c))
+                        .min()
+                        .unwrap_or(u32::MAX);
+                    let min_delta = min_comb_cost
+                        .saturating_add(costs.lambda)
+                        .saturating_add(2 * costs.hole_min());
+                    if hyp.cost - costs.hole_min() + min_delta > options.max_cost {
+                        continue;
+                    }
+                    if options.deduction && !options.expand_blind_holes && info.spec.is_empty() {
+                        // Deduction had nothing to say about this hole;
+                        // closings (first-order terms) remain available.
+                        continue;
+                    }
+                    let tkey = (info.store_key.clone(), canonical(&info.ty));
+                    let planned = match templates.get(&tkey) {
+                        Some(ts) => Rc::clone(ts),
+                        None => {
+                            let t_enum = Instant::now();
+                            let store = touch_store(
+                                &mut stores,
+                                &mut store_tick,
+                                &info,
+                                options,
+                                &mut stats,
+                                tracer,
+                            );
+                            // The collection pool is cheap (cost <= 3); the
+                            // larger init pool is only materialized when some
+                            // collection candidate actually has empty-collection
+                            // rows to constrain it.
+                            if let Err(e) =
+                                store.ensure_within(options.max_collection_cost, library, budget)
+                            {
+                                stats.phases.enumerate += t_enum.elapsed();
+                                break 'search Err(e.to_synth_error());
+                            }
+                            let needs_deep_inits = options.deduction
+                                && store.collections(options.max_collection_cost).iter().any(
+                                    |(_, vals)| {
+                                        vals.iter().any(|v| match v {
+                                            lambda2_lang::value::Value::List(xs) => xs.is_empty(),
+                                            lambda2_lang::value::Value::Tree(t) => t.is_empty(),
+                                            _ => false,
+                                        })
+                                    },
+                                );
+                            let arg_cost = if needs_deep_inits {
+                                options.max_collection_cost.max(options.max_init_cost)
+                            } else {
+                                options.max_collection_cost.max(options.max_free_init_cost)
+                            };
+                            if let Err(e) = store.ensure_within(arg_cost, library, budget) {
+                                stats.phases.enumerate += t_enum.elapsed();
+                                break 'search Err(e.to_synth_error());
+                            }
+                            let pool: Vec<_> = store
+                                .error_free(arg_cost)
+                                .into_iter()
+                                .map(|(t, vals)| (t.expr.clone(), t.ty.clone(), vals, t.cost))
+                                .collect();
+                            stats.phases.enumerate += t_enum.elapsed();
+
+                            let t_deduce = Instant::now();
+                            let mut planned = Vec::new();
+                            for &comb in library.combs() {
+                                // Cheap shape pre-filter on the hole type.
+                                let hole_ok = match comb {
+                                    Comb::Map | Comb::Filter => {
+                                        matches!(info.ty, Type::List(_) | Type::Var(_))
                                     }
+                                    Comb::Mapt => {
+                                        matches!(info.ty, Type::Tree(_) | Type::Var(_))
+                                    }
+                                    _ => true,
+                                };
+                                if !hole_ok {
                                     continue;
                                 }
-                                // Folds: one template per initial-value
-                                // candidate of the hole's (result) type.
-                                // Empty-collection rows pin the init value,
-                                // allowing a larger budget; without them
-                                // every typed term qualifies, so keep the
-                                // budget tight.
-                                let empty_rows: Vec<(usize, &lambda2_lang::value::Value)> =
-                                    if options.deduction {
-                                        info.spec
-                                            .rows()
-                                            .iter()
-                                            .enumerate()
-                                            .filter(|(i, _)| match &vals[*i] {
-                                                lambda2_lang::value::Value::List(xs) => {
-                                                    xs.is_empty()
+                                for (expr, ty, vals, cost) in &pool {
+                                    // Shape pre-filter on the collection.
+                                    let coll_ok = *cost <= options.max_collection_cost
+                                        && if comb.is_tree() {
+                                            matches!(ty, Type::Tree(_))
+                                        } else {
+                                            matches!(ty, Type::List(_))
+                                        };
+                                    if !coll_ok {
+                                        continue;
+                                    }
+                                    let cand = Candidate {
+                                        expr,
+                                        ty,
+                                        values: vals.clone(),
+                                        cost: *cost,
+                                    };
+                                    if comb.init_index().is_none() {
+                                        match plan_isolated(
+                                            &info,
+                                            comb,
+                                            &cand,
+                                            None,
+                                            &costs,
+                                            options.deduction,
+                                            budget,
+                                        ) {
+                                            PlanOutcome::Planned(t) => {
+                                                if tracer.enabled() {
+                                                    tracer.emit(TraceEvent::Plan {
+                                                        comb: comb.name(),
+                                                        coll: expr.to_string(),
+                                                        init: None,
+                                                        delta_cost: t.delta_cost,
+                                                    });
                                                 }
-                                                lambda2_lang::value::Value::Tree(t) => t.is_empty(),
-                                                _ => false,
-                                            })
-                                            .map(|(i, r)| (i, &r.output))
-                                            .collect()
-                                    } else {
-                                        Vec::new()
-                                    };
-                                let init_budget = if empty_rows.is_empty() {
-                                    options.max_free_init_cost
-                                } else {
-                                    options.max_init_cost
-                                };
-                                for (ie, ity, ivals, icost) in &pool {
-                                    if *icost > init_budget
-                                        || !crate::enumerate::unifiable(ity, &info.ty)
-                                    {
-                                        continue;
-                                    }
-                                    if empty_rows.iter().any(|(i, out)| &ivals[*i] != *out) {
-                                        stats.refuted += 1;
-                                        if tracer.enabled() {
-                                            tracer.emit(TraceEvent::Refute {
-                                                comb: comb.name(),
-                                                coll: expr.to_string(),
-                                                init: Some(ie.to_string()),
-                                                reason: RefuteReason::InitMismatch,
-                                            });
+                                                planned.push(Planned::Comb(t));
+                                            }
+                                            PlanOutcome::Budget(e) => {
+                                                stats.phases.deduce += t_deduce.elapsed();
+                                                break 'search Err(e.to_synth_error());
+                                            }
+                                            PlanOutcome::Rejected(fail) => {
+                                                refute(&mut stats, tracer, fail, comb, expr, None);
+                                            }
+                                            PlanOutcome::Fault(detail) => {
+                                                fault(&mut stats, tracer, "deduce.plan", detail);
+                                            }
                                         }
                                         continue;
                                     }
-                                    let init = Candidate {
-                                        expr: ie,
-                                        ty: ity,
-                                        values: ivals.clone(),
-                                        cost: *icost,
+                                    // Folds: one template per initial-value
+                                    // candidate of the hole's (result) type.
+                                    // Empty-collection rows pin the init value,
+                                    // allowing a larger budget; without them
+                                    // every typed term qualifies, so keep the
+                                    // budget tight.
+                                    let empty_rows: Vec<(usize, &lambda2_lang::value::Value)> =
+                                        if options.deduction {
+                                            info.spec
+                                                .rows()
+                                                .iter()
+                                                .enumerate()
+                                                .filter(|(i, _)| match &vals[*i] {
+                                                    lambda2_lang::value::Value::List(xs) => {
+                                                        xs.is_empty()
+                                                    }
+                                                    lambda2_lang::value::Value::Tree(t) => {
+                                                        t.is_empty()
+                                                    }
+                                                    _ => false,
+                                                })
+                                                .map(|(i, r)| (i, &r.output))
+                                                .collect()
+                                        } else {
+                                            Vec::new()
+                                        };
+                                    let init_budget = if empty_rows.is_empty() {
+                                        options.max_free_init_cost
+                                    } else {
+                                        options.max_init_cost
                                     };
-                                    match plan_expansion(
-                                        &info,
-                                        comb,
-                                        &cand,
-                                        Some(&init),
-                                        &costs,
-                                        options.deduction,
-                                    ) {
-                                        Ok(t) => {
+                                    for (ie, ity, ivals, icost) in &pool {
+                                        if *icost > init_budget
+                                            || !crate::enumerate::unifiable(ity, &info.ty)
+                                        {
+                                            continue;
+                                        }
+                                        if empty_rows.iter().any(|(i, out)| &ivals[*i] != *out) {
+                                            stats.refuted += 1;
                                             if tracer.enabled() {
-                                                tracer.emit(TraceEvent::Plan {
+                                                tracer.emit(TraceEvent::Refute {
                                                     comb: comb.name(),
                                                     coll: expr.to_string(),
                                                     init: Some(ie.to_string()),
-                                                    delta_cost: t.delta_cost,
+                                                    reason: RefuteReason::InitMismatch,
                                                 });
                                             }
-                                            planned.push(Planned::Comb(t));
+                                            continue;
                                         }
-                                        Err(fail) => {
-                                            refute(&mut stats, tracer, fail, comb, expr, Some(ie));
+                                        let init = Candidate {
+                                            expr: ie,
+                                            ty: ity,
+                                            values: ivals.clone(),
+                                            cost: *icost,
+                                        };
+                                        match plan_isolated(
+                                            &info,
+                                            comb,
+                                            &cand,
+                                            Some(&init),
+                                            &costs,
+                                            options.deduction,
+                                            budget,
+                                        ) {
+                                            PlanOutcome::Planned(t) => {
+                                                if tracer.enabled() {
+                                                    tracer.emit(TraceEvent::Plan {
+                                                        comb: comb.name(),
+                                                        coll: expr.to_string(),
+                                                        init: Some(ie.to_string()),
+                                                        delta_cost: t.delta_cost,
+                                                    });
+                                                }
+                                                planned.push(Planned::Comb(t));
+                                            }
+                                            PlanOutcome::Budget(e) => {
+                                                stats.phases.deduce += t_deduce.elapsed();
+                                                break 'search Err(e.to_synth_error());
+                                            }
+                                            PlanOutcome::Rejected(fail) => {
+                                                refute(
+                                                    &mut stats,
+                                                    tracer,
+                                                    fail,
+                                                    comb,
+                                                    expr,
+                                                    Some(ie),
+                                                );
+                                            }
+                                            PlanOutcome::Fault(detail) => {
+                                                fault(&mut stats, tracer, "deduce.plan", detail);
+                                            }
                                         }
                                     }
                                 }
                             }
-                        }
-                        // Constructor hypotheses: invertible constructors
-                        // split a hole into exactly-specified components.
-                        if options.constructor_hypotheses && options.deduction {
-                            planned.extend(
-                                plan_constructors(&info, &costs)
-                                    .into_iter()
-                                    .map(Planned::Cons),
+                            // Constructor hypotheses: invertible constructors
+                            // split a hole into exactly-specified components.
+                            if options.constructor_hypotheses && options.deduction {
+                                planned.extend(
+                                    plan_constructors(&info, &costs)
+                                        .into_iter()
+                                        .map(Planned::Cons),
+                                );
+                            }
+                            // The Apply stream below walks templates in order,
+                            // so sort by cost for best-first behavior.
+                            planned.sort_by_key(Planned::delta_cost);
+                            stats.phases.deduce += t_deduce.elapsed();
+                            let planned = Rc::new(planned);
+                            templates.insert(tkey, Rc::clone(&planned));
+                            evict_stores(
+                                &mut stores,
+                                options.max_store_bytes,
+                                &info.store_key,
+                                &mut stats,
+                                tracer,
+                                budget,
                             );
+                            planned
                         }
-                        // The Apply stream below walks templates in order,
-                        // so sort by cost for best-first behavior.
-                        planned.sort_by_key(Planned::delta_cost);
-                        stats.phases.deduce += t_deduce.elapsed();
-                        let planned = Rc::new(planned);
-                        templates.insert(tkey, Rc::clone(&planned));
-                        evict_stores(
-                            &mut stores,
-                            options.max_store_bytes,
-                            &info.store_key,
-                            &mut stats,
-                            tracer,
-                        );
-                        planned
-                    }
-                };
+                    };
 
-                if !planned.is_empty() {
-                    seq += 1;
-                    let first_cost = hyp.cost - costs.hole_min() + planned[0].delta_cost();
-                    if first_cost <= options.max_cost {
-                        queue.push(Entry {
-                            cost: first_cost,
-                            seq,
-                            kind: Kind::Apply {
-                                hyp: hyp.clone(),
-                                hole,
-                                templates: planned,
-                                index: 0,
-                            },
-                        });
+                    if !planned.is_empty() {
+                        seq += 1;
+                        let first_cost = hyp.cost - costs.hole_min() + planned[0].delta_cost();
+                        if first_cost <= options.max_cost {
+                            queue.push(Entry {
+                                cost: first_cost,
+                                seq,
+                                kind: Kind::Apply {
+                                    hyp: hyp.clone(),
+                                    hole,
+                                    templates: planned,
+                                    index: 0,
+                                },
+                            });
+                        }
                     }
                 }
-            }
-            Kind::Apply {
-                hyp,
-                hole,
-                templates,
-                index,
-            } => {
-                stats.expansions += 1;
-                let t_expand = Instant::now();
-                let child = templates[index].instantiate(&hyp, hole, &costs, &mut next_hole);
-                stats.phases.expand += t_expand.elapsed();
-                seq += 1;
-                queue.push(Entry {
-                    cost: child.cost,
-                    seq,
-                    kind: Kind::Hyp(child),
-                });
-                // Advance the stream.
-                if index + 1 < templates.len() {
-                    let next_cost = hyp.cost - costs.hole_min() + templates[index + 1].delta_cost();
-                    if next_cost <= options.max_cost {
+                Kind::Apply {
+                    hyp,
+                    hole,
+                    templates,
+                    index,
+                } => {
+                    stats.expansions += 1;
+                    let t_expand = Instant::now();
+                    let child = templates[index].instantiate(&hyp, hole, &costs, &mut next_hole);
+                    stats.phases.expand += t_expand.elapsed();
+                    seq += 1;
+                    queue.push(Entry {
+                        cost: child.cost,
+                        seq,
+                        kind: Kind::Hyp(child),
+                    });
+                    // Advance the stream.
+                    if index + 1 < templates.len() {
+                        let next_cost =
+                            hyp.cost - costs.hole_min() + templates[index + 1].delta_cost();
+                        if next_cost <= options.max_cost {
+                            seq += 1;
+                            queue.push(Entry {
+                                cost: next_cost,
+                                seq,
+                                kind: Kind::Apply {
+                                    hyp,
+                                    hole,
+                                    templates,
+                                    index: index + 1,
+                                },
+                            });
+                        }
+                    }
+                }
+                Kind::Close { hyp, hole, tier } => {
+                    let info = hyp
+                        .holes()
+                        .iter()
+                        .find(|(h, _)| *h == hole)
+                        .map(|(_, i)| Rc::clone(i))
+                        .expect("close item refers to an open hole");
+                    let t_enum = Instant::now();
+                    let store = touch_store(
+                        &mut stores,
+                        &mut store_tick,
+                        &info,
+                        options,
+                        &mut stats,
+                        tracer,
+                    );
+                    if let Err(e) = store.ensure_within(tier, library, budget) {
+                        stats.phases.enumerate += t_enum.elapsed();
+                        break 'search Err(e.to_synth_error());
+                    }
+                    let fills: Vec<(Rc<lambda2_lang::ast::Expr>, u32)> = store
+                        .closings(tier, &info.ty, &info.spec)
+                        .map(|t| (t.expr.clone(), t.cost))
+                        .collect();
+                    stats.phases.enumerate += t_enum.elapsed();
+                    if tracer.enabled() {
+                        tracer.emit(TraceEvent::Tier {
+                            tier,
+                            cost: entry_cost,
+                            fills: fills.len(),
+                        });
+                    }
+                    evict_stores(
+                        &mut stores,
+                        options.max_store_bytes,
+                        &info.store_key,
+                        &mut stats,
+                        tracer,
+                        budget,
+                    );
+                    let closes_last_hole = hyp.holes().len() == 1;
+                    for (expr, term_cost) in fills {
+                        let child_cost = hyp.cost - costs.hole_min() + term_cost;
+                        if child_cost > options.max_cost {
+                            continue;
+                        }
+                        stats.closings += 1;
+                        // Closing the last hole completes the program; verify
+                        // *now* and only enqueue survivors — blind holes can
+                        // produce tens of thousands of candidates per tier,
+                        // and queueing the failures (the vast majority) would
+                        // balloon memory. Survivors still go through the
+                        // queue so the cheapest fitting program wins.
+                        if closes_last_hole {
+                            let child = hyp.fill(hole, &expr, vec![], child_cost);
+                            match verify_candidate(
+                                problem,
+                                &child.expr,
+                                child_cost,
+                                options,
+                                budget,
+                                &mut stats,
+                                tracer,
+                            ) {
+                                Verdict::Pass(_) => {
+                                    seq += 1;
+                                    queue.push(Entry {
+                                        cost: child_cost,
+                                        seq,
+                                        kind: Kind::Hyp(child),
+                                    });
+                                }
+                                Verdict::Fail => stats.verify_failures += 1,
+                                Verdict::Fault => {}
+                                Verdict::Budget(e) => break 'search Err(e.to_synth_error()),
+                            }
+                            continue;
+                        }
+                        let child = hyp.fill(hole, &expr, vec![], child_cost);
+                        seq += 1;
+                        queue.push(Entry {
+                            cost: child_cost,
+                            seq,
+                            kind: Kind::Hyp(child),
+                        });
+                    }
+                    // Reschedule the stream at the next tier; blind holes (no
+                    // spec rows, hence no observational pruning) get a tighter
+                    // cap.
+                    let tier_cap = if info.spec.is_empty() {
+                        options.max_term_cost_blind.min(options.max_term_cost)
+                    } else {
+                        options.max_term_cost
+                    };
+                    let next_tier = tier + 1;
+                    let next_cost = hyp.cost - costs.hole_min() + next_tier;
+                    if next_tier <= tier_cap && next_cost <= options.max_cost {
                         seq += 1;
                         queue.push(Entry {
                             cost: next_cost,
                             seq,
-                            kind: Kind::Apply {
+                            kind: Kind::Close {
                                 hyp,
                                 hole,
-                                templates,
-                                index: index + 1,
+                                tier: next_tier,
                             },
                         });
                     }
                 }
             }
-            Kind::Close { hyp, hole, tier } => {
-                let info = hyp
-                    .holes()
-                    .iter()
-                    .find(|(h, _)| *h == hole)
-                    .map(|(_, i)| Rc::clone(i))
-                    .expect("close item refers to an open hole");
-                let t_enum = Instant::now();
-                let store = touch_store(
-                    &mut stores,
-                    &mut store_tick,
-                    &info,
-                    options,
-                    &mut stats,
-                    tracer,
-                );
-                store.ensure(tier, library);
-                let fills: Vec<(Rc<lambda2_lang::ast::Expr>, u32)> = store
-                    .closings(tier, &info.ty, &info.spec)
-                    .map(|t| (t.expr.clone(), t.cost))
-                    .collect();
-                stats.phases.enumerate += t_enum.elapsed();
-                if tracer.enabled() {
-                    tracer.emit(TraceEvent::Tier {
-                        tier,
-                        cost: entry_cost,
-                        fills: fills.len(),
-                    });
-                }
-                evict_stores(
-                    &mut stores,
-                    options.max_store_bytes,
-                    &info.store_key,
-                    &mut stats,
-                    tracer,
-                );
-                let closes_last_hole = hyp.holes().len() == 1;
-                for (expr, term_cost) in fills {
-                    let child_cost = hyp.cost - costs.hole_min() + term_cost;
-                    if child_cost > options.max_cost {
-                        continue;
-                    }
-                    stats.closings += 1;
-                    // Closing the last hole completes the program; verify
-                    // *now* and only enqueue survivors — blind holes can
-                    // produce tens of thousands of candidates per tier,
-                    // and queueing the failures (the vast majority) would
-                    // balloon memory. Survivors still go through the
-                    // queue so the cheapest fitting program wins.
-                    if closes_last_hole {
-                        stats.verified += 1;
-                        let child = hyp.fill(hole, &expr, vec![], child_cost);
-                        let program = Program::new(problem.params().to_vec(), child.expr.clone());
-                        let t_verify = Instant::now();
-                        let ok = program.satisfies_problem(problem, options.eval_fuel);
-                        stats.phases.verify += t_verify.elapsed();
-                        if tracer.enabled() {
-                            tracer.emit(TraceEvent::Verify {
-                                ok,
-                                cost: child_cost,
-                                program: program.body().to_string(),
-                            });
-                        }
-                        if ok {
-                            seq += 1;
-                            queue.push(Entry {
-                                cost: child_cost,
-                                seq,
-                                kind: Kind::Hyp(child),
-                            });
-                        } else {
-                            stats.verify_failures += 1;
-                        }
-                        continue;
-                    }
-                    let child = hyp.fill(hole, &expr, vec![], child_cost);
-                    seq += 1;
-                    queue.push(Entry {
-                        cost: child_cost,
-                        seq,
-                        kind: Kind::Hyp(child),
-                    });
-                }
-                // Reschedule the stream at the next tier; blind holes (no
-                // spec rows, hence no observational pruning) get a tighter
-                // cap.
-                let tier_cap = if info.spec.is_empty() {
-                    options.max_term_cost_blind.min(options.max_term_cost)
-                } else {
-                    options.max_term_cost
-                };
-                let next_tier = tier + 1;
-                let next_cost = hyp.cost - costs.hole_min() + next_tier;
-                if next_tier <= tier_cap && next_cost <= options.max_cost {
-                    seq += 1;
-                    queue.push(Entry {
-                        cost: next_cost,
-                        seq,
-                        kind: Kind::Close {
-                            hyp,
-                            hole,
-                            tier: next_tier,
-                        },
-                    });
-                }
+        }
+        // The queue drained. A limit can still have latched during the last
+        // iteration's phases (a fuel cap, a forced expiry) without aborting
+        // it — report that verdict rather than a spurious exhaustion.
+        match budget.check_now() {
+            Err(e) => Err(e.to_synth_error()),
+            Ok(()) => Err(SynthError::Exhausted),
+        }
+    };
+
+    stats.enumerated_terms = stores.values().map(|(s, _)| s.len() as u64).sum();
+    let elapsed = start.elapsed();
+    let (outcome, frontier) = match outcome {
+        Ok((program, cost)) => (
+            Ok(Synthesis {
+                program,
+                cost,
+                stats: stats.clone(),
+                elapsed,
+            }),
+            Vec::new(),
+        ),
+        Err(e) => (Err(e), frontier_of(&mut queue)),
+    };
+    SearchReport {
+        outcome,
+        frontier,
+        stats,
+        elapsed,
+        budget: budget.snapshot(),
+        attempts: Vec::new(),
+    }
+}
+
+/// How many open hypotheses a report's anytime frontier carries.
+const FRONTIER_LIMIT: usize = 5;
+
+/// How deep into the abandoned queue the frontier scan pops. The queue can
+/// hold millions of entries at termination; only the cheapest few dozen
+/// are examined (in priority order) for hypotheses worth reporting.
+const FRONTIER_SCAN: usize = 64;
+
+/// Pops the best-cost open hypotheses off an abandoned queue — the
+/// *anytime* result attached to failure reports.
+fn frontier_of(queue: &mut BinaryHeap<Entry>) -> Vec<FrontierItem> {
+    let mut out = Vec::new();
+    for _ in 0..FRONTIER_SCAN {
+        let Some(entry) = queue.pop() else { break };
+        if let Kind::Hyp(h) = entry.kind {
+            out.push(FrontierItem {
+                sketch: h.expr.to_string(),
+                cost: entry.cost,
+                holes: h.holes().len(),
+            });
+            if out.len() >= FRONTIER_LIMIT {
+                break;
             }
         }
     }
+    out
+}
 
-    Err(SynthError::Exhausted)
+/// Outcome of one isolated candidate verification.
+enum Verdict {
+    /// The candidate satisfies every example.
+    Pass(Program),
+    /// The candidate fails some example.
+    Fail,
+    /// The candidate panicked; the fault was counted and traced.
+    Fault,
+    /// The cumulative fuel cap tripped while charging this run.
+    Budget(BudgetExceeded),
+}
+
+/// Verifies one complete candidate under panic isolation, charging the
+/// evaluation fuel it actually consumed against `budget`.
+///
+/// The `catch_unwind` boundary is sound: the closure reads only `program`
+/// and `problem` (no shared mutable state is touched inside it), and the
+/// stats/budget updates happen after the closure returns — a panic cannot
+/// leave either mid-update.
+///
+/// A candidate that both passes and trips the fuel cap is a success: it
+/// was verified before the cap mattered, and a correct program beats a
+/// resource verdict.
+fn verify_candidate(
+    problem: &Problem,
+    body: &Expr,
+    cost: u32,
+    options: &SearchOptions,
+    budget: &Budget,
+    stats: &mut Stats,
+    tracer: &mut dyn Tracer,
+) -> Verdict {
+    stats.verified += 1;
+    let program = Program::new(problem.params().to_vec(), body.clone());
+    let injected = failpoints::check("verify.candidate");
+    let fuel = match injected {
+        Some(FailAction::ExhaustFuel) => 0,
+        _ => options.eval_fuel,
+    };
+    let t_verify = Instant::now();
+    let run = catch_unwind(AssertUnwindSafe(|| {
+        if let Some(FailAction::Panic) = injected {
+            panic!("injected panic at verify.candidate");
+        }
+        program.satisfies_problem_metered(problem, fuel)
+    }));
+    stats.phases.verify += t_verify.elapsed();
+    match run {
+        Ok((ok, used)) => {
+            // An injected exhaustion charges "everything", so the cap
+            // trips even when configured unlimited — the fault becomes
+            // observable as a deterministic `FuelExhausted`.
+            let used = match injected {
+                Some(FailAction::ExhaustFuel) => u64::MAX,
+                _ => used,
+            };
+            if tracer.enabled() {
+                tracer.emit(TraceEvent::Verify {
+                    ok,
+                    cost,
+                    program: program.body().to_string(),
+                });
+            }
+            let charge = budget.charge_fuel(used);
+            if ok {
+                Verdict::Pass(program)
+            } else if let Err(e) = charge {
+                Verdict::Budget(e)
+            } else {
+                Verdict::Fail
+            }
+        }
+        Err(payload) => {
+            fault(stats, tracer, "verify.candidate", panic_message(&*payload));
+            Verdict::Fault
+        }
+    }
+}
+
+/// Outcome of one isolated planning attempt.
+enum PlanOutcome {
+    /// A usable expansion template.
+    Planned(Template),
+    /// Refuted or ill-typed (counted by [`refute`]).
+    Rejected(ExpandFail),
+    /// The budget tripped mid-planning; abort the sweep.
+    Budget(BudgetExceeded),
+    /// Planning panicked; the payload's message.
+    Fault(String),
+}
+
+/// Plans one combinator expansion under panic isolation and the budget.
+/// The `catch_unwind` boundary is sound for the same reason as
+/// [`verify_candidate`]: the closure only reads the hole context and
+/// candidates, and all accounting happens after it returns.
+#[allow(clippy::too_many_arguments)]
+fn plan_isolated(
+    info: &HoleInfo,
+    comb: Comb,
+    cand: &Candidate<'_>,
+    init: Option<&Candidate<'_>>,
+    costs: &CostModel,
+    deduction: bool,
+    budget: &Budget,
+) -> PlanOutcome {
+    let injected = failpoints::check("deduce.plan");
+    let run = catch_unwind(AssertUnwindSafe(|| {
+        if let Some(FailAction::Panic) = injected {
+            panic!("injected panic at deduce.plan");
+        }
+        plan_expansion_within(info, comb, cand, init, costs, deduction, budget)
+    }));
+    match run {
+        Ok(Ok(t)) => PlanOutcome::Planned(t),
+        Ok(Err(ExpandFail::Budget(e))) => PlanOutcome::Budget(e),
+        Ok(Err(fail)) => PlanOutcome::Rejected(fail),
+        Err(payload) => PlanOutcome::Fault(panic_message(&*payload)),
+    }
+}
+
+/// Accounts a panic caught at a governed site in `stats` and the trace.
+/// The candidate or plan is skipped; the search continues.
+fn fault(stats: &mut Stats, tracer: &mut dyn Tracer, site: &'static str, detail: String) {
+    stats.faults += 1;
+    if tracer.enabled() {
+        tracer.emit(TraceEvent::Fault { site, detail });
+    }
 }
 
 /// Looks up (or creates) the enumeration store for a hole context,
@@ -873,6 +1164,9 @@ fn refute(
             stats.ill_typed += 1;
             RefuteReason::IllTyped
         }
+        ExpandFail::Budget(_) => {
+            unreachable!("budget failures abort the planning sweep before refutation accounting")
+        }
     };
     if tracer.enabled() {
         tracer.emit(TraceEvent::Refute {
@@ -885,18 +1179,27 @@ fn refute(
 }
 
 /// Evicts least-recently-used stores until the approximate heap footprint
-/// fits the budget, never evicting `current` (just touched). Evicted
+/// fits `max_bytes`, never evicting `current` (just touched). Evicted
 /// stores rebuild deterministically if revisited, trading CPU for bounded
-/// memory.
+/// memory. Records the pre-sweep footprint as the budget's high-water
+/// mark.
 fn evict_stores(
     stores: &mut HashMap<StoreKey, (TermStore, u64)>,
-    budget: usize,
+    max_bytes: usize,
     current: &StoreKey,
     stats: &mut Stats,
     tracer: &mut dyn Tracer,
+    budget: &Budget,
 ) {
+    // An injected eviction shrinks the byte budget to zero for this one
+    // sweep, forcing out every store but the current one.
+    let max_bytes = match failpoints::check("store.evict") {
+        Some(FailAction::EvictStores) => 0,
+        _ => max_bytes,
+    };
     let mut total: usize = stores.values().map(|(s, _)| s.approx_bytes()).sum();
-    while total > budget && stores.len() > 1 {
+    budget.note_store_bytes(total);
+    while total > max_bytes && stores.len() > 1 {
         let victim = stores
             .iter()
             .filter(|(k, _)| *k != current)
@@ -1177,5 +1480,110 @@ mod tests {
         };
         let s = search(&p, &opts).unwrap();
         assert_eq!(s.program.body().to_string(), "l");
+    }
+
+    fn reverse_problem() -> Problem {
+        problem(
+            "reverse",
+            &[("l", "[int]")],
+            "[int]",
+            &[
+                (&["[]"], "[]"),
+                (&["[5]"], "[5]"),
+                (&["[5 2]"], "[2 5]"),
+                (&["[5 2 9]"], "[9 2 5]"),
+            ],
+        )
+    }
+
+    #[test]
+    fn successful_reports_carry_accounting_and_no_frontier() {
+        let p = problem(
+            "id",
+            &[("l", "[int]")],
+            "[int]",
+            &[(&["[1 2]"], "[1 2]"), (&["[]"], "[]"), (&["[3]"], "[3]")],
+        );
+        let opts = SearchOptions::default();
+        let budget = Budget::for_search(&opts);
+        let report = search_governed(&p, &opts, &budget, &mut NoopTracer);
+        assert!(report.frontier.is_empty());
+        assert_eq!(report.budget.exceeded, None);
+        assert!(report.budget.pops > 0);
+        assert!(report.budget.fuel_spent > 0, "verification charges fuel");
+        let s = report.outcome.expect("solves");
+        assert_eq!(s.program.body().to_string(), "l");
+        assert_eq!(s.stats.popped, report.stats.popped);
+    }
+
+    #[test]
+    fn pop_limit_reports_a_best_cost_frontier() {
+        // reverse solves around pop 51 with the defaults; cut well short.
+        let opts = SearchOptions {
+            max_popped: 20,
+            ..SearchOptions::default()
+        };
+        let budget = Budget::for_search(&opts);
+        let report = search_governed(&reverse_problem(), &opts, &budget, &mut NoopTracer);
+        assert_eq!(report.outcome.unwrap_err(), SynthError::LimitReached);
+        assert_eq!(report.budget.exceeded, Some(BudgetExceeded::PopLimit));
+        assert!(!report.frontier.is_empty(), "open hypotheses remain");
+        // Best-first: the frontier is sorted by cost and every item is an
+        // open sketch.
+        assert!(report.frontier.windows(2).all(|w| w[0].cost <= w[1].cost));
+        assert!(report.frontier.iter().all(|f| f.holes > 0));
+    }
+
+    #[test]
+    fn zero_timeout_reports_an_immediate_timeout() {
+        let opts = SearchOptions {
+            timeout: Some(Duration::ZERO),
+            ..SearchOptions::default()
+        };
+        let budget = Budget::for_search(&opts);
+        let report = search_governed(&reverse_problem(), &opts, &budget, &mut NoopTracer);
+        assert_eq!(report.outcome.unwrap_err(), SynthError::Timeout);
+        assert_eq!(report.budget.exceeded, Some(BudgetExceeded::Deadline));
+    }
+
+    #[test]
+    fn pre_cancelled_budgets_report_cancellation() {
+        let opts = SearchOptions::default();
+        let budget = Budget::for_search(&opts);
+        budget.cancel_token().cancel();
+        let report = search_governed(&reverse_problem(), &opts, &budget, &mut NoopTracer);
+        assert_eq!(report.outcome.unwrap_err(), SynthError::Cancelled);
+        assert_eq!(report.budget.exceeded, Some(BudgetExceeded::Cancelled));
+    }
+
+    #[test]
+    fn tiny_total_fuel_reports_fuel_exhaustion() {
+        let opts = SearchOptions {
+            max_total_fuel: 50,
+            ..SearchOptions::default()
+        };
+        let budget = Budget::for_search(&opts);
+        let report = search_governed(&reverse_problem(), &opts, &budget, &mut NoopTracer);
+        assert_eq!(report.outcome.unwrap_err(), SynthError::FuelExhausted);
+        assert_eq!(report.budget.exceeded, Some(BudgetExceeded::FuelLimit));
+        assert!(report.budget.fuel_spent >= 50);
+    }
+
+    #[test]
+    fn governed_and_plain_search_agree() {
+        // The governed entry point must not change what is found.
+        let p = reverse_problem();
+        let opts = SearchOptions::default();
+        let plain = search(&p, &opts).expect("solves");
+        let budget = Budget::for_search(&opts);
+        let governed = search_governed(&p, &opts, &budget, &mut NoopTracer)
+            .outcome
+            .expect("solves");
+        assert_eq!(
+            plain.program.body().to_string(),
+            governed.program.body().to_string()
+        );
+        assert_eq!(plain.cost, governed.cost);
+        assert_eq!(plain.stats.popped, governed.stats.popped);
     }
 }

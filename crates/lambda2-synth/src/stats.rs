@@ -30,6 +30,8 @@ pub struct Stats {
     pub store_hits: u64,
     /// Enumeration stores evicted by the LRU byte-budget sweep.
     pub store_evictions: u64,
+    /// Panics caught and isolated at governed sites (candidate skipped).
+    pub faults: u64,
     /// Wall-time spent per search phase.
     pub phases: PhaseTimes,
 }
@@ -48,6 +50,7 @@ impl Stats {
         self.enumerated_terms += other.enumerated_terms;
         self.store_hits += other.store_hits;
         self.store_evictions += other.store_evictions;
+        self.faults += other.faults;
         self.phases.merge(&other.phases);
     }
 
@@ -64,6 +67,7 @@ impl Stats {
             ("enumerated_terms", self.enumerated_terms.into()),
             ("store_hits", self.store_hits.into()),
             ("store_evictions", self.store_evictions.into()),
+            ("faults", self.faults.into()),
             ("phases", self.phases.to_json()),
         ])
     }
@@ -74,7 +78,7 @@ impl fmt::Display for Stats {
         write!(
             f,
             "popped={} expansions={} refuted={} ill-typed={} closings={} verified={} \
-             (failed {}) terms={} store-hits={} store-evictions={}",
+             (failed {}) terms={} store-hits={} store-evictions={} faults={}",
             self.popped,
             self.expansions,
             self.refuted,
@@ -84,7 +88,8 @@ impl fmt::Display for Stats {
             self.verify_failures,
             self.enumerated_terms,
             self.store_hits,
-            self.store_evictions
+            self.store_evictions,
+            self.faults
         )
     }
 }
@@ -108,6 +113,10 @@ pub struct Measurement {
     pub examples: usize,
     /// Search counters.
     pub stats: Stats,
+    /// The terminal error, rendered (`None` when solved). Distinguishes a
+    /// timeout from an exhausted space from a crashed per-problem run in
+    /// batch output.
+    pub error: Option<String>,
 }
 
 impl Measurement {
@@ -127,6 +136,13 @@ impl Measurement {
             ("size", self.size.into()),
             ("program", self.program.as_str().into()),
             ("examples", self.examples.into()),
+            (
+                "error",
+                match &self.error {
+                    Some(e) => e.as_str().into(),
+                    None => Json::Null,
+                },
+            ),
             ("stats", self.stats.to_json()),
         ])
     }
@@ -149,6 +165,7 @@ mod tests {
             enumerated_terms: 8,
             store_hits: 9,
             store_evictions: 10,
+            faults: 11,
             phases: PhaseTimes {
                 deduce: Duration::from_millis(1),
                 enumerate: Duration::from_millis(2),
@@ -167,6 +184,7 @@ mod tests {
         assert_eq!(a.enumerated_terms, 16);
         assert_eq!(a.store_hits, 18);
         assert_eq!(a.store_evictions, 20);
+        assert_eq!(a.faults, 22);
         assert_eq!(a.phases.total(), Duration::from_millis(20));
     }
 
@@ -182,6 +200,7 @@ mod tests {
             "terms",
             "store-hits",
             "store-evictions",
+            "faults",
         ] {
             assert!(s.contains(key), "missing {key} in `{s}`");
         }
@@ -201,6 +220,7 @@ mod tests {
             "enumerated_terms",
             "store_hits",
             "store_evictions",
+            "faults",
         ] {
             assert!(j.get(key).is_some(), "missing {key}");
         }
@@ -221,9 +241,11 @@ mod tests {
             program: "(lambda (l) l)".into(),
             examples: 3,
             stats: ones(),
+            error: None,
         };
         let j = m.to_json();
         assert_eq!(j.get("name").unwrap().as_str(), Some("evens"));
+        assert_eq!(j.get("error"), Some(&Json::Null));
         assert_eq!(j.get("elapsed_ms").unwrap().as_f64(), Some(12.0));
         assert_eq!(
             j.get("stats").unwrap().get("store_hits").unwrap().as_i64(),

@@ -1,10 +1,12 @@
 //! The public synthesizer façade.
 
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use crate::obs::Tracer;
+use crate::baseline::{synthesize_baseline_within, BaselineOptions};
+use crate::govern::{Attempt, Budget, Rung, SearchReport};
+use crate::obs::{NoopTracer, Tracer};
 use crate::problem::Problem;
-use crate::search::{search, search_traced, SearchOptions, SynthError, Synthesis};
+use crate::search::{search, search_governed, search_traced, SearchOptions, SynthError, Synthesis};
 
 /// Example-guided program synthesizer (the λ² algorithm).
 ///
@@ -70,6 +72,20 @@ impl Synthesizer {
         self
     }
 
+    /// Sets the deadline-overshoot bound (chainable); see
+    /// [`SearchOptions::max_overshoot`].
+    pub fn max_overshoot(mut self, bound: Duration) -> Synthesizer {
+        self.options.max_overshoot = bound;
+        self
+    }
+
+    /// Enables or disables the degraded-options retry ladder used by
+    /// [`Synthesizer::synthesize_report`] (chainable).
+    pub fn retry_ladder(mut self, enabled: bool) -> Synthesizer {
+        self.options.retry_ladder = enabled;
+        self
+    }
+
     /// The active options.
     pub fn options(&self) -> &SearchOptions {
         &self.options
@@ -97,21 +113,134 @@ impl Synthesizer {
     ) -> Result<Synthesis, SynthError> {
         search_traced(problem, &self.options, tracer)
     }
+
+    /// Fully governed synthesis: always returns a structured
+    /// [`SearchReport`] — outcome, anytime frontier, merged stats, budget
+    /// accounting, and the attempt log.
+    ///
+    /// When [`SearchOptions::retry_ladder`] is on and the primary attempt
+    /// fails on a *resource* limit (timeout, pop cap, fuel cap — never
+    /// exhaustion or inconsistent examples, which no retry can fix), the
+    /// ladder re-runs with degraded options and finally the pure
+    /// enumerative baseline, each under a fresh budget with the same
+    /// deadline; worst-case wall time is therefore three deadlines. If
+    /// every rung fails, the report keeps the primary rung's error and
+    /// frontier.
+    pub fn synthesize_report(&self, problem: &Problem) -> SearchReport {
+        self.synthesize_report_traced(problem, &mut NoopTracer)
+    }
+
+    /// [`Synthesizer::synthesize_report`] with telemetry.
+    pub fn synthesize_report_traced(
+        &self,
+        problem: &Problem,
+        tracer: &mut dyn Tracer,
+    ) -> SearchReport {
+        let overall = Instant::now();
+        let budget = Budget::for_search(&self.options);
+        let mut report = search_governed(problem, &self.options, &budget, tracer);
+        report.attempts.push(Attempt {
+            rung: Rung::Full,
+            error: report.outcome.as_ref().err().cloned(),
+            elapsed: report.elapsed,
+        });
+        let retryable = matches!(
+            report.outcome,
+            Err(SynthError::Timeout | SynthError::LimitReached | SynthError::FuelExhausted)
+        );
+        if !self.options.retry_ladder || !retryable {
+            report.elapsed = overall.elapsed();
+            return report;
+        }
+
+        // Rung 2: tightened term-cost and global caps — the same engine on
+        // a much smaller space, completing quickly when the answer is
+        // simple and the full configuration drowned in a deep space.
+        let degraded = SearchOptions {
+            max_term_cost: self.options.max_term_cost.min(8),
+            max_term_cost_blind: self.options.max_term_cost_blind.min(4),
+            max_cost: self.options.max_cost.min(20),
+            retry_ladder: false,
+            ..self.options.clone()
+        };
+        let rung_budget = Budget::for_search(&degraded);
+        let rung = search_governed(problem, &degraded, &rung_budget, tracer);
+        report.stats.merge(&rung.stats);
+        report.attempts.push(Attempt {
+            rung: Rung::Degraded,
+            error: rung.outcome.as_ref().err().cloned(),
+            elapsed: rung.elapsed,
+        });
+        if rung.outcome.is_ok() {
+            report.outcome = rung.outcome;
+            report.frontier = Vec::new();
+            report.elapsed = overall.elapsed();
+            return report;
+        }
+
+        // Rung 3: the pure enumerative baseline — no hypotheses at all, so
+        // it is immune to whatever made the main engine's space explode.
+        let bopts = BaselineOptions {
+            timeout: self.options.timeout,
+            eval_fuel: self.options.eval_fuel,
+            ..BaselineOptions::default()
+        };
+        let bbudget = Budget::new(self.options.timeout, self.options.max_overshoot);
+        let rung_start = Instant::now();
+        match synthesize_baseline_within(problem, &bopts, &bbudget) {
+            Ok(s) => {
+                report.stats.merge(&s.stats);
+                report.attempts.push(Attempt {
+                    rung: Rung::Baseline,
+                    error: None,
+                    elapsed: rung_start.elapsed(),
+                });
+                report.outcome = Ok(s);
+                report.frontier = Vec::new();
+            }
+            Err(e) => {
+                report.attempts.push(Attempt {
+                    rung: Rung::Baseline,
+                    error: Some(e),
+                    elapsed: rung_start.elapsed(),
+                });
+                // All rungs failed: keep the primary rung's error and
+                // frontier — they describe the most capable attempt.
+            }
+        }
+        report.elapsed = overall.elapsed();
+        report
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    fn id_problem() -> Problem {
+        Problem::builder("id")
+            .param("l", "[int]")
+            .returns("[int]")
+            .example(&["[1 2]"], "[1 2]")
+            .example(&["[]"], "[]")
+            .example(&["[3]"], "[3]")
+            .build()
+            .unwrap()
+    }
+
     #[test]
     fn builder_methods_set_options() {
         let s = Synthesizer::new()
             .timeout(Duration::from_secs(3))
             .deduction(false)
-            .max_cost(17);
+            .max_cost(17)
+            .max_overshoot(Duration::from_millis(40))
+            .retry_ladder(true);
         assert_eq!(s.options().timeout, Some(Duration::from_secs(3)));
         assert!(!s.options().deduction);
         assert_eq!(s.options().max_cost, 17);
+        assert_eq!(s.options().max_overshoot, Duration::from_millis(40));
+        assert!(s.options().retry_ladder);
         let s = s.no_timeout();
         assert_eq!(s.options().timeout, None);
     }
@@ -130,5 +259,58 @@ mod tests {
         let s = Synthesizer::new().synthesize(&p).unwrap();
         assert!(s.program.satisfies_problem(&p, 10_000));
         assert!(s.stats.popped > 0);
+    }
+
+    #[test]
+    fn report_without_ladder_records_one_attempt() {
+        let s = Synthesizer::with_options(SearchOptions {
+            max_popped: 3,
+            ..SearchOptions::default()
+        });
+        let report = s.synthesize_report(&id_problem());
+        assert_eq!(report.outcome.unwrap_err(), SynthError::LimitReached);
+        assert_eq!(report.attempts.len(), 1);
+        assert_eq!(report.attempts[0].rung, Rung::Full);
+        assert_eq!(report.attempts[0].error, Some(SynthError::LimitReached));
+    }
+
+    #[test]
+    fn retry_ladder_falls_back_to_the_baseline() {
+        // A 3-pop cap trips before the (trivially solvable) problem can be
+        // answered by the main engine on both rungs; the pop-cap-free
+        // baseline rung then solves it.
+        let s = Synthesizer::with_options(SearchOptions {
+            max_popped: 3,
+            retry_ladder: true,
+            ..SearchOptions::default()
+        });
+        let report = s.synthesize_report(&id_problem());
+        let rungs: Vec<Rung> = report.attempts.iter().map(|a| a.rung).collect();
+        assert_eq!(rungs, vec![Rung::Full, Rung::Degraded, Rung::Baseline]);
+        assert_eq!(report.attempts[0].error, Some(SynthError::LimitReached));
+        assert_eq!(report.attempts[2].error, None);
+        let solved = report.outcome.expect("baseline rung solves identity");
+        assert_eq!(solved.program.body().to_string(), "l");
+        assert!(report.frontier.is_empty());
+    }
+
+    #[test]
+    fn non_resource_failures_are_never_retried() {
+        // Inconsistent examples: retrying cannot help, the ladder must not
+        // spend two more deadlines discovering that.
+        let p = Problem::builder("bad")
+            .param("x", "int")
+            .returns("int")
+            .example(&["1"], "1")
+            .example(&["1"], "2")
+            .build()
+            .unwrap();
+        let s = Synthesizer::new().retry_ladder(true);
+        let report = s.synthesize_report(&p);
+        assert_eq!(
+            report.outcome.unwrap_err(),
+            SynthError::InconsistentExamples
+        );
+        assert_eq!(report.attempts.len(), 1);
     }
 }

@@ -69,27 +69,58 @@ impl Program {
         args: &[lambda2_lang::value::Value],
         fuel: u64,
     ) -> Result<lambda2_lang::value::Value, EvalError> {
+        self.apply_metered(args, fuel).0
+    }
+
+    /// Runs the program with an explicit fuel budget, additionally
+    /// reporting the fuel actually consumed — the search's resource
+    /// governor charges this against its cumulative fuel cap.
+    pub fn apply_metered(
+        &self,
+        args: &[lambda2_lang::value::Value],
+        fuel: u64,
+    ) -> (Result<lambda2_lang::value::Value, EvalError>, u64) {
         if args.len() != self.params.len() {
-            return Err(EvalError::ArityMismatch);
+            return (Err(EvalError::ArityMismatch), 0);
         }
         let mut env = Env::empty();
         for ((sym, _), v) in self.params.iter().zip(args) {
             env = env.bind(*sym, v.clone());
         }
-        let mut fuel = fuel;
-        eval(&self.body, &env, &mut fuel)
+        let mut remaining = fuel;
+        let result = eval(&self.body, &env, &mut remaining);
+        (result, fuel - remaining)
     }
 
     /// `true` if the program satisfies every example.
     pub fn satisfies(&self, examples: &[Example], fuel: u64) -> bool {
-        examples
-            .iter()
-            .all(|ex| matches!(self.apply_with_fuel(&ex.inputs, fuel), Ok(v) if v == ex.output))
+        self.satisfies_metered(examples, fuel).0
+    }
+
+    /// [`Program::satisfies`], additionally reporting the total fuel
+    /// consumed across the examples (evaluation stops at the first
+    /// mismatch, so the total covers only the examples actually run).
+    pub fn satisfies_metered(&self, examples: &[Example], fuel: u64) -> (bool, u64) {
+        let mut total = 0u64;
+        for ex in examples {
+            let (result, used) = self.apply_metered(&ex.inputs, fuel);
+            total = total.saturating_add(used);
+            if !matches!(result, Ok(v) if v == ex.output) {
+                return (false, total);
+            }
+        }
+        (true, total)
     }
 
     /// `true` if the program satisfies every example of `problem`.
     pub fn satisfies_problem(&self, problem: &Problem, fuel: u64) -> bool {
         self.satisfies(problem.examples(), fuel)
+    }
+
+    /// [`Program::satisfies_problem`] with fuel metering (see
+    /// [`Program::satisfies_metered`]).
+    pub fn satisfies_problem_metered(&self, problem: &Problem, fuel: u64) -> (bool, u64) {
+        self.satisfies_metered(problem.examples(), fuel)
     }
 
     /// Infers the program's result type from its parameter types.
@@ -212,6 +243,34 @@ mod tests {
 
         let p = prog("(empty? l)", &[("l", Type::list(Type::Int))]);
         assert_eq!(p.infer_type().unwrap(), Type::Bool);
+    }
+
+    #[test]
+    fn metered_runs_report_fuel_consumed() {
+        let p = prog("(+ a 1)", &[("a", Type::Int)]);
+        let (r, used) = p.apply_metered(&[parse_value("2").unwrap()], 100);
+        assert_eq!(r, Ok(parse_value("3").unwrap()));
+        assert!(used > 0 && used < 100, "{used}");
+        // Arity mismatches consume nothing.
+        let (r, mismatch_used) = p.apply_metered(&[], 100);
+        assert_eq!(r, Err(EvalError::ArityMismatch));
+        assert_eq!(mismatch_used, 0);
+        // satisfies_metered totals across examples and agrees with
+        // satisfies.
+        let ex = vec![
+            Example {
+                inputs: vec![parse_value("1").unwrap()],
+                output: parse_value("2").unwrap(),
+            },
+            Example {
+                inputs: vec![parse_value("5").unwrap()],
+                output: parse_value("6").unwrap(),
+            },
+        ];
+        let (ok, total) = p.satisfies_metered(&ex, 100);
+        assert!(ok);
+        assert_eq!(total, 2 * used); // same per-example cost
+        assert!(p.satisfies(&ex, 100));
     }
 
     #[test]
