@@ -6,15 +6,21 @@
 //! quickly; removing deduction loses the fold/nested problems; pure
 //! enumeration only manages the trivial ones.
 //!
-//! Usage: `cargo run -p bench --release --bin fig_cactus [-- --quick]`
+//! Usage: `cargo run -p bench --release --bin fig_cactus [-- --quick] [--jobs N]`
 
 use std::time::Duration;
 
-use bench::{record, render_table, run_benchmark, write_bench_json, Engine, Json};
+use bench::{
+    jobs_arg, record, render_table, run_benchmark, run_benchmarks_parallel, write_bench_json,
+    Engine, Json,
+};
 use lambda2_bench_suite::catalog;
+use lambda2_synth::par::effective_jobs;
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let jobs = effective_jobs(jobs_arg(&mut args).unwrap_or(1));
+    let quick = args.iter().any(|a| a == "--quick");
     let budgets_ms: &[u64] = &[
         100, 250, 500, 1000, 2500, 5000, 10_000, 30_000, 60_000, 180_000,
     ];
@@ -30,16 +36,27 @@ fn main() {
     let mut solve_times: Vec<Vec<Option<Duration>>> = Vec::new();
     let mut records = Vec::new();
     for engine in engines {
+        let cap = match (quick, engine) {
+            (true, _) => Duration::from_secs(5),
+            (false, Engine::Lambda2) => {
+                Duration::from_millis(*budgets_ms.last().expect("budget list is nonempty"))
+            }
+            (false, _) => Duration::from_secs(30),
+        };
+        let measurements = if jobs > 1 {
+            eprintln!(
+                "  {engine}: running {} benchmarks across {jobs} workers...",
+                suite.len()
+            );
+            run_benchmarks_parallel(&suite, engine, Some(cap), jobs)
+        } else {
+            suite
+                .iter()
+                .map(|bench| run_benchmark(bench, engine, Some(cap)))
+                .collect()
+        };
         let mut col = Vec::new();
-        for bench in &suite {
-            let cap = match (quick, engine) {
-                (true, _) => Duration::from_secs(5),
-                (false, Engine::Lambda2) => {
-                    Duration::from_millis(*budgets_ms.last().expect("budget list is nonempty"))
-                }
-                (false, _) => Duration::from_secs(30),
-            };
-            let m = run_benchmark(bench, engine, Some(cap));
+        for m in &measurements {
             eprintln!(
                 "  {engine}: [{}] {} ({:.1} ms)",
                 if m.solved { "ok" } else { "--" },
@@ -48,7 +65,7 @@ fn main() {
             );
             records.push(record(
                 &format!("{engine}/{}", m.name),
-                &m,
+                m,
                 &[("engine", engine.to_string().into())],
             ));
             col.push(m.solved.then_some(m.elapsed));

@@ -1,0 +1,163 @@
+//! **Experiment P1** — worker-pool scaling on the quick suite.
+//!
+//! Runs the non-hard suite under the full λ² engine — once on a single
+//! worker, then across the requested pool — and verifies that every
+//! compared problem yields a byte-identical program at an identical cost
+//! before reporting the wall-clock speedup. This is the determinism
+//! acceptance check for the parallel driver: parallelism may only change
+//! *when* answers arrive, never *what* they are.
+//!
+//! One caveat is inherent: per-problem budgets are *wall-clock*, so on an
+//! oversubscribed machine (more workers than idle cores) a problem that
+//! sequentially solves near its deadline can legitimately time out under
+//! contention. The identity check therefore covers the problems whose
+//! sequential time leaves at least a `4 × jobs` headroom factor under the
+//! budget — everything else is still run and recorded, just not gated on.
+//!
+//! Usage: `cargo run -p bench --release --bin par_speedup [-- --jobs N]`
+//! (`--jobs` defaults to one worker per CPU).
+
+use std::time::{Duration, Instant};
+
+use bench::{ms, record, render_table, run_benchmarks_parallel, write_bench_json, Engine, Json};
+use lambda2_bench_suite::{catalog, Benchmark};
+use lambda2_synth::par::effective_jobs;
+
+/// Default per-problem wall budget inside `run_benchmarks_parallel`.
+const BUDGET: Duration = Duration::from_secs(60);
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let jobs = effective_jobs(bench::jobs_arg(&mut args).unwrap_or(0));
+    let suite: Vec<Benchmark> = catalog().into_iter().filter(|b| !b.hard).collect();
+
+    println!(
+        "P1: parallel speedup over the quick suite ({} problems, engine: lambda2)\n",
+        suite.len()
+    );
+
+    eprintln!("  pass 1: 1 worker...");
+    let sequential = run_benchmarks_parallel(&suite, Engine::Lambda2, None, 1);
+
+    // Only problems with scheduling headroom take part in the identity
+    // and speedup comparison: a worst-case `jobs`-fold time-slicing plus
+    // parallel cache/allocator pressure must still fit the wall budget.
+    let headroom = BUDGET / (4 * jobs as u32);
+    let compared: Vec<Benchmark> = suite
+        .iter()
+        .zip(&sequential)
+        .filter(|(_, m)| m.solved && m.elapsed <= headroom)
+        .map(|(b, _)| b.clone())
+        .collect();
+    let skipped = suite.len() - compared.len();
+    eprintln!(
+        "  pass 2: {jobs} workers over the {} problems solved within {} ms \
+         ({skipped} without headroom are recorded but not gated on)...",
+        compared.len(),
+        ms(headroom)
+    );
+    let wall_n = Instant::now();
+    let parallel = run_benchmarks_parallel(&compared, Engine::Lambda2, None, jobs);
+    let wall_n = wall_n.elapsed();
+    let wall_1: Duration = suite
+        .iter()
+        .zip(&sequential)
+        .filter(|(b, _)| {
+            compared
+                .iter()
+                .any(|c| c.problem.name() == b.problem.name())
+        })
+        .map(|(_, m)| m.elapsed)
+        .sum();
+    eprintln!("  pass 2 done in {} ms", ms(wall_n));
+
+    let mut rows = Vec::new();
+    let mut records = Vec::new();
+    let mut mismatches = 0usize;
+    for (bench, seq) in suite.iter().zip(&sequential) {
+        let par = parallel
+            .iter()
+            .find(|m| m.name == bench.problem.name())
+            .map(|par| {
+                let identical =
+                    seq.solved == par.solved && seq.program == par.program && seq.cost == par.cost;
+                if !identical {
+                    mismatches += 1;
+                }
+                (par, identical)
+            });
+        rows.push(vec![
+            bench.problem.name().to_string(),
+            if seq.solved {
+                "yes".into()
+            } else {
+                "no".into()
+            },
+            ms(seq.elapsed),
+            par.map_or_else(|| "-".into(), |(p, _)| ms(p.elapsed)),
+            par.map_or_else(
+                || "skipped".into(),
+                |(_, id)| if id { "yes".into() } else { "NO".into() },
+            ),
+        ]);
+        let compared = par.is_some();
+        let identical = par.map(|(_, id)| id);
+        records.push(record(
+            bench.problem.name(),
+            par.map_or(seq, |(p, _)| p),
+            &[
+                ("compared", compared.into()),
+                ("identical", identical.map_or(Json::Null, |id| id.into())),
+                (
+                    "sequential_elapsed_ms",
+                    Json::Float(seq.elapsed.as_secs_f64() * 1e3),
+                ),
+            ],
+        ));
+    }
+    println!(
+        "{}",
+        render_table(
+            &[
+                "benchmark",
+                "solved",
+                "t_jobs1(ms)",
+                "t_jobsN(ms)",
+                "identical"
+            ],
+            &rows
+        )
+    );
+
+    let speedup = wall_1.as_secs_f64() / wall_n.as_secs_f64().max(1e-9);
+    println!(
+        "\nsummary: jobs={jobs}, {} compared problems, wall {} ms -> {} ms, \
+         speedup {speedup:.2}x, {mismatches} mismatches",
+        compared.len(),
+        ms(wall_1),
+        ms(wall_n)
+    );
+
+    match write_bench_json(
+        "par_speedup",
+        &[
+            ("jobs", jobs.into()),
+            ("nproc", effective_jobs(0).into()),
+            ("compared", compared.len().into()),
+            ("skipped_no_headroom", skipped.into()),
+            ("wall_jobs1_ms", Json::Float(wall_1.as_secs_f64() * 1e3)),
+            ("wall_jobsN_ms", Json::Float(wall_n.as_secs_f64() * 1e3)),
+            ("speedup", Json::Float(speedup)),
+            ("mismatches", mismatches.into()),
+        ],
+        records,
+    ) {
+        Ok(path) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("warning: could not write BENCH_par_speedup.json: {e}"),
+    }
+
+    if mismatches > 0 {
+        eprintln!("error: {mismatches} problems differed between jobs=1 and jobs={jobs}");
+        std::process::exit(1);
+    }
+}

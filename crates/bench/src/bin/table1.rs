@@ -5,31 +5,60 @@
 //! program itself. Ends with the summary statistics the paper reports in
 //! prose (solve rate, median/max times).
 //!
-//! Usage: `cargo run -p bench --release --bin table1 [-- --quick]`
-//! (`--quick` skips the hard benchmarks for a fast smoke run).
+//! Usage: `cargo run -p bench --release --bin table1 [-- --quick] [--jobs N]`
+//! (`--quick` skips the hard benchmarks for a fast smoke run; `--jobs`
+//! fans the problems across a worker pool, `0` = one per CPU — the
+//! per-problem numbers are identical to a sequential run).
 
-use bench::{ms, record, render_table, run_benchmark, write_bench_json, Engine};
-use lambda2_bench_suite::catalog;
+use bench::{
+    jobs_arg, ms, record, render_table, run_benchmark, run_benchmarks_parallel, write_bench_json,
+    Engine,
+};
+use lambda2_bench_suite::{catalog, Benchmark};
+use lambda2_synth::par::effective_jobs;
+use lambda2_synth::Measurement;
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let suite = catalog();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let jobs = effective_jobs(jobs_arg(&mut args).unwrap_or(1));
+    let quick = args.iter().any(|a| a == "--quick");
+    let suite: Vec<Benchmark> = catalog()
+        .into_iter()
+        .filter(|b| !(quick && b.hard))
+        .collect();
+
+    println!("T1: per-benchmark synthesis results (engine: lambda2)\n");
+    let measurements: Vec<Measurement> = if jobs > 1 {
+        eprintln!(
+            "  running {} benchmarks across {jobs} workers...",
+            suite.len()
+        );
+        run_benchmarks_parallel(&suite, Engine::Lambda2, None, jobs)
+    } else {
+        suite
+            .iter()
+            .map(|bench| {
+                let m = run_benchmark(bench, Engine::Lambda2, None);
+                eprintln!(
+                    "  [{}] {} ({})",
+                    if m.solved { "ok" } else { "--" },
+                    m.name,
+                    ms(m.elapsed)
+                );
+                m
+            })
+            .collect()
+    };
+
     let mut rows = Vec::new();
     let mut records = Vec::new();
     let mut times = Vec::new();
     let mut solved = 0usize;
-    let mut total = 0usize;
-
-    println!("T1: per-benchmark synthesis results (engine: lambda2)\n");
-    for bench in &suite {
-        if quick && bench.hard {
-            continue;
-        }
-        total += 1;
-        let m = run_benchmark(bench, Engine::Lambda2, None);
+    let total = suite.len();
+    for (bench, m) in suite.iter().zip(&measurements) {
         records.push(record(
             &m.name,
-            &m,
+            m,
             &[
                 ("category", bench.category.to_string().into()),
                 ("hard", bench.hard.into()),
@@ -39,12 +68,6 @@ fn main() {
             solved += 1;
             times.push(m.elapsed);
         }
-        eprintln!(
-            "  [{}] {} ({})",
-            if m.solved { "ok" } else { "--" },
-            m.name,
-            ms(m.elapsed)
-        );
         rows.push(vec![
             m.name.clone(),
             bench.category.to_string(),
@@ -62,7 +85,7 @@ fn main() {
                 "-".into()
             },
             if m.solved {
-                m.program
+                m.program.clone()
             } else {
                 "(timeout/exhausted)".into()
             },
@@ -98,7 +121,11 @@ fn main() {
 
     match write_bench_json(
         "table1",
-        &[("quick", quick.into()), ("engine", "lambda2".into())],
+        &[
+            ("quick", quick.into()),
+            ("engine", "lambda2".into()),
+            ("jobs", jobs.into()),
+        ],
         records,
     ) {
         Ok(path) => eprintln!("wrote {}", path.display()),

@@ -10,16 +10,19 @@
 //! * `fig_examples` — synthesis time vs number of examples.
 //!
 //! Besides the text tables, every binary writes a machine-readable
-//! `BENCH_<name>.json` report (see [`write_bench_json`]) into the current
-//! directory, carrying per-problem [`Measurement`]s with phase timings.
+//! `BENCH_<name>.json` report (see [`write_bench_json`]) into the repo's
+//! `results/` directory (override with `LAMBDA2_RESULTS_DIR`), carrying
+//! per-problem [`Measurement`]s with phase timings — deterministic paths
+//! no matter which directory the binary is launched from.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::time::Duration;
 
 use lambda2_bench_suite::Benchmark;
 use lambda2_synth::baseline::{synthesize_baseline, BaselineOptions};
 use lambda2_synth::govern::panic_message;
+use lambda2_synth::par::{synthesize_batch, ParEngine, ParTask, PortableProblem};
 use lambda2_synth::{Measurement, SearchOptions, Stats, SynthError, Synthesis, Synthesizer};
 
 pub use lambda2_synth::obs::json::Json;
@@ -102,6 +105,87 @@ pub fn run_benchmark(bench: &Benchmark, engine: Engine, timeout: Option<Duration
             stats: Stats::default(),
             error: Some(format!("panicked: {}", panic_message(&*payload))),
         },
+    }
+}
+
+/// Runs a suite of benchmarks under one engine across `jobs` worker
+/// threads (see [`lambda2_synth::par`]), returning measurements in suite
+/// order. Per-problem results are identical to [`run_benchmark`] — each
+/// worker runs the same engine under the same options and its own budget,
+/// and panics are isolated per problem — only wall-clock time changes.
+pub fn run_benchmarks_parallel(
+    benches: &[Benchmark],
+    engine: Engine,
+    timeout: Option<Duration>,
+    jobs: usize,
+) -> Vec<Measurement> {
+    let tasks: Vec<ParTask> = benches
+        .iter()
+        .map(|bench| {
+            let mut options = options_for(bench, timeout);
+            if engine == Engine::NoDeduce {
+                options.deduction = false;
+            }
+            ParTask {
+                spec: PortableProblem::from_problem(&bench.problem),
+                options,
+                engine: match engine {
+                    Engine::Baseline => ParEngine::Baseline,
+                    Engine::Lambda2 | Engine::NoDeduce => ParEngine::Search,
+                },
+                portfolio: false,
+                collect_trace: false,
+            }
+        })
+        .collect();
+    let budgets: Vec<Duration> = benches
+        .iter()
+        .map(|bench| {
+            timeout.unwrap_or(if bench.hard {
+                HARD_TIMEOUT
+            } else {
+                DEFAULT_TIMEOUT
+            })
+        })
+        .collect();
+    synthesize_batch(tasks, jobs)
+        .into_iter()
+        .zip(budgets)
+        .map(|(outcome, budget)| match outcome.result {
+            Ok(report) => report.to_measurement_budgeted(&outcome.name, outcome.examples, budget),
+            Err(msg) => Measurement {
+                name: outcome.name,
+                elapsed: Duration::ZERO,
+                solved: false,
+                cost: 0,
+                size: 0,
+                program: String::new(),
+                examples: outcome.examples,
+                stats: Stats::default(),
+                error: Some(format!("panicked: {msg}")),
+            },
+        })
+        .collect()
+}
+
+/// Parses a `--jobs <n>` argument pair out of `args` (any position),
+/// returning the requested worker count (`0` = one per CPU) or `None`
+/// when absent. Exits with a diagnostic on a malformed count, like the
+/// quick-flag conventions of the bench binaries.
+pub fn jobs_arg(args: &mut Vec<String>) -> Option<usize> {
+    let at = args.iter().position(|a| a == "--jobs")?;
+    args.remove(at);
+    if at >= args.len() {
+        eprintln!("error: --jobs requires a worker count");
+        std::process::exit(2);
+    }
+    let raw = args.remove(at);
+    match raw.parse::<usize>() {
+        Ok(n) => Some(n),
+        Err(_) => {
+            eprintln!("error: --jobs: `{raw}` is not a whole number of workers");
+            std::process::exit(2);
+        }
     }
 }
 
@@ -213,9 +297,25 @@ pub fn record(label: &str, m: &Measurement, extra: &[(&'static str, Json)]) -> J
     Json::Obj(pairs)
 }
 
-/// Writes `BENCH_<name>.json` in the current directory: a single JSON
-/// object with the experiment name, top-level `meta` fields, and a
-/// `results` array of [`record`]s. Returns the path written.
+/// The directory `BENCH_*.json` reports are written into: the
+/// `LAMBDA2_RESULTS_DIR` environment variable when set, otherwise the
+/// repo's `results/` directory (resolved from this crate's manifest, so
+/// the path does not depend on the launch directory).
+pub fn results_dir() -> PathBuf {
+    match std::env::var_os("LAMBDA2_RESULTS_DIR") {
+        Some(dir) => PathBuf::from(dir),
+        None => Path::new(env!("CARGO_MANIFEST_DIR"))
+            .ancestors()
+            .nth(2)
+            .expect("crate lives two levels below the repo root")
+            .join("results"),
+    }
+}
+
+/// Writes `BENCH_<name>.json` into [`results_dir`] (creating it if
+/// needed): a single JSON object with the experiment name, top-level
+/// `meta` fields, and a `results` array of [`record`]s. Returns the path
+/// written.
 ///
 /// # Errors
 ///
@@ -225,7 +325,9 @@ pub fn write_bench_json(
     meta: &[(&'static str, Json)],
     records: Vec<Json>,
 ) -> std::io::Result<PathBuf> {
-    let path = PathBuf::from(format!("BENCH_{name}.json"));
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("BENCH_{name}.json"));
     let mut pairs = vec![("bench".to_owned(), Json::str(name))];
     for (k, v) in meta {
         pairs.push(((*k).to_owned(), v.clone()));
@@ -345,11 +447,12 @@ mod tests {
     }
 
     #[test]
-    fn write_bench_json_emits_a_parseable_report() {
+    fn write_bench_json_emits_a_parseable_report_under_the_results_dir() {
+        // The env override redirects the report; without it the path
+        // resolves from the crate manifest, independent of the CWD.
         let dir = std::env::temp_dir().join("bench-json-test");
         std::fs::create_dir_all(&dir).unwrap();
-        let old = std::env::current_dir().unwrap();
-        std::env::set_current_dir(&dir).unwrap();
+        std::env::set_var("LAMBDA2_RESULTS_DIR", &dir);
         let bench = by_name("ident").unwrap();
         let m = run_benchmark(&bench, Engine::Lambda2, Some(Duration::from_secs(10)));
         let path = write_bench_json(
@@ -358,11 +461,49 @@ mod tests {
             vec![record("ident", &m, &[])],
         )
         .unwrap();
+        std::env::remove_var("LAMBDA2_RESULTS_DIR");
+        assert_eq!(path.parent(), Some(dir.as_path()));
         let text = std::fs::read_to_string(&path).unwrap();
-        std::env::set_current_dir(old).unwrap();
         let doc = lambda2_synth::obs::json::parse(&text).unwrap();
         assert_eq!(doc.get("bench").unwrap().as_str(), Some("selftest"));
         assert_eq!(doc.get("quick"), Some(&Json::Bool(true)));
         assert_eq!(doc.get("results").unwrap().as_arr().unwrap().len(), 1);
+
+        // Without the override, the path resolves to the repo's results/
+        // directory (two levels up from crates/bench), CWD-independent.
+        let default_dir = results_dir();
+        assert!(
+            default_dir.ends_with("results"),
+            "{}",
+            default_dir.display()
+        );
+        assert!(default_dir.parent().unwrap().join("Cargo.toml").exists());
+    }
+
+    #[test]
+    fn parallel_suite_matches_sequential_measurements() {
+        let names = ["ident", "head", "tail"];
+        let benches: Vec<Benchmark> = names
+            .iter()
+            .map(|n| by_name(n).expect("suite problem"))
+            .collect();
+        let timeout = Some(Duration::from_secs(10));
+        let parallel = run_benchmarks_parallel(&benches, Engine::Lambda2, timeout, 3);
+        for (bench, m) in benches.iter().zip(&parallel) {
+            let seq = run_benchmark(bench, Engine::Lambda2, timeout);
+            assert_eq!(m.name, seq.name);
+            assert_eq!(m.solved, seq.solved);
+            assert_eq!(m.program, seq.program, "{}", m.name);
+            assert_eq!(m.cost, seq.cost);
+            assert_eq!(m.stats.popped, seq.stats.popped);
+        }
+    }
+
+    #[test]
+    fn jobs_arg_extracts_the_flag_pair() {
+        let mut args: Vec<String> = vec!["--quick".into(), "--jobs".into(), "4".into()];
+        assert_eq!(jobs_arg(&mut args), Some(4));
+        assert_eq!(args, vec!["--quick".to_owned()]);
+        assert_eq!(jobs_arg(&mut args), None);
     }
 }

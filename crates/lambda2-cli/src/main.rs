@@ -14,12 +14,19 @@
 //!   --max-overshoot-ms <n>  deadline overshoot bound (default 100)
 //!   --retry-ladder          on resource exhaustion, retry with degraded
 //!                           options, then the enumerative baseline
+//!   --jobs <n>              run problems across n worker threads
+//!                           (0 = one per CPU; default 1, sequential)
+//!   --portfolio             race the retry-ladder rungs concurrently;
+//!                           same answer as --retry-ladder, less wall time
 //! ```
 //!
 //! Batch runs (`synth`/`bench` with several problems) isolate each
 //! problem: a failure — timeout, exhaustion, even a panic — is reported
 //! (and recorded in the `--stats-json` line) and the batch continues;
-//! the exit code is nonzero only if at least one problem failed.
+//! the exit code is nonzero only if at least one problem failed. With
+//! `--jobs`, problems fan out across a worker pool but results are
+//! printed in input order, and `--trace` events carry `problem`/`worker`
+//! tags, so output is deterministic up to timings.
 //!
 //! Problem files are s-expressions:
 //!
@@ -39,6 +46,10 @@ use std::time::Duration;
 
 use lambda2_lang::parser::{parse_sexps, type_of_sexp, value_of_sexp, Sexp};
 use lambda2_synth::govern::panic_message;
+use lambda2_synth::par::{
+    effective_jobs, synthesize_batch, tagged_event_json, ParEngine, ParOutcome, ParTask,
+    PortableProblem,
+};
 use lambda2_synth::{
     JsonlTracer, Measurement, Problem, ProblemBuilder, SearchOptions, SearchReport, Synthesizer,
 };
@@ -56,6 +67,11 @@ struct Flags {
     max_overshoot_ms: Option<u64>,
     /// Retry with degraded options, then the baseline, on resource limits.
     retry_ladder: bool,
+    /// Worker threads for batch commands (`None` = sequential, 0 = one
+    /// per CPU).
+    jobs: Option<usize>,
+    /// Race the retry-ladder rungs concurrently within each problem.
+    portfolio: bool,
 }
 
 impl Flags {
@@ -82,6 +98,13 @@ impl Flags {
                     flags.max_overshoot_ms = Some(ms_arg("--max-overshoot-ms", it.next())?);
                 }
                 "--retry-ladder" => flags.retry_ladder = true,
+                "--jobs" => {
+                    let raw = it.next().ok_or("--jobs requires a worker count")?;
+                    flags.jobs = Some(raw.parse::<usize>().map_err(|_| {
+                        format!("--jobs: `{raw}` is not a whole number of workers")
+                    })?);
+                }
+                "--portfolio" => flags.portfolio = true,
                 other if other.starts_with("--") => {
                     return Err(format!("unknown flag `{other}`"));
                 }
@@ -105,6 +128,15 @@ impl Flags {
             options.retry_ladder = true;
         }
         options
+    }
+
+    /// The resolved worker count: `--jobs 0` means one per CPU, no flag
+    /// means sequential.
+    fn effective_jobs(&self) -> usize {
+        match self.jobs {
+            Some(n) => effective_jobs(n),
+            None => 1,
+        }
     }
 }
 
@@ -130,7 +162,7 @@ fn main() -> ExitCode {
                  l2 eval <expr> [x=v]...\n  \
                  l2 [flags] bench <name>...\n  l2 list\n\
                  flags: --trace <path>  --stats-json  --timeout-ms <n>  \
-                 --max-overshoot-ms <n>  --retry-ladder"
+                 --max-overshoot-ms <n>  --retry-ladder  --jobs <n>  --portfolio"
             );
             return ExitCode::from(2);
         }
@@ -156,7 +188,11 @@ fn run_synthesis(
             let mut tracer = JsonlTracer::create(path)
                 .map_err(|e| format!("opening trace file {}: {e}", path.display()))?;
             let r = catch_unwind(AssertUnwindSafe(|| {
-                synthesizer.synthesize_report_traced(problem, &mut tracer)
+                if flags.portfolio {
+                    synthesizer.synthesize_report_portfolio_traced(problem, &mut tracer)
+                } else {
+                    synthesizer.synthesize_report_traced(problem, &mut tracer)
+                }
             }));
             let lines = tracer
                 .finish()
@@ -164,7 +200,13 @@ fn run_synthesis(
             eprintln!("trace: {lines} events -> {}", path.display());
             r
         }
-        None => catch_unwind(AssertUnwindSafe(|| synthesizer.synthesize_report(problem))),
+        None => catch_unwind(AssertUnwindSafe(|| {
+            if flags.portfolio {
+                synthesizer.synthesize_report_portfolio(problem)
+            } else {
+                synthesizer.synthesize_report(problem)
+            }
+        })),
     };
     report.map_err(|payload| format!("synthesis panicked: {}", panic_message(&*payload)))
 }
@@ -223,28 +265,150 @@ fn report(problem: &Problem, outcome: &Result<SearchReport, String>, flags: &Fla
 }
 
 fn cmd_synth(paths: &[String], flags: &Flags) -> Result<(), String> {
-    let mut failed = 0usize;
-    for path in paths {
-        match load_problem(path) {
-            Ok(problem) => {
-                eprintln!(
-                    "synthesizing `{}` from {} examples...",
-                    problem.name(),
-                    problem.examples().len()
-                );
-                let synthesizer = synthesizer_for(flags);
-                let outcome = run_synthesis(&synthesizer, &problem, flags);
-                if !report(&problem, &outcome, flags) {
+    if flags.effective_jobs() <= 1 {
+        let mut failed = 0usize;
+        for path in paths {
+            match load_problem(path) {
+                Ok(problem) => {
+                    eprintln!(
+                        "synthesizing `{}` from {} examples...",
+                        problem.name(),
+                        problem.examples().len()
+                    );
+                    let synthesizer = synthesizer_for(flags);
+                    let outcome = run_synthesis(&synthesizer, &problem, flags);
+                    if !report(&problem, &outcome, flags) {
+                        failed += 1;
+                    }
+                }
+                Err(msg) => {
+                    eprintln!("{path}: error: {msg}");
                     failed += 1;
                 }
             }
+        }
+        return batch_verdict(failed, paths.len());
+    }
+
+    // Parallel: load everything up front, fan the problems across the
+    // worker pool, then print results in input order.
+    let mut failed = 0usize;
+    let mut tasks = Vec::new();
+    for path in paths {
+        match load_problem(path) {
+            Ok(problem) => tasks.push(par_task(&problem, synthesizer_for(flags), flags)),
             Err(msg) => {
                 eprintln!("{path}: error: {msg}");
                 failed += 1;
             }
         }
     }
+    failed += run_batch(tasks, flags)?;
     batch_verdict(failed, paths.len())
+}
+
+/// Packages one problem for the worker pool.
+fn par_task(problem: &Problem, synthesizer: Synthesizer, flags: &Flags) -> ParTask {
+    ParTask {
+        spec: PortableProblem::from_problem(problem),
+        options: synthesizer.options().clone(),
+        engine: ParEngine::Search,
+        portfolio: flags.portfolio,
+        collect_trace: flags.trace.is_some(),
+    }
+}
+
+/// Fans `tasks` across the worker pool, writes the merged worker-tagged
+/// trace, and reports every outcome in input order. Returns the number of
+/// failed problems.
+fn run_batch(tasks: Vec<ParTask>, flags: &Flags) -> Result<usize, String> {
+    let jobs = flags.effective_jobs();
+    eprintln!("running {} problems across {jobs} workers...", tasks.len());
+    let outcomes = synthesize_batch(tasks, jobs);
+    write_tagged_trace(&outcomes, flags)?;
+    Ok(outcomes.iter().filter(|o| !report_par(o, flags)).count())
+}
+
+/// Writes the batch's trace events — tagged with problem and worker — as
+/// one JSONL file, in input (not completion) order.
+fn write_tagged_trace(outcomes: &[ParOutcome], flags: &Flags) -> Result<(), String> {
+    let Some(path) = &flags.trace else {
+        return Ok(());
+    };
+    use std::io::Write;
+    let io_err = |e: std::io::Error| format!("writing trace file {}: {e}", path.display());
+    let file = std::fs::File::create(path)
+        .map_err(|e| format!("opening trace file {}: {e}", path.display()))?;
+    let mut out = std::io::BufWriter::new(file);
+    let mut lines = 0u64;
+    for outcome in outcomes {
+        for event in &outcome.events {
+            writeln!(
+                out,
+                "{}",
+                tagged_event_json(event, &outcome.name, outcome.worker)
+            )
+            .map_err(io_err)?;
+            lines += 1;
+        }
+    }
+    out.flush().map_err(io_err)?;
+    eprintln!("trace: {lines} events -> {}", path.display());
+    Ok(())
+}
+
+/// [`report`] for a pool outcome: same summary lines, same `--stats-json`
+/// record. Returns `true` when the problem was solved.
+fn report_par(outcome: &ParOutcome, flags: &Flags) -> bool {
+    let (solved, error, measurement) = match &outcome.result {
+        Ok(report) => {
+            let m = report.to_measurement(&outcome.name, outcome.examples);
+            match &report.outcome {
+                Ok(s) => {
+                    println!("{}", s.program);
+                    eprintln!(
+                        "cost {}, {:.1} ms, {}",
+                        s.cost,
+                        report.elapsed.as_secs_f64() * 1e3,
+                        s.stats
+                    );
+                    eprintln!("phases: {}", s.stats.phases);
+                    (true, None, m)
+                }
+                Err(e) => {
+                    if !report.frontier.is_empty() {
+                        eprintln!("best incomplete candidates:");
+                        for item in &report.frontier {
+                            eprintln!("  cost {:3}  {}", item.cost, item.sketch);
+                        }
+                    }
+                    (false, Some(e.to_string()), m)
+                }
+            }
+        }
+        Err(msg) => {
+            let msg = format!("synthesis panicked: {msg}");
+            let m = Measurement {
+                name: outcome.name.clone(),
+                elapsed: Duration::ZERO,
+                solved: false,
+                cost: 0,
+                size: 0,
+                program: String::new(),
+                examples: outcome.examples,
+                stats: Default::default(),
+                error: Some(msg.clone()),
+            };
+            (false, Some(msg), m)
+        }
+    };
+    if let Some(e) = &error {
+        eprintln!("{}: error: {e}", outcome.name);
+    }
+    if flags.stats_json {
+        println!("{}", measurement.to_json());
+    }
+    solved
 }
 
 fn cmd_run(path: &str, run_args: &[String], flags: &Flags) -> Result<(), String> {
@@ -288,7 +452,9 @@ fn cmd_eval(expr: &str, bindings: &[String]) -> Result<(), String> {
 }
 
 fn cmd_bench(names: &[String], flags: &Flags) -> Result<(), String> {
+    let parallel = flags.effective_jobs() > 1;
     let mut failed = 0usize;
+    let mut tasks = Vec::new();
     for name in names {
         let Some(bench) = lambda2_bench_suite::by_name(name) else {
             eprintln!("{name}: error: unknown benchmark (try `l2 list`)");
@@ -299,10 +465,17 @@ fn cmd_bench(names: &[String], flags: &Flags) -> Result<(), String> {
         options.timeout = Some(Duration::from_secs(if bench.hard { 180 } else { 60 }));
         let options = flags.apply(options);
         let synthesizer = Synthesizer::with_options(options);
+        if parallel {
+            tasks.push(par_task(&bench.problem, synthesizer, flags));
+            continue;
+        }
         let outcome = run_synthesis(&synthesizer, &bench.problem, flags);
         if !report(&bench.problem, &outcome, flags) {
             failed += 1;
         }
+    }
+    if parallel {
+        failed += run_batch(tasks, flags)?;
     }
     batch_verdict(failed, names.len())
 }
@@ -505,6 +678,32 @@ mod tests {
         assert!(err.contains("soon"), "{err}");
         let mut negative: Vec<String> = vec!["--max-overshoot-ms".into(), "-5".into()];
         assert!(Flags::extract(&mut negative).is_err());
+    }
+
+    #[test]
+    fn parallel_flags_parse() {
+        let mut args: Vec<String> = ["bench", "--jobs", "4", "--portfolio", "evens"]
+            .iter()
+            .map(|s| (*s).to_owned())
+            .collect();
+        let flags = Flags::extract(&mut args).unwrap();
+        assert_eq!(flags.jobs, Some(4));
+        assert!(flags.portfolio);
+        assert_eq!(flags.effective_jobs(), 4);
+        assert_eq!(args, vec!["bench".to_owned(), "evens".to_owned()]);
+
+        // No flag = sequential; `--jobs 0` = one worker per CPU.
+        assert_eq!(Flags::default().effective_jobs(), 1);
+        let auto = Flags {
+            jobs: Some(0),
+            ..Flags::default()
+        };
+        assert!(auto.effective_jobs() >= 1);
+
+        let mut missing: Vec<String> = vec!["--jobs".into()];
+        assert!(Flags::extract(&mut missing).is_err());
+        let mut junk: Vec<String> = vec!["--jobs".into(), "many".into()];
+        assert!(Flags::extract(&mut junk).is_err());
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Deduction rules for `map` and `filter`.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use lambda2_lang::symbol::Symbol;
 use lambda2_lang::value::Value;
@@ -53,16 +53,26 @@ pub fn deduce_filter(rows: &[ExampleRow], coll: &CollectionArg, x: Symbol) -> Ou
         for v in ys {
             *count_out.entry(v).or_default() += 1;
         }
-        for (v, &cin) in &count_in {
+        // Emit rows in first-occurrence order over the collection, never
+        // in `count_in` iteration order: HashMap order is seeded per
+        // instance, and the leading rows of the deduced spec choose the
+        // enumerator's probe environments — a scrambled order makes the
+        // whole search (dedup classes, term counts) nondeterministic.
+        let mut emitted: HashSet<&Value> = HashSet::new();
+        for v in xs {
+            if !emitted.insert(v) {
+                continue;
+            }
+            let cin = count_in[v];
             let cout = count_out.get(v).copied().unwrap_or(0);
             if cout == cin {
                 fun_rows.push(ExampleRow::new(
-                    row.env.bind(x, (*v).clone()),
+                    row.env.bind(x, v.clone()),
                     Value::Bool(true),
                 ));
             } else if cout == 0 {
                 fun_rows.push(ExampleRow::new(
-                    row.env.bind(x, (*v).clone()),
+                    row.env.bind(x, v.clone()),
                     Value::Bool(false),
                 ));
             }
@@ -162,6 +172,35 @@ mod tests {
             let x = row.env.lookup(sym("x")).unwrap().as_int().unwrap();
             assert_eq!(row.output, Value::Bool(x % 2 == 0), "x={x}");
         }
+    }
+
+    #[test]
+    fn filter_rows_follow_collection_order() {
+        // Regression: rows used to be emitted in HashMap iteration order,
+        // which is seeded per instance — downstream, the leading spec rows
+        // pick the enumerator's probe environments, so a scrambled order
+        // made term counts flap between otherwise identical runs.
+        let (rows, coll) = rows_on_var("l", &[("[4 1 3 2]", "[4 2]")]);
+        let spec = fun_spec(deduce_filter(&rows, &coll, sym("x")));
+        let got: Vec<(i64, Value)> = spec
+            .rows()
+            .iter()
+            .map(|r| {
+                (
+                    r.env.lookup(sym("x")).unwrap().as_int().unwrap(),
+                    r.output.clone(),
+                )
+            })
+            .collect();
+        assert_eq!(
+            got,
+            vec![
+                (4, Value::Bool(true)),
+                (1, Value::Bool(false)),
+                (3, Value::Bool(false)),
+                (2, Value::Bool(true)),
+            ]
+        );
     }
 
     #[test]

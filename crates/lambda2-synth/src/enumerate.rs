@@ -118,6 +118,11 @@ pub struct TermStore {
     limits: EnumLimits,
     truncated: bool,
     approx_bytes: usize,
+    /// Monotone count of terms ever materialized into this store. Unlike
+    /// `terms.len()` it never decreases: level rollbacks and (at the
+    /// search level) LRU eviction + rebuild keep adding to it, so it
+    /// measures enumeration *work done*, not the current cache size.
+    inserted: u64,
 }
 
 impl TermStore {
@@ -165,6 +170,7 @@ impl TermStore {
             limits,
             truncated: false,
             approx_bytes: 0,
+            inserted: 0,
         }
     }
 
@@ -177,6 +183,13 @@ impl TermStore {
     /// Total number of terms currently stored.
     pub fn len(&self) -> usize {
         self.terms.len()
+    }
+
+    /// Monotone count of terms ever materialized (survives rollbacks;
+    /// never decreases). The search accumulates deltas of this counter
+    /// into `Stats::enumerated_terms`.
+    pub fn inserted(&self) -> u64 {
+        self.inserted
     }
 
     /// Rough heap footprint of the stored terms. Signatures dominate:
@@ -605,6 +618,7 @@ impl TermStore {
             bucket.push(self.terms.len());
         }
         let idx = self.terms.len();
+        self.inserted += 1;
         self.approx_bytes += 160
             + sig
                 .iter()

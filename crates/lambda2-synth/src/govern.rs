@@ -86,6 +86,17 @@ pub struct CancelToken {
 }
 
 impl CancelToken {
+    /// A free-standing token, not yet tied to any budget. Attach it to one
+    /// or more budgets with [`Budget::with_cancel`] — the portfolio racer
+    /// creates its tokens up front and hands each rung a budget that
+    /// adopts one, so the coordinator can cancel losers from outside the
+    /// rung threads.
+    pub fn new() -> CancelToken {
+        CancelToken {
+            flag: Arc::new(AtomicBool::new(false)),
+        }
+    }
+
     /// Requests cooperative cancellation.
     pub fn cancel(&self) {
         self.flag.store(true, Ordering::Relaxed);
@@ -94,6 +105,12 @@ impl CancelToken {
     /// `true` once [`CancelToken::cancel`] has been called.
     pub fn is_cancelled(&self) -> bool {
         self.flag.load(Ordering::Relaxed)
+    }
+}
+
+impl Default for CancelToken {
+    fn default() -> CancelToken {
+        CancelToken::new()
     }
 }
 
@@ -167,6 +184,14 @@ impl Budget {
         CancelToken {
             flag: Arc::clone(&self.cancel),
         }
+    }
+
+    /// Adopts an externally created [`CancelToken`] (chainable):
+    /// cancelling `token` cancels this budget. Replaces the budget's own
+    /// token; several budgets may adopt the same one.
+    pub fn with_cancel(mut self, token: &CancelToken) -> Budget {
+        self.cancel = Arc::clone(&token.flag);
+        self
     }
 
     /// Time elapsed since the budget was created.

@@ -56,6 +56,7 @@ pub mod govern;
 pub mod hypothesis;
 pub mod library;
 pub mod obs;
+pub mod par;
 pub mod problem;
 pub mod search;
 pub mod spec;
@@ -69,6 +70,11 @@ pub use govern::{
 };
 pub use library::Library;
 pub use obs::{CollectTracer, JsonlTracer, NoopTracer, PhaseTimes, TraceEvent, Tracer};
+pub use par::{
+    effective_jobs, portfolio_report, portfolio_report_traced, run_pool, synthesize_batch,
+    ParEngine, ParOutcome, ParTask, PoolItem, PortableLibrary, PortableProblem, PortableReport,
+    PortableSynthesis,
+};
 pub use problem::{Example, Problem, ProblemBuilder, ProblemError};
 pub use search::{search_governed, SearchOptions, SynthError, Synthesis};
 pub use spec::{ExampleRow, Spec};

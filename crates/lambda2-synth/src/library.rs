@@ -76,6 +76,16 @@ impl Library {
         self
     }
 
+    /// Adds combinators to the library (chainable, deduplicated).
+    pub fn with_combs(mut self, add: &[Comb]) -> Library {
+        for c in add {
+            if !self.combs.contains(c) {
+                self.combs.push(*c);
+            }
+        }
+        self
+    }
+
     /// Replaces the constant pool (chainable).
     pub fn with_constants(mut self, constants: Vec<Value>) -> Library {
         self.constants = constants;

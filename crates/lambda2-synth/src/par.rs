@@ -1,0 +1,931 @@
+//! Parallel synthesis: a hand-rolled worker pool for multi-problem
+//! batches and a within-problem *portfolio racer*.
+//!
+//! The engine's data spine (`Problem`/`Library`/`Value`) deliberately uses
+//! `Rc`, keeping the evaluation hot path free of atomic reference counts —
+//! so none of it is `Send`. Rather than converting the spine to `Arc`
+//! (taxing every `clone` in the innermost evaluator loops for the benefit
+//! of a once-per-problem handoff), work crosses threads as a
+//! [`PortableProblem`]: a string-rendered spec (the same surface syntax
+//! the parser already round-trips) that each worker re-parses into a
+//! thread-local `Problem`. The symbol interner is a global mutex, so
+//! symbols stay consistent across threads. Results come back as a
+//! [`PortableReport`] with the winning program *rendered*; callers that
+//! need a runnable [`Program`] re-parse the body on their own thread.
+//!
+//! Two drivers build on the [`run_pool`] primitive (std `thread` + `mpsc`;
+//! the container has no crates.io access, so no rayon):
+//!
+//! * [`synthesize_batch`] — fans independent problems across workers,
+//!   each under its own [`Budget`] with panic isolation; outputs are
+//!   returned in submission order, so batch output is deterministic no
+//!   matter how the scheduler interleaves workers.
+//! * [`portfolio_report`] — races the retry ladder's rungs (full config,
+//!   degraded caps, enumerative baseline) *concurrently*. The winner is
+//!   chosen by rung priority — exactly the order the sequential ladder
+//!   consults them — so the reported program, cost, attempt log, and
+//!   merged stats are identical to `Synthesizer::synthesize_report` with
+//!   the ladder enabled; only wall-clock time changes. Irrelevant rungs
+//!   are cancelled through shared [`CancelToken`]s and their partial
+//!   results discarded, never merged.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{mpsc, Mutex};
+use std::time::{Duration, Instant};
+
+use lambda2_lang::ast::{Comb, Op};
+use lambda2_lang::parser::{parse_expr, parse_value};
+
+use crate::baseline::{synthesize_baseline_within, BaselineOptions};
+use crate::cost::CostModel;
+use crate::govern::{
+    panic_message, Attempt, Budget, BudgetSnapshot, CancelToken, FrontierItem, Rung, SearchReport,
+};
+use crate::library::Library;
+use crate::obs::json::Json;
+use crate::obs::{CollectTracer, NoopTracer, TraceEvent, Tracer};
+use crate::problem::Problem;
+use crate::search::{search_governed, SearchOptions, SynthError, Synthesis};
+use crate::stats::{Measurement, Stats};
+use crate::synthesizer::Synthesizer;
+use crate::verify::Program;
+
+// ---------------------------------------------------------------------------
+// Portable (Send) mirrors of the Rc-carrying spine.
+// ---------------------------------------------------------------------------
+
+/// A `Send` mirror of a [`Library`]: operators and combinators are `Copy`
+/// enums, constants are rendered to surface syntax.
+#[derive(Clone, Debug)]
+pub struct PortableLibrary {
+    /// First-order operators, in library order.
+    pub ops: Vec<Op>,
+    /// Combinators, in library order.
+    pub combs: Vec<Comb>,
+    /// Literal constants, rendered with their `Display` form.
+    pub constants: Vec<String>,
+    /// The cost model (plain data, already `Send`).
+    pub costs: CostModel,
+}
+
+impl PortableLibrary {
+    /// Captures `library` for a thread crossing.
+    pub fn from_library(library: &Library) -> PortableLibrary {
+        PortableLibrary {
+            ops: library.ops().to_vec(),
+            combs: library.combs().to_vec(),
+            constants: library
+                .constants()
+                .iter()
+                .map(ToString::to_string)
+                .collect(),
+            costs: library.costs().clone(),
+        }
+    }
+
+    /// Reassembles the library on the receiving thread.
+    ///
+    /// # Errors
+    ///
+    /// Reports the first constant that fails to re-parse (cannot happen
+    /// for values rendered by `Display`, which round-trips).
+    pub fn rebuild(&self) -> Result<Library, String> {
+        let mut constants = Vec::with_capacity(self.constants.len());
+        for c in &self.constants {
+            constants.push(parse_value(c).map_err(|e| format!("constant `{c}`: {e}"))?);
+        }
+        Ok(Library::default()
+            .without_ops(&Op::ALL)
+            .with_ops(&self.ops)
+            .without_combs(&Comb::ALL)
+            .with_combs(&self.combs)
+            .with_constants(constants)
+            .with_costs(self.costs.clone()))
+    }
+}
+
+/// A `Send` mirror of a [`Problem`]: signature, examples, and library
+/// rendered to the surface syntax the parser round-trips. Workers call
+/// [`PortableProblem::rebuild`] to get a thread-local `Problem` that is
+/// observably identical to the original (the global symbol interner keeps
+/// parameter symbols consistent across threads).
+#[derive(Clone, Debug)]
+pub struct PortableProblem {
+    /// Problem name.
+    pub name: String,
+    /// Optional description.
+    pub description: Option<String>,
+    /// Parameters as `(name, rendered type)`.
+    pub params: Vec<(String, String)>,
+    /// Rendered return type.
+    pub returns: String,
+    /// Examples as `(rendered inputs, rendered output)`.
+    pub examples: Vec<(Vec<String>, String)>,
+    /// The component library.
+    pub library: PortableLibrary,
+}
+
+impl PortableProblem {
+    /// Captures `problem` for a thread crossing.
+    pub fn from_problem(problem: &Problem) -> PortableProblem {
+        PortableProblem {
+            name: problem.name().to_owned(),
+            description: problem.description().map(ToOwned::to_owned),
+            params: problem
+                .params()
+                .iter()
+                .map(|(sym, ty)| (sym.to_string(), ty.to_string()))
+                .collect(),
+            returns: problem.return_type().to_string(),
+            examples: problem
+                .examples()
+                .iter()
+                .map(|ex| {
+                    (
+                        ex.inputs.iter().map(ToString::to_string).collect(),
+                        ex.output.to_string(),
+                    )
+                })
+                .collect(),
+            library: PortableLibrary::from_library(problem.library()),
+        }
+    }
+
+    /// Reassembles the problem on the receiving thread.
+    ///
+    /// # Errors
+    ///
+    /// Reports the first piece that fails to re-parse (cannot happen for
+    /// specs rendered by [`PortableProblem::from_problem`]).
+    pub fn rebuild(&self) -> Result<Problem, String> {
+        let mut b = Problem::builder(self.name.as_str());
+        if let Some(d) = &self.description {
+            b = b.describe(d.clone());
+        }
+        for (name, ty) in &self.params {
+            b = b.param(name, ty);
+        }
+        b = b.returns(&self.returns);
+        for (inputs, output) in &self.examples {
+            let refs: Vec<&str> = inputs.iter().map(String::as_str).collect();
+            b = b.example(&refs, output);
+        }
+        b = b.library(self.library.rebuild()?);
+        b.build().map_err(|e| e.to_string())
+    }
+}
+
+/// A `Send` mirror of a successful [`Synthesis`]: the program is rendered;
+/// re-parse `body` with the problem's parameters to run it.
+#[derive(Clone, Debug)]
+pub struct PortableSynthesis {
+    /// The full program, rendered (`(lambda (…) …)`).
+    pub program: String,
+    /// The program body alone, re-parseable with `parse_expr`.
+    pub body: String,
+    /// Cost under the problem's cost model.
+    pub cost: u32,
+    /// Body size in AST nodes.
+    pub size: usize,
+    /// The winning attempt's own counters.
+    pub stats: Stats,
+    /// The winning attempt's own wall-clock time.
+    pub elapsed: Duration,
+}
+
+impl PortableSynthesis {
+    fn from_synthesis(s: &Synthesis) -> PortableSynthesis {
+        PortableSynthesis {
+            program: s.program.to_string(),
+            body: s.program.body().to_string(),
+            cost: s.cost,
+            size: s.program.body().size(),
+            stats: s.stats.clone(),
+            elapsed: s.elapsed,
+        }
+    }
+}
+
+/// A `Send` mirror of a [`SearchReport`].
+#[derive(Clone, Debug)]
+pub struct PortableReport {
+    /// The terminal result.
+    pub outcome: Result<PortableSynthesis, SynthError>,
+    /// Best-cost open hypotheses at termination (empty on success).
+    pub frontier: Vec<FrontierItem>,
+    /// Counters merged across attempts, exactly as the sequential report.
+    pub stats: Stats,
+    /// Total wall-clock time across attempts.
+    pub elapsed: Duration,
+    /// Resource accounting of the primary attempt's budget.
+    pub budget: BudgetSnapshot,
+    /// Every attempt made, in ladder order.
+    pub attempts: Vec<Attempt>,
+}
+
+impl PortableReport {
+    /// Captures a [`SearchReport`] for the trip back across the channel.
+    pub fn from_report(report: &SearchReport) -> PortableReport {
+        PortableReport {
+            outcome: report
+                .outcome
+                .as_ref()
+                .map(PortableSynthesis::from_synthesis)
+                .map_err(Clone::clone),
+            frontier: report.frontier.clone(),
+            stats: report.stats.clone(),
+            elapsed: report.elapsed,
+            budget: report.budget,
+            attempts: report.attempts.clone(),
+        }
+    }
+
+    /// `true` when a program was found.
+    pub fn is_success(&self) -> bool {
+        self.outcome.is_ok()
+    }
+
+    /// Mirror of [`SearchReport::to_measurement`]: total elapsed, merged
+    /// stats.
+    pub fn to_measurement(&self, name: &str, examples: usize) -> Measurement {
+        let (cost, size, program) = match &self.outcome {
+            Ok(s) => (s.cost, s.size, s.program.clone()),
+            Err(_) => (0, 0, String::new()),
+        };
+        Measurement {
+            name: name.to_owned(),
+            elapsed: self.elapsed,
+            solved: self.is_success(),
+            cost,
+            size,
+            program,
+            examples,
+            stats: self.stats.clone(),
+            error: self.outcome.as_ref().err().map(ToString::to_string),
+        }
+    }
+
+    /// Mirror of the bench harness's `measurement_of` conversion: solved
+    /// runs report their own synthesis time and counters, timeouts are
+    /// charged the full `budget`, other failures report zero elapsed.
+    pub fn to_measurement_budgeted(
+        &self,
+        name: &str,
+        examples: usize,
+        budget: Duration,
+    ) -> Measurement {
+        match &self.outcome {
+            Ok(s) => Measurement {
+                name: name.to_owned(),
+                elapsed: s.elapsed,
+                solved: true,
+                cost: s.cost,
+                size: s.size,
+                program: s.program.clone(),
+                examples,
+                stats: s.stats.clone(),
+                error: None,
+            },
+            Err(e) => Measurement {
+                name: name.to_owned(),
+                elapsed: if matches!(e, SynthError::Timeout) {
+                    budget
+                } else {
+                    Duration::ZERO
+                },
+                solved: false,
+                cost: 0,
+                size: 0,
+                program: String::new(),
+                examples,
+                stats: Stats::default(),
+                error: Some(e.to_string()),
+            },
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The worker pool.
+// ---------------------------------------------------------------------------
+
+/// One item's result from [`run_pool`].
+#[derive(Debug)]
+pub struct PoolItem<R> {
+    /// Which worker (0-based) processed the item.
+    pub worker: usize,
+    /// The closure's result, or the rendered panic message if it crashed.
+    /// A panic is isolated to its item: the worker survives and moves on
+    /// to the next job.
+    pub result: Result<R, String>,
+}
+
+/// Resolves a requested `--jobs` count: `0` means one worker per
+/// available CPU.
+pub fn effective_jobs(requested: usize) -> usize {
+    if requested == 0 {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    } else {
+        requested
+    }
+}
+
+/// Fans `items` across `jobs` worker threads (std `thread` + `mpsc`),
+/// calling `f(worker, index, item)` for each, and returns the results in
+/// the original item order — output is deterministic regardless of how
+/// the scheduler interleaves workers. Panics inside `f` are caught per
+/// item. All workers are joined before this returns.
+pub fn run_pool<T, R, F>(items: Vec<T>, jobs: usize, f: F) -> Vec<PoolItem<R>>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, usize, T) -> R + Sync,
+{
+    let n = items.len();
+    let jobs = effective_jobs(jobs).min(n.max(1));
+    let (job_tx, job_rx) = mpsc::channel::<(usize, T)>();
+    for item in items.into_iter().enumerate() {
+        job_tx.send(item).expect("receiver outlives the send loop");
+    }
+    drop(job_tx);
+    // Workers share the receiving end behind a mutex: each locks just long
+    // enough to pull one job, giving contention-free dynamic load
+    // balancing without a work-stealing deque.
+    let job_rx = Mutex::new(job_rx);
+    let (res_tx, res_rx) = mpsc::channel::<(usize, PoolItem<R>)>();
+    let mut out: Vec<Option<PoolItem<R>>> = (0..n).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        for worker in 0..jobs {
+            let job_rx = &job_rx;
+            let res_tx = res_tx.clone();
+            let f = &f;
+            scope.spawn(move || loop {
+                let job = job_rx
+                    .lock()
+                    .expect("no panics while holding the job lock")
+                    .recv();
+                let Ok((index, item)) = job else { break };
+                let result = catch_unwind(AssertUnwindSafe(|| f(worker, index, item)))
+                    .map_err(|payload| panic_message(&*payload));
+                let _ = res_tx.send((index, PoolItem { worker, result }));
+            });
+        }
+        drop(res_tx);
+        for (index, item) in res_rx {
+            out[index] = Some(item);
+        }
+    });
+    out.into_iter()
+        .map(|slot| slot.expect("every job reports exactly once"))
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Multi-problem batches.
+// ---------------------------------------------------------------------------
+
+/// Which engine a [`ParTask`] runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ParEngine {
+    /// The governed best-first search (`deduction` off in the task's
+    /// options gives the ablation).
+    Search,
+    /// The pure enumerative baseline.
+    Baseline,
+}
+
+/// One unit of work for [`synthesize_batch`].
+#[derive(Clone, Debug)]
+pub struct ParTask {
+    /// The problem, in portable form.
+    pub spec: PortableProblem,
+    /// Fully resolved search options (the worker applies them verbatim).
+    pub options: SearchOptions,
+    /// Which engine to run.
+    pub engine: ParEngine,
+    /// Race the retry-ladder rungs concurrently ([`portfolio_report`])
+    /// instead of running the options as given. `Search` engine only.
+    pub portfolio: bool,
+    /// Collect trace events for the caller (they come back in
+    /// [`ParOutcome::events`], ready for worker-tagged merging).
+    pub collect_trace: bool,
+}
+
+/// One task's outcome from [`synthesize_batch`], in submission order.
+#[derive(Debug)]
+pub struct ParOutcome {
+    /// Which worker ran the task.
+    pub worker: usize,
+    /// The problem name (echoed so callers need not keep the task list).
+    pub name: String,
+    /// Number of examples in the problem.
+    pub examples: usize,
+    /// The report, or the rendered panic/rebuild-failure message.
+    pub result: Result<PortableReport, String>,
+    /// Trace events, when the task asked for them (empty otherwise).
+    pub events: Vec<TraceEvent>,
+}
+
+/// Runs `tasks` across `jobs` workers and returns outcomes in submission
+/// order. Each task gets its own [`Budget`]; a panic anywhere inside one
+/// task's engine is isolated into that task's outcome. Per-task results
+/// and stats are identical to running the same task sequentially —
+/// workers share nothing but the (thread-safe) symbol interner.
+pub fn synthesize_batch(tasks: Vec<ParTask>, jobs: usize) -> Vec<ParOutcome> {
+    let names: Vec<(String, usize)> = tasks
+        .iter()
+        .map(|t| (t.spec.name.clone(), t.spec.examples.len()))
+        .collect();
+    let results = run_pool(tasks, jobs, |_worker, _index, task| run_task(&task));
+    results
+        .into_iter()
+        .zip(names)
+        .map(|(item, (name, examples))| match item.result {
+            Ok((report, events)) => ParOutcome {
+                worker: item.worker,
+                name,
+                examples,
+                result: Ok(report),
+                events,
+            },
+            Err(msg) => ParOutcome {
+                worker: item.worker,
+                name,
+                examples,
+                result: Err(msg),
+                events: Vec::new(),
+            },
+        })
+        .collect()
+}
+
+/// Runs one task on the current thread (panics propagate to the pool's
+/// per-item isolation).
+fn run_task(task: &ParTask) -> (PortableReport, Vec<TraceEvent>) {
+    let problem = task
+        .spec
+        .rebuild()
+        .unwrap_or_else(|e| panic!("rebuilding problem `{}`: {e}", task.spec.name));
+    let mut tracer = CollectTracer::default();
+    let mut noop = NoopTracer;
+    let report = match task.engine {
+        ParEngine::Search => {
+            let synthesizer = Synthesizer::with_options(task.options.clone());
+            let tr: &mut dyn Tracer = if task.collect_trace {
+                &mut tracer
+            } else {
+                &mut noop
+            };
+            if task.portfolio {
+                portfolio_report_traced(&problem, synthesizer.options(), tr)
+            } else {
+                synthesizer.synthesize_report_traced(&problem, tr)
+            }
+        }
+        ParEngine::Baseline => {
+            let bopts = BaselineOptions {
+                timeout: task.options.timeout,
+                max_cost: task.options.max_cost,
+                ..BaselineOptions::default()
+            };
+            let budget = Budget::new(task.options.timeout, task.options.max_overshoot);
+            let start = Instant::now();
+            let outcome = synthesize_baseline_within(&problem, &bopts, &budget);
+            let elapsed = start.elapsed();
+            let stats = outcome
+                .as_ref()
+                .map(|s| s.stats.clone())
+                .unwrap_or_default();
+            SearchReport {
+                attempts: vec![Attempt {
+                    rung: Rung::Baseline,
+                    error: outcome.as_ref().err().cloned(),
+                    elapsed,
+                }],
+                outcome,
+                frontier: Vec::new(),
+                stats,
+                elapsed,
+                budget: budget.snapshot(),
+            }
+        }
+    };
+    (PortableReport::from_report(&report), tracer.events)
+}
+
+/// Tags one trace event with the problem and worker that produced it —
+/// the per-event JSON object gains leading `problem` and `worker` fields,
+/// so merged multi-problem JSONL streams stay attributable.
+pub fn tagged_event_json(event: &TraceEvent, problem: &str, worker: usize) -> Json {
+    match event.to_json() {
+        Json::Obj(mut pairs) => {
+            pairs.insert(0, ("worker".to_owned(), worker.into()));
+            pairs.insert(0, ("problem".to_owned(), Json::str(problem)));
+            Json::Obj(pairs)
+        }
+        other => other,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Within-problem portfolio racing.
+// ---------------------------------------------------------------------------
+
+/// One rung's complete result, shipped back from its racing thread.
+struct RungRun {
+    outcome: Result<PortableSynthesis, SynthError>,
+    frontier: Vec<FrontierItem>,
+    stats: Stats,
+    elapsed: Duration,
+    budget: BudgetSnapshot,
+    events: Vec<TraceEvent>,
+    panic: Option<String>,
+}
+
+/// [`portfolio_report_traced`] without telemetry.
+pub fn portfolio_report(problem: &Problem, options: &SearchOptions) -> SearchReport {
+    portfolio_report_traced(problem, options, &mut NoopTracer)
+}
+
+/// Races the retry ladder's three rungs — the caller's options, the
+/// shared [`SearchOptions::degraded`] caps, and the enumerative baseline —
+/// on concurrent threads, each under its own [`Budget`] wired to a shared
+/// [`CancelToken`].
+///
+/// **Winner selection preserves the sequential answer.** The rungs are
+/// consulted in ladder priority order, not finish order: the full rung's
+/// verdict always decides first (its success — the minimal-cost program —
+/// or a non-resource failure ends the race outright); the degraded rung
+/// matters only if the full rung failed on a resource limit; the baseline
+/// only if the degraded rung also failed. Lower rungs can therefore never
+/// outrun the full configuration into the report, and the returned
+/// program, cost, attempt log, and merged stats are identical to
+/// `Synthesizer::synthesize_report` with `retry_ladder` enabled — rungs
+/// the sequential ladder would not have run are cancelled and their
+/// partial results discarded, not merged. Only wall-clock time differs:
+/// the race costs at most one deadline instead of three.
+///
+/// Trace events from the winning path are replayed into `tracer` in
+/// ladder order after the race, so traces are deterministic too.
+pub fn portfolio_report_traced(
+    problem: &Problem,
+    options: &SearchOptions,
+    tracer: &mut dyn Tracer,
+) -> SearchReport {
+    let overall = Instant::now();
+    let spec = PortableProblem::from_problem(problem);
+    let collect = tracer.enabled();
+    let full_options = SearchOptions {
+        retry_ladder: false,
+        ..options.clone()
+    };
+    let degraded_options = options.degraded();
+    let tokens: [CancelToken; 3] = [CancelToken::new(), CancelToken::new(), CancelToken::new()];
+    let mut runs: [Option<RungRun>; 3] = [None, None, None];
+
+    std::thread::scope(|scope| {
+        let (tx, rx) = mpsc::channel::<(usize, RungRun)>();
+        for (i, rung) in [Rung::Full, Rung::Degraded, Rung::Baseline]
+            .into_iter()
+            .enumerate()
+        {
+            let tx = tx.clone();
+            let token = tokens[i].clone();
+            let spec = &spec;
+            let rung_options = match rung {
+                Rung::Full => &full_options,
+                Rung::Degraded => &degraded_options,
+                Rung::Baseline => options,
+            };
+            scope.spawn(move || {
+                let run = run_rung(spec, rung, rung_options, &token, collect);
+                let _ = tx.send((i, run));
+            });
+        }
+        drop(tx);
+        while let Ok((i, run)) = rx.recv() {
+            runs[i] = Some(run);
+            // A successful degraded rung makes the baseline irrelevant no
+            // matter what the full rung does: either the full rung wins
+            // outright, or the ladder stops at the degraded success.
+            if runs[1]
+                .as_ref()
+                .is_some_and(|d| d.panic.is_none() && d.outcome.is_ok())
+            {
+                tokens[2].cancel();
+            }
+            // Once the full rung reports anything but a retryable resource
+            // failure, the race is decided: cancel both fallback lanes.
+            if let Some(full) = &runs[0] {
+                let retryable = full.panic.is_none()
+                    && matches!(&full.outcome, Err(e) if e.is_resource_limit());
+                if !retryable {
+                    tokens[1].cancel();
+                    tokens[2].cancel();
+                }
+            }
+        }
+    });
+
+    let full = runs[0].as_ref().expect("full rung always reports");
+    let retryable =
+        full.panic.is_none() && matches!(&full.outcome, Err(e) if e.is_resource_limit());
+
+    // The rung path the sequential ladder would have walked.
+    let mut path: Vec<(usize, Rung)> = vec![(0, Rung::Full)];
+    if retryable {
+        path.push((1, Rung::Degraded));
+        let degraded = runs[1].as_ref().expect("degraded rung always reports");
+        if degraded.panic.is_some() || degraded.outcome.is_err() {
+            path.push((2, Rung::Baseline));
+        }
+    }
+
+    // Replay the winning path's telemetry in ladder order (deterministic,
+    // identical to the sequential trace), then propagate any panic on the
+    // path — exactly where the sequential ladder would have crashed.
+    if collect {
+        for (i, _) in &path {
+            for event in &runs[*i].as_ref().expect("path rung reported").events {
+                tracer.emit(event.clone());
+            }
+        }
+    }
+    for (i, _) in &path {
+        if let Some(msg) = &runs[*i].as_ref().expect("path rung reported").panic {
+            panic!("{}", msg.clone());
+        }
+    }
+
+    // Merge stats and the attempt log along the path, mirroring the
+    // sequential ladder (which skips a failed baseline's stats).
+    let mut stats = Stats::default();
+    let mut attempts = Vec::new();
+    for (i, rung) in &path {
+        let run = runs[*i].as_ref().expect("path rung reported");
+        if *rung != Rung::Baseline || run.outcome.is_ok() {
+            stats.merge(&run.stats);
+        }
+        attempts.push(Attempt {
+            rung: *rung,
+            error: run.outcome.as_ref().err().cloned(),
+            elapsed: run.elapsed,
+        });
+    }
+
+    // The winner is the first rung in priority order that succeeded; if
+    // none did, the full rung's error and frontier describe the failure.
+    let winner = path
+        .iter()
+        .find(|(i, _)| {
+            runs[*i]
+                .as_ref()
+                .expect("path rung reported")
+                .outcome
+                .is_ok()
+        })
+        .map(|(i, _)| *i);
+    let (outcome, frontier) = match winner {
+        Some(i) => {
+            let run = runs[i].as_ref().expect("winner reported");
+            let win = run.outcome.as_ref().expect("winner succeeded");
+            let body = parse_expr(&win.body)
+                .unwrap_or_else(|e| panic!("synthesized program `{}` re-parses: {e}", win.body));
+            let program = Program::new(problem.params().to_vec(), body);
+            (
+                Ok(Synthesis {
+                    program,
+                    cost: win.cost,
+                    stats: win.stats.clone(),
+                    elapsed: win.elapsed,
+                }),
+                Vec::new(),
+            )
+        }
+        None => (
+            Err(full
+                .outcome
+                .as_ref()
+                .err()
+                .cloned()
+                .expect("no winner implies the full rung failed")),
+            full.frontier.clone(),
+        ),
+    };
+
+    SearchReport {
+        outcome,
+        frontier,
+        stats,
+        elapsed: overall.elapsed(),
+        budget: full.budget,
+        attempts,
+    }
+}
+
+/// Runs one rung of the portfolio on the current thread, catching panics
+/// into the result so the coordinator can decide whether they matter
+/// (a cancelled loser's crash is discarded; a winner-path crash
+/// propagates).
+fn run_rung(
+    spec: &PortableProblem,
+    rung: Rung,
+    options: &SearchOptions,
+    token: &CancelToken,
+    collect: bool,
+) -> RungRun {
+    let start = Instant::now();
+    let caught = catch_unwind(AssertUnwindSafe(|| {
+        let problem = spec
+            .rebuild()
+            .unwrap_or_else(|e| panic!("rebuilding problem `{}`: {e}", spec.name));
+        match rung {
+            Rung::Full | Rung::Degraded => {
+                let budget = Budget::for_search(options).with_cancel(token);
+                let mut tracer = CollectTracer::default();
+                let mut noop = NoopTracer;
+                let report = {
+                    let tr: &mut dyn Tracer = if collect { &mut tracer } else { &mut noop };
+                    search_governed(&problem, options, &budget, tr)
+                };
+                RungRun {
+                    outcome: report
+                        .outcome
+                        .as_ref()
+                        .map(PortableSynthesis::from_synthesis)
+                        .map_err(Clone::clone),
+                    frontier: report.frontier,
+                    stats: report.stats,
+                    elapsed: report.elapsed,
+                    budget: report.budget,
+                    events: tracer.events,
+                    panic: None,
+                }
+            }
+            Rung::Baseline => {
+                // Mirrors the sequential ladder's third rung: wall-clock
+                // and fuel budgets only, defaults otherwise.
+                let bopts = BaselineOptions {
+                    timeout: options.timeout,
+                    eval_fuel: options.eval_fuel,
+                    ..BaselineOptions::default()
+                };
+                let budget = Budget::new(options.timeout, options.max_overshoot).with_cancel(token);
+                let outcome = synthesize_baseline_within(&problem, &bopts, &budget);
+                let elapsed = start.elapsed();
+                RungRun {
+                    stats: outcome
+                        .as_ref()
+                        .map(|s| s.stats.clone())
+                        .unwrap_or_default(),
+                    outcome: outcome
+                        .as_ref()
+                        .map(PortableSynthesis::from_synthesis)
+                        .map_err(Clone::clone),
+                    frontier: Vec::new(),
+                    elapsed,
+                    budget: budget.snapshot(),
+                    events: Vec::new(),
+                    panic: None,
+                }
+            }
+        }
+    }));
+    caught.unwrap_or_else(|payload| RungRun {
+        // Placeholder verdict; the coordinator checks `panic` first and
+        // never reads a panicked rung's outcome.
+        outcome: Err(SynthError::Cancelled),
+        frontier: Vec::new(),
+        stats: Stats::default(),
+        elapsed: start.elapsed(),
+        budget: Budget::unlimited().snapshot(),
+        events: Vec::new(),
+        panic: Some(panic_message(&*payload)),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sum_problem() -> Problem {
+        Problem::builder("sum")
+            .param("l", "[int]")
+            .returns("int")
+            .example(&["[]"], "0")
+            .example(&["[1]"], "1")
+            .example(&["[1 2]"], "3")
+            .example(&["[1 2 3]"], "6")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn portable_problem_round_trips() {
+        let p = sum_problem();
+        let spec = PortableProblem::from_problem(&p);
+        let q = spec.rebuild().expect("rebuilds");
+        assert_eq!(q.name(), p.name());
+        assert_eq!(q.params(), p.params());
+        assert_eq!(q.return_type(), p.return_type());
+        assert_eq!(q.examples().len(), p.examples().len());
+        for (a, b) in p.examples().iter().zip(q.examples()) {
+            assert_eq!(a.inputs, b.inputs);
+            assert_eq!(a.output, b.output);
+        }
+        assert_eq!(q.library().ops(), p.library().ops());
+        assert_eq!(q.library().combs(), p.library().combs());
+        assert_eq!(q.library().constants(), p.library().constants());
+    }
+
+    #[test]
+    fn portable_library_round_trips_custom_vocabulary() {
+        let lib = Library::default()
+            .without_ops(&[Op::Cat])
+            .with_ops(&[Op::Member])
+            .without_combs(&[Comb::Recl])
+            .with_constant(lambda2_lang::value::Value::Int(7));
+        let rebuilt = PortableLibrary::from_library(&lib).rebuild().unwrap();
+        assert_eq!(rebuilt.ops(), lib.ops());
+        assert_eq!(rebuilt.combs(), lib.combs());
+        assert_eq!(rebuilt.constants(), lib.constants());
+    }
+
+    #[test]
+    fn pool_preserves_order_and_isolates_panics() {
+        let items: Vec<u32> = (0..16).collect();
+        let results = run_pool(items, 4, |_w, _i, x| {
+            if x == 7 {
+                panic!("boom at {x}");
+            }
+            x * 2
+        });
+        assert_eq!(results.len(), 16);
+        for (i, item) in results.iter().enumerate() {
+            if i == 7 {
+                assert_eq!(item.result.as_ref().unwrap_err(), "boom at 7");
+            } else {
+                assert_eq!(*item.result.as_ref().unwrap(), 2 * i as u32);
+            }
+        }
+    }
+
+    #[test]
+    fn effective_jobs_resolves_zero_to_a_positive_count() {
+        assert!(effective_jobs(0) >= 1);
+        assert_eq!(effective_jobs(3), 3);
+    }
+
+    #[test]
+    fn batch_matches_direct_synthesis() {
+        let p = sum_problem();
+        let direct = Synthesizer::default().synthesize(&p).expect("solves");
+        let task = ParTask {
+            spec: PortableProblem::from_problem(&p),
+            options: SearchOptions::default(),
+            engine: ParEngine::Search,
+            portfolio: false,
+            collect_trace: false,
+        };
+        let outcomes = synthesize_batch(vec![task], 2);
+        assert_eq!(outcomes.len(), 1);
+        assert_eq!(outcomes[0].name, "sum");
+        let report = outcomes[0].result.as_ref().expect("no panic");
+        let win = report.outcome.as_ref().expect("solved");
+        assert_eq!(win.program, direct.program.to_string());
+        assert_eq!(win.cost, direct.cost);
+        assert_eq!(win.stats.popped, direct.stats.popped);
+        assert_eq!(win.stats.enumerated_terms, direct.stats.enumerated_terms);
+    }
+
+    #[test]
+    fn portfolio_matches_sequential_when_the_full_rung_wins() {
+        let p = sum_problem();
+        let sequential = Synthesizer::default()
+            .retry_ladder(true)
+            .synthesize_report(&p);
+        let report = portfolio_report(&p, &SearchOptions::default());
+        let (s_win, p_win) = (
+            sequential.outcome.as_ref().expect("solved"),
+            report.outcome.as_ref().expect("solved"),
+        );
+        assert_eq!(p_win.program.to_string(), s_win.program.to_string());
+        assert_eq!(p_win.cost, s_win.cost);
+        assert_eq!(report.attempts.len(), 1);
+        assert_eq!(report.attempts[0].rung, Rung::Full);
+        assert_eq!(report.stats.popped, sequential.stats.popped);
+    }
+
+    #[test]
+    fn tagged_events_carry_problem_and_worker() {
+        let e = TraceEvent::Fault {
+            site: "verify.candidate",
+            detail: "boom".into(),
+        };
+        let j = tagged_event_json(&e, "sum", 3);
+        assert_eq!(j.get("problem").and_then(|v| v.as_str()), Some("sum"));
+        assert_eq!(j.get("worker").and_then(|v| v.as_i64()), Some(3));
+    }
+}

@@ -161,6 +161,24 @@ impl Default for SearchOptions {
     }
 }
 
+impl SearchOptions {
+    /// The degraded-caps configuration used by the retry ladder's second
+    /// rung and the portfolio racer's second lane: tightened term-cost and
+    /// global caps — the same engine on a much smaller space, completing
+    /// quickly when the answer is simple and the full configuration
+    /// drowned in a deep space. Shared so sequential retry and concurrent
+    /// portfolio race *identical* configurations.
+    pub fn degraded(&self) -> SearchOptions {
+        SearchOptions {
+            max_term_cost: self.max_term_cost.min(8),
+            max_term_cost_blind: self.max_term_cost_blind.min(4),
+            max_cost: self.max_cost.min(20),
+            retry_ladder: false,
+            ..self.clone()
+        }
+    }
+}
+
 /// Why synthesis failed.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum SynthError {
@@ -196,6 +214,19 @@ impl std::fmt::Display for SynthError {
             SynthError::Cancelled => write!(f, "synthesis was cancelled"),
             SynthError::FuelExhausted => write!(f, "evaluation fuel budget exhausted"),
         }
+    }
+}
+
+impl SynthError {
+    /// `true` for failures caused by a *resource* limit (timeout, pop cap,
+    /// fuel cap) — the errors a degraded retry or a portfolio rung can
+    /// plausibly fix. Exhaustion and inconsistent examples are semantic
+    /// verdicts no retry can change.
+    pub fn is_resource_limit(&self) -> bool {
+        matches!(
+            self,
+            SynthError::Timeout | SynthError::LimitReached | SynthError::FuelExhausted
+        )
     }
 }
 
@@ -525,9 +556,11 @@ pub fn search_governed(
                             // larger init pool is only materialized when some
                             // collection candidate actually has empty-collection
                             // rows to constrain it.
+                            let before = store.inserted();
                             if let Err(e) =
                                 store.ensure_within(options.max_collection_cost, library, budget)
                             {
+                                stats.enumerated_terms += store.inserted() - before;
                                 stats.phases.enumerate += t_enum.elapsed();
                                 break 'search Err(e.to_synth_error());
                             }
@@ -547,9 +580,11 @@ pub fn search_governed(
                                 options.max_collection_cost.max(options.max_free_init_cost)
                             };
                             if let Err(e) = store.ensure_within(arg_cost, library, budget) {
+                                stats.enumerated_terms += store.inserted() - before;
                                 stats.phases.enumerate += t_enum.elapsed();
                                 break 'search Err(e.to_synth_error());
                             }
+                            stats.enumerated_terms += store.inserted() - before;
                             let pool: Vec<_> = store
                                 .error_free(arg_cost)
                                 .into_iter()
@@ -815,10 +850,13 @@ pub fn search_governed(
                         &mut stats,
                         tracer,
                     );
+                    let before = store.inserted();
                     if let Err(e) = store.ensure_within(tier, library, budget) {
+                        stats.enumerated_terms += store.inserted() - before;
                         stats.phases.enumerate += t_enum.elapsed();
                         break 'search Err(e.to_synth_error());
                     }
+                    stats.enumerated_terms += store.inserted() - before;
                     let fills: Vec<(Rc<lambda2_lang::ast::Expr>, u32)> = store
                         .closings(tier, &info.ty, &info.spec)
                         .map(|t| (t.expr.clone(), t.cost))
@@ -919,7 +957,6 @@ pub fn search_governed(
         }
     };
 
-    stats.enumerated_terms = stores.values().map(|(s, _)| s.len() as u64).sum();
     let elapsed = start.elapsed();
     let (outcome, frontier) = match outcome {
         Ok((program, cost)) => (

@@ -24,7 +24,10 @@ pub struct Stats {
     pub verified: u64,
     /// Complete candidates that failed verification.
     pub verify_failures: u64,
-    /// Terms materialized across all enumeration stores.
+    /// Terms materialized across all enumeration stores — a monotone
+    /// *work* counter accumulated at insertion time, so terms built,
+    /// evicted by the LRU sweep, and rebuilt on demand count every time
+    /// they are materialized (and never vanish from the stat).
     pub enumerated_terms: u64,
     /// Enumeration-store cache hits (an existing store was reused).
     pub store_hits: u64,

@@ -144,25 +144,15 @@ impl Synthesizer {
             error: report.outcome.as_ref().err().cloned(),
             elapsed: report.elapsed,
         });
-        let retryable = matches!(
-            report.outcome,
-            Err(SynthError::Timeout | SynthError::LimitReached | SynthError::FuelExhausted)
-        );
+        let retryable = matches!(&report.outcome, Err(e) if e.is_resource_limit());
         if !self.options.retry_ladder || !retryable {
             report.elapsed = overall.elapsed();
             return report;
         }
 
-        // Rung 2: tightened term-cost and global caps — the same engine on
-        // a much smaller space, completing quickly when the answer is
-        // simple and the full configuration drowned in a deep space.
-        let degraded = SearchOptions {
-            max_term_cost: self.options.max_term_cost.min(8),
-            max_term_cost_blind: self.options.max_term_cost_blind.min(4),
-            max_cost: self.options.max_cost.min(20),
-            retry_ladder: false,
-            ..self.options.clone()
-        };
+        // Rung 2: tightened term-cost and global caps (shared with the
+        // portfolio racer so both ladders run identical configurations).
+        let degraded = self.options.degraded();
         let rung_budget = Budget::for_search(&degraded);
         let rung = search_governed(problem, &degraded, &rung_budget, tracer);
         report.stats.merge(&rung.stats);
@@ -210,6 +200,26 @@ impl Synthesizer {
         }
         report.elapsed = overall.elapsed();
         report
+    }
+
+    /// [`Synthesizer::synthesize_report`] with the retry-ladder rungs
+    /// raced concurrently instead of sequentially (see
+    /// [`crate::par::portfolio_report_traced`] for the identity
+    /// guarantee). Races the ladder whether or not
+    /// [`SearchOptions::retry_ladder`] is set; the equivalence target is
+    /// the sequential report *with* the ladder enabled.
+    pub fn synthesize_report_portfolio(&self, problem: &Problem) -> SearchReport {
+        crate::par::portfolio_report(problem, &self.options)
+    }
+
+    /// [`Synthesizer::synthesize_report_portfolio`] with telemetry; the
+    /// winning path's events are replayed into `tracer` in ladder order.
+    pub fn synthesize_report_portfolio_traced(
+        &self,
+        problem: &Problem,
+        tracer: &mut dyn Tracer,
+    ) -> SearchReport {
+        crate::par::portfolio_report_traced(problem, &self.options, tracer)
     }
 }
 

@@ -118,6 +118,36 @@ fn forced_store_evictions_do_not_change_the_answer() {
 }
 
 #[test]
+fn enumerated_terms_survives_store_evictions() {
+    // Regression: `enumerated_terms` used to be recomputed at the end of
+    // the search from the *live* store sizes, so every LRU-evicted store
+    // silently vanished from the stat. It is now a monotone work counter
+    // bumped at insertion time: a run that evicts and rebuilds stores
+    // must report at least as many materialized terms as a clean run —
+    // the rebuilt terms are real work — and never fewer.
+    failpoints::reset();
+    let clean = {
+        let (report, _) = run_with_trace("evens", &SearchOptions::default());
+        report.outcome.expect("evens solves").stats.enumerated_terms
+    };
+    assert!(clean > 0, "the clean run materializes terms");
+    failpoints::reset();
+    let _guard = FailGuard::arm("store.evict", FailAction::EvictStores, u64::MAX);
+    let (report, _) = run_with_trace("evens", &SearchOptions::default());
+    assert!(_guard.hits() > 0, "the eviction site was exercised");
+    let evicted = report.outcome.expect("evens still solves");
+    assert!(
+        evicted.stats.store_evictions > 0,
+        "the sweep actually evicted stores"
+    );
+    assert!(
+        evicted.stats.enumerated_terms >= clean,
+        "evictions erased work from the counter: {} < {clean}",
+        evicted.stats.enumerated_terms
+    );
+}
+
+#[test]
 fn identical_faulty_runs_are_deterministic() {
     let run = || {
         failpoints::reset();

@@ -1,0 +1,226 @@
+//! Determinism suite for the parallel drivers (`lambda2::synth::par`).
+//!
+//! Parallelism may change *when* answers arrive, never *what* they are:
+//! `--jobs N` batches and `--portfolio` racing must report byte-identical
+//! programs at identical costs with identical (permutation-independent)
+//! counters, and a cancelled or crashed loser must never corrupt a
+//! winner.
+
+use std::time::Duration;
+
+use lambda2::suite::by_name;
+use lambda2::synth::par::{
+    portfolio_report, synthesize_batch, ParEngine, ParTask, PortableProblem,
+};
+use lambda2::synth::{Problem, Rung, SearchOptions, Stats, SynthError, Synthesizer};
+
+/// Non-hard suite problems that solve in well under a second each.
+const FAST: &[&str] = &[
+    "ident",
+    "head",
+    "tail",
+    "last",
+    "incr",
+    "shiftl",
+    "multfirst",
+];
+
+/// The options the sequential path would use for a suite problem.
+fn options_for(name: &str) -> SearchOptions {
+    let bench = by_name(name).expect("suite problem");
+    let mut options = bench.tune(SearchOptions::default());
+    options.timeout = Some(Duration::from_secs(60));
+    options
+}
+
+fn task_for(name: &str) -> ParTask {
+    let bench = by_name(name).expect("suite problem");
+    ParTask {
+        spec: PortableProblem::from_problem(&bench.problem),
+        options: options_for(name),
+        engine: ParEngine::Search,
+        portfolio: false,
+        collect_trace: false,
+    }
+}
+
+/// The deterministic counters (phase *timings* are excluded: wall time is
+/// the one thing parallelism is allowed to change).
+fn counters(stats: &Stats) -> (u64, u64, u64, u64, u64, u64) {
+    (
+        stats.popped,
+        stats.expansions,
+        stats.refuted,
+        stats.closings,
+        stats.verified,
+        stats.enumerated_terms,
+    )
+}
+
+#[test]
+fn parallel_batch_matches_sequential_runs_exactly() {
+    let tasks: Vec<ParTask> = FAST.iter().map(|n| task_for(n)).collect();
+    let outcomes = synthesize_batch(tasks, 4);
+    assert_eq!(outcomes.len(), FAST.len());
+    for (name, outcome) in FAST.iter().zip(&outcomes) {
+        let sequential = Synthesizer::with_options(options_for(name))
+            .synthesize_report(&by_name(name).unwrap().problem);
+        let seq = sequential.outcome.expect("fast problem solves");
+        let report = outcome.result.as_ref().expect("no panic");
+        let par = report.outcome.as_ref().expect("fast problem solves");
+        assert_eq!(outcome.name, *name);
+        assert_eq!(par.program, seq.program.to_string(), "{name}");
+        assert_eq!(par.cost, seq.cost, "{name}");
+        assert_eq!(
+            counters(&report.stats),
+            counters(&sequential.stats),
+            "{name}"
+        );
+    }
+}
+
+#[test]
+fn merged_totals_are_permutation_independent() {
+    let forward: Vec<ParTask> = FAST.iter().map(|n| task_for(n)).collect();
+    let reversed: Vec<ParTask> = FAST.iter().rev().map(|n| task_for(n)).collect();
+    let total = |outcomes: &[lambda2::synth::ParOutcome]| {
+        let mut sum = Stats::default();
+        for o in outcomes {
+            sum.merge(&o.result.as_ref().expect("no panic").stats);
+        }
+        counters(&sum)
+    };
+    let jobs1 = total(&synthesize_batch(forward.clone(), 1));
+    let jobs4 = total(&synthesize_batch(forward, 4));
+    let jobs4_rev = total(&synthesize_batch(reversed, 4));
+    assert_eq!(jobs1, jobs4, "worker count changed the merged counters");
+    assert_eq!(
+        jobs4, jobs4_rev,
+        "submission order changed the merged counters"
+    );
+}
+
+#[test]
+fn portfolio_matches_the_sequential_ladder_when_the_full_rung_wins() {
+    for name in ["evens", "shiftl"] {
+        let problem = &by_name(name).unwrap().problem;
+        let options = options_for(name);
+        let sequential = Synthesizer::with_options(SearchOptions {
+            retry_ladder: true,
+            ..options.clone()
+        })
+        .synthesize_report(problem);
+        let report = portfolio_report(problem, &options);
+        let seq = sequential.outcome.expect("solves");
+        let par = report.outcome.expect("solves");
+        assert_eq!(par.program.to_string(), seq.program.to_string(), "{name}");
+        assert_eq!(par.cost, seq.cost, "{name}");
+        assert_eq!(report.attempts.len(), sequential.attempts.len(), "{name}");
+        assert_eq!(report.attempts[0].rung, Rung::Full);
+        assert!(report.attempts[0].error.is_none());
+        assert_eq!(
+            counters(&report.stats),
+            counters(&sequential.stats),
+            "{name}"
+        );
+    }
+}
+
+#[test]
+fn portfolio_walks_the_whole_ladder_on_resource_failure() {
+    // A 3-pop cap trips the full and degraded rungs; the pop-cap-free
+    // baseline rung solves identity — mirroring the sequential ladder
+    // test in the synthesizer.
+    let problem = Problem::builder("id")
+        .param("l", "[int]")
+        .returns("[int]")
+        .example(&["[1 2]"], "[1 2]")
+        .example(&["[]"], "[]")
+        .example(&["[3]"], "[3]")
+        .build()
+        .unwrap();
+    let options = SearchOptions {
+        max_popped: 3,
+        ..SearchOptions::default()
+    };
+    let sequential = Synthesizer::with_options(SearchOptions {
+        retry_ladder: true,
+        ..options.clone()
+    })
+    .synthesize_report(&problem);
+    let report = portfolio_report(&problem, &options);
+
+    let rungs: Vec<Rung> = report.attempts.iter().map(|a| a.rung).collect();
+    assert_eq!(rungs, vec![Rung::Full, Rung::Degraded, Rung::Baseline]);
+    assert_eq!(report.attempts[0].error, Some(SynthError::LimitReached));
+    assert_eq!(report.attempts[2].error, None);
+    let par = report.outcome.expect("baseline rung solves identity");
+    let seq = sequential.outcome.expect("baseline rung solves identity");
+    assert_eq!(par.program.to_string(), seq.program.to_string());
+    assert_eq!(par.program.body().to_string(), "l");
+    assert!(report.frontier.is_empty());
+    assert_eq!(
+        report.budget.exceeded, sequential.budget.exceeded,
+        "the report's budget is the full rung's budget"
+    );
+}
+
+#[test]
+fn portfolio_does_not_retry_semantic_failures() {
+    // Inconsistent examples fail every rung identically and are not a
+    // resource limit: the race must report a single Full attempt, exactly
+    // like the sequential ladder.
+    let problem = Problem::builder("bad")
+        .param("x", "int")
+        .returns("int")
+        .example(&["1"], "1")
+        .example(&["1"], "2")
+        .build()
+        .unwrap();
+    let report = portfolio_report(&problem, &SearchOptions::default());
+    assert_eq!(
+        report.outcome.unwrap_err(),
+        SynthError::InconsistentExamples
+    );
+    assert_eq!(report.attempts.len(), 1);
+    assert_eq!(report.attempts[0].rung, Rung::Full);
+}
+
+#[test]
+fn cancelled_losers_never_corrupt_the_winner() {
+    // Run the race repeatedly: whatever order the loser rungs finish or
+    // get cancelled in, the winner must be bit-for-bit stable and equal
+    // to the sequential answer.
+    let problem = &by_name("evens").unwrap().problem;
+    let options = options_for("evens");
+    let sequential = Synthesizer::with_options(options.clone())
+        .synthesize_report(problem)
+        .outcome
+        .expect("solves");
+    for round in 0..3 {
+        let report = portfolio_report(problem, &options);
+        let par = report.outcome.expect("solves");
+        assert_eq!(
+            par.program.to_string(),
+            sequential.program.to_string(),
+            "round {round}"
+        );
+        assert_eq!(par.cost, sequential.cost, "round {round}");
+        assert_eq!(par.stats.popped, sequential.stats.popped, "round {round}");
+    }
+}
+
+#[test]
+fn a_crashing_task_is_isolated_from_the_rest_of_the_batch() {
+    // A spec whose type no longer parses panics inside its worker at
+    // rebuild time; the batch must deliver that panic as a per-task error
+    // while every other task completes normally.
+    let mut broken = task_for("ident");
+    broken.spec.params[0].1 = "not-a-type!!".into();
+    let tasks = vec![task_for("head"), broken, task_for("tail")];
+    let outcomes = synthesize_batch(tasks, 3);
+    assert!(outcomes[0].result.is_ok());
+    let err = outcomes[1].result.as_ref().unwrap_err();
+    assert!(err.contains("rebuilding problem `ident`"), "{err}");
+    assert!(outcomes[2].result.is_ok());
+}
