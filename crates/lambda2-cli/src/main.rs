@@ -4,6 +4,7 @@
 //! l2 synth <problem.l2>...  synthesize a program from each problem file
 //! l2 run <problem.l2> ARGS  synthesize, then run the program on ARGS
 //! l2 eval <expr> [x=v]...   evaluate an expression under bindings
+//! l2 lint <problem.l2>...   statically check problem files
 //! l2 bench <name>...        run suite benchmarks by name
 //! l2 list                   list the benchmark suite
 //!
@@ -18,7 +19,18 @@
 //!                           (0 = one per CPU; default 1, sequential)
 //!   --portfolio             race the retry-ladder rungs concurrently;
 //!                           same answer as --retry-ladder, less wall time
+//!   --no-static-analysis    disable the abstract-interpretation refutation
+//!                           pre-pass (attribution-only; same results)
+//!
+//! flags (lint):
+//!   --json                  one JSON object per diagnostic per line
 //! ```
+//!
+//! `lint` exit codes: 0 when every file is clean, 1 when any diagnostic
+//! was reported, 2 on usage or I/O errors. Each diagnostic carries a
+//! stable machine-readable code (`parse-error`, `type-mismatch`,
+//! `contradictory-examples`, `unsat-abstract`, `library-shadowed`,
+//! `library-unused`).
 //!
 //! Batch runs (`synth`/`bench` with several problems) isolate each
 //! problem: a failure — timeout, exhaustion, even a panic — is reported
@@ -44,14 +56,15 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Duration;
 
-use lambda2_lang::parser::{parse_sexps, type_of_sexp, value_of_sexp, Sexp};
 use lambda2_synth::govern::panic_message;
+use lambda2_synth::obs::json::Json;
 use lambda2_synth::par::{
     effective_jobs, synthesize_batch, tagged_event_json, ParEngine, ParOutcome, ParTask,
     PortableProblem,
 };
 use lambda2_synth::{
-    JsonlTracer, Measurement, Problem, ProblemBuilder, SearchOptions, SearchReport, Synthesizer,
+    lint_source, parse_problem, JsonlTracer, Measurement, Problem, SearchOptions, SearchReport,
+    Synthesizer,
 };
 
 /// Flags shared by the synthesizing commands.
@@ -72,6 +85,10 @@ struct Flags {
     jobs: Option<usize>,
     /// Race the retry-ladder rungs concurrently within each problem.
     portfolio: bool,
+    /// Disable the abstract-interpretation refutation pre-pass.
+    no_static_analysis: bool,
+    /// `lint`: print diagnostics as JSON Lines instead of human text.
+    json: bool,
 }
 
 impl Flags {
@@ -105,6 +122,8 @@ impl Flags {
                     })?);
                 }
                 "--portfolio" => flags.portfolio = true,
+                "--no-static-analysis" => flags.no_static_analysis = true,
+                "--json" => flags.json = true,
                 other if other.starts_with("--") => {
                     return Err(format!("unknown flag `{other}`"));
                 }
@@ -126,6 +145,9 @@ impl Flags {
         }
         if self.retry_ladder {
             options.retry_ladder = true;
+        }
+        if self.no_static_analysis {
+            options.static_analysis = false;
         }
         options
     }
@@ -153,6 +175,7 @@ fn main() -> ExitCode {
         Some("synth") if args.len() >= 2 => cmd_synth(&args[1..], &flags),
         Some("run") if args.len() >= 3 => cmd_run(&args[1], &args[2..], &flags),
         Some("eval") if args.len() >= 2 => cmd_eval(&args[1], &args[2..]),
+        Some("lint") if args.len() >= 2 => return cmd_lint(&args[1..], &flags),
         Some("bench") if args.len() >= 2 => cmd_bench(&args[1..], &flags),
         Some("list") => cmd_list(),
         _ => {
@@ -160,9 +183,11 @@ fn main() -> ExitCode {
                 "usage:\n  l2 [flags] synth <problem.l2>...\n  \
                  l2 [flags] run <problem.l2> <arg>...\n  \
                  l2 eval <expr> [x=v]...\n  \
+                 l2 [--json] lint <problem.l2>...\n  \
                  l2 [flags] bench <name>...\n  l2 list\n\
                  flags: --trace <path>  --stats-json  --timeout-ms <n>  \
-                 --max-overshoot-ms <n>  --retry-ladder  --jobs <n>  --portfolio"
+                 --max-overshoot-ms <n>  --retry-ladder  --jobs <n>  --portfolio  \
+                 --no-static-analysis"
             );
             return ExitCode::from(2);
         }
@@ -480,6 +505,44 @@ fn cmd_bench(names: &[String], flags: &Flags) -> Result<(), String> {
     batch_verdict(failed, names.len())
 }
 
+/// Statically checks each problem file, printing diagnostics as
+/// `path: code: message` lines (or JSON Lines with `--json`). Exit codes:
+/// 0 every file clean, 1 any diagnostic reported, 2 usage or I/O error.
+fn cmd_lint(paths: &[String], flags: &Flags) -> ExitCode {
+    let mut diagnostics = 0usize;
+    for path in paths {
+        let src = match std::fs::read_to_string(path) {
+            Ok(src) => src,
+            Err(e) => {
+                eprintln!("error: reading {path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        for d in lint_source(&src) {
+            diagnostics += 1;
+            if flags.json {
+                println!(
+                    "{}",
+                    Json::obj([
+                        ("file", path.as_str().into()),
+                        ("code", d.code.name().into()),
+                        ("message", d.message.as_str().into()),
+                    ])
+                );
+            } else {
+                println!("{path}: {}: {}", d.code.name(), d.message);
+            }
+        }
+    }
+    if diagnostics == 0 {
+        eprintln!("{} file(s) clean", paths.len());
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("{diagnostics} diagnostic(s) across {} file(s)", paths.len());
+        ExitCode::FAILURE
+    }
+}
+
 fn cmd_list() -> Result<(), String> {
     use std::io::Write;
     let stdout = std::io::stdout();
@@ -522,73 +585,6 @@ fn batch_verdict(failed: usize, total: usize) -> Result<(), String> {
     } else {
         Err(format!("{failed} of {total} problems failed"))
     }
-}
-
-/// Parses the `(problem …)` file format.
-fn parse_problem(src: &str) -> Result<Problem, String> {
-    let forms = parse_sexps(src).map_err(|e| e.to_string())?;
-    let [Sexp::List(items)] = forms.as_slice() else {
-        return Err("expected a single top-level `(problem …)` form".into());
-    };
-    let mut it = items.iter();
-    match it.next() {
-        Some(Sexp::Atom(a)) if a == "problem" => {}
-        _ => return Err("file must start with `(problem <name> …)`".into()),
-    }
-    let name = match it.next() {
-        Some(Sexp::Atom(n)) => n.clone(),
-        _ => return Err("missing problem name".into()),
-    };
-    let mut builder: ProblemBuilder = Problem::builder(name);
-    for form in it {
-        let Sexp::List(parts) = form else {
-            return Err(format!("unexpected form `{form}`"));
-        };
-        match parts.split_first() {
-            Some((Sexp::Atom(head), rest)) => match head.as_str() {
-                "params" => {
-                    for p in rest {
-                        let Sexp::List(pair) = p else {
-                            return Err(format!("bad param `{p}`"));
-                        };
-                        let [Sexp::Atom(pname), ty] = pair.as_slice() else {
-                            return Err(format!("bad param `{p}` (want `(name type)`)"));
-                        };
-                        let ty = type_of_sexp(ty).map_err(|e| e.to_string())?;
-                        builder = builder.param(pname, &ty.to_string());
-                    }
-                }
-                "returns" => {
-                    let [ty] = rest else {
-                        return Err("`returns` takes one type".into());
-                    };
-                    let ty = type_of_sexp(ty).map_err(|e| e.to_string())?;
-                    builder = builder.returns(&ty.to_string());
-                }
-                "example" => {
-                    let [Sexp::List(ins), out] = rest else {
-                        return Err("`example` takes `(args…)` and an output".into());
-                    };
-                    let inputs = ins
-                        .iter()
-                        .map(value_of_sexp)
-                        .collect::<Result<Vec<_>, _>>()
-                        .map_err(|e| e.to_string())?;
-                    let output = value_of_sexp(out).map_err(|e| e.to_string())?;
-                    builder = builder.example_values(inputs, output);
-                }
-                "describe" => {
-                    let [Sexp::Atom(text)] = rest else {
-                        return Err("`describe` takes one atom".into());
-                    };
-                    builder = builder.describe(text.clone());
-                }
-                other => return Err(format!("unknown section `{other}`")),
-            },
-            _ => return Err(format!("unexpected form `{form}`")),
-        }
-    }
-    builder.build().map_err(|e| e.to_string())
 }
 
 #[cfg(test)]
@@ -704,6 +700,26 @@ mod tests {
         assert!(Flags::extract(&mut missing).is_err());
         let mut junk: Vec<String> = vec!["--jobs".into(), "many".into()];
         assert!(Flags::extract(&mut junk).is_err());
+    }
+
+    #[test]
+    fn lint_and_analysis_flags_parse_and_apply() {
+        let mut args: Vec<String> = ["lint", "--json", "p.l2", "--no-static-analysis"]
+            .iter()
+            .map(|s| (*s).to_owned())
+            .collect();
+        let flags = Flags::extract(&mut args).unwrap();
+        assert!(flags.json);
+        assert!(flags.no_static_analysis);
+        assert_eq!(args, vec!["lint".to_owned(), "p.l2".to_owned()]);
+
+        let opts = flags.apply(SearchOptions::default());
+        assert!(!opts.static_analysis);
+        assert!(
+            Flags::default()
+                .apply(SearchOptions::default())
+                .static_analysis
+        );
     }
 
     #[test]

@@ -1,0 +1,215 @@
+//! Composable abstract domains over λ² values.
+//!
+//! Three domains abstract concrete [`Value`]s for the refutation engine
+//! and the lint-side reachability analysis:
+//!
+//! * **length/size intervals** ([`Interval`], [`AbsShape`]) — list length,
+//!   tree node count and tree height as `[lo, hi]` intervals;
+//! * **element provenance** ([`multiset_included`]) — which multiset of
+//!   elements a collection was built from;
+//! * **ordering** ([`is_subsequence`]) — relative element order, the
+//!   "sortedness" of an output with respect to its source collection.
+//!
+//! Concrete example values abstract to *singleton* intervals; the lint
+//! reachability analysis ([`crate::analyze::reach`]) joins intervals
+//! across whole input sets, which is where the lattice structure earns
+//! its keep.
+
+use std::collections::HashMap;
+
+use lambda2_lang::value::Value;
+
+/// A closed interval `[lo, hi]` over unsigned sizes; `hi = None` means
+/// unbounded above (the lattice top has `lo = 0, hi = None`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Interval {
+    /// Inclusive lower bound.
+    pub lo: u64,
+    /// Inclusive upper bound; `None` = +∞.
+    pub hi: Option<u64>,
+}
+
+impl Interval {
+    /// The singleton interval `[n, n]`.
+    pub const fn exact(n: u64) -> Interval {
+        Interval { lo: n, hi: Some(n) }
+    }
+
+    /// The interval `[0, n]`.
+    pub const fn at_most(n: u64) -> Interval {
+        Interval { lo: 0, hi: Some(n) }
+    }
+
+    /// The top element `[0, +∞)`.
+    pub const fn top() -> Interval {
+        Interval { lo: 0, hi: None }
+    }
+
+    /// Least upper bound: the smallest interval containing both.
+    pub fn join(self, other: Interval) -> Interval {
+        Interval {
+            lo: self.lo.min(other.lo),
+            hi: match (self.hi, other.hi) {
+                (Some(a), Some(b)) => Some(a.max(b)),
+                _ => None,
+            },
+        }
+    }
+
+    /// Whether the concrete size `n` is in the interval.
+    pub fn contains(self, n: u64) -> bool {
+        n >= self.lo && self.hi.is_none_or(|h| n <= h)
+    }
+
+    /// `true` when *every* size in `self` exceeds *every* size in `other`
+    /// — i.e. the concretizations are provably ordered. This is the
+    /// refuting comparison: a `filter` output whose length interval
+    /// definitely exceeds the collection's cannot exist.
+    pub fn definitely_exceeds(self, other: Interval) -> bool {
+        match other.hi {
+            Some(h) => self.lo > h,
+            None => false,
+        }
+    }
+
+    /// `true` when the intervals share no concrete size — e.g. a `map`
+    /// output length disjoint from the collection length.
+    pub fn disjoint(self, other: Interval) -> bool {
+        self.definitely_exceeds(other) || other.definitely_exceeds(self)
+    }
+}
+
+/// The shape-level abstraction of one concrete value.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AbsShape {
+    /// An integer or boolean scalar.
+    Scalar,
+    /// A list with its length interval.
+    List(Interval),
+    /// A tree with its node-count and height intervals.
+    Tree {
+        /// Node count.
+        size: Interval,
+        /// Height (0 for the empty tree).
+        height: Interval,
+    },
+    /// A pair.
+    Pair,
+}
+
+/// Abstracts a concrete value: lists and trees become exact size
+/// intervals, everything else collapses to its shape.
+pub fn abs_of(v: &Value) -> AbsShape {
+    match v {
+        Value::List(xs) => AbsShape::List(Interval::exact(xs.len() as u64)),
+        Value::Tree(t) => AbsShape::Tree {
+            size: Interval::exact(t.size() as u64),
+            height: Interval::exact(t.height() as u64),
+        },
+        Value::Pair(_) => AbsShape::Pair,
+        _ => AbsShape::Scalar,
+    }
+}
+
+/// Element-provenance check: `true` when `sub`'s multiset of elements is
+/// included in `sup`'s — every output element occurs at least as often in
+/// the source collection. Reshaping combinators (`filter`) can only drop
+/// occurrences, never invent or duplicate them.
+pub fn multiset_included(sub: &[Value], sup: &[Value]) -> bool {
+    if sub.len() > sup.len() {
+        return false;
+    }
+    let mut avail: HashMap<&Value, usize> = HashMap::new();
+    for v in sup {
+        *avail.entry(v).or_default() += 1;
+    }
+    sub.iter().all(|v| match avail.get_mut(v) {
+        Some(n) if *n > 0 => {
+            *n -= 1;
+            true
+        }
+        _ => false,
+    })
+}
+
+/// Ordering-domain check: `true` if `sub` is an order-preserving
+/// subsequence of `sup`. Subsumes [`multiset_included`] and the length
+/// comparison; the deduction rule for `filter` refutes on exactly this
+/// condition, which is why the coarser domains above are *sound*
+/// pre-checks for it.
+pub fn is_subsequence(sub: &[Value], sup: &[Value]) -> bool {
+    let mut it = sup.iter();
+    sub.iter().all(|s| it.any(|v| v == s))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lambda2_lang::parser::parse_value;
+
+    fn vals(s: &str) -> Vec<Value> {
+        parse_value(s).unwrap().as_list().unwrap().to_vec()
+    }
+
+    #[test]
+    fn interval_lattice_laws() {
+        let a = Interval::exact(3);
+        let b = Interval::exact(7);
+        let j = a.join(b);
+        assert_eq!(j, Interval { lo: 3, hi: Some(7) });
+        assert!(j.contains(3) && j.contains(5) && j.contains(7));
+        assert!(!j.contains(2) && !j.contains(8));
+        // Join with top is top; join is commutative and idempotent.
+        assert_eq!(a.join(Interval::top()), Interval::top());
+        assert_eq!(a.join(b), b.join(a));
+        assert_eq!(a.join(a), a);
+        assert!(Interval::top().contains(u64::MAX));
+        assert_eq!(Interval::at_most(4).lo, 0);
+    }
+
+    #[test]
+    fn interval_comparisons() {
+        assert!(Interval::exact(5).definitely_exceeds(Interval::exact(4)));
+        assert!(!Interval::exact(5).definitely_exceeds(Interval::exact(5)));
+        assert!(!Interval::exact(5).definitely_exceeds(Interval::top()));
+        assert!(Interval::exact(5).disjoint(Interval::exact(4)));
+        assert!(Interval::exact(4).disjoint(Interval::exact(5)));
+        assert!(!Interval::exact(5).disjoint(Interval { lo: 4, hi: Some(6) }));
+    }
+
+    #[test]
+    fn abstraction_of_values() {
+        assert_eq!(abs_of(&Value::Int(3)), AbsShape::Scalar);
+        assert_eq!(
+            abs_of(&parse_value("[1 2 3]").unwrap()),
+            AbsShape::List(Interval::exact(3))
+        );
+        match abs_of(&parse_value("{1 {2} {3 {4}}}").unwrap()) {
+            AbsShape::Tree { size, height } => {
+                assert_eq!(size, Interval::exact(4));
+                assert_eq!(height, Interval::exact(3));
+            }
+            other => panic!("expected a tree abstraction, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn multiset_inclusion() {
+        assert!(multiset_included(&vals("[2 1]"), &vals("[1 2 3]")));
+        assert!(multiset_included(&vals("[]"), &vals("[]")));
+        assert!(!multiset_included(&vals("[1 1]"), &vals("[1 2]")));
+        assert!(!multiset_included(&vals("[4]"), &vals("[1 2 3]")));
+    }
+
+    #[test]
+    fn subsequence_is_strictly_finer_than_multiset_inclusion() {
+        // Reordered: included as a multiset but not a subsequence.
+        let sub = vals("[2 1]");
+        let sup = vals("[1 2 3]");
+        assert!(multiset_included(&sub, &sup));
+        assert!(!is_subsequence(&sub, &sup));
+        // And subsequence implies inclusion.
+        assert!(is_subsequence(&vals("[1 3]"), &sup));
+        assert!(multiset_included(&vals("[1 3]"), &sup));
+    }
+}

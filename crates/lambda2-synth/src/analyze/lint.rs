@@ -1,0 +1,388 @@
+//! Static checks over `.l2` problem files — the `lambda2 lint` pass.
+//!
+//! Five checks run over a parsed [`ProblemFile`], each with a stable
+//! machine-readable code (see [`Code::name`]):
+//!
+//! * `parse-error` — the file is not structurally a problem (s-expression
+//!   errors, unknown sections, or missing `params`/`returns`/`example`
+//!   sections).
+//! * `type-mismatch` — an example value does not inhabit its declared
+//!   parameter or return type, or an example has the wrong arity. Value
+//!   types are inferred with [`lambda2_lang::infer`] and unified against
+//!   the declared signature.
+//! * `contradictory-examples` — two examples agree on every input but
+//!   disagree on the output: no *function* satisfies them.
+//! * `unsat-abstract` — the collection-growth analysis
+//!   ([`reach::refute_example`]) proves no program over the declared
+//!   library maps some example's inputs to its output.
+//! * `library-shadowed` / `library-unused` — a declared `(library …)`
+//!   stanza repeats a binding, or lists an operator/combinator that can
+//!   never do non-degenerate work for this signature
+//!   ([`reach::unusable_items`]).
+//!
+//! The library checks only fire when the file declares an explicit
+//! `library` stanza: the default library is the paper's fixed vocabulary
+//! and deliberately carries operators any single problem leaves unused.
+
+use lambda2_lang::ast::Expr;
+use lambda2_lang::infer::{infer, TypeEnv};
+use lambda2_lang::ty::{Subst, Type};
+use lambda2_lang::value::Value;
+
+use super::reach;
+use crate::l2file::{parse_problem_file, ProblemFile};
+use crate::obs::json::Json;
+
+/// Stable diagnostic codes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Code {
+    /// Structurally malformed problem file.
+    ParseError,
+    /// Example value incompatible with the declared signature.
+    TypeMismatch,
+    /// Equal inputs mapped to different outputs.
+    ContradictoryExamples,
+    /// Abstractly unsatisfiable: no program over the library fits.
+    UnsatAbstract,
+    /// A library binding is declared more than once.
+    LibraryShadowed,
+    /// A library binding can never do non-degenerate work.
+    LibraryUnused,
+}
+
+impl Code {
+    /// The machine-readable code string.
+    pub fn name(self) -> &'static str {
+        match self {
+            Code::ParseError => "parse-error",
+            Code::TypeMismatch => "type-mismatch",
+            Code::ContradictoryExamples => "contradictory-examples",
+            Code::UnsatAbstract => "unsat-abstract",
+            Code::LibraryShadowed => "library-shadowed",
+            Code::LibraryUnused => "library-unused",
+        }
+    }
+}
+
+/// One lint finding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// The diagnostic's stable code.
+    pub code: Code,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Diagnostic {
+    fn new(code: Code, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            code,
+            message: message.into(),
+        }
+    }
+
+    /// Machine-readable rendering: `{"code": …, "message": …}`.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("code", Json::str(self.code.name())),
+            ("message", Json::str(self.message.clone())),
+        ])
+    }
+}
+
+/// Lints `.l2` source: parse failures yield a single `parse-error`
+/// diagnostic; otherwise all checks run over the parsed file. An empty
+/// result means the file is clean.
+pub fn lint_source(src: &str) -> Vec<Diagnostic> {
+    match parse_problem_file(src) {
+        Ok(file) => lint_file(&file),
+        Err(e) => vec![Diagnostic::new(Code::ParseError, e)],
+    }
+}
+
+/// Runs every check over an already-parsed file. Diagnostics follow the
+/// file's declaration order (checks run in the order documented on the
+/// module).
+pub fn lint_file(file: &ProblemFile) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    check_structure(file, &mut out);
+    check_types(file, &mut out);
+    check_contradictions(file, &mut out);
+    check_unsat(file, &mut out);
+    check_library(file, &mut out);
+    out
+}
+
+/// Missing mandatory sections (the builder would reject these too, but
+/// lint reports them uniformly without aborting the other checks).
+fn check_structure(file: &ProblemFile, out: &mut Vec<Diagnostic>) {
+    if file.params.is_empty() {
+        out.push(Diagnostic::new(Code::ParseError, "problem has no `params`"));
+    }
+    if file.returns.is_none() {
+        out.push(Diagnostic::new(
+            Code::ParseError,
+            "problem has no `returns` section",
+        ));
+    }
+    if file.examples.is_empty() {
+        out.push(Diagnostic::new(Code::ParseError, "problem has no examples"));
+    }
+}
+
+/// Infers the type of a literal example value and unifies it against the
+/// declared type. Empty collections infer polymorphically (`[t0]`) and
+/// unify with any declared element type.
+fn value_fits(value: &Value, declared: &Type) -> bool {
+    let mut subst = Subst::new();
+    subst.reserve(declared);
+    let Ok(inferred) = infer(&Expr::Lit(value.clone()), &TypeEnv::new(), &mut subst) else {
+        return false;
+    };
+    subst.unify(&inferred, declared).is_ok()
+}
+
+fn check_types(file: &ProblemFile, out: &mut Vec<Diagnostic>) {
+    for (i, (inputs, output)) in file.examples.iter().enumerate() {
+        let n = i + 1;
+        if inputs.len() != file.params.len() {
+            out.push(Diagnostic::new(
+                Code::TypeMismatch,
+                format!(
+                    "example {n} has {} arguments, expected {}",
+                    inputs.len(),
+                    file.params.len()
+                ),
+            ));
+            continue;
+        }
+        for (value, (pname, ty)) in inputs.iter().zip(&file.params) {
+            if !value_fits(value, ty) {
+                out.push(Diagnostic::new(
+                    Code::TypeMismatch,
+                    format!(
+                        "example {n}: argument `{pname}` = `{value}` does not have type `{ty}`"
+                    ),
+                ));
+            }
+        }
+        if let Some(ret) = &file.returns {
+            if !value_fits(output, ret) {
+                out.push(Diagnostic::new(
+                    Code::TypeMismatch,
+                    format!("example {n}: output `{output}` does not have type `{ret}`"),
+                ));
+            }
+        }
+    }
+}
+
+fn check_contradictions(file: &ProblemFile, out: &mut Vec<Diagnostic>) {
+    for (i, (ins_a, out_a)) in file.examples.iter().enumerate() {
+        for (j, (ins_b, out_b)) in file.examples.iter().enumerate().skip(i + 1) {
+            if ins_a == ins_b && out_a != out_b {
+                out.push(Diagnostic::new(
+                    Code::ContradictoryExamples,
+                    format!(
+                        "examples {} and {} have identical inputs but outputs `{out_a}` vs `{out_b}`",
+                        i + 1,
+                        j + 1
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+fn check_unsat(file: &ProblemFile, out: &mut Vec<Diagnostic>) {
+    let ops = match &file.library {
+        Some(spec) => spec.effective_ops(),
+        None => crate::library::Library::default().ops().to_vec(),
+    };
+    for (i, (inputs, output)) in file.examples.iter().enumerate() {
+        if let Some(why) = reach::refute_example(inputs, output, &ops) {
+            out.push(Diagnostic::new(
+                Code::UnsatAbstract,
+                format!("example {}: {why}", i + 1),
+            ));
+        }
+    }
+}
+
+fn check_library(file: &ProblemFile, out: &mut Vec<Diagnostic>) {
+    let Some(spec) = &file.library else { return };
+
+    let mut shadowed = |names: Vec<&'static str>, kind: &str| {
+        let mut seen = Vec::new();
+        for name in names {
+            if seen.contains(&name) {
+                out.push(Diagnostic::new(
+                    Code::LibraryShadowed,
+                    format!("{kind} `{name}` is declared more than once"),
+                ));
+                seen.retain(|n| *n != name); // report each duplicate once
+            } else {
+                seen.push(name);
+            }
+        }
+    };
+    if let Some(ops) = &spec.ops {
+        shadowed(ops.iter().map(|o| o.name()).collect(), "operator");
+    }
+    if let Some(combs) = &spec.combs {
+        shadowed(combs.iter().map(|c| c.name()).collect(), "combinator");
+    }
+
+    let param_tys: Vec<Type> = file.params.iter().map(|(_, t)| t.clone()).collect();
+    let (mut dead_ops, mut dead_combs) =
+        reach::unusable_items(&param_tys, &spec.effective_ops(), &spec.effective_combs());
+    // Only *declared* bindings are the user's to fix; a defaulted sub-list
+    // (ops or combs omitted from the stanza) deliberately over-provides.
+    if spec.ops.is_none() {
+        dead_ops.clear();
+    }
+    if spec.combs.is_none() {
+        dead_combs.clear();
+    }
+    for op in dead_ops {
+        out.push(Diagnostic::new(
+            Code::LibraryUnused,
+            format!(
+                "operator `{}` can never apply to a non-empty value for this signature",
+                op.name()
+            ),
+        ));
+    }
+    for comb in dead_combs {
+        out.push(Diagnostic::new(
+            Code::LibraryUnused,
+            format!(
+                "combinator `{}` can never apply to a non-empty collection for this signature",
+                comb.name()
+            ),
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn codes(src: &str) -> Vec<&'static str> {
+        lint_source(src).iter().map(|d| d.code.name()).collect()
+    }
+
+    const CLEAN: &str = "(problem evens (params (l [int])) (returns [int])\
+                         (example ([]) []) (example ([1 2]) [2]))";
+
+    #[test]
+    fn clean_files_produce_no_diagnostics() {
+        assert!(lint_source(CLEAN).is_empty());
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert_eq!(codes("(not a problem"), vec!["parse-error"]);
+        assert_eq!(codes("(problem p (wat))"), vec!["parse-error"]);
+        // Missing sections are structural diagnostics, not hard failures.
+        assert_eq!(
+            codes("(problem p (params (l [int])) (returns [int]))"),
+            vec!["parse-error"]
+        );
+    }
+
+    #[test]
+    fn type_mismatches_are_reported_per_value() {
+        let src = "(problem p (params (l [int])) (returns [int])\
+                   (example ([true]) []) (example ([1]) 3))";
+        let diags = lint_source(src);
+        assert_eq!(
+            diags.iter().map(|d| d.code).collect::<Vec<_>>(),
+            vec![Code::TypeMismatch, Code::TypeMismatch]
+        );
+        assert!(diags[0].message.contains("argument `l`"));
+        assert!(diags[1].message.contains("output `3`"));
+    }
+
+    #[test]
+    fn empty_collections_satisfy_any_element_type() {
+        let src = "(problem p (params (l [[int]]) (t (tree bool))) (returns [int])\
+                   (example ([[]] {}) []))";
+        assert!(lint_source(src).is_empty());
+    }
+
+    #[test]
+    fn arity_mismatch_is_a_type_diagnostic() {
+        let src = "(problem p (params (a int) (b int)) (returns int)\
+                   (example (1) 2))";
+        assert_eq!(codes(src), vec!["type-mismatch"]);
+    }
+
+    #[test]
+    fn contradictory_examples_are_reported() {
+        let src = "(problem p (params (l [int])) (returns int)\
+                   (example ([1 2]) 1) (example ([1 2]) 2))";
+        let diags = lint_source(src);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, Code::ContradictoryExamples);
+        assert!(diags[0].message.contains("examples 1 and 2"));
+        // Equal inputs with equal outputs are redundant, not contradictory.
+        let src = "(problem p (params (l [int])) (returns int)\
+                   (example ([1 2]) 1) (example ([1 2]) 1))";
+        assert!(lint_source(src).is_empty());
+    }
+
+    #[test]
+    fn abstractly_unsatisfiable_specs_are_reported() {
+        // Without cons/cat no program can lengthen a list.
+        let src = "(problem p (params (l [int])) (returns [int])\
+                   (example ([1 2]) [1 2 3])\
+                   (library (ops car cdr +)))";
+        let diags = lint_source(src);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, Code::UnsatAbstract);
+        assert!(diags[0].message.contains("example 1"));
+        // The default library can grow lists: same example, no stanza.
+        let src = "(problem p (params (l [int])) (returns [int])\
+                   (example ([1 2]) [1 2 3]))";
+        assert!(lint_source(src).is_empty());
+    }
+
+    #[test]
+    fn shadowed_and_unused_library_bindings() {
+        let src = "(problem p (params (l [int])) (returns [int])\
+                   (example ([1]) [1])\
+                   (library (ops car car cons value)))";
+        let got = codes(src);
+        assert_eq!(got, vec!["library-shadowed", "library-unused"]);
+        // `value` consumes trees; nothing inhabits them here.
+        let diags = lint_source(src);
+        assert!(diags[0].message.contains("`car`"));
+        assert!(diags[1].message.contains("`value`"));
+    }
+
+    #[test]
+    fn diagnostics_render_as_json() {
+        let d = Diagnostic::new(Code::UnsatAbstract, "why");
+        let j = d.to_json();
+        assert_eq!(j.get("code").unwrap().as_str(), Some("unsat-abstract"));
+        assert_eq!(j.get("message").unwrap().as_str(), Some("why"));
+    }
+
+    #[test]
+    fn committed_problem_files_lint_clean() {
+        // Guards the acceptance criterion directly at the unit level; the
+        // CI job re-checks via the CLI.
+        let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../problems");
+        let mut checked = 0;
+        for entry in std::fs::read_dir(dir).unwrap() {
+            let path = entry.unwrap().path();
+            if path.extension().is_some_and(|e| e == "l2") {
+                let src = std::fs::read_to_string(&path).unwrap();
+                assert!(lint_source(&src).is_empty(), "{path:?} has diagnostics");
+                checked += 1;
+            }
+        }
+        assert!(checked >= 2, "expected committed .l2 files");
+    }
+}

@@ -1,0 +1,116 @@
+//! Abstract-interpretation refutation engine.
+//!
+//! λ²'s deduction rules ([`crate::deduce`]) are small static analyses in
+//! disguise: each refutes a combinator hypothesis from example shapes
+//! without enumerating its holes. This module makes the analysis explicit
+//! and reusable. It abstracts example values into composable domains
+//! ([`domain`]) — length/size intervals, element provenance, ordering —
+//! and runs one transfer function per combinator ([`refute_expansion`])
+//! as a *pre-enumeration refuter* in the search loop, before deduction.
+//! The same framework powers the `lambda2 lint` static checker via
+//! whole-problem reachability analyses ([`reach`]) and the diagnostic
+//! pass ([`lint`]).
+//!
+//! # Soundness: every static refutation is a deduction refutation
+//!
+//! Each transfer-function check is a necessary condition for the
+//! hypothesis to be satisfiable, chosen so that it is **strictly implied**
+//! by the refutation condition of the corresponding deduction rule:
+//!
+//! | combinator | analyzer check (domain) | deduction rule condition |
+//! |---|---|---|
+//! | `map` | in/out are lists (shape); equal lengths (length) | same checks, plus pointwise functional conflicts |
+//! | `filter` | lists (shape); out ≤ in (length); multiset ⊆ (provenance); subsequence (order) | `is_subsequence`, which implies all four |
+//! | `foldl`/`foldr`/`recl` | colls are lists (shape); empty-coll row = init (init) | same checks, plus chain-row conflicts |
+//! | `mapt` | trees (shape); equal size+height (length); equal shape (shape) | `same_shape`, which implies size/height equality |
+//! | `foldt` | colls are trees (shape); empty-tree row = init (init) | same checks, plus child-chain conflicts |
+//!
+//! Consequently the analyzer never refutes a hypothesis deduction would
+//! keep: with the analyzer on or off, the search plans the *identical*
+//! set of expansions and synthesizes byte-identical programs at identical
+//! cost — only the accounting moves (refutations land in
+//! `stats.static_refutations` instead of `stats.refuted`, and planning
+//! skips the row-decomposition work of the full rules). The
+//! `check-invariants` cargo feature asserts the implication at runtime by
+//! re-running deduction on every statically refuted hypothesis, and the
+//! soundness differential suite (`tests/static_analysis.rs`) checks the
+//! end-to-end identity plus, by bounded brute force, that refuted
+//! hypotheses really have no consistent completion.
+//!
+//! The analyzer is deliberately *incomplete*: conflicts requiring row
+//! decomposition (e.g. one `map` row sending equal elements to different
+//! outputs) are left for deduction, which needs the decomposition anyway
+//! to infer sub-specs.
+
+pub mod domain;
+pub mod lint;
+pub mod reach;
+mod transfer;
+
+pub use transfer::refute_expansion;
+
+/// Result of statically analyzing a hypothesis against its examples.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// No completion of the hypothesis can satisfy the examples; the
+    /// domain that proved it is attached.
+    Refuted(RefuteDomain),
+    /// The analysis cannot decide; enumeration/deduction must proceed.
+    Unknown,
+}
+
+/// The abstract domain that proved a refutation — the *weakest* one that
+/// sufficed, when several apply.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RefuteDomain {
+    /// Value-constructor mismatch (expected a list/tree, found otherwise,
+    /// or mismatched tree shapes).
+    Shape,
+    /// List-length / tree-size interval mismatch.
+    Length,
+    /// Output elements not drawn from the input collection's multiset.
+    Provenance,
+    /// Output elements reordered relative to the input collection.
+    Order,
+    /// A fold's empty-collection row disagrees with its initial value.
+    Init,
+}
+
+impl RefuteDomain {
+    /// Stable machine-readable name, used in trace events and diagnostics.
+    pub fn name(self) -> &'static str {
+        match self {
+            RefuteDomain::Shape => "shape",
+            RefuteDomain::Length => "length",
+            RefuteDomain::Provenance => "provenance",
+            RefuteDomain::Order => "order",
+            RefuteDomain::Init => "init",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn domain_names_are_stable() {
+        let all = [
+            RefuteDomain::Shape,
+            RefuteDomain::Length,
+            RefuteDomain::Provenance,
+            RefuteDomain::Order,
+            RefuteDomain::Init,
+        ];
+        let names: Vec<_> = all.iter().map(|d| d.name()).collect();
+        assert_eq!(
+            names,
+            vec!["shape", "length", "provenance", "order", "init"]
+        );
+        // Names are distinct (they key trace events and bench columns).
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), all.len());
+    }
+}

@@ -1,0 +1,300 @@
+//! Reachability analyses over whole problems (the lint side of the
+//! framework).
+//!
+//! Two analyses, both parameterized by the problem's library:
+//!
+//! * **Collection-growth analysis** ([`refute_example`]): classifies every
+//!   operator as *growing* (can produce a collection strictly larger than
+//!   any argument) or not. When a library has no growing operator for a
+//!   constructor, the size of every reachable collection is bounded by the
+//!   joined size interval of the inputs — all seven combinators preserve
+//!   or shrink collection sizes — so an example whose output exceeds the
+//!   bound is satisfiable by *no* program over that library.
+//! * **Producibility analysis** ([`unusable_items`]): a fixpoint over the
+//!   type constructors `{list, tree, pair}` computing which can ever be
+//!   *inhabited* (hold at least one element) given the parameter types and
+//!   the library; operators and combinators that only consume uninhabited
+//!   constructors can never do non-degenerate work and are reported as
+//!   unused bindings.
+
+use lambda2_lang::ast::{Comb, Op};
+use lambda2_lang::ty::Type;
+use lambda2_lang::value::Value;
+
+use super::domain::Interval;
+
+/// `true` when the operator can yield a *list* strictly longer than any of
+/// its list arguments.
+pub fn op_grows_lists(op: Op) -> bool {
+    matches!(op, Op::Cons | Op::Cat)
+}
+
+/// `true` when the operator can yield a *tree* strictly larger than any of
+/// its tree arguments.
+pub fn op_grows_trees(op: Op) -> bool {
+    matches!(op, Op::TreeMake)
+}
+
+/// Records the largest nested list length and tree node count in `v`.
+fn scan_sizes(v: &Value, max_list: &mut u64, max_tree: &mut u64) {
+    match v {
+        Value::List(xs) => {
+            *max_list = (*max_list).max(xs.len() as u64);
+            for x in xs.iter() {
+                scan_sizes(x, max_list, max_tree);
+            }
+        }
+        Value::Tree(t) => {
+            *max_tree = (*max_tree).max(t.size() as u64);
+            for x in t.values() {
+                scan_sizes(x, max_list, max_tree);
+            }
+        }
+        Value::Pair(p) => {
+            scan_sizes(&p.0, max_list, max_tree);
+            scan_sizes(&p.1, max_list, max_tree);
+        }
+        _ => {}
+    }
+}
+
+/// The `[0, max]` size intervals — (lists, trees) — of every collection
+/// reachable from `values` under a non-growing library. Tree node counts
+/// feed the list bound as well: `tree_children` yields lists of at most
+/// `size - 1` subtrees.
+pub fn collection_bounds(values: &[Value]) -> (Interval, Interval) {
+    let (mut max_list, mut max_tree) = (0, 0);
+    for v in values {
+        scan_sizes(v, &mut max_list, &mut max_tree);
+    }
+    (
+        Interval::at_most(max_list.max(max_tree)),
+        Interval::at_most(max_tree),
+    )
+}
+
+/// Refutes one example against the growth analysis: returns a
+/// human-readable explanation when **no** program over `ops` (with any
+/// combinators) can map `inputs` to `output`, or `None` when the analysis
+/// cannot decide. Sound, not complete: a `None` says nothing.
+pub fn refute_example(inputs: &[Value], output: &Value, ops: &[Op]) -> Option<String> {
+    let (list_bound, tree_bound) = collection_bounds(inputs);
+    let (mut out_list, mut out_tree) = (0, 0);
+    scan_sizes(output, &mut out_list, &mut out_tree);
+    if !ops.iter().copied().any(op_grows_lists) && !list_bound.contains(out_list) {
+        return Some(format!(
+            "output requires a list of length {out_list}, but the library has no \
+             list-growing operator (cons, cat) and no input collection exceeds \
+             size {}",
+            list_bound.hi.unwrap_or(0)
+        ));
+    }
+    if !ops.iter().copied().any(op_grows_trees) && !tree_bound.contains(out_tree) {
+        return Some(format!(
+            "output requires a tree of {out_tree} nodes, but the library has no \
+             tree-growing operator (tree) and no input tree exceeds \
+             {} nodes",
+            tree_bound.hi.unwrap_or(0)
+        ));
+    }
+    None
+}
+
+/// Which type constructors can be inhabited (hold at least one element).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+struct Inhabited {
+    list: bool,
+    tree: bool,
+    pair: bool,
+}
+
+/// Marks every constructor mentioned (at any nesting depth) in `ty`.
+fn scan_type(ty: &Type, p: &mut Inhabited) {
+    match ty {
+        Type::Int | Type::Bool | Type::Var(_) => {}
+        Type::List(t) => {
+            p.list = true;
+            scan_type(t, p);
+        }
+        Type::Tree(t) => {
+            p.tree = true;
+            scan_type(t, p);
+        }
+        Type::Pair(a, b) => {
+            p.pair = true;
+            scan_type(a, p);
+            scan_type(b, p);
+        }
+        Type::Fun(ps, r) => {
+            for t in ps.iter() {
+                scan_type(t, p);
+            }
+            scan_type(r, p);
+        }
+    }
+}
+
+/// Fixpoint: constructors inhabited by the parameters, closed under the
+/// library's constructor operators (`cons` inhabits lists, `tree` inhabits
+/// trees, `pair` inhabits pairs, and `children` of an inhabited tree
+/// inhabits lists).
+fn inhabited(param_tys: &[Type], ops: &[Op]) -> Inhabited {
+    let mut p = Inhabited::default();
+    for ty in param_tys {
+        scan_type(ty, &mut p);
+    }
+    loop {
+        let before = p;
+        for op in ops {
+            match op {
+                Op::Cons => p.list = true,
+                Op::TreeMake => p.tree = true,
+                Op::MkPair => p.pair = true,
+                Op::TreeChildren if p.tree => p.list = true,
+                _ => {}
+            }
+        }
+        if p == before {
+            return p;
+        }
+    }
+}
+
+/// The constructor an operator *consumes* — i.e. needs an inhabited value
+/// of for any non-degenerate application. Constructor operators (`cons`,
+/// `cat`, `tree`, `pair`) are producers: the empty collection suffices as
+/// their argument, so they consume nothing.
+fn op_consumes(op: Op) -> Option<Consumes> {
+    match op {
+        Op::Car | Op::Cdr | Op::Last | Op::IsEmpty | Op::Member => Some(Consumes::List),
+        Op::TreeValue | Op::TreeChildren | Op::IsEmptyTree | Op::IsLeaf => Some(Consumes::Tree),
+        Op::Fst | Op::Snd => Some(Consumes::Pair),
+        _ => None,
+    }
+}
+
+#[derive(Clone, Copy)]
+enum Consumes {
+    List,
+    Tree,
+    Pair,
+}
+
+/// Reports the library entries that can never do non-degenerate work for a
+/// problem with the given parameter types: operators/combinators consuming
+/// a constructor no input or library operator can inhabit (e.g. tree
+/// operators in an all-list problem). Order follows the input slices.
+pub fn unusable_items(param_tys: &[Type], ops: &[Op], combs: &[Comb]) -> (Vec<Op>, Vec<Comb>) {
+    let p = inhabited(param_tys, ops);
+    let dead = |c: Consumes| match c {
+        Consumes::List => !p.list,
+        Consumes::Tree => !p.tree,
+        Consumes::Pair => !p.pair,
+    };
+    let dead_ops = ops
+        .iter()
+        .copied()
+        .filter(|&op| op_consumes(op).is_some_and(dead))
+        .collect();
+    let dead_combs = combs
+        .iter()
+        .copied()
+        .filter(|&comb| {
+            dead(match comb {
+                Comb::Map | Comb::Filter | Comb::Foldl | Comb::Foldr | Comb::Recl => Consumes::List,
+                Comb::Mapt | Comb::Foldt => Consumes::Tree,
+            })
+        })
+        .collect();
+    (dead_ops, dead_combs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lambda2_lang::parser::parse_value;
+
+    fn v(s: &str) -> Value {
+        parse_value(s).unwrap()
+    }
+
+    #[test]
+    fn growth_classification_covers_the_constructors() {
+        assert!(op_grows_lists(Op::Cons) && op_grows_lists(Op::Cat));
+        assert!(op_grows_trees(Op::TreeMake));
+        for op in [Op::Car, Op::Cdr, Op::Add, Op::MkPair, Op::TreeChildren] {
+            assert!(!op_grows_lists(op) && !op_grows_trees(op), "{op:?}");
+        }
+    }
+
+    #[test]
+    fn bounds_scan_nested_collections() {
+        let (lists, trees) = collection_bounds(&[v("[[1 2 3] [4]]"), v("{1 {2} {3}}")]);
+        // Joint list bound: the longest nested list has 3 elements and the
+        // tree has 3 nodes.
+        assert_eq!(lists, Interval::at_most(3));
+        assert_eq!(trees, Interval::at_most(3));
+    }
+
+    #[test]
+    fn refutes_long_outputs_without_growing_ops() {
+        let ops = [Op::Car, Op::Cdr, Op::Add];
+        let why = refute_example(&[v("[1 2]")], &v("[1 2 3]"), &ops);
+        assert!(why.unwrap().contains("length 3"));
+        // With cons in the library the bound is gone.
+        let ops = [Op::Cons, Op::Car];
+        assert!(refute_example(&[v("[1 2]")], &v("[1 2 3]"), &ops).is_none());
+        // Shrinking outputs are never refuted.
+        let ops = [Op::Cdr];
+        assert!(refute_example(&[v("[1 2]")], &v("[2]"), &ops).is_none());
+    }
+
+    #[test]
+    fn refutes_tree_outputs_without_tree_constructors() {
+        let ops = [Op::Cons, Op::Cat, Op::Add];
+        let why = refute_example(&[v("[1 2]")], &v("{1}"), &ops);
+        assert!(why.unwrap().contains("tree"));
+        let ops = [Op::TreeMake];
+        assert!(refute_example(&[v("[1 2]")], &v("{1}"), &ops).is_none());
+    }
+
+    #[test]
+    fn unusable_tree_ops_in_a_list_problem() {
+        let params = [Type::list(Type::Int)];
+        let ops = [Op::Car, Op::TreeValue, Op::IsLeaf, Op::Add];
+        let combs = [Comb::Map, Comb::Foldt];
+        let (dead_ops, dead_combs) = unusable_items(&params, &ops, &combs);
+        assert_eq!(dead_ops, vec![Op::TreeValue, Op::IsLeaf]);
+        assert_eq!(dead_combs, vec![Comb::Foldt]);
+    }
+
+    #[test]
+    fn constructor_ops_inhabit_their_constructors() {
+        // `tree` makes trees inhabited, which transitively revives the
+        // tree consumers and (via children) list consumers.
+        let params = [Type::Int];
+        let ops = [Op::TreeMake, Op::TreeChildren, Op::TreeValue, Op::Car];
+        let (dead_ops, dead_combs) = unusable_items(&params, &ops, &[Comb::Mapt, Comb::Map]);
+        assert!(dead_ops.is_empty(), "{dead_ops:?}");
+        assert!(dead_combs.is_empty());
+        // Without the constructor everything collection-shaped is dead.
+        let ops = [Op::TreeChildren, Op::TreeValue, Op::Car];
+        let (dead_ops, dead_combs) = unusable_items(&params, &ops, &[Comb::Mapt, Comb::Map]);
+        assert_eq!(dead_ops, vec![Op::TreeChildren, Op::TreeValue, Op::Car]);
+        assert_eq!(dead_combs, vec![Comb::Mapt, Comb::Map]);
+    }
+
+    #[test]
+    fn pair_consumers_need_mkpair_or_pair_params() {
+        let (dead, _) = unusable_items(&[Type::Int], &[Op::Fst, Op::Snd], &[]);
+        assert_eq!(dead, vec![Op::Fst, Op::Snd]);
+        let (dead, _) = unusable_items(&[Type::Int], &[Op::MkPair, Op::Fst], &[]);
+        assert!(dead.is_empty());
+        let (dead, _) = unusable_items(
+            &[Type::pair(Type::Int, Type::Bool)],
+            &[Op::Fst, Op::Snd],
+            &[],
+        );
+        assert!(dead.is_empty());
+    }
+}

@@ -1,0 +1,297 @@
+//! Per-combinator abstract transfer functions.
+//!
+//! [`refute_expansion`] runs every applicable domain check for a
+//! combinator hypothesis against its concrete example rows. Each check is
+//! a *necessary condition for satisfiability* that is **strictly implied**
+//! by the corresponding deduction rule's refutation condition in
+//! [`crate::deduce`] — see the module docs of [`crate::analyze`] for the
+//! soundness argument and the per-combinator subsumption table.
+//!
+//! The checks are ordered coarse-to-fine within each combinator (shape
+//! before length before provenance before ordering) so the reported
+//! [`RefuteDomain`] names the *weakest* domain that already suffices.
+
+use lambda2_lang::ast::Comb;
+use lambda2_lang::value::Value;
+
+use super::domain::{abs_of, is_subsequence, multiset_included, AbsShape};
+use super::{RefuteDomain, Verdict};
+use crate::spec::ExampleRow;
+
+/// Statically refutes a combinator hypothesis `C ◻f [init] coll` against
+/// its example rows, or returns [`Verdict::Unknown`].
+///
+/// `coll` holds the evaluated collection argument per row (aligned with
+/// `rows`); `init` likewise for fold combinators (`None` otherwise, as in
+/// [`crate::deduce::deduce`]).
+///
+/// Every refutation returned here is sound: the corresponding deduction
+/// rule would also refute, and no completion of the hypothesis can satisfy
+/// the rows.
+pub fn refute_expansion(
+    comb: Comb,
+    rows: &[ExampleRow],
+    coll: &[Value],
+    init: Option<&[Value]>,
+) -> Verdict {
+    debug_assert_eq!(coll.len(), rows.len());
+    debug_assert_eq!(init.is_some(), comb.init_index().is_some());
+    match comb {
+        Comb::Map => refute_map(rows, coll),
+        Comb::Filter => refute_filter(rows, coll),
+        Comb::Foldl | Comb::Foldr | Comb::Recl => {
+            refute_list_fold(rows, coll, init.expect("fold has init"))
+        }
+        Comb::Mapt => refute_mapt(rows, coll),
+        Comb::Foldt => refute_tree_fold(rows, coll, init.expect("fold has init")),
+    }
+}
+
+/// `map ◻f c` — shape: collection and output are lists; length: the
+/// output's length interval must meet the collection's (singletons here,
+/// so: equality). Implied by `deduce_map`'s list/length refutations.
+fn refute_map(rows: &[ExampleRow], coll: &[Value]) -> Verdict {
+    for (row, cv) in rows.iter().zip(coll) {
+        let (AbsShape::List(lin), AbsShape::List(lout)) = (abs_of(cv), abs_of(&row.output)) else {
+            return Verdict::Refuted(RefuteDomain::Shape);
+        };
+        if lin.disjoint(lout) {
+            return Verdict::Refuted(RefuteDomain::Length);
+        }
+    }
+    Verdict::Unknown
+}
+
+/// `filter ◻p c` — shape: both lists; length: output no longer than the
+/// collection; provenance: output elements drawn from the collection's
+/// multiset; ordering: output is a subsequence. Each is implied by
+/// `deduce_filter`'s single `is_subsequence` refutation (subsequence ⇒
+/// multiset inclusion ⇒ length ≤).
+fn refute_filter(rows: &[ExampleRow], coll: &[Value]) -> Verdict {
+    for (row, cv) in rows.iter().zip(coll) {
+        let (Some(xs), Some(ys)) = (cv.as_list(), row.output.as_list()) else {
+            return Verdict::Refuted(RefuteDomain::Shape);
+        };
+        let (AbsShape::List(lin), AbsShape::List(lout)) = (abs_of(cv), abs_of(&row.output)) else {
+            unreachable!("both checked as lists");
+        };
+        if lout.definitely_exceeds(lin) {
+            return Verdict::Refuted(RefuteDomain::Length);
+        }
+        if !multiset_included(ys, xs) {
+            return Verdict::Refuted(RefuteDomain::Provenance);
+        }
+        if !is_subsequence(ys, xs) {
+            return Verdict::Refuted(RefuteDomain::Order);
+        }
+    }
+    Verdict::Unknown
+}
+
+/// `foldl/foldr/recl ◻f e c` — shape: collections are lists; init: an
+/// empty-collection row forces the output to be the initial value. Implied
+/// by `deduce_fold`'s list check and base check.
+fn refute_list_fold(rows: &[ExampleRow], coll: &[Value], init: &[Value]) -> Verdict {
+    for ((row, cv), iv) in rows.iter().zip(coll).zip(init) {
+        let Some(xs) = cv.as_list() else {
+            return Verdict::Refuted(RefuteDomain::Shape);
+        };
+        if xs.is_empty() && row.output != *iv {
+            return Verdict::Refuted(RefuteDomain::Init);
+        }
+    }
+    Verdict::Unknown
+}
+
+/// `mapt ◻f c` — shape: collection and output are trees of identical
+/// shape; length/size: equal node counts and heights (checked first, as
+/// the coarser domain). Implied by `deduce_mapt`'s tree/`same_shape`
+/// refutations, since identical shape forces equal size and height.
+fn refute_mapt(rows: &[ExampleRow], coll: &[Value]) -> Verdict {
+    for (row, cv) in rows.iter().zip(coll) {
+        let (Some(tin), Some(tout)) = (cv.as_tree(), row.output.as_tree()) else {
+            return Verdict::Refuted(RefuteDomain::Shape);
+        };
+        let (
+            AbsShape::Tree {
+                size: sin,
+                height: hin,
+            },
+            AbsShape::Tree {
+                size: sout,
+                height: hout,
+            },
+        ) = (abs_of(cv), abs_of(&row.output))
+        else {
+            unreachable!("both checked as trees");
+        };
+        if sin.disjoint(sout) || hin.disjoint(hout) {
+            return Verdict::Refuted(RefuteDomain::Length);
+        }
+        if !tin.same_shape(tout) {
+            return Verdict::Refuted(RefuteDomain::Shape);
+        }
+    }
+    Verdict::Unknown
+}
+
+/// `foldt ◻f e c` — shape: collections are trees; init: an empty-tree row
+/// forces the output to be the initial value. Implied by `deduce_foldt`'s
+/// tree check and empty-root check.
+fn refute_tree_fold(rows: &[ExampleRow], coll: &[Value], init: &[Value]) -> Verdict {
+    for ((row, cv), iv) in rows.iter().zip(coll).zip(init) {
+        let Some(t) = cv.as_tree() else {
+            return Verdict::Refuted(RefuteDomain::Shape);
+        };
+        if t.is_empty() && row.output != *iv {
+            return Verdict::Refuted(RefuteDomain::Init);
+        }
+    }
+    Verdict::Unknown
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deduce::testutil::{rows_on_var, sym, val};
+    use crate::deduce::{deduce, Outcome};
+
+    fn check(
+        comb: Comb,
+        pairs: &[(&str, &str)],
+        init: Option<&str>,
+        binders: &[&str],
+    ) -> (Verdict, Outcome) {
+        let (rows, coll) = rows_on_var("l", pairs);
+        let init_vals: Option<Vec<Value>> = init.map(|s| vec![val(s); rows.len()]);
+        let verdict = refute_expansion(comb, &rows, &coll.values, init_vals.as_deref());
+        let binders: Vec<_> = binders.iter().map(|b| sym(b)).collect();
+        let outcome = deduce(comb, &rows, &coll, init_vals.as_deref(), &binders, true);
+        (verdict, outcome)
+    }
+
+    /// Every static refutation in these cases is confirmed by deduction —
+    /// the in-engine invariant that `check-invariants` asserts at runtime.
+    fn assert_refuted(case: (Verdict, Outcome), domain: RefuteDomain) {
+        assert_eq!(case.0, Verdict::Refuted(domain));
+        assert!(
+            matches!(case.1, Outcome::Refuted),
+            "static refutation not confirmed by deduction"
+        );
+    }
+
+    #[test]
+    fn map_refutations() {
+        assert_refuted(
+            check(Comb::Map, &[("[1 2]", "[2]")], None, &["x"]),
+            RefuteDomain::Length,
+        );
+        assert_refuted(
+            check(Comb::Map, &[("[1 2]", "3")], None, &["x"]),
+            RefuteDomain::Shape,
+        );
+        // Pointwise conflicts are beyond the abstract domains: deduction
+        // refutes, the analyzer stays Unknown (soundness, not completeness).
+        let (v, o) = check(Comb::Map, &[("[1 1]", "[2 9]")], None, &["x"]);
+        assert_eq!(v, Verdict::Unknown);
+        assert!(matches!(o, Outcome::Refuted));
+    }
+
+    #[test]
+    fn filter_refutations_pick_the_weakest_domain() {
+        assert_refuted(
+            check(Comb::Filter, &[("[1 2]", "[1 2 3]")], None, &["x"]),
+            RefuteDomain::Length,
+        );
+        assert_refuted(
+            check(Comb::Filter, &[("[1 2]", "[3]")], None, &["x"]),
+            RefuteDomain::Provenance,
+        );
+        assert_refuted(
+            check(Comb::Filter, &[("[1 2]", "[2 1]")], None, &["x"]),
+            RefuteDomain::Order,
+        );
+        assert_refuted(
+            check(Comb::Filter, &[("[1 2]", "7")], None, &["x"]),
+            RefuteDomain::Shape,
+        );
+    }
+
+    #[test]
+    fn fold_refutations() {
+        for comb in [Comb::Foldl, Comb::Foldr] {
+            assert_refuted(
+                check(comb, &[("[]", "5")], Some("0"), &["a", "x"]),
+                RefuteDomain::Init,
+            );
+            assert_refuted(
+                check(comb, &[("7", "5")], Some("0"), &["a", "x"]),
+                RefuteDomain::Shape,
+            );
+        }
+        assert_refuted(
+            check(Comb::Recl, &[("[]", "5")], Some("0"), &["x", "xs", "r"]),
+            RefuteDomain::Init,
+        );
+        let (v, _) = check(
+            Comb::Foldl,
+            &[("[]", "0"), ("[1]", "1")],
+            Some("0"),
+            &["a", "x"],
+        );
+        assert_eq!(v, Verdict::Unknown);
+    }
+
+    #[test]
+    fn tree_refutations() {
+        assert_refuted(
+            check(Comb::Mapt, &[("{1 {2}}", "{1}")], None, &["x"]),
+            RefuteDomain::Length,
+        );
+        assert_refuted(
+            check(Comb::Mapt, &[("{1 {2}}", "[1 2]")], None, &["x"]),
+            RefuteDomain::Shape,
+        );
+        // Same size and height but different branching: only the shape
+        // domain (exact shape equality) catches it.
+        assert_refuted(
+            check(
+                Comb::Mapt,
+                &[("{1 {2 {3}} {4}}", "{1 {2} {3 {4}}}")],
+                None,
+                &["x"],
+            ),
+            RefuteDomain::Shape,
+        );
+        assert_refuted(
+            check(Comb::Foldt, &[("{}", "5")], Some("0"), &["v", "rs"]),
+            RefuteDomain::Init,
+        );
+        assert_refuted(
+            check(Comb::Foldt, &[("[1]", "5")], Some("0"), &["v", "rs"]),
+            RefuteDomain::Shape,
+        );
+    }
+
+    type UnknownCase = (
+        Comb,
+        &'static [(&'static str, &'static str)],
+        Option<&'static str>,
+        &'static [&'static str],
+    );
+
+    #[test]
+    fn consistent_hypotheses_stay_unknown() {
+        let cases: &[UnknownCase] = &[
+            (Comb::Map, &[("[1 2]", "[2 3]")], None, &["x"]),
+            (Comb::Filter, &[("[1 2 3]", "[1 3]")], None, &["x"]),
+            (Comb::Foldl, &[("[1 2]", "3")], Some("0"), &["a", "x"]),
+            (Comb::Mapt, &[("{1 {2}}", "{2 {3}}")], None, &["x"]),
+            (Comb::Foldt, &[("{1 {2}}", "3")], Some("0"), &["v", "rs"]),
+        ];
+        for (comb, pairs, init, binders) in cases {
+            let (v, _) = check(*comb, pairs, *init, binders);
+            assert_eq!(v, Verdict::Unknown, "{comb:?}");
+        }
+    }
+}

@@ -20,6 +20,7 @@ use lambda2_lang::symbol::Symbol;
 use lambda2_lang::ty::{Subst, Type};
 use lambda2_lang::value::Value;
 
+use crate::analyze::{refute_expansion, RefuteDomain, Verdict};
 use crate::cost::CostModel;
 use crate::deduce::{deduce_within, CollectionArg, Outcome};
 use crate::govern::{Budget, BudgetExceeded};
@@ -32,6 +33,12 @@ pub enum ExpandFail {
     IllTyped,
     /// Deduction proved no completion can satisfy the hole's rows.
     Refuted,
+    /// The abstract-interpretation pre-pass ([`crate::analyze`]) proved no
+    /// completion can satisfy the hole's rows, before deduction ran. Every
+    /// static refutation is also a deduction refutation (the analyzer's
+    /// checks are strictly weaker), so this only changes *attribution*,
+    /// never the set of planned templates.
+    StaticRefuted(RefuteDomain),
     /// The resource budget tripped mid-planning; the caller should abort
     /// its planning sweep, not count a refutation.
     Budget(BudgetExceeded),
@@ -101,8 +108,9 @@ impl Template {
 /// # Errors
 ///
 /// [`ExpandFail::IllTyped`] when the hole/collection/init types don't fit
-/// the combinator; [`ExpandFail::Refuted`] when deduction rules out the
-/// child.
+/// the combinator; [`ExpandFail::StaticRefuted`] when the abstract
+/// pre-pass rules out the child; [`ExpandFail::Refuted`] when deduction
+/// does.
 ///
 /// # Panics
 ///
@@ -122,6 +130,7 @@ pub fn plan_expansion(
         init_cand,
         costs,
         deduction_enabled,
+        true,
         &Budget::unlimited(),
     )
 }
@@ -147,6 +156,7 @@ pub fn plan_expansion_within(
     init_cand: Option<&Candidate<'_>>,
     costs: &CostModel,
     deduction_enabled: bool,
+    analysis: bool,
     budget: &Budget,
 ) -> Result<Template, ExpandFail> {
     debug_assert_eq!(init_cand.is_some(), comb.init_index().is_some());
@@ -222,6 +232,40 @@ pub fn plan_expansion_within(
     // --- Binders ----------------------------------------------------------
     let taken: Vec<Symbol> = info.scope.iter().map(|(sym, _)| *sym).collect();
     let binders = binder_symbols(comb, &taken);
+
+    // --- Abstract pre-pass --------------------------------------------------
+    // Runs only when deduction is on: every analyzer check is strictly
+    // weaker than the corresponding deduction rule, so with deduction off
+    // (the paper's ablation) the analyzer must not prune either.
+    let init_values = init_cand.map(|c| c.values.as_slice());
+    if analysis && deduction_enabled {
+        if let Verdict::Refuted(domain) =
+            refute_expansion(comb, info.spec.rows(), &cand.values, init_values)
+        {
+            #[cfg(feature = "check-invariants")]
+            {
+                // Soundness cross-check: deduction must agree with every
+                // static refutation (analyzer ⊆ deduction).
+                let arg = CollectionArg {
+                    values: cand.values.clone(),
+                    var: None,
+                };
+                let outcome = crate::deduce::deduce(
+                    comb,
+                    info.spec.rows(),
+                    &arg,
+                    init_values,
+                    &binders,
+                    true,
+                );
+                assert!(
+                    matches!(outcome, Outcome::Refuted),
+                    "static refutation ({domain:?}) not confirmed by deduction for {comb:?}"
+                );
+            }
+            return Err(ExpandFail::StaticRefuted(domain));
+        }
+    }
 
     // --- Deduction ----------------------------------------------------------
     let coll_arg = CollectionArg {
@@ -582,6 +626,24 @@ mod tests {
             true,
         )
         .unwrap_err();
+        // The length domain of the abstract pre-pass catches this before
+        // deduction runs; with the analyzer off, deduction refutes instead.
+        assert_eq!(err, ExpandFail::StaticRefuted(RefuteDomain::Length));
+        let err = plan_expansion_within(
+            &info,
+            Comb::Map,
+            &var_candidate(
+                &expr,
+                &ty,
+                root_with_examples(&[("[1 2]", "[2]")], Type::list(Type::Int)).1,
+            ),
+            None,
+            &CostModel::default(),
+            true,
+            false,
+            &Budget::unlimited(),
+        )
+        .unwrap_err();
         assert_eq!(err, ExpandFail::Refuted);
     }
 
@@ -666,7 +728,7 @@ mod tests {
             &mut next,
         )
         .unwrap_err();
-        assert_eq!(err, ExpandFail::Refuted);
+        assert_eq!(err, ExpandFail::StaticRefuted(RefuteDomain::Init));
     }
 
     #[test]

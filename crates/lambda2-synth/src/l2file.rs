@@ -1,0 +1,344 @@
+//! Parser for the `.l2` problem-file format.
+//!
+//! The surface syntax is a single s-expression:
+//!
+//! ```text
+//! (problem <name>
+//!   (params (<name> <type>) …)
+//!   (returns <type>)
+//!   (example (<arg> …) <output>) …
+//!   (describe "<prose>")                      ; optional
+//!   (library (ops <op> …) (combs <comb> …))  ; optional
+//! )
+//! ```
+//!
+//! The optional `library` stanza restricts the component library: a
+//! declared `(ops …)` / `(combs …)` list replaces the default operator /
+//! combinator set (constants are unaffected). Omitted lists keep the
+//! defaults. Names follow [`Op::name`] / [`Comb::name`].
+//!
+//! Parsing yields a [`ProblemFile`] — the file's raw pieces — rather than
+//! a [`Problem`] directly, so `lambda2 lint` can run static checks on
+//! files that would fail [`crate::ProblemBuilder::build`]'s validation;
+//! [`ProblemFile::to_problem`] performs that final validation. The CLI's
+//! `synth`/`run`/`eval` commands use [`parse_problem`], which chains the
+//! two.
+
+use lambda2_lang::ast::{Comb, Op};
+use lambda2_lang::parser::{parse_sexps, type_of_sexp, value_of_sexp, Sexp};
+use lambda2_lang::ty::Type;
+use lambda2_lang::value::Value;
+
+use crate::library::Library;
+use crate::problem::{Problem, ProblemError};
+
+/// The raw, structurally parsed contents of a `.l2` file, prior to the
+/// builder's shape/type validation.
+#[derive(Clone, Debug)]
+pub struct ProblemFile {
+    /// Problem name.
+    pub name: String,
+    /// Parameter names and declared types, in order.
+    pub params: Vec<(String, Type)>,
+    /// Declared return type, when the `returns` section is present.
+    pub returns: Option<Type>,
+    /// Examples: argument values and expected output.
+    pub examples: Vec<(Vec<Value>, Value)>,
+    /// Optional prose description.
+    pub describe: Option<String>,
+    /// Optional library restriction.
+    pub library: Option<LibrarySpec>,
+}
+
+/// A parsed `(library …)` stanza. Declaration order and duplicates are
+/// preserved so the linter can report shadowed bindings.
+#[derive(Clone, Debug, Default)]
+pub struct LibrarySpec {
+    /// `Some` when an `(ops …)` list was declared.
+    pub ops: Option<Vec<Op>>,
+    /// `Some` when a `(combs …)` list was declared.
+    pub combs: Option<Vec<Comb>>,
+}
+
+impl LibrarySpec {
+    /// Materializes the restriction against the default [`Library`].
+    pub fn to_library(&self) -> Library {
+        let mut lib = Library::default();
+        if let Some(ops) = &self.ops {
+            lib = lib.without_ops(&Op::ALL).with_ops(ops);
+        }
+        if let Some(combs) = &self.combs {
+            lib = lib.without_combs(&Comb::ALL).with_combs(combs);
+        }
+        lib
+    }
+
+    /// The effective operator set (declared or default), for analyses.
+    pub fn effective_ops(&self) -> Vec<Op> {
+        match &self.ops {
+            Some(ops) => ops.clone(),
+            None => Library::default().ops().to_vec(),
+        }
+    }
+
+    /// The effective combinator set (declared or default), for analyses.
+    pub fn effective_combs(&self) -> Vec<Comb> {
+        match &self.combs {
+            Some(combs) => combs.clone(),
+            None => Library::default().combs().to_vec(),
+        }
+    }
+}
+
+impl ProblemFile {
+    /// Runs the builder's full validation, producing a synthesizable
+    /// [`Problem`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ProblemError`] the builder finds (missing
+    /// sections, arity mismatches, ill-typed example values).
+    pub fn to_problem(&self) -> Result<Problem, ProblemError> {
+        let mut builder = Problem::builder(&self.name);
+        for (pname, ty) in &self.params {
+            builder = builder.param(pname, &ty.to_string());
+        }
+        if let Some(ret) = &self.returns {
+            builder = builder.returns(&ret.to_string());
+        }
+        for (inputs, output) in &self.examples {
+            builder = builder.example_values(inputs.clone(), output.clone());
+        }
+        if let Some(text) = &self.describe {
+            builder = builder.describe(text.clone());
+        }
+        if let Some(spec) = &self.library {
+            builder = builder.library(spec.to_library());
+        }
+        builder.build()
+    }
+}
+
+/// Parses `.l2 ` source into its raw pieces.
+///
+/// # Errors
+///
+/// Returns a rendered message for malformed s-expressions, unknown
+/// sections, or unknown operator/combinator names in a `library` stanza.
+pub fn parse_problem_file(src: &str) -> Result<ProblemFile, String> {
+    let forms = parse_sexps(src).map_err(|e| e.to_string())?;
+    let [Sexp::List(items)] = forms.as_slice() else {
+        return Err("expected a single top-level `(problem …)` form".into());
+    };
+    let mut it = items.iter();
+    match it.next() {
+        Some(Sexp::Atom(a)) if a == "problem" => {}
+        _ => return Err("file must start with `(problem <name> …)`".into()),
+    }
+    let name = match it.next() {
+        Some(Sexp::Atom(n)) => n.clone(),
+        _ => return Err("missing problem name".into()),
+    };
+    let mut file = ProblemFile {
+        name,
+        params: Vec::new(),
+        returns: None,
+        examples: Vec::new(),
+        describe: None,
+        library: None,
+    };
+    for form in it {
+        let Sexp::List(parts) = form else {
+            return Err(format!("unexpected form `{form}`"));
+        };
+        match parts.split_first() {
+            Some((Sexp::Atom(head), rest)) => match head.as_str() {
+                "params" => {
+                    for p in rest {
+                        let Sexp::List(pair) = p else {
+                            return Err(format!("bad param `{p}`"));
+                        };
+                        let [Sexp::Atom(pname), ty] = pair.as_slice() else {
+                            return Err(format!("bad param `{p}` (want `(name type)`)"));
+                        };
+                        let ty = type_of_sexp(ty).map_err(|e| e.to_string())?;
+                        file.params.push((pname.clone(), ty));
+                    }
+                }
+                "returns" => {
+                    let [ty] = rest else {
+                        return Err("`returns` takes one type".into());
+                    };
+                    file.returns = Some(type_of_sexp(ty).map_err(|e| e.to_string())?);
+                }
+                "example" => {
+                    let [Sexp::List(ins), out] = rest else {
+                        return Err("`example` takes `(args…)` and an output".into());
+                    };
+                    let inputs = ins
+                        .iter()
+                        .map(value_of_sexp)
+                        .collect::<Result<Vec<_>, _>>()
+                        .map_err(|e| e.to_string())?;
+                    let output = value_of_sexp(out).map_err(|e| e.to_string())?;
+                    file.examples.push((inputs, output));
+                }
+                "describe" => {
+                    let [Sexp::Atom(text)] = rest else {
+                        return Err("`describe` takes one atom".into());
+                    };
+                    file.describe = Some(text.clone());
+                }
+                "library" => {
+                    file.library = Some(parse_library(rest)?);
+                }
+                other => return Err(format!("unknown section `{other}`")),
+            },
+            _ => return Err(format!("unexpected form `{form}`")),
+        }
+    }
+    Ok(file)
+}
+
+/// Parses the sub-forms of a `(library …)` stanza.
+fn parse_library(forms: &[Sexp]) -> Result<LibrarySpec, String> {
+    let mut spec = LibrarySpec::default();
+    for form in forms {
+        let Sexp::List(items) = form else {
+            return Err(format!(
+                "bad library entry `{form}` (want `(ops …)` or `(combs …)`)"
+            ));
+        };
+        match items.split_first() {
+            Some((Sexp::Atom(kind), names)) if kind == "ops" => {
+                let mut ops = Vec::with_capacity(names.len());
+                for n in names {
+                    let Sexp::Atom(n) = n else {
+                        return Err(format!("bad operator name `{n}`"));
+                    };
+                    ops.push(Op::from_name(n).ok_or_else(|| format!("unknown operator `{n}`"))?);
+                }
+                spec.ops = Some(ops);
+            }
+            Some((Sexp::Atom(kind), names)) if kind == "combs" => {
+                let mut combs = Vec::with_capacity(names.len());
+                for n in names {
+                    let Sexp::Atom(n) = n else {
+                        return Err(format!("bad combinator name `{n}`"));
+                    };
+                    combs.push(
+                        Comb::from_name(n).ok_or_else(|| format!("unknown combinator `{n}`"))?,
+                    );
+                }
+                spec.combs = Some(combs);
+            }
+            _ => {
+                return Err(format!(
+                    "bad library entry `{form}` (want `(ops …)` or `(combs …)`)"
+                ))
+            }
+        }
+    }
+    Ok(spec)
+}
+
+/// Parses and validates a `.l2` file into a [`Problem`] in one step.
+///
+/// # Errors
+///
+/// Renders either the structural parse error or the builder's
+/// [`ProblemError`].
+pub fn parse_problem(src: &str) -> Result<Problem, String> {
+    parse_problem_file(src)?
+        .to_problem()
+        .map_err(|e| e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "(problem evens\n  (params (l [int]))\n  (returns [int])\n  \
+                          (example ([]) [])\n  (example ([1 2 3 4]) [2 4])\n  \
+                          (example ([5 6]) [6]))";
+
+    #[test]
+    fn parses_the_documented_format() {
+        let p = parse_problem(SAMPLE).unwrap();
+        assert_eq!(p.name(), "evens");
+        assert_eq!(p.params().len(), 1);
+        assert_eq!(p.examples().len(), 3);
+        assert_eq!(p.return_type().to_string(), "[int]");
+    }
+
+    #[test]
+    fn rejects_malformed_files() {
+        assert!(parse_problem("(nonsense)").is_err());
+        assert!(parse_problem("(problem)").is_err());
+        assert!(parse_problem("(problem p (params (l [int])) (wat))").is_err());
+        assert!(parse_problem("(problem p (params (l [int])) (returns [int]))").is_err());
+        assert!(parse_problem("atom").is_err());
+    }
+
+    #[test]
+    fn checks_example_shapes() {
+        let bad = "(problem p (params (l [int])) (returns [int]) (example [1] [1]))";
+        assert!(parse_problem(bad).is_err());
+    }
+
+    #[test]
+    fn library_stanza_restricts_ops_and_combs() {
+        let src = "(problem p (params (l [int])) (returns int)\
+                   (example ([1]) 1)\
+                   (library (ops car +) (combs foldl)))";
+        let p = parse_problem(src).unwrap();
+        assert_eq!(p.library().ops(), &[Op::Car, Op::Add]);
+        assert_eq!(p.library().combs(), &[Comb::Foldl]);
+
+        // Declaring only ops keeps the default combinators.
+        let src = "(problem p (params (l [int])) (returns int)\
+                   (example ([1]) 1)\
+                   (library (ops car)))";
+        let p = parse_problem(src).unwrap();
+        assert_eq!(p.library().ops(), &[Op::Car]);
+        assert_eq!(p.library().combs(), Library::default().combs());
+    }
+
+    #[test]
+    fn library_stanza_rejects_unknown_names() {
+        let src = "(problem p (params (l [int])) (returns int)\
+                   (example ([1]) 1) (library (ops warp)))";
+        assert!(parse_problem(src).unwrap_err().contains("unknown operator"));
+        let src = "(problem p (params (l [int])) (returns int)\
+                   (example ([1]) 1) (library (combs warp)))";
+        assert!(parse_problem(src)
+            .unwrap_err()
+            .contains("unknown combinator"));
+        let src = "(problem p (params (l [int])) (returns int)\
+                   (example ([1]) 1) (library ops))";
+        assert!(parse_problem(src).is_err());
+    }
+
+    #[test]
+    fn problem_file_preserves_duplicates_for_the_linter() {
+        let src = "(problem p (params (l [int])) (returns int)\
+                   (example ([1]) 1) (library (ops car car)))";
+        let file = parse_problem_file(src).unwrap();
+        let spec = file.library.as_ref().unwrap();
+        assert_eq!(spec.ops.as_deref(), Some(&[Op::Car, Op::Car][..]));
+        // The materialized library dedups.
+        assert_eq!(file.to_problem().unwrap().library().ops(), &[Op::Car]);
+    }
+
+    #[test]
+    fn effective_sets_fall_back_to_defaults() {
+        let spec = LibrarySpec::default();
+        assert_eq!(spec.effective_ops(), Library::default().ops());
+        assert_eq!(spec.effective_combs(), Library::default().combs());
+        let spec = LibrarySpec {
+            ops: Some(vec![Op::Car]),
+            combs: None,
+        };
+        assert_eq!(spec.effective_ops(), vec![Op::Car]);
+    }
+}

@@ -45,7 +45,9 @@
 //! ```
 
 #![warn(missing_docs)]
+#![deny(unsafe_code)]
 
+pub mod analyze;
 pub mod baseline;
 pub mod cost;
 pub mod deduce;
@@ -54,6 +56,7 @@ pub mod expand;
 pub mod failpoints;
 pub mod govern;
 pub mod hypothesis;
+pub mod l2file;
 pub mod library;
 pub mod obs;
 pub mod par;
@@ -64,10 +67,13 @@ pub mod stats;
 pub mod synthesizer;
 pub mod verify;
 
+pub use analyze::lint::{lint_source, Diagnostic};
+pub use analyze::{RefuteDomain, Verdict};
 pub use cost::CostModel;
 pub use govern::{
     Attempt, Budget, BudgetExceeded, BudgetSnapshot, CancelToken, FrontierItem, Rung, SearchReport,
 };
+pub use l2file::{parse_problem, parse_problem_file, LibrarySpec, ProblemFile};
 pub use library::Library;
 pub use obs::{CollectTracer, JsonlTracer, NoopTracer, PhaseTimes, TraceEvent, Tracer};
 pub use par::{

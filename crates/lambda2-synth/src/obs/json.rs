@@ -351,14 +351,28 @@ impl Parser<'_> {
                     }
                     self.pos += 1;
                 }
-                Some(_) => {
-                    // Consume one UTF-8 scalar (input is a &str, so
-                    // boundaries are valid).
-                    let rest = &self.bytes[self.pos..];
-                    let s = unsafe { std::str::from_utf8_unchecked(rest) };
-                    let c = s.chars().next().ok_or("unterminated string")?;
+                Some(b) => {
+                    // Consume one UTF-8 scalar. The input came in as a
+                    // &str, so decoding the leading-byte-determined chunk
+                    // cannot fail; validating just that chunk keeps the
+                    // loop linear (and the crate free of `unsafe`).
+                    let len = match b {
+                        0x00..=0x7f => 1,
+                        0xc0..=0xdf => 2,
+                        0xe0..=0xef => 3,
+                        _ => 4,
+                    };
+                    let chunk = self
+                        .bytes
+                        .get(self.pos..self.pos + len)
+                        .ok_or("unterminated string")?;
+                    let c = std::str::from_utf8(chunk)
+                        .map_err(|_| "bad utf-8 in string")?
+                        .chars()
+                        .next()
+                        .ok_or("unterminated string")?;
                     out.push(c);
-                    self.pos += c.len_utf8();
+                    self.pos += len;
                 }
             }
         }

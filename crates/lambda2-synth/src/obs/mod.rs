@@ -134,6 +134,19 @@ pub enum TraceEvent {
         /// Why it was rejected.
         reason: RefuteReason,
     },
+    /// The abstract-interpretation pre-pass ([`crate::analyze`]) refuted a
+    /// combinator expansion before deduction ran.
+    StaticRefute {
+        /// Combinator name.
+        comb: &'static str,
+        /// Rendered collection argument.
+        coll: String,
+        /// Rendered initial-value candidate (folds only).
+        init: Option<String>,
+        /// Stable name of the abstract domain that proved the refutation
+        /// (`shape`, `length`, `provenance`, `order`, `init`).
+        domain: &'static str,
+    },
     /// A closing stream advanced to a new term-cost tier.
     Tier {
         /// The tier (exact term cost) that was just enumerated.
@@ -221,6 +234,23 @@ impl TraceEvent {
                     pairs.push(("init", init.as_str().into()));
                 }
                 pairs.push(("reason", reason.name().into()));
+                Json::obj(pairs)
+            }
+            TraceEvent::StaticRefute {
+                comb,
+                coll,
+                init,
+                domain,
+            } => {
+                let mut pairs = vec![
+                    ("ev", "static-refute".into()),
+                    ("comb", (*comb).into()),
+                    ("coll", coll.as_str().into()),
+                ];
+                if let Some(init) = init {
+                    pairs.push(("init", init.as_str().into()));
+                }
+                pairs.push(("domain", (*domain).into()));
                 Json::obj(pairs)
             }
             TraceEvent::Tier { tier, cost, fills } => Json::obj([
@@ -505,6 +535,26 @@ mod tests {
         assert_eq!(
             ev.to_json().to_string(),
             r#"{"ev":"fault","site":"verify.candidate","detail":"boom"}"#
+        );
+        let ev = TraceEvent::StaticRefute {
+            comb: "map",
+            coll: "l".into(),
+            init: None,
+            domain: "length",
+        };
+        assert_eq!(
+            ev.to_json().to_string(),
+            r#"{"ev":"static-refute","comb":"map","coll":"l","domain":"length"}"#
+        );
+        let ev = TraceEvent::StaticRefute {
+            comb: "foldl",
+            coll: "l".into(),
+            init: Some("0".into()),
+            domain: "init",
+        };
+        assert_eq!(
+            ev.to_json().to_string(),
+            r#"{"ev":"static-refute","comb":"foldl","coll":"l","init":"0","domain":"init"}"#
         );
     }
 

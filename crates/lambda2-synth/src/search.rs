@@ -62,6 +62,16 @@ pub struct SearchOptions {
     /// Enable deduction (refutation + example propagation). Disabling this
     /// is the paper's "λ² without deduction" ablation.
     pub deduction: bool,
+    /// Enable the abstract-interpretation pre-pass ([`crate::analyze`])
+    /// that refutes combinator expansions before deduction runs. The
+    /// analyzer's checks are strictly weaker than deduction's, so toggling
+    /// this never changes the synthesized program or its cost — only which
+    /// counter ([`Stats::static_refutations`] vs [`Stats::refuted`])
+    /// attributes each refutation. Ignored when `deduction` is off.
+    ///
+    /// [`Stats::static_refutations`]: crate::stats::Stats::static_refutations
+    /// [`Stats::refuted`]: crate::stats::Stats::refuted
+    pub static_analysis: bool,
     /// Maximum cost of an enumerated closing term per hole.
     pub max_term_cost: u32,
     /// Maximum closing-term cost for *blind* holes (holes with an empty
@@ -140,6 +150,7 @@ impl Default for SearchOptions {
     fn default() -> SearchOptions {
         SearchOptions {
             deduction: true,
+            static_analysis: true,
             max_term_cost: 12,
             max_term_cost_blind: 6,
             max_collection_cost: 1,
@@ -422,9 +433,24 @@ pub fn search_governed(
         kind: Kind::Hyp(root),
     });
 
+    // Queue admissibility check: best-first popping must see monotonically
+    // non-decreasing costs, or the first program found is not minimal.
+    #[cfg(feature = "check-invariants")]
+    let mut last_popped_cost: u32 = 0;
+
     let outcome: Result<(Program, u32), SynthError> = 'search: {
         while let Some(entry) = queue.pop() {
             stats.popped += 1;
+            #[cfg(feature = "check-invariants")]
+            {
+                assert!(
+                    entry.cost >= last_popped_cost,
+                    "queue admissibility violated: popped cost {} after {}",
+                    entry.cost,
+                    last_popped_cost
+                );
+                last_popped_cost = entry.cost;
+            }
             if tracer.enabled() {
                 let (kind, hyp) = match &entry.kind {
                     Kind::Hyp(h) => (PopKind::Hypothesis, h),
@@ -633,6 +659,7 @@ pub fn search_governed(
                                             None,
                                             &costs,
                                             options.deduction,
+                                            options.static_analysis,
                                             budget,
                                         ) {
                                             PlanOutcome::Planned(t) => {
@@ -721,6 +748,7 @@ pub fn search_governed(
                                             Some(&init),
                                             &costs,
                                             options.deduction,
+                                            options.static_analysis,
                                             budget,
                                         ) {
                                             PlanOutcome::Planned(t) => {
@@ -1111,6 +1139,7 @@ fn plan_isolated(
     init: Option<&Candidate<'_>>,
     costs: &CostModel,
     deduction: bool,
+    analysis: bool,
     budget: &Budget,
 ) -> PlanOutcome {
     let injected = failpoints::check("deduce.plan");
@@ -1118,7 +1147,7 @@ fn plan_isolated(
         if let Some(FailAction::Panic) = injected {
             panic!("injected panic at deduce.plan");
         }
-        plan_expansion_within(info, comb, cand, init, costs, deduction, budget)
+        plan_expansion_within(info, comb, cand, init, costs, deduction, analysis, budget)
     }));
     match run {
         Ok(Ok(t)) => PlanOutcome::Planned(t),
@@ -1196,6 +1225,20 @@ fn refute(
         ExpandFail::Refuted => {
             stats.refuted += 1;
             RefuteReason::Deduction
+        }
+        ExpandFail::StaticRefuted(domain) => {
+            // Static refutations get their own counter and trace event —
+            // disjoint from `refuted`, so on/off ablations compare cleanly.
+            stats.static_refutations += 1;
+            if tracer.enabled() {
+                tracer.emit(TraceEvent::StaticRefute {
+                    comb: comb.name(),
+                    coll: coll.to_string(),
+                    init: init.map(|e| e.to_string()),
+                    domain: domain.name(),
+                });
+            }
+            return;
         }
         ExpandFail::IllTyped => {
             stats.ill_typed += 1;

@@ -16,6 +16,10 @@ pub struct Stats {
     pub expansions: u64,
     /// Combinator expansions refuted by deduction.
     pub refuted: u64,
+    /// Combinator expansions refuted by the abstract-interpretation
+    /// pre-pass ([`crate::analyze`]) before deduction ran. Disjoint from
+    /// `refuted`: each hypothesis is counted in exactly one of the two.
+    pub static_refutations: u64,
     /// Combinator expansions rejected by typing.
     pub ill_typed: u64,
     /// Hole closings attempted (terms that matched a hole's spec).
@@ -46,6 +50,7 @@ impl Stats {
         self.popped += other.popped;
         self.expansions += other.expansions;
         self.refuted += other.refuted;
+        self.static_refutations += other.static_refutations;
         self.ill_typed += other.ill_typed;
         self.closings += other.closings;
         self.verified += other.verified;
@@ -63,6 +68,7 @@ impl Stats {
             ("popped", self.popped.into()),
             ("expansions", self.expansions.into()),
             ("refuted", self.refuted.into()),
+            ("static_refutations", self.static_refutations.into()),
             ("ill_typed", self.ill_typed.into()),
             ("closings", self.closings.into()),
             ("verified", self.verified.into()),
@@ -80,11 +86,12 @@ impl fmt::Display for Stats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "popped={} expansions={} refuted={} ill-typed={} closings={} verified={} \
-             (failed {}) terms={} store-hits={} store-evictions={} faults={}",
+            "popped={} expansions={} refuted={} static-refuted={} ill-typed={} closings={} \
+             verified={} (failed {}) terms={} store-hits={} store-evictions={} faults={}",
             self.popped,
             self.expansions,
             self.refuted,
+            self.static_refutations,
             self.ill_typed,
             self.closings,
             self.verified,
@@ -161,6 +168,7 @@ mod tests {
             popped: 1,
             expansions: 2,
             refuted: 3,
+            static_refutations: 12,
             ill_typed: 4,
             closings: 5,
             verified: 6,
@@ -188,6 +196,7 @@ mod tests {
         assert_eq!(a.store_hits, 18);
         assert_eq!(a.store_evictions, 20);
         assert_eq!(a.faults, 22);
+        assert_eq!(a.static_refutations, 24);
         assert_eq!(a.phases.total(), Duration::from_millis(20));
     }
 
@@ -198,6 +207,7 @@ mod tests {
             "popped",
             "expansions",
             "refuted",
+            "static-refuted",
             "closings",
             "verified",
             "terms",
@@ -216,6 +226,7 @@ mod tests {
             "popped",
             "expansions",
             "refuted",
+            "static_refutations",
             "ill_typed",
             "closings",
             "verified",

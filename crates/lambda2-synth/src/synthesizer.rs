@@ -66,6 +66,15 @@ impl Synthesizer {
         self
     }
 
+    /// Enables or disables the abstract-interpretation refutation pre-pass
+    /// (chainable); see [`SearchOptions::static_analysis`]. Toggling it
+    /// never changes the result — only refutation attribution in
+    /// [`crate::Stats`].
+    pub fn static_analysis(mut self, enabled: bool) -> Synthesizer {
+        self.options.static_analysis = enabled;
+        self
+    }
+
     /// Sets the global cost ceiling (chainable).
     pub fn max_cost(mut self, max_cost: u32) -> Synthesizer {
         self.options.max_cost = max_cost;
@@ -243,11 +252,13 @@ mod tests {
         let s = Synthesizer::new()
             .timeout(Duration::from_secs(3))
             .deduction(false)
+            .static_analysis(false)
             .max_cost(17)
             .max_overshoot(Duration::from_millis(40))
             .retry_ladder(true);
         assert_eq!(s.options().timeout, Some(Duration::from_secs(3)));
         assert!(!s.options().deduction);
+        assert!(!s.options().static_analysis);
         assert_eq!(s.options().max_cost, 17);
         assert_eq!(s.options().max_overshoot, Duration::from_millis(40));
         assert!(s.options().retry_ladder);

@@ -1,0 +1,342 @@
+//! Soundness of the abstract-interpretation refutation pre-pass.
+//!
+//! The analyzer ([`lambda2::synth::analyze`]) must never refute an
+//! expansion that deduction would admit: its checks are strictly weaker
+//! than the deduction rules they shadow. Two consequences are tested here:
+//!
+//! 1. **Differential identity** — synthesis with the analyzer on returns a
+//!    byte-identical program at an identical cost to synthesis with it
+//!    off, on every suite problem and every committed problem file, while
+//!    the *sum* of refutation counters is preserved (`refuted + static`
+//!    on == `refuted` off). Zero false refutations, by construction.
+//! 2. **Brute-force refutation witness** — for hypotheses the analyzer
+//!    refutes, no small lambda body completes them: every candidate body
+//!    up to a bounded depth fails some example row.
+
+use std::time::Duration;
+
+use lambda2::suite::catalog;
+use lambda2::synth::analyze::{refute_expansion, Verdict};
+use lambda2::synth::spec::ExampleRow;
+use lambda2::synth::{parse_problem, Problem, SearchOptions, Synthesizer};
+use lambda2_lang::ast::Comb;
+use lambda2_lang::env::Env;
+use lambda2_lang::eval::eval_default;
+use lambda2_lang::parser::{parse_expr, parse_value};
+use lambda2_lang::symbol::Symbol;
+use lambda2_lang::value::Value;
+
+fn synthesizer(analysis: bool, secs: u64) -> Synthesizer {
+    Synthesizer::with_options(SearchOptions {
+        timeout: Some(Duration::from_secs(secs)),
+        ..SearchOptions::default()
+    })
+    .static_analysis(analysis)
+}
+
+/// Synthesizes `problem` with the analyzer on and off and asserts the
+/// results are byte-identical; returns the on-run's static refutations.
+fn assert_identical_on_off(problem: &Problem, opts: Option<SearchOptions>, secs: u64) -> u64 {
+    differential_on_off(problem, opts, secs).unwrap_or_else(|msg| panic!("{msg}"))
+}
+
+/// Like [`assert_identical_on_off`], but a *timeout-induced* solvability
+/// mismatch is returned as `Err` instead of panicking: the comparison is
+/// deterministic except for the wall clock, so a problem solved right at
+/// its budget can legitimately flip under load. Callers retry those with
+/// a larger budget — a genuine false refutation persists at any budget
+/// (the pruned program stays pruned), a timing flake does not.
+fn differential_on_off(
+    problem: &Problem,
+    opts: Option<SearchOptions>,
+    secs: u64,
+) -> Result<u64, String> {
+    let build = |analysis: bool| match &opts {
+        Some(o) => Synthesizer::with_options(o.clone()).static_analysis(analysis),
+        None => synthesizer(analysis, secs),
+    };
+    let on = build(true).synthesize(problem);
+    let off = build(false).synthesize(problem);
+    if on.is_ok() != off.is_ok() {
+        let timed_out = [&on, &off]
+            .iter()
+            .any(|r| matches!(r, Err(lambda2::synth::SynthError::Timeout)));
+        if timed_out {
+            return Err(format!(
+                "{}: solvability flipped at the wall-clock budget (on: {}, off: {})",
+                problem.name(),
+                on.is_ok(),
+                off.is_ok()
+            ));
+        }
+    }
+    Ok(match (on, off) {
+        (Ok(on), Ok(off)) => {
+            assert_eq!(
+                on.program.body().to_string(),
+                off.program.body().to_string(),
+                "{}: analyzer changed the synthesized program",
+                problem.name()
+            );
+            assert_eq!(
+                on.cost,
+                off.cost,
+                "{}: analyzer changed the program cost",
+                problem.name()
+            );
+            // The analyzer only re-attributes refutations; the planned
+            // search is identical, so every other counter matches and the
+            // refutation *sum* is preserved.
+            assert_eq!(
+                on.stats.refuted + on.stats.static_refutations,
+                off.stats.refuted,
+                "{}: refutation sum changed (false or missed refutations)",
+                problem.name()
+            );
+            assert_eq!(off.stats.static_refutations, 0);
+            assert_eq!(on.stats.popped, off.stats.popped, "{}", problem.name());
+            assert_eq!(
+                on.stats.expansions,
+                off.stats.expansions,
+                "{}",
+                problem.name()
+            );
+            assert_eq!(
+                on.stats.ill_typed,
+                off.stats.ill_typed,
+                "{}",
+                problem.name()
+            );
+            assert_eq!(on.stats.closings, off.stats.closings, "{}", problem.name());
+            assert_eq!(on.stats.verified, off.stats.verified, "{}", problem.name());
+            on.stats.static_refutations
+        }
+        (Err(a), Err(b)) => {
+            assert_eq!(
+                format!("{a:?}"),
+                format!("{b:?}"),
+                "{}: analyzer changed the failure mode",
+                problem.name()
+            );
+            0
+        }
+        (on, off) => panic!(
+            "{}: analyzer changed solvability (on: {}, off: {})",
+            problem.name(),
+            on.is_ok(),
+            off.is_ok()
+        ),
+    })
+}
+
+/// Problems cheap enough to double-run (on + off) in a debug build.
+const QUICK: &[&str] = &["ident", "incr", "evens", "sum", "reverse"];
+
+/// Quick differential sweep: a fixed set of easy suite problems plus every
+/// committed problem file, in debug-friendly time. At least one static
+/// refutation must fire across the sweep — the pre-pass must actually
+/// participate.
+#[test]
+fn quick_suite_and_problem_files_are_identical_on_and_off() {
+    let mut static_total = 0u64;
+    for name in QUICK {
+        let bench = lambda2::suite::by_name(name).expect("known benchmark");
+        static_total += assert_identical_on_off(&bench.problem, None, 30);
+    }
+    for problem in committed_problem_files() {
+        static_total += assert_identical_on_off(&problem, None, 30);
+    }
+    assert!(
+        static_total > 0,
+        "the analyzer refuted nothing across the quick suite"
+    );
+}
+
+/// Full differential sweep over the whole catalog — hard problems under
+/// their tuned options. Slow in debug builds; CI runs it in release with
+/// `--include-ignored`.
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "slow in debug builds; run in release (cargo test --release -- --include-ignored)"
+)]
+fn full_suite_is_identical_on_and_off() {
+    for bench in catalog() {
+        let options = bench.tune(SearchOptions::default());
+        // Timeout-marginal problems can flip solvability under load (the
+        // wall clock is the only nondeterminism in the comparison); retry
+        // those with doubled budgets before calling it a soundness bug.
+        let mut outcome = Ok(0);
+        for secs in [120u64, 240, 480] {
+            let mut options = options.clone();
+            options.timeout = Some(Duration::from_secs(secs));
+            outcome = differential_on_off(&bench.problem, Some(options), secs);
+            if outcome.is_ok() {
+                break;
+            }
+        }
+        outcome.unwrap_or_else(|msg| panic!("{msg} — persists across retries"));
+    }
+}
+
+fn committed_problem_files() -> Vec<Problem> {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/problems");
+    let mut out = Vec::new();
+    for entry in std::fs::read_dir(dir).expect("problems/ exists") {
+        let path = entry.expect("readable dir entry").path();
+        if path.extension().is_some_and(|e| e == "l2") {
+            let src = std::fs::read_to_string(&path).expect("readable problem file");
+            out.push(parse_problem(&src).expect("committed problem files parse"));
+        }
+    }
+    assert!(out.len() >= 2, "expected committed problem files in {dir}");
+    out
+}
+
+// --- Brute-force refutation witnesses ----------------------------------
+
+/// All integer-valued term strings over `vars` up to `depth` operator
+/// applications (arithmetic fragment).
+fn int_terms(vars: &[&str], depth: usize) -> Vec<String> {
+    let mut terms: Vec<String> = vars.iter().map(|v| (*v).to_owned()).collect();
+    terms.extend(["0", "1", "2"].map(str::to_owned));
+    for _ in 0..depth {
+        let prev = terms.clone();
+        for op in ["+", "-", "*"] {
+            for a in &prev {
+                for b in &prev {
+                    terms.push(format!("({op} {a} {b})"));
+                }
+            }
+        }
+        terms.sort();
+        terms.dedup();
+    }
+    terms
+}
+
+/// All boolean-valued term strings comparing `int_terms` at depth 1.
+fn bool_terms(vars: &[&str]) -> Vec<String> {
+    let ints = int_terms(vars, 1);
+    let mut out = Vec::new();
+    for op in ["<", "<=", ">", ">=", "=", "!="] {
+        for a in &ints {
+            for b in &ints {
+                out.push(format!("({op} {a} {b})"));
+            }
+        }
+    }
+    out
+}
+
+/// Asserts that the analyzer refutes `comb` on `rows`/`coll`/`init`, and
+/// that the refutation is *true*: no candidate body from `bodies`
+/// completes the hypothesis `comb (λ binders. body) [init] coll` on every
+/// row.
+fn assert_refutation_has_no_completion(
+    comb: Comb,
+    pairs: &[(&str, &str)],
+    init: Option<&str>,
+    binders: &[&str],
+    bodies: &[String],
+) {
+    let l = Symbol::intern("l");
+    let mut rows = Vec::new();
+    let mut coll = Vec::new();
+    for (i, o) in pairs {
+        let iv = parse_value(i).unwrap();
+        rows.push(ExampleRow::new(
+            Env::empty().bind(l, iv.clone()),
+            parse_value(o).unwrap(),
+        ));
+        coll.push(iv);
+    }
+    let init_vals: Option<Vec<Value>> = init.map(|e| vec![parse_value(e).unwrap(); rows.len()]);
+    let verdict = refute_expansion(comb, &rows, &coll, init_vals.as_deref());
+    assert!(
+        matches!(verdict, Verdict::Refuted(_)),
+        "analyzer should refute {comb:?} on {pairs:?}"
+    );
+
+    let binder_list = binders.join(" ");
+    let mut checked = 0usize;
+    for body in bodies {
+        let program = match init {
+            Some(e) => format!("({} (lambda ({binder_list}) {body}) {e} l)", comb.name()),
+            None => format!("({} (lambda ({binder_list}) {body}) l)", comb.name()),
+        };
+        let expr = parse_expr(&program).unwrap();
+        let fits = rows
+            .iter()
+            .all(|row| eval_default(&expr, &row.env).is_ok_and(|out| out == row.output));
+        assert!(
+            !fits,
+            "analyzer-refuted hypothesis completed by `{program}` — false refutation"
+        );
+        checked += 1;
+    }
+    assert!(
+        checked > 100,
+        "brute-force sweep too small ({checked} bodies)"
+    );
+}
+
+#[test]
+fn refuted_map_has_no_small_completion() {
+    // map preserves length; [1 2] -> [2] cannot be a map.
+    assert_refutation_has_no_completion(
+        Comb::Map,
+        &[("[1 2]", "[2]")],
+        None,
+        &["x"],
+        &int_terms(&["x"], 2),
+    );
+}
+
+#[test]
+fn refuted_filter_has_no_small_completion() {
+    // filter selects a subsequence; 3 never occurs in [1 2].
+    assert_refutation_has_no_completion(
+        Comb::Filter,
+        &[("[1 2]", "[3]")],
+        None,
+        &["x"],
+        &bool_terms(&["x"]),
+    );
+}
+
+#[test]
+fn refuted_foldl_has_no_small_completion() {
+    // foldl over [] returns the init unchanged; 7 != 0 for any body.
+    assert_refutation_has_no_completion(
+        Comb::Foldl,
+        &[("[]", "0"), ("[1]", "1")],
+        Some("7"),
+        &["a", "x"],
+        &int_terms(&["a", "x"], 2),
+    );
+}
+
+#[test]
+fn refuted_mapt_has_no_small_completion() {
+    // mapt preserves tree shape; {1 {2}} -> {1} cannot be a mapt.
+    assert_refutation_has_no_completion(
+        Comb::Mapt,
+        &[("{1 {2}}", "{1}")],
+        None,
+        &["x"],
+        &int_terms(&["x"], 2),
+    );
+}
+
+#[test]
+fn refuted_foldt_has_no_small_completion() {
+    // foldt over {} returns the init unchanged; 5 != 9 for any body.
+    assert_refutation_has_no_completion(
+        Comb::Foldt,
+        &[("{}", "9"), ("{1}", "1")],
+        Some("5"),
+        &["v", "rs"],
+        &int_terms(&["v"], 2),
+    );
+}
