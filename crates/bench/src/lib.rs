@@ -328,7 +328,10 @@ pub fn write_bench_json(
     let dir = results_dir();
     std::fs::create_dir_all(&dir)?;
     let path = dir.join(format!("BENCH_{name}.json"));
-    let mut pairs = vec![("bench".to_owned(), Json::str(name))];
+    let mut pairs = vec![
+        ("v".to_owned(), lambda2_synth::SCHEMA_VERSION.into()),
+        ("bench".to_owned(), Json::str(name)),
+    ];
     for (k, v) in meta {
         pairs.push(((*k).to_owned(), v.clone()));
     }
@@ -465,6 +468,10 @@ mod tests {
         assert_eq!(path.parent(), Some(dir.as_path()));
         let text = std::fs::read_to_string(&path).unwrap();
         let doc = lambda2_synth::obs::json::parse(&text).unwrap();
+        assert_eq!(
+            doc.get("v").and_then(Json::as_i64),
+            Some(lambda2_synth::SCHEMA_VERSION as i64)
+        );
         assert_eq!(doc.get("bench").unwrap().as_str(), Some("selftest"));
         assert_eq!(doc.get("quick"), Some(&Json::Bool(true)));
         assert_eq!(doc.get("results").unwrap().as_arr().unwrap().len(), 1);

@@ -7,6 +7,10 @@
 //! l2 lint <problem.l2>...   statically check problem files
 //! l2 bench <name>...        run suite benchmarks by name
 //! l2 list                   list the benchmark suite
+//! l2 profile summary <trace.jsonl>     per-combinator/per-rule attribution
+//! l2 profile tree <trace.jsonl>        collapsed stacks for flamegraphs
+//! l2 profile diff <a.jsonl> <b.jsonl>  first divergence of two traces
+//! l2 profile report <trace.jsonl>      self-contained HTML report
 //!
 //! flags (synth/run/bench):
 //!   --trace <path>          stream search telemetry as JSON Lines to <path>
@@ -24,13 +28,20 @@
 //!
 //! flags (lint):
 //!   --json                  one JSON object per diagnostic per line
+//!
+//! flags (profile):
+//!   --json                  machine-readable output (summary/diff)
+//!   --weight pops|time      tree weighting (default pops)
+//!   --out <path>            write tree/report output to a file
 //! ```
 //!
 //! `lint` exit codes: 0 when every file is clean, 1 when any diagnostic
 //! was reported, 2 on usage or I/O errors. Each diagnostic carries a
 //! stable machine-readable code (`parse-error`, `type-mismatch`,
 //! `contradictory-examples`, `unsat-abstract`, `library-shadowed`,
-//! `library-unused`).
+//! `library-unused`). `profile diff` exit codes: 0 when the traces are
+//! identical, 1 when they diverge or one is a truncated prefix of the
+//! other, 2 on usage or I/O errors.
 //!
 //! Batch runs (`synth`/`bench` with several problems) isolate each
 //! problem: a failure — timeout, exhaustion, even a panic — is reported
@@ -63,8 +74,9 @@ use lambda2_synth::par::{
     PortableProblem,
 };
 use lambda2_synth::{
-    lint_source, parse_problem, JsonlTracer, Measurement, Problem, SearchOptions, SearchReport,
-    Synthesizer,
+    collapse_tree, diff_traces, lint_source, load_trace, parse_problem, render_html, summarize,
+    DiffOutcome, JsonlTracer, Measurement, Problem, SearchOptions, SearchReport, Synthesizer,
+    Weight,
 };
 
 /// Flags shared by the synthesizing commands.
@@ -87,8 +99,13 @@ struct Flags {
     portfolio: bool,
     /// Disable the abstract-interpretation refutation pre-pass.
     no_static_analysis: bool,
-    /// `lint`: print diagnostics as JSON Lines instead of human text.
+    /// `lint`/`profile`: print machine-readable JSON instead of human text.
     json: bool,
+    /// `profile tree`/`profile report`: write the output to this file
+    /// instead of stdout (report defaults to `<trace>.html`).
+    out: Option<PathBuf>,
+    /// `profile tree`: weight stacks by `pops` (default) or `time`.
+    weight: Option<String>,
 }
 
 impl Flags {
@@ -124,6 +141,17 @@ impl Flags {
                 "--portfolio" => flags.portfolio = true,
                 "--no-static-analysis" => flags.no_static_analysis = true,
                 "--json" => flags.json = true,
+                "--out" => match it.next() {
+                    Some(path) => flags.out = Some(PathBuf::from(path)),
+                    None => return Err("--out requires a file path".into()),
+                },
+                "--weight" => {
+                    let raw = it.next().ok_or("--weight requires `pops` or `time`")?;
+                    if raw != "pops" && raw != "time" {
+                        return Err(format!("--weight: `{raw}` is not `pops` or `time`"));
+                    }
+                    flags.weight = Some(raw);
+                }
                 other if other.starts_with("--") => {
                     return Err(format!("unknown flag `{other}`"));
                 }
@@ -178,16 +206,19 @@ fn main() -> ExitCode {
         Some("lint") if args.len() >= 2 => return cmd_lint(&args[1..], &flags),
         Some("bench") if args.len() >= 2 => cmd_bench(&args[1..], &flags),
         Some("list") => cmd_list(),
+        Some("profile") if args.len() >= 2 => return cmd_profile(&args[1..], &flags),
         _ => {
             eprintln!(
                 "usage:\n  l2 [flags] synth <problem.l2>...\n  \
                  l2 [flags] run <problem.l2> <arg>...\n  \
                  l2 eval <expr> [x=v]...\n  \
                  l2 [--json] lint <problem.l2>...\n  \
-                 l2 [flags] bench <name>...\n  l2 list\n\
+                 l2 [flags] bench <name>...\n  l2 list\n  \
+                 l2 profile summary|tree|diff|report <trace.jsonl>...\n\
                  flags: --trace <path>  --stats-json  --timeout-ms <n>  \
                  --max-overshoot-ms <n>  --retry-ladder  --jobs <n>  --portfolio  \
-                 --no-static-analysis"
+                 --no-static-analysis\n\
+                 profile flags: --json  --weight pops|time  --out <path>"
             );
             return ExitCode::from(2);
         }
@@ -199,6 +230,26 @@ fn main() -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// Checks up front that `--trace` points somewhere writable: a missing
+/// parent directory is a usage error reported before any synthesis work
+/// starts, not after a whole batch has already run (the parallel path
+/// only opens the trace file once all workers finish).
+fn validate_trace_path(flags: &Flags) -> Result<(), String> {
+    let Some(path) = &flags.trace else {
+        return Ok(());
+    };
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() && !parent.is_dir() {
+            return Err(format!(
+                "--trace {}: parent directory {} does not exist",
+                path.display(),
+                parent.display()
+            ));
+        }
+    }
+    Ok(())
 }
 
 /// Runs one governed synthesis, honoring `--trace`, with panic isolation:
@@ -290,6 +341,7 @@ fn report(problem: &Problem, outcome: &Result<SearchReport, String>, flags: &Fla
 }
 
 fn cmd_synth(paths: &[String], flags: &Flags) -> Result<(), String> {
+    validate_trace_path(flags)?;
     if flags.effective_jobs() <= 1 {
         let mut failed = 0usize;
         for path in paths {
@@ -437,6 +489,7 @@ fn report_par(outcome: &ParOutcome, flags: &Flags) -> bool {
 }
 
 fn cmd_run(path: &str, run_args: &[String], flags: &Flags) -> Result<(), String> {
+    validate_trace_path(flags)?;
     let problem = load_problem(path)?;
     eprintln!(
         "synthesizing `{}` from {} examples...",
@@ -477,6 +530,7 @@ fn cmd_eval(expr: &str, bindings: &[String]) -> Result<(), String> {
 }
 
 fn cmd_bench(names: &[String], flags: &Flags) -> Result<(), String> {
+    validate_trace_path(flags)?;
     let parallel = flags.effective_jobs() > 1;
     let mut failed = 0usize;
     let mut tasks = Vec::new();
@@ -540,6 +594,164 @@ fn cmd_lint(paths: &[String], flags: &Flags) -> ExitCode {
     } else {
         eprintln!("{diagnostics} diagnostic(s) across {} file(s)", paths.len());
         ExitCode::FAILURE
+    }
+}
+
+/// `l2 profile <summary|tree|diff|report> <trace>...` — offline analysis
+/// of `--trace` JSONL files. Exit codes: 0 on success (for `diff`:
+/// identical traces), 1 when `diff` finds a divergence or truncation,
+/// 2 on usage or I/O errors.
+fn cmd_profile(args: &[String], flags: &Flags) -> ExitCode {
+    fn usage() -> ExitCode {
+        eprintln!(
+            "usage:\n  l2 profile summary <trace.jsonl> [--json]\n  \
+             l2 profile tree <trace.jsonl> [--weight pops|time] [--out <path>]\n  \
+             l2 profile diff <a.jsonl> <b.jsonl> [--json]\n  \
+             l2 profile report <trace.jsonl> [--out <path>]"
+        );
+        ExitCode::from(2)
+    }
+    fn fail(msg: impl std::fmt::Display) -> ExitCode {
+        eprintln!("error: {msg}");
+        ExitCode::from(2)
+    }
+    /// Prints to stdout, ignoring broken pipes (e.g. `l2 profile ... | head`).
+    fn emit(content: &str) {
+        use std::io::Write;
+        let stdout = std::io::stdout();
+        let _ = stdout.lock().write_all(content.as_bytes());
+    }
+    /// Writes `content` to `--out` (or stdout when absent).
+    fn deliver(content: &str, out: Option<&PathBuf>, what: &str) -> ExitCode {
+        match out {
+            Some(path) => match std::fs::write(path, content) {
+                Ok(()) => {
+                    eprintln!("{what} -> {}", path.display());
+                    ExitCode::SUCCESS
+                }
+                Err(e) => fail(format_args!("writing {}: {e}", path.display())),
+            },
+            None => {
+                emit(content);
+                ExitCode::SUCCESS
+            }
+        }
+    }
+
+    match (args.first().map(String::as_str), &args[1..]) {
+        (Some("summary"), [trace]) => {
+            let trace = match load_trace(std::path::Path::new(trace)) {
+                Ok(t) => t,
+                Err(e) => return fail(e),
+            };
+            let summary = summarize(&trace);
+            if flags.json {
+                emit(&format!("{}\n", summary.to_json()));
+            } else {
+                emit(&summary.render_text());
+            }
+            ExitCode::SUCCESS
+        }
+        (Some("tree"), [trace]) => {
+            let trace = match load_trace(std::path::Path::new(trace)) {
+                Ok(t) => t,
+                Err(e) => return fail(e),
+            };
+            let weight = match flags.weight.as_deref() {
+                Some("time") => Weight::Time,
+                _ => Weight::Pops,
+            };
+            let stacks = match collapse_tree(&trace, weight) {
+                Ok(s) => s,
+                Err(e) => return fail(e),
+            };
+            let mut out = String::new();
+            for (stack, w) in &stacks {
+                out.push_str(&format!("{stack} {w}\n"));
+            }
+            deliver(&out, flags.out.as_ref(), "collapsed stacks")
+        }
+        (Some("diff"), [a, b]) => {
+            let (ta, tb) = match (
+                load_trace(std::path::Path::new(a)),
+                load_trace(std::path::Path::new(b)),
+            ) {
+                (Ok(ta), Ok(tb)) => (ta, tb),
+                (Err(e), _) | (_, Err(e)) => return fail(e),
+            };
+            let outcome = diff_traces(&ta, &tb);
+            if flags.json {
+                emit(&format!("{}\n", diff_json(&outcome)));
+            } else {
+                let text = match &outcome {
+                    DiffOutcome::Identical { events } => {
+                        format!("identical: {events} events\n")
+                    }
+                    DiffOutcome::Truncated {
+                        common,
+                        len_a,
+                        len_b,
+                    } => format!(
+                        "truncated: traces agree on the first {common} events, \
+                         then one stops early ({len_a} vs {len_b} events)\n"
+                    ),
+                    DiffOutcome::Divergence {
+                        index,
+                        key_a,
+                        key_b,
+                    } => {
+                        format!("divergence at event {index}:\n  a: {key_a}\n  b: {key_b}\n")
+                    }
+                };
+                emit(&text);
+            }
+            if outcome.is_identical() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        (Some("report"), [trace_path]) => {
+            let trace = match load_trace(std::path::Path::new(trace_path)) {
+                Ok(t) => t,
+                Err(e) => return fail(e),
+            };
+            let html = render_html(&trace, trace_path);
+            let default_out = PathBuf::from(trace_path).with_extension("html");
+            let out = flags.out.clone().unwrap_or(default_out);
+            deliver(&html, Some(&out), "report")
+        }
+        _ => usage(),
+    }
+}
+
+/// One JSON object describing a [`DiffOutcome`].
+fn diff_json(outcome: &DiffOutcome) -> Json {
+    match outcome {
+        DiffOutcome::Identical { events } => Json::obj([
+            ("outcome", "identical".into()),
+            ("events", (*events as u64).into()),
+        ]),
+        DiffOutcome::Truncated {
+            common,
+            len_a,
+            len_b,
+        } => Json::obj([
+            ("outcome", "truncated".into()),
+            ("common", (*common as u64).into()),
+            ("len_a", (*len_a as u64).into()),
+            ("len_b", (*len_b as u64).into()),
+        ]),
+        DiffOutcome::Divergence {
+            index,
+            key_a,
+            key_b,
+        } => Json::obj([
+            ("outcome", "divergence".into()),
+            ("index", (*index as u64).into()),
+            ("key_a", key_a.as_str().into()),
+            ("key_b", key_b.as_str().into()),
+        ]),
     }
 }
 
@@ -727,5 +939,86 @@ mod tests {
         assert!(batch_verdict(0, 3).is_ok());
         let err = batch_verdict(2, 3).unwrap_err();
         assert!(err.contains("2 of 3"), "{err}");
+    }
+
+    #[test]
+    fn profile_flags_parse() {
+        let mut args: Vec<String> = [
+            "profile", "tree", "t.jsonl", "--weight", "time", "--out", "t.txt",
+        ]
+        .iter()
+        .map(|s| (*s).to_owned())
+        .collect();
+        let flags = Flags::extract(&mut args).unwrap();
+        assert_eq!(flags.weight.as_deref(), Some("time"));
+        assert_eq!(flags.out.as_deref(), Some(std::path::Path::new("t.txt")));
+        assert_eq!(args, vec!["profile", "tree", "t.jsonl"]);
+
+        let mut bad: Vec<String> = vec!["--weight".into(), "bytes".into()];
+        let err = Flags::extract(&mut bad).unwrap_err();
+        assert!(err.contains("bytes"), "{err}");
+        let mut missing: Vec<String> = vec!["--out".into()];
+        assert!(Flags::extract(&mut missing).is_err());
+    }
+
+    #[test]
+    fn trace_paths_with_missing_parents_are_rejected_up_front() {
+        let flags = Flags {
+            trace: Some(PathBuf::from("/nonexistent-dir-for-test/trace.jsonl")),
+            ..Flags::default()
+        };
+        let err = validate_trace_path(&flags).unwrap_err();
+        assert!(err.contains("/nonexistent-dir-for-test"), "{err}");
+        assert!(err.contains("does not exist"), "{err}");
+
+        // A bare filename (empty parent) and an existing directory pass.
+        let bare = Flags {
+            trace: Some(PathBuf::from("trace.jsonl")),
+            ..Flags::default()
+        };
+        assert!(validate_trace_path(&bare).is_ok());
+        let here = Flags {
+            trace: Some(std::env::temp_dir().join("trace.jsonl")),
+            ..Flags::default()
+        };
+        assert!(validate_trace_path(&here).is_ok());
+        assert!(validate_trace_path(&Flags::default()).is_ok());
+    }
+
+    #[test]
+    fn diff_json_covers_every_outcome() {
+        let identical = diff_json(&DiffOutcome::Identical { events: 4 });
+        assert_eq!(
+            identical.get("outcome").and_then(Json::as_str),
+            Some("identical")
+        );
+        assert_eq!(identical.get("events").and_then(Json::as_i64), Some(4));
+
+        let truncated = diff_json(&DiffOutcome::Truncated {
+            common: 2,
+            len_a: 2,
+            len_b: 5,
+        });
+        assert_eq!(
+            truncated.get("outcome").and_then(Json::as_str),
+            Some("truncated")
+        );
+        assert_eq!(truncated.get("len_b").and_then(Json::as_i64), Some(5));
+
+        let diverged = diff_json(&DiffOutcome::Divergence {
+            index: 1,
+            key_a: "{\"ev\":\"pop\"}".into(),
+            key_b: "{\"ev\":\"plan\"}".into(),
+        });
+        assert_eq!(
+            diverged.get("outcome").and_then(Json::as_str),
+            Some("divergence")
+        );
+        assert_eq!(diverged.get("index").and_then(Json::as_i64), Some(1));
+        assert!(diverged
+            .get("key_a")
+            .and_then(Json::as_str)
+            .unwrap()
+            .contains("pop"));
     }
 }

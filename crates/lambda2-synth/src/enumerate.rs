@@ -26,6 +26,7 @@ use lambda2_lang::value::Value;
 use crate::failpoints::{self, FailAction};
 use crate::govern::{Budget, BudgetExceeded};
 use crate::library::Library;
+use crate::obs::metrics::Histogram;
 use crate::spec::Spec;
 
 /// A term's outputs on each example environment.
@@ -123,6 +124,10 @@ pub struct TermStore {
     /// search level) LRU eviction + rebuild keep adding to it, so it
     /// measures enumeration *work done*, not the current cache size.
     inserted: u64,
+    /// Terms surviving dedup per *completed* enumeration level — one
+    /// observation per level built. The search folds this into
+    /// `Stats::metrics` (once per store build; see `evict_stores`).
+    level_terms: Histogram,
 }
 
 impl TermStore {
@@ -171,6 +176,7 @@ impl TermStore {
             truncated: false,
             approx_bytes: 0,
             inserted: 0,
+            level_terms: Histogram::new(crate::obs::metrics::EXP2_BOUNDS),
         }
     }
 
@@ -190,6 +196,12 @@ impl TermStore {
     /// into `Stats::enumerated_terms`.
     pub fn inserted(&self) -> u64 {
         self.inserted
+    }
+
+    /// Distribution of terms surviving dedup per completed level — one
+    /// observation per level this store has built.
+    pub fn level_terms(&self) -> &Histogram {
+        &self.level_terms
     }
 
     /// Rough heap footprint of the stored terms. Signatures dominate:
@@ -240,6 +252,8 @@ impl TermStore {
                 self.rollback_level(next);
                 return Err(e);
             }
+            self.level_terms
+                .record_usize(self.levels.get(next as usize).map_or(0, Vec::len));
             self.built_upto = next;
         }
         Ok(())

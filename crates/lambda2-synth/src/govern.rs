@@ -17,13 +17,14 @@
 //! open hypotheses, the full search counters, and a [`BudgetSnapshot`]
 //! of what was consumed.
 
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crate::obs::json::Json;
+use crate::obs::metrics::{Histogram, EXP2_BOUNDS};
 use crate::search::{SearchOptions, SynthError, Synthesis};
 use crate::stats::Stats;
 
@@ -140,6 +141,11 @@ pub struct Budget {
     stride: Cell<u32>,
     last_poll: Cell<Instant>,
     exceeded: Cell<Option<BudgetExceeded>>,
+    /// Distribution of wall-clock gaps between consecutive clock polls
+    /// (microseconds) — the empirical overshoot bound the adaptive stride
+    /// actually achieved. `RefCell` because recording needs `&mut` through
+    /// the `&self` the search threads everywhere; polls never re-enter.
+    poll_gap_us: RefCell<Histogram>,
 }
 
 impl Budget {
@@ -161,6 +167,7 @@ impl Budget {
             stride: Cell::new(1),
             last_poll: Cell::new(start),
             exceeded: Cell::new(None),
+            poll_gap_us: RefCell::new(Histogram::new(EXP2_BOUNDS)),
         }
     }
 
@@ -197,6 +204,13 @@ impl Budget {
     /// Time elapsed since the budget was created.
     pub fn elapsed(&self) -> Duration {
         self.start.elapsed()
+    }
+
+    /// A snapshot of the poll-gap distribution (microseconds between
+    /// consecutive clock polls). The search folds this into
+    /// `Stats::metrics` when metrics are enabled.
+    pub fn poll_gap_us(&self) -> Histogram {
+        self.poll_gap_us.borrow().clone()
     }
 
     /// The configured overshoot bound.
@@ -249,6 +263,9 @@ impl Budget {
         // overshoot bound, backing off geometrically while ticks are
         // cheap and collapsing fast when a phase's per-tick work grows.
         let gap = now.saturating_duration_since(self.last_poll.get());
+        self.poll_gap_us
+            .borrow_mut()
+            .record(gap.as_micros().min(u64::MAX as u128) as u64);
         let target = self.max_overshoot / 4;
         let stride = self.stride.get();
         let new_stride = if gap.saturating_mul(4) < target {

@@ -75,7 +75,15 @@ pub use govern::{
 };
 pub use l2file::{parse_problem, parse_problem_file, LibrarySpec, ProblemFile};
 pub use library::Library;
-pub use obs::{CollectTracer, JsonlTracer, NoopTracer, PhaseTimes, TraceEvent, Tracer};
+pub use obs::metrics::{Histogram, SearchMetrics};
+pub use obs::profile::{
+    collapse_tree, diff_traces, load_trace, parse_trace, summarize, DiffOutcome, ProfileError,
+    Summary, Trace, Weight,
+};
+pub use obs::report::render_html;
+pub use obs::{
+    CollectTracer, JsonlTracer, NoopTracer, PhaseTimes, TraceEvent, Tracer, SCHEMA_VERSION,
+};
 pub use par::{
     effective_jobs, portfolio_report, portfolio_report_traced, run_pool, synthesize_batch,
     ParEngine, ParOutcome, ParTask, PoolItem, PortableLibrary, PortableProblem, PortableReport,

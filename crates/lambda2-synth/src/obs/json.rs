@@ -58,6 +58,14 @@ impl Json {
         }
     }
 
+    /// The value as a `u64`, if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Int(n) => u64::try_from(*n).ok(),
+            _ => None,
+        }
+    }
+
     /// The value as an `f64` (integers widen).
     pub fn as_f64(&self) -> Option<f64> {
         match self {

@@ -22,11 +22,22 @@
 //! (one JSON object per line, the `l2 --trace <path>` format).
 
 pub mod json;
+pub mod metrics;
+pub mod profile;
+pub mod report;
 
 use std::io::{self, Write};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use json::Json;
+
+/// Version of the trace-event / stats-line JSON schema.
+///
+/// Every trace event, `--stats-json` line, and `BENCH_*.json` record
+/// carries this as a `"v"` field; the `profile` tools refuse input whose
+/// version they do not understand instead of misparsing it. Bump on any
+/// breaking change to the serialized shapes.
+pub const SCHEMA_VERSION: u64 = 1;
 
 /// Which queue-item flavor a [`TraceEvent::Pop`] refers to.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -122,6 +133,8 @@ pub enum TraceEvent {
         init: Option<String>,
         /// Cost the expansion adds to the hypothesis.
         delta_cost: u32,
+        /// Example rows deduction inferred for the expansion's body hole.
+        rows: usize,
     },
     /// The planner refuted a combinator expansion.
     Refute {
@@ -185,8 +198,10 @@ pub enum TraceEvent {
 }
 
 impl TraceEvent {
-    /// Serializes the event to its JSONL object form.
+    /// Serializes the event to its JSONL object form. Every object leads
+    /// with the [`SCHEMA_VERSION`] as `"v"` and its `"ev"` discriminator.
     pub fn to_json(&self) -> Json {
+        let v = ("v", SCHEMA_VERSION.into());
         match self {
             TraceEvent::Pop {
                 n,
@@ -195,6 +210,7 @@ impl TraceEvent {
                 holes,
                 sketch,
             } => Json::obj([
+                v,
                 ("ev", "pop".into()),
                 ("n", (*n).into()),
                 ("kind", kind.name().into()),
@@ -207,8 +223,10 @@ impl TraceEvent {
                 coll,
                 init,
                 delta_cost,
+                rows,
             } => {
                 let mut pairs = vec![
+                    v,
                     ("ev", "plan".into()),
                     ("comb", (*comb).into()),
                     ("coll", coll.as_str().into()),
@@ -217,6 +235,7 @@ impl TraceEvent {
                     pairs.push(("init", init.as_str().into()));
                 }
                 pairs.push(("delta_cost", (*delta_cost).into()));
+                pairs.push(("rows", (*rows).into()));
                 Json::obj(pairs)
             }
             TraceEvent::Refute {
@@ -226,6 +245,7 @@ impl TraceEvent {
                 reason,
             } => {
                 let mut pairs = vec![
+                    v,
                     ("ev", "refute".into()),
                     ("comb", (*comb).into()),
                     ("coll", coll.as_str().into()),
@@ -243,6 +263,7 @@ impl TraceEvent {
                 domain,
             } => {
                 let mut pairs = vec![
+                    v,
                     ("ev", "static-refute".into()),
                     ("comb", (*comb).into()),
                     ("coll", coll.as_str().into()),
@@ -254,6 +275,7 @@ impl TraceEvent {
                 Json::obj(pairs)
             }
             TraceEvent::Tier { tier, cost, fills } => Json::obj([
+                v,
                 ("ev", "tier".into()),
                 ("tier", (*tier).into()),
                 ("cost", (*cost).into()),
@@ -264,18 +286,21 @@ impl TraceEvent {
                 terms,
                 bytes,
             } => Json::obj([
+                v,
                 ("ev", "store".into()),
                 ("action", action.name().into()),
                 ("terms", (*terms).into()),
                 ("bytes", (*bytes).into()),
             ]),
             TraceEvent::Verify { ok, cost, program } => Json::obj([
+                v,
                 ("ev", "verify".into()),
                 ("ok", (*ok).into()),
                 ("cost", (*cost).into()),
                 ("program", program.as_str().into()),
             ]),
             TraceEvent::Fault { site, detail } => Json::obj([
+                v,
                 ("ev", "fault".into()),
                 ("site", (*site).into()),
                 ("detail", detail.as_str().into()),
@@ -326,11 +351,20 @@ impl Tracer for CollectTracer {
 
 /// Streams events as JSON Lines: one compact object per line.
 ///
-/// This is the sink behind `l2 --trace <path>`. IO errors are recorded
-/// (and reported by [`JsonlTracer::finish`]) rather than panicking
-/// mid-search — telemetry must never take down a run.
+/// This is the sink behind `l2 --trace <path>`. Writes go through a
+/// [`io::BufWriter`] and are flushed on [`JsonlTracer::finish`] or drop —
+/// one syscall per buffer instead of per event, so trace-heavy runs don't
+/// skew the phase timings the tracer itself reports. IO errors are
+/// recorded (and reported by `finish`) rather than panicking mid-search —
+/// telemetry must never take down a run.
+///
+/// Each line additionally carries a `t_us` field: microseconds since the
+/// tracer was created. `t_us` is the one *volatile* field in the schema —
+/// the `profile diff` alignment keys strip it.
 pub struct JsonlTracer<W: Write> {
-    out: io::BufWriter<W>,
+    // `Option` so both `finish` (by value) and `Drop` can take the writer.
+    out: Option<io::BufWriter<W>>,
+    start: Instant,
     lines: u64,
     error: Option<io::Error>,
 }
@@ -350,7 +384,8 @@ impl<W: Write> JsonlTracer<W> {
     /// Wraps any writer.
     pub fn new(out: W) -> JsonlTracer<W> {
         JsonlTracer {
-            out: io::BufWriter::new(out),
+            out: Some(io::BufWriter::new(out)),
+            start: Instant::now(),
             lines: 0,
             error: None,
         }
@@ -371,8 +406,31 @@ impl<W: Write> JsonlTracer<W> {
         if let Some(e) = self.error.take() {
             return Err(e);
         }
-        self.out.flush()?;
+        if let Some(mut out) = self.out.take() {
+            out.flush()?;
+        }
         Ok(self.lines)
+    }
+
+    /// Flushes and hands back the inner buffered writer (tests).
+    #[cfg(test)]
+    fn into_writer(mut self) -> W {
+        let mut out = self.out.take().expect("writer present");
+        out.flush().expect("flush");
+        match out.into_inner() {
+            Ok(w) => w,
+            Err(_) => unreachable!("flushed buffer cannot fail into_inner"),
+        }
+    }
+}
+
+impl<W: Write> Drop for JsonlTracer<W> {
+    fn drop(&mut self) {
+        // Best-effort flush for early-return paths that never reach
+        // `finish` (errors there are already latched or unreportable).
+        if let Some(mut out) = self.out.take() {
+            let _ = out.flush();
+        }
     }
 }
 
@@ -385,7 +443,15 @@ impl<W: Write> Tracer for JsonlTracer<W> {
         if self.error.is_some() {
             return;
         }
-        if let Err(e) = writeln!(self.out, "{}", event.to_json()) {
+        let Some(out) = self.out.as_mut() else {
+            return;
+        };
+        let mut line = event.to_json();
+        if let Json::Obj(pairs) = &mut line {
+            let t_us = self.start.elapsed().as_micros().min(u64::MAX as u128) as u64;
+            pairs.insert(1, ("t_us".to_owned(), t_us.into()));
+        }
+        if let Err(e) = writeln!(out, "{line}") {
             self.error = Some(e);
             return;
         }
@@ -500,11 +566,47 @@ mod tests {
             reason: RefuteReason::Deduction,
         });
         assert_eq!(t.lines(), 2);
-        let buf = String::from_utf8(t.out.into_inner().unwrap()).unwrap();
+        let buf = String::from_utf8(t.into_writer()).unwrap();
         for line in buf.lines() {
             let v = json::parse(line).expect("parseable");
+            assert_eq!(v.get("v").and_then(Json::as_u64), Some(SCHEMA_VERSION));
+            assert!(v.get("t_us").and_then(Json::as_u64).is_some());
             assert!(v.get("ev").is_some());
         }
+    }
+
+    #[test]
+    fn jsonl_tracer_flushes_on_drop() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        /// A writer that records everything flushed *through* to it.
+        struct Shared(Rc<RefCell<Vec<u8>>>);
+        impl Write for Shared {
+            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                self.0.borrow_mut().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let sink = Rc::new(RefCell::new(Vec::new()));
+        {
+            let mut t = JsonlTracer::new(Shared(Rc::clone(&sink)));
+            t.emit(TraceEvent::Tier {
+                tier: 1,
+                cost: 2,
+                fills: 0,
+            });
+            // One small event: still sitting in the BufWriter.
+            assert!(sink.borrow().is_empty());
+        }
+        // Dropping the tracer flushed it.
+        let buf = sink.borrow();
+        let text = std::str::from_utf8(&buf).unwrap();
+        assert!(text.contains(r#""ev":"tier""#), "flushed on drop: {text}");
     }
 
     #[test]
@@ -514,10 +616,11 @@ mod tests {
             coll: "l".into(),
             init: Some("0".into()),
             delta_cost: 7,
+            rows: 3,
         };
         assert_eq!(
             ev.to_json().to_string(),
-            r#"{"ev":"plan","comb":"foldl","coll":"l","init":"0","delta_cost":7}"#
+            r#"{"v":1,"ev":"plan","comb":"foldl","coll":"l","init":"0","delta_cost":7,"rows":3}"#
         );
         let ev = TraceEvent::Store {
             action: StoreAction::Evict,
@@ -526,7 +629,7 @@ mod tests {
         };
         assert_eq!(
             ev.to_json().to_string(),
-            r#"{"ev":"store","action":"evict","terms":10,"bytes":4096}"#
+            r#"{"v":1,"ev":"store","action":"evict","terms":10,"bytes":4096}"#
         );
         let ev = TraceEvent::Fault {
             site: "verify.candidate",
@@ -534,7 +637,7 @@ mod tests {
         };
         assert_eq!(
             ev.to_json().to_string(),
-            r#"{"ev":"fault","site":"verify.candidate","detail":"boom"}"#
+            r#"{"v":1,"ev":"fault","site":"verify.candidate","detail":"boom"}"#
         );
         let ev = TraceEvent::StaticRefute {
             comb: "map",
@@ -544,7 +647,7 @@ mod tests {
         };
         assert_eq!(
             ev.to_json().to_string(),
-            r#"{"ev":"static-refute","comb":"map","coll":"l","domain":"length"}"#
+            r#"{"v":1,"ev":"static-refute","comb":"map","coll":"l","domain":"length"}"#
         );
         let ev = TraceEvent::StaticRefute {
             comb: "foldl",
@@ -554,7 +657,7 @@ mod tests {
         };
         assert_eq!(
             ev.to_json().to_string(),
-            r#"{"ev":"static-refute","comb":"foldl","coll":"l","init":"0","domain":"init"}"#
+            r#"{"v":1,"ev":"static-refute","comb":"foldl","coll":"l","init":"0","domain":"init"}"#
         );
     }
 

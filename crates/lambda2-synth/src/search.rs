@@ -49,6 +49,7 @@ use crate::govern::{
     panic_message, Budget, BudgetExceeded, FrontierItem, SearchReport, DEFAULT_MAX_OVERSHOOT,
 };
 use crate::hypothesis::{HoleInfo, Hypothesis};
+use crate::obs::metrics::Histogram;
 use crate::obs::{NoopTracer, PopKind, RefuteReason, StoreAction, TraceEvent, Tracer};
 use crate::problem::Problem;
 use crate::spec::{ExampleRow, Spec};
@@ -144,6 +145,15 @@ pub struct SearchOptions {
     /// (Ignored when deduction is disabled: the ablation must still form
     /// hypotheses.)
     pub expand_blind_holes: bool,
+    /// Record distribution metrics ([`Stats::metrics`]) — queue depth, pop
+    /// cost, per-episode phase latency, store occupancy. On by default:
+    /// recording is a handful of integer adds per observation and by
+    /// construction feeds nothing back into the search, so the synthesized
+    /// program, its cost, and every counter are identical on/off (held to
+    /// by a differential test).
+    ///
+    /// [`Stats::metrics`]: crate::stats::Stats::metrics
+    pub metrics: bool,
 }
 
 impl Default for SearchOptions {
@@ -168,6 +178,7 @@ impl Default for SearchOptions {
             constructor_hypotheses: false,
             trace_probes: true,
             expand_blind_holes: false,
+            metrics: true,
         }
     }
 }
@@ -187,6 +198,16 @@ impl SearchOptions {
             retry_ladder: false,
             ..self.clone()
         }
+    }
+}
+
+/// Folds one timed phase episode into the scalar phase total and, when
+/// metrics are on, the phase's per-episode latency histogram.
+#[inline]
+fn note_phase(total: &mut Duration, hist: &mut Histogram, metrics: bool, d: Duration) {
+    *total += d;
+    if metrics {
+        hist.record(d.as_micros().min(u64::MAX as u128) as u64);
     }
 }
 
@@ -441,6 +462,11 @@ pub fn search_governed(
     let outcome: Result<(Program, u32), SynthError> = 'search: {
         while let Some(entry) = queue.pop() {
             stats.popped += 1;
+            if options.metrics {
+                // Depth after the pop, before this item's children push.
+                stats.metrics.queue_depth.record_usize(queue.len());
+                stats.metrics.pop_cost.record(u64::from(entry.cost));
+            }
             #[cfg(feature = "check-invariants")]
             {
                 assert!(
@@ -587,7 +613,12 @@ pub fn search_governed(
                                 store.ensure_within(options.max_collection_cost, library, budget)
                             {
                                 stats.enumerated_terms += store.inserted() - before;
-                                stats.phases.enumerate += t_enum.elapsed();
+                                note_phase(
+                                    &mut stats.phases.enumerate,
+                                    &mut stats.metrics.enumerate_us,
+                                    options.metrics,
+                                    t_enum.elapsed(),
+                                );
                                 break 'search Err(e.to_synth_error());
                             }
                             let needs_deep_inits = options.deduction
@@ -607,7 +638,12 @@ pub fn search_governed(
                             };
                             if let Err(e) = store.ensure_within(arg_cost, library, budget) {
                                 stats.enumerated_terms += store.inserted() - before;
-                                stats.phases.enumerate += t_enum.elapsed();
+                                note_phase(
+                                    &mut stats.phases.enumerate,
+                                    &mut stats.metrics.enumerate_us,
+                                    options.metrics,
+                                    t_enum.elapsed(),
+                                );
                                 break 'search Err(e.to_synth_error());
                             }
                             stats.enumerated_terms += store.inserted() - before;
@@ -616,7 +652,12 @@ pub fn search_governed(
                                 .into_iter()
                                 .map(|(t, vals)| (t.expr.clone(), t.ty.clone(), vals, t.cost))
                                 .collect();
-                            stats.phases.enumerate += t_enum.elapsed();
+                            note_phase(
+                                &mut stats.phases.enumerate,
+                                &mut stats.metrics.enumerate_us,
+                                options.metrics,
+                                t_enum.elapsed(),
+                            );
 
                             let t_deduce = Instant::now();
                             let mut planned = Vec::new();
@@ -669,12 +710,18 @@ pub fn search_governed(
                                                         coll: expr.to_string(),
                                                         init: None,
                                                         delta_cost: t.delta_cost,
+                                                        rows: t.body_info.spec.rows().len(),
                                                     });
                                                 }
                                                 planned.push(Planned::Comb(t));
                                             }
                                             PlanOutcome::Budget(e) => {
-                                                stats.phases.deduce += t_deduce.elapsed();
+                                                note_phase(
+                                                    &mut stats.phases.deduce,
+                                                    &mut stats.metrics.deduce_us,
+                                                    options.metrics,
+                                                    t_deduce.elapsed(),
+                                                );
                                                 break 'search Err(e.to_synth_error());
                                             }
                                             PlanOutcome::Rejected(fail) => {
@@ -758,12 +805,18 @@ pub fn search_governed(
                                                         coll: expr.to_string(),
                                                         init: Some(ie.to_string()),
                                                         delta_cost: t.delta_cost,
+                                                        rows: t.body_info.spec.rows().len(),
                                                     });
                                                 }
                                                 planned.push(Planned::Comb(t));
                                             }
                                             PlanOutcome::Budget(e) => {
-                                                stats.phases.deduce += t_deduce.elapsed();
+                                                note_phase(
+                                                    &mut stats.phases.deduce,
+                                                    &mut stats.metrics.deduce_us,
+                                                    options.metrics,
+                                                    t_deduce.elapsed(),
+                                                );
                                                 break 'search Err(e.to_synth_error());
                                             }
                                             PlanOutcome::Rejected(fail) => {
@@ -795,12 +848,17 @@ pub fn search_governed(
                             // The Apply stream below walks templates in order,
                             // so sort by cost for best-first behavior.
                             planned.sort_by_key(Planned::delta_cost);
-                            stats.phases.deduce += t_deduce.elapsed();
+                            note_phase(
+                                &mut stats.phases.deduce,
+                                &mut stats.metrics.deduce_us,
+                                options.metrics,
+                                t_deduce.elapsed(),
+                            );
                             let planned = Rc::new(planned);
                             templates.insert(tkey, Rc::clone(&planned));
                             evict_stores(
                                 &mut stores,
-                                options.max_store_bytes,
+                                options,
                                 &info.store_key,
                                 &mut stats,
                                 tracer,
@@ -836,7 +894,12 @@ pub fn search_governed(
                     stats.expansions += 1;
                     let t_expand = Instant::now();
                     let child = templates[index].instantiate(&hyp, hole, &costs, &mut next_hole);
-                    stats.phases.expand += t_expand.elapsed();
+                    note_phase(
+                        &mut stats.phases.expand,
+                        &mut stats.metrics.expand_us,
+                        options.metrics,
+                        t_expand.elapsed(),
+                    );
                     seq += 1;
                     queue.push(Entry {
                         cost: child.cost,
@@ -881,7 +944,12 @@ pub fn search_governed(
                     let before = store.inserted();
                     if let Err(e) = store.ensure_within(tier, library, budget) {
                         stats.enumerated_terms += store.inserted() - before;
-                        stats.phases.enumerate += t_enum.elapsed();
+                        note_phase(
+                            &mut stats.phases.enumerate,
+                            &mut stats.metrics.enumerate_us,
+                            options.metrics,
+                            t_enum.elapsed(),
+                        );
                         break 'search Err(e.to_synth_error());
                     }
                     stats.enumerated_terms += store.inserted() - before;
@@ -889,7 +957,12 @@ pub fn search_governed(
                         .closings(tier, &info.ty, &info.spec)
                         .map(|t| (t.expr.clone(), t.cost))
                         .collect();
-                    stats.phases.enumerate += t_enum.elapsed();
+                    note_phase(
+                        &mut stats.phases.enumerate,
+                        &mut stats.metrics.enumerate_us,
+                        options.metrics,
+                        t_enum.elapsed(),
+                    );
                     if tracer.enabled() {
                         tracer.emit(TraceEvent::Tier {
                             tier,
@@ -899,7 +972,7 @@ pub fn search_governed(
                     }
                     evict_stores(
                         &mut stores,
-                        options.max_store_bytes,
+                        options,
                         &info.store_key,
                         &mut stats,
                         tracer,
@@ -984,6 +1057,15 @@ pub fn search_governed(
             Ok(()) => Err(SynthError::Exhausted),
         }
     };
+
+    if options.metrics {
+        // Live stores' level histograms were not folded in by eviction;
+        // do it now (each store counted exactly once per build).
+        for (store, _) in stores.values() {
+            stats.metrics.level_terms.merge(store.level_terms());
+        }
+        stats.metrics.poll_gap_us.merge(&budget.poll_gap_us());
+    }
 
     let elapsed = start.elapsed();
     let (outcome, frontier) = match outcome {
@@ -1082,7 +1164,12 @@ fn verify_candidate(
         }
         program.satisfies_problem_metered(problem, fuel)
     }));
-    stats.phases.verify += t_verify.elapsed();
+    note_phase(
+        &mut stats.phases.verify,
+        &mut stats.metrics.verify_us,
+        options.metrics,
+        t_verify.elapsed(),
+    );
     match run {
         Ok((ok, used)) => {
             // An injected exhaustion charges "everything", so the cap
@@ -1198,6 +1285,13 @@ fn touch_store<'a>(
     if hit {
         stats.store_hits += 1;
     }
+    if options.metrics {
+        stats.metrics.store_terms.record_usize(entry.0.len());
+        stats
+            .metrics
+            .store_bytes
+            .record_usize(entry.0.approx_bytes());
+    }
     if tracer.enabled() {
         tracer.emit(TraceEvent::Store {
             action: if hit {
@@ -1265,7 +1359,7 @@ fn refute(
 /// mark.
 fn evict_stores(
     stores: &mut HashMap<StoreKey, (TermStore, u64)>,
-    max_bytes: usize,
+    options: &SearchOptions,
     current: &StoreKey,
     stats: &mut Stats,
     tracer: &mut dyn Tracer,
@@ -1275,7 +1369,7 @@ fn evict_stores(
     // sweep, forcing out every store but the current one.
     let max_bytes = match failpoints::check("store.evict") {
         Some(FailAction::EvictStores) => 0,
-        _ => max_bytes,
+        _ => options.max_store_bytes,
     };
     let mut total: usize = stores.values().map(|(s, _)| s.approx_bytes()).sum();
     budget.note_store_bytes(total);
@@ -1287,7 +1381,16 @@ fn evict_stores(
             .map(|(k, (s, _))| (k.clone(), s.len(), s.approx_bytes()));
         match victim {
             Some((key, terms, bytes)) => {
-                stores.remove(&key);
+                if let Some((store, _)) = stores.remove(&key) {
+                    // A store's per-level term histogram is folded into the
+                    // run metrics exactly once: here for evicted stores, at
+                    // search end for live ones. A store evicted and later
+                    // rebuilt counts again — the histogram measures work
+                    // done, like `Stats::enumerated_terms`.
+                    if options.metrics {
+                        stats.metrics.level_terms.merge(store.level_terms());
+                    }
+                }
                 stats.store_evictions += 1;
                 if tracer.enabled() {
                     tracer.emit(TraceEvent::Store {

@@ -5,7 +5,8 @@ use std::fmt;
 use std::time::Duration;
 
 use crate::obs::json::Json;
-use crate::obs::PhaseTimes;
+use crate::obs::metrics::SearchMetrics;
+use crate::obs::{PhaseTimes, SCHEMA_VERSION};
 
 /// Counters describing one synthesis run.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -41,6 +42,10 @@ pub struct Stats {
     pub faults: u64,
     /// Wall-time spent per search phase.
     pub phases: PhaseTimes,
+    /// Distribution instruments (queue depth, pop cost, phase-episode
+    /// latencies, store occupancy, …). Empty when `SearchOptions::metrics`
+    /// is off; never influences the search.
+    pub metrics: SearchMetrics,
 }
 
 impl Stats {
@@ -60,11 +65,15 @@ impl Stats {
         self.store_evictions += other.store_evictions;
         self.faults += other.faults;
         self.phases.merge(&other.phases);
+        self.metrics.merge(&other.metrics);
     }
 
     /// Serializes the counters (including phase timings) as a JSON object.
+    /// Histogram metrics are included under `"metrics"` only when at least
+    /// one instrument recorded something, so metrics-off runs serialize
+    /// exactly as before.
     pub fn to_json(&self) -> Json {
-        Json::obj([
+        let mut j = Json::obj([
             ("popped", self.popped.into()),
             ("expansions", self.expansions.into()),
             ("refuted", self.refuted.into()),
@@ -78,7 +87,13 @@ impl Stats {
             ("store_evictions", self.store_evictions.into()),
             ("faults", self.faults.into()),
             ("phases", self.phases.to_json()),
-        ])
+        ]);
+        if !self.metrics.is_empty() {
+            if let Json::Obj(pairs) = &mut j {
+                pairs.push(("metrics".to_owned(), self.metrics.to_json()));
+            }
+        }
+        j
     }
 }
 
@@ -139,6 +154,7 @@ impl Measurement {
     /// `BENCH_*.json` files and of `l2 --stats-json`.
     pub fn to_json(&self) -> Json {
         Json::obj([
+            ("v", SCHEMA_VERSION.into()),
             ("name", self.name.as_str().into()),
             ("solved", self.solved.into()),
             ("elapsed_ms", Json::Float(self.elapsed.as_secs_f64() * 1e3)),
@@ -183,6 +199,7 @@ mod tests {
                 expand: Duration::from_millis(3),
                 verify: Duration::from_millis(4),
             },
+            metrics: SearchMetrics::new(),
         }
     }
 
@@ -240,8 +257,17 @@ mod tests {
         }
         let phases = j.get("phases").unwrap();
         assert_eq!(phases.get("expand_ms").unwrap().as_f64(), Some(3.0));
+        // Empty metrics are omitted entirely...
+        assert_eq!(j.get("metrics"), None);
+        // ...and appear once any instrument has data.
+        let mut s = ones();
+        s.metrics.queue_depth.record(5);
+        let j2 = s.to_json();
+        let qd = j2.get("metrics").unwrap().get("queue_depth").unwrap();
+        assert_eq!(qd.get("count").unwrap().as_i64(), Some(1));
         // And the rendering is parseable.
         assert_eq!(json::parse(&j.to_string()).unwrap(), j);
+        assert_eq!(json::parse(&j2.to_string()).unwrap(), j2);
     }
 
     #[test]
@@ -258,6 +284,7 @@ mod tests {
             error: None,
         };
         let j = m.to_json();
+        assert_eq!(j.get("v").unwrap().as_u64(), Some(SCHEMA_VERSION));
         assert_eq!(j.get("name").unwrap().as_str(), Some("evens"));
         assert_eq!(j.get("error"), Some(&Json::Null));
         assert_eq!(j.get("elapsed_ms").unwrap().as_f64(), Some(12.0));

@@ -1,0 +1,223 @@
+//! End-to-end tests for the offline profiling layer: trace loading with
+//! schema-version validation, `diff` alignment over real runs, collapsed
+//! stacks, and the metrics-are-observation-only guarantee (toggling
+//! [`SearchOptions::metrics`] changes no synthesized program, cost, or
+//! search counter).
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use lambda2::synth::{
+    collapse_tree, diff_traces, load_trace, parse_trace, summarize, DiffOutcome, JsonlTracer,
+    Problem, ProfileError, SearchOptions, Synthesizer, Trace, Weight, SCHEMA_VERSION,
+};
+
+fn evens() -> Problem {
+    Problem::builder("evens")
+        .param("l", "[int]")
+        .returns("[int]")
+        .example(&["[]"], "[]")
+        .example(&["[1 2 3 4]"], "[2 4]")
+        .example(&["[5 6]"], "[6]")
+        .build()
+        .unwrap()
+}
+
+fn sum() -> Problem {
+    Problem::builder("sum")
+        .param("l", "[int]")
+        .returns("int")
+        .example(&["[]"], "0")
+        .example(&["[5]"], "5")
+        .example(&["[5 3]"], "8")
+        .example(&["[5 3 9]"], "17")
+        .build()
+        .unwrap()
+}
+
+/// Runs one traced synthesis into a temp file and loads the trace back.
+fn traced_run(problem: &Problem, tag: &str) -> (Trace, PathBuf) {
+    let path = std::env::temp_dir().join(format!("lambda2-profile-test-{tag}.jsonl"));
+    let mut tracer = JsonlTracer::create(&path).unwrap();
+    Synthesizer::new()
+        .synthesize_traced(problem, &mut tracer)
+        .expect("solves");
+    tracer.finish().unwrap();
+    let trace = load_trace(&path).unwrap();
+    (trace, path)
+}
+
+/// Two traced runs of the same deterministic problem diff as identical:
+/// the `t_us` wall-clock fields differ, but the alignment keys strip them.
+#[test]
+fn diff_of_identical_runs_is_empty() {
+    let (a, pa) = traced_run(&sum(), "diff-a");
+    let (b, pb) = traced_run(&sum(), "diff-b");
+    let _ = std::fs::remove_file(&pa);
+    let _ = std::fs::remove_file(&pb);
+    assert!(!a.is_empty());
+    // Timestamps differ between the runs (so the diff is genuinely key
+    // based), yet the outcome is identical.
+    assert!(a.has_timestamps() && b.has_timestamps());
+    assert_eq!(
+        diff_traces(&a, &b),
+        DiffOutcome::Identical { events: a.len() }
+    );
+}
+
+/// Swapping two adjacent events with different keys yields a divergence
+/// at exactly the swap point, reporting both keys.
+#[test]
+fn permuted_trace_reports_the_first_divergence() {
+    let (a, pa) = traced_run(&evens(), "perm");
+    let _ = std::fs::remove_file(&pa);
+    let key = |t: &Trace, i: usize| lambda2::synth::obs::profile::event_key(&t.events[i]);
+
+    // Find the first adjacent pair with distinct keys (deterministically).
+    let i = (0..a.len() - 1)
+        .find(|&i| key(&a, i) != key(&a, i + 1))
+        .expect("a real trace has at least two distinct adjacent events");
+    let mut b = a.clone();
+    b.events.swap(i, i + 1);
+
+    match diff_traces(&a, &b) {
+        DiffOutcome::Divergence {
+            index,
+            key_a,
+            key_b,
+        } => {
+            assert_eq!(index, i);
+            assert_eq!(key_a, key(&a, i));
+            assert_eq!(key_b, key(&a, i + 1));
+        }
+        other => panic!("expected divergence, got {other:?}"),
+    }
+}
+
+/// Dropping a suffix is reported as truncation (a run that stopped
+/// early), not as a divergence.
+#[test]
+fn truncated_trace_is_reported_as_truncated_not_divergent() {
+    let (a, pa) = traced_run(&evens(), "trunc");
+    let _ = std::fs::remove_file(&pa);
+    let mut b = a.clone();
+    b.events.truncate(a.len() - 3);
+    assert_eq!(
+        diff_traces(&a, &b),
+        DiffOutcome::Truncated {
+            common: a.len() - 3,
+            len_a: a.len(),
+            len_b: a.len() - 3,
+        }
+    );
+    // Symmetric in the other direction.
+    assert!(matches!(
+        diff_traces(&b, &a),
+        DiffOutcome::Truncated { common, .. } if common == a.len() - 3
+    ));
+}
+
+/// Traces from other schema versions (or the unversioned pre-PR 5
+/// format) are rejected with the offending line, not misparsed.
+#[test]
+fn old_and_future_schema_versions_are_rejected() {
+    let future = format!(
+        "{{\"v\":1,\"ev\":\"pop\",\"kind\":\"hyp\",\"cost\":1,\"holes\":1,\"sketch\":\"?1\"}}\n\
+         {{\"v\":{},\"ev\":\"pop\",\"kind\":\"hyp\",\"cost\":2,\"holes\":1,\"sketch\":\"?2\"}}",
+        SCHEMA_VERSION + 1
+    );
+    assert_eq!(
+        parse_trace(&future).unwrap_err(),
+        ProfileError::Version {
+            line: 2,
+            found: Some(SCHEMA_VERSION as i64 + 1)
+        }
+    );
+    let unversioned = r#"{"ev":"pop","kind":"hyp","cost":1,"holes":1,"sketch":"?1"}"#;
+    assert_eq!(
+        parse_trace(unversioned).unwrap_err(),
+        ProfileError::Version {
+            line: 1,
+            found: None
+        }
+    );
+}
+
+/// The summary and collapsed stacks of a real run are well-formed: event
+/// counts line up, the solution is attributed, time adds up, and both
+/// weightings produce the same stack set.
+#[test]
+fn summary_and_tree_cover_a_real_run() {
+    let (trace, path) = traced_run(&sum(), "summary");
+    let _ = std::fs::remove_file(&path);
+    let s = summarize(&trace);
+    assert_eq!(s.events, trace.len());
+    let (program, _cost) = s.solution.as_ref().expect("solved run records a solution");
+    assert!(
+        program.contains("foldl") || program.contains("foldr"),
+        "{program}"
+    );
+    let t = s.time.as_ref().expect("sequential traces carry timestamps");
+    assert_eq!(
+        t.total_us,
+        t.deduce_us + t.enumerate_us + t.verify_us + t.search_us
+    );
+
+    let pops = collapse_tree(&trace, Weight::Pops).unwrap();
+    let time = collapse_tree(&trace, Weight::Time).unwrap();
+    assert!(pops.iter().any(|(stack, _)| stack == "root"));
+    let stacks = |v: &[(String, u64)]| v.iter().map(|(s, _)| s.clone()).collect::<Vec<_>>();
+    assert_eq!(stacks(&pops), stacks(&time));
+    let total_pops: u64 = pops.iter().map(|(_, w)| w).sum();
+    let hyp_pops = s.pops_by_kind.values().sum::<u64>();
+    assert_eq!(total_pops, hyp_pops);
+}
+
+/// Toggling metrics collection is pure observation: over the quick
+/// catalog, the synthesized program, its cost, and every search counter
+/// are identical, and only the metrics histograms themselves appear or
+/// disappear.
+#[test]
+fn metrics_toggle_changes_no_search_results() {
+    const QUICK: &[&str] = &["ident", "incr", "evens", "sum", "reverse"];
+    for name in QUICK {
+        let bench = lambda2::suite::by_name(name).expect("suite problem");
+        let problem = bench.problem.clone();
+        let base = bench.tune(SearchOptions::default());
+        let run = |metrics: bool| {
+            let options = SearchOptions {
+                metrics,
+                timeout: Some(Duration::from_secs(30)),
+                ..base.clone()
+            };
+            Synthesizer::with_options(options)
+                .synthesize(&problem)
+                .expect("solves")
+        };
+        let on = run(true);
+        let off = run(false);
+        assert_eq!(on.program.to_string(), off.program.to_string());
+        assert_eq!(on.cost, off.cost);
+        let counters = |s: &lambda2::synth::Stats| {
+            (
+                s.popped,
+                s.expansions,
+                s.refuted,
+                s.static_refutations,
+                s.ill_typed,
+                s.closings,
+                s.verified,
+                s.verify_failures,
+                s.enumerated_terms,
+                s.store_hits,
+                s.store_evictions,
+            )
+        };
+        assert_eq!(counters(&on.stats), counters(&off.stats));
+        assert!(!on.stats.metrics.is_empty(), "{}", problem.name());
+        assert!(off.stats.metrics.is_empty(), "{}", problem.name());
+        // The recorded pops histogram agrees with the pop counter.
+        assert_eq!(on.stats.metrics.queue_depth.count(), on.stats.popped);
+        assert_eq!(on.stats.metrics.pop_cost.count(), on.stats.popped);
+    }
+}
