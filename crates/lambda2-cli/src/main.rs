@@ -11,10 +11,21 @@
 //! l2 profile tree <trace.jsonl>        collapsed stacks for flamegraphs
 //! l2 profile diff <a.jsonl> <b.jsonl>  first divergence of two traces
 //! l2 profile report <trace.jsonl>      self-contained HTML report
+//! l2 corpus ingest <dir> <file>...     backfill run records from
+//!                                      --stats-json / BENCH_*.json files
+//! l2 corpus list <dir>                 one line per problem+config
+//! l2 corpus stats <dir>                cross-run aggregates (solve rate,
+//!                                      costs, wall-time quantiles)
+//! l2 corpus regress <baseline> <fresh> compare fresh runs to the baseline
 //!
 //! flags (synth/run/bench):
 //!   --trace <path>          stream search telemetry as JSON Lines to <path>
 //!   --stats-json            print each measurement as one JSON line
+//!   --stats-json=<path>     ...or append the lines to <path> instead
+//!   --corpus <dir>          append each measurement to the run corpus in
+//!                           <dir> (see `l2 corpus`)
+//!   --progress              render a live status line on stderr while the
+//!                           search runs (sequential commands only)
 //!   --timeout-ms <n>        wall-clock budget per problem (default 60000)
 //!   --max-overshoot-ms <n>  deadline overshoot bound (default 100)
 //!   --retry-ladder          on resource exhaustion, retry with degraded
@@ -74,9 +85,10 @@ use lambda2_synth::par::{
     PortableProblem,
 };
 use lambda2_synth::{
-    collapse_tree, diff_traces, lint_source, load_trace, parse_problem, render_html, summarize,
-    DiffOutcome, JsonlTracer, Measurement, Problem, SearchOptions, SearchReport, Synthesizer,
-    Weight,
+    aggregate, collapse_tree, diff_traces, ingest_bench, ingest_measurement, lint_source,
+    load_records, load_trace, options_fingerprint, parse_problem, regress, render_html, summarize,
+    Corpus, DiffOutcome, FindingKind, JsonlTracer, Measurement, Problem, RegressThresholds,
+    RunRecord, SearchOptions, SearchReport, Synthesizer, TraceEvent, Tracer, Weight,
 };
 
 /// Flags shared by the synthesizing commands.
@@ -86,6 +98,13 @@ struct Flags {
     trace: Option<PathBuf>,
     /// Print the final `Measurement` as a single JSON line on stdout.
     stats_json: bool,
+    /// `--stats-json=<path>`: append the measurement lines to a file
+    /// instead of stdout.
+    stats_json_out: Option<PathBuf>,
+    /// Append each measurement to the run corpus in this directory.
+    corpus: Option<PathBuf>,
+    /// Render a live status line on stderr while the search runs.
+    progress: bool,
     /// Wall-clock budget per problem, in milliseconds.
     timeout_ms: Option<u64>,
     /// Deadline overshoot bound, in milliseconds.
@@ -106,6 +125,12 @@ struct Flags {
     out: Option<PathBuf>,
     /// `profile tree`: weight stacks by `pops` (default) or `time`.
     weight: Option<String>,
+    /// `corpus regress`: wall-time ratio threshold (default 1.5).
+    wall_ratio: Option<f64>,
+    /// `corpus regress`: wall-time absolute floor in ms (default 100).
+    wall_floor_ms: Option<f64>,
+    /// `corpus regress`: skip the wall-time comparison (cross-machine CI).
+    no_wall_check: bool,
 }
 
 impl Flags {
@@ -127,6 +152,36 @@ impl Flags {
                     None => return Err("--trace requires a file path".into()),
                 },
                 "--stats-json" => flags.stats_json = true,
+                "--corpus" => match it.next() {
+                    Some(dir) => flags.corpus = Some(PathBuf::from(dir)),
+                    None => return Err("--corpus requires a directory path".into()),
+                },
+                "--progress" => flags.progress = true,
+                "--no-wall-check" => flags.no_wall_check = true,
+                "--wall-ratio" => {
+                    let raw = it
+                        .next()
+                        .ok_or("--wall-ratio requires a factor (e.g. 1.5)")?;
+                    let v = raw
+                        .parse::<f64>()
+                        .map_err(|_| format!("--wall-ratio: `{raw}` is not a number"))?;
+                    if !v.is_finite() || v < 1.0 {
+                        return Err(format!("--wall-ratio: `{raw}` must be a factor >= 1"));
+                    }
+                    flags.wall_ratio = Some(v);
+                }
+                "--wall-floor-ms" => {
+                    let raw = it
+                        .next()
+                        .ok_or("--wall-floor-ms requires a millisecond count")?;
+                    let v = raw
+                        .parse::<f64>()
+                        .map_err(|_| format!("--wall-floor-ms: `{raw}` is not a number"))?;
+                    if !v.is_finite() || v < 0.0 {
+                        return Err(format!("--wall-floor-ms: `{raw}` must be >= 0"));
+                    }
+                    flags.wall_floor_ms = Some(v);
+                }
                 "--timeout-ms" => flags.timeout_ms = Some(ms_arg("--timeout-ms", it.next())?),
                 "--max-overshoot-ms" => {
                     flags.max_overshoot_ms = Some(ms_arg("--max-overshoot-ms", it.next())?);
@@ -152,6 +207,13 @@ impl Flags {
                     }
                     flags.weight = Some(raw);
                 }
+                other if other.starts_with("--stats-json=") => {
+                    let path = &other["--stats-json=".len()..];
+                    if path.is_empty() {
+                        return Err("--stats-json=<path> requires a file path".into());
+                    }
+                    flags.stats_json_out = Some(PathBuf::from(path));
+                }
                 other if other.starts_with("--") => {
                     return Err(format!("unknown flag `{other}`"));
                 }
@@ -176,6 +238,9 @@ impl Flags {
         }
         if self.no_static_analysis {
             options.static_analysis = false;
+        }
+        if self.progress {
+            options.progress = true;
         }
         options
     }
@@ -207,6 +272,7 @@ fn main() -> ExitCode {
         Some("bench") if args.len() >= 2 => cmd_bench(&args[1..], &flags),
         Some("list") => cmd_list(),
         Some("profile") if args.len() >= 2 => return cmd_profile(&args[1..], &flags),
+        Some("corpus") if args.len() >= 2 => return cmd_corpus(&args[1..], &flags),
         _ => {
             eprintln!(
                 "usage:\n  l2 [flags] synth <problem.l2>...\n  \
@@ -214,11 +280,15 @@ fn main() -> ExitCode {
                  l2 eval <expr> [x=v]...\n  \
                  l2 [--json] lint <problem.l2>...\n  \
                  l2 [flags] bench <name>...\n  l2 list\n  \
-                 l2 profile summary|tree|diff|report <trace.jsonl>...\n\
-                 flags: --trace <path>  --stats-json  --timeout-ms <n>  \
+                 l2 profile summary|tree|diff|report <trace.jsonl>...\n  \
+                 l2 corpus ingest|list|stats|regress ...\n\
+                 flags: --trace <path>  --stats-json[=<path>]  --corpus <dir>  \
+                 --progress  --timeout-ms <n>  \
                  --max-overshoot-ms <n>  --retry-ladder  --jobs <n>  --portfolio  \
                  --no-static-analysis\n\
-                 profile flags: --json  --weight pops|time  --out <path>"
+                 profile flags: --json  --weight pops|time  --out <path>\n\
+                 corpus flags: --json  --wall-ratio <f>  --wall-floor-ms <n>  \
+                 --no-wall-check"
             );
             return ExitCode::from(2);
         }
@@ -232,18 +302,15 @@ fn main() -> ExitCode {
     }
 }
 
-/// Checks up front that `--trace` points somewhere writable: a missing
-/// parent directory is a usage error reported before any synthesis work
-/// starts, not after a whole batch has already run (the parallel path
-/// only opens the trace file once all workers finish).
-fn validate_trace_path(flags: &Flags) -> Result<(), String> {
-    let Some(path) = &flags.trace else {
-        return Ok(());
-    };
+/// Checks up front that a `--flag <path>` output target points somewhere
+/// writable: a missing parent directory is a usage error reported before
+/// any synthesis work starts, not after a whole batch has already run
+/// (the parallel path only opens the trace file once all workers finish).
+fn validate_out_path(flag: &str, path: &std::path::Path) -> Result<(), String> {
     if let Some(parent) = path.parent() {
         if !parent.as_os_str().is_empty() && !parent.is_dir() {
             return Err(format!(
-                "--trace {}: parent directory {} does not exist",
+                "{flag} {}: parent directory {} does not exist",
                 path.display(),
                 parent.display()
             ));
@@ -252,44 +319,170 @@ fn validate_trace_path(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
-/// Runs one governed synthesis, honoring `--trace`, with panic isolation:
-/// a crash inside the engine becomes an error measurement, not an abort.
+fn validate_trace_path(flags: &Flags) -> Result<(), String> {
+    match &flags.trace {
+        Some(path) => validate_out_path("--trace", path),
+        None => Ok(()),
+    }
+}
+
+/// Where the synthesizing commands deliver their measurements, beyond
+/// stdout/stderr. Built once per command, *before* any search work, so
+/// every output path failure is immediate (see [`validate_out_path`]).
+#[derive(Debug)]
+struct Sinks {
+    /// `--corpus <dir>`: the opened (and thus created) run corpus.
+    corpus: Option<Corpus>,
+    /// `--stats-json=<path>`: measurement lines are appended here.
+    stats_json_out: Option<PathBuf>,
+}
+
+/// Validates every output flag and opens the corpus. The `--stats-json=`
+/// target file is created (truncated) up front: a bad path fails the
+/// command before the first search, and a rerun never mixes old and new
+/// lines.
+fn prepare_sinks(flags: &Flags) -> Result<Sinks, String> {
+    validate_trace_path(flags)?;
+    let corpus = match &flags.corpus {
+        Some(dir) => Some(Corpus::open(dir).map_err(|e| format!("--corpus: {e}"))?),
+        None => None,
+    };
+    if let Some(path) = &flags.stats_json_out {
+        validate_out_path("--stats-json", path)?;
+        std::fs::File::create(path).map_err(|e| format!("--stats-json {}: {e}", path.display()))?;
+    }
+    Ok(Sinks {
+        corpus,
+        stats_json_out: flags.stats_json_out.clone(),
+    })
+}
+
+impl Sinks {
+    /// Records one measurement in every configured sink. Failures here are
+    /// reported but do not fail the run: the synthesis result already
+    /// exists and has been printed.
+    fn record(&self, measurement: &Measurement, fingerprint: &str) {
+        if let Some(corpus) = &self.corpus {
+            let record = RunRecord::of_measurement(measurement, fingerprint);
+            if let Err(e) = corpus.append(&[record]) {
+                eprintln!("warning: --corpus: {e}");
+            }
+        }
+        if let Some(path) = &self.stats_json_out {
+            use std::io::Write;
+            let appended = std::fs::OpenOptions::new()
+                .append(true)
+                .open(path)
+                .and_then(|mut f| writeln!(f, "{}", measurement.to_json()));
+            if let Err(e) = appended {
+                eprintln!("warning: --stats-json {}: {e}", path.display());
+            }
+        }
+    }
+}
+
+/// Renders [`TraceEvent::Progress`] heartbeats as a single rewriting
+/// status line on stderr, forwarding every event to the inner tracer
+/// (when there is one). `enabled()` mirrors the inner tracer so the
+/// engine keeps skipping payload rendering when only `--progress` is on.
+struct ProgressLine<'a> {
+    inner: Option<&'a mut dyn Tracer>,
+    render: bool,
+    wrote: bool,
+}
+
+impl ProgressLine<'_> {
+    /// Terminates the status line so later stderr output starts clean.
+    fn finish_line(&mut self) {
+        if self.wrote {
+            eprintln!();
+            self.wrote = false;
+        }
+    }
+}
+
+impl Tracer for ProgressLine<'_> {
+    fn enabled(&self) -> bool {
+        self.inner.as_ref().is_some_and(|t| t.enabled())
+    }
+
+    fn emit(&mut self, event: TraceEvent) {
+        if self.render {
+            if let TraceEvent::Progress {
+                budget,
+                queue,
+                best_cost,
+                ..
+            } = &event
+            {
+                eprint!(
+                    "\r  {:6.1}s  {} pops  queue {}  cost {}  store {:.1} MB   ",
+                    budget.elapsed.as_secs_f64(),
+                    budget.pops,
+                    queue,
+                    best_cost,
+                    budget.peak_store_bytes as f64 / (1024.0 * 1024.0),
+                );
+                self.wrote = true;
+            }
+        }
+        if let Some(inner) = self.inner.as_deref_mut() {
+            inner.emit(event);
+        }
+    }
+}
+
+/// Runs one governed synthesis, honoring `--trace` and `--progress`, with
+/// panic isolation: a crash inside the engine becomes an error
+/// measurement, not an abort.
 fn run_synthesis(
     synthesizer: &Synthesizer,
     problem: &Problem,
     flags: &Flags,
 ) -> Result<SearchReport, String> {
-    let report = match &flags.trace {
-        Some(path) => {
-            let mut tracer = JsonlTracer::create(path)
-                .map_err(|e| format!("opening trace file {}: {e}", path.display()))?;
-            let r = catch_unwind(AssertUnwindSafe(|| {
-                if flags.portfolio {
-                    synthesizer.synthesize_report_portfolio_traced(problem, &mut tracer)
-                } else {
-                    synthesizer.synthesize_report_traced(problem, &mut tracer)
-                }
-            }));
-            let lines = tracer
-                .finish()
-                .map_err(|e| format!("writing trace file {}: {e}", path.display()))?;
-            eprintln!("trace: {lines} events -> {}", path.display());
-            r
-        }
-        None => catch_unwind(AssertUnwindSafe(|| {
-            if flags.portfolio {
-                synthesizer.synthesize_report_portfolio(problem)
-            } else {
-                synthesizer.synthesize_report(problem)
-            }
-        })),
+    let mut jsonl = match &flags.trace {
+        Some(path) => Some(
+            JsonlTracer::create(path)
+                .map_err(|e| format!("opening trace file {}: {e}", path.display()))?,
+        ),
+        None => None,
     };
+    let report = {
+        let mut line = ProgressLine {
+            inner: jsonl.as_mut().map(|t| t as &mut dyn Tracer),
+            render: flags.progress,
+            wrote: false,
+        };
+        let tracer = &mut line;
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            if flags.portfolio {
+                synthesizer.synthesize_report_portfolio_traced(problem, tracer)
+            } else {
+                synthesizer.synthesize_report_traced(problem, tracer)
+            }
+        }));
+        line.finish_line();
+        r
+    };
+    if let (Some(tracer), Some(path)) = (jsonl, &flags.trace) {
+        let lines = tracer
+            .finish()
+            .map_err(|e| format!("writing trace file {}: {e}", path.display()))?;
+        eprintln!("trace: {lines} events -> {}", path.display());
+    }
     report.map_err(|payload| format!("synthesis panicked: {}", panic_message(&*payload)))
 }
 
-/// Prints the result summary (and the `--stats-json` line). Returns `Ok`
-/// when the problem was solved.
-fn report(problem: &Problem, outcome: &Result<SearchReport, String>, flags: &Flags) -> bool {
+/// Prints the result summary (and the `--stats-json` line), and records
+/// the measurement in the configured [`Sinks`]. Returns `true` when the
+/// problem was solved.
+fn report(
+    problem: &Problem,
+    outcome: &Result<SearchReport, String>,
+    flags: &Flags,
+    sinks: &Sinks,
+    fingerprint: &str,
+) -> bool {
     let (solved, error, measurement) = match outcome {
         Ok(report) => {
             let m = report.to_measurement(problem.name(), problem.examples().len());
@@ -337,11 +530,12 @@ fn report(problem: &Problem, outcome: &Result<SearchReport, String>, flags: &Fla
     if flags.stats_json {
         println!("{}", measurement.to_json());
     }
+    sinks.record(&measurement, fingerprint);
     solved
 }
 
 fn cmd_synth(paths: &[String], flags: &Flags) -> Result<(), String> {
-    validate_trace_path(flags)?;
+    let sinks = prepare_sinks(flags)?;
     if flags.effective_jobs() <= 1 {
         let mut failed = 0usize;
         for path in paths {
@@ -353,8 +547,9 @@ fn cmd_synth(paths: &[String], flags: &Flags) -> Result<(), String> {
                         problem.examples().len()
                     );
                     let synthesizer = synthesizer_for(flags);
+                    let fingerprint = options_fingerprint(synthesizer.options());
                     let outcome = run_synthesis(&synthesizer, &problem, flags);
-                    if !report(&problem, &outcome, flags) {
+                    if !report(&problem, &outcome, flags, &sinks, &fingerprint) {
                         failed += 1;
                     }
                 }
@@ -380,7 +575,7 @@ fn cmd_synth(paths: &[String], flags: &Flags) -> Result<(), String> {
             }
         }
     }
-    failed += run_batch(tasks, flags)?;
+    failed += run_batch(tasks, flags, &sinks)?;
     batch_verdict(failed, paths.len())
 }
 
@@ -398,12 +593,22 @@ fn par_task(problem: &Problem, synthesizer: Synthesizer, flags: &Flags) -> ParTa
 /// Fans `tasks` across the worker pool, writes the merged worker-tagged
 /// trace, and reports every outcome in input order. Returns the number of
 /// failed problems.
-fn run_batch(tasks: Vec<ParTask>, flags: &Flags) -> Result<usize, String> {
+fn run_batch(tasks: Vec<ParTask>, flags: &Flags, sinks: &Sinks) -> Result<usize, String> {
     let jobs = flags.effective_jobs();
     eprintln!("running {} problems across {jobs} workers...", tasks.len());
+    // Outcomes come back in input order, so the per-task fingerprints
+    // (bench tuning varies the options per problem) line up by index.
+    let fingerprints: Vec<String> = tasks
+        .iter()
+        .map(|t| options_fingerprint(&t.options))
+        .collect();
     let outcomes = synthesize_batch(tasks, jobs);
     write_tagged_trace(&outcomes, flags)?;
-    Ok(outcomes.iter().filter(|o| !report_par(o, flags)).count())
+    Ok(outcomes
+        .iter()
+        .zip(&fingerprints)
+        .filter(|(o, fp)| !report_par(o, flags, sinks, fp))
+        .count())
 }
 
 /// Writes the batch's trace events — tagged with problem and worker — as
@@ -420,6 +625,12 @@ fn write_tagged_trace(outcomes: &[ParOutcome], flags: &Flags) -> Result<(), Stri
     let mut lines = 0u64;
     for outcome in outcomes {
         for event in &outcome.events {
+            // Progress heartbeats are wall-clock driven — volatile, like
+            // `t_us` — so they are dropped from the merged trace to keep
+            // it diffable across runs.
+            if matches!(event, TraceEvent::Progress { .. }) {
+                continue;
+            }
             writeln!(
                 out,
                 "{}",
@@ -435,8 +646,9 @@ fn write_tagged_trace(outcomes: &[ParOutcome], flags: &Flags) -> Result<(), Stri
 }
 
 /// [`report`] for a pool outcome: same summary lines, same `--stats-json`
-/// record. Returns `true` when the problem was solved.
-fn report_par(outcome: &ParOutcome, flags: &Flags) -> bool {
+/// record, same sink recording. Returns `true` when the problem was
+/// solved.
+fn report_par(outcome: &ParOutcome, flags: &Flags, sinks: &Sinks, fingerprint: &str) -> bool {
     let (solved, error, measurement) = match &outcome.result {
         Ok(report) => {
             let m = report.to_measurement(&outcome.name, outcome.examples);
@@ -485,11 +697,12 @@ fn report_par(outcome: &ParOutcome, flags: &Flags) -> bool {
     if flags.stats_json {
         println!("{}", measurement.to_json());
     }
+    sinks.record(&measurement, fingerprint);
     solved
 }
 
 fn cmd_run(path: &str, run_args: &[String], flags: &Flags) -> Result<(), String> {
-    validate_trace_path(flags)?;
+    let sinks = prepare_sinks(flags)?;
     let problem = load_problem(path)?;
     eprintln!(
         "synthesizing `{}` from {} examples...",
@@ -497,8 +710,9 @@ fn cmd_run(path: &str, run_args: &[String], flags: &Flags) -> Result<(), String>
         problem.examples().len()
     );
     let synthesizer = synthesizer_for(flags);
+    let fingerprint = options_fingerprint(synthesizer.options());
     let outcome = run_synthesis(&synthesizer, &problem, flags);
-    if !report(&problem, &outcome, flags) {
+    if !report(&problem, &outcome, flags, &sinks, &fingerprint) {
         return Err(format!("`{}` was not solved", problem.name()));
     }
     let program = match outcome {
@@ -530,7 +744,7 @@ fn cmd_eval(expr: &str, bindings: &[String]) -> Result<(), String> {
 }
 
 fn cmd_bench(names: &[String], flags: &Flags) -> Result<(), String> {
-    validate_trace_path(flags)?;
+    let sinks = prepare_sinks(flags)?;
     let parallel = flags.effective_jobs() > 1;
     let mut failed = 0usize;
     let mut tasks = Vec::new();
@@ -548,13 +762,14 @@ fn cmd_bench(names: &[String], flags: &Flags) -> Result<(), String> {
             tasks.push(par_task(&bench.problem, synthesizer, flags));
             continue;
         }
+        let fingerprint = options_fingerprint(synthesizer.options());
         let outcome = run_synthesis(&synthesizer, &bench.problem, flags);
-        if !report(&bench.problem, &outcome, flags) {
+        if !report(&bench.problem, &outcome, flags, &sinks, &fingerprint) {
             failed += 1;
         }
     }
     if parallel {
-        failed += run_batch(tasks, flags)?;
+        failed += run_batch(tasks, flags, &sinks)?;
     }
     batch_verdict(failed, names.len())
 }
@@ -752,6 +967,200 @@ fn diff_json(outcome: &DiffOutcome) -> Json {
             ("key_a", key_a.as_str().into()),
             ("key_b", key_b.as_str().into()),
         ]),
+    }
+}
+
+/// `l2 corpus <ingest|list|stats|regress> ...` — the cross-run record
+/// store and its regression watchdog. Exit codes: 0 on success (for
+/// `regress`: no regression), 1 when `regress` finds a regression, 2 on
+/// usage or I/O errors.
+fn cmd_corpus(args: &[String], flags: &Flags) -> ExitCode {
+    fn usage() -> ExitCode {
+        eprintln!(
+            "usage:\n  l2 corpus ingest <dir> <file>...\n  \
+             l2 corpus list <dir> [--json]\n  \
+             l2 corpus stats <dir> [--json]\n  \
+             l2 corpus regress <baseline> <fresh> [--json] [--wall-ratio <f>] \
+             [--wall-floor-ms <n>] [--no-wall-check]\n\
+             <baseline>/<fresh> are corpus directories or runs.jsonl files;\n\
+             ingest accepts --stats-json line files and BENCH_*.json documents"
+        );
+        ExitCode::from(2)
+    }
+    fn fail(msg: impl std::fmt::Display) -> ExitCode {
+        eprintln!("error: {msg}");
+        ExitCode::from(2)
+    }
+    /// Prints to stdout, ignoring broken pipes (e.g. `l2 corpus ... | head`).
+    fn emit(content: &str) {
+        use std::io::Write;
+        let stdout = std::io::stdout();
+        let _ = stdout.lock().write_all(content.as_bytes());
+    }
+    /// Resolves a corpus directory (or a bare record file) to its records.
+    fn load_store(raw: &str) -> Result<Vec<RunRecord>, String> {
+        let path = std::path::Path::new(raw);
+        let store = if path.is_dir() {
+            path.join(lambda2_synth::obs::corpus::CORPUS_FILE)
+        } else {
+            path.to_path_buf()
+        };
+        if !store.exists() {
+            return Err(format!("{}: no corpus store found", store.display()));
+        }
+        load_records(&store).map_err(|e| e.to_string())
+    }
+    /// Parses one ingest input: a whole-file JSON document (a bench
+    /// report, or a single measurement) or JSON Lines of measurements.
+    fn ingest_file(raw: &str) -> Result<Vec<RunRecord>, String> {
+        use lambda2_synth::obs::corpus::ingest_fingerprint;
+        use lambda2_synth::obs::json::parse;
+        let text = std::fs::read_to_string(raw).map_err(|e| format!("reading {raw}: {e}"))?;
+        // `--stats-json` lines carry no options, so every such record
+        // shares one explicit ingest fingerprint: comparable with each
+        // other, never with first-class fingerprinted runs.
+        let stats_fp = ingest_fingerprint("stats-json\n");
+        if let Ok(doc) = parse(text.trim()) {
+            if doc.get("results").is_some() {
+                return ingest_bench(&doc).map_err(|e| format!("{raw}: {e}"));
+            }
+            return ingest_measurement(&doc, &stats_fp)
+                .map(|r| vec![r])
+                .map_err(|e| format!("{raw}: {e}"));
+        }
+        let mut records = Vec::new();
+        for (i, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let doc = parse(line).map_err(|e| format!("{raw}:{}: {e}", i + 1))?;
+            records.push(
+                ingest_measurement(&doc, &stats_fp).map_err(|e| format!("{raw}:{}: {e}", i + 1))?,
+            );
+        }
+        Ok(records)
+    }
+
+    match (args.first().map(String::as_str), &args[1..]) {
+        (Some("ingest"), [dir, files @ ..]) if !files.is_empty() => {
+            let corpus = match Corpus::open(std::path::Path::new(dir)) {
+                Ok(c) => c,
+                Err(e) => return fail(e),
+            };
+            let mut total = 0usize;
+            for file in files {
+                let records = match ingest_file(file) {
+                    Ok(r) => r,
+                    Err(e) => return fail(e),
+                };
+                if let Err(e) = corpus.append(&records) {
+                    return fail(e);
+                }
+                total += records.len();
+            }
+            eprintln!(
+                "ingested {total} record(s) from {} file(s) -> {}",
+                files.len(),
+                corpus.store_path().display()
+            );
+            ExitCode::SUCCESS
+        }
+        (Some(cmd @ ("list" | "stats")), [dir]) => {
+            let records = match load_store(dir) {
+                Ok(r) => r,
+                Err(e) => return fail(e),
+            };
+            let aggregates = aggregate(&records);
+            let mut out = String::new();
+            for a in &aggregates {
+                if flags.json {
+                    out.push_str(&format!("{}\n", a.to_json()));
+                } else if cmd == "list" {
+                    out.push_str(&format!(
+                        "{:16} {:22} {:3} run(s)  {:3} solved\n",
+                        a.problem, a.fingerprint, a.runs, a.solved
+                    ));
+                } else {
+                    let cost = match (a.cost_lo, a.cost_hi) {
+                        (Some(lo), Some(hi)) if lo == hi => format!("cost {lo}"),
+                        (Some(lo), Some(hi)) => format!("cost {lo}..{hi} (forked!)"),
+                        _ => "unsolved".to_owned(),
+                    };
+                    out.push_str(&format!(
+                        "{:16} {:22} {:3}/{:<3} solved  {cost:24} wall p50 {:8.1} ms  \
+                         p90 {:8.1} ms  max {:8.1} ms{}\n",
+                        a.problem,
+                        a.fingerprint,
+                        a.solved,
+                        a.runs,
+                        a.wall_ms(0.5),
+                        a.wall_ms(0.9),
+                        a.wall_ms(1.0),
+                        if a.counters_agree {
+                            ""
+                        } else {
+                            "  [counters diverge across runs]"
+                        }
+                    ));
+                }
+            }
+            if aggregates.is_empty() && !flags.json {
+                out.push_str("(corpus is empty)\n");
+            }
+            emit(&out);
+            ExitCode::SUCCESS
+        }
+        (Some("regress"), [baseline, fresh]) => {
+            let (base, new) = match (load_store(baseline), load_store(fresh)) {
+                (Ok(b), Ok(n)) => (b, n),
+                (Err(e), _) | (_, Err(e)) => return fail(e),
+            };
+            let defaults = RegressThresholds::default();
+            let thresholds = RegressThresholds {
+                wall_ratio: flags.wall_ratio.unwrap_or(defaults.wall_ratio),
+                wall_floor_ms: flags.wall_floor_ms.unwrap_or(defaults.wall_floor_ms),
+                check_wall: !flags.no_wall_check,
+            };
+            let findings = regress(&base, &new, &thresholds);
+            let regressions = findings
+                .iter()
+                .filter(|f| f.kind == FindingKind::Regression)
+                .count();
+            if flags.json {
+                let mut out = String::new();
+                for f in &findings {
+                    out.push_str(&format!("{}\n", f.to_json()));
+                }
+                emit(&out);
+            } else {
+                let mut out = String::new();
+                for f in &findings {
+                    out.push_str(&format!(
+                        "{}: {} [{}]: {}\n",
+                        f.problem,
+                        f.kind.name(),
+                        f.fingerprint,
+                        f.detail
+                    ));
+                }
+                let groups: std::collections::BTreeSet<_> = new
+                    .iter()
+                    .map(|r| (r.problem.as_str(), r.fingerprint.as_str()))
+                    .collect();
+                out.push_str(&format!(
+                    "{} fresh group(s) compared: {regressions} regression(s), {} note(s)\n",
+                    groups.len(),
+                    findings.len() - regressions
+                ));
+                emit(&out);
+            }
+            if regressions == 0 {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        _ => usage(),
     }
 }
 
@@ -983,6 +1392,98 @@ mod tests {
         };
         assert!(validate_trace_path(&here).is_ok());
         assert!(validate_trace_path(&Flags::default()).is_ok());
+    }
+
+    #[test]
+    fn corpus_and_progress_flags_parse() {
+        let mut args: Vec<String> = [
+            "synth",
+            "--corpus",
+            "results/corpus",
+            "--progress",
+            "--stats-json=stats.jsonl",
+            "p.l2",
+        ]
+        .iter()
+        .map(|s| (*s).to_owned())
+        .collect();
+        let flags = Flags::extract(&mut args).unwrap();
+        assert_eq!(
+            flags.corpus.as_deref(),
+            Some(std::path::Path::new("results/corpus"))
+        );
+        assert!(flags.progress);
+        assert_eq!(
+            flags.stats_json_out.as_deref(),
+            Some(std::path::Path::new("stats.jsonl"))
+        );
+        assert!(!flags.stats_json);
+        assert_eq!(args, vec!["synth".to_owned(), "p.l2".to_owned()]);
+
+        // `--progress` is an options knob (the engine emits the events).
+        assert!(flags.apply(SearchOptions::default()).progress);
+        assert!(!Flags::default().apply(SearchOptions::default()).progress);
+
+        let mut missing: Vec<String> = vec!["--corpus".into()];
+        assert!(Flags::extract(&mut missing).is_err());
+        let mut empty: Vec<String> = vec!["--stats-json=".into()];
+        assert!(Flags::extract(&mut empty).is_err());
+    }
+
+    #[test]
+    fn regress_threshold_flags_parse_and_validate() {
+        let mut args: Vec<String> = [
+            "corpus",
+            "regress",
+            "a",
+            "b",
+            "--wall-ratio",
+            "2.0",
+            "--wall-floor-ms",
+            "250",
+            "--no-wall-check",
+        ]
+        .iter()
+        .map(|s| (*s).to_owned())
+        .collect();
+        let flags = Flags::extract(&mut args).unwrap();
+        assert_eq!(flags.wall_ratio, Some(2.0));
+        assert_eq!(flags.wall_floor_ms, Some(250.0));
+        assert!(flags.no_wall_check);
+        assert_eq!(args, vec!["corpus", "regress", "a", "b"]);
+
+        let mut sub_one: Vec<String> = vec!["--wall-ratio".into(), "0.5".into()];
+        assert!(Flags::extract(&mut sub_one).is_err());
+        let mut negative: Vec<String> = vec!["--wall-floor-ms".into(), "-1".into()];
+        assert!(Flags::extract(&mut negative).is_err());
+        let mut junk: Vec<String> = vec!["--wall-ratio".into(), "fast".into()];
+        assert!(Flags::extract(&mut junk).is_err());
+    }
+
+    #[test]
+    fn output_paths_are_validated_before_any_search() {
+        // A `--stats-json=` target with a missing parent fails up front...
+        let bad_stats = Flags {
+            stats_json_out: Some(PathBuf::from("/nonexistent-dir-for-test/stats.jsonl")),
+            ..Flags::default()
+        };
+        let err = prepare_sinks(&bad_stats).unwrap_err();
+        assert!(err.contains("does not exist"), "{err}");
+
+        // ...a corpus path that collides with a file fails up front...
+        let file = std::env::temp_dir().join(format!("l2-sink-test-{}", std::process::id()));
+        std::fs::write(&file, "x").unwrap();
+        let bad_corpus = Flags {
+            corpus: Some(file.join("corpus")),
+            ..Flags::default()
+        };
+        assert!(prepare_sinks(&bad_corpus).is_err());
+        let _ = std::fs::remove_file(&file);
+
+        // ...and no flags means no sinks.
+        let sinks = prepare_sinks(&Flags::default()).unwrap();
+        assert!(sinks.corpus.is_none());
+        assert!(sinks.stats_json_out.is_none());
     }
 
     #[test]

@@ -37,6 +37,12 @@ pub const DEFAULT_MAX_OVERSHOOT: Duration = Duration::from_millis(100);
 /// ticks.
 const MAX_STRIDE: u32 = 4096;
 
+/// Minimum wall-clock spacing between two progress heartbeats
+/// ([`Budget::take_heartbeat`]). Heartbeats ride the adaptive poll
+/// cadence, so they can be *later* than this (a poll must happen first)
+/// but never more frequent.
+pub const HEARTBEAT_INTERVAL: Duration = Duration::from_millis(200);
+
 /// Which resource limit a [`Budget`] ran out of.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum BudgetExceeded {
@@ -141,6 +147,8 @@ pub struct Budget {
     stride: Cell<u32>,
     last_poll: Cell<Instant>,
     exceeded: Cell<Option<BudgetExceeded>>,
+    last_heartbeat: Cell<Instant>,
+    heartbeat_ready: Cell<bool>,
     /// Distribution of wall-clock gaps between consecutive clock polls
     /// (microseconds) — the empirical overshoot bound the adaptive stride
     /// actually achieved. `RefCell` because recording needs `&mut` through
@@ -167,6 +175,8 @@ impl Budget {
             stride: Cell::new(1),
             last_poll: Cell::new(start),
             exceeded: Cell::new(None),
+            last_heartbeat: Cell::new(start),
+            heartbeat_ready: Cell::new(false),
             poll_gap_us: RefCell::new(Histogram::new(EXP2_BOUNDS)),
         }
     }
@@ -278,6 +288,9 @@ impl Budget {
         self.stride.set(new_stride);
         self.until_poll.set(new_stride);
         self.last_poll.set(now);
+        if now.saturating_duration_since(self.last_heartbeat.get()) >= HEARTBEAT_INTERVAL {
+            self.heartbeat_ready.set(true);
+        }
         if self.cancel.load(Ordering::Relaxed) {
             return Err(self.trip(BudgetExceeded::Cancelled));
         }
@@ -342,6 +355,22 @@ impl Budget {
     /// `true` once any limit has tripped.
     pub fn is_exceeded(&self) -> bool {
         self.exceeded.get().is_some()
+    }
+
+    /// Consumes a pending progress heartbeat, if one is due.
+    ///
+    /// Heartbeats piggyback on the adaptive clock polls: a poll that
+    /// observes at least [`HEARTBEAT_INTERVAL`] since the previous
+    /// heartbeat arms the flag, and this call disarms it. One `Cell` read
+    /// when nothing is due, so the search loop can ask on every pop.
+    /// Purely observational — never affects any limit verdict.
+    pub fn take_heartbeat(&self) -> bool {
+        if !self.heartbeat_ready.get() {
+            return false;
+        }
+        self.heartbeat_ready.set(false);
+        self.last_heartbeat.set(self.last_poll.get());
+        true
     }
 
     /// A point-in-time summary of the budget's accounting.
@@ -647,6 +676,22 @@ mod tests {
         b.note_store_bytes(100);
         b.note_store_bytes(50);
         assert_eq!(b.snapshot().peak_store_bytes, 100);
+    }
+
+    #[test]
+    fn heartbeats_ride_polls_and_are_rate_limited() {
+        let b = Budget::unlimited();
+        // Nothing due until a poll observes the interval elapsed.
+        assert!(!b.take_heartbeat());
+        b.check_now().unwrap();
+        assert!(!b.take_heartbeat());
+        std::thread::sleep(HEARTBEAT_INTERVAL);
+        b.check_now().unwrap();
+        assert!(b.take_heartbeat());
+        // Consumed: disarmed until the interval elapses again.
+        assert!(!b.take_heartbeat());
+        b.check_now().unwrap();
+        assert!(!b.take_heartbeat());
     }
 
     #[test]

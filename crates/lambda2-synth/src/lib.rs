@@ -75,6 +75,10 @@ pub use govern::{
 };
 pub use l2file::{parse_problem, parse_problem_file, LibrarySpec, ProblemFile};
 pub use library::Library;
+pub use obs::corpus::{
+    aggregate, build_rev, ingest_bench, ingest_measurement, load_records, options_fingerprint,
+    regress, Aggregate, Corpus, CorpusError, Finding, FindingKind, RegressThresholds, RunRecord,
+};
 pub use obs::metrics::{Histogram, SearchMetrics};
 pub use obs::profile::{
     collapse_tree, diff_traces, load_trace, parse_trace, summarize, DiffOutcome, ProfileError,

@@ -50,6 +50,14 @@ impl Json {
         }
     }
 
+    /// The value as a `bool`, if it is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// The value as an `i64`, if it is an integer.
     pub fn as_i64(&self) -> Option<i64> {
         match self {

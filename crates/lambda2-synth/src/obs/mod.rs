@@ -21,6 +21,7 @@
 //! (in-memory, for tests and programmatic consumers), and [`JsonlTracer`]
 //! (one JSON object per line, the `l2 --trace <path>` format).
 
+pub mod corpus;
 pub mod json;
 pub mod metrics;
 pub mod profile;
@@ -29,6 +30,7 @@ pub mod report;
 use std::io::{self, Write};
 use std::time::{Duration, Instant};
 
+use crate::govern::BudgetSnapshot;
 use json::Json;
 
 /// Version of the trace-event / stats-line JSON schema.
@@ -195,6 +197,26 @@ pub enum TraceEvent {
         /// The rendered panic payload.
         detail: String,
     },
+    /// A periodic live-progress heartbeat ("the synthesizer's `top`"),
+    /// emitted from the search loop on the governor's adaptive poll
+    /// cadence — only when [`SearchOptions::progress`] is on, since its
+    /// count and content are wall-clock driven and would make otherwise
+    /// deterministic traces volatile. `profile diff` skips these events
+    /// for the same reason it strips `t_us`.
+    ///
+    /// [`SearchOptions::progress`]: crate::search::SearchOptions::progress
+    Progress {
+        /// Budget accounting at heartbeat time.
+        budget: BudgetSnapshot,
+        /// Items in the search queue after the current pop.
+        queue: usize,
+        /// Priority of the current pop — best-first order makes this the
+        /// cost frontier the search has reached.
+        best_cost: u32,
+        /// Cumulative per-phase wall time so far; consumers diff
+        /// consecutive heartbeats for phase-time deltas.
+        phases: PhaseTimes,
+    },
 }
 
 impl TraceEvent {
@@ -304,6 +326,19 @@ impl TraceEvent {
                 ("ev", "fault".into()),
                 ("site", (*site).into()),
                 ("detail", detail.as_str().into()),
+            ]),
+            TraceEvent::Progress {
+                budget,
+                queue,
+                best_cost,
+                phases,
+            } => Json::obj([
+                v,
+                ("ev", "progress".into()),
+                ("queue", (*queue).into()),
+                ("best_cost", (*best_cost).into()),
+                ("budget", budget.to_json()),
+                ("phases", phases.to_json()),
             ]),
         }
     }
@@ -658,6 +693,27 @@ mod tests {
         assert_eq!(
             ev.to_json().to_string(),
             r#"{"v":1,"ev":"static-refute","comb":"foldl","coll":"l","init":"0","domain":"init"}"#
+        );
+        let ev = TraceEvent::Progress {
+            budget: BudgetSnapshot {
+                pops: 100,
+                fuel_spent: 5,
+                peak_store_bytes: 1024,
+                ticks: 400,
+                elapsed: Duration::from_millis(3),
+                exceeded: None,
+            },
+            queue: 7,
+            best_cost: 9,
+            phases: PhaseTimes::default(),
+        };
+        assert_eq!(
+            ev.to_json().to_string(),
+            concat!(
+                r#"{"v":1,"ev":"progress","queue":7,"best_cost":9,"#,
+                r#""budget":{"pops":100,"fuel_spent":5,"peak_store_bytes":1024,"ticks":400,"elapsed_ms":3.0,"exceeded":null},"#,
+                r#""phases":{"deduce_ms":0.0,"enumerate_ms":0.0,"expand_ms":0.0,"verify_ms":0.0}}"#
+            )
         );
     }
 

@@ -215,8 +215,17 @@ impl DiffOutcome {
 /// first divergence, if any. This is the tool the PR 3 determinism hunt
 /// needed: point it at two `--trace` files of the same seeded problem and
 /// it names the exact event where the runs parted ways.
+///
+/// `progress` heartbeats are skipped on both sides before alignment: they
+/// fire on wall-clock cadence, so two deterministic runs of the same
+/// problem emit them at different points (or in different numbers) —
+/// volatile whole-event analogues of the `t_us` field that [`event_key`]
+/// strips.
 pub fn diff_traces(a: &Trace, b: &Trace) -> DiffOutcome {
-    for (index, (ea, eb)) in a.events.iter().zip(&b.events).enumerate() {
+    let volatile = |ev: &&Json| ev.get("ev").and_then(Json::as_str) != Some("progress");
+    let sa: Vec<&Json> = a.events.iter().filter(volatile).collect();
+    let sb: Vec<&Json> = b.events.iter().filter(volatile).collect();
+    for (index, (ea, eb)) in sa.iter().zip(&sb).enumerate() {
         let key_a = event_key(ea);
         let key_b = event_key(eb);
         if key_a != key_b {
@@ -227,14 +236,14 @@ pub fn diff_traces(a: &Trace, b: &Trace) -> DiffOutcome {
             };
         }
     }
-    if a.len() != b.len() {
+    if sa.len() != sb.len() {
         return DiffOutcome::Truncated {
-            common: a.len().min(b.len()),
-            len_a: a.len(),
-            len_b: b.len(),
+            common: sa.len().min(sb.len()),
+            len_a: sa.len(),
+            len_b: sb.len(),
         };
     }
-    DiffOutcome::Identical { events: a.len() }
+    DiffOutcome::Identical { events: sa.len() }
 }
 
 // --- Summary ------------------------------------------------------------
@@ -413,14 +422,30 @@ impl Summary {
     }
 
     /// Renders the summary as a human-readable text report.
+    ///
+    /// Sections with nothing to show degrade to an explicit
+    /// `(none recorded …)` note rather than a bare header: a trace from a
+    /// run with little or no instrumentation (e.g. `metrics` off, or an
+    /// engine path that never emitted that event family) is a valid input
+    /// here, not an error.
     pub fn render_text(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
         let _ = writeln!(out, "events: {}", self.events);
+        if self.events == 0 {
+            let _ = writeln!(
+                out,
+                "(empty trace — no metrics recorded; was the run traced with --trace?)"
+            );
+            return out;
+        }
         if let Some((program, cost)) = &self.solution {
             let _ = writeln!(out, "solution (cost {cost}): {program}");
         }
         let _ = writeln!(out, "\npops by kind:");
+        if self.pops_by_kind.is_empty() {
+            let _ = writeln!(out, "  (none recorded in this trace)");
+        }
         for (kind, n) in &self.pops_by_kind {
             let _ = writeln!(out, "  {kind:<8} {n}");
         }
@@ -429,6 +454,9 @@ impl Summary {
             "\nper-combinator attribution:\n  {:<8} {:>7} {:>6} {:>8} {:>7} {:>9} {:>9}",
             "comb", "plans", "rows", "refuted", "static", "ill-typed", "init-mism"
         );
+        if self.combs.is_empty() {
+            let _ = writeln!(out, "  (none recorded in this trace)");
+        }
         for (name, row) in &self.combs {
             let _ = writeln!(
                 out,
@@ -443,6 +471,9 @@ impl Summary {
             );
         }
         let _ = writeln!(out, "\nrefutations by rule:");
+        if self.refute_reasons.is_empty() && self.static_domains.is_empty() {
+            let _ = writeln!(out, "  (none recorded in this trace)");
+        }
         for (reason, n) in &self.refute_reasons {
             match self.yield_per_ms(*n) {
                 Some(y) => {
@@ -592,6 +623,12 @@ pub fn summarize(trace: &Trace) -> Summary {
         let first = trace.t_us(0).unwrap_or(0);
         let mut prev = first;
         for i in 0..trace.len() {
+            // A progress heartbeat fires mid-phase on wall-clock cadence;
+            // attributing the gap it ends to any category would be noise.
+            // Skipping it folds its gap into the next real event's.
+            if trace.events[i].get("ev").and_then(Json::as_str) == Some("progress") {
+                continue;
+            }
             let now = trace.t_us(i).unwrap_or(prev);
             let gap = now.saturating_sub(prev);
             match category(&trace.events[i]) {

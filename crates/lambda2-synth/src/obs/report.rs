@@ -48,6 +48,18 @@ fn section(out: &mut String, title: &str) {
     let _ = writeln!(out, "<h2>{}</h2>", esc(title));
 }
 
+/// Explicit, nonfatal stand-in for a section with nothing to show: a
+/// trace from a barely instrumented run (tight options, a path that never
+/// emitted this event family) renders a note instead of a bare header
+/// over an empty table.
+fn empty_note(out: &mut String, what: &str) {
+    let _ = writeln!(
+        out,
+        r#"<p class="meta">No {} recorded in this trace.</p>"#,
+        esc(what)
+    );
+}
+
 const STYLE: &str = r#"
 body { font: 14px/1.5 -apple-system, "Segoe UI", Roboto, sans-serif; margin: 2rem auto; max-width: 60rem; padding: 0 1rem; color: #1a1a2e; }
 h1 { font-size: 1.4rem; border-bottom: 2px solid #3b4a6b; padding-bottom: .3rem; }
@@ -136,6 +148,10 @@ fn render_time(out: &mut String, s: &Summary) {
 
 fn render_pops(out: &mut String, s: &Summary) {
     section(out, "Queue pops by kind");
+    if s.pops_by_kind.is_empty() {
+        empty_note(out, "queue pops");
+        return;
+    }
     let _ = writeln!(out, "<table>");
     let max = s.pops_by_kind.values().copied().max().unwrap_or(0);
     for (kind, n) in &s.pops_by_kind {
@@ -146,6 +162,10 @@ fn render_pops(out: &mut String, s: &Summary) {
 
 fn render_combs(out: &mut String, s: &Summary) {
     section(out, "Per-combinator attribution");
+    if s.combs.is_empty() {
+        empty_note(out, "per-combinator planner or deduction events");
+        return;
+    }
     let _ = writeln!(
         out,
         r#"<table><tr><th>comb</th><th class="num">plans</th><th class="num">rows inferred</th><th class="num">refuted</th><th class="num">static</th><th class="num">ill-typed</th><th class="num">init-mismatch</th></tr>"#
@@ -168,6 +188,10 @@ fn render_combs(out: &mut String, s: &Summary) {
 
 fn render_refutations(out: &mut String, s: &Summary) {
     section(out, "Refutations by rule");
+    if s.refute_reasons.is_empty() && s.static_domains.is_empty() {
+        empty_note(out, "refutations");
+        return;
+    }
     let _ = writeln!(
         out,
         r#"<table><tr><th>rule</th><th class="num">refutations</th><th class="num">yield (/ms deduction)</th></tr>"#
@@ -196,6 +220,10 @@ fn render_refutations(out: &mut String, s: &Summary) {
 
 fn render_pop_costs(out: &mut String, s: &Summary) {
     section(out, "Popped-cost histogram");
+    if s.pop_costs.is_empty() {
+        empty_note(out, "popped-cost metrics");
+        return;
+    }
     let _ = writeln!(out, "<table>");
     let max = s.pop_costs.values().copied().max().unwrap_or(0);
     for (cost, n) in &s.pop_costs {
@@ -234,6 +262,10 @@ fn render_stacks(out: &mut String, trace: &Trace) {
     section(out, "Hot derivation stacks");
     // Pops-weighted collapse never fails.
     let mut stacks = profile::collapse_tree(trace, Weight::Pops).unwrap_or_default();
+    if stacks.is_empty() {
+        empty_note(out, "derivation stacks");
+        return;
+    }
     stacks.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
     let max = stacks.first().map(|(_, w)| *w).unwrap_or(0);
     let _ = writeln!(out, "<table>");
@@ -287,6 +319,19 @@ mod tests {
         assert!(html.contains("root;filter"));
         // Program text with operators is escaped.
         assert!(html.contains(&esc("(filter (lambda (x) (> x 0)) l)")));
+    }
+
+    #[test]
+    fn html_degrades_cleanly_on_uninstrumented_traces() {
+        // A trace with no pops, plans, refutations, or stacks renders an
+        // explicit note per section instead of bare headers over nothing.
+        let trace = parse_trace(r#"{"v":1,"ev":"fault","message":"isolated"}"#).unwrap();
+        let html = render_html(&trace, "sparse.jsonl");
+        assert!(html.contains("No queue pops recorded"));
+        assert!(html.contains("No per-combinator planner or deduction events recorded"));
+        assert!(html.contains("No refutations recorded"));
+        assert!(html.contains("No popped-cost metrics recorded"));
+        assert!(html.contains("No derivation stacks recorded"));
     }
 
     #[test]

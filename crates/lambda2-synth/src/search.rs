@@ -154,6 +154,15 @@ pub struct SearchOptions {
     ///
     /// [`Stats::metrics`]: crate::stats::Stats::metrics
     pub metrics: bool,
+    /// Emit periodic [`TraceEvent::Progress`] heartbeats into the tracer,
+    /// riding the governing budget's adaptive poll cadence (at most one
+    /// per [`crate::govern::HEARTBEAT_INTERVAL`], so overhead is bounded
+    /// regardless of search speed). Off by default: heartbeat count and
+    /// content are wall-clock driven, so they would make otherwise
+    /// deterministic traces volatile under `l2 profile diff`. Purely
+    /// observational — the same differential test that covers `metrics`
+    /// proves toggling this changes no program, cost, or counter.
+    pub progress: bool,
 }
 
 impl Default for SearchOptions {
@@ -179,6 +188,7 @@ impl Default for SearchOptions {
             trace_probes: true,
             expand_blind_holes: false,
             metrics: true,
+            progress: false,
         }
     }
 }
@@ -496,6 +506,18 @@ pub fn search_governed(
             }
             if let Err(e) = budget.note_pop() {
                 break 'search Err(e.to_synth_error());
+            }
+            // Live-progress heartbeat: consumes the governor's poll-armed
+            // flag, so cadence (and overhead) is bounded by the heartbeat
+            // interval however fast pops are. Observation-only: nothing
+            // here feeds back into the search.
+            if options.progress && budget.take_heartbeat() {
+                tracer.emit(TraceEvent::Progress {
+                    budget: budget.snapshot(),
+                    queue: queue.len(),
+                    best_cost: entry.cost,
+                    phases: stats.phases,
+                });
             }
             if stats.popped % 65_536 == 0 && std::env::var_os("LAMBDA2_STORE_DEBUG").is_some() {
                 let rss = std::fs::read_to_string("/proc/self/status")

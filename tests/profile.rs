@@ -143,6 +143,28 @@ fn old_and_future_schema_versions_are_rejected() {
     );
 }
 
+/// Progress heartbeats are wall-clock driven, so `diff` skips them the
+/// way it strips `t_us`: two runs that differ only in where (and whether)
+/// heartbeats landed still diff as identical.
+#[test]
+fn diff_ignores_progress_heartbeats() {
+    let pop = r#"{"v":1,"ev":"pop","kind":"hyp","cost":1,"holes":1,"sketch":"?1"}"#;
+    let verify = r#"{"v":1,"ev":"verify","ok":true,"cost":7,"program":"l"}"#;
+    let hb = |q: u64| {
+        format!(
+            r#"{{"v":1,"ev":"progress","queue":{q},"best_cost":3,"budget":{{"pops":{q}}},"phases":{{}}}}"#
+        )
+    };
+    let a = parse_trace(&[pop.to_owned(), hb(5), verify.to_owned()].join("\n")).unwrap();
+    let b = parse_trace(&[hb(9), pop.to_owned(), verify.to_owned(), hb(2)].join("\n")).unwrap();
+    let c = parse_trace(&[pop, verify].join("\n")).unwrap();
+    assert_eq!(diff_traces(&a, &b), DiffOutcome::Identical { events: 2 });
+    assert_eq!(diff_traces(&a, &c), DiffOutcome::Identical { events: 2 });
+    // Real differences still surface.
+    let d = parse_trace(&[verify.to_owned(), hb(1)].join("\n")).unwrap();
+    assert!(!diff_traces(&a, &d).is_identical());
+}
+
 /// The summary and collapsed stacks of a real run are well-formed: event
 /// counts line up, the solution is attributed, time adds up, and both
 /// weightings produce the same stack set.
@@ -220,4 +242,126 @@ fn metrics_toggle_changes_no_search_results() {
         assert_eq!(on.stats.metrics.queue_depth.count(), on.stats.popped);
         assert_eq!(on.stats.metrics.pop_cost.count(), on.stats.popped);
     }
+}
+
+/// Schema completeness: every [`TraceEvent`] variant round-trips through
+/// the JSONL tracer and `parse_trace`, with a stable `event_key` (its
+/// canonical JSON minus the volatile `t_us`). The exhaustive `match`
+/// below makes adding a variant without extending this test — and
+/// therefore without parser-side thought — a compile error, not a silent
+/// schema hole.
+#[test]
+fn every_trace_event_variant_round_trips_through_the_parser() {
+    use lambda2::synth::obs::profile::event_key;
+    use lambda2::synth::obs::{PopKind, RefuteReason, StoreAction};
+    use lambda2::synth::{BudgetSnapshot, PhaseTimes, TraceEvent, Tracer};
+
+    let samples = vec![
+        TraceEvent::Pop {
+            n: 1,
+            kind: PopKind::Hypothesis,
+            cost: 3,
+            holes: 1,
+            sketch: "(map (lambda (x) ?1) l)".into(),
+        },
+        TraceEvent::Plan {
+            comb: "foldl",
+            coll: "l".into(),
+            init: Some("0".into()),
+            delta_cost: 7,
+            rows: 3,
+        },
+        TraceEvent::Refute {
+            comb: "map",
+            coll: "l".into(),
+            init: None,
+            reason: RefuteReason::Deduction,
+        },
+        TraceEvent::StaticRefute {
+            comb: "filter",
+            coll: "l".into(),
+            init: None,
+            domain: "length",
+        },
+        TraceEvent::Tier {
+            tier: 2,
+            cost: 5,
+            fills: 1,
+        },
+        TraceEvent::Store {
+            action: StoreAction::Create,
+            terms: 10,
+            bytes: 4096,
+        },
+        TraceEvent::Verify {
+            ok: true,
+            cost: 7,
+            program: "(filter (lambda (x) (> x 0)) l)".into(),
+        },
+        TraceEvent::Fault {
+            site: "verify.candidate",
+            detail: "boom".into(),
+        },
+        TraceEvent::Progress {
+            budget: BudgetSnapshot {
+                pops: 100,
+                fuel_spent: 5,
+                peak_store_bytes: 1024,
+                ticks: 400,
+                elapsed: Duration::from_millis(3),
+                exceeded: None,
+            },
+            queue: 7,
+            best_cost: 9,
+            phases: PhaseTimes::default(),
+        },
+    ];
+
+    // Compile-time completeness: a new `TraceEvent` variant makes this
+    // match non-exhaustive. Extend `samples` above when you extend it.
+    let discriminant = |ev: &TraceEvent| match ev {
+        TraceEvent::Pop { .. } => "pop",
+        TraceEvent::Plan { .. } => "plan",
+        TraceEvent::Refute { .. } => "refute",
+        TraceEvent::StaticRefute { .. } => "static-refute",
+        TraceEvent::Tier { .. } => "tier",
+        TraceEvent::Store { .. } => "store",
+        TraceEvent::Verify { .. } => "verify",
+        TraceEvent::Fault { .. } => "fault",
+        TraceEvent::Progress { .. } => "progress",
+    };
+    let covered: std::collections::BTreeSet<&str> = samples.iter().map(discriminant).collect();
+    assert_eq!(covered.len(), samples.len(), "one sample per variant");
+
+    // Serialize all samples through the real tracer (which adds `t_us`),
+    // then parse the file back with the schema-validating parser.
+    let mut buf = Vec::new();
+    {
+        let mut tracer = JsonlTracer::new(&mut buf);
+        for ev in &samples {
+            tracer.emit(ev.clone());
+        }
+        assert_eq!(tracer.finish().unwrap(), samples.len() as u64);
+    }
+    let text = String::from_utf8(buf).unwrap();
+    let trace = parse_trace(&text).expect("every variant parses");
+    assert_eq!(trace.len(), samples.len());
+
+    for (ev, parsed) in samples.iter().zip(&trace.events) {
+        // The alignment key — canonical JSON minus `t_us` — is exactly
+        // the event's own serialization: stable across emit+parse.
+        assert_eq!(event_key(parsed), ev.to_json().to_string());
+        // And the `ev` discriminator survives unchanged.
+        assert_eq!(
+            parsed
+                .get("ev")
+                .and_then(lambda2::synth::obs::json::Json::as_str),
+            Some(discriminant(ev))
+        );
+    }
+
+    // The summary accepts the synthetic trace (unknown-to-it variants
+    // like `progress` are tolerated, not fatal).
+    let s = summarize(&trace);
+    assert_eq!(s.events, samples.len());
 }
