@@ -17,6 +17,9 @@
 //! l2 corpus stats <dir>                cross-run aggregates (solve rate,
 //!                                      costs, wall-time quantiles)
 //! l2 corpus regress <baseline> <fresh> compare fresh runs to the baseline
+//! l2 serve                  run the synthesis daemon (TCP or unix: socket)
+//! l2 client synth <p.l2>... send problems to a running daemon
+//! l2 client ping|stats|shutdown        poke a running daemon
 //!
 //! flags (synth/run/bench):
 //!   --trace <path>          stream search telemetry as JSON Lines to <path>
@@ -44,7 +47,36 @@
 //!   --json                  machine-readable output (summary/diff)
 //!   --weight pops|time      tree weighting (default pops)
 //!   --out <path>            write tree/report output to a file
+//!
+//! flags (serve):
+//!   --addr <a>              listen address: host:port, or unix:/path
+//!                           (default 127.0.0.1:7207; port 0 = ephemeral)
+//!   --jobs <n>              synthesis worker threads (0 = one per CPU;
+//!                           default 2)
+//!   --queue <n>             admission-queue capacity (default 16);
+//!                           requests beyond workers+queue are shed with
+//!                           a structured `overloaded` + retry hint
+//!   --timeout-ms <n>        default per-request budget (default 2000)
+//!   --max-timeout-ms <n>    hard cap on any request's budget (30000)
+//!   --warm-bytes <n>        per-worker warm term-store budget (0 = off)
+//!   --drain-grace-ms <n>    how long in-flight jobs get to finish on
+//!                           drain before cancellation (default 1000)
+//!   --corpus <dir>          append every served synthesis to a corpus
+//!
+//! flags (client):
+//!   --addr <a>              daemon address (default 127.0.0.1:7207)
+//!   --retries <n>           retry budget for sheds/transport errors (0)
+//!   --backoff-ms <n>        base retry delay, exponential + jitter (100)
+//!   --seed <n>              jitter seed (deterministic backoff; 0)
+//!   --timeout-ms <n>        per-request budget sent to the daemon
+//!   --portfolio             ask the daemon to race the ladder rungs
 //! ```
+//!
+//! `client` exit codes: 0 every request answered `ok`, 1 any request
+//! failed (`error`, `unsolved`, `shutting_down`, or transport failure
+//! after retries), 2 on usage or local I/O errors, 3 when the daemon
+//! answered `overloaded` even after the retry budget — the daemon is
+//! healthy but saturated, a distinct condition from failure.
 //!
 //! `lint` exit codes: 0 when every file is clean, 1 when any diagnostic
 //! was reported, 2 on usage or I/O errors. Each diagnostic carries a
@@ -84,12 +116,17 @@ use lambda2_synth::par::{
     effective_jobs, synthesize_batch, tagged_event_json, ParEngine, ParOutcome, ParTask,
     PortableProblem,
 };
+use lambda2_synth::serve::{request_with_retry, Backoff};
 use lambda2_synth::{
     aggregate, collapse_tree, diff_traces, ingest_bench, ingest_measurement, lint_source,
     load_records, load_trace, options_fingerprint, parse_problem, regress, render_html, summarize,
     Corpus, DiffOutcome, FindingKind, JsonlTracer, Measurement, Problem, RegressThresholds,
-    RunRecord, SearchOptions, SearchReport, Synthesizer, TraceEvent, Tracer, Weight,
+    RunRecord, SearchOptions, SearchReport, ServeConfig, Server, Synthesizer, TraceEvent, Tracer,
+    Weight,
 };
+
+/// Default daemon address shared by `l2 serve` and `l2 client`.
+const DEFAULT_SERVE_ADDR: &str = "127.0.0.1:7207";
 
 /// Flags shared by the synthesizing commands.
 #[derive(Debug, Default)]
@@ -131,6 +168,22 @@ struct Flags {
     wall_floor_ms: Option<f64>,
     /// `corpus regress`: skip the wall-time comparison (cross-machine CI).
     no_wall_check: bool,
+    /// `serve`/`client`: daemon address (`host:port` or `unix:/path`).
+    addr: Option<String>,
+    /// `serve`: admission-queue capacity.
+    queue: Option<usize>,
+    /// `serve`: hard cap on any request's timeout, in milliseconds.
+    max_timeout_ms: Option<u64>,
+    /// `serve`: per-worker warm term-store byte budget (0 disables).
+    warm_bytes: Option<usize>,
+    /// `serve`: drain grace for in-flight jobs, in milliseconds.
+    drain_grace_ms: Option<u64>,
+    /// `client`: retry budget for sheds and transport errors.
+    retries: Option<u32>,
+    /// `client`: base backoff delay, in milliseconds.
+    backoff_ms: Option<u64>,
+    /// `client`: jitter seed (same seed, same backoff schedule).
+    seed: Option<u64>,
 }
 
 impl Flags {
@@ -185,6 +238,44 @@ impl Flags {
                 "--timeout-ms" => flags.timeout_ms = Some(ms_arg("--timeout-ms", it.next())?),
                 "--max-overshoot-ms" => {
                     flags.max_overshoot_ms = Some(ms_arg("--max-overshoot-ms", it.next())?);
+                }
+                "--max-timeout-ms" => {
+                    flags.max_timeout_ms = Some(ms_arg("--max-timeout-ms", it.next())?);
+                }
+                "--drain-grace-ms" => {
+                    flags.drain_grace_ms = Some(ms_arg("--drain-grace-ms", it.next())?);
+                }
+                "--backoff-ms" => flags.backoff_ms = Some(ms_arg("--backoff-ms", it.next())?),
+                "--addr" => match it.next() {
+                    Some(addr) => flags.addr = Some(addr),
+                    None => return Err("--addr requires an address".into()),
+                },
+                "--queue" => {
+                    let raw = it.next().ok_or("--queue requires a capacity")?;
+                    flags.queue =
+                        Some(raw.parse::<usize>().map_err(|_| {
+                            format!("--queue: `{raw}` is not a whole number of slots")
+                        })?);
+                }
+                "--warm-bytes" => {
+                    let raw = it.next().ok_or("--warm-bytes requires a byte count")?;
+                    flags.warm_bytes = Some(raw.parse::<usize>().map_err(|_| {
+                        format!("--warm-bytes: `{raw}` is not a whole number of bytes")
+                    })?);
+                }
+                "--retries" => {
+                    let raw = it.next().ok_or("--retries requires a count")?;
+                    flags.retries = Some(
+                        raw.parse::<u32>()
+                            .map_err(|_| format!("--retries: `{raw}` is not a whole number"))?,
+                    );
+                }
+                "--seed" => {
+                    let raw = it.next().ok_or("--seed requires a number")?;
+                    flags.seed = Some(
+                        raw.parse::<u64>()
+                            .map_err(|_| format!("--seed: `{raw}` is not a whole number"))?,
+                    );
                 }
                 "--retry-ladder" => flags.retry_ladder = true,
                 "--jobs" => {
@@ -273,6 +364,8 @@ fn main() -> ExitCode {
         Some("list") => cmd_list(),
         Some("profile") if args.len() >= 2 => return cmd_profile(&args[1..], &flags),
         Some("corpus") if args.len() >= 2 => return cmd_corpus(&args[1..], &flags),
+        Some("serve") => return cmd_serve(&args[1..], &flags),
+        Some("client") if args.len() >= 2 => return cmd_client(&args[1..], &flags),
         _ => {
             eprintln!(
                 "usage:\n  l2 [flags] synth <problem.l2>...\n  \
@@ -281,14 +374,21 @@ fn main() -> ExitCode {
                  l2 [--json] lint <problem.l2>...\n  \
                  l2 [flags] bench <name>...\n  l2 list\n  \
                  l2 profile summary|tree|diff|report <trace.jsonl>...\n  \
-                 l2 corpus ingest|list|stats|regress ...\n\
+                 l2 corpus ingest|list|stats|regress ...\n  \
+                 l2 serve [serve flags]\n  \
+                 l2 client synth <problem.l2>... | ping | stats | shutdown\n\
                  flags: --trace <path>  --stats-json[=<path>]  --corpus <dir>  \
                  --progress  --timeout-ms <n>  \
                  --max-overshoot-ms <n>  --retry-ladder  --jobs <n>  --portfolio  \
                  --no-static-analysis\n\
                  profile flags: --json  --weight pops|time  --out <path>\n\
                  corpus flags: --json  --wall-ratio <f>  --wall-floor-ms <n>  \
-                 --no-wall-check"
+                 --no-wall-check\n\
+                 serve flags: --addr <a>  --jobs <n>  --queue <n>  --timeout-ms <n>  \
+                 --max-timeout-ms <n>  --warm-bytes <n>  --drain-grace-ms <n>  \
+                 --corpus <dir>\n\
+                 client flags: --addr <a>  --retries <n>  --backoff-ms <n>  \
+                 --seed <n>  --timeout-ms <n>  --portfolio"
             );
             return ExitCode::from(2);
         }
@@ -300,6 +400,22 @@ fn main() -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// Writes `content` to stdout verbatim, ignoring broken pipes: every
+/// subcommand's stdout must survive `l2 ... | head` without a panic or a
+/// spurious nonzero exit. Write errors other than a closed pipe are also
+/// ignored — stdout is a best-effort channel here; anything that decides
+/// exit codes goes through return values, not print success.
+fn emit(content: &str) {
+    use std::io::Write;
+    let stdout = std::io::stdout();
+    let _ = stdout.lock().write_all(content.as_bytes());
+}
+
+/// [`emit`] plus a trailing newline — the broken-pipe-safe `println!`.
+fn emit_line(content: impl std::fmt::Display) {
+    emit(&format!("{content}\n"));
 }
 
 /// Checks up front that a `--flag <path>` output target points somewhere
@@ -488,7 +604,7 @@ fn report(
             let m = report.to_measurement(problem.name(), problem.examples().len());
             match &report.outcome {
                 Ok(s) => {
-                    println!("{}", s.program);
+                    emit_line(&s.program);
                     eprintln!(
                         "cost {}, {:.1} ms, {}",
                         s.cost,
@@ -528,7 +644,7 @@ fn report(
         eprintln!("{}: error: {e}", problem.name());
     }
     if flags.stats_json {
-        println!("{}", measurement.to_json());
+        emit_line(measurement.to_json());
     }
     sinks.record(&measurement, fingerprint);
     solved
@@ -654,7 +770,7 @@ fn report_par(outcome: &ParOutcome, flags: &Flags, sinks: &Sinks, fingerprint: &
             let m = report.to_measurement(&outcome.name, outcome.examples);
             match &report.outcome {
                 Ok(s) => {
-                    println!("{}", s.program);
+                    emit_line(&s.program);
                     eprintln!(
                         "cost {}, {:.1} ms, {}",
                         s.cost,
@@ -695,7 +811,7 @@ fn report_par(outcome: &ParOutcome, flags: &Flags, sinks: &Sinks, fingerprint: &
         eprintln!("{}: error: {e}", outcome.name);
     }
     if flags.stats_json {
-        println!("{}", measurement.to_json());
+        emit_line(measurement.to_json());
     }
     sinks.record(&measurement, fingerprint);
     solved
@@ -724,7 +840,7 @@ fn cmd_run(path: &str, run_args: &[String], flags: &Flags) -> Result<(), String>
         .map(|a| lambda2_lang::parser::parse_value(a).map_err(|e| e.to_string()))
         .collect::<Result<Vec<_>, _>>()?;
     let out = program.apply(&vals).map_err(|e| e.to_string())?;
-    println!("{out}");
+    emit_line(&out);
     Ok(())
 }
 
@@ -739,7 +855,7 @@ fn cmd_eval(expr: &str, bindings: &[String]) -> Result<(), String> {
         env = env.bind(lambda2_lang::symbol::Symbol::intern(name), v);
     }
     let out = lambda2_lang::eval::eval_default(&e, &env).map_err(|e| e.to_string())?;
-    println!("{out}");
+    emit_line(&out);
     Ok(())
 }
 
@@ -790,16 +906,13 @@ fn cmd_lint(paths: &[String], flags: &Flags) -> ExitCode {
         for d in lint_source(&src) {
             diagnostics += 1;
             if flags.json {
-                println!(
-                    "{}",
-                    Json::obj([
-                        ("file", path.as_str().into()),
-                        ("code", d.code.name().into()),
-                        ("message", d.message.as_str().into()),
-                    ])
-                );
+                emit_line(Json::obj([
+                    ("file", path.as_str().into()),
+                    ("code", d.code.name().into()),
+                    ("message", d.message.as_str().into()),
+                ]));
             } else {
-                println!("{path}: {}: {}", d.code.name(), d.message);
+                emit_line(format_args!("{path}: {}: {}", d.code.name(), d.message));
             }
         }
     }
@@ -829,12 +942,6 @@ fn cmd_profile(args: &[String], flags: &Flags) -> ExitCode {
     fn fail(msg: impl std::fmt::Display) -> ExitCode {
         eprintln!("error: {msg}");
         ExitCode::from(2)
-    }
-    /// Prints to stdout, ignoring broken pipes (e.g. `l2 profile ... | head`).
-    fn emit(content: &str) {
-        use std::io::Write;
-        let stdout = std::io::stdout();
-        let _ = stdout.lock().write_all(content.as_bytes());
     }
     /// Writes `content` to `--out` (or stdout when absent).
     fn deliver(content: &str, out: Option<&PathBuf>, what: &str) -> ExitCode {
@@ -990,12 +1097,6 @@ fn cmd_corpus(args: &[String], flags: &Flags) -> ExitCode {
     fn fail(msg: impl std::fmt::Display) -> ExitCode {
         eprintln!("error: {msg}");
         ExitCode::from(2)
-    }
-    /// Prints to stdout, ignoring broken pipes (e.g. `l2 corpus ... | head`).
-    fn emit(content: &str) {
-        use std::io::Write;
-        let stdout = std::io::stdout();
-        let _ = stdout.lock().write_all(content.as_bytes());
     }
     /// Resolves a corpus directory (or a bare record file) to its records.
     fn load_store(raw: &str) -> Result<Vec<RunRecord>, String> {
@@ -1161,6 +1262,221 @@ fn cmd_corpus(args: &[String], flags: &Flags) -> ExitCode {
             }
         }
         _ => usage(),
+    }
+}
+
+/// `l2 serve` — runs the synthesis daemon until a `shutdown` request or
+/// (on Unix) SIGTERM/SIGINT, then drains and prints the final accounting
+/// as one JSON line on stdout. `--timeout-ms` sets the *default*
+/// per-request budget (requests may carry their own, capped by
+/// `--max-timeout-ms`). Exit codes: 0 after a clean drain, 1 on a fatal
+/// listener error, 2 on usage or bind errors.
+fn cmd_serve(args: &[String], flags: &Flags) -> ExitCode {
+    if let Some(extra) = args.first() {
+        eprintln!("error: serve takes no positional arguments (got `{extra}`)");
+        return ExitCode::from(2);
+    }
+    let mut config = ServeConfig {
+        addr: flags
+            .addr
+            .clone()
+            .unwrap_or_else(|| DEFAULT_SERVE_ADDR.to_owned()),
+        options: flags.apply(SearchOptions::default()),
+        corpus_dir: flags.corpus.clone(),
+        ..ServeConfig::default()
+    };
+    if let Some(jobs) = flags.jobs {
+        config.workers = effective_jobs(jobs);
+    }
+    if let Some(slots) = flags.queue {
+        config.queue_capacity = slots;
+    }
+    if let Some(ms) = flags.timeout_ms {
+        config.default_timeout = Duration::from_millis(ms);
+    }
+    if let Some(ms) = flags.max_timeout_ms {
+        config.max_timeout = Duration::from_millis(ms);
+    }
+    if let Some(bytes) = flags.warm_bytes {
+        config.warm_cache_bytes = bytes;
+    }
+    if let Some(ms) = flags.drain_grace_ms {
+        config.drain_grace = Duration::from_millis(ms);
+    }
+    let server = match Server::bind(config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: serve: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    eprintln!("serve: listening on {}", server.local_addr());
+    watch_signals(server.control());
+    match server.run() {
+        Ok(summary) => {
+            eprintln!(
+                "serve: drained in {:.1} ms ({} accepted, {} solved, {} shed, {} crashed)",
+                summary.drain_elapsed.as_secs_f64() * 1e3,
+                summary.accepted,
+                summary.solved,
+                summary.shed,
+                summary.crashed,
+            );
+            emit_line(summary.to_json());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: serve: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Forwards SIGTERM/SIGINT to the daemon's drain flag. The handler body
+/// is a single atomic store (async-signal-safe); a watcher thread does
+/// the actual forwarding, and exits on its own if the daemon starts
+/// draining for another reason (a `shutdown` request).
+#[cfg(unix)]
+fn watch_signals(control: std::sync::Arc<std::sync::atomic::AtomicBool>) {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static TERMINATE: AtomicBool = AtomicBool::new(false);
+
+    extern "C" fn on_signal(_signum: i32) {
+        TERMINATE.store(true, Ordering::SeqCst);
+    }
+
+    extern "C" {
+        /// POSIX `signal(2)`, hand-declared to keep the tree
+        /// dependency-free; `sighandler_t` is a plain function pointer,
+        /// passed as `usize`.
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    // SIGTERM = 15 and SIGINT = 2 on every Unix target Rust supports.
+    unsafe {
+        signal(15, on_signal as extern "C" fn(i32) as usize);
+        signal(2, on_signal as extern "C" fn(i32) as usize);
+    }
+    std::thread::spawn(move || loop {
+        if TERMINATE.load(Ordering::SeqCst) {
+            control.store(true, Ordering::SeqCst);
+            return;
+        }
+        if control.load(Ordering::SeqCst) {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    });
+}
+
+/// Off Unix the daemon is stopped via the `shutdown` protocol op.
+#[cfg(not(unix))]
+fn watch_signals(_control: std::sync::Arc<std::sync::atomic::AtomicBool>) {}
+
+/// `l2 client` — sends requests to a running daemon, retrying sheds and
+/// transport failures with seeded jittered backoff. Every response
+/// document is printed as one JSON line on stdout; a short human summary
+/// goes to stderr. Exit codes: 0 all requests `ok`, 1 any request failed
+/// (`error`/`unsolved`/`shutting_down`, or transport failure after
+/// retries), 2 usage or local I/O error, 3 otherwise-healthy runs where
+/// the daemon answered `overloaded` even after the retry budget.
+fn cmd_client(args: &[String], flags: &Flags) -> ExitCode {
+    let addr = flags.addr.as_deref().unwrap_or(DEFAULT_SERVE_ADDR);
+    let retries = flags.retries.unwrap_or(0);
+    let mut backoff = Backoff::new(
+        Duration::from_millis(flags.backoff_ms.unwrap_or(100)),
+        Duration::from_secs(5),
+        flags.seed.unwrap_or(0),
+    );
+    let mut requests: Vec<(String, Json)> = Vec::new();
+    match args[0].as_str() {
+        op @ ("ping" | "stats" | "shutdown") => {
+            if args.len() > 1 {
+                eprintln!("error: client {op} takes no further arguments");
+                return ExitCode::from(2);
+            }
+            requests.push((
+                op.to_owned(),
+                Json::obj([("v", 1u64.into()), ("op", op.into())]),
+            ));
+        }
+        "synth" => {
+            if args.len() < 2 {
+                eprintln!("error: client synth requires at least one problem file");
+                return ExitCode::from(2);
+            }
+            for path in &args[1..] {
+                let source = match std::fs::read_to_string(path) {
+                    Ok(s) => s,
+                    Err(e) => {
+                        eprintln!("error: reading {path}: {e}");
+                        return ExitCode::from(2);
+                    }
+                };
+                let mut pairs = vec![
+                    ("v".to_owned(), 1u64.into()),
+                    ("op".to_owned(), "synth".into()),
+                    ("id".to_owned(), path.as_str().into()),
+                    ("problem".to_owned(), source.into()),
+                ];
+                if let Some(ms) = flags.timeout_ms {
+                    pairs.push(("timeout_ms".to_owned(), ms.into()));
+                }
+                if flags.portfolio {
+                    pairs.push(("portfolio".to_owned(), true.into()));
+                }
+                requests.push((path.clone(), Json::Obj(pairs)));
+            }
+        }
+        other => {
+            eprintln!("error: unknown client op `{other}` (synth|ping|stats|shutdown)");
+            return ExitCode::from(2);
+        }
+    }
+    let mut failed = false;
+    let mut overloaded = false;
+    for (label, request) in &requests {
+        match request_with_retry(addr, request, retries, &mut backoff) {
+            Ok(resp) => {
+                emit_line(&resp);
+                match resp.get("status").and_then(Json::as_str) {
+                    Some("ok") => {
+                        if let Some(program) = resp.get("program").and_then(Json::as_str) {
+                            eprintln!("{label}: {program}");
+                        }
+                    }
+                    Some("overloaded") => {
+                        overloaded = true;
+                        eprintln!(
+                            "{label}: overloaded (retry_after_ms {})",
+                            resp.get("retry_after_ms")
+                                .and_then(Json::as_u64)
+                                .unwrap_or(0)
+                        );
+                    }
+                    status => {
+                        failed = true;
+                        eprintln!(
+                            "{label}: {}: {}",
+                            status.unwrap_or("reply carries no status"),
+                            resp.get("error").and_then(Json::as_str).unwrap_or("-")
+                        );
+                    }
+                }
+            }
+            Err(e) => {
+                failed = true;
+                eprintln!("error: {label}: {e}");
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else if overloaded {
+        ExitCode::from(3)
+    } else {
+        ExitCode::SUCCESS
     }
 }
 

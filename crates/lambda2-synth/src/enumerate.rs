@@ -204,6 +204,17 @@ impl TermStore {
         &self.level_terms
     }
 
+    /// Takes the per-level histogram, leaving it empty. A store parked in
+    /// a [`WarmStores`] cache between searches has its levels folded into
+    /// the owning run's metrics exactly once; clearing here keeps a later
+    /// search from folding the same levels again.
+    pub fn take_level_terms(&mut self) -> Histogram {
+        std::mem::replace(
+            &mut self.level_terms,
+            Histogram::new(crate::obs::metrics::EXP2_BOUNDS),
+        )
+    }
+
     /// Rough heap footprint of the stored terms. Signatures dominate:
     /// each holds one value per environment, and values can be large
     /// nested structures; the search's eviction budget is denominated in
@@ -785,6 +796,120 @@ fn binary_arg_shapes(op: lambda2_lang::ast::Op) -> (Shape, Shape) {
         Op::Eq | Op::Neq => (Shape::Any, Shape::Any),
         // Unary operators never reach this table.
         _ => (Shape::Any, Shape::Any),
+    }
+}
+
+/// A cross-search enumeration-store cache with a byte-budgeted LRU.
+///
+/// Term stores are deterministic caches: a store's contents are a pure
+/// function of its [`StoreKey`], the library, and the enumeration limits
+/// it was built under. That makes them safe to reuse *across* searches —
+/// the serve daemon parks each finished search's stores here (keyed by a
+/// caller-supplied configuration fingerprint plus the [`StoreKey`]) and
+/// seeds the next search for the same signature from them, amortizing
+/// closed-term enumeration across requests.
+///
+/// Reuse never changes a search's answer: [`TermStore::ensure_within`]
+/// only builds levels the store does not already have, and every read is
+/// bounded by the cost the reader asks for, so a warm store behaves
+/// observably like a cold one built to the same level (only the work
+/// counters differ). Memory is bounded by `max_bytes`: inserting past the
+/// budget evicts least-recently-used entries.
+///
+/// The store spine is `Rc`-based and thus `!Send` — a `WarmStores` is
+/// confined to one worker thread, which is exactly the shape the serve
+/// pool needs (one cache per worker, no locks).
+#[derive(Debug)]
+pub struct WarmStores {
+    max_bytes: usize,
+    tick: u64,
+    entries: HashMap<(u64, StoreKey), (TermStore, u64)>,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl WarmStores {
+    /// An empty cache holding at most ~`max_bytes` of store footprint.
+    pub fn new(max_bytes: usize) -> WarmStores {
+        WarmStores {
+            max_bytes,
+            tick: 0,
+            entries: HashMap::new(),
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Removes and returns the store cached under `(config, key)`, if any.
+    /// Ownership moves to the caller (the running search); return it with
+    /// [`WarmStores::put`] when the search finishes.
+    pub fn take(&mut self, config: u64, key: &StoreKey) -> Option<TermStore> {
+        match self.entries.remove(&(config, key.clone())) {
+            Some((store, _)) => {
+                self.hits += 1;
+                Some(store)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Parks a store under `(config, key)`, then evicts least-recently-used
+    /// entries until the cache fits its byte budget again. The histogram of
+    /// per-level term counts is cleared on the way in (the owning run
+    /// already folded it — see [`TermStore::take_level_terms`]).
+    pub fn put(&mut self, config: u64, key: StoreKey, mut store: TermStore) {
+        if self.max_bytes == 0 {
+            return;
+        }
+        let _ = store.take_level_terms();
+        self.tick += 1;
+        self.entries.insert((config, key), (store, self.tick));
+        let mut total: usize = self.entries.values().map(|(s, _)| s.approx_bytes()).sum();
+        while total > self.max_bytes && !self.entries.is_empty() {
+            let victim = self
+                .entries
+                .iter()
+                .min_by_key(|(_, (_, tick))| *tick)
+                .map(|(k, (s, _))| (k.clone(), s.approx_bytes()));
+            match victim {
+                Some((key, bytes)) => {
+                    self.entries.remove(&key);
+                    self.evictions += 1;
+                    total -= bytes;
+                }
+                None => break,
+            }
+        }
+    }
+
+    /// Number of stores currently parked.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when nothing is parked.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Approximate heap footprint of every parked store.
+    pub fn approx_bytes(&self) -> usize {
+        self.entries.values().map(|(s, _)| s.approx_bytes()).sum()
+    }
+
+    /// `(hits, misses, evictions)` since construction.
+    pub fn counters(&self) -> (u64, u64, u64) {
+        (self.hits, self.misses, self.evictions)
+    }
+
+    /// Drops every parked store (drain-time release).
+    pub fn clear(&mut self) {
+        self.entries.clear();
     }
 }
 

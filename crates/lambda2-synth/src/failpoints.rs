@@ -15,9 +15,14 @@
 //! | `deduce.plan`       | `Panic`                          |
 //! | `enumerate.level`   | `ExpireDeadline`                 |
 //! | `store.evict`       | `EvictStores`                    |
+//! | `serve.request`     | `Panic`                          |
 //!
 //! Arming a site with an action it does not honor is a no-op (the site
-//! consumes the trigger but injects nothing).
+//! consumes the trigger but injects nothing). `serve.request` sits in
+//! the serve daemon's worker, *inside* its `catch_unwind` but outside
+//! the engine's per-candidate isolation — it models an unguarded engine
+//! panic, which the deeper sites cannot (the engine absorbs those
+//! itself).
 //!
 //! # Determinism
 //!

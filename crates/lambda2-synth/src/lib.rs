@@ -62,6 +62,7 @@ pub mod obs;
 pub mod par;
 pub mod problem;
 pub mod search;
+pub mod serve;
 pub mod spec;
 pub mod stats;
 pub mod synthesizer;
@@ -70,6 +71,7 @@ pub mod verify;
 pub use analyze::lint::{lint_source, Diagnostic};
 pub use analyze::{RefuteDomain, Verdict};
 pub use cost::CostModel;
+pub use enumerate::WarmStores;
 pub use govern::{
     Attempt, Budget, BudgetExceeded, BudgetSnapshot, CancelToken, FrontierItem, Rung, SearchReport,
 };
@@ -94,7 +96,11 @@ pub use par::{
     PortableSynthesis,
 };
 pub use problem::{Example, Problem, ProblemBuilder, ProblemError};
-pub use search::{search_governed, SearchOptions, SynthError, Synthesis};
+pub use search::{
+    search_governed, search_governed_warm, warm_config_fingerprint, SearchOptions, SynthError,
+    Synthesis,
+};
+pub use serve::{ServeConfig, ServeSummary, Server};
 pub use spec::{ExampleRow, Spec};
 pub use stats::{Measurement, Stats};
 pub use synthesizer::Synthesizer;

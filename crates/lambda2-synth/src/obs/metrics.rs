@@ -252,6 +252,13 @@ pub struct SearchMetrics {
     /// microseconds — how tightly governance actually bounded overshoot
     /// (recorded by the [`Budget`](crate::govern::Budget)).
     pub poll_gap_us: Histogram,
+    /// Time a task spent queued before a worker picked it up,
+    /// microseconds — recorded by [`synthesize_batch`] and the serve
+    /// admission queue, not by the search itself. Separates scheduling
+    /// delay from search time in batch/daemon p99 attribution.
+    ///
+    /// [`synthesize_batch`]: crate::par::synthesize_batch
+    pub queue_wait_us: Histogram,
 }
 
 impl SearchMetrics {
@@ -268,11 +275,12 @@ impl SearchMetrics {
             store_bytes: Histogram::new(EXP2_BOUNDS),
             level_terms: Histogram::new(EXP2_BOUNDS),
             poll_gap_us: Histogram::new(EXP2_BOUNDS),
+            queue_wait_us: Histogram::new(EXP2_BOUNDS),
         }
     }
 
     /// Instrument names and histograms, in stable serialization order.
-    pub fn instruments(&self) -> [(&'static str, &Histogram); 10] {
+    pub fn instruments(&self) -> [(&'static str, &Histogram); 11] {
         [
             ("queue_depth", &self.queue_depth),
             ("pop_cost", &self.pop_cost),
@@ -284,6 +292,7 @@ impl SearchMetrics {
             ("store_bytes", &self.store_bytes),
             ("level_terms", &self.level_terms),
             ("poll_gap_us", &self.poll_gap_us),
+            ("queue_wait_us", &self.queue_wait_us),
         ]
     }
 
@@ -305,6 +314,7 @@ impl SearchMetrics {
         self.store_bytes.merge(&other.store_bytes);
         self.level_terms.merge(&other.level_terms);
         self.poll_gap_us.merge(&other.poll_gap_us);
+        self.queue_wait_us.merge(&other.queue_wait_us);
     }
 
     /// Serializes every instrument as one JSON object.

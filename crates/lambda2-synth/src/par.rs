@@ -426,6 +426,11 @@ pub struct ParOutcome {
     pub result: Result<PortableReport, String>,
     /// Trace events, when the task asked for them (empty otherwise).
     pub events: Vec<TraceEvent>,
+    /// Time the task spent queued before a worker picked it up. Also
+    /// recorded in the report's `queue_wait_us` metric (when the task's
+    /// options enable metrics) so batch p99s can attribute scheduling
+    /// delay separately from search time.
+    pub queue_wait: Duration,
 }
 
 /// Runs `tasks` across `jobs` workers and returns outcomes in submission
@@ -438,17 +443,33 @@ pub fn synthesize_batch(tasks: Vec<ParTask>, jobs: usize) -> Vec<ParOutcome> {
         .iter()
         .map(|t| (t.spec.name.clone(), t.spec.examples.len()))
         .collect();
-    let results = run_pool(tasks, jobs, |_worker, _index, task| run_task(&task));
+    // All tasks are submitted before any worker starts; the gap between
+    // this instant and a worker's pickup is pure scheduling delay.
+    let submitted = Instant::now();
+    let results = run_pool(tasks, jobs, |_worker, _index, task| {
+        let queue_wait = submitted.elapsed();
+        let metrics = task.options.metrics;
+        let (mut report, events) = run_task(&task);
+        if metrics {
+            report
+                .stats
+                .metrics
+                .queue_wait_us
+                .record(queue_wait.as_micros() as u64);
+        }
+        (report, events, queue_wait)
+    });
     results
         .into_iter()
         .zip(names)
         .map(|(item, (name, examples))| match item.result {
-            Ok((report, events)) => ParOutcome {
+            Ok((report, events, queue_wait)) => ParOutcome {
                 worker: item.worker,
                 name,
                 examples,
                 result: Ok(report),
                 events,
+                queue_wait,
             },
             Err(msg) => ParOutcome {
                 worker: item.worker,
@@ -456,6 +477,7 @@ pub fn synthesize_batch(tasks: Vec<ParTask>, jobs: usize) -> Vec<ParOutcome> {
                 examples,
                 result: Err(msg),
                 events: Vec::new(),
+                queue_wait: Duration::ZERO,
             },
         })
         .collect()

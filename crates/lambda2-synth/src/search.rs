@@ -40,7 +40,7 @@ use lambda2_lang::env::Env;
 use lambda2_lang::ty::Type;
 
 use crate::cost::CostModel;
-use crate::enumerate::{canonical, EnumLimits, StoreKey, TermStore};
+use crate::enumerate::{canonical, EnumLimits, StoreKey, TermStore, WarmStores};
 use crate::expand::{
     plan_constructors, plan_expansion_within, Candidate, ConsTemplate, ExpandFail, Template,
 };
@@ -49,6 +49,7 @@ use crate::govern::{
     panic_message, Budget, BudgetExceeded, FrontierItem, SearchReport, DEFAULT_MAX_OVERSHOOT,
 };
 use crate::hypothesis::{HoleInfo, Hypothesis};
+use crate::library::Library;
 use crate::obs::metrics::Histogram;
 use crate::obs::{NoopTracer, PopKind, RefuteReason, StoreAction, TraceEvent, Tracer};
 use crate::problem::Problem;
@@ -412,9 +413,31 @@ pub fn search_governed(
     budget: &Budget,
     tracer: &mut dyn Tracer,
 ) -> SearchReport {
+    search_governed_warm(problem, options, budget, tracer, None)
+}
+
+/// [`search_governed`] with an optional cross-search warm store cache.
+///
+/// When `warm` is provided, the search seeds enumeration stores from the
+/// cache (keyed by [`warm_config_fingerprint`] + [`StoreKey`]) instead of
+/// building them cold, and parks its live stores back into the cache when
+/// it finishes. Reuse is semantically transparent: a store's contents are
+/// a deterministic function of its key, the library, and the enumeration
+/// limits, and every read is bounded by the cost the search asks for — so
+/// the synthesized program, its cost, and the attempt ladder are identical
+/// warm or cold. Only work counters ([`Stats::enumerated_terms`],
+/// [`Stats::warm_hits`]) differ, reflecting the work actually saved.
+pub fn search_governed_warm(
+    problem: &Problem,
+    options: &SearchOptions,
+    budget: &Budget,
+    tracer: &mut dyn Tracer,
+    mut warm: Option<&mut WarmStores>,
+) -> SearchReport {
     let start = Instant::now();
     let library = problem.library();
     let costs = library.costs().clone();
+    let warm_config = warm_config_fingerprint(library, options);
     let mut stats = Stats::default();
 
     // Root spec: the user's examples, verbatim.
@@ -625,6 +648,8 @@ pub fn search_governed(
                                 options,
                                 &mut stats,
                                 tracer,
+                                &mut warm,
+                                warm_config,
                             );
                             // The collection pool is cheap (cost <= 3); the
                             // larger init pool is only materialized when some
@@ -962,6 +987,8 @@ pub fn search_governed(
                         options,
                         &mut stats,
                         tracer,
+                        &mut warm,
+                        warm_config,
                     );
                     let before = store.inserted();
                     if let Err(e) = store.ensure_within(tier, library, budget) {
@@ -1087,6 +1114,15 @@ pub fn search_governed(
             stats.metrics.level_terms.merge(store.level_terms());
         }
         stats.metrics.poll_gap_us.merge(&budget.poll_gap_us());
+    }
+    if let Some(warm) = warm {
+        // Park live stores for the next search, most recently used last so
+        // the cache's LRU order mirrors this search's.
+        let mut parked: Vec<(StoreKey, (TermStore, u64))> = stores.drain().collect();
+        parked.sort_by_key(|(_, (_, tick))| *tick);
+        for (key, (store, _)) in parked {
+            warm.put(warm_config, key, store);
+        }
     }
 
     let elapsed = start.elapsed();
@@ -1275,9 +1311,61 @@ fn fault(stats: &mut Stats, tracer: &mut dyn Tracer, site: &'static str, detail:
     }
 }
 
+/// Fingerprint of everything a term store's *contents* depend on: the
+/// library (operators, combinators, constants, cost model) and the
+/// enumeration knobs ([`SearchOptions::enum_limits`],
+/// [`SearchOptions::trace_probes`]). Two searches with equal fingerprints
+/// build byte-identical stores for equal [`StoreKey`]s, which is the
+/// safety condition for sharing a [`WarmStores`] cache across requests.
+/// Deliberately *excludes* budgets, cost ceilings, and observation knobs —
+/// they bound how far a store gets built, never what a built level holds.
+pub fn warm_config_fingerprint(library: &Library, options: &SearchOptions) -> u64 {
+    let mut material = String::new();
+    for op in library.ops() {
+        material.push_str(op.name());
+        material.push(',');
+    }
+    material.push(';');
+    for comb in library.combs() {
+        material.push_str(comb.name());
+        material.push(',');
+    }
+    material.push(';');
+    for c in library.constants() {
+        material.push_str(&c.to_string());
+        material.push(',');
+    }
+    // Exhaustive destructures: adding a field to either struct is a
+    // compile error here until its cache-key relevance is decided.
+    let CostModel {
+        var,
+        lit,
+        op,
+        if_,
+        lambda,
+        comb,
+    } = library.costs();
+    let EnumLimits {
+        max_level_terms,
+        max_terms,
+        synthetic_probes,
+    } = options.enum_limits;
+    material.push_str(&format!(
+        ";costs={var},{lit},{op},{if_},{lambda},{comb};limits={max_level_terms},{max_terms},{synthetic_probes};trace_probes={}",
+        options.trace_probes
+    ));
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in material.as_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
 /// Looks up (or creates) the enumeration store for a hole context,
 /// refreshing its LRU tick and accounting the hit/create in `stats` and
 /// the trace.
+#[allow(clippy::too_many_arguments)]
 fn touch_store<'a>(
     stores: &'a mut HashMap<StoreKey, (TermStore, u64)>,
     store_tick: &mut u64,
@@ -1285,12 +1373,22 @@ fn touch_store<'a>(
     options: &SearchOptions,
     stats: &mut Stats,
     tracer: &mut dyn Tracer,
+    warm: &mut Option<&mut WarmStores>,
+    warm_config: u64,
 ) -> &'a mut TermStore {
     *store_tick += 1;
     let hit = stores.contains_key(&info.store_key);
+    let mut warmed = false;
     let entry = stores.entry(info.store_key.clone()).or_insert_with(|| {
-        (
-            TermStore::with_probes(
+        let seeded = warm
+            .as_deref_mut()
+            .and_then(|w| w.take(warm_config, &info.store_key));
+        let store = match seeded {
+            Some(store) => {
+                warmed = true;
+                store
+            }
+            None => TermStore::with_probes(
                 info.scope.clone(),
                 &info.spec,
                 if options.trace_probes {
@@ -1300,12 +1398,15 @@ fn touch_store<'a>(
                 },
                 options.enum_limits,
             ),
-            0,
-        )
+        };
+        (store, 0)
     });
     entry.1 = *store_tick;
     if hit {
         stats.store_hits += 1;
+    }
+    if warmed {
+        stats.warm_hits += 1;
     }
     if options.metrics {
         stats.metrics.store_terms.record_usize(entry.0.len());
@@ -1316,7 +1417,7 @@ fn touch_store<'a>(
     }
     if tracer.enabled() {
         tracer.emit(TraceEvent::Store {
-            action: if hit {
+            action: if hit || warmed {
                 StoreAction::Hit
             } else {
                 StoreAction::Create

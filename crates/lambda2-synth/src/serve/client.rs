@@ -1,0 +1,262 @@
+//! Client side of the serve protocol: framing, calls, and seeded
+//! jittered retry.
+//!
+//! [`Client`] is a thin connection wrapper (one frame out, one frame
+//! back, strictly sequential). [`request_with_retry`] layers the
+//! robustness policy on top: reconnect-per-attempt, exponential backoff
+//! with deterministic jitter (seeded xorshift — reproducible load tests,
+//! no thundering herd), and respect for the server's `retry_after_ms`
+//! hint on `overloaded` sheds. The final attempt's `overloaded` response
+//! is returned — not swallowed — so callers can surface a distinct
+//! exit code for "the daemon is healthy but saturated".
+
+use std::io::{self};
+use std::net::TcpStream;
+use std::time::Duration;
+
+#[cfg(unix)]
+use std::os::unix::net::UnixStream;
+
+use crate::obs::json::{self, Json};
+
+use super::frame::{write_frame, FrameReader, MAX_FRAME_BYTES};
+use super::proto::status;
+
+/// Client-side failure of one request attempt.
+#[derive(Clone, Debug)]
+pub enum ClientError {
+    /// Could not connect or the transport failed mid-call.
+    Io(String),
+    /// The reply was not a valid frame/JSON document.
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o: {e}"),
+            ClientError::Protocol(e) => write!(f, "protocol: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+enum ClientConn {
+    Tcp(TcpStream),
+    #[cfg(unix)]
+    Unix(UnixStream),
+}
+
+impl io::Read for ClientConn {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            ClientConn::Tcp(s) => s.read(buf),
+            #[cfg(unix)]
+            ClientConn::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl io::Write for ClientConn {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            ClientConn::Tcp(s) => s.write(buf),
+            #[cfg(unix)]
+            ClientConn::Unix(s) => s.write(buf),
+        }
+    }
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            ClientConn::Tcp(s) => s.flush(),
+            #[cfg(unix)]
+            ClientConn::Unix(s) => s.flush(),
+        }
+    }
+}
+
+/// One connection to a serve daemon.
+pub struct Client {
+    conn: ClientConn,
+    reader: FrameReader,
+}
+
+impl Client {
+    /// Connects to `host:port`, or `unix:/path` on Unix targets.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Io`] on connect failure (including `unix:` on a
+    /// non-Unix target).
+    pub fn connect(addr: &str) -> Result<Client, ClientError> {
+        let conn = if let Some(path) = addr.strip_prefix("unix:") {
+            #[cfg(unix)]
+            {
+                ClientConn::Unix(
+                    UnixStream::connect(path)
+                        .map_err(|e| ClientError::Io(format!("connect {addr}: {e}")))?,
+                )
+            }
+            #[cfg(not(unix))]
+            {
+                let _ = path;
+                return Err(ClientError::Io(
+                    "unix: addresses need a Unix target".to_owned(),
+                ));
+            }
+        } else {
+            ClientConn::Tcp(
+                TcpStream::connect(addr)
+                    .map_err(|e| ClientError::Io(format!("connect {addr}: {e}")))?,
+            )
+        };
+        Ok(Client {
+            conn,
+            reader: FrameReader::new(MAX_FRAME_BYTES),
+        })
+    }
+
+    /// Sends one request document and blocks for its reply.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Io`] on transport failure, [`ClientError::Protocol`]
+    /// when the server closes without replying or replies with a
+    /// non-JSON payload.
+    pub fn call(&mut self, request: &Json) -> Result<Json, ClientError> {
+        write_frame(&mut self.conn, request.to_string().as_bytes())
+            .map_err(|e| ClientError::Io(e.to_string()))?;
+        match self.reader.read_frame(&mut self.conn) {
+            Ok(Some(payload)) => {
+                let text = std::str::from_utf8(&payload)
+                    .map_err(|e| ClientError::Protocol(format!("reply is not UTF-8: {e}")))?;
+                json::parse(text)
+                    .map_err(|e| ClientError::Protocol(format!("reply is not JSON: {e}")))
+            }
+            Ok(None) => Err(ClientError::Protocol(
+                "server closed the connection without replying".to_owned(),
+            )),
+            Err(e) => Err(ClientError::Io(e.to_string())),
+        }
+    }
+}
+
+/// Exponential backoff with deterministic jitter. Delay for attempt `n`
+/// is drawn uniformly from `[base·2ⁿ/2, base·2ⁿ]` (capped), and never
+/// below the server's `retry_after_ms` hint when one was given — the
+/// server knows its queue better than the client does.
+#[derive(Clone, Debug)]
+pub struct Backoff {
+    base_ms: u64,
+    cap_ms: u64,
+    state: u64,
+}
+
+impl Backoff {
+    /// A policy with the given base delay, cap, and jitter seed.
+    pub fn new(base: Duration, cap: Duration, seed: u64) -> Backoff {
+        Backoff {
+            base_ms: (base.as_millis() as u64).max(1),
+            cap_ms: (cap.as_millis() as u64).max(1),
+            // xorshift has a zero fixed point; displace it.
+            state: seed ^ 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+
+    fn next(&mut self) -> u64 {
+        // xorshift64* — deterministic, dependency-free.
+        self.state ^= self.state >> 12;
+        self.state ^= self.state << 25;
+        self.state ^= self.state >> 27;
+        self.state.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// The delay before retry number `attempt` (0-based), honoring an
+    /// optional server hint.
+    pub fn delay(&mut self, attempt: u32, hint_ms: Option<u64>) -> Duration {
+        let exp = self
+            .base_ms
+            .saturating_mul(1u64 << attempt.min(20))
+            .min(self.cap_ms);
+        let lo = exp / 2;
+        let jittered = lo + self.next() % (exp - lo + 1);
+        Duration::from_millis(jittered.max(hint_ms.unwrap_or(0)))
+    }
+}
+
+/// Sends `request`, retrying up to `retries` times on transport failure
+/// or `overloaded` sheds (fresh connection per attempt). Returns the
+/// first conclusive response; after the last attempt, an `overloaded`
+/// response is returned as-is so the caller can distinguish saturation
+/// from failure.
+///
+/// # Errors
+///
+/// The last attempt's [`ClientError`] when every attempt failed at the
+/// transport/protocol layer.
+pub fn request_with_retry(
+    addr: &str,
+    request: &Json,
+    retries: u32,
+    backoff: &mut Backoff,
+) -> Result<Json, ClientError> {
+    let mut attempt = 0u32;
+    loop {
+        let outcome = Client::connect(addr).and_then(|mut c| c.call(request));
+        match outcome {
+            Ok(resp) => {
+                let overloaded =
+                    resp.get("status").and_then(Json::as_str) == Some(status::OVERLOADED);
+                if !overloaded || attempt >= retries {
+                    return Ok(resp);
+                }
+                let hint = resp.get("retry_after_ms").and_then(Json::as_u64);
+                std::thread::sleep(backoff.delay(attempt, hint));
+            }
+            Err(e) => {
+                if attempt >= retries {
+                    return Err(e);
+                }
+                std::thread::sleep(backoff.delay(attempt, None));
+            }
+        }
+        attempt += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_deterministic_for_a_seed() {
+        let mut a = Backoff::new(Duration::from_millis(10), Duration::from_secs(5), 42);
+        let mut b = Backoff::new(Duration::from_millis(10), Duration::from_secs(5), 42);
+        for attempt in 0..8 {
+            assert_eq!(a.delay(attempt, None), b.delay(attempt, None));
+        }
+    }
+
+    #[test]
+    fn backoff_grows_and_respects_cap_and_hint() {
+        let mut p = Backoff::new(Duration::from_millis(10), Duration::from_millis(100), 7);
+        for attempt in 0..12 {
+            let d = p.delay(attempt, None).as_millis() as u64;
+            let exp = 10u64.saturating_mul(1 << attempt).min(100);
+            assert!(d >= exp / 2 && d <= exp, "attempt {attempt}: {d} vs {exp}");
+        }
+        // A server hint floors the delay.
+        let d = p.delay(0, Some(500));
+        assert!(d >= Duration::from_millis(500));
+    }
+
+    #[test]
+    fn connect_to_nowhere_is_a_structured_error() {
+        // Reserved port 1 on localhost is essentially never listening.
+        match Client::connect("127.0.0.1:1") {
+            Err(ClientError::Io(_)) => {}
+            Err(e) => panic!("expected Io error, got {e}"),
+            Ok(_) => panic!("connect to port 1 unexpectedly succeeded"),
+        }
+    }
+}

@@ -1,0 +1,829 @@
+//! The synthesis daemon: listener, admission queue, worker pool, drain.
+//!
+//! # Architecture
+//!
+//! ```text
+//!  clients ──TCP/Unix──▶ connection threads ──try_send──▶ bounded queue
+//!                          │  (parse, validate,             │
+//!                          │   shed when full)              ▼
+//!                          │                          worker threads
+//!                          ◀────────reply channel──── (catch_unwind,
+//!                                                      warm stores,
+//!                                                      cancel tokens)
+//! ```
+//!
+//! Three robustness invariants hold by construction:
+//!
+//! * **Every admitted request gets exactly one reply.** Workers answer on
+//!   a per-job channel on every path — success, unsolved, crash, drain —
+//!   and a dropped channel (worker death outside the panic guard) turns
+//!   into a structured error at the connection.
+//! * **Memory is bounded.** The admission queue is a
+//!   [`std::sync::mpsc::sync_channel`] of fixed capacity; when it is full
+//!   the connection thread replies `overloaded` with a retry hint instead
+//!   of queueing. Frames are capped before allocation; warm stores are
+//!   LRU-evicted under a byte budget.
+//! * **A crashing request cannot take the daemon down.** The search runs
+//!   under [`catch_unwind`]; a panic yields a structured `error` response
+//!   and the worker loops on to the next job. (The worker's warm-store
+//!   cache may lose entries mid-panic — they are deterministic caches and
+//!   rebuild on demand.)
+//!
+//! # Determinism
+//!
+//! Workers call [`Synthesizer::synthesize_report_warm`] — the same retry
+//! ladder `l2 synth` uses — so a problem served here returns the same
+//! program, cost, and attempt ladder as a local run with the same
+//! [`SearchOptions`], warm cache on or off (only cache-effectiveness
+//! counters differ). Portfolio requests route to
+//! [`portfolio_report_traced`] and skip the warm cache (term stores are
+//! deliberately not `Send`).
+//!
+//! # Drain
+//!
+//! Setting the control flag (a `shutdown` request, or the CLI's SIGTERM
+//! handler flipping [`Server::control`]) starts a drain: the accept loop
+//! stops, connection threads close at their next read-timeout poll,
+//! queued-but-unstarted jobs are answered `shutting_down`, in-flight jobs
+//! get [`ServeConfig::drain_grace`] to finish and are then cancelled via
+//! their [`CancelToken`]s. Corpus writes flush per record, so there is
+//! nothing left to lose at exit.
+
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{self, RecvTimeoutError, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+
+use crate::enumerate::WarmStores;
+use crate::govern::{CancelToken, SearchReport};
+use crate::l2file;
+use crate::obs::corpus::{options_fingerprint, Corpus, RunRecord};
+use crate::obs::json::Json;
+use crate::obs::NoopTracer;
+use crate::par::{portfolio_report_traced, PortableProblem};
+use crate::problem::Problem;
+use crate::search::SearchOptions;
+use crate::stats::Measurement;
+use crate::synthesizer::Synthesizer;
+
+use super::frame::{write_frame, FrameError, FrameReader, MAX_FRAME_BYTES};
+use super::proto::{self, ReqOp, Request};
+
+/// Daemon tunables. The defaults suit tests and light local use; the CLI
+/// exposes each as a flag.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Listen address: `host:port` for TCP, or `unix:/path/to.sock` for a
+    /// Unix-domain socket (Unix targets only). Port 0 binds ephemerally;
+    /// read the real address back from [`Server::local_addr`].
+    pub addr: String,
+    /// Worker threads executing synthesis jobs.
+    pub workers: usize,
+    /// Admission-queue capacity. Requests beyond `workers + queue` are
+    /// shed with `overloaded` — the daemon's memory stays bounded no
+    /// matter the offered load.
+    pub queue_capacity: usize,
+    /// Per-frame payload cap (see [`MAX_FRAME_BYTES`]).
+    pub max_frame_bytes: usize,
+    /// Timeout applied to requests that carry none.
+    pub default_timeout: Duration,
+    /// Hard cap on any request's timeout; larger asks are clamped so one
+    /// client cannot monopolize a worker.
+    pub max_timeout: Duration,
+    /// Byte budget for each worker's warm term-store cache; 0 disables
+    /// warm reuse.
+    pub warm_cache_bytes: usize,
+    /// How long in-flight jobs get to finish during drain before their
+    /// budgets are cancelled.
+    pub drain_grace: Duration,
+    /// Socket read timeout; doubles as the shutdown-poll cadence for idle
+    /// connections, so drains complete within roughly this bound after
+    /// in-flight work ends.
+    pub read_timeout: Duration,
+    /// Base search options; per-request timeouts override
+    /// [`SearchOptions::timeout`].
+    pub options: SearchOptions,
+    /// When set, every finished synthesis is appended to this run-corpus
+    /// directory (same records `l2 bench --corpus` writes).
+    pub corpus_dir: Option<PathBuf>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            workers: 2,
+            queue_capacity: 16,
+            max_frame_bytes: MAX_FRAME_BYTES,
+            default_timeout: Duration::from_secs(2),
+            max_timeout: Duration::from_secs(30),
+            warm_cache_bytes: 32 << 20,
+            drain_grace: Duration::from_secs(1),
+            read_timeout: Duration::from_millis(50),
+            options: SearchOptions::default(),
+            corpus_dir: None,
+        }
+    }
+}
+
+enum ListenerKind {
+    Tcp(TcpListener),
+    #[cfg(unix)]
+    Unix(UnixListener),
+}
+
+enum Conn {
+    Tcp(TcpStream),
+    #[cfg(unix)]
+    Unix(UnixStream),
+}
+
+impl Conn {
+    fn set_read_timeout(&self, t: Duration) -> io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.set_read_timeout(Some(t)),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.set_read_timeout(Some(t)),
+        }
+    }
+}
+
+impl Read for Conn {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.read(buf),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Conn {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.write(buf),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.write(buf),
+        }
+    }
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.flush(),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.flush(),
+        }
+    }
+}
+
+/// Counters the daemon keeps while serving; snapshotted by the `stats`
+/// op and folded into the final [`ServeSummary`].
+struct Shared {
+    /// Jobs sitting in the admission queue (approximate; for hints).
+    depth: AtomicUsize,
+    /// Jobs currently executing on a worker.
+    in_flight: AtomicUsize,
+    /// Connections ever accepted.
+    connections: AtomicU64,
+    /// Synthesis jobs admitted to the queue.
+    accepted: AtomicU64,
+    /// Jobs that ran to a report (solved or not).
+    completed: AtomicU64,
+    /// Completed jobs whose outcome was a program.
+    solved: AtomicU64,
+    /// Jobs shed at admission with `overloaded`.
+    shed: AtomicU64,
+    /// Jobs that panicked under the unwind guard.
+    crashed: AtomicU64,
+    /// Malformed requests (bad frame payloads, invalid problems).
+    rejected: AtomicU64,
+    /// Queued-but-unstarted jobs answered `shutting_down` during drain.
+    drained: AtomicU64,
+    /// Warm-cache hits summed across workers.
+    warm_hits: AtomicU64,
+    /// Exponentially-weighted mean service time, microseconds.
+    ewma_us: AtomicU64,
+    /// Job sequence numbers (cancel-registry keys).
+    seq: AtomicU64,
+    /// Cancel tokens of in-flight jobs, for drain.
+    cancels: Mutex<HashMap<u64, CancelToken>>,
+    started: Instant,
+}
+
+impl Shared {
+    fn new() -> Shared {
+        Shared {
+            depth: AtomicUsize::new(0),
+            in_flight: AtomicUsize::new(0),
+            connections: AtomicU64::new(0),
+            accepted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            solved: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            crashed: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            drained: AtomicU64::new(0),
+            warm_hits: AtomicU64::new(0),
+            ewma_us: AtomicU64::new(0),
+            seq: AtomicU64::new(0),
+            cancels: Mutex::new(HashMap::new()),
+            started: Instant::now(),
+        }
+    }
+
+    fn register_cancel(&self, seq: u64, token: CancelToken) {
+        if let Ok(mut map) = self.cancels.lock() {
+            map.insert(seq, token);
+        }
+    }
+
+    fn unregister_cancel(&self, seq: u64) {
+        if let Ok(mut map) = self.cancels.lock() {
+            map.remove(&seq);
+        }
+    }
+
+    fn cancel_all(&self) {
+        if let Ok(map) = self.cancels.lock() {
+            for token in map.values() {
+                token.cancel();
+            }
+        }
+    }
+
+    /// Folds a completed job's service time into the EWMA (α = 1/8).
+    /// Racy read-modify-write is fine — this feeds a retry *hint*.
+    fn record_service(&self, elapsed: Duration) {
+        let sample = elapsed.as_micros().min(u128::from(u64::MAX)) as u64;
+        let old = self.ewma_us.load(Ordering::Relaxed);
+        let new = if old == 0 {
+            sample
+        } else {
+            old - old / 8 + sample / 8
+        };
+        self.ewma_us.store(new, Ordering::Relaxed);
+    }
+
+    /// How long a shed client should wait before retrying: the EWMA
+    /// service time multiplied by the queue ahead of it, spread across
+    /// the workers. Clamped to [10ms, 30s].
+    fn retry_after_ms(&self, workers: usize) -> u64 {
+        let ewma_us = self.ewma_us.load(Ordering::Relaxed).max(20_000);
+        let waiting = self.depth.load(Ordering::Relaxed) as u64 + 1;
+        let ms = ewma_us.saturating_mul(waiting) / (workers.max(1) as u64) / 1_000;
+        ms.clamp(10, 30_000)
+    }
+
+    fn snapshot_json(&self, config: &ServeConfig) -> Json {
+        Json::obj([
+            (
+                "uptime_ms",
+                Json::Float(self.started.elapsed().as_secs_f64() * 1e3),
+            ),
+            ("workers", config.workers.into()),
+            ("queue_capacity", config.queue_capacity.into()),
+            ("queue_depth", self.depth.load(Ordering::Relaxed).into()),
+            ("in_flight", self.in_flight.load(Ordering::Relaxed).into()),
+            (
+                "connections",
+                self.connections.load(Ordering::Relaxed).into(),
+            ),
+            ("accepted", self.accepted.load(Ordering::Relaxed).into()),
+            ("completed", self.completed.load(Ordering::Relaxed).into()),
+            ("solved", self.solved.load(Ordering::Relaxed).into()),
+            ("shed", self.shed.load(Ordering::Relaxed).into()),
+            ("crashed", self.crashed.load(Ordering::Relaxed).into()),
+            ("rejected", self.rejected.load(Ordering::Relaxed).into()),
+            ("drained", self.drained.load(Ordering::Relaxed).into()),
+            ("warm_hits", self.warm_hits.load(Ordering::Relaxed).into()),
+            (
+                "ewma_service_us",
+                self.ewma_us.load(Ordering::Relaxed).into(),
+            ),
+        ])
+    }
+}
+
+/// Final accounting returned by [`Server::run`] after a drain.
+#[derive(Clone, Debug)]
+pub struct ServeSummary {
+    /// Connections ever accepted.
+    pub connections: u64,
+    /// Synthesis jobs admitted.
+    pub accepted: u64,
+    /// Jobs that ran to a report.
+    pub completed: u64,
+    /// Jobs solved with a program.
+    pub solved: u64,
+    /// Jobs shed with `overloaded`.
+    pub shed: u64,
+    /// Jobs that panicked (and were answered structurally).
+    pub crashed: u64,
+    /// Malformed requests.
+    pub rejected: u64,
+    /// Queued jobs answered `shutting_down` at drain.
+    pub drained: u64,
+    /// Wall-clock from drain start to full stop.
+    pub drain_elapsed: Duration,
+}
+
+impl ServeSummary {
+    /// Serializes the summary as a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("connections", self.connections.into()),
+            ("accepted", self.accepted.into()),
+            ("completed", self.completed.into()),
+            ("solved", self.solved.into()),
+            ("shed", self.shed.into()),
+            ("crashed", self.crashed.into()),
+            ("rejected", self.rejected.into()),
+            ("drained", self.drained.into()),
+            (
+                "drain_elapsed_ms",
+                Json::Float(self.drain_elapsed.as_secs_f64() * 1e3),
+            ),
+        ])
+    }
+}
+
+/// One admitted synthesis job crossing from a connection thread to a
+/// worker. Carries the problem in portable (string) form — [`Problem`]
+/// itself does not cross threads — and a reply channel the worker
+/// answers exactly once.
+struct Job {
+    seq: u64,
+    id: Option<String>,
+    spec: PortableProblem,
+    timeout: Duration,
+    portfolio: bool,
+    #[cfg_attr(not(feature = "failpoints"), allow(dead_code))]
+    failpoint: Option<String>,
+    enqueued: Instant,
+    reply: mpsc::Sender<Json>,
+}
+
+/// A bound daemon, ready to [`run`](Server::run).
+pub struct Server {
+    config: ServeConfig,
+    listener: ListenerKind,
+    local_addr: String,
+    control: Arc<AtomicBool>,
+}
+
+impl Server {
+    /// Binds the configured address (TCP `host:port`, or `unix:/path` on
+    /// Unix targets; a stale socket file at that path is removed first).
+    ///
+    /// # Errors
+    ///
+    /// Any bind/listen failure, or `unix:` on a non-Unix target.
+    pub fn bind(config: ServeConfig) -> io::Result<Server> {
+        let (listener, local_addr) = if let Some(path) = config.addr.strip_prefix("unix:") {
+            #[cfg(unix)]
+            {
+                let _ = std::fs::remove_file(path);
+                let l = UnixListener::bind(path)?;
+                (ListenerKind::Unix(l), config.addr.clone())
+            }
+            #[cfg(not(unix))]
+            {
+                let _ = path;
+                return Err(io::Error::new(
+                    io::ErrorKind::Unsupported,
+                    "unix: addresses need a Unix target",
+                ));
+            }
+        } else {
+            let l = TcpListener::bind(&config.addr)?;
+            let addr = l.local_addr()?.to_string();
+            (ListenerKind::Tcp(l), addr)
+        };
+        Ok(Server {
+            config,
+            listener,
+            local_addr,
+            control: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The actually-bound address (resolves port 0 to the ephemeral port).
+    pub fn local_addr(&self) -> &str {
+        &self.local_addr
+    }
+
+    /// The drain flag. Setting it to `true` (from a signal handler, a
+    /// watchdog, or a test) starts a graceful shutdown; the `shutdown`
+    /// protocol op sets the same flag.
+    pub fn control(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.control)
+    }
+
+    /// Serves until the control flag is set, then drains and returns the
+    /// final accounting.
+    ///
+    /// # Errors
+    ///
+    /// Fatal listener errors only — per-connection and per-request
+    /// failures are answered structurally and never stop the daemon.
+    pub fn run(self) -> io::Result<ServeSummary> {
+        let Server {
+            config,
+            listener,
+            control,
+            ..
+        } = self;
+        match &listener {
+            ListenerKind::Tcp(l) => l.set_nonblocking(true)?,
+            #[cfg(unix)]
+            ListenerKind::Unix(l) => l.set_nonblocking(true)?,
+        }
+        let corpus = match &config.corpus_dir {
+            Some(dir) => Some(Corpus::open(dir).map_err(|e| io::Error::other(e.to_string()))?),
+            None => None,
+        };
+        let shared = Shared::new();
+        let (job_tx, job_rx) = mpsc::sync_channel::<Job>(config.queue_capacity);
+        let job_rx = Mutex::new(job_rx);
+        let mut listen_error: Option<io::Error> = None;
+        let mut drain_started_at: Option<Instant> = None;
+
+        thread::scope(|scope| {
+            for _ in 0..config.workers.max(1) {
+                scope.spawn(|| worker_loop(&config, &shared, &control, &job_rx, corpus.as_ref()));
+            }
+            while !control.load(Ordering::SeqCst) {
+                let accepted = match &listener {
+                    ListenerKind::Tcp(l) => l.accept().map(|(s, _)| Conn::Tcp(s)),
+                    #[cfg(unix)]
+                    ListenerKind::Unix(l) => l.accept().map(|(s, _)| Conn::Unix(s)),
+                };
+                match accepted {
+                    Ok(conn) => {
+                        shared.connections.fetch_add(1, Ordering::Relaxed);
+                        let tx = job_tx.clone();
+                        let (config, shared, control) = (&config, &shared, &control);
+                        scope.spawn(move || connection_loop(conn, config, shared, control, tx));
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        thread::sleep(Duration::from_millis(10));
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(e) => {
+                        listen_error = Some(e);
+                        control.store(true, Ordering::SeqCst);
+                    }
+                }
+            }
+            // Drain: give in-flight jobs their grace, then cancel them.
+            let drain_started = Instant::now();
+            while shared.in_flight.load(Ordering::SeqCst) > 0
+                && drain_started.elapsed() < config.drain_grace
+            {
+                thread::sleep(Duration::from_millis(5));
+            }
+            shared.cancel_all();
+            drop(job_tx);
+            // The scope's implicit join waits for workers (queue empty +
+            // flag set) and connections (next read-timeout poll).
+            drain_started_at = Some(drain_started);
+        });
+
+        if let Some(e) = listen_error {
+            return Err(e);
+        }
+        Ok(ServeSummary {
+            connections: shared.connections.load(Ordering::Relaxed),
+            accepted: shared.accepted.load(Ordering::Relaxed),
+            completed: shared.completed.load(Ordering::Relaxed),
+            solved: shared.solved.load(Ordering::Relaxed),
+            shed: shared.shed.load(Ordering::Relaxed),
+            crashed: shared.crashed.load(Ordering::Relaxed),
+            rejected: shared.rejected.load(Ordering::Relaxed),
+            drained: shared.drained.load(Ordering::Relaxed),
+            drain_elapsed: drain_started_at.map_or(Duration::ZERO, |t| t.elapsed()),
+        })
+    }
+}
+
+/// Serves one connection: strictly sequential frames, one reply per
+/// request. Framing errors close the connection; *protocol* errors
+/// (bad JSON, invalid problems) are answered structurally and the
+/// connection keeps going — the framing layer is still in sync.
+fn connection_loop(
+    mut conn: Conn,
+    config: &ServeConfig,
+    shared: &Shared,
+    control: &AtomicBool,
+    job_tx: mpsc::SyncSender<Job>,
+) {
+    if conn.set_read_timeout(config.read_timeout).is_err() {
+        return;
+    }
+    let mut reader = FrameReader::new(config.max_frame_bytes);
+    loop {
+        let payload = match reader.read_frame(&mut conn) {
+            Ok(Some(p)) => p,
+            Ok(None) => return,
+            Err(FrameError::TimedOut) => {
+                if control.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+            Err(_) => return,
+        };
+        let reply = handle_payload(&payload, config, shared, control, &job_tx);
+        if write_frame(&mut conn, reply.to_string().as_bytes()).is_err() {
+            return;
+        }
+    }
+}
+
+fn handle_payload(
+    payload: &[u8],
+    config: &ServeConfig,
+    shared: &Shared,
+    control: &AtomicBool,
+    job_tx: &mpsc::SyncSender<Job>,
+) -> Json {
+    let req = match proto::parse_request(payload) {
+        Ok(r) => r,
+        Err(msg) => {
+            shared.rejected.fetch_add(1, Ordering::Relaxed);
+            return proto::resp_error(None, &msg);
+        }
+    };
+    let id = req.id.clone();
+    match req.op {
+        ReqOp::Ping => proto::resp_pong(id.as_deref()),
+        ReqOp::Stats => proto::resp_stats(id.as_deref(), shared.snapshot_json(config)),
+        ReqOp::Shutdown => {
+            control.store(true, Ordering::SeqCst);
+            proto::resp_draining(id.as_deref())
+        }
+        ReqOp::Synth => admit_synth(req, config, shared, control, job_tx),
+    }
+}
+
+/// Validates a synth request on the connection thread (cheap, and bad
+/// problems never consume a queue slot), then runs admission control.
+fn admit_synth(
+    req: Request,
+    config: &ServeConfig,
+    shared: &Shared,
+    control: &AtomicBool,
+    job_tx: &mpsc::SyncSender<Job>,
+) -> Json {
+    let id = req.id.clone();
+    if control.load(Ordering::SeqCst) {
+        return proto::resp_shutting_down(id.as_deref());
+    }
+    let problem: Result<Problem, String> = match (&req.problem_source, &req.problem_json) {
+        (Some(src), _) => l2file::parse_problem(src),
+        (None, Some(jp)) => jp.build(),
+        (None, None) => unreachable!("parse_request requires a problem for synth"),
+    };
+    let problem = match problem {
+        Ok(p) => p,
+        Err(msg) => {
+            shared.rejected.fetch_add(1, Ordering::Relaxed);
+            return proto::resp_error(id.as_deref(), &format!("invalid problem: {msg}"));
+        }
+    };
+    let timeout = req
+        .timeout_ms
+        .map(Duration::from_millis)
+        .unwrap_or(config.default_timeout)
+        .min(config.max_timeout);
+    let (reply_tx, reply_rx) = mpsc::channel();
+    let job = Job {
+        seq: shared.seq.fetch_add(1, Ordering::Relaxed),
+        id: id.clone(),
+        spec: PortableProblem::from_problem(&problem),
+        timeout,
+        portfolio: req.portfolio,
+        failpoint: req.failpoint,
+        enqueued: Instant::now(),
+        reply: reply_tx,
+    };
+    match job_tx.try_send(job) {
+        Ok(()) => {
+            shared.depth.fetch_add(1, Ordering::SeqCst);
+            shared.accepted.fetch_add(1, Ordering::Relaxed);
+            // The worker answers exactly once on every path; a dropped
+            // channel means the worker died outside its panic guard.
+            match reply_rx.recv() {
+                Ok(json) => json,
+                Err(_) => proto::resp_error(id.as_deref(), "worker disappeared mid-request"),
+            }
+        }
+        Err(TrySendError::Full(_)) => {
+            shared.shed.fetch_add(1, Ordering::Relaxed);
+            proto::resp_overloaded(
+                id.as_deref(),
+                shared.retry_after_ms(config.workers),
+                shared.depth.load(Ordering::Relaxed),
+            )
+        }
+        Err(TrySendError::Disconnected(_)) => proto::resp_shutting_down(id.as_deref()),
+    }
+}
+
+fn worker_loop(
+    config: &ServeConfig,
+    shared: &Shared,
+    control: &AtomicBool,
+    job_rx: &Mutex<mpsc::Receiver<Job>>,
+    corpus: Option<&Corpus>,
+) {
+    let mut warm = WarmStores::new(config.warm_cache_bytes);
+    loop {
+        let next = {
+            let rx = match job_rx.lock() {
+                Ok(rx) => rx,
+                Err(_) => return,
+            };
+            rx.recv_timeout(Duration::from_millis(25))
+        };
+        match next {
+            Ok(job) => {
+                shared.depth.fetch_sub(1, Ordering::SeqCst);
+                if control.load(Ordering::SeqCst) {
+                    shared.drained.fetch_add(1, Ordering::Relaxed);
+                    let _ = job.reply.send(proto::resp_shutting_down(job.id.as_deref()));
+                    continue;
+                }
+                execute(job, config, shared, &mut warm, corpus);
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                if control.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+/// Runs one job under the unwind guard and answers its reply channel
+/// exactly once. The receiver may have hung up (connection died); the
+/// job is still executed and accounted, so send results are ignored.
+fn execute(
+    job: Job,
+    config: &ServeConfig,
+    shared: &Shared,
+    warm: &mut WarmStores,
+    corpus: Option<&Corpus>,
+) {
+    let queue_wait_ms = job.enqueued.elapsed().as_secs_f64() * 1e3;
+    let problem = match job.spec.rebuild() {
+        Ok(p) => p,
+        Err(msg) => {
+            shared.rejected.fetch_add(1, Ordering::Relaxed);
+            let _ = job.reply.send(proto::resp_error(
+                job.id.as_deref(),
+                &format!("problem failed to rebuild: {msg}"),
+            ));
+            return;
+        }
+    };
+    let mut options = config.options.clone();
+    options.timeout = Some(job.timeout);
+    let token = CancelToken::new();
+    shared.register_cancel(job.seq, token.clone());
+    shared.in_flight.fetch_add(1, Ordering::SeqCst);
+    #[cfg(feature = "failpoints")]
+    if let Some(site) = &job.failpoint {
+        if !arm_failpoint(site) {
+            shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+            shared.unregister_cancel(job.seq);
+            let _ = job.reply.send(proto::resp_error(
+                job.id.as_deref(),
+                &format!("unknown failpoint site `{site}`"),
+            ));
+            return;
+        }
+    }
+    let started = Instant::now();
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        // The one failpoint site that models an *unguarded* engine panic
+        // — deeper sites (verify.candidate, deduce.plan) are absorbed by
+        // the engine's own per-candidate isolation and never reach this
+        // guard. Compiles to nothing without the `failpoints` feature.
+        if let Some(crate::failpoints::FailAction::Panic) =
+            crate::failpoints::check("serve.request")
+        {
+            panic!("injected panic at serve.request");
+        }
+        if job.portfolio {
+            // Portfolio rungs race on their own threads with their own
+            // budgets; term stores are not Send, so no warm cache here.
+            portfolio_report_traced(&problem, &options, &mut NoopTracer)
+        } else {
+            Synthesizer::with_options(options.clone()).synthesize_report_warm(
+                &problem,
+                &mut NoopTracer,
+                Some(&token),
+                Some(&mut *warm),
+            )
+        }
+    }));
+    #[cfg(feature = "failpoints")]
+    crate::failpoints::reset();
+    shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+    shared.unregister_cancel(job.seq);
+    shared.completed.fetch_add(1, Ordering::Relaxed);
+    let reply = match result {
+        Ok(report) => {
+            shared
+                .warm_hits
+                .fetch_add(report.stats.warm_hits, Ordering::Relaxed);
+            if report.outcome.is_ok() {
+                shared.solved.fetch_add(1, Ordering::Relaxed);
+            }
+            shared.record_service(started.elapsed());
+            if let Some(corpus) = corpus {
+                let m = measurement_of_report(&problem, &report);
+                let record = RunRecord::of_measurement(&m, &options_fingerprint(&options));
+                if let Err(e) = corpus.append(&[record]) {
+                    eprintln!("warning: corpus append failed: {e}");
+                }
+            }
+            proto::resp_report(job.id.as_deref(), &report, queue_wait_ms)
+        }
+        Err(payload) => {
+            shared.crashed.fetch_add(1, Ordering::Relaxed);
+            proto::resp_error(
+                job.id.as_deref(),
+                &format!("synthesis crashed: {}", panic_message(payload.as_ref())),
+            )
+        }
+    };
+    let _ = job.reply.send(reply);
+}
+
+#[cfg(feature = "failpoints")]
+fn arm_failpoint(site: &str) -> bool {
+    use crate::failpoints::{arm, FailAction};
+    // Sites must be `&'static str`; map through the known list.
+    for known in [
+        "serve.request",
+        "search.pop",
+        "verify.candidate",
+        "deduce.plan",
+        "enumerate.level",
+        "store.evict",
+    ] {
+        if known == site {
+            arm(known, FailAction::Panic, 1);
+            return true;
+        }
+    }
+    false
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_owned()
+    }
+}
+
+fn measurement_of_report(problem: &Problem, report: &SearchReport) -> Measurement {
+    match &report.outcome {
+        Ok(s) => Measurement {
+            name: problem.name().to_owned(),
+            elapsed: report.elapsed,
+            solved: true,
+            cost: s.cost,
+            size: s.program.body().size(),
+            program: s.program.to_string(),
+            examples: problem.examples().len(),
+            stats: report.stats.clone(),
+            error: None,
+        },
+        Err(e) => Measurement {
+            name: problem.name().to_owned(),
+            elapsed: report.elapsed,
+            solved: false,
+            cost: 0,
+            size: 0,
+            program: String::new(),
+            examples: problem.examples().len(),
+            stats: report.stats.clone(),
+            error: Some(e.to_string()),
+        },
+    }
+}

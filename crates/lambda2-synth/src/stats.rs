@@ -36,6 +36,13 @@ pub struct Stats {
     pub enumerated_terms: u64,
     /// Enumeration-store cache hits (an existing store was reused).
     pub store_hits: u64,
+    /// Stores seeded from a cross-search [`WarmStores`] cache instead of
+    /// built cold — enumeration work amortized from earlier requests.
+    /// Always 0 outside [`search_governed_warm`].
+    ///
+    /// [`WarmStores`]: crate::enumerate::WarmStores
+    /// [`search_governed_warm`]: crate::search::search_governed_warm
+    pub warm_hits: u64,
     /// Enumeration stores evicted by the LRU byte-budget sweep.
     pub store_evictions: u64,
     /// Panics caught and isolated at governed sites (candidate skipped).
@@ -62,6 +69,7 @@ impl Stats {
         self.verify_failures += other.verify_failures;
         self.enumerated_terms += other.enumerated_terms;
         self.store_hits += other.store_hits;
+        self.warm_hits += other.warm_hits;
         self.store_evictions += other.store_evictions;
         self.faults += other.faults;
         self.phases.merge(&other.phases);
@@ -84,6 +92,7 @@ impl Stats {
             ("verify_failures", self.verify_failures.into()),
             ("enumerated_terms", self.enumerated_terms.into()),
             ("store_hits", self.store_hits.into()),
+            ("warm_hits", self.warm_hits.into()),
             ("store_evictions", self.store_evictions.into()),
             ("faults", self.faults.into()),
             ("phases", self.phases.to_json()),
@@ -191,6 +200,7 @@ mod tests {
             verify_failures: 7,
             enumerated_terms: 8,
             store_hits: 9,
+            warm_hits: 13,
             store_evictions: 10,
             faults: 11,
             phases: PhaseTimes {

@@ -3,10 +3,13 @@
 use std::time::{Duration, Instant};
 
 use crate::baseline::{synthesize_baseline_within, BaselineOptions};
-use crate::govern::{Attempt, Budget, Rung, SearchReport};
+use crate::enumerate::WarmStores;
+use crate::govern::{Attempt, Budget, CancelToken, Rung, SearchReport};
 use crate::obs::{NoopTracer, Tracer};
 use crate::problem::Problem;
-use crate::search::{search, search_governed, search_traced, SearchOptions, SynthError, Synthesis};
+use crate::search::{
+    search, search_governed_warm, search_traced, SearchOptions, SynthError, Synthesis,
+};
 
 /// Example-guided program synthesizer (the λ² algorithm).
 ///
@@ -145,9 +148,35 @@ impl Synthesizer {
         problem: &Problem,
         tracer: &mut dyn Tracer,
     ) -> SearchReport {
+        self.synthesize_report_warm(problem, tracer, None, None)
+    }
+
+    /// [`Synthesizer::synthesize_report_traced`] for long-lived hosts (the
+    /// serve daemon): optionally adopts an external [`CancelToken`] on
+    /// every rung's budget (so a drain can cancel the request from
+    /// outside) and seeds/harvests a cross-request [`WarmStores`] cache
+    /// (see [`crate::search::search_governed_warm`]). With both `None`
+    /// this is exactly [`Synthesizer::synthesize_report_traced`]; with
+    /// either set, the synthesized program, cost, and attempt ladder are
+    /// unchanged — cancellation only adds an exit path and the warm cache
+    /// is semantically transparent.
+    pub fn synthesize_report_warm(
+        &self,
+        problem: &Problem,
+        tracer: &mut dyn Tracer,
+        cancel: Option<&CancelToken>,
+        mut warm: Option<&mut WarmStores>,
+    ) -> SearchReport {
+        let adopt = |mut budget: Budget| -> Budget {
+            if let Some(token) = cancel {
+                budget = budget.with_cancel(token);
+            }
+            budget
+        };
         let overall = Instant::now();
-        let budget = Budget::for_search(&self.options);
-        let mut report = search_governed(problem, &self.options, &budget, tracer);
+        let budget = adopt(Budget::for_search(&self.options));
+        let mut report =
+            search_governed_warm(problem, &self.options, &budget, tracer, warm.as_deref_mut());
         report.attempts.push(Attempt {
             rung: Rung::Full,
             error: report.outcome.as_ref().err().cloned(),
@@ -162,8 +191,8 @@ impl Synthesizer {
         // Rung 2: tightened term-cost and global caps (shared with the
         // portfolio racer so both ladders run identical configurations).
         let degraded = self.options.degraded();
-        let rung_budget = Budget::for_search(&degraded);
-        let rung = search_governed(problem, &degraded, &rung_budget, tracer);
+        let rung_budget = adopt(Budget::for_search(&degraded));
+        let rung = search_governed_warm(problem, &degraded, &rung_budget, tracer, warm);
         report.stats.merge(&rung.stats);
         report.attempts.push(Attempt {
             rung: Rung::Degraded,
@@ -184,7 +213,10 @@ impl Synthesizer {
             eval_fuel: self.options.eval_fuel,
             ..BaselineOptions::default()
         };
-        let bbudget = Budget::new(self.options.timeout, self.options.max_overshoot);
+        let bbudget = adopt(Budget::new(
+            self.options.timeout,
+            self.options.max_overshoot,
+        ));
         let rung_start = Instant::now();
         match synthesize_baseline_within(problem, &bopts, &bbudget) {
             Ok(s) => {

@@ -10,9 +10,12 @@ use std::time::Duration;
 
 use lambda2::suite::by_name;
 use lambda2::synth::par::{
-    portfolio_report, synthesize_batch, ParEngine, ParTask, PortableProblem,
+    portfolio_report, portfolio_report_traced, synthesize_batch, ParEngine, ParTask,
+    PortableProblem,
 };
-use lambda2::synth::{Problem, Rung, SearchOptions, Stats, SynthError, Synthesizer};
+use lambda2::synth::{
+    CollectTracer, Problem, Rung, SearchOptions, Stats, SynthError, Synthesizer, TraceEvent,
+};
 
 /// Non-hard suite problems that solve in well under a second each.
 const FAST: &[&str] = &[
@@ -208,6 +211,78 @@ fn cancelled_losers_never_corrupt_the_winner() {
         assert_eq!(par.cost, sequential.cost, "round {round}");
         assert_eq!(par.stats.popped, sequential.stats.popped, "round {round}");
     }
+}
+
+/// `--progress` heartbeats under `--portfolio`: the racing rungs run
+/// concurrently, but their telemetry is *replayed* into the caller's
+/// tracer after the race, in ladder order — so a progress-line renderer
+/// (the CLI's `--progress` stderr line) can never interleave heartbeats
+/// from different rungs mid-stream, and the beats within each rung stay
+/// monotone. Heartbeats are volatile observation: toggling them changes
+/// no synthesized result.
+#[test]
+fn portfolio_progress_heartbeats_replay_in_rung_order() {
+    // No total function in the search space maps these inputs to these
+    // outputs cheaply, so every rung grinds past several 200ms heartbeat
+    // intervals before its deadline.
+    let problem = Problem::builder("grind")
+        .param("l", "[int]")
+        .returns("[int]")
+        .example(&["[1 2 3]"], "[999 123 7]")
+        .example(&["[4]"], "[5612]")
+        .example(&["[9 9]"], "[17 3]")
+        .build()
+        .unwrap();
+    let options = SearchOptions {
+        progress: true,
+        timeout: Some(Duration::from_millis(700)),
+        ..SearchOptions::default()
+    };
+    let mut tracer = CollectTracer::default();
+    let report = portfolio_report_traced(&problem, &options, &mut tracer);
+    assert!(report.outcome.is_err(), "grind is inexpressible");
+
+    let beats: Vec<(u64, Duration)> = tracer
+        .events
+        .iter()
+        .filter_map(|e| match e {
+            TraceEvent::Progress { budget, .. } => Some((budget.pops, budget.elapsed)),
+            _ => None,
+        })
+        .collect();
+    assert!(!beats.is_empty(), "no heartbeat from any rung");
+    // Replay is Full, then Degraded, then Baseline: the pop counter may
+    // reset at most at the two rung boundaries, never inside a rung — a
+    // reset mid-rung would mean interleaved (corrupted) heartbeats.
+    let resets = beats.windows(2).filter(|w| w[1].0 < w[0].0).count();
+    assert!(resets <= 2, "{resets} pop-counter resets in {beats:?}");
+
+    // Heartbeats are pure observation under the portfolio too: same
+    // programs, costs, and counters with progress off, on a problem
+    // every rung finishes deterministically (no timeout in play).
+    let problem = &by_name("evens").unwrap().problem;
+    let base = options_for("evens");
+    let run = |progress: bool| {
+        let mut tracer = CollectTracer::default();
+        let options = SearchOptions {
+            progress,
+            ..base.clone()
+        };
+        let report = portfolio_report_traced(problem, &options, &mut tracer);
+        let heartbeats = tracer
+            .events
+            .iter()
+            .any(|e| matches!(e, TraceEvent::Progress { .. }));
+        (report, heartbeats)
+    };
+    let (on, _) = run(true);
+    let (off, off_beats) = run(false);
+    assert!(!off_beats, "progress off must emit no heartbeats");
+    let s_on = on.outcome.expect("solves");
+    let s_off = off.outcome.expect("solves");
+    assert_eq!(s_on.program.to_string(), s_off.program.to_string());
+    assert_eq!(s_on.cost, s_off.cost);
+    assert_eq!(counters(&on.stats), counters(&off.stats));
 }
 
 #[test]
