@@ -22,7 +22,7 @@ use std::time::Duration;
 use lambda2_bench_suite::Benchmark;
 use lambda2_synth::baseline::{synthesize_baseline, BaselineOptions};
 use lambda2_synth::govern::panic_message;
-use lambda2_synth::par::{synthesize_batch, ParEngine, ParTask, PortableProblem};
+use lambda2_synth::par::{synthesize_batch, ParEngine, ParTask};
 use lambda2_synth::{Measurement, SearchOptions, Stats, SynthError, Synthesis, Synthesizer};
 
 pub use lambda2_synth::obs::json::Json;
@@ -127,7 +127,7 @@ pub fn run_benchmarks_parallel(
                 options.deduction = false;
             }
             ParTask {
-                spec: PortableProblem::from_problem(&bench.problem),
+                spec: bench.problem.clone(),
                 options,
                 engine: match engine {
                     Engine::Baseline => ParEngine::Baseline,

@@ -168,6 +168,52 @@ mod tests {
     }
 
     #[test]
+    fn surface_syntax_round_trips_across_the_catalog() {
+        // Pretty-printer ↔ parser audit over every type, value, constant,
+        // and reference solution in the suite: rendering and re-parsing
+        // must be the identity. This is the lossiness hazard the old
+        // string-smuggling thread handoff (`PortableProblem`) lived on;
+        // the handoff is gone, but serve's wire protocol still renders
+        // specs to surface syntax, so the audit stays.
+        use lambda2_lang::parser::{parse_expr, parse_type, parse_value};
+        for b in catalog() {
+            let p = &b.problem;
+            let name = p.name();
+            for (sym, ty) in p.params() {
+                let rendered = ty.to_string();
+                let reparsed = parse_type(&rendered)
+                    .unwrap_or_else(|e| panic!("{name}: param {sym}: `{rendered}`: {e}"));
+                assert_eq!(reparsed, *ty, "{name}: param {sym} type drifts");
+            }
+            let ret = p.return_type().to_string();
+            assert_eq!(
+                parse_type(&ret).unwrap_or_else(|e| panic!("{name}: return `{ret}`: {e}")),
+                *p.return_type(),
+                "{name}: return type drifts"
+            );
+            for (i, ex) in p.examples().iter().enumerate() {
+                for v in ex.inputs.iter().chain([&ex.output]) {
+                    let rendered = v.to_string();
+                    let reparsed = parse_value(&rendered)
+                        .unwrap_or_else(|e| panic!("{name}: example {i}: `{rendered}`: {e}"));
+                    assert_eq!(reparsed, *v, "{name}: example {i} value drifts");
+                }
+            }
+            for c in p.library().constants() {
+                let rendered = c.to_string();
+                let reparsed = parse_value(&rendered)
+                    .unwrap_or_else(|e| panic!("{name}: constant `{rendered}`: {e}"));
+                assert_eq!(reparsed, *c, "{name}: constant drifts");
+            }
+            let body = parse_expr(b.reference).unwrap_or_else(|e| panic!("{name}: reference: {e}"));
+            let rendered = body.to_string();
+            let reparsed = parse_expr(&rendered)
+                .unwrap_or_else(|e| panic!("{name}: rendered reference `{rendered}`: {e}"));
+            assert_eq!(reparsed, body, "{name}: reference expr drifts");
+        }
+    }
+
+    #[test]
     fn every_category_is_represented() {
         let suite = catalog();
         for cat in [Category::Lists, Category::Trees, Category::Nested] {

@@ -33,8 +33,10 @@
 //!   --max-overshoot-ms <n>  deadline overshoot bound (default 100)
 //!   --retry-ladder          on resource exhaustion, retry with degraded
 //!                           options, then the enumerative baseline
-//!   --jobs <n>              run problems across n worker threads
-//!                           (0 = one per CPU; default 1, sequential)
+//!   --jobs <n>              worker threads (0 = one per CPU; default 1,
+//!                           sequential). Several problems: fan the batch
+//!                           across the pool. One problem: parallelize
+//!                           *within* its search (byte-identical results)
 //!   --portfolio             race the retry-ladder rungs concurrently;
 //!                           same answer as --retry-ladder, less wall time
 //!   --no-static-analysis    disable the abstract-interpretation refutation
@@ -58,7 +60,8 @@
 //!                           a structured `overloaded` + retry hint
 //!   --timeout-ms <n>        default per-request budget (default 2000)
 //!   --max-timeout-ms <n>    hard cap on any request's budget (30000)
-//!   --warm-bytes <n>        per-worker warm term-store budget (0 = off)
+//!   --warm-bytes <n>        warm term-store byte budget shared by the
+//!                           whole worker pool (0 = off)
 //!   --drain-grace-ms <n>    how long in-flight jobs get to finish on
 //!                           drain before cancellation (default 1000)
 //!   --corpus <dir>          append every served synthesis to a corpus
@@ -92,7 +95,11 @@
 //! the exit code is nonzero only if at least one problem failed. With
 //! `--jobs`, problems fan out across a worker pool but results are
 //! printed in input order, and `--trace` events carry `problem`/`worker`
-//! tags, so output is deterministic up to timings.
+//! tags, so output is deterministic up to timings. A single-problem
+//! invocation instead spends `--jobs` *inside* the search
+//! ([`SearchOptions::jobs`]): candidate verification fans out to worker
+//! threads while the program, cost, counters, and trace stay
+//! byte-identical to the sequential run.
 //!
 //! Problem files are s-expressions:
 //!
@@ -114,7 +121,6 @@ use lambda2_synth::govern::panic_message;
 use lambda2_synth::obs::json::Json;
 use lambda2_synth::par::{
     effective_jobs, synthesize_batch, tagged_event_json, ParEngine, ParOutcome, ParTask,
-    PortableProblem,
 };
 use lambda2_synth::serve::{request_with_retry, Backoff};
 use lambda2_synth::{
@@ -174,7 +180,7 @@ struct Flags {
     queue: Option<usize>,
     /// `serve`: hard cap on any request's timeout, in milliseconds.
     max_timeout_ms: Option<u64>,
-    /// `serve`: per-worker warm term-store byte budget (0 disables).
+    /// `serve`: pool-shared warm term-store byte budget (0 disables).
     warm_bytes: Option<usize>,
     /// `serve`: drain grace for in-flight jobs, in milliseconds.
     drain_grace_ms: Option<u64>,
@@ -652,7 +658,9 @@ fn report(
 
 fn cmd_synth(paths: &[String], flags: &Flags) -> Result<(), String> {
     let sinks = prepare_sinks(flags)?;
-    if flags.effective_jobs() <= 1 {
+    // A single problem has no batch to fan out: `--jobs` becomes
+    // within-problem parallelism inside the one search instead.
+    if flags.effective_jobs() <= 1 || paths.len() == 1 {
         let mut failed = 0usize;
         for path in paths {
             match load_problem(path) {
@@ -662,7 +670,7 @@ fn cmd_synth(paths: &[String], flags: &Flags) -> Result<(), String> {
                         problem.name(),
                         problem.examples().len()
                     );
-                    let synthesizer = synthesizer_for(flags);
+                    let synthesizer = synthesizer_single(flags);
                     let fingerprint = options_fingerprint(synthesizer.options());
                     let outcome = run_synthesis(&synthesizer, &problem, flags);
                     if !report(&problem, &outcome, flags, &sinks, &fingerprint) {
@@ -698,7 +706,7 @@ fn cmd_synth(paths: &[String], flags: &Flags) -> Result<(), String> {
 /// Packages one problem for the worker pool.
 fn par_task(problem: &Problem, synthesizer: Synthesizer, flags: &Flags) -> ParTask {
     ParTask {
-        spec: PortableProblem::from_problem(problem),
+        spec: problem.clone(),
         options: synthesizer.options().clone(),
         engine: ParEngine::Search,
         portfolio: flags.portfolio,
@@ -825,7 +833,7 @@ fn cmd_run(path: &str, run_args: &[String], flags: &Flags) -> Result<(), String>
         problem.name(),
         problem.examples().len()
     );
-    let synthesizer = synthesizer_for(flags);
+    let synthesizer = synthesizer_single(flags);
     let fingerprint = options_fingerprint(synthesizer.options());
     let outcome = run_synthesis(&synthesizer, &problem, flags);
     if !report(&problem, &outcome, flags, &sinks, &fingerprint) {
@@ -861,7 +869,9 @@ fn cmd_eval(expr: &str, bindings: &[String]) -> Result<(), String> {
 
 fn cmd_bench(names: &[String], flags: &Flags) -> Result<(), String> {
     let sinks = prepare_sinks(flags)?;
-    let parallel = flags.effective_jobs() > 1;
+    // One benchmark: `--jobs` parallelizes within the search rather than
+    // fanning a one-item batch across the pool.
+    let parallel = flags.effective_jobs() > 1 && names.len() > 1;
     let mut failed = 0usize;
     let mut tasks = Vec::new();
     for name in names {
@@ -872,7 +882,10 @@ fn cmd_bench(names: &[String], flags: &Flags) -> Result<(), String> {
         };
         let mut options = bench.tune(SearchOptions::default());
         options.timeout = Some(Duration::from_secs(if bench.hard { 180 } else { 60 }));
-        let options = flags.apply(options);
+        let mut options = flags.apply(options);
+        if names.len() == 1 {
+            options.jobs = flags.effective_jobs();
+        }
         let synthesizer = Synthesizer::with_options(options);
         if parallel {
             tasks.push(par_task(&bench.problem, synthesizer, flags));
@@ -1505,6 +1518,19 @@ fn synthesizer_for(flags: &Flags) -> Synthesizer {
         timeout: Some(Duration::from_secs(60)),
         ..SearchOptions::default()
     });
+    Synthesizer::with_options(options)
+}
+
+/// [`synthesizer_for`] with `--jobs` applied as *within-problem*
+/// parallelism ([`SearchOptions::jobs`]): a single-problem invocation has
+/// no batch to fan out, so the workers verify candidates of the one
+/// search instead. Results are byte-identical to `--jobs 1`.
+fn synthesizer_single(flags: &Flags) -> Synthesizer {
+    let mut options = flags.apply(SearchOptions {
+        timeout: Some(Duration::from_secs(60)),
+        ..SearchOptions::default()
+    });
+    options.jobs = flags.effective_jobs();
     Synthesizer::with_options(options)
 }
 

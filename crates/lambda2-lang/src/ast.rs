@@ -1,13 +1,13 @@
 //! Abstract syntax of the λ² object language.
 //!
-//! Expressions are immutable and share subtrees via [`Rc`]: the synthesizer
+//! Expressions are immutable and share subtrees via [`Arc`]: the synthesizer
 //! creates new hypotheses by rebuilding only the spine from the root to a
 //! hole, which keeps expansion cheap. Holes ([`Expr::Hole`]) are part of the
 //! language so that hypotheses (partial programs) and complete programs are
 //! the same type; evaluation of a hole is an error.
 
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::symbol::Symbol;
 use crate::value::Value;
@@ -268,13 +268,13 @@ pub enum Expr {
     /// A variable reference.
     Var(Symbol),
     /// `(if c t e)`.
-    If(Rc<Expr>, Rc<Expr>, Rc<Expr>),
+    If(Arc<Expr>, Arc<Expr>, Arc<Expr>),
     /// `(lambda (x…) body)`.
-    Lambda(Rc<[Symbol]>, Rc<Expr>),
+    Lambda(Arc<[Symbol]>, Arc<Expr>),
     /// Application of a combinator or closure to arguments.
-    App(Rc<Expr>, Rc<[Expr]>),
+    App(Arc<Expr>, Arc<[Expr]>),
     /// A saturated first-order operator application.
-    Op(Op, Rc<[Expr]>),
+    Op(Op, Arc<[Expr]>),
     /// A built-in combinator in callee position.
     Comb(Comb),
     /// A hole (free metavariable) in a hypothesis.
@@ -307,17 +307,17 @@ impl Expr {
     /// Combinator application, e.g. `Expr::comb(Comb::Map, vec![f, l])`.
     pub fn comb(comb: Comb, args: Vec<Expr>) -> Expr {
         assert_eq!(args.len(), comb.arity(), "arity mismatch for {comb}");
-        Expr::App(Rc::new(Expr::Comb(comb)), args.into())
+        Expr::App(Arc::new(Expr::Comb(comb)), args.into())
     }
 
     /// Lambda abstraction.
     pub fn lambda(params: Vec<Symbol>, body: Expr) -> Expr {
-        Expr::Lambda(params.into(), Rc::new(body))
+        Expr::Lambda(params.into(), Arc::new(body))
     }
 
     /// Conditional.
     pub fn if_(c: Expr, t: Expr, e: Expr) -> Expr {
-        Expr::If(Rc::new(c), Rc::new(t), Rc::new(e))
+        Expr::If(Arc::new(c), Arc::new(t), Arc::new(e))
     }
 
     /// Number of AST nodes. Lambdas count their binder list as one node.
@@ -430,17 +430,17 @@ impl Expr {
     }
 }
 
-fn fill_rc(e: &Rc<Expr>, target: HoleId, filler: &Expr) -> Rc<Expr> {
+fn fill_rc(e: &Arc<Expr>, target: HoleId, filler: &Expr) -> Arc<Expr> {
     let mut holes = Vec::new();
     e.holes(&mut holes);
     if holes.contains(&target) {
-        Rc::new(e.fill_hole(target, filler))
+        Arc::new(e.fill_hole(target, filler))
     } else {
         e.clone()
     }
 }
 
-fn fill_slice(args: &Rc<[Expr]>, target: HoleId, filler: &Expr) -> Rc<[Expr]> {
+fn fill_slice(args: &Arc<[Expr]>, target: HoleId, filler: &Expr) -> Arc<[Expr]> {
     let mut holes = Vec::new();
     for a in args.iter() {
         a.holes(&mut holes);
@@ -518,15 +518,15 @@ mod tests {
 
     #[test]
     fn fill_hole_shares_untouched_subtrees() {
-        let shared = Rc::new(Expr::var("big"));
+        let shared = Arc::new(Expr::var("big"));
         let e = Expr::If(
-            Rc::new(Expr::Hole(1)),
+            Arc::new(Expr::Hole(1)),
             shared.clone(),
-            Rc::new(Expr::int(0)),
+            Arc::new(Expr::int(0)),
         );
         let filled = e.fill_hole(1, &Expr::bool(true));
         match filled {
-            Expr::If(_, t, _) => assert!(Rc::ptr_eq(&t, &shared)),
+            Expr::If(_, t, _) => assert!(Arc::ptr_eq(&t, &shared)),
             _ => panic!("expected if"),
         }
     }

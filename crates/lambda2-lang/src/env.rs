@@ -1,12 +1,12 @@
 //! Persistent evaluation environments.
 //!
-//! Environments are immutable linked lists shared via [`Rc`]. Extending an
+//! Environments are immutable linked lists shared via [`Arc`]. Extending an
 //! environment is O(1) and never invalidates existing references, which the
 //! deduction rules rely on: a deduced sub-example's environment is the parent
 //! example's environment extended with the lambda's binders.
 
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::symbol::Symbol;
 use crate::value::Value;
@@ -28,7 +28,7 @@ use crate::value::Value;
 /// assert_eq!(env.lookup(x), Some(&Value::Int(3)));
 /// ```
 #[derive(Clone, Default)]
-pub struct Env(Option<Rc<EnvNode>>);
+pub struct Env(Option<Arc<EnvNode>>);
 
 struct EnvNode {
     sym: Symbol,
@@ -45,7 +45,7 @@ impl Env {
     /// Returns a new environment with `sym ↦ val` added (shadowing any
     /// earlier binding of `sym`).
     pub fn bind(&self, sym: Symbol, val: Value) -> Env {
-        Env(Some(Rc::new(EnvNode {
+        Env(Some(Arc::new(EnvNode {
             sym,
             val,
             next: self.clone(),

@@ -5,7 +5,7 @@
 //! any evaluation terminates; the synthesizer evaluates millions of
 //! candidate expressions and must never hang on one of them.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::ast::{Comb, Expr};
 use crate::env::Env;
@@ -32,7 +32,7 @@ pub fn eval(expr: &Expr, env: &Env, fuel: &mut u64) -> Result<Value, EvalError> 
         Expr::Var(x) => env.lookup(*x).cloned().ok_or(EvalError::Unbound(*x)),
         Expr::Hole(h) => Err(EvalError::Hole(*h)),
         Expr::Comb(c) => Ok(Value::Comb(*c)),
-        Expr::Lambda(params, body) => Ok(Value::Closure(Rc::new(Closure {
+        Expr::Lambda(params, body) => Ok(Value::Closure(Arc::new(Closure {
             params: params.clone(),
             body: body.clone(),
             env: env.clone(),
@@ -266,7 +266,7 @@ mod tests {
             vec![sym("x")],
             Expr::op(Op::Add, vec![Expr::var("x"), Expr::int(1)]),
         );
-        let app = Expr::App(Rc::new(f), [Expr::int(41)].into());
+        let app = Expr::App(Arc::new(f), [Expr::int(41)].into());
         assert_eq!(run(&app, &Env::empty()), Ok(Value::Int(42)));
     }
 
@@ -434,13 +434,13 @@ mod tests {
 
     #[test]
     fn first_order_values_are_not_applicable() {
-        let e = Expr::App(Rc::new(Expr::int(3)), [Expr::int(1)].into());
+        let e = Expr::App(Arc::new(Expr::int(3)), [Expr::int(1)].into());
         assert_eq!(run(&e, &Env::empty()), Err(EvalError::NotAFunction));
     }
 
     #[test]
     fn combinator_arity_mismatch() {
-        let e = Expr::App(Rc::new(Expr::Comb(Comb::Map)), [Expr::var("l")].into());
+        let e = Expr::App(Arc::new(Expr::Comb(Comb::Map)), [Expr::var("l")].into());
         let env = Env::empty().bind(sym("l"), ints(&[1]));
         assert_eq!(run(&e, &env), Err(EvalError::ArityMismatch));
     }

@@ -45,6 +45,7 @@ pub mod ops;
 pub mod parser;
 pub mod pretty;
 pub mod symbol;
+pub mod term;
 pub mod ty;
 pub mod value;
 

@@ -1,6 +1,6 @@
 //! Semantics and typing of the first-order operators.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::ast::Op;
 use crate::error::EvalError;
@@ -140,7 +140,7 @@ impl Op {
             Op::TreeChildren => {
                 let t = args[0].as_tree().ok_or(EvalError::TypeMismatch)?;
                 let n = t.root().ok_or(EvalError::EmptyTree)?;
-                Ok(Value::List(Rc::new(
+                Ok(Value::List(Arc::new(
                     n.children.iter().cloned().map(Value::Tree).collect(),
                 )))
             }

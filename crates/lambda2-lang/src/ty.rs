@@ -8,7 +8,7 @@
 
 use std::collections::HashMap;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// A λ² object-language type.
 #[derive(Clone, PartialEq, Eq, Hash)]
@@ -18,13 +18,13 @@ pub enum Type {
     /// Booleans.
     Bool,
     /// Homogeneous lists `[τ]`.
-    List(Rc<Type>),
+    List(Arc<Type>),
     /// Rose trees `tree τ`.
-    Tree(Rc<Type>),
+    Tree(Arc<Type>),
     /// Ordered pairs `(pair τ1 τ2)`.
-    Pair(Rc<Type>, Rc<Type>),
+    Pair(Arc<Type>, Arc<Type>),
     /// Uncurried function types `(τ1, …, τn) → τ`.
-    Fun(Rc<[Type]>, Rc<Type>),
+    Fun(Arc<[Type]>, Arc<Type>),
     /// A unification variable.
     Var(u32),
 }
@@ -32,22 +32,22 @@ pub enum Type {
 impl Type {
     /// Builds `[elem]`.
     pub fn list(elem: Type) -> Type {
-        Type::List(Rc::new(elem))
+        Type::List(Arc::new(elem))
     }
 
     /// Builds `tree elem`.
     pub fn tree(elem: Type) -> Type {
-        Type::Tree(Rc::new(elem))
+        Type::Tree(Arc::new(elem))
     }
 
     /// Builds `(pair first second)`.
     pub fn pair(first: Type, second: Type) -> Type {
-        Type::Pair(Rc::new(first), Rc::new(second))
+        Type::Pair(Arc::new(first), Arc::new(second))
     }
 
     /// Builds `(params…) → ret`.
     pub fn fun(params: Vec<Type>, ret: Type) -> Type {
-        Type::Fun(params.into(), Rc::new(ret))
+        Type::Fun(params.into(), Arc::new(ret))
     }
 
     /// `true` if the type mentions no type variables.

@@ -7,7 +7,7 @@
 //! evaluation of higher-order combinators.
 
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::ast::{Comb, Expr};
 use crate::env::Env;
@@ -16,7 +16,7 @@ use crate::ty::Type;
 
 /// A runtime value.
 ///
-/// Lists and trees share their spines via [`Rc`], so cloning a value is O(1);
+/// Lists and trees share their spines via [`Arc`], so cloning a value is O(1);
 /// this matters because deduction rules decompose example values heavily.
 #[derive(Clone)]
 pub enum Value {
@@ -25,13 +25,13 @@ pub enum Value {
     /// A boolean.
     Bool(bool),
     /// A homogeneous list.
-    List(Rc<Vec<Value>>),
+    List(Arc<Vec<Value>>),
     /// A variadic tree (possibly empty).
     Tree(Tree),
     /// An ordered pair.
-    Pair(Rc<(Value, Value)>),
+    Pair(Arc<(Value, Value)>),
     /// A lambda closed over an environment. Never appears in examples.
-    Closure(Rc<Closure>),
+    Closure(Arc<Closure>),
     /// A first-class reference to a built-in combinator.
     Comb(Comb),
 }
@@ -39,9 +39,9 @@ pub enum Value {
 /// A lambda value: parameters, body, and captured environment.
 pub struct Closure {
     /// Binder names, in order.
-    pub params: Rc<[Symbol]>,
+    pub params: Arc<[Symbol]>,
     /// The function body.
-    pub body: Rc<Expr>,
+    pub body: Arc<Expr>,
     /// The captured environment.
     pub env: Env,
 }
@@ -59,7 +59,7 @@ pub struct Closure {
 /// assert_eq!(t.to_string(), "{1 {2} {2}}");
 /// ```
 #[derive(Clone)]
-pub struct Tree(Option<Rc<TreeNode>>);
+pub struct Tree(Option<Arc<TreeNode>>);
 
 /// An interior node of a [`Tree`].
 pub struct TreeNode {
@@ -77,7 +77,7 @@ impl Tree {
 
     /// Builds a node `{value, children…}`.
     pub fn node(value: Value, children: Vec<Tree>) -> Tree {
-        Tree(Some(Rc::new(TreeNode { value, children })))
+        Tree(Some(Arc::new(TreeNode { value, children })))
     }
 
     /// Returns `true` for the empty tree.
@@ -141,7 +141,7 @@ impl Tree {
 impl Value {
     /// Convenience constructor for list values.
     pub fn list(items: Vec<Value>) -> Value {
-        Value::List(Rc::new(items))
+        Value::List(Arc::new(items))
     }
 
     /// The empty list `[]`.
@@ -183,7 +183,7 @@ impl Value {
 
     /// Convenience constructor for pair values.
     pub fn pair(first: Value, second: Value) -> Value {
-        Value::Pair(Rc::new((first, second)))
+        Value::Pair(Arc::new((first, second)))
     }
 
     /// Returns the components, if this is a `Pair`.
@@ -250,7 +250,7 @@ impl PartialEq for Value {
             (Value::Pair(a), Value::Pair(b)) => a.0 == b.0 && a.1 == b.1,
             // Closures compare by identity: good enough for the synthesizer,
             // which never compares higher-order values structurally.
-            (Value::Closure(a), Value::Closure(b)) => Rc::ptr_eq(a, b),
+            (Value::Closure(a), Value::Closure(b)) => Arc::ptr_eq(a, b),
             (Value::Comb(a), Value::Comb(b)) => a == b,
             _ => false,
         }
@@ -288,7 +288,7 @@ impl std::hash::Hash for Value {
             }
             Value::Closure(c) => {
                 state.write_u8(4);
-                state.write_usize(Rc::as_ptr(c) as usize);
+                state.write_usize(Arc::as_ptr(c) as usize);
             }
             Value::Comb(c) => {
                 state.write_u8(5);

@@ -13,7 +13,7 @@
 //! enumerator rather than a pure grammar walk.
 
 use std::collections::{HashMap, HashSet};
-use std::rc::Rc;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use lambda2_lang::ast::{Comb, Expr};
@@ -59,7 +59,7 @@ impl Default for BaselineOptions {
 }
 
 struct Entry {
-    expr: Rc<Expr>,
+    expr: Arc<Expr>,
     ty: Type,
     sig: Vec<Option<Value>>, // None = evaluation error on that row
 }
@@ -175,7 +175,7 @@ pub fn synthesize_baseline_within(
     let mut terms: Vec<Entry> = Vec::new();
     let mut seen: HashSet<(String, Vec<Option<Value>>)> = HashSet::new();
 
-    let test_and_insert = |e: Rc<Expr>,
+    let test_and_insert = |e: Arc<Expr>,
                            ty: Type,
                            sig: Vec<Option<Value>>,
                            level: &mut Vec<usize>,
@@ -230,7 +230,7 @@ pub fn synthesize_baseline_within(
                 });
                 let sig = envs.iter().map(|_| Some(c.clone())).collect();
                 if let Some(p) = test_and_insert(
-                    Rc::new(Expr::Lit(c.clone())),
+                    Arc::new(Expr::Lit(c.clone())),
                     ty,
                     sig,
                     &mut level,
@@ -246,7 +246,7 @@ pub fn synthesize_baseline_within(
             for (sym, ty) in problem.params() {
                 let sig = envs.iter().map(|env| env.lookup(*sym).cloned()).collect();
                 if let Some(p) = test_and_insert(
-                    Rc::new(Expr::Var(*sym)),
+                    Arc::new(Expr::Var(*sym)),
                     ty.clone(),
                     sig,
                     &mut level,
@@ -303,7 +303,7 @@ pub fn synthesize_baseline_within(
                         args.and_then(|a| op.apply(&a).ok())
                     })
                     .collect();
-                let expr = Rc::new(Expr::Op(
+                let expr = Arc::new(Expr::Op(
                     op,
                     combo
                         .iter()
@@ -368,9 +368,9 @@ pub fn synthesize_baseline_within(
                         if body_cost > options.max_lambda_body_cost {
                             break;
                         }
-                        let bodies: Vec<Rc<Expr>> = pool
+                        let bodies: Vec<Arc<Expr>> = pool
                             .closings(body_cost, &body_ty, &Spec::empty())
-                            .map(|t| t.expr.clone())
+                            .map(|t| pool.expr_of(t))
                             .collect();
                         if bodies.is_empty() {
                             continue;
@@ -404,7 +404,7 @@ pub fn synthesize_baseline_within(
                         };
                         for body in &bodies {
                             let lam =
-                                Expr::Lambda(bnames.clone().into(), Rc::new((**body).clone()));
+                                Expr::Lambda(bnames.clone().into(), Arc::new((**body).clone()));
                             for (init, ci) in &splits {
                                 if let Err(e) = budget.tick() {
                                     return Err(e.to_synth_error());
@@ -414,7 +414,7 @@ pub fn synthesize_baseline_within(
                                     args.push((*terms[*ii].expr).clone());
                                 }
                                 args.push((*terms[*ci].expr).clone());
-                                let expr = Rc::new(Expr::comb(comb, args));
+                                let expr = Arc::new(Expr::comb(comb, args));
                                 // Full evaluation per row (lambdas preclude
                                 // compositional signatures).
                                 let sig: Vec<Option<Value>> = envs

@@ -14,12 +14,13 @@
 //! deduction rule.
 
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use lambda2_lang::ast::Expr;
 use lambda2_lang::env::Env;
 use lambda2_lang::error::EvalError;
 use lambda2_lang::symbol::Symbol;
+use lambda2_lang::term::{Node, TermArena, TermId};
 use lambda2_lang::ty::{Subst, Type};
 use lambda2_lang::value::Value;
 
@@ -88,11 +89,12 @@ impl Default for EnumLimits {
     }
 }
 
-/// An enumerated term: expression, type, signature, and cost.
+/// An enumerated term: interned id, type, signature, and cost.
 #[derive(Clone, Debug)]
 pub struct TermEntry {
-    /// The expression (combinator-free, lambda-free).
-    pub expr: Rc<Expr>,
+    /// The interned term (combinator-free, lambda-free) in the owning
+    /// store's arena; materialize with [`TermStore::expr_of`].
+    pub term: TermId,
     /// Its (canonicalized) type; may contain variables for empty containers.
     pub ty: Type,
     /// Its outputs per example environment (empty when there are none).
@@ -110,6 +112,11 @@ pub struct TermStore {
     /// rest are dedup probes. Closing checks and argument values use only
     /// the row part.
     n_rows: usize,
+    /// Hash-consing arena holding every kept term. Append-only: rollbacks
+    /// drop [`TermEntry`]s but never arena nodes — re-building a rolled
+    /// back level re-interns identical content onto identical ids, so the
+    /// store stays a deterministic cache.
+    arena: TermArena,
     terms: Vec<TermEntry>,
     levels: Vec<Vec<usize>>, // levels[k] = indices of terms with cost k
     // Observational-equivalence index: hash of (type, signature) -> term
@@ -168,6 +175,7 @@ impl TermStore {
             scope,
             envs,
             n_rows,
+            arena: TermArena::new(),
             terms: Vec::new(),
             levels: vec![Vec::new()], // level 0 is always empty
             seen: HashMap::new(),
@@ -226,6 +234,28 @@ impl TermStore {
     /// `true` if no terms are stored.
     pub fn is_empty(&self) -> bool {
         self.terms.is_empty()
+    }
+
+    /// Materializes an entry's expression from the arena (memoized:
+    /// repeated extraction of the same term returns one shared `Arc`).
+    pub fn expr_of(&self, t: &TermEntry) -> Arc<Expr> {
+        self.arena.extract(t.term)
+    }
+
+    /// Renders an entry's expression (test/debug aid).
+    pub fn render(&self, t: &TermEntry) -> String {
+        self.arena.render(t.term)
+    }
+
+    /// Asserts that interned-id equality agrees with structural equality
+    /// for every stored term: `intern(extract(id)) == id`. Compiled in
+    /// only under `check-invariants`.
+    #[cfg(feature = "check-invariants")]
+    pub fn assert_term_invariants(&mut self) {
+        for i in 0..self.terms.len() {
+            let id = self.terms[i].term;
+            self.arena.assert_roundtrip(id);
+        }
     }
 
     /// Builds all levels up to and including `cost`.
@@ -394,7 +424,7 @@ impl TermStore {
                     Type::Var(n - 1)
                 });
                 let sig: Signature = self.envs.iter().map(|_| Ok(c.clone())).collect();
-                self.insert(Rc::new(Expr::Lit(c.clone())), ty, sig, cost);
+                self.insert(Node::Lit(c.clone()), ty, sig, cost);
             }
         }
         // Leaves: variables.
@@ -405,7 +435,7 @@ impl TermStore {
                     .iter()
                     .map(|env| env.lookup(sym).cloned().ok_or(EvalError::Unbound(sym)))
                     .collect();
-                self.insert(Rc::new(Expr::Var(sym)), ty.clone(), sig, cost);
+                self.insert(Node::Var(sym), ty.clone(), sig, cost);
             }
         }
 
@@ -566,8 +596,7 @@ impl TermStore {
         if self.all_err(&sig) {
             return;
         }
-        let expr = Rc::new(Expr::Op(op, [(*self.terms[i].expr).clone()].into()));
-        self.insert(expr, ret, sig, cost);
+        self.insert(Node::Op1(op, self.terms[i].term), ret, sig, cost);
     }
 
     fn try_op2(&mut self, op: lambda2_lang::ast::Op, i: usize, j: usize, cost: u32) {
@@ -587,11 +616,12 @@ impl TermStore {
         if self.all_err(&sig) {
             return;
         }
-        let expr = Rc::new(Expr::Op(
-            op,
-            [(*self.terms[i].expr).clone(), (*self.terms[j].expr).clone()].into(),
-        ));
-        self.insert(expr, ret, sig, cost);
+        self.insert(
+            Node::Op2(op, self.terms[i].term, self.terms[j].term),
+            ret,
+            sig,
+            cost,
+        );
     }
 
     fn try_if(&mut self, ci: usize, ti: usize, ei: usize, cost: u32) {
@@ -610,19 +640,23 @@ impl TermStore {
         if self.all_err(&sig) {
             return;
         }
-        let expr = Rc::new(Expr::If(
-            self.terms[ci].expr.clone(),
-            self.terms[ti].expr.clone(),
-            self.terms[ei].expr.clone(),
-        ));
-        self.insert(expr, ret, sig, cost);
+        self.insert(
+            Node::If(
+                self.terms[ci].term,
+                self.terms[ti].term,
+                self.terms[ei].term,
+            ),
+            ret,
+            sig,
+            cost,
+        );
     }
 
     fn all_err(&self, sig: &Signature) -> bool {
         self.n_rows > 0 && sig[..self.n_rows].iter().all(Result::is_err)
     }
 
-    fn insert(&mut self, expr: Rc<Expr>, ty: Type, sig: Signature, cost: u32) {
+    fn insert(&mut self, node: Node, ty: Type, sig: Signature, cost: u32) {
         let ty = canonical(&ty);
         // Observational equivalence: with at least one environment, terms
         // with equal (type, signature) are interchangeable — keep the first
@@ -652,8 +686,13 @@ impl TermStore {
                     Err(_) => 8,
                 })
                 .sum::<usize>();
+        // Intern only terms that survive dedup: the arena holds exactly
+        // the kept universe (entries sharing a structurally identical
+        // term — possible only in dedup-free empty-spec stores — share
+        // one id).
+        let term = self.arena.intern(node);
         self.terms.push(TermEntry {
-            expr,
+            term,
             ty,
             sig,
             cost,
@@ -816,14 +855,18 @@ fn binary_arg_shapes(op: lambda2_lang::ast::Op) -> (Shape, Shape) {
 /// counters differ). Memory is bounded by `max_bytes`: inserting past the
 /// budget evicts least-recently-used entries.
 ///
-/// The store spine is `Rc`-based and thus `!Send` — a `WarmStores` is
-/// confined to one worker thread, which is exactly the shape the serve
-/// pool needs (one cache per worker, no locks).
+/// Since the arena refactor made [`TermStore`] `Send`, a `WarmStores` can
+/// move between threads; for *shared* concurrent access wrap it in a
+/// [`WarmCache`] (one mutex-guarded cache for a whole worker pool).
 #[derive(Debug)]
 pub struct WarmStores {
     max_bytes: usize,
     tick: u64,
     entries: HashMap<(u64, StoreKey), (TermStore, u64)>,
+    /// Incrementally maintained sum of parked stores' `approx_bytes`.
+    /// Audited against a full recomputation under `check-invariants`
+    /// (the PR 3 bug class: evicted entries vanishing from totals).
+    total_bytes: usize,
     hits: u64,
     misses: u64,
     evictions: u64,
@@ -836,6 +879,7 @@ impl WarmStores {
             max_bytes,
             tick: 0,
             entries: HashMap::new(),
+            total_bytes: 0,
             hits: 0,
             misses: 0,
             evictions: 0,
@@ -846,16 +890,19 @@ impl WarmStores {
     /// Ownership moves to the caller (the running search); return it with
     /// [`WarmStores::put`] when the search finishes.
     pub fn take(&mut self, config: u64, key: &StoreKey) -> Option<TermStore> {
-        match self.entries.remove(&(config, key.clone())) {
+        let out = match self.entries.remove(&(config, key.clone())) {
             Some((store, _)) => {
                 self.hits += 1;
+                self.total_bytes -= store.approx_bytes();
                 Some(store)
             }
             None => {
                 self.misses += 1;
                 None
             }
-        }
+        };
+        self.assert_accounting();
+        out
     }
 
     /// Parks a store under `(config, key)`, then evicts least-recently-used
@@ -868,9 +915,13 @@ impl WarmStores {
         }
         let _ = store.take_level_terms();
         self.tick += 1;
-        self.entries.insert((config, key), (store, self.tick));
-        let mut total: usize = self.entries.values().map(|(s, _)| s.approx_bytes()).sum();
-        while total > self.max_bytes && !self.entries.is_empty() {
+        self.total_bytes += store.approx_bytes();
+        if let Some((replaced, _)) = self.entries.insert((config, key), (store, self.tick)) {
+            // Re-parking over an existing entry replaces it; its bytes
+            // must leave the total or the budget leaks upward forever.
+            self.total_bytes -= replaced.approx_bytes();
+        }
+        while self.total_bytes > self.max_bytes && !self.entries.is_empty() {
             let victim = self
                 .entries
                 .iter()
@@ -880,11 +931,12 @@ impl WarmStores {
                 Some((key, bytes)) => {
                     self.entries.remove(&key);
                     self.evictions += 1;
-                    total -= bytes;
+                    self.total_bytes -= bytes;
                 }
                 None => break,
             }
         }
+        self.assert_accounting();
     }
 
     /// Number of stores currently parked.
@@ -897,9 +949,10 @@ impl WarmStores {
         self.entries.is_empty()
     }
 
-    /// Approximate heap footprint of every parked store.
+    /// Approximate heap footprint of every parked store (incrementally
+    /// maintained; O(1)).
     pub fn approx_bytes(&self) -> usize {
-        self.entries.values().map(|(s, _)| s.approx_bytes()).sum()
+        self.total_bytes
     }
 
     /// `(hits, misses, evictions)` since construction.
@@ -910,6 +963,86 @@ impl WarmStores {
     /// Drops every parked store (drain-time release).
     pub fn clear(&mut self) {
         self.entries.clear();
+        self.total_bytes = 0;
+        self.assert_accounting();
+    }
+
+    /// Audits the incremental byte total against a full recomputation.
+    /// A no-op unless `check-invariants` is enabled.
+    #[cfg(feature = "check-invariants")]
+    fn assert_accounting(&self) {
+        let recomputed: usize = self.entries.values().map(|(s, _)| s.approx_bytes()).sum();
+        assert_eq!(
+            self.total_bytes, recomputed,
+            "warm-cache byte accounting drifted from the parked stores"
+        );
+    }
+
+    #[cfg(not(feature = "check-invariants"))]
+    #[inline(always)]
+    fn assert_accounting(&self) {}
+}
+
+/// A thread-shareable warm store cache: one mutex-guarded [`WarmStores`]
+/// for a whole worker pool.
+///
+/// The serve daemon's workers all park into and seed from this single
+/// cache, so a store warmed by one worker serves every later request for
+/// the same signature regardless of which worker picks it up — and the
+/// byte budget bounds the *pool's* total footprint instead of
+/// `workers × budget`. Calls hold the lock only for the cache operation
+/// itself (a map lookup plus byte accounting), never for a search.
+#[derive(Debug)]
+pub struct WarmCache(std::sync::Mutex<WarmStores>);
+
+impl WarmCache {
+    /// An empty shared cache holding at most ~`max_bytes` of footprint.
+    pub fn new(max_bytes: usize) -> WarmCache {
+        WarmCache(std::sync::Mutex::new(WarmStores::new(max_bytes)))
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, WarmStores> {
+        // Cache ops don't panic mid-mutation; a poisoned lock only means
+        // some *other* code panicked while holding it — the data is still
+        // consistent, so recover rather than wedge every worker.
+        self.0
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// [`WarmStores::take`] under the lock.
+    pub fn take(&self, config: u64, key: &StoreKey) -> Option<TermStore> {
+        self.lock().take(config, key)
+    }
+
+    /// [`WarmStores::put`] under the lock.
+    pub fn put(&self, config: u64, key: StoreKey, store: TermStore) {
+        self.lock().put(config, key, store);
+    }
+
+    /// Number of stores currently parked.
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// `true` when nothing is parked.
+    pub fn is_empty(&self) -> bool {
+        self.lock().is_empty()
+    }
+
+    /// Approximate heap footprint of every parked store.
+    pub fn approx_bytes(&self) -> usize {
+        self.lock().approx_bytes()
+    }
+
+    /// `(hits, misses, evictions)` since construction.
+    pub fn counters(&self) -> (u64, u64, u64) {
+        self.lock().counters()
+    }
+
+    /// Drops every parked store (drain-time release).
+    pub fn clear(&self) {
+        self.lock().clear();
     }
 }
 
@@ -1082,7 +1215,7 @@ mod tests {
     fn level_one_contains_leaves() {
         let (mut st, _) = store_with_rows();
         st.ensure(1, &Library::default());
-        let names: Vec<String> = st.at_cost(1).map(|t| t.expr.to_string()).collect();
+        let names: Vec<String> = st.at_cost(1).map(|t| st.render(t)).collect();
         assert!(names.contains(&"l".to_string()));
         assert!(names.contains(&"0".to_string()));
         assert!(names.contains(&"[]".to_string()));
@@ -1094,7 +1227,7 @@ mod tests {
         st.ensure(2, &Library::default());
         let found: Vec<String> = st
             .closings(2, &Type::Int, &spec)
-            .map(|t| t.expr.to_string())
+            .map(|t| st.render(t))
             .collect();
         assert_eq!(found, vec!["(car l)".to_string()]);
     }
@@ -1107,9 +1240,22 @@ mod tests {
         let zeros: Vec<String> = st
             .up_to_cost(3)
             .filter(|t| t.ty == Type::Int && t.sig.iter().all(|s| *s == Ok(Value::Int(0))))
-            .map(|t| t.expr.to_string())
+            .map(|t| st.render(t))
             .collect();
         assert_eq!(zeros, vec!["0".to_string()]);
+    }
+
+    #[cfg(feature = "check-invariants")]
+    #[test]
+    fn interned_id_equality_is_structural_equality() {
+        // The hash-consing contract: extracting a stored term and
+        // re-interning it must land on the same id, for every term the
+        // enumerator ever produced — so id comparison is a sound stand-in
+        // for structural comparison everywhere in the engine.
+        let (mut st, _) = store_with_rows();
+        st.ensure(4, &Library::default());
+        assert!(st.len() > 0, "levels 1..=4 produce terms");
+        st.assert_term_invariants();
     }
 
     #[test]
@@ -1123,7 +1269,7 @@ mod tests {
         .unwrap();
         let mut st = TermStore::new(scope, &spec, EnumLimits::default());
         st.ensure(3, &Library::default());
-        assert!(!st.up_to_cost(3).any(|t| t.expr.to_string() == "(car l)"));
+        assert!(!st.up_to_cost(3).any(|t| st.render(t) == "(car l)"));
     }
 
     #[test]
@@ -1131,13 +1277,13 @@ mod tests {
         let (mut st, _) = store_with_rows();
         st.ensure(2, &Library::default());
         let colls = st.collections(2);
-        let names: Vec<String> = colls.iter().map(|(t, _)| t.expr.to_string()).collect();
+        let names: Vec<String> = colls.iter().map(|(t, _)| st.render(t)).collect();
         assert!(names.contains(&"l".to_string()));
         assert!(names.contains(&"(cdr l)".to_string()));
         // (cdr l) values are per-row tails.
         let (_, vals) = colls
             .iter()
-            .find(|(t, _)| t.expr.to_string() == "(cdr l)")
+            .find(|(t, _)| st.render(t) == "(cdr l)")
             .unwrap();
         assert_eq!(vals[0], parse_value("[2]").unwrap());
         assert_eq!(vals[1], parse_value("[]").unwrap());
@@ -1160,7 +1306,7 @@ mod tests {
         for k in 1..=6 {
             st.ensure(k, &lib);
             if let Some(t) = st.closings(k, &Type::Int, &spec).next() {
-                found = Some(t.expr.to_string());
+                found = Some(st.render(t));
                 break;
             }
         }
@@ -1229,7 +1375,7 @@ mod tests {
         st.ensure(3, &Library::default());
         let names: Vec<String> = st
             .closings(3, &Type::Int, &spec)
-            .map(|t| t.expr.to_string())
+            .map(|t| st.render(t))
             .collect();
         assert!(names.iter().any(|n| n == "(+ a x)"), "{names:?}");
         assert!(names.iter().any(|n| n == "(+ v x)"), "{names:?}");
@@ -1254,7 +1400,7 @@ mod tests {
         st.ensure(3, &Library::default());
         let names: Vec<String> = st
             .closings(3, &Type::list(Type::Int), &spec)
-            .map(|t| t.expr.to_string())
+            .map(|t| st.render(t))
             .collect();
         assert!(names.iter().any(|n| n == "(cat a x)"), "{names:?}");
     }
@@ -1292,8 +1438,8 @@ mod tests {
         st.ensure(3, &Library::default());
         let (mut fresh, _) = store_with_rows();
         fresh.ensure(3, &Library::default());
-        let rebuilt: Vec<String> = st.up_to_cost(3).map(|t| t.expr.to_string()).collect();
-        let scratch: Vec<String> = fresh.up_to_cost(3).map(|t| t.expr.to_string()).collect();
+        let rebuilt: Vec<String> = st.up_to_cost(3).map(|t| st.render(t)).collect();
+        let scratch: Vec<String> = fresh.up_to_cost(3).map(|t| fresh.render(t)).collect();
         assert_eq!(rebuilt, scratch);
     }
 

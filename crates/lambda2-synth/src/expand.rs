@@ -13,7 +13,7 @@
 //! lists per hole context and stamps out children with
 //! [`Template::instantiate`], which costs two fresh hole ids and a clone.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use lambda2_lang::ast::{Comb, Expr, HoleId};
 use lambda2_lang::symbol::Symbol;
@@ -49,7 +49,7 @@ pub enum ExpandFail {
 #[derive(Clone, Debug)]
 pub struct Candidate<'a> {
     /// The collection expression.
-    pub expr: &'a Rc<Expr>,
+    pub expr: &'a Arc<Expr>,
     /// Its (canonical) type.
     pub ty: &'a Type,
     /// Its value in each example row of the hole being expanded.
@@ -65,13 +65,13 @@ pub struct Template {
     /// The combinator.
     pub comb: Comb,
     /// The collection expression.
-    pub coll: Rc<Expr>,
+    pub coll: Arc<Expr>,
     /// The concrete initial-value expression, for folds.
-    pub init: Option<Rc<Expr>>,
+    pub init: Option<Arc<Expr>>,
     /// Lambda binder symbols, in combinator argument order.
     pub binders: Vec<Symbol>,
     /// Metadata for the function-body hole (deduced spec included).
-    pub body_info: Rc<HoleInfo>,
+    pub body_info: Arc<HoleInfo>,
     /// Cost delta: child cost = parent cost − hole_min + delta.
     pub delta_cost: u32,
 }
@@ -89,7 +89,7 @@ impl Template {
         let body_hole = *next_hole;
         *next_hole += 1;
         let lambda = Expr::lambda(self.binders.clone(), Expr::Hole(body_hole));
-        let new_holes = vec![(body_hole, Rc::clone(&self.body_info))];
+        let new_holes = vec![(body_hole, Arc::clone(&self.body_info))];
         let args: Vec<Expr> = match &self.init {
             Some(init) => vec![lambda, (**init).clone(), (*self.coll).clone()],
             None => vec![lambda, (*self.coll).clone()],
@@ -295,7 +295,7 @@ pub fn plan_expansion_within(
     for (b, t) in binders.iter().zip(&binder_tys) {
         body_scope.push((*b, s.apply(t)));
     }
-    let body_info = Rc::new(HoleInfo::with_probes(
+    let body_info = Arc::new(HoleInfo::with_probes(
         s.apply(&body_ty),
         body_scope,
         deduction.fun_spec,
@@ -350,7 +350,7 @@ pub struct ConsTemplate {
     /// The constructor operator (`cons`, `pair` or `tree`).
     pub op: lambda2_lang::ast::Op,
     /// Metadata for the two component holes, left to right.
-    pub parts: [Rc<HoleInfo>; 2],
+    pub parts: [Arc<HoleInfo>; 2],
     /// Cost delta: child cost = parent cost − hole_min + delta.
     pub delta_cost: u32,
 }
@@ -370,8 +370,8 @@ impl ConsTemplate {
         *next_hole += 2;
         let skeleton = Expr::op(self.op, vec![Expr::Hole(a), Expr::Hole(b)]);
         let new_holes = vec![
-            (a, Rc::clone(&self.parts[0])),
-            (b, Rc::clone(&self.parts[1])),
+            (a, Arc::clone(&self.parts[0])),
+            (b, Arc::clone(&self.parts[1])),
         ];
         let cost = hyp.cost - costs.hole_min() + self.delta_cost;
         hyp.fill(hole, &skeleton, new_holes, cost)
@@ -415,8 +415,8 @@ pub fn plan_constructors(info: &HoleInfo, costs: &CostModel) -> Vec<ConsTemplate
                 out.push(ConsTemplate {
                     op: Op::Cons,
                     parts: [
-                        Rc::new(HoleInfo::new((**elem).clone(), info.scope.clone(), hspec)),
-                        Rc::new(HoleInfo::new(info.ty.clone(), info.scope.clone(), tspec)),
+                        Arc::new(HoleInfo::new((**elem).clone(), info.scope.clone(), hspec)),
+                        Arc::new(HoleInfo::new(info.ty.clone(), info.scope.clone(), tspec)),
                     ],
                     delta_cost: delta,
                 });
@@ -445,8 +445,8 @@ pub fn plan_constructors(info: &HoleInfo, costs: &CostModel) -> Vec<ConsTemplate
                 out.push(ConsTemplate {
                     op: Op::MkPair,
                     parts: [
-                        Rc::new(HoleInfo::new((**a_ty).clone(), info.scope.clone(), fspec)),
-                        Rc::new(HoleInfo::new((**b_ty).clone(), info.scope.clone(), sspec)),
+                        Arc::new(HoleInfo::new((**a_ty).clone(), info.scope.clone(), fspec)),
+                        Arc::new(HoleInfo::new((**b_ty).clone(), info.scope.clone(), sspec)),
                     ],
                     delta_cost: delta,
                 });
@@ -480,8 +480,8 @@ pub fn plan_constructors(info: &HoleInfo, costs: &CostModel) -> Vec<ConsTemplate
                 out.push(ConsTemplate {
                     op: Op::TreeMake,
                     parts: [
-                        Rc::new(HoleInfo::new((**elem).clone(), info.scope.clone(), vspec)),
-                        Rc::new(HoleInfo::new(
+                        Arc::new(HoleInfo::new((**elem).clone(), info.scope.clone(), vspec)),
+                        Arc::new(HoleInfo::new(
                             Type::list(info.ty.clone()),
                             info.scope.clone(),
                             cspec,
@@ -551,7 +551,7 @@ mod tests {
         (Hypothesis::root(info, &CostModel::default()), vals)
     }
 
-    fn var_candidate<'a>(expr: &'a Rc<Expr>, ty: &'a Type, values: Vec<Value>) -> Candidate<'a> {
+    fn var_candidate<'a>(expr: &'a Arc<Expr>, ty: &'a Type, values: Vec<Value>) -> Candidate<'a> {
         Candidate {
             expr,
             ty,
@@ -565,7 +565,7 @@ mod tests {
         let (h, vals) = root_with_examples(&[("[1 2]", "[2 3]")], Type::list(Type::Int));
         let (hole, info) = h.first_hole().unwrap();
         let info = info.clone();
-        let expr = Rc::new(Expr::var("l"));
+        let expr = Arc::new(Expr::var("l"));
         let ty = Type::list(Type::Int);
         let mut next = 1;
         let child = expand_combinator(
@@ -594,7 +594,7 @@ mod tests {
         let (h, vals) = root_with_examples(&[("[1 2]", "[2 3]")], Type::list(Type::Int));
         let (hole, info) = h.first_hole().unwrap();
         let info = info.clone();
-        let expr = Rc::new(Expr::var("l"));
+        let expr = Arc::new(Expr::var("l"));
         let ty = Type::list(Type::Int);
         let cand = var_candidate(&expr, &ty, vals);
         let t = plan_expansion(&info, Comb::Map, &cand, None, &CostModel::default(), true).unwrap();
@@ -607,7 +607,7 @@ mod tests {
         // Both children share the same HoleInfo allocation.
         let i1 = c1.first_hole().unwrap().1;
         let i2 = c2.first_hole().unwrap().1;
-        assert!(Rc::ptr_eq(i1, i2));
+        assert!(Arc::ptr_eq(i1, i2));
     }
 
     #[test]
@@ -615,7 +615,7 @@ mod tests {
         let (h, vals) = root_with_examples(&[("[1 2]", "[2]")], Type::list(Type::Int));
         let (_, info) = h.first_hole().unwrap();
         let info = info.clone();
-        let expr = Rc::new(Expr::var("l"));
+        let expr = Arc::new(Expr::var("l"));
         let ty = Type::list(Type::Int);
         let err = plan_expansion(
             &info,
@@ -652,7 +652,7 @@ mod tests {
         let (h, vals) = root_with_examples(&[("[1 2]", "3")], Type::Int);
         let (_, info) = h.first_hole().unwrap();
         let info = info.clone();
-        let expr = Rc::new(Expr::var("l"));
+        let expr = Arc::new(Expr::var("l"));
         let ty = Type::list(Type::Int);
         let err = plan_expansion(
             &info,
@@ -671,9 +671,9 @@ mod tests {
         let (h, vals) = root_with_examples(&[("[]", "0"), ("[1]", "1")], Type::Int);
         let (hole, info) = h.first_hole().unwrap();
         let info = info.clone();
-        let expr = Rc::new(Expr::var("l"));
+        let expr = Arc::new(Expr::var("l"));
         let ty = Type::list(Type::Int);
-        let init_expr = Rc::new(Expr::int(0));
+        let init_expr = Arc::new(Expr::int(0));
         let init_ty = Type::Int;
         let init = Candidate {
             expr: &init_expr,
@@ -706,7 +706,7 @@ mod tests {
         assert_eq!(next, 2);
 
         // A wrong init value is refuted by the [] example.
-        let bad_expr = Rc::new(Expr::int(7));
+        let bad_expr = Arc::new(Expr::int(7));
         let bad = Candidate {
             expr: &bad_expr,
             ty: &init_ty,
@@ -757,7 +757,7 @@ mod tests {
         let h = Hypothesis::root(info, &CostModel::default());
         let (hole, info) = h.first_hole().unwrap();
         let info = info.clone();
-        let expr = Rc::new(Expr::var("t"));
+        let expr = Arc::new(Expr::var("t"));
         let ty = Type::tree(Type::Int);
         let mut next = 1;
         let child = expand_combinator(

@@ -548,6 +548,46 @@ impl SearchReport {
         }
     }
 
+    /// Like [`SearchReport::to_measurement`] with the bench harness's
+    /// charging convention: solved runs report their own synthesis time
+    /// and counters, timeouts are charged the full `budget`, other
+    /// failures report zero elapsed.
+    pub fn to_measurement_budgeted(
+        &self,
+        name: &str,
+        examples: usize,
+        budget: Duration,
+    ) -> crate::stats::Measurement {
+        match &self.outcome {
+            Ok(s) => crate::stats::Measurement {
+                name: name.to_owned(),
+                elapsed: s.elapsed,
+                solved: true,
+                cost: s.cost,
+                size: s.program.body().size(),
+                program: s.program.to_string(),
+                examples,
+                stats: s.stats.clone(),
+                error: None,
+            },
+            Err(e) => crate::stats::Measurement {
+                name: name.to_owned(),
+                elapsed: if matches!(e, SynthError::Timeout) {
+                    budget
+                } else {
+                    Duration::ZERO
+                },
+                solved: false,
+                cost: 0,
+                size: 0,
+                program: String::new(),
+                examples,
+                stats: crate::stats::Stats::default(),
+                error: Some(e.to_string()),
+            },
+        }
+    }
+
     /// Serializes the report (minus the program itself — see
     /// [`crate::stats::Measurement`] for the harness record) as JSON.
     pub fn to_json(&self) -> Json {

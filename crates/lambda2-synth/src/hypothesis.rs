@@ -7,7 +7,7 @@
 //! completion — each hole is priced at the cheapest possible leaf — which
 //! is what makes best-first search return the *simplest* fitting program.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use lambda2_lang::ast::{Expr, HoleId};
 use lambda2_lang::symbol::Symbol;
@@ -63,7 +63,7 @@ pub struct Hypothesis {
     /// The program body (parameters live in the enclosing [`crate::verify::Program`]).
     pub expr: Expr,
     /// Open holes in left-to-right order, paired with their metadata.
-    holes: Vec<(HoleId, Rc<HoleInfo>)>,
+    holes: Vec<(HoleId, Arc<HoleInfo>)>,
     /// Admissible lower bound on the cost of any completion.
     pub cost: u32,
 }
@@ -73,7 +73,7 @@ impl Hypothesis {
     pub fn root(info: HoleInfo, costs: &CostModel) -> Hypothesis {
         Hypothesis {
             expr: Expr::Hole(0),
-            holes: vec![(0, Rc::new(info))],
+            holes: vec![(0, Arc::new(info))],
             cost: costs.hole_min(),
         }
     }
@@ -84,12 +84,12 @@ impl Hypothesis {
     }
 
     /// The leftmost open hole, if any.
-    pub fn first_hole(&self) -> Option<(HoleId, &Rc<HoleInfo>)> {
+    pub fn first_hole(&self) -> Option<(HoleId, &Arc<HoleInfo>)> {
         self.holes.first().map(|(h, i)| (*h, i))
     }
 
     /// All open holes, leftmost first.
-    pub fn holes(&self) -> &[(HoleId, Rc<HoleInfo>)] {
+    pub fn holes(&self) -> &[(HoleId, Arc<HoleInfo>)] {
         &self.holes
     }
 
@@ -106,7 +106,7 @@ impl Hypothesis {
         &self,
         hole: HoleId,
         filler: &Expr,
-        new_holes: Vec<(HoleId, Rc<HoleInfo>)>,
+        new_holes: Vec<(HoleId, Arc<HoleInfo>)>,
         cost: u32,
     ) -> Hypothesis {
         let pos = self
@@ -159,7 +159,7 @@ mod tests {
                 Expr::var("l"),
             ],
         );
-        let child = h.fill(0, &skeleton, vec![(1, Rc::new(info(Type::Int)))], 7);
+        let child = h.fill(0, &skeleton, vec![(1, Arc::new(info(Type::Int)))], 7);
         assert_eq!(child.expr.to_string(), "(map (lambda (x) ?1) l)");
         assert_eq!(child.first_hole().unwrap().0, 1);
         assert_eq!(child.cost, 7);
@@ -187,7 +187,10 @@ mod tests {
         let child = h.fill(
             0,
             &skeleton,
-            vec![(1, Rc::new(info(Type::Int))), (2, Rc::new(info(Type::Int)))],
+            vec![
+                (1, Arc::new(info(Type::Int))),
+                (2, Arc::new(info(Type::Int))),
+            ],
             10,
         );
         let ids: Vec<HoleId> = child.holes().iter().map(|(h, _)| *h).collect();

@@ -71,7 +71,7 @@ pub mod verify;
 pub use analyze::lint::{lint_source, Diagnostic};
 pub use analyze::{RefuteDomain, Verdict};
 pub use cost::CostModel;
-pub use enumerate::WarmStores;
+pub use enumerate::{WarmCache, WarmStores};
 pub use govern::{
     Attempt, Budget, BudgetExceeded, BudgetSnapshot, CancelToken, FrontierItem, Rung, SearchReport,
 };
@@ -92,8 +92,7 @@ pub use obs::{
 };
 pub use par::{
     effective_jobs, portfolio_report, portfolio_report_traced, run_pool, synthesize_batch,
-    ParEngine, ParOutcome, ParTask, PoolItem, PortableLibrary, PortableProblem, PortableReport,
-    PortableSynthesis,
+    ParEngine, ParOutcome, ParTask, PoolItem,
 };
 pub use problem::{Example, Problem, ProblemBuilder, ProblemError};
 pub use search::{

@@ -146,6 +146,7 @@ pub fn options_fingerprint(options: &SearchOptions) -> String {
         constructor_hypotheses,
         trace_probes,
         expand_blind_holes,
+        jobs,
         metrics: _,  // observation-only: never forks a baseline
         progress: _, // observation-only: never forks a baseline
     } = options;
@@ -159,11 +160,21 @@ pub fn options_fingerprint(options: &SearchOptions) -> String {
         None => "none".to_owned(),
     };
     let mut material = String::new();
-    for (key, value) in [
+    let mut pairs = vec![
         ("constructor_hypotheses", constructor_hypotheses.to_string()),
         ("deduction", deduction.to_string()),
         ("eval_fuel", eval_fuel.to_string()),
         ("expand_blind_holes", expand_blind_holes.to_string()),
+    ];
+    // `jobs` is proven byte-identical to sequential (the determinism
+    // suite), so jobs=1 — every record written before the field existed —
+    // must keep its fingerprint; a non-default value is still rendered so
+    // parallel runs fork their own baselines (their wall-clock
+    // distributions differ even though counters do not).
+    if *jobs != 1 {
+        pairs.push(("jobs", jobs.to_string()));
+    }
+    pairs.extend([
         ("max_collection_cost", max_collection_cost.to_string()),
         ("max_cost", max_cost.to_string()),
         ("max_free_init_cost", max_free_init_cost.to_string()),
@@ -181,7 +192,8 @@ pub fn options_fingerprint(options: &SearchOptions) -> String {
         ("synthetic_probes", synthetic_probes.to_string()),
         ("timeout_ms", timeout_ms),
         ("trace_probes", trace_probes.to_string()),
-    ] {
+    ]);
+    for (key, value) in pairs {
         material.push_str(key);
         material.push('=');
         material.push_str(&value);

@@ -1,17 +1,14 @@
 //! Parallel synthesis: a hand-rolled worker pool for multi-problem
 //! batches and a within-problem *portfolio racer*.
 //!
-//! The engine's data spine (`Problem`/`Library`/`Value`) deliberately uses
-//! `Rc`, keeping the evaluation hot path free of atomic reference counts —
-//! so none of it is `Send`. Rather than converting the spine to `Arc`
-//! (taxing every `clone` in the innermost evaluator loops for the benefit
-//! of a once-per-problem handoff), work crosses threads as a
-//! [`PortableProblem`]: a string-rendered spec (the same surface syntax
-//! the parser already round-trips) that each worker re-parses into a
-//! thread-local `Problem`. The symbol interner is a global mutex, so
-//! symbols stay consistent across threads. Results come back as a
-//! [`PortableReport`] with the winning program *rendered*; callers that
-//! need a runnable [`Program`] re-parse the body on their own thread.
+//! The engine's data spine (`Problem`/`Library`/`Value`/`Expr`) shares
+//! structure via `Arc`, so problems and reports are `Send` and cross
+//! threads directly — workers borrow the very same `Problem` the caller
+//! holds, and results come back as ordinary [`SearchReport`]s. (Earlier
+//! revisions smuggled work across threads as string-rendered specs that
+//! each worker re-parsed; the arena/`Arc` spine made that layer — and its
+//! render→re-parse lossiness hazard — unnecessary.) The symbol interner
+//! is a global mutex, so symbols stay consistent across threads.
 //!
 //! Two drivers build on the [`run_pool`] primitive (std `thread` + `mpsc`;
 //! the container has no crates.io access, so no rayon):
@@ -28,282 +25,22 @@
 //!   the ladder enabled; only wall-clock time changes. Irrelevant rungs
 //!   are cancelled through shared [`CancelToken`]s and their partial
 //!   results discarded, never merged.
+//!
+//! For parallelism *within* a single search (one shared queue, verification
+//! fan-out) see [`crate::search::SearchOptions::jobs`].
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{mpsc, Mutex};
 use std::time::{Duration, Instant};
 
-use lambda2_lang::ast::{Comb, Op};
-use lambda2_lang::parser::{parse_expr, parse_value};
-
 use crate::baseline::{synthesize_baseline_within, BaselineOptions};
-use crate::cost::CostModel;
-use crate::govern::{
-    panic_message, Attempt, Budget, BudgetSnapshot, CancelToken, FrontierItem, Rung, SearchReport,
-};
-use crate::library::Library;
+use crate::govern::{panic_message, Attempt, Budget, CancelToken, Rung, SearchReport};
 use crate::obs::json::Json;
 use crate::obs::{CollectTracer, NoopTracer, TraceEvent, Tracer};
 use crate::problem::Problem;
-use crate::search::{search_governed, SearchOptions, SynthError, Synthesis};
-use crate::stats::{Measurement, Stats};
+use crate::search::{search_governed, SearchOptions, Synthesis};
+use crate::stats::Stats;
 use crate::synthesizer::Synthesizer;
-use crate::verify::Program;
-
-// ---------------------------------------------------------------------------
-// Portable (Send) mirrors of the Rc-carrying spine.
-// ---------------------------------------------------------------------------
-
-/// A `Send` mirror of a [`Library`]: operators and combinators are `Copy`
-/// enums, constants are rendered to surface syntax.
-#[derive(Clone, Debug)]
-pub struct PortableLibrary {
-    /// First-order operators, in library order.
-    pub ops: Vec<Op>,
-    /// Combinators, in library order.
-    pub combs: Vec<Comb>,
-    /// Literal constants, rendered with their `Display` form.
-    pub constants: Vec<String>,
-    /// The cost model (plain data, already `Send`).
-    pub costs: CostModel,
-}
-
-impl PortableLibrary {
-    /// Captures `library` for a thread crossing.
-    pub fn from_library(library: &Library) -> PortableLibrary {
-        PortableLibrary {
-            ops: library.ops().to_vec(),
-            combs: library.combs().to_vec(),
-            constants: library
-                .constants()
-                .iter()
-                .map(ToString::to_string)
-                .collect(),
-            costs: library.costs().clone(),
-        }
-    }
-
-    /// Reassembles the library on the receiving thread.
-    ///
-    /// # Errors
-    ///
-    /// Reports the first constant that fails to re-parse (cannot happen
-    /// for values rendered by `Display`, which round-trips).
-    pub fn rebuild(&self) -> Result<Library, String> {
-        let mut constants = Vec::with_capacity(self.constants.len());
-        for c in &self.constants {
-            constants.push(parse_value(c).map_err(|e| format!("constant `{c}`: {e}"))?);
-        }
-        Ok(Library::default()
-            .without_ops(&Op::ALL)
-            .with_ops(&self.ops)
-            .without_combs(&Comb::ALL)
-            .with_combs(&self.combs)
-            .with_constants(constants)
-            .with_costs(self.costs.clone()))
-    }
-}
-
-/// A `Send` mirror of a [`Problem`]: signature, examples, and library
-/// rendered to the surface syntax the parser round-trips. Workers call
-/// [`PortableProblem::rebuild`] to get a thread-local `Problem` that is
-/// observably identical to the original (the global symbol interner keeps
-/// parameter symbols consistent across threads).
-#[derive(Clone, Debug)]
-pub struct PortableProblem {
-    /// Problem name.
-    pub name: String,
-    /// Optional description.
-    pub description: Option<String>,
-    /// Parameters as `(name, rendered type)`.
-    pub params: Vec<(String, String)>,
-    /// Rendered return type.
-    pub returns: String,
-    /// Examples as `(rendered inputs, rendered output)`.
-    pub examples: Vec<(Vec<String>, String)>,
-    /// The component library.
-    pub library: PortableLibrary,
-}
-
-impl PortableProblem {
-    /// Captures `problem` for a thread crossing.
-    pub fn from_problem(problem: &Problem) -> PortableProblem {
-        PortableProblem {
-            name: problem.name().to_owned(),
-            description: problem.description().map(ToOwned::to_owned),
-            params: problem
-                .params()
-                .iter()
-                .map(|(sym, ty)| (sym.to_string(), ty.to_string()))
-                .collect(),
-            returns: problem.return_type().to_string(),
-            examples: problem
-                .examples()
-                .iter()
-                .map(|ex| {
-                    (
-                        ex.inputs.iter().map(ToString::to_string).collect(),
-                        ex.output.to_string(),
-                    )
-                })
-                .collect(),
-            library: PortableLibrary::from_library(problem.library()),
-        }
-    }
-
-    /// Reassembles the problem on the receiving thread.
-    ///
-    /// # Errors
-    ///
-    /// Reports the first piece that fails to re-parse (cannot happen for
-    /// specs rendered by [`PortableProblem::from_problem`]).
-    pub fn rebuild(&self) -> Result<Problem, String> {
-        let mut b = Problem::builder(self.name.as_str());
-        if let Some(d) = &self.description {
-            b = b.describe(d.clone());
-        }
-        for (name, ty) in &self.params {
-            b = b.param(name, ty);
-        }
-        b = b.returns(&self.returns);
-        for (inputs, output) in &self.examples {
-            let refs: Vec<&str> = inputs.iter().map(String::as_str).collect();
-            b = b.example(&refs, output);
-        }
-        b = b.library(self.library.rebuild()?);
-        b.build().map_err(|e| e.to_string())
-    }
-}
-
-/// A `Send` mirror of a successful [`Synthesis`]: the program is rendered;
-/// re-parse `body` with the problem's parameters to run it.
-#[derive(Clone, Debug)]
-pub struct PortableSynthesis {
-    /// The full program, rendered (`(lambda (…) …)`).
-    pub program: String,
-    /// The program body alone, re-parseable with `parse_expr`.
-    pub body: String,
-    /// Cost under the problem's cost model.
-    pub cost: u32,
-    /// Body size in AST nodes.
-    pub size: usize,
-    /// The winning attempt's own counters.
-    pub stats: Stats,
-    /// The winning attempt's own wall-clock time.
-    pub elapsed: Duration,
-}
-
-impl PortableSynthesis {
-    fn from_synthesis(s: &Synthesis) -> PortableSynthesis {
-        PortableSynthesis {
-            program: s.program.to_string(),
-            body: s.program.body().to_string(),
-            cost: s.cost,
-            size: s.program.body().size(),
-            stats: s.stats.clone(),
-            elapsed: s.elapsed,
-        }
-    }
-}
-
-/// A `Send` mirror of a [`SearchReport`].
-#[derive(Clone, Debug)]
-pub struct PortableReport {
-    /// The terminal result.
-    pub outcome: Result<PortableSynthesis, SynthError>,
-    /// Best-cost open hypotheses at termination (empty on success).
-    pub frontier: Vec<FrontierItem>,
-    /// Counters merged across attempts, exactly as the sequential report.
-    pub stats: Stats,
-    /// Total wall-clock time across attempts.
-    pub elapsed: Duration,
-    /// Resource accounting of the primary attempt's budget.
-    pub budget: BudgetSnapshot,
-    /// Every attempt made, in ladder order.
-    pub attempts: Vec<Attempt>,
-}
-
-impl PortableReport {
-    /// Captures a [`SearchReport`] for the trip back across the channel.
-    pub fn from_report(report: &SearchReport) -> PortableReport {
-        PortableReport {
-            outcome: report
-                .outcome
-                .as_ref()
-                .map(PortableSynthesis::from_synthesis)
-                .map_err(Clone::clone),
-            frontier: report.frontier.clone(),
-            stats: report.stats.clone(),
-            elapsed: report.elapsed,
-            budget: report.budget,
-            attempts: report.attempts.clone(),
-        }
-    }
-
-    /// `true` when a program was found.
-    pub fn is_success(&self) -> bool {
-        self.outcome.is_ok()
-    }
-
-    /// Mirror of [`SearchReport::to_measurement`]: total elapsed, merged
-    /// stats.
-    pub fn to_measurement(&self, name: &str, examples: usize) -> Measurement {
-        let (cost, size, program) = match &self.outcome {
-            Ok(s) => (s.cost, s.size, s.program.clone()),
-            Err(_) => (0, 0, String::new()),
-        };
-        Measurement {
-            name: name.to_owned(),
-            elapsed: self.elapsed,
-            solved: self.is_success(),
-            cost,
-            size,
-            program,
-            examples,
-            stats: self.stats.clone(),
-            error: self.outcome.as_ref().err().map(ToString::to_string),
-        }
-    }
-
-    /// Mirror of the bench harness's `measurement_of` conversion: solved
-    /// runs report their own synthesis time and counters, timeouts are
-    /// charged the full `budget`, other failures report zero elapsed.
-    pub fn to_measurement_budgeted(
-        &self,
-        name: &str,
-        examples: usize,
-        budget: Duration,
-    ) -> Measurement {
-        match &self.outcome {
-            Ok(s) => Measurement {
-                name: name.to_owned(),
-                elapsed: s.elapsed,
-                solved: true,
-                cost: s.cost,
-                size: s.size,
-                program: s.program.clone(),
-                examples,
-                stats: s.stats.clone(),
-                error: None,
-            },
-            Err(e) => Measurement {
-                name: name.to_owned(),
-                elapsed: if matches!(e, SynthError::Timeout) {
-                    budget
-                } else {
-                    Duration::ZERO
-                },
-                solved: false,
-                cost: 0,
-                size: 0,
-                program: String::new(),
-                examples,
-                stats: Stats::default(),
-                error: Some(e.to_string()),
-            },
-        }
-    }
-}
 
 // ---------------------------------------------------------------------------
 // The worker pool.
@@ -399,8 +136,8 @@ pub enum ParEngine {
 /// One unit of work for [`synthesize_batch`].
 #[derive(Clone, Debug)]
 pub struct ParTask {
-    /// The problem, in portable form.
-    pub spec: PortableProblem,
+    /// The problem to solve (`Arc`-spined, shared across threads as-is).
+    pub spec: Problem,
     /// Fully resolved search options (the worker applies them verbatim).
     pub options: SearchOptions,
     /// Which engine to run.
@@ -422,8 +159,8 @@ pub struct ParOutcome {
     pub name: String,
     /// Number of examples in the problem.
     pub examples: usize,
-    /// The report, or the rendered panic/rebuild-failure message.
-    pub result: Result<PortableReport, String>,
+    /// The report, or the rendered panic message.
+    pub result: Result<SearchReport, String>,
     /// Trace events, when the task asked for them (empty otherwise).
     pub events: Vec<TraceEvent>,
     /// Time the task spent queued before a worker picked it up. Also
@@ -441,7 +178,7 @@ pub struct ParOutcome {
 pub fn synthesize_batch(tasks: Vec<ParTask>, jobs: usize) -> Vec<ParOutcome> {
     let names: Vec<(String, usize)> = tasks
         .iter()
-        .map(|t| (t.spec.name.clone(), t.spec.examples.len()))
+        .map(|t| (t.spec.name().to_owned(), t.spec.examples().len()))
         .collect();
     // All tasks are submitted before any worker starts; the gap between
     // this instant and a worker's pickup is pure scheduling delay.
@@ -485,11 +222,8 @@ pub fn synthesize_batch(tasks: Vec<ParTask>, jobs: usize) -> Vec<ParOutcome> {
 
 /// Runs one task on the current thread (panics propagate to the pool's
 /// per-item isolation).
-fn run_task(task: &ParTask) -> (PortableReport, Vec<TraceEvent>) {
-    let problem = task
-        .spec
-        .rebuild()
-        .unwrap_or_else(|e| panic!("rebuilding problem `{}`: {e}", task.spec.name));
+fn run_task(task: &ParTask) -> (SearchReport, Vec<TraceEvent>) {
+    let problem = &task.spec;
     let mut tracer = CollectTracer::default();
     let mut noop = NoopTracer;
     let report = match task.engine {
@@ -501,9 +235,9 @@ fn run_task(task: &ParTask) -> (PortableReport, Vec<TraceEvent>) {
                 &mut noop
             };
             if task.portfolio {
-                portfolio_report_traced(&problem, synthesizer.options(), tr)
+                portfolio_report_traced(problem, synthesizer.options(), tr)
             } else {
-                synthesizer.synthesize_report_traced(&problem, tr)
+                synthesizer.synthesize_report_traced(problem, tr)
             }
         }
         ParEngine::Baseline => {
@@ -514,7 +248,7 @@ fn run_task(task: &ParTask) -> (PortableReport, Vec<TraceEvent>) {
             };
             let budget = Budget::new(task.options.timeout, task.options.max_overshoot);
             let start = Instant::now();
-            let outcome = synthesize_baseline_within(&problem, &bopts, &budget);
+            let outcome = synthesize_baseline_within(problem, &bopts, &budget);
             let elapsed = start.elapsed();
             let stats = outcome
                 .as_ref()
@@ -534,7 +268,7 @@ fn run_task(task: &ParTask) -> (PortableReport, Vec<TraceEvent>) {
             }
         }
     };
-    (PortableReport::from_report(&report), tracer.events)
+    (report, tracer.events)
 }
 
 /// Tags one trace event with the problem and worker that produced it —
@@ -557,11 +291,7 @@ pub fn tagged_event_json(event: &TraceEvent, problem: &str, worker: usize) -> Js
 
 /// One rung's complete result, shipped back from its racing thread.
 struct RungRun {
-    outcome: Result<PortableSynthesis, SynthError>,
-    frontier: Vec<FrontierItem>,
-    stats: Stats,
-    elapsed: Duration,
-    budget: BudgetSnapshot,
+    report: SearchReport,
     events: Vec<TraceEvent>,
     panic: Option<String>,
 }
@@ -586,7 +316,7 @@ pub fn portfolio_report(problem: &Problem, options: &SearchOptions) -> SearchRep
 /// program, cost, attempt log, and merged stats are identical to
 /// `Synthesizer::synthesize_report` with `retry_ladder` enabled — rungs
 /// the sequential ladder would not have run are cancelled and their
-/// partial results discarded, not merged. Only wall-clock time differs:
+/// partial results discarded, never merged. Only wall-clock time differs:
 /// the race costs at most one deadline instead of three.
 ///
 /// Trace events from the winning path are replayed into `tracer` in
@@ -597,7 +327,6 @@ pub fn portfolio_report_traced(
     tracer: &mut dyn Tracer,
 ) -> SearchReport {
     let overall = Instant::now();
-    let spec = PortableProblem::from_problem(problem);
     let collect = tracer.enabled();
     let full_options = SearchOptions {
         retry_ladder: false,
@@ -615,14 +344,13 @@ pub fn portfolio_report_traced(
         {
             let tx = tx.clone();
             let token = tokens[i].clone();
-            let spec = &spec;
             let rung_options = match rung {
                 Rung::Full => &full_options,
                 Rung::Degraded => &degraded_options,
                 Rung::Baseline => options,
             };
             scope.spawn(move || {
-                let run = run_rung(spec, rung, rung_options, &token, collect);
+                let run = run_rung(problem, rung, rung_options, &token, collect);
                 let _ = tx.send((i, run));
             });
         }
@@ -634,7 +362,7 @@ pub fn portfolio_report_traced(
             // outright, or the ladder stops at the degraded success.
             if runs[1]
                 .as_ref()
-                .is_some_and(|d| d.panic.is_none() && d.outcome.is_ok())
+                .is_some_and(|d| d.panic.is_none() && d.report.outcome.is_ok())
             {
                 tokens[2].cancel();
             }
@@ -642,7 +370,7 @@ pub fn portfolio_report_traced(
             // failure, the race is decided: cancel both fallback lanes.
             if let Some(full) = &runs[0] {
                 let retryable = full.panic.is_none()
-                    && matches!(&full.outcome, Err(e) if e.is_resource_limit());
+                    && matches!(&full.report.outcome, Err(e) if e.is_resource_limit());
                 if !retryable {
                     tokens[1].cancel();
                     tokens[2].cancel();
@@ -653,14 +381,14 @@ pub fn portfolio_report_traced(
 
     let full = runs[0].as_ref().expect("full rung always reports");
     let retryable =
-        full.panic.is_none() && matches!(&full.outcome, Err(e) if e.is_resource_limit());
+        full.panic.is_none() && matches!(&full.report.outcome, Err(e) if e.is_resource_limit());
 
     // The rung path the sequential ladder would have walked.
     let mut path: Vec<(usize, Rung)> = vec![(0, Rung::Full)];
     if retryable {
         path.push((1, Rung::Degraded));
         let degraded = runs[1].as_ref().expect("degraded rung always reports");
-        if degraded.panic.is_some() || degraded.outcome.is_err() {
+        if degraded.panic.is_some() || degraded.report.outcome.is_err() {
             path.push((2, Rung::Baseline));
         }
     }
@@ -687,13 +415,13 @@ pub fn portfolio_report_traced(
     let mut attempts = Vec::new();
     for (i, rung) in &path {
         let run = runs[*i].as_ref().expect("path rung reported");
-        if *rung != Rung::Baseline || run.outcome.is_ok() {
-            stats.merge(&run.stats);
+        if *rung != Rung::Baseline || run.report.outcome.is_ok() {
+            stats.merge(&run.report.stats);
         }
         attempts.push(Attempt {
             rung: *rung,
-            error: run.outcome.as_ref().err().cloned(),
-            elapsed: run.elapsed,
+            error: run.report.outcome.as_ref().err().cloned(),
+            elapsed: run.report.elapsed,
         });
     }
 
@@ -705,6 +433,7 @@ pub fn portfolio_report_traced(
             runs[*i]
                 .as_ref()
                 .expect("path rung reported")
+                .report
                 .outcome
                 .is_ok()
         })
@@ -712,28 +441,18 @@ pub fn portfolio_report_traced(
     let (outcome, frontier) = match winner {
         Some(i) => {
             let run = runs[i].as_ref().expect("winner reported");
-            let win = run.outcome.as_ref().expect("winner succeeded");
-            let body = parse_expr(&win.body)
-                .unwrap_or_else(|e| panic!("synthesized program `{}` re-parses: {e}", win.body));
-            let program = Program::new(problem.params().to_vec(), body);
-            (
-                Ok(Synthesis {
-                    program,
-                    cost: win.cost,
-                    stats: win.stats.clone(),
-                    elapsed: win.elapsed,
-                }),
-                Vec::new(),
-            )
+            let win: &Synthesis = run.report.outcome.as_ref().expect("winner succeeded");
+            (Ok(win.clone()), Vec::new())
         }
         None => (
             Err(full
+                .report
                 .outcome
                 .as_ref()
                 .err()
                 .cloned()
                 .expect("no winner implies the full rung failed")),
-            full.frontier.clone(),
+            full.report.frontier.clone(),
         ),
     };
 
@@ -742,7 +461,7 @@ pub fn portfolio_report_traced(
         frontier,
         stats,
         elapsed: overall.elapsed(),
-        budget: full.budget,
+        budget: full.report.budget,
         attempts,
     }
 }
@@ -752,77 +471,67 @@ pub fn portfolio_report_traced(
 /// (a cancelled loser's crash is discarded; a winner-path crash
 /// propagates).
 fn run_rung(
-    spec: &PortableProblem,
+    problem: &Problem,
     rung: Rung,
     options: &SearchOptions,
     token: &CancelToken,
     collect: bool,
 ) -> RungRun {
     let start = Instant::now();
-    let caught = catch_unwind(AssertUnwindSafe(|| {
-        let problem = spec
-            .rebuild()
-            .unwrap_or_else(|e| panic!("rebuilding problem `{}`: {e}", spec.name));
-        match rung {
-            Rung::Full | Rung::Degraded => {
-                let budget = Budget::for_search(options).with_cancel(token);
-                let mut tracer = CollectTracer::default();
-                let mut noop = NoopTracer;
-                let report = {
-                    let tr: &mut dyn Tracer = if collect { &mut tracer } else { &mut noop };
-                    search_governed(&problem, options, &budget, tr)
-                };
-                RungRun {
-                    outcome: report
-                        .outcome
-                        .as_ref()
-                        .map(PortableSynthesis::from_synthesis)
-                        .map_err(Clone::clone),
-                    frontier: report.frontier,
-                    stats: report.stats,
-                    elapsed: report.elapsed,
-                    budget: report.budget,
-                    events: tracer.events,
-                    panic: None,
-                }
+    let caught = catch_unwind(AssertUnwindSafe(|| match rung {
+        Rung::Full | Rung::Degraded => {
+            let budget = Budget::for_search(options).with_cancel(token);
+            let mut tracer = CollectTracer::default();
+            let mut noop = NoopTracer;
+            let report = {
+                let tr: &mut dyn Tracer = if collect { &mut tracer } else { &mut noop };
+                search_governed(problem, options, &budget, tr)
+            };
+            RungRun {
+                report,
+                events: tracer.events,
+                panic: None,
             }
-            Rung::Baseline => {
-                // Mirrors the sequential ladder's third rung: wall-clock
-                // and fuel budgets only, defaults otherwise.
-                let bopts = BaselineOptions {
-                    timeout: options.timeout,
-                    eval_fuel: options.eval_fuel,
-                    ..BaselineOptions::default()
-                };
-                let budget = Budget::new(options.timeout, options.max_overshoot).with_cancel(token);
-                let outcome = synthesize_baseline_within(&problem, &bopts, &budget);
-                let elapsed = start.elapsed();
-                RungRun {
+        }
+        Rung::Baseline => {
+            // Mirrors the sequential ladder's third rung: wall-clock
+            // and fuel budgets only, defaults otherwise.
+            let bopts = BaselineOptions {
+                timeout: options.timeout,
+                eval_fuel: options.eval_fuel,
+                ..BaselineOptions::default()
+            };
+            let budget = Budget::new(options.timeout, options.max_overshoot).with_cancel(token);
+            let outcome = synthesize_baseline_within(problem, &bopts, &budget);
+            let elapsed = start.elapsed();
+            RungRun {
+                report: SearchReport {
                     stats: outcome
                         .as_ref()
                         .map(|s| s.stats.clone())
                         .unwrap_or_default(),
-                    outcome: outcome
-                        .as_ref()
-                        .map(PortableSynthesis::from_synthesis)
-                        .map_err(Clone::clone),
+                    outcome,
                     frontier: Vec::new(),
                     elapsed,
                     budget: budget.snapshot(),
-                    events: Vec::new(),
-                    panic: None,
-                }
+                    attempts: Vec::new(),
+                },
+                events: Vec::new(),
+                panic: None,
             }
         }
     }));
     caught.unwrap_or_else(|payload| RungRun {
-        // Placeholder verdict; the coordinator checks `panic` first and
+        // Placeholder report; the coordinator checks `panic` first and
         // never reads a panicked rung's outcome.
-        outcome: Err(SynthError::Cancelled),
-        frontier: Vec::new(),
-        stats: Stats::default(),
-        elapsed: start.elapsed(),
-        budget: Budget::unlimited().snapshot(),
+        report: SearchReport {
+            outcome: Err(crate::search::SynthError::Cancelled),
+            frontier: Vec::new(),
+            stats: Stats::default(),
+            elapsed: start.elapsed(),
+            budget: Budget::unlimited().snapshot(),
+            attempts: Vec::new(),
+        },
         events: Vec::new(),
         panic: Some(panic_message(&*payload)),
     })
@@ -842,37 +551,6 @@ mod tests {
             .example(&["[1 2 3]"], "6")
             .build()
             .unwrap()
-    }
-
-    #[test]
-    fn portable_problem_round_trips() {
-        let p = sum_problem();
-        let spec = PortableProblem::from_problem(&p);
-        let q = spec.rebuild().expect("rebuilds");
-        assert_eq!(q.name(), p.name());
-        assert_eq!(q.params(), p.params());
-        assert_eq!(q.return_type(), p.return_type());
-        assert_eq!(q.examples().len(), p.examples().len());
-        for (a, b) in p.examples().iter().zip(q.examples()) {
-            assert_eq!(a.inputs, b.inputs);
-            assert_eq!(a.output, b.output);
-        }
-        assert_eq!(q.library().ops(), p.library().ops());
-        assert_eq!(q.library().combs(), p.library().combs());
-        assert_eq!(q.library().constants(), p.library().constants());
-    }
-
-    #[test]
-    fn portable_library_round_trips_custom_vocabulary() {
-        let lib = Library::default()
-            .without_ops(&[Op::Cat])
-            .with_ops(&[Op::Member])
-            .without_combs(&[Comb::Recl])
-            .with_constant(lambda2_lang::value::Value::Int(7));
-        let rebuilt = PortableLibrary::from_library(&lib).rebuild().unwrap();
-        assert_eq!(rebuilt.ops(), lib.ops());
-        assert_eq!(rebuilt.combs(), lib.combs());
-        assert_eq!(rebuilt.constants(), lib.constants());
     }
 
     #[test]
@@ -905,7 +583,7 @@ mod tests {
         let p = sum_problem();
         let direct = Synthesizer::default().synthesize(&p).expect("solves");
         let task = ParTask {
-            spec: PortableProblem::from_problem(&p),
+            spec: p.clone(),
             options: SearchOptions::default(),
             engine: ParEngine::Search,
             portfolio: false,
@@ -916,7 +594,7 @@ mod tests {
         assert_eq!(outcomes[0].name, "sum");
         let report = outcomes[0].result.as_ref().expect("no panic");
         let win = report.outcome.as_ref().expect("solved");
-        assert_eq!(win.program, direct.program.to_string());
+        assert_eq!(win.program.to_string(), direct.program.to_string());
         assert_eq!(win.cost, direct.cost);
         assert_eq!(win.stats.popped, direct.stats.popped);
         assert_eq!(win.stats.enumerated_terms, direct.stats.enumerated_terms);

@@ -30,9 +30,9 @@
 //! every path; [`search`]/[`search_traced`] are thin `Result` wrappers.
 
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::rc::Rc;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use lambda2_lang::ast::{Comb, Expr, HoleId};
@@ -40,7 +40,7 @@ use lambda2_lang::env::Env;
 use lambda2_lang::ty::Type;
 
 use crate::cost::CostModel;
-use crate::enumerate::{canonical, EnumLimits, StoreKey, TermStore, WarmStores};
+use crate::enumerate::{canonical, EnumLimits, StoreKey, TermStore, WarmCache};
 use crate::expand::{
     plan_constructors, plan_expansion_within, Candidate, ConsTemplate, ExpandFail, Template,
 };
@@ -155,6 +155,18 @@ pub struct SearchOptions {
     ///
     /// [`Stats::metrics`]: crate::stats::Stats::metrics
     pub metrics: bool,
+    /// Worker threads for *within-problem* parallelism (1 = fully
+    /// sequential, the default). With `jobs > 1` the search drains runs
+    /// of equal-cost entries from the head of the priority queue and
+    /// verifies the complete candidates among them on up to `jobs`
+    /// threads stealing from a shared index; every verdict is applied
+    /// back on the coordinating thread in deterministic `(cost, seq)`
+    /// order. Enumeration, deduction planning, and store management stay
+    /// on the coordinating thread. The synthesized program, its cost,
+    /// every counter, and the trace are byte-identical to a sequential
+    /// run (wall-clock phase histograms excepted — they measure real
+    /// time); only speed changes.
+    pub jobs: usize,
     /// Emit periodic [`TraceEvent::Progress`] heartbeats into the tracer,
     /// riding the governing budget's adaptive poll cadence (at most one
     /// per [`crate::govern::HEARTBEAT_INTERVAL`], so overhead is bounded
@@ -188,6 +200,7 @@ impl Default for SearchOptions {
             constructor_hypotheses: false,
             trace_probes: true,
             expand_blind_holes: false,
+            jobs: 1,
             metrics: true,
             progress: false,
         }
@@ -325,7 +338,7 @@ enum Kind {
     Apply {
         hyp: Hypothesis,
         hole: HoleId,
-        templates: Rc<Vec<Planned>>,
+        templates: Arc<Vec<Planned>>,
         index: usize,
     },
     Close {
@@ -419,12 +432,15 @@ pub fn search_governed(
 /// [`search_governed`] with an optional cross-search warm store cache.
 ///
 /// When `warm` is provided, the search seeds enumeration stores from the
-/// cache (keyed by [`warm_config_fingerprint`] + [`StoreKey`]) instead of
-/// building them cold, and parks its live stores back into the cache when
-/// it finishes. Reuse is semantically transparent: a store's contents are
-/// a deterministic function of its key, the library, and the enumeration
-/// limits, and every read is bounded by the cost the search asks for — so
-/// the synthesized program, its cost, and the attempt ladder are identical
+/// shared [`WarmCache`] (keyed by [`warm_config_fingerprint`] +
+/// [`StoreKey`]) instead of building them cold, and parks its live stores
+/// back into the cache when it finishes. The cache is mutex-guarded, so a
+/// whole worker pool shares one instance (and one byte budget); the lock
+/// is held only per take/put, never across search phases. Reuse is
+/// semantically transparent: a store's contents are a deterministic
+/// function of its key, the library, and the enumeration limits, and
+/// every read is bounded by the cost the search asks for — so the
+/// synthesized program, its cost, and the attempt ladder are identical
 /// warm or cold. Only work counters ([`Stats::enumerated_terms`],
 /// [`Stats::warm_hits`]) differ, reflecting the work actually saved.
 pub fn search_governed_warm(
@@ -432,7 +448,7 @@ pub fn search_governed_warm(
     options: &SearchOptions,
     budget: &Budget,
     tracer: &mut dyn Tracer,
-    mut warm: Option<&mut WarmStores>,
+    warm: Option<&WarmCache>,
 ) -> SearchReport {
     let start = Instant::now();
     let library = problem.library();
@@ -475,7 +491,7 @@ pub fn search_governed_warm(
     // term budget.
     let mut stores: HashMap<StoreKey, (TermStore, u64)> = HashMap::new();
     let mut store_tick: u64 = 0;
-    let mut templates: HashMap<(StoreKey, Type), Rc<Vec<Planned>>> = HashMap::new();
+    let mut templates: HashMap<(StoreKey, Type), Arc<Vec<Planned>>> = HashMap::new();
     let mut queue: BinaryHeap<Entry> = BinaryHeap::new();
     let mut seq: u64 = 0;
     let mut next_hole: HoleId = 1;
@@ -492,69 +508,122 @@ pub fn search_governed_warm(
     #[cfg(feature = "check-invariants")]
     let mut last_popped_cost: u32 = 0;
 
+    let jobs = options.jobs.max(1);
     let outcome: Result<(Program, u32), SynthError> = 'search: {
-        while let Some(entry) = queue.pop() {
-            stats.popped += 1;
-            if options.metrics {
-                // Depth after the pop, before this item's children push.
-                stats.metrics.queue_depth.record_usize(queue.len());
-                stats.metrics.pop_cost.record(u64::from(entry.cost));
+        while let Some(first) = queue.pop() {
+            // Parallel rounds (`jobs > 1`): drain the run of equal-cost
+            // entries at the head of the queue and speculatively verify
+            // the complete hypotheses among them on worker threads, then
+            // process every entry strictly in original `seq` order on
+            // this thread, consuming the precomputed verdicts. The round
+            // is order-safe: any child an entry pushes carries a strictly
+            // larger `seq` than every drained entry, so even a sequential
+            // run would pop the whole run before any of their children.
+            // All accounting happens at apply time, in apply order, which
+            // is what makes `--jobs N` byte-identical to `--jobs 1`.
+            let round_cost = first.cost;
+            let mut round: VecDeque<Entry> = VecDeque::new();
+            round.push_back(first);
+            if jobs > 1 {
+                while round.len() < ROUND_CAP && queue.peek().is_some_and(|e| e.cost == round_cost)
+                {
+                    round.push_back(queue.pop().expect("peeked entry exists"));
+                }
             }
-            #[cfg(feature = "check-invariants")]
-            {
-                assert!(
-                    entry.cost >= last_popped_cost,
-                    "queue admissibility violated: popped cost {} after {}",
-                    entry.cost,
-                    last_popped_cost
-                );
-                last_popped_cost = entry.cost;
-            }
-            if tracer.enabled() {
-                let (kind, hyp) = match &entry.kind {
-                    Kind::Hyp(h) => (PopKind::Hypothesis, h),
-                    Kind::Apply { hyp, .. } => (PopKind::Apply, hyp),
-                    Kind::Close { hyp, .. } => (PopKind::Close, hyp),
-                };
-                tracer.emit(TraceEvent::Pop {
-                    n: stats.popped,
-                    kind,
-                    cost: entry.cost,
-                    holes: hyp.holes().len(),
-                    sketch: hyp.expr.to_string(),
-                });
-            }
-            if let Some(FailAction::ExpireDeadline) = failpoints::check("search.pop") {
-                budget.force_expire();
-            }
-            if let Err(e) = budget.note_pop() {
-                break 'search Err(e.to_synth_error());
-            }
-            // Live-progress heartbeat: consumes the governor's poll-armed
-            // flag, so cadence (and overhead) is bounded by the heartbeat
-            // interval however fast pops are. Observation-only: nothing
-            // here feeds back into the search.
-            if options.progress && budget.take_heartbeat() {
-                tracer.emit(TraceEvent::Progress {
-                    budget: budget.snapshot(),
-                    queue: queue.len(),
-                    best_cost: entry.cost,
-                    phases: stats.phases,
-                });
-            }
-            if stats.popped % 65_536 == 0 && std::env::var_os("LAMBDA2_STORE_DEBUG").is_some() {
-                let rss = std::fs::read_to_string("/proc/self/status")
-                    .ok()
-                    .and_then(|s| {
-                        s.lines()
-                            .find(|l| l.starts_with("VmRSS"))
-                            .map(|l| l.trim().to_owned())
+            let mut preruns: HashMap<u64, PreRun> = HashMap::new();
+            if jobs > 1 {
+                let complete: Vec<&Entry> = round
+                    .iter()
+                    .filter(|e| match &e.kind {
+                        Kind::Hyp(h) => h.cost <= options.max_cost && h.is_complete(),
+                        _ => false,
                     })
-                    .unwrap_or_default();
-                eprintln!(
+                    .collect();
+                if complete.len() >= 2 {
+                    // Fail-point decisions are taken here, on the
+                    // coordinating thread, in seq order — workers only
+                    // execute what they are handed.
+                    let tasks: Vec<(&Expr, Option<FailAction>)> = complete
+                        .iter()
+                        .map(|e| match &e.kind {
+                            Kind::Hyp(h) => (&h.expr, failpoints::check("verify.candidate")),
+                            _ => unreachable!("filtered to hypotheses"),
+                        })
+                        .collect();
+                    let runs = preverify(problem, options.eval_fuel, jobs, &tasks);
+                    preruns = complete.iter().map(|e| e.seq).zip(runs).collect();
+                }
+            }
+            let aborted: Option<Result<(Program, u32), SynthError>> = 'round: {
+                while let Some(entry) = round.pop_front() {
+                    stats.popped += 1;
+                    if options.metrics {
+                        // Depth after the pop, before this item's children push.
+                        // Undrained round entries would still be queued at this
+                        // point in a sequential run, so they count as depth.
+                        stats
+                            .metrics
+                            .queue_depth
+                            .record_usize(queue.len() + round.len());
+                        stats.metrics.pop_cost.record(u64::from(entry.cost));
+                    }
+                    #[cfg(feature = "check-invariants")]
+                    {
+                        assert!(
+                            entry.cost >= last_popped_cost,
+                            "queue admissibility violated: popped cost {} after {}",
+                            entry.cost,
+                            last_popped_cost
+                        );
+                        last_popped_cost = entry.cost;
+                    }
+                    if tracer.enabled() {
+                        let (kind, hyp) = match &entry.kind {
+                            Kind::Hyp(h) => (PopKind::Hypothesis, h),
+                            Kind::Apply { hyp, .. } => (PopKind::Apply, hyp),
+                            Kind::Close { hyp, .. } => (PopKind::Close, hyp),
+                        };
+                        tracer.emit(TraceEvent::Pop {
+                            n: stats.popped,
+                            kind,
+                            cost: entry.cost,
+                            holes: hyp.holes().len(),
+                            sketch: hyp.expr.to_string(),
+                        });
+                    }
+                    if let Some(FailAction::ExpireDeadline) = failpoints::check("search.pop") {
+                        budget.force_expire();
+                    }
+                    if let Err(e) = budget.note_pop() {
+                        break 'round Some(Err(e.to_synth_error()));
+                    }
+                    // Live-progress heartbeat: consumes the governor's poll-armed
+                    // flag, so cadence (and overhead) is bounded by the heartbeat
+                    // interval however fast pops are. Observation-only: nothing
+                    // here feeds back into the search.
+                    if options.progress && budget.take_heartbeat() {
+                        tracer.emit(TraceEvent::Progress {
+                            budget: budget.snapshot(),
+                            queue: queue.len() + round.len(),
+                            best_cost: entry.cost,
+                            phases: stats.phases,
+                        });
+                    }
+                    if stats.popped % 65_536 == 0
+                        && std::env::var_os("LAMBDA2_STORE_DEBUG").is_some()
+                    {
+                        let rss = std::fs::read_to_string("/proc/self/status")
+                            .ok()
+                            .and_then(|s| {
+                                s.lines()
+                                    .find(|l| l.starts_with("VmRSS"))
+                                    .map(|l| l.trim().to_owned())
+                            })
+                            .unwrap_or_default();
+                        eprintln!(
                     "[debug] popped {}k queue {} stores {} terms {} ~{}MB templates {} (sum {} max {}) {rss}",
                     stats.popped / 1024,
-                    queue.len(),
+                    queue.len() + round.len(),
                     stores.len(),
                     stores.values().map(|(s, _)| s.len()).sum::<usize>(),
                     stores.values().map(|(s, _)| s.approx_bytes()).sum::<usize>() / 1_048_576,
@@ -562,237 +631,133 @@ pub fn search_governed_warm(
                     templates.values().map(|t| t.len()).sum::<usize>(),
                     templates.values().map(|t| t.len()).max().unwrap_or(0),
                 );
-            }
-
-            let entry_cost = entry.cost;
-            match entry.kind {
-                Kind::Hyp(hyp) => {
-                    if hyp.cost > options.max_cost {
-                        continue;
                     }
-                    if hyp.is_complete() {
-                        match verify_candidate(
-                            problem, &hyp.expr, hyp.cost, options, budget, &mut stats, tracer,
-                        ) {
-                            Verdict::Pass(program) => {
-                                if std::env::var_os("LAMBDA2_STORE_DEBUG").is_some() {
-                                    let mut sizes: Vec<usize> =
-                                        stores.values().map(|(s, _)| s.len()).collect();
-                                    sizes.sort_unstable_by(|a, b| b.cmp(a));
-                                    eprintln!(
-                                        "[debug] {} stores, sizes top10 {:?}, total {}",
-                                        sizes.len(),
-                                        &sizes[..sizes.len().min(10)],
-                                        sizes.iter().sum::<usize>()
-                                    );
-                                }
-                                break 'search Ok((program, hyp.cost));
-                            }
-                            Verdict::Fail => {
-                                stats.verify_failures += 1;
+
+                    let entry_cost = entry.cost;
+                    let entry_seq = entry.seq;
+                    match entry.kind {
+                        Kind::Hyp(hyp) => {
+                            if hyp.cost > options.max_cost {
                                 continue;
                             }
-                            Verdict::Fault => continue,
-                            Verdict::Budget(e) => break 'search Err(e.to_synth_error()),
-                        }
-                    }
-
-                    let (hole, info) = hyp.first_hole().expect("incomplete has a hole");
-                    let info = Rc::clone(info);
-
-                    // (a) Closing stream for this hole, starting at the
-                    // cheapest term tier.
-                    let tier0 = costs.hole_min();
-                    seq += 1;
-                    queue.push(Entry {
-                        cost: hyp.cost - costs.hole_min() + tier0,
-                        seq,
-                        kind: Kind::Close {
-                            hyp: hyp.clone(),
-                            hole,
-                            tier: tier0,
-                        },
-                    });
-
-                    // (b) Combinator expansions, via the per-hole-context
-                    // template cache. Skip planning entirely when even the
-                    // cheapest conceivable template (comb + lambda + two
-                    // leaves) cannot fit the global budget — deep holes near
-                    // the cost ceiling otherwise pay for stores they never use.
-                    let min_comb_cost = library
-                        .combs()
-                        .iter()
-                        .map(|c| costs.comb_cost(*c))
-                        .min()
-                        .unwrap_or(u32::MAX);
-                    let min_delta = min_comb_cost
-                        .saturating_add(costs.lambda)
-                        .saturating_add(2 * costs.hole_min());
-                    if hyp.cost - costs.hole_min() + min_delta > options.max_cost {
-                        continue;
-                    }
-                    if options.deduction && !options.expand_blind_holes && info.spec.is_empty() {
-                        // Deduction had nothing to say about this hole;
-                        // closings (first-order terms) remain available.
-                        continue;
-                    }
-                    let tkey = (info.store_key.clone(), canonical(&info.ty));
-                    let planned = match templates.get(&tkey) {
-                        Some(ts) => Rc::clone(ts),
-                        None => {
-                            let t_enum = Instant::now();
-                            let store = touch_store(
-                                &mut stores,
-                                &mut store_tick,
-                                &info,
-                                options,
-                                &mut stats,
-                                tracer,
-                                &mut warm,
-                                warm_config,
-                            );
-                            // The collection pool is cheap (cost <= 3); the
-                            // larger init pool is only materialized when some
-                            // collection candidate actually has empty-collection
-                            // rows to constrain it.
-                            let before = store.inserted();
-                            if let Err(e) =
-                                store.ensure_within(options.max_collection_cost, library, budget)
-                            {
-                                stats.enumerated_terms += store.inserted() - before;
-                                note_phase(
-                                    &mut stats.phases.enumerate,
-                                    &mut stats.metrics.enumerate_us,
-                                    options.metrics,
-                                    t_enum.elapsed(),
-                                );
-                                break 'search Err(e.to_synth_error());
-                            }
-                            let needs_deep_inits = options.deduction
-                                && store.collections(options.max_collection_cost).iter().any(
-                                    |(_, vals)| {
-                                        vals.iter().any(|v| match v {
-                                            lambda2_lang::value::Value::List(xs) => xs.is_empty(),
-                                            lambda2_lang::value::Value::Tree(t) => t.is_empty(),
-                                            _ => false,
-                                        })
-                                    },
-                                );
-                            let arg_cost = if needs_deep_inits {
-                                options.max_collection_cost.max(options.max_init_cost)
-                            } else {
-                                options.max_collection_cost.max(options.max_free_init_cost)
-                            };
-                            if let Err(e) = store.ensure_within(arg_cost, library, budget) {
-                                stats.enumerated_terms += store.inserted() - before;
-                                note_phase(
-                                    &mut stats.phases.enumerate,
-                                    &mut stats.metrics.enumerate_us,
-                                    options.metrics,
-                                    t_enum.elapsed(),
-                                );
-                                break 'search Err(e.to_synth_error());
-                            }
-                            stats.enumerated_terms += store.inserted() - before;
-                            let pool: Vec<_> = store
-                                .error_free(arg_cost)
-                                .into_iter()
-                                .map(|(t, vals)| (t.expr.clone(), t.ty.clone(), vals, t.cost))
-                                .collect();
-                            note_phase(
-                                &mut stats.phases.enumerate,
-                                &mut stats.metrics.enumerate_us,
-                                options.metrics,
-                                t_enum.elapsed(),
-                            );
-
-                            let t_deduce = Instant::now();
-                            let mut planned = Vec::new();
-                            for &comb in library.combs() {
-                                // Cheap shape pre-filter on the hole type.
-                                let hole_ok = match comb {
-                                    Comb::Map | Comb::Filter => {
-                                        matches!(info.ty, Type::List(_) | Type::Var(_))
-                                    }
-                                    Comb::Mapt => {
-                                        matches!(info.ty, Type::Tree(_) | Type::Var(_))
-                                    }
-                                    _ => true,
+                            if hyp.is_complete() {
+                                let verdict = match preruns.remove(&entry_seq) {
+                                    Some(pre) => apply_prerun(
+                                        pre, hyp.cost, options, budget, &mut stats, tracer,
+                                    ),
+                                    None => verify_candidate(
+                                        problem, &hyp.expr, hyp.cost, options, budget, &mut stats,
+                                        tracer,
+                                    ),
                                 };
-                                if !hole_ok {
-                                    continue;
-                                }
-                                for (expr, ty, vals, cost) in &pool {
-                                    // Shape pre-filter on the collection.
-                                    let coll_ok = *cost <= options.max_collection_cost
-                                        && if comb.is_tree() {
-                                            matches!(ty, Type::Tree(_))
-                                        } else {
-                                            matches!(ty, Type::List(_))
-                                        };
-                                    if !coll_ok {
-                                        continue;
-                                    }
-                                    let cand = Candidate {
-                                        expr,
-                                        ty,
-                                        values: vals.clone(),
-                                        cost: *cost,
-                                    };
-                                    if comb.init_index().is_none() {
-                                        match plan_isolated(
-                                            &info,
-                                            comb,
-                                            &cand,
-                                            None,
-                                            &costs,
-                                            options.deduction,
-                                            options.static_analysis,
-                                            budget,
-                                        ) {
-                                            PlanOutcome::Planned(t) => {
-                                                if tracer.enabled() {
-                                                    tracer.emit(TraceEvent::Plan {
-                                                        comb: comb.name(),
-                                                        coll: expr.to_string(),
-                                                        init: None,
-                                                        delta_cost: t.delta_cost,
-                                                        rows: t.body_info.spec.rows().len(),
-                                                    });
-                                                }
-                                                planned.push(Planned::Comb(t));
-                                            }
-                                            PlanOutcome::Budget(e) => {
-                                                note_phase(
-                                                    &mut stats.phases.deduce,
-                                                    &mut stats.metrics.deduce_us,
-                                                    options.metrics,
-                                                    t_deduce.elapsed(),
-                                                );
-                                                break 'search Err(e.to_synth_error());
-                                            }
-                                            PlanOutcome::Rejected(fail) => {
-                                                refute(&mut stats, tracer, fail, comb, expr, None);
-                                            }
-                                            PlanOutcome::Fault(detail) => {
-                                                fault(&mut stats, tracer, "deduce.plan", detail);
-                                            }
+                                match verdict {
+                                    Verdict::Pass(program) => {
+                                        if std::env::var_os("LAMBDA2_STORE_DEBUG").is_some() {
+                                            let mut sizes: Vec<usize> =
+                                                stores.values().map(|(s, _)| s.len()).collect();
+                                            sizes.sort_unstable_by(|a, b| b.cmp(a));
+                                            eprintln!(
+                                                "[debug] {} stores, sizes top10 {:?}, total {}",
+                                                sizes.len(),
+                                                &sizes[..sizes.len().min(10)],
+                                                sizes.iter().sum::<usize>()
+                                            );
                                         }
+                                        break 'round Some(Ok((program, hyp.cost)));
+                                    }
+                                    Verdict::Fail => {
+                                        stats.verify_failures += 1;
                                         continue;
                                     }
-                                    // Folds: one template per initial-value
-                                    // candidate of the hole's (result) type.
-                                    // Empty-collection rows pin the init value,
-                                    // allowing a larger budget; without them
-                                    // every typed term qualifies, so keep the
-                                    // budget tight.
-                                    let empty_rows: Vec<(usize, &lambda2_lang::value::Value)> =
-                                        if options.deduction {
-                                            info.spec
-                                                .rows()
-                                                .iter()
-                                                .enumerate()
-                                                .filter(|(i, _)| match &vals[*i] {
+                                    Verdict::Fault => continue,
+                                    Verdict::Budget(e) => {
+                                        break 'round Some(Err(e.to_synth_error()))
+                                    }
+                                }
+                            }
+
+                            let (hole, info) = hyp.first_hole().expect("incomplete has a hole");
+                            let info = Arc::clone(info);
+
+                            // (a) Closing stream for this hole, starting at the
+                            // cheapest term tier.
+                            let tier0 = costs.hole_min();
+                            seq += 1;
+                            queue.push(Entry {
+                                cost: hyp.cost - costs.hole_min() + tier0,
+                                seq,
+                                kind: Kind::Close {
+                                    hyp: hyp.clone(),
+                                    hole,
+                                    tier: tier0,
+                                },
+                            });
+
+                            // (b) Combinator expansions, via the per-hole-context
+                            // template cache. Skip planning entirely when even the
+                            // cheapest conceivable template (comb + lambda + two
+                            // leaves) cannot fit the global budget — deep holes near
+                            // the cost ceiling otherwise pay for stores they never use.
+                            let min_comb_cost = library
+                                .combs()
+                                .iter()
+                                .map(|c| costs.comb_cost(*c))
+                                .min()
+                                .unwrap_or(u32::MAX);
+                            let min_delta = min_comb_cost
+                                .saturating_add(costs.lambda)
+                                .saturating_add(2 * costs.hole_min());
+                            if hyp.cost - costs.hole_min() + min_delta > options.max_cost {
+                                continue;
+                            }
+                            if options.deduction
+                                && !options.expand_blind_holes
+                                && info.spec.is_empty()
+                            {
+                                // Deduction had nothing to say about this hole;
+                                // closings (first-order terms) remain available.
+                                continue;
+                            }
+                            let tkey = (info.store_key.clone(), canonical(&info.ty));
+                            let planned = match templates.get(&tkey) {
+                                Some(ts) => Arc::clone(ts),
+                                None => {
+                                    let t_enum = Instant::now();
+                                    let store = touch_store(
+                                        &mut stores,
+                                        &mut store_tick,
+                                        &info,
+                                        options,
+                                        &mut stats,
+                                        tracer,
+                                        warm,
+                                        warm_config,
+                                    );
+                                    // The collection pool is cheap (cost <= 3); the
+                                    // larger init pool is only materialized when some
+                                    // collection candidate actually has empty-collection
+                                    // rows to constrain it.
+                                    let before = store.inserted();
+                                    if let Err(e) = store.ensure_within(
+                                        options.max_collection_cost,
+                                        library,
+                                        budget,
+                                    ) {
+                                        stats.enumerated_terms += store.inserted() - before;
+                                        note_phase(
+                                            &mut stats.phases.enumerate,
+                                            &mut stats.metrics.enumerate_us,
+                                            options.metrics,
+                                            t_enum.elapsed(),
+                                        );
+                                        break 'round Some(Err(e.to_synth_error()));
+                                    }
+                                    let needs_deep_inits = options.deduction
+                                        && store
+                                            .collections(options.max_collection_cost)
+                                            .iter()
+                                            .any(|(_, vals)| {
+                                                vals.iter().any(|v| match v {
                                                     lambda2_lang::value::Value::List(xs) => {
                                                         xs.is_empty()
                                                     }
@@ -801,108 +766,370 @@ pub fn search_governed_warm(
                                                     }
                                                     _ => false,
                                                 })
-                                                .map(|(i, r)| (i, &r.output))
-                                                .collect()
-                                        } else {
-                                            Vec::new()
-                                        };
-                                    let init_budget = if empty_rows.is_empty() {
-                                        options.max_free_init_cost
+                                            });
+                                    let arg_cost = if needs_deep_inits {
+                                        options.max_collection_cost.max(options.max_init_cost)
                                     } else {
-                                        options.max_init_cost
+                                        options.max_collection_cost.max(options.max_free_init_cost)
                                     };
-                                    for (ie, ity, ivals, icost) in &pool {
-                                        if *icost > init_budget
-                                            || !crate::enumerate::unifiable(ity, &info.ty)
-                                        {
-                                            continue;
-                                        }
-                                        if empty_rows.iter().any(|(i, out)| &ivals[*i] != *out) {
-                                            stats.refuted += 1;
-                                            if tracer.enabled() {
-                                                tracer.emit(TraceEvent::Refute {
-                                                    comb: comb.name(),
-                                                    coll: expr.to_string(),
-                                                    init: Some(ie.to_string()),
-                                                    reason: RefuteReason::InitMismatch,
-                                                });
+                                    if let Err(e) = store.ensure_within(arg_cost, library, budget) {
+                                        stats.enumerated_terms += store.inserted() - before;
+                                        note_phase(
+                                            &mut stats.phases.enumerate,
+                                            &mut stats.metrics.enumerate_us,
+                                            options.metrics,
+                                            t_enum.elapsed(),
+                                        );
+                                        break 'round Some(Err(e.to_synth_error()));
+                                    }
+                                    stats.enumerated_terms += store.inserted() - before;
+                                    let pool: Vec<_> = store
+                                        .error_free(arg_cost)
+                                        .into_iter()
+                                        .map(|(t, vals)| {
+                                            (store.expr_of(t), t.ty.clone(), vals, t.cost)
+                                        })
+                                        .collect();
+                                    note_phase(
+                                        &mut stats.phases.enumerate,
+                                        &mut stats.metrics.enumerate_us,
+                                        options.metrics,
+                                        t_enum.elapsed(),
+                                    );
+
+                                    let t_deduce = Instant::now();
+                                    let mut planned = Vec::new();
+                                    for &comb in library.combs() {
+                                        // Cheap shape pre-filter on the hole type.
+                                        let hole_ok = match comb {
+                                            Comb::Map | Comb::Filter => {
+                                                matches!(info.ty, Type::List(_) | Type::Var(_))
                                             }
-                                            continue;
-                                        }
-                                        let init = Candidate {
-                                            expr: ie,
-                                            ty: ity,
-                                            values: ivals.clone(),
-                                            cost: *icost,
+                                            Comb::Mapt => {
+                                                matches!(info.ty, Type::Tree(_) | Type::Var(_))
+                                            }
+                                            _ => true,
                                         };
-                                        match plan_isolated(
-                                            &info,
-                                            comb,
-                                            &cand,
-                                            Some(&init),
-                                            &costs,
-                                            options.deduction,
-                                            options.static_analysis,
-                                            budget,
-                                        ) {
-                                            PlanOutcome::Planned(t) => {
-                                                if tracer.enabled() {
-                                                    tracer.emit(TraceEvent::Plan {
-                                                        comb: comb.name(),
-                                                        coll: expr.to_string(),
-                                                        init: Some(ie.to_string()),
-                                                        delta_cost: t.delta_cost,
-                                                        rows: t.body_info.spec.rows().len(),
-                                                    });
-                                                }
-                                                planned.push(Planned::Comb(t));
+                                        if !hole_ok {
+                                            continue;
+                                        }
+                                        for (expr, ty, vals, cost) in &pool {
+                                            // Shape pre-filter on the collection.
+                                            let coll_ok = *cost <= options.max_collection_cost
+                                                && if comb.is_tree() {
+                                                    matches!(ty, Type::Tree(_))
+                                                } else {
+                                                    matches!(ty, Type::List(_))
+                                                };
+                                            if !coll_ok {
+                                                continue;
                                             }
-                                            PlanOutcome::Budget(e) => {
-                                                note_phase(
-                                                    &mut stats.phases.deduce,
-                                                    &mut stats.metrics.deduce_us,
-                                                    options.metrics,
-                                                    t_deduce.elapsed(),
-                                                );
-                                                break 'search Err(e.to_synth_error());
-                                            }
-                                            PlanOutcome::Rejected(fail) => {
-                                                refute(
-                                                    &mut stats,
-                                                    tracer,
-                                                    fail,
+                                            let cand = Candidate {
+                                                expr,
+                                                ty,
+                                                values: vals.clone(),
+                                                cost: *cost,
+                                            };
+                                            if comb.init_index().is_none() {
+                                                match plan_isolated(
+                                                    &info,
                                                     comb,
-                                                    expr,
-                                                    Some(ie),
-                                                );
+                                                    &cand,
+                                                    None,
+                                                    &costs,
+                                                    options.deduction,
+                                                    options.static_analysis,
+                                                    budget,
+                                                ) {
+                                                    PlanOutcome::Planned(t) => {
+                                                        if tracer.enabled() {
+                                                            tracer.emit(TraceEvent::Plan {
+                                                                comb: comb.name(),
+                                                                coll: expr.to_string(),
+                                                                init: None,
+                                                                delta_cost: t.delta_cost,
+                                                                rows: t.body_info.spec.rows().len(),
+                                                            });
+                                                        }
+                                                        planned.push(Planned::Comb(t));
+                                                    }
+                                                    PlanOutcome::Budget(e) => {
+                                                        note_phase(
+                                                            &mut stats.phases.deduce,
+                                                            &mut stats.metrics.deduce_us,
+                                                            options.metrics,
+                                                            t_deduce.elapsed(),
+                                                        );
+                                                        break 'round Some(Err(e.to_synth_error()));
+                                                    }
+                                                    PlanOutcome::Rejected(fail) => {
+                                                        refute(
+                                                            &mut stats, tracer, fail, comb, expr,
+                                                            None,
+                                                        );
+                                                    }
+                                                    PlanOutcome::Fault(detail) => {
+                                                        fault(
+                                                            &mut stats,
+                                                            tracer,
+                                                            "deduce.plan",
+                                                            detail,
+                                                        );
+                                                    }
+                                                }
+                                                continue;
                                             }
-                                            PlanOutcome::Fault(detail) => {
-                                                fault(&mut stats, tracer, "deduce.plan", detail);
+                                            // Folds: one template per initial-value
+                                            // candidate of the hole's (result) type.
+                                            // Empty-collection rows pin the init value,
+                                            // allowing a larger budget; without them
+                                            // every typed term qualifies, so keep the
+                                            // budget tight.
+                                            let empty_rows: Vec<(
+                                                usize,
+                                                &lambda2_lang::value::Value,
+                                            )> = if options.deduction {
+                                                info.spec
+                                                    .rows()
+                                                    .iter()
+                                                    .enumerate()
+                                                    .filter(|(i, _)| match &vals[*i] {
+                                                        lambda2_lang::value::Value::List(xs) => {
+                                                            xs.is_empty()
+                                                        }
+                                                        lambda2_lang::value::Value::Tree(t) => {
+                                                            t.is_empty()
+                                                        }
+                                                        _ => false,
+                                                    })
+                                                    .map(|(i, r)| (i, &r.output))
+                                                    .collect()
+                                            } else {
+                                                Vec::new()
+                                            };
+                                            let init_budget = if empty_rows.is_empty() {
+                                                options.max_free_init_cost
+                                            } else {
+                                                options.max_init_cost
+                                            };
+                                            for (ie, ity, ivals, icost) in &pool {
+                                                if *icost > init_budget
+                                                    || !crate::enumerate::unifiable(ity, &info.ty)
+                                                {
+                                                    continue;
+                                                }
+                                                if empty_rows
+                                                    .iter()
+                                                    .any(|(i, out)| &ivals[*i] != *out)
+                                                {
+                                                    stats.refuted += 1;
+                                                    if tracer.enabled() {
+                                                        tracer.emit(TraceEvent::Refute {
+                                                            comb: comb.name(),
+                                                            coll: expr.to_string(),
+                                                            init: Some(ie.to_string()),
+                                                            reason: RefuteReason::InitMismatch,
+                                                        });
+                                                    }
+                                                    continue;
+                                                }
+                                                let init = Candidate {
+                                                    expr: ie,
+                                                    ty: ity,
+                                                    values: ivals.clone(),
+                                                    cost: *icost,
+                                                };
+                                                match plan_isolated(
+                                                    &info,
+                                                    comb,
+                                                    &cand,
+                                                    Some(&init),
+                                                    &costs,
+                                                    options.deduction,
+                                                    options.static_analysis,
+                                                    budget,
+                                                ) {
+                                                    PlanOutcome::Planned(t) => {
+                                                        if tracer.enabled() {
+                                                            tracer.emit(TraceEvent::Plan {
+                                                                comb: comb.name(),
+                                                                coll: expr.to_string(),
+                                                                init: Some(ie.to_string()),
+                                                                delta_cost: t.delta_cost,
+                                                                rows: t.body_info.spec.rows().len(),
+                                                            });
+                                                        }
+                                                        planned.push(Planned::Comb(t));
+                                                    }
+                                                    PlanOutcome::Budget(e) => {
+                                                        note_phase(
+                                                            &mut stats.phases.deduce,
+                                                            &mut stats.metrics.deduce_us,
+                                                            options.metrics,
+                                                            t_deduce.elapsed(),
+                                                        );
+                                                        break 'round Some(Err(e.to_synth_error()));
+                                                    }
+                                                    PlanOutcome::Rejected(fail) => {
+                                                        refute(
+                                                            &mut stats,
+                                                            tracer,
+                                                            fail,
+                                                            comb,
+                                                            expr,
+                                                            Some(ie),
+                                                        );
+                                                    }
+                                                    PlanOutcome::Fault(detail) => {
+                                                        fault(
+                                                            &mut stats,
+                                                            tracer,
+                                                            "deduce.plan",
+                                                            detail,
+                                                        );
+                                                    }
+                                                }
                                             }
                                         }
                                     }
+                                    // Constructor hypotheses: invertible constructors
+                                    // split a hole into exactly-specified components.
+                                    if options.constructor_hypotheses && options.deduction {
+                                        planned.extend(
+                                            plan_constructors(&info, &costs)
+                                                .into_iter()
+                                                .map(Planned::Cons),
+                                        );
+                                    }
+                                    // The Apply stream below walks templates in order,
+                                    // so sort by cost for best-first behavior.
+                                    planned.sort_by_key(Planned::delta_cost);
+                                    note_phase(
+                                        &mut stats.phases.deduce,
+                                        &mut stats.metrics.deduce_us,
+                                        options.metrics,
+                                        t_deduce.elapsed(),
+                                    );
+                                    let planned = Arc::new(planned);
+                                    templates.insert(tkey, Arc::clone(&planned));
+                                    evict_stores(
+                                        &mut stores,
+                                        options,
+                                        &info.store_key,
+                                        &mut stats,
+                                        tracer,
+                                        budget,
+                                    );
+                                    planned
+                                }
+                            };
+
+                            if !planned.is_empty() {
+                                seq += 1;
+                                let first_cost =
+                                    hyp.cost - costs.hole_min() + planned[0].delta_cost();
+                                if first_cost <= options.max_cost {
+                                    queue.push(Entry {
+                                        cost: first_cost,
+                                        seq,
+                                        kind: Kind::Apply {
+                                            hyp: hyp.clone(),
+                                            hole,
+                                            templates: planned,
+                                            index: 0,
+                                        },
+                                    });
                                 }
                             }
-                            // Constructor hypotheses: invertible constructors
-                            // split a hole into exactly-specified components.
-                            if options.constructor_hypotheses && options.deduction {
-                                planned.extend(
-                                    plan_constructors(&info, &costs)
-                                        .into_iter()
-                                        .map(Planned::Cons),
-                                );
-                            }
-                            // The Apply stream below walks templates in order,
-                            // so sort by cost for best-first behavior.
-                            planned.sort_by_key(Planned::delta_cost);
+                        }
+                        Kind::Apply {
+                            hyp,
+                            hole,
+                            templates,
+                            index,
+                        } => {
+                            stats.expansions += 1;
+                            let t_expand = Instant::now();
+                            let child =
+                                templates[index].instantiate(&hyp, hole, &costs, &mut next_hole);
                             note_phase(
-                                &mut stats.phases.deduce,
-                                &mut stats.metrics.deduce_us,
+                                &mut stats.phases.expand,
+                                &mut stats.metrics.expand_us,
                                 options.metrics,
-                                t_deduce.elapsed(),
+                                t_expand.elapsed(),
                             );
-                            let planned = Rc::new(planned);
-                            templates.insert(tkey, Rc::clone(&planned));
+                            seq += 1;
+                            queue.push(Entry {
+                                cost: child.cost,
+                                seq,
+                                kind: Kind::Hyp(child),
+                            });
+                            // Advance the stream.
+                            if index + 1 < templates.len() {
+                                let next_cost =
+                                    hyp.cost - costs.hole_min() + templates[index + 1].delta_cost();
+                                if next_cost <= options.max_cost {
+                                    seq += 1;
+                                    queue.push(Entry {
+                                        cost: next_cost,
+                                        seq,
+                                        kind: Kind::Apply {
+                                            hyp,
+                                            hole,
+                                            templates,
+                                            index: index + 1,
+                                        },
+                                    });
+                                }
+                            }
+                        }
+                        Kind::Close { hyp, hole, tier } => {
+                            let info = hyp
+                                .holes()
+                                .iter()
+                                .find(|(h, _)| *h == hole)
+                                .map(|(_, i)| Arc::clone(i))
+                                .expect("close item refers to an open hole");
+                            let t_enum = Instant::now();
+                            let store = touch_store(
+                                &mut stores,
+                                &mut store_tick,
+                                &info,
+                                options,
+                                &mut stats,
+                                tracer,
+                                warm,
+                                warm_config,
+                            );
+                            let before = store.inserted();
+                            if let Err(e) = store.ensure_within(tier, library, budget) {
+                                stats.enumerated_terms += store.inserted() - before;
+                                note_phase(
+                                    &mut stats.phases.enumerate,
+                                    &mut stats.metrics.enumerate_us,
+                                    options.metrics,
+                                    t_enum.elapsed(),
+                                );
+                                break 'round Some(Err(e.to_synth_error()));
+                            }
+                            stats.enumerated_terms += store.inserted() - before;
+                            let fills: Vec<(Arc<lambda2_lang::ast::Expr>, u32)> = store
+                                .closings(tier, &info.ty, &info.spec)
+                                .map(|t| (store.expr_of(t), t.cost))
+                                .collect();
+                            note_phase(
+                                &mut stats.phases.enumerate,
+                                &mut stats.metrics.enumerate_us,
+                                options.metrics,
+                                t_enum.elapsed(),
+                            );
+                            if tracer.enabled() {
+                                tracer.emit(TraceEvent::Tier {
+                                    tier,
+                                    cost: entry_cost,
+                                    fills: fills.len(),
+                                });
+                            }
                             evict_stores(
                                 &mut stores,
                                 options,
@@ -911,191 +1138,128 @@ pub fn search_governed_warm(
                                 tracer,
                                 budget,
                             );
-                            planned
-                        }
-                    };
-
-                    if !planned.is_empty() {
-                        seq += 1;
-                        let first_cost = hyp.cost - costs.hole_min() + planned[0].delta_cost();
-                        if first_cost <= options.max_cost {
-                            queue.push(Entry {
-                                cost: first_cost,
-                                seq,
-                                kind: Kind::Apply {
-                                    hyp: hyp.clone(),
-                                    hole,
-                                    templates: planned,
-                                    index: 0,
-                                },
-                            });
-                        }
-                    }
-                }
-                Kind::Apply {
-                    hyp,
-                    hole,
-                    templates,
-                    index,
-                } => {
-                    stats.expansions += 1;
-                    let t_expand = Instant::now();
-                    let child = templates[index].instantiate(&hyp, hole, &costs, &mut next_hole);
-                    note_phase(
-                        &mut stats.phases.expand,
-                        &mut stats.metrics.expand_us,
-                        options.metrics,
-                        t_expand.elapsed(),
-                    );
-                    seq += 1;
-                    queue.push(Entry {
-                        cost: child.cost,
-                        seq,
-                        kind: Kind::Hyp(child),
-                    });
-                    // Advance the stream.
-                    if index + 1 < templates.len() {
-                        let next_cost =
-                            hyp.cost - costs.hole_min() + templates[index + 1].delta_cost();
-                        if next_cost <= options.max_cost {
-                            seq += 1;
-                            queue.push(Entry {
-                                cost: next_cost,
-                                seq,
-                                kind: Kind::Apply {
-                                    hyp,
-                                    hole,
-                                    templates,
-                                    index: index + 1,
-                                },
-                            });
-                        }
-                    }
-                }
-                Kind::Close { hyp, hole, tier } => {
-                    let info = hyp
-                        .holes()
-                        .iter()
-                        .find(|(h, _)| *h == hole)
-                        .map(|(_, i)| Rc::clone(i))
-                        .expect("close item refers to an open hole");
-                    let t_enum = Instant::now();
-                    let store = touch_store(
-                        &mut stores,
-                        &mut store_tick,
-                        &info,
-                        options,
-                        &mut stats,
-                        tracer,
-                        &mut warm,
-                        warm_config,
-                    );
-                    let before = store.inserted();
-                    if let Err(e) = store.ensure_within(tier, library, budget) {
-                        stats.enumerated_terms += store.inserted() - before;
-                        note_phase(
-                            &mut stats.phases.enumerate,
-                            &mut stats.metrics.enumerate_us,
-                            options.metrics,
-                            t_enum.elapsed(),
-                        );
-                        break 'search Err(e.to_synth_error());
-                    }
-                    stats.enumerated_terms += store.inserted() - before;
-                    let fills: Vec<(Rc<lambda2_lang::ast::Expr>, u32)> = store
-                        .closings(tier, &info.ty, &info.spec)
-                        .map(|t| (t.expr.clone(), t.cost))
-                        .collect();
-                    note_phase(
-                        &mut stats.phases.enumerate,
-                        &mut stats.metrics.enumerate_us,
-                        options.metrics,
-                        t_enum.elapsed(),
-                    );
-                    if tracer.enabled() {
-                        tracer.emit(TraceEvent::Tier {
-                            tier,
-                            cost: entry_cost,
-                            fills: fills.len(),
-                        });
-                    }
-                    evict_stores(
-                        &mut stores,
-                        options,
-                        &info.store_key,
-                        &mut stats,
-                        tracer,
-                        budget,
-                    );
-                    let closes_last_hole = hyp.holes().len() == 1;
-                    for (expr, term_cost) in fills {
-                        let child_cost = hyp.cost - costs.hole_min() + term_cost;
-                        if child_cost > options.max_cost {
-                            continue;
-                        }
-                        stats.closings += 1;
-                        // Closing the last hole completes the program; verify
-                        // *now* and only enqueue survivors — blind holes can
-                        // produce tens of thousands of candidates per tier,
-                        // and queueing the failures (the vast majority) would
-                        // balloon memory. Survivors still go through the
-                        // queue so the cheapest fitting program wins.
-                        if closes_last_hole {
-                            let child = hyp.fill(hole, &expr, vec![], child_cost);
-                            match verify_candidate(
-                                problem,
-                                &child.expr,
-                                child_cost,
-                                options,
-                                budget,
-                                &mut stats,
-                                tracer,
-                            ) {
-                                Verdict::Pass(_) => {
-                                    seq += 1;
-                                    queue.push(Entry {
-                                        cost: child_cost,
-                                        seq,
-                                        kind: Kind::Hyp(child),
-                                    });
+                            let closes_last_hole = hyp.holes().len() == 1;
+                            // Closing the last hole can surface thousands of
+                            // complete candidates in one tier — the search's
+                            // dominant verification batch. Fan it out: children
+                            // are built and fail-point decisions taken here in
+                            // fill order, workers execute only the metered runs,
+                            // and the verdicts are applied below in the same fill
+                            // order with all accounting on this thread.
+                            let mut pre_closed: VecDeque<(Hypothesis, PreRun)> = VecDeque::new();
+                            if closes_last_hole && jobs > 1 {
+                                let children: Vec<Hypothesis> = fills
+                                    .iter()
+                                    .filter_map(|(expr, term_cost)| {
+                                        let child_cost = hyp.cost - costs.hole_min() + term_cost;
+                                        (child_cost <= options.max_cost)
+                                            .then(|| hyp.fill(hole, expr, vec![], child_cost))
+                                    })
+                                    .collect();
+                                if children.len() >= 2 {
+                                    let tasks: Vec<(&Expr, Option<FailAction>)> = children
+                                        .iter()
+                                        .map(|c| (&c.expr, failpoints::check("verify.candidate")))
+                                        .collect();
+                                    let runs = preverify(problem, options.eval_fuel, jobs, &tasks);
+                                    pre_closed = children.into_iter().zip(runs).collect();
                                 }
-                                Verdict::Fail => stats.verify_failures += 1,
-                                Verdict::Fault => {}
-                                Verdict::Budget(e) => break 'search Err(e.to_synth_error()),
                             }
-                            continue;
+                            for (expr, term_cost) in fills {
+                                let child_cost = hyp.cost - costs.hole_min() + term_cost;
+                                if child_cost > options.max_cost {
+                                    continue;
+                                }
+                                stats.closings += 1;
+                                // Closing the last hole completes the program; verify
+                                // *now* and only enqueue survivors — blind holes can
+                                // produce tens of thousands of candidates per tier,
+                                // and queueing the failures (the vast majority) would
+                                // balloon memory. Survivors still go through the
+                                // queue so the cheapest fitting program wins.
+                                if closes_last_hole {
+                                    let (child, verdict) = match pre_closed.pop_front() {
+                                        Some((child, pre)) => {
+                                            let v = apply_prerun(
+                                                pre, child_cost, options, budget, &mut stats,
+                                                tracer,
+                                            );
+                                            (child, v)
+                                        }
+                                        None => {
+                                            let child = hyp.fill(hole, &expr, vec![], child_cost);
+                                            let v = verify_candidate(
+                                                problem,
+                                                &child.expr,
+                                                child_cost,
+                                                options,
+                                                budget,
+                                                &mut stats,
+                                                tracer,
+                                            );
+                                            (child, v)
+                                        }
+                                    };
+                                    match verdict {
+                                        Verdict::Pass(_) => {
+                                            seq += 1;
+                                            queue.push(Entry {
+                                                cost: child_cost,
+                                                seq,
+                                                kind: Kind::Hyp(child),
+                                            });
+                                        }
+                                        Verdict::Fail => stats.verify_failures += 1,
+                                        Verdict::Fault => {}
+                                        Verdict::Budget(e) => {
+                                            break 'round Some(Err(e.to_synth_error()))
+                                        }
+                                    }
+                                    continue;
+                                }
+                                let child = hyp.fill(hole, &expr, vec![], child_cost);
+                                seq += 1;
+                                queue.push(Entry {
+                                    cost: child_cost,
+                                    seq,
+                                    kind: Kind::Hyp(child),
+                                });
+                            }
+                            // Reschedule the stream at the next tier; blind holes (no
+                            // spec rows, hence no observational pruning) get a tighter
+                            // cap.
+                            let tier_cap = if info.spec.is_empty() {
+                                options.max_term_cost_blind.min(options.max_term_cost)
+                            } else {
+                                options.max_term_cost
+                            };
+                            let next_tier = tier + 1;
+                            let next_cost = hyp.cost - costs.hole_min() + next_tier;
+                            if next_tier <= tier_cap && next_cost <= options.max_cost {
+                                seq += 1;
+                                queue.push(Entry {
+                                    cost: next_cost,
+                                    seq,
+                                    kind: Kind::Close {
+                                        hyp,
+                                        hole,
+                                        tier: next_tier,
+                                    },
+                                });
+                            }
                         }
-                        let child = hyp.fill(hole, &expr, vec![], child_cost);
-                        seq += 1;
-                        queue.push(Entry {
-                            cost: child_cost,
-                            seq,
-                            kind: Kind::Hyp(child),
-                        });
-                    }
-                    // Reschedule the stream at the next tier; blind holes (no
-                    // spec rows, hence no observational pruning) get a tighter
-                    // cap.
-                    let tier_cap = if info.spec.is_empty() {
-                        options.max_term_cost_blind.min(options.max_term_cost)
-                    } else {
-                        options.max_term_cost
-                    };
-                    let next_tier = tier + 1;
-                    let next_cost = hyp.cost - costs.hole_min() + next_tier;
-                    if next_tier <= tier_cap && next_cost <= options.max_cost {
-                        seq += 1;
-                        queue.push(Entry {
-                            cost: next_cost,
-                            seq,
-                            kind: Kind::Close {
-                                hyp,
-                                hole,
-                                tier: next_tier,
-                            },
-                        });
                     }
                 }
+                None
+            };
+            if let Some(v) = aborted {
+                // Push the round's unprocessed remainder back so an
+                // abort's anytime frontier matches a sequential run's
+                // abandoned queue exactly.
+                for e in round {
+                    queue.push(e);
+                }
+                break 'search v;
             }
         }
         // The queue drained. A limit can still have latched during the last
@@ -1174,6 +1338,149 @@ fn frontier_of(queue: &mut BinaryHeap<Entry>) -> Vec<FrontierItem> {
         }
     }
     out
+}
+
+/// Cap on how many equal-cost entries a parallel round drains from the
+/// queue at once. Bounds speculative verification (everything past a
+/// passing candidate is wasted work) and the memory pulled out of the
+/// heap; the remainder stays queued and leads the next round.
+const ROUND_CAP: usize = 256;
+
+/// The raw outcome of one speculative verification executed on a worker
+/// thread: the constructed program, the (possibly panicked) metered run,
+/// and its wall time. No accounting happens on the worker —
+/// [`apply_prerun`] replays these on the coordinating thread in
+/// deterministic order, reproducing [`verify_candidate`]'s effects
+/// exactly.
+struct PreRun {
+    program: Program,
+    run: std::thread::Result<(bool, u64)>,
+    elapsed: Duration,
+    injected: Option<FailAction>,
+}
+
+/// Runs `tasks` (complete candidate bodies, paired with the fail-point
+/// action the coordinating thread already decided for each) on up to
+/// `jobs` worker threads stealing from a shared index. Work-stealing
+/// order is irrelevant to the result: each task is independent, results
+/// land in task order, and all stats/budget/trace effects are deferred to
+/// [`apply_prerun`].
+fn preverify(
+    problem: &Problem,
+    eval_fuel: u64,
+    jobs: usize,
+    tasks: &[(&Expr, Option<FailAction>)],
+) -> Vec<PreRun> {
+    use std::sync::atomic::AtomicUsize;
+    let next = AtomicUsize::new(0);
+    let workers = jobs.min(tasks.len());
+    // The `par.worker` fail point (checked here, on the coordinating
+    // thread — the registry is thread-local) staggers worker startup to
+    // perturb steal order; the determinism suite uses it to show results
+    // are schedule-independent.
+    let delay = matches!(failpoints::check("par.worker"), Some(FailAction::Delay));
+    let mut out: Vec<Option<PreRun>> = Vec::with_capacity(tasks.len());
+    out.resize_with(tasks.len(), || None);
+    let chunks: Vec<Vec<(usize, PreRun)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let next = &next;
+                scope.spawn(move || {
+                    if delay {
+                        std::thread::sleep(Duration::from_millis(2 * w as u64));
+                    }
+                    let mut mine = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if i >= tasks.len() {
+                            break;
+                        }
+                        let (body, injected) = &tasks[i];
+                        let program = Program::new(problem.params().to_vec(), (*body).clone());
+                        let fuel = match injected {
+                            Some(FailAction::ExhaustFuel) => 0,
+                            _ => eval_fuel,
+                        };
+                        let t_verify = Instant::now();
+                        let run = catch_unwind(AssertUnwindSafe(|| {
+                            if let Some(FailAction::Panic) = injected {
+                                panic!("injected panic at verify.candidate");
+                            }
+                            program.satisfies_problem_metered(problem, fuel)
+                        }));
+                        mine.push((
+                            i,
+                            PreRun {
+                                program,
+                                run,
+                                elapsed: t_verify.elapsed(),
+                                injected: *injected,
+                            },
+                        ));
+                    }
+                    mine
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("verify worker panicked outside isolation"))
+            .collect()
+    });
+    for (i, pre) in chunks.into_iter().flatten() {
+        out[i] = Some(pre);
+    }
+    out.into_iter()
+        .map(|o| o.expect("the steal loop covers every task"))
+        .collect()
+}
+
+/// Applies a speculative verification's outcome on the coordinating
+/// thread: stats, phase time, trace event, and fuel charge happen here,
+/// in the same order [`verify_candidate`] produces them, so a parallel
+/// round's observable effects match a sequential run's byte for byte.
+fn apply_prerun(
+    pre: PreRun,
+    cost: u32,
+    options: &SearchOptions,
+    budget: &Budget,
+    stats: &mut Stats,
+    tracer: &mut dyn Tracer,
+) -> Verdict {
+    stats.verified += 1;
+    note_phase(
+        &mut stats.phases.verify,
+        &mut stats.metrics.verify_us,
+        options.metrics,
+        pre.elapsed,
+    );
+    match pre.run {
+        Ok((ok, used)) => {
+            let used = match pre.injected {
+                Some(FailAction::ExhaustFuel) => u64::MAX,
+                _ => used,
+            };
+            if tracer.enabled() {
+                tracer.emit(TraceEvent::Verify {
+                    ok,
+                    cost,
+                    program: pre.program.body().to_string(),
+                });
+            }
+            let charge = budget.charge_fuel(used);
+            if ok {
+                Verdict::Pass(pre.program)
+            } else if let Err(e) = charge {
+                Verdict::Budget(e)
+            } else {
+                Verdict::Fail
+            }
+        }
+        Err(payload) => {
+            fault(stats, tracer, "verify.candidate", panic_message(&*payload));
+            Verdict::Fault
+        }
+    }
 }
 
 /// Outcome of one isolated candidate verification.
@@ -1316,7 +1623,7 @@ fn fault(stats: &mut Stats, tracer: &mut dyn Tracer, site: &'static str, detail:
 /// enumeration knobs ([`SearchOptions::enum_limits`],
 /// [`SearchOptions::trace_probes`]). Two searches with equal fingerprints
 /// build byte-identical stores for equal [`StoreKey`]s, which is the
-/// safety condition for sharing a [`WarmStores`] cache across requests.
+/// safety condition for sharing a [`WarmCache`] across requests.
 /// Deliberately *excludes* budgets, cost ceilings, and observation knobs —
 /// they bound how far a store gets built, never what a built level holds.
 pub fn warm_config_fingerprint(library: &Library, options: &SearchOptions) -> u64 {
@@ -1373,16 +1680,14 @@ fn touch_store<'a>(
     options: &SearchOptions,
     stats: &mut Stats,
     tracer: &mut dyn Tracer,
-    warm: &mut Option<&mut WarmStores>,
+    warm: Option<&WarmCache>,
     warm_config: u64,
 ) -> &'a mut TermStore {
     *store_tick += 1;
     let hit = stores.contains_key(&info.store_key);
     let mut warmed = false;
     let entry = stores.entry(info.store_key.clone()).or_insert_with(|| {
-        let seeded = warm
-            .as_deref_mut()
-            .and_then(|w| w.take(warm_config, &info.store_key));
+        let seeded = warm.and_then(|w| w.take(warm_config, &info.store_key));
         let store = match seeded {
             Some(store) => {
                 warmed = true;
@@ -1435,8 +1740,8 @@ fn refute(
     tracer: &mut dyn Tracer,
     fail: ExpandFail,
     comb: Comb,
-    coll: &Rc<lambda2_lang::ast::Expr>,
-    init: Option<&Rc<lambda2_lang::ast::Expr>>,
+    coll: &Arc<lambda2_lang::ast::Expr>,
+    init: Option<&Arc<lambda2_lang::ast::Expr>>,
 ) {
     let reason = match fail {
         ExpandFail::Refuted => {
@@ -1873,6 +2178,192 @@ mod tests {
         assert_eq!(report.outcome.unwrap_err(), SynthError::FuelExhausted);
         assert_eq!(report.budget.exceeded, Some(BudgetExceeded::FuelLimit));
         assert!(report.budget.fuel_spent >= 50);
+    }
+
+    /// Every deterministic counter in [`Stats`] (wall-clock phase totals
+    /// and latency histograms excluded — they measure real time).
+    fn counter_snapshot(s: &Stats) -> [u64; 13] {
+        [
+            s.popped,
+            s.expansions,
+            s.refuted,
+            s.static_refutations,
+            s.ill_typed,
+            s.closings,
+            s.verified,
+            s.verify_failures,
+            s.enumerated_terms,
+            s.store_hits,
+            s.warm_hits,
+            s.store_evictions,
+            s.faults,
+        ]
+    }
+
+    fn run_with_jobs(
+        p: &Problem,
+        opts: &SearchOptions,
+        jobs: usize,
+    ) -> (SearchReport, Vec<TraceEvent>) {
+        let opts = SearchOptions {
+            jobs,
+            ..opts.clone()
+        };
+        let budget = Budget::for_search(&opts);
+        let mut tracer = crate::obs::CollectTracer::default();
+        let report = search_governed(p, &opts, &budget, &mut tracer);
+        (report, tracer.events)
+    }
+
+    #[test]
+    fn parallel_jobs_match_sequential_byte_for_byte() {
+        // The determinism bar for within-problem parallelism: program,
+        // cost, every counter, and the full event trace must be
+        // byte-identical to a sequential run for any worker count.
+        let problems = [
+            reverse_problem(),
+            problem(
+                "incr",
+                &[("l", "[int]")],
+                "[int]",
+                &[(&["[]"], "[]"), (&["[1 2]"], "[2 3]"), (&["[7]"], "[8]")],
+            ),
+            problem(
+                "sum",
+                &[("l", "[int]")],
+                "int",
+                &[
+                    (&["[]"], "0"),
+                    (&["[5]"], "5"),
+                    (&["[5 3]"], "8"),
+                    (&["[5 3 9]"], "17"),
+                ],
+            ),
+        ];
+        for p in &problems {
+            let (seq, seq_events) = run_with_jobs(p, &SearchOptions::default(), 1);
+            let s1 = seq.outcome.expect("solves sequentially");
+            for jobs in [2, 4] {
+                let (par, par_events) = run_with_jobs(p, &SearchOptions::default(), jobs);
+                let sp = par.outcome.expect("solves in parallel");
+                assert_eq!(
+                    s1.program.body().to_string(),
+                    sp.program.body().to_string(),
+                    "program diverged at jobs={jobs} on {}",
+                    p.name()
+                );
+                assert_eq!(s1.cost, sp.cost);
+                assert_eq!(
+                    counter_snapshot(&s1.stats),
+                    counter_snapshot(&sp.stats),
+                    "counters diverged at jobs={jobs} on {}",
+                    p.name()
+                );
+                assert_eq!(
+                    seq_events,
+                    par_events,
+                    "trace diverged at jobs={jobs} on {}",
+                    p.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_abort_frontier_matches_sequential() {
+        // A mid-round abort must leave the same abandoned queue as a
+        // sequential one: unprocessed round entries go back before the
+        // frontier snapshot is taken.
+        let opts = SearchOptions {
+            max_popped: 20,
+            ..SearchOptions::default()
+        };
+        let (seq, seq_events) = run_with_jobs(&reverse_problem(), &opts, 1);
+        let (par, par_events) = run_with_jobs(&reverse_problem(), &opts, 4);
+        assert_eq!(seq.outcome.unwrap_err(), par.outcome.unwrap_err());
+        assert_eq!(seq.budget.exceeded, par.budget.exceeded);
+        assert_eq!(seq.frontier, par.frontier);
+        assert_eq!(seq_events, par_events);
+    }
+
+    #[test]
+    fn parallel_fuel_cap_matches_sequential() {
+        // Fuel is charged at apply time in seq order, so the cap trips on
+        // the same candidate regardless of worker count.
+        let opts = SearchOptions {
+            max_total_fuel: 50,
+            ..SearchOptions::default()
+        };
+        let (seq, seq_events) = run_with_jobs(&reverse_problem(), &opts, 1);
+        let (par, par_events) = run_with_jobs(&reverse_problem(), &opts, 4);
+        assert_eq!(seq.outcome.unwrap_err(), SynthError::FuelExhausted);
+        assert_eq!(par.outcome.unwrap_err(), SynthError::FuelExhausted);
+        assert_eq!(seq.budget.fuel_spent, par.budget.fuel_spent);
+        assert_eq!(counter_snapshot(&seq.stats), counter_snapshot(&par.stats));
+        assert_eq!(seq_events, par_events);
+    }
+
+    #[cfg(feature = "failpoints")]
+    #[test]
+    fn staggered_workers_change_nothing() {
+        // Perturb work-stealing order via the `par.worker` delay fail
+        // point: workers start staggered, so steal order is shuffled
+        // relative to an unperturbed run — results must not move.
+        let (seq, seq_events) = run_with_jobs(&reverse_problem(), &SearchOptions::default(), 1);
+        let _guard = crate::failpoints::FailGuard::arm("par.worker", FailAction::Delay, u64::MAX);
+        let (par, par_events) = run_with_jobs(&reverse_problem(), &SearchOptions::default(), 4);
+        let s1 = seq.outcome.expect("solves");
+        let sp = par.outcome.expect("solves staggered");
+        assert_eq!(s1.program.body().to_string(), sp.program.body().to_string());
+        assert_eq!(s1.cost, sp.cost);
+        assert_eq!(counter_snapshot(&s1.stats), counter_snapshot(&sp.stats));
+        assert_eq!(seq_events, par_events);
+    }
+
+    #[cfg(feature = "failpoints")]
+    #[test]
+    fn forced_evictions_keep_warm_accounting_consistent() {
+        // Satellite audit for the PR 3 bug class: every sweep the
+        // `store.evict` fail point forces evicts all but the current
+        // store, so the warm cache is parked, seeded, and re-parked with
+        // maximal churn. Under `check-invariants` the cache audits its
+        // incremental byte total against a full recomputation on every
+        // take/put; the searches must still solve identically.
+        let p = reverse_problem();
+        let opts = SearchOptions::default();
+        let warm = WarmCache::new(usize::MAX);
+
+        let cold = {
+            let _g =
+                crate::failpoints::FailGuard::arm("store.evict", FailAction::EvictStores, u64::MAX);
+            let budget = Budget::for_search(&opts);
+            search_governed_warm(&p, &opts, &budget, &mut NoopTracer, Some(&warm))
+        };
+        let cold = cold.outcome.expect("solves despite forced evictions");
+        assert!(
+            cold.stats.store_evictions > 0,
+            "fail point forced evictions"
+        );
+        assert!(!warm.is_empty(), "surviving stores parked at search end");
+
+        // Second run seeds from the parked stores, again under forced
+        // eviction: take/put accounting must survive the full cycle.
+        let seeded = {
+            let _g =
+                crate::failpoints::FailGuard::arm("store.evict", FailAction::EvictStores, u64::MAX);
+            let budget = Budget::for_search(&opts);
+            search_governed_warm(&p, &opts, &budget, &mut NoopTracer, Some(&warm))
+        };
+        let seeded = seeded.outcome.expect("warm rerun solves");
+        assert!(seeded.stats.warm_hits > 0, "rerun seeded from the cache");
+        assert_eq!(
+            cold.program.body().to_string(),
+            seeded.program.body().to_string(),
+            "warm reuse is semantically transparent"
+        );
+        assert_eq!(cold.cost, seeded.cost);
+        let (hits, misses, _) = warm.counters();
+        assert!(hits > 0 && misses > 0);
     }
 
     #[test]

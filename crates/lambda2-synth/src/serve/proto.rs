@@ -54,9 +54,8 @@ pub struct Request {
     pub failpoint: Option<String>,
 }
 
-/// A problem in structured JSON form: every value in surface syntax, the
-/// same portable rendering [`crate::par::PortableProblem`] uses to cross
-/// threads.
+/// A problem in structured JSON form: every value rendered in the surface
+/// syntax the parser round-trips.
 #[derive(Clone, Debug)]
 pub struct JsonProblem {
     /// Problem name.

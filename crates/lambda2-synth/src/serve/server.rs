@@ -25,7 +25,7 @@
 //!   LRU-evicted under a byte budget.
 //! * **A crashing request cannot take the daemon down.** The search runs
 //!   under [`catch_unwind`]; a panic yields a structured `error` response
-//!   and the worker loops on to the next job. (The worker's warm-store
+//!   and the worker loops on to the next job. (The shared warm-store
 //!   cache may lose entries mid-panic — they are deterministic caches and
 //!   rebuild on demand.)
 //!
@@ -35,9 +35,11 @@
 //! ladder `l2 synth` uses — so a problem served here returns the same
 //! program, cost, and attempt ladder as a local run with the same
 //! [`SearchOptions`], warm cache on or off (only cache-effectiveness
-//! counters differ). Portfolio requests route to
-//! [`portfolio_report_traced`] and skip the warm cache (term stores are
-//! deliberately not `Send`).
+//! counters differ). The pool shares one mutex-guarded [`WarmCache`], so
+//! a store warmed by any worker serves every later request for the same
+//! signature, and the byte budget bounds the pool's total footprint.
+//! Portfolio requests route to [`portfolio_report_traced`] and skip the
+//! warm cache (their rungs race on private threads).
 //!
 //! # Drain
 //!
@@ -63,13 +65,13 @@ use std::time::{Duration, Instant};
 #[cfg(unix)]
 use std::os::unix::net::{UnixListener, UnixStream};
 
-use crate::enumerate::WarmStores;
+use crate::enumerate::WarmCache;
 use crate::govern::{CancelToken, SearchReport};
 use crate::l2file;
 use crate::obs::corpus::{options_fingerprint, Corpus, RunRecord};
 use crate::obs::json::Json;
 use crate::obs::NoopTracer;
-use crate::par::{portfolio_report_traced, PortableProblem};
+use crate::par::portfolio_report_traced;
 use crate::problem::Problem;
 use crate::search::SearchOptions;
 use crate::stats::Measurement;
@@ -99,8 +101,9 @@ pub struct ServeConfig {
     /// Hard cap on any request's timeout; larger asks are clamped so one
     /// client cannot monopolize a worker.
     pub max_timeout: Duration,
-    /// Byte budget for each worker's warm term-store cache; 0 disables
-    /// warm reuse.
+    /// Byte budget for the warm term-store cache shared by the whole
+    /// worker pool (one [`WarmCache`], one budget — not per worker); 0
+    /// disables warm reuse.
     pub warm_cache_bytes: usize,
     /// How long in-flight jobs get to finish during drain before their
     /// budgets are cancelled.
@@ -272,14 +275,14 @@ impl Shared {
         self.ewma_us.store(new, Ordering::Relaxed);
     }
 
-    /// How long a shed client should wait before retrying: the EWMA
-    /// service time multiplied by the queue ahead of it, spread across
-    /// the workers. Clamped to [10ms, 30s].
+    /// How long a shed client should wait before retrying — see
+    /// [`retry_hint_ms`] for the computation and its clamps.
     fn retry_after_ms(&self, workers: usize) -> u64 {
-        let ewma_us = self.ewma_us.load(Ordering::Relaxed).max(20_000);
-        let waiting = self.depth.load(Ordering::Relaxed) as u64 + 1;
-        let ms = ewma_us.saturating_mul(waiting) / (workers.max(1) as u64) / 1_000;
-        ms.clamp(10, 30_000)
+        retry_hint_ms(
+            self.ewma_us.load(Ordering::Relaxed),
+            self.depth.load(Ordering::Relaxed),
+            workers,
+        )
     }
 
     fn snapshot_json(&self, config: &ServeConfig) -> Json {
@@ -355,14 +358,40 @@ impl ServeSummary {
     }
 }
 
+/// Floor for the shed-retry hint. Queue depth is read racily and can be
+/// transiently 0 at shed time (workers just drained it) while the daemon
+/// is still saturated; without a floor the hint would be 0 ms and invite
+/// a client tight-retry loop.
+const RETRY_HINT_FLOOR_MS: u64 = 10;
+
+/// Ceiling for the shed-retry hint: a long queue of slow jobs should not
+/// tell clients to go away for minutes — the backlog estimate is an
+/// EWMA-based guess, not a promise.
+const RETRY_HINT_CEILING_MS: u64 = 30_000;
+
+/// Service time assumed before the first job completes (the EWMA is
+/// still 0 at startup): 20 ms, a typical quick-catalog synthesis.
+const RETRY_HINT_MIN_SERVICE_US: u64 = 20_000;
+
+/// How long a shed client should wait before retrying: the EWMA service
+/// time multiplied by the queue ahead of it (plus the client's own job),
+/// spread across the workers, clamped to
+/// [[`RETRY_HINT_FLOOR_MS`], [`RETRY_HINT_CEILING_MS`]]. Pure so the
+/// admission-control arithmetic is unit-testable without a daemon.
+fn retry_hint_ms(ewma_us: u64, depth: usize, workers: usize) -> u64 {
+    let ewma_us = ewma_us.max(RETRY_HINT_MIN_SERVICE_US);
+    let waiting = (depth as u64).saturating_add(1);
+    let ms = ewma_us.saturating_mul(waiting) / (workers.max(1) as u64) / 1_000;
+    ms.clamp(RETRY_HINT_FLOOR_MS, RETRY_HINT_CEILING_MS)
+}
+
 /// One admitted synthesis job crossing from a connection thread to a
-/// worker. Carries the problem in portable (string) form — [`Problem`]
-/// itself does not cross threads — and a reply channel the worker
-/// answers exactly once.
+/// worker: the parsed [`Problem`] (the `Arc` spine is `Send`, so it
+/// crosses directly) and a reply channel the worker answers exactly once.
 struct Job {
     seq: u64,
     id: Option<String>,
-    spec: PortableProblem,
+    spec: Problem,
     timeout: Duration,
     portfolio: bool,
     #[cfg_attr(not(feature = "failpoints"), allow(dead_code))]
@@ -453,12 +482,17 @@ impl Server {
         let shared = Shared::new();
         let (job_tx, job_rx) = mpsc::sync_channel::<Job>(config.queue_capacity);
         let job_rx = Mutex::new(job_rx);
+        // One warm cache for the whole pool: any worker's finished search
+        // seeds any other worker's next one, under a single byte budget.
+        let warm = WarmCache::new(config.warm_cache_bytes);
         let mut listen_error: Option<io::Error> = None;
         let mut drain_started_at: Option<Instant> = None;
 
         thread::scope(|scope| {
             for _ in 0..config.workers.max(1) {
-                scope.spawn(|| worker_loop(&config, &shared, &control, &job_rx, corpus.as_ref()));
+                scope.spawn(|| {
+                    worker_loop(&config, &shared, &control, &job_rx, &warm, corpus.as_ref())
+                });
             }
             while !control.load(Ordering::SeqCst) {
                 let accepted = match &listener {
@@ -608,7 +642,7 @@ fn admit_synth(
     let job = Job {
         seq: shared.seq.fetch_add(1, Ordering::Relaxed),
         id: id.clone(),
-        spec: PortableProblem::from_problem(&problem),
+        spec: problem,
         timeout,
         portfolio: req.portfolio,
         failpoint: req.failpoint,
@@ -643,9 +677,9 @@ fn worker_loop(
     shared: &Shared,
     control: &AtomicBool,
     job_rx: &Mutex<mpsc::Receiver<Job>>,
+    warm: &WarmCache,
     corpus: Option<&Corpus>,
 ) {
-    let mut warm = WarmStores::new(config.warm_cache_bytes);
     loop {
         let next = {
             let rx = match job_rx.lock() {
@@ -662,7 +696,7 @@ fn worker_loop(
                     let _ = job.reply.send(proto::resp_shutting_down(job.id.as_deref()));
                     continue;
                 }
-                execute(job, config, shared, &mut warm, corpus);
+                execute(job, config, shared, warm, corpus);
             }
             Err(RecvTimeoutError::Timeout) => {
                 if control.load(Ordering::SeqCst) {
@@ -681,21 +715,11 @@ fn execute(
     job: Job,
     config: &ServeConfig,
     shared: &Shared,
-    warm: &mut WarmStores,
+    warm: &WarmCache,
     corpus: Option<&Corpus>,
 ) {
     let queue_wait_ms = job.enqueued.elapsed().as_secs_f64() * 1e3;
-    let problem = match job.spec.rebuild() {
-        Ok(p) => p,
-        Err(msg) => {
-            shared.rejected.fetch_add(1, Ordering::Relaxed);
-            let _ = job.reply.send(proto::resp_error(
-                job.id.as_deref(),
-                &format!("problem failed to rebuild: {msg}"),
-            ));
-            return;
-        }
-    };
+    let problem = job.spec;
     let mut options = config.options.clone();
     options.timeout = Some(job.timeout);
     let token = CancelToken::new();
@@ -726,14 +750,14 @@ fn execute(
         }
         if job.portfolio {
             // Portfolio rungs race on their own threads with their own
-            // budgets; term stores are not Send, so no warm cache here.
+            // budgets and skip the warm cache.
             portfolio_report_traced(&problem, &options, &mut NoopTracer)
         } else {
             Synthesizer::with_options(options.clone()).synthesize_report_warm(
                 &problem,
                 &mut NoopTracer,
                 Some(&token),
-                Some(&mut *warm),
+                Some(warm),
             )
         }
     }));
@@ -825,5 +849,51 @@ fn measurement_of_report(problem: &Problem, report: &SearchReport) -> Measuremen
             stats: report.stats.clone(),
             error: Some(e.to_string()),
         },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retry_hint_never_invites_a_tight_loop() {
+        // Transiently empty queue (depth 0, tiny EWMA): the floor holds.
+        assert_eq!(retry_hint_ms(1, 0, 4), RETRY_HINT_FLOOR_MS);
+        assert_eq!(retry_hint_ms(0, 0, 1), RETRY_HINT_MIN_SERVICE_US / 1_000);
+        for depth in 0..8 {
+            for workers in 1..8 {
+                assert!(retry_hint_ms(0, depth, workers) >= RETRY_HINT_FLOOR_MS);
+            }
+        }
+    }
+
+    #[test]
+    fn retry_hint_uses_assumed_service_time_at_startup() {
+        // Before any job completes the EWMA is 0; the hint falls back to
+        // the assumed minimum service time rather than hinting 0.
+        assert_eq!(
+            retry_hint_ms(0, 3, 2),
+            RETRY_HINT_MIN_SERVICE_US * 4 / 2 / 1_000
+        );
+    }
+
+    #[test]
+    fn retry_hint_scales_with_backlog_per_worker() {
+        // 100ms EWMA, 9 queued ahead + this client, 2 workers -> 500ms.
+        assert_eq!(retry_hint_ms(100_000, 9, 2), 500);
+        // Same backlog, more workers -> proportionally sooner.
+        assert_eq!(retry_hint_ms(100_000, 9, 5), 200);
+        // Degenerate worker count is treated as one worker.
+        assert_eq!(retry_hint_ms(100_000, 9, 0), 1_000);
+    }
+
+    #[test]
+    fn retry_hint_saturates_at_the_ceiling() {
+        assert_eq!(
+            retry_hint_ms(u64::MAX, usize::MAX, 1),
+            RETRY_HINT_CEILING_MS
+        );
+        assert_eq!(retry_hint_ms(60_000_000, 100, 1), RETRY_HINT_CEILING_MS);
     }
 }

@@ -3,7 +3,7 @@
 use std::time::{Duration, Instant};
 
 use crate::baseline::{synthesize_baseline_within, BaselineOptions};
-use crate::enumerate::WarmStores;
+use crate::enumerate::WarmCache;
 use crate::govern::{Attempt, Budget, CancelToken, Rung, SearchReport};
 use crate::obs::{NoopTracer, Tracer};
 use crate::problem::Problem;
@@ -154,7 +154,7 @@ impl Synthesizer {
     /// [`Synthesizer::synthesize_report_traced`] for long-lived hosts (the
     /// serve daemon): optionally adopts an external [`CancelToken`] on
     /// every rung's budget (so a drain can cancel the request from
-    /// outside) and seeds/harvests a cross-request [`WarmStores`] cache
+    /// outside) and seeds/harvests a shared cross-request [`WarmCache`]
     /// (see [`crate::search::search_governed_warm`]). With both `None`
     /// this is exactly [`Synthesizer::synthesize_report_traced`]; with
     /// either set, the synthesized program, cost, and attempt ladder are
@@ -165,7 +165,7 @@ impl Synthesizer {
         problem: &Problem,
         tracer: &mut dyn Tracer,
         cancel: Option<&CancelToken>,
-        mut warm: Option<&mut WarmStores>,
+        warm: Option<&WarmCache>,
     ) -> SearchReport {
         let adopt = |mut budget: Budget| -> Budget {
             if let Some(token) = cancel {
@@ -175,8 +175,7 @@ impl Synthesizer {
         };
         let overall = Instant::now();
         let budget = adopt(Budget::for_search(&self.options));
-        let mut report =
-            search_governed_warm(problem, &self.options, &budget, tracer, warm.as_deref_mut());
+        let mut report = search_governed_warm(problem, &self.options, &budget, tracer, warm);
         report.attempts.push(Attempt {
             rung: Rung::Full,
             error: report.outcome.as_ref().err().cloned(),

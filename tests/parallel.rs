@@ -11,7 +11,6 @@ use std::time::Duration;
 use lambda2::suite::by_name;
 use lambda2::synth::par::{
     portfolio_report, portfolio_report_traced, synthesize_batch, ParEngine, ParTask,
-    PortableProblem,
 };
 use lambda2::synth::{
     CollectTracer, Problem, Rung, SearchOptions, Stats, SynthError, Synthesizer, TraceEvent,
@@ -39,7 +38,7 @@ fn options_for(name: &str) -> SearchOptions {
 fn task_for(name: &str) -> ParTask {
     let bench = by_name(name).expect("suite problem");
     ParTask {
-        spec: PortableProblem::from_problem(&bench.problem),
+        spec: bench.problem.clone(),
         options: options_for(name),
         engine: ParEngine::Search,
         portfolio: false,
@@ -72,7 +71,7 @@ fn parallel_batch_matches_sequential_runs_exactly() {
         let report = outcome.result.as_ref().expect("no panic");
         let par = report.outcome.as_ref().expect("fast problem solves");
         assert_eq!(outcome.name, *name);
-        assert_eq!(par.program, seq.program.to_string(), "{name}");
+        assert_eq!(par.program.to_string(), seq.program.to_string(), "{name}");
         assert_eq!(par.cost, seq.cost, "{name}");
         assert_eq!(
             counters(&report.stats),
@@ -286,16 +285,28 @@ fn portfolio_progress_heartbeats_replay_in_rung_order() {
 }
 
 #[test]
-fn a_crashing_task_is_isolated_from_the_rest_of_the_batch() {
-    // A spec whose type no longer parses panics inside its worker at
-    // rebuild time; the batch must deliver that panic as a per-task error
-    // while every other task completes normally.
+fn a_failing_task_is_isolated_from_the_rest_of_the_batch() {
+    // A problem with contradictory examples fails inside its worker; the
+    // batch must deliver that failure as a per-task outcome while every
+    // other task completes normally. (Worker *panics* are likewise
+    // per-item — see the pool's own unit tests — but since problems cross
+    // threads as parsed `Problem`s there is no rebuild step left to
+    // crash.)
     let mut broken = task_for("ident");
-    broken.spec.params[0].1 = "not-a-type!!".into();
+    broken.spec = Problem::builder("ident")
+        .param("x", "int")
+        .returns("int")
+        .example(&["1"], "1")
+        .example(&["1"], "2")
+        .build()
+        .unwrap();
     let tasks = vec![task_for("head"), broken, task_for("tail")];
     let outcomes = synthesize_batch(tasks, 3);
-    assert!(outcomes[0].result.is_ok());
-    let err = outcomes[1].result.as_ref().unwrap_err();
-    assert!(err.contains("rebuilding problem `ident`"), "{err}");
-    assert!(outcomes[2].result.is_ok());
+    assert!(outcomes[0].result.as_ref().is_ok_and(|r| r.outcome.is_ok()));
+    let report = outcomes[1].result.as_ref().expect("failure, not panic");
+    assert_eq!(
+        report.outcome.as_ref().unwrap_err(),
+        &SynthError::InconsistentExamples
+    );
+    assert!(outcomes[2].result.as_ref().is_ok_and(|r| r.outcome.is_ok()));
 }
