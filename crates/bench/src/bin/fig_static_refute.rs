@@ -12,6 +12,11 @@
 //! planning site, so the pre-pass moves accounting (and skips the
 //! per-combinator deduction work), it does not shrink the search frontier.
 //!
+//! Both arms pin `static_prune(false)`: this experiment isolates the
+//! *attribution* tier, whose checks are strictly weaker than deduction.
+//! The pruning tier (on by default) genuinely shrinks the frontier and is
+//! measured separately by `fig_static_prune`.
+//!
 //! Usage: `cargo run -p bench --release --bin fig_static_refute [-- --quick]`
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -27,6 +32,7 @@ fn run(bench: &Benchmark, analysis: bool) -> Measurement {
     let outcome = catch_unwind(AssertUnwindSafe(|| {
         Synthesizer::with_options(options.clone())
             .static_analysis(analysis)
+            .static_prune(false)
             .synthesize(problem)
     }));
     match outcome {

@@ -25,6 +25,7 @@
 
 #![warn(missing_docs)]
 
+mod dups;
 pub mod generators;
 mod lists;
 mod nested;
@@ -119,9 +120,11 @@ impl Benchmark {
 }
 
 /// The full benchmark suite, in a fixed deterministic order
-/// (lists, then trees, then nested, then pairs).
+/// (lists, then duplicate-bearing lists, then trees, then nested, then
+/// pairs).
 pub fn catalog() -> Vec<Benchmark> {
     let mut out = lists::benchmarks();
+    out.extend(dups::benchmarks());
     out.extend(trees::benchmarks());
     out.extend(nested::benchmarks());
     out.extend(pairs::benchmarks());

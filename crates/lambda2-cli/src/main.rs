@@ -40,7 +40,10 @@
 //!   --portfolio             race the retry-ladder rungs concurrently;
 //!                           same answer as --retry-ladder, less wall time
 //!   --no-static-analysis    disable the abstract-interpretation refutation
-//!                           pre-pass (attribution-only; same results)
+//!                           pre-pass entirely (both tiers; same results)
+//!   --no-static-prune       keep the pre-pass but disable its pruning
+//!                           tier (the ablation arm: same programs and
+//!                           costs, strictly more search work)
 //!
 //! flags (lint):
 //!   --json                  one JSON object per diagnostic per line
@@ -82,10 +85,13 @@
 //! healthy but saturated, a distinct condition from failure.
 //!
 //! `lint` exit codes: 0 when every file is clean, 1 when any diagnostic
-//! was reported, 2 on usage or I/O errors. Each diagnostic carries a
-//! stable machine-readable code (`parse-error`, `type-mismatch`,
-//! `contradictory-examples`, `unsat-abstract`, `library-shadowed`,
-//! `library-unused`). `profile diff` exit codes: 0 when the traces are
+//! was reported, 2 on usage or I/O errors. An unreadable file does not
+//! stop the remaining files from being linted — it is reported (code
+//! `io-error` under `--json`) and the exit code deferred. Each diagnostic
+//! carries a stable machine-readable code (`parse-error`,
+//! `type-mismatch`, `contradictory-examples`, `duplicate-examples`,
+//! `constant-input`, `permutation-conflict`, `unsat-abstract`,
+//! `library-shadowed`, `library-unused`). `profile diff` exit codes: 0 when the traces are
 //! identical, 1 when they diverge or one is a truncated prefix of the
 //! other, 2 on usage or I/O errors.
 //!
@@ -161,6 +167,8 @@ struct Flags {
     portfolio: bool,
     /// Disable the abstract-interpretation refutation pre-pass.
     no_static_analysis: bool,
+    /// Keep the pre-pass but disable its pruning tier (ablation arm).
+    no_static_prune: bool,
     /// `lint`/`profile`: print machine-readable JSON instead of human text.
     json: bool,
     /// `profile tree`/`profile report`: write the output to this file
@@ -292,6 +300,7 @@ impl Flags {
                 }
                 "--portfolio" => flags.portfolio = true,
                 "--no-static-analysis" => flags.no_static_analysis = true,
+                "--no-static-prune" => flags.no_static_prune = true,
                 "--json" => flags.json = true,
                 "--out" => match it.next() {
                     Some(path) => flags.out = Some(PathBuf::from(path)),
@@ -335,6 +344,9 @@ impl Flags {
         }
         if self.no_static_analysis {
             options.static_analysis = false;
+        }
+        if self.no_static_prune {
+            options.static_prune = false;
         }
         if self.progress {
             options.progress = true;
@@ -386,7 +398,7 @@ fn main() -> ExitCode {
                  flags: --trace <path>  --stats-json[=<path>]  --corpus <dir>  \
                  --progress  --timeout-ms <n>  \
                  --max-overshoot-ms <n>  --retry-ladder  --jobs <n>  --portfolio  \
-                 --no-static-analysis\n\
+                 --no-static-analysis  --no-static-prune\n\
                  profile flags: --json  --weight pops|time  --out <path>\n\
                  corpus flags: --json  --wall-ratio <f>  --wall-floor-ms <n>  \
                  --no-wall-check\n\
@@ -906,14 +918,29 @@ fn cmd_bench(names: &[String], flags: &Flags) -> Result<(), String> {
 /// Statically checks each problem file, printing diagnostics as
 /// `path: code: message` lines (or JSON Lines with `--json`). Exit codes:
 /// 0 every file clean, 1 any diagnostic reported, 2 usage or I/O error.
+///
+/// Every file is checked even when an earlier one fails to read — an
+/// unreadable file is reported (as an `io-error` JSON line with `--json`)
+/// and the nonzero exit is deferred to the end, mirroring how a multi-
+/// problem `l2 synth` reports every problem before failing the batch.
 fn cmd_lint(paths: &[String], flags: &Flags) -> ExitCode {
     let mut diagnostics = 0usize;
+    let mut io_errors = 0usize;
     for path in paths {
         let src = match std::fs::read_to_string(path) {
             Ok(src) => src,
             Err(e) => {
-                eprintln!("error: reading {path}: {e}");
-                return ExitCode::from(2);
+                io_errors += 1;
+                if flags.json {
+                    emit_line(Json::obj([
+                        ("file", path.as_str().into()),
+                        ("code", "io-error".into()),
+                        ("message", e.to_string().as_str().into()),
+                    ]));
+                } else {
+                    eprintln!("error: reading {path}: {e}");
+                }
+                continue;
             }
         };
         for d in lint_source(&src) {
@@ -929,7 +956,13 @@ fn cmd_lint(paths: &[String], flags: &Flags) -> ExitCode {
             }
         }
     }
-    if diagnostics == 0 {
+    if io_errors > 0 {
+        eprintln!(
+            "{diagnostics} diagnostic(s), {io_errors} unreadable file(s) across {} file(s)",
+            paths.len()
+        );
+        ExitCode::from(2)
+    } else if diagnostics == 0 {
         eprintln!("{} file(s) clean", paths.len());
         ExitCode::SUCCESS
     } else {
@@ -1667,22 +1700,54 @@ mod tests {
 
     #[test]
     fn lint_and_analysis_flags_parse_and_apply() {
-        let mut args: Vec<String> = ["lint", "--json", "p.l2", "--no-static-analysis"]
-            .iter()
-            .map(|s| (*s).to_owned())
-            .collect();
+        let mut args: Vec<String> = [
+            "lint",
+            "--json",
+            "p.l2",
+            "--no-static-analysis",
+            "--no-static-prune",
+        ]
+        .iter()
+        .map(|s| (*s).to_owned())
+        .collect();
         let flags = Flags::extract(&mut args).unwrap();
         assert!(flags.json);
         assert!(flags.no_static_analysis);
+        assert!(flags.no_static_prune);
         assert_eq!(args, vec!["lint".to_owned(), "p.l2".to_owned()]);
 
         let opts = flags.apply(SearchOptions::default());
         assert!(!opts.static_analysis);
-        assert!(
-            Flags::default()
-                .apply(SearchOptions::default())
-                .static_analysis
-        );
+        assert!(!opts.static_prune);
+        let defaults = Flags::default().apply(SearchOptions::default());
+        assert!(defaults.static_analysis);
+        assert!(defaults.static_prune, "pruning ships on by default");
+    }
+
+    #[test]
+    fn lint_reports_every_file_despite_an_unreadable_one() {
+        let dir = std::env::temp_dir().join(format!("l2-lint-multi-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let good = dir.join("good.l2");
+        std::fs::write(
+            &good,
+            "(problem ident\n  (params (l [int]))\n  (returns [int])\n  \
+             (example ([]) [])\n  (example ([1 2]) [1 2])\n  (example ([3]) [3]))\n",
+        )
+        .unwrap();
+        let missing = dir.join("does-not-exist.l2");
+        let paths = vec![
+            missing.to_string_lossy().into_owned(),
+            good.to_string_lossy().into_owned(),
+        ];
+        // The unreadable first file must not stop the second from being
+        // linted; the I/O failure is reported and the exit is 2.
+        let code = cmd_lint(&paths, &Flags::default());
+        assert_eq!(code, ExitCode::from(2));
+        // All files readable and clean: success.
+        let code = cmd_lint(&paths[1..], &Flags::default());
+        assert_eq!(code, ExitCode::SUCCESS);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -1,0 +1,348 @@
+//! Arena-memoized abstract values for the refutation pre-pass.
+//!
+//! Within one planning sweep a candidate collection term is checked
+//! against every applicable combinator, and across sweeps the same
+//! [`TermId`] reappears whenever its hole context (store key) recurs.
+//! The abstraction the domain checks consume — per-row shape intervals
+//! and element-count multisets ([`TermAbs`]) — depends only on the
+//! term's evaluated values, so it is computed once per term and cached
+//! here, dense-indexed by the term's arena id exactly like the stores
+//! that own those arenas.
+//!
+//! The cache is byte-budgeted like [`crate::enumerate::TermStore`]s:
+//! when the estimated footprint exceeds the budget, whole per-store
+//! slabs are evicted least-recently-touched first (never the slab
+//! being read). Under `check-invariants` the byte accounting is
+//! recomputed and compared at every eviction, and every cache hit is
+//! re-derived from the term's values and compared at the use site.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::mem::size_of;
+use std::sync::Arc;
+
+use lambda2_lang::term::TermId;
+use lambda2_lang::value::Value;
+
+use super::domain::{abs_of, AbsShape};
+use crate::spec::ExampleRow;
+
+/// The abstraction of one example row's worth of a term: its shape
+/// (with exact size intervals) and, for lists, the element-occurrence
+/// count multiset that the provenance and cardinality domains consume.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RowAbs {
+    /// Shape with size intervals ([`abs_of`]).
+    pub shape: AbsShape,
+    /// Element counts; `Some` exactly for list values.
+    pub counts: Option<HashMap<Value, u32>>,
+}
+
+impl RowAbs {
+    /// Abstracts one concrete value.
+    pub fn of_value(v: &Value) -> RowAbs {
+        let counts = v.as_list().map(|xs| {
+            let mut counts: HashMap<Value, u32> = HashMap::with_capacity(xs.len());
+            for x in xs {
+                *counts.entry(x.clone()).or_default() += 1;
+            }
+            counts
+        });
+        RowAbs {
+            shape: abs_of(v),
+            counts,
+        }
+    }
+
+    fn approx_bytes(&self) -> usize {
+        // Flat struct plus a rough per-entry charge for the count map
+        // (hashed key value + bucket overhead). Estimation only —
+        // consistency, not precision, is what the budget needs.
+        size_of::<RowAbs>()
+            + self
+                .counts
+                .as_ref()
+                .map_or(0, |c| 32 + c.len() * (size_of::<Value>() + 24))
+    }
+}
+
+/// Per-row abstractions of a term across the whole example set — the
+/// memoized input of [`crate::analyze::refute_expansion_abs`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TermAbs {
+    /// One abstraction per example row, aligned with the spec's rows.
+    pub rows: Vec<RowAbs>,
+}
+
+impl TermAbs {
+    /// Abstracts a term's evaluated per-row values.
+    pub fn of_values(values: &[Value]) -> TermAbs {
+        TermAbs {
+            rows: values.iter().map(RowAbs::of_value).collect(),
+        }
+    }
+
+    /// Abstracts a spec's outputs (the fixed right-hand side every
+    /// candidate is compared against).
+    pub fn of_outputs(rows: &[ExampleRow]) -> TermAbs {
+        TermAbs {
+            rows: rows.iter().map(|r| RowAbs::of_value(&r.output)).collect(),
+        }
+    }
+
+    /// Estimated heap footprint, for the cache byte budget.
+    pub fn approx_bytes(&self) -> usize {
+        size_of::<TermAbs>() + self.rows.iter().map(RowAbs::approx_bytes).sum::<usize>()
+    }
+}
+
+/// Borrowed pair of memoized abstractions handed down to the planner:
+/// the candidate collection's and the spec outputs'.
+#[derive(Clone, Copy)]
+pub struct AbsArgs<'a> {
+    /// Abstraction of the collection candidate's per-row values.
+    pub coll: &'a TermAbs,
+    /// Abstraction of the spec's outputs.
+    pub out: &'a TermAbs,
+}
+
+/// One store's slab: abstractions dense-indexed by [`TermId`], valid
+/// only for the arena of the store identified by the cache key.
+struct Slab {
+    slots: Vec<Option<Arc<TermAbs>>>,
+    bytes: usize,
+    touched: u64,
+}
+
+impl Slab {
+    fn new() -> Slab {
+        Slab {
+            slots: Vec::new(),
+            bytes: size_of::<Slab>(),
+            touched: 0,
+        }
+    }
+}
+
+/// Byte-budgeted cache of [`TermAbs`] keyed by (store key, [`TermId`]).
+///
+/// Generic over the store key so the search can key by its
+/// [`crate::enumerate::StoreKey`] while tests use plain integers. Ids
+/// from different stores index different slabs, which keeps the
+/// arena-locality contract of [`TermId`] intact.
+pub struct AbsCache<K> {
+    slabs: HashMap<K, Slab>,
+    budget: usize,
+    bytes: usize,
+    tick: u64,
+    /// Lifetime totals.
+    hits: u64,
+    lookups: u64,
+    /// Since the last [`AbsCache::take_hit_pct`] call.
+    sweep_hits: u64,
+    sweep_lookups: u64,
+}
+
+impl<K: Clone + Eq + Hash> AbsCache<K> {
+    /// An empty cache that evicts past `budget` estimated bytes.
+    pub fn new(budget: usize) -> AbsCache<K> {
+        AbsCache {
+            slabs: HashMap::new(),
+            budget: budget.max(1),
+            bytes: 0,
+            tick: 0,
+            hits: 0,
+            lookups: 0,
+            sweep_hits: 0,
+            sweep_lookups: 0,
+        }
+    }
+
+    /// The memoized abstraction of term `id` in store `key`, computing
+    /// and caching it via `build` on a miss. `build` must derive the
+    /// abstraction purely from the term's values; under
+    /// `check-invariants` every hit is rebuilt and compared.
+    pub fn get_or_insert(
+        &mut self,
+        key: &K,
+        id: TermId,
+        build: impl FnOnce() -> TermAbs,
+    ) -> Arc<TermAbs> {
+        self.lookups += 1;
+        self.sweep_lookups += 1;
+        self.tick += 1;
+        let tick = self.tick;
+        let slab = self.slabs.entry(key.clone()).or_insert_with(|| {
+            let s = Slab::new();
+            self.bytes += s.bytes;
+            s
+        });
+        slab.touched = tick;
+        let idx = id.index();
+        if idx >= slab.slots.len() {
+            let grown = (idx + 1 - slab.slots.len()) * size_of::<Option<Arc<TermAbs>>>();
+            slab.slots.resize(idx + 1, None);
+            slab.bytes += grown;
+            self.bytes += grown;
+        }
+        if let Some(abs) = &slab.slots[idx] {
+            self.hits += 1;
+            self.sweep_hits += 1;
+            #[cfg(feature = "check-invariants")]
+            assert_eq!(
+                **abs,
+                build(),
+                "cached abstraction diverges from a fresh one for term {idx}"
+            );
+            return Arc::clone(abs);
+        }
+        let abs = Arc::new(build());
+        let cost = abs.approx_bytes();
+        slab.bytes += cost;
+        self.bytes += cost;
+        slab.slots[idx] = Some(Arc::clone(&abs));
+        if self.bytes > self.budget {
+            self.evict(key);
+        }
+        abs
+    }
+
+    /// Evicts least-recently-touched slabs (never `current`) until the
+    /// estimated footprint fits the budget or only `current` remains.
+    fn evict(&mut self, current: &K) {
+        while self.bytes > self.budget {
+            let victim = self
+                .slabs
+                .iter()
+                .filter(|(k, _)| *k != current)
+                .min_by_key(|(_, s)| s.touched)
+                .map(|(k, _)| k.clone());
+            let Some(victim) = victim else { break };
+            if let Some(slab) = self.slabs.remove(&victim) {
+                self.bytes -= slab.bytes;
+            }
+        }
+        #[cfg(feature = "check-invariants")]
+        {
+            let recomputed: usize = self.slabs.values().map(|s| s.bytes).sum();
+            assert_eq!(self.bytes, recomputed, "abs-cache byte accounting drifted");
+        }
+    }
+
+    /// Hit percentage (0–100) over the lookups since the last call,
+    /// `None` when there were none — the per-sweep sample recorded into
+    /// `SearchMetrics::abs_cache_hit_pct`. Resets the sweep window.
+    pub fn take_hit_pct(&mut self) -> Option<u64> {
+        let (h, n) = (self.sweep_hits, self.sweep_lookups);
+        self.sweep_hits = 0;
+        self.sweep_lookups = 0;
+        (n > 0).then(|| h * 100 / n)
+    }
+
+    /// Lifetime `(hits, lookups)`.
+    pub fn totals(&self) -> (u64, u64) {
+        (self.hits, self.lookups)
+    }
+
+    /// Estimated heap footprint.
+    pub fn approx_bytes(&self) -> usize {
+        self.bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lambda2_lang::parser::parse_value;
+    use lambda2_lang::term::TermArena;
+    use lambda2_lang::value::Value;
+
+    fn vals(s: &str) -> Vec<Value> {
+        vec![parse_value(s).unwrap()]
+    }
+
+    /// Ids can only be minted by an arena; intern increasing literals to
+    /// get distinct, dense ids for the cache tests.
+    fn ids(n: usize) -> Vec<TermId> {
+        let mut arena = TermArena::new();
+        (0..n)
+            .map(|i| arena.intern(lambda2_lang::term::Node::Lit(Value::Int(i as i64))))
+            .collect()
+    }
+
+    #[test]
+    fn row_abs_counts_lists_only() {
+        let r = RowAbs::of_value(&parse_value("[5 7 5]").unwrap());
+        assert!(matches!(r.shape, AbsShape::List(_)));
+        let c = r.counts.unwrap();
+        assert_eq!(c.get(&Value::Int(5)), Some(&2));
+        assert_eq!(c.get(&Value::Int(7)), Some(&1));
+        let r = RowAbs::of_value(&parse_value("{1 {2}}").unwrap());
+        assert!(r.counts.is_none());
+        assert!(matches!(r.shape, AbsShape::Tree { .. }));
+        assert!(RowAbs::of_value(&Value::Int(3)).counts.is_none());
+    }
+
+    #[test]
+    fn cache_hits_on_repeat_lookups() {
+        let id = ids(1)[0];
+        let mut cache: AbsCache<u8> = AbsCache::new(1 << 20);
+        let v = vals("[1 2 2]");
+        let a = cache.get_or_insert(&0, id, || TermAbs::of_values(&v));
+        let b = cache.get_or_insert(&0, id, || TermAbs::of_values(&v));
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.totals(), (1, 2));
+        // Same id under a different store key is a distinct entry.
+        let c = cache.get_or_insert(&1, id, || TermAbs::of_values(&v));
+        assert!(!Arc::ptr_eq(&a, &c) && *a == *c);
+        assert_eq!(cache.totals(), (1, 3));
+    }
+
+    #[test]
+    fn sweep_hit_pct_resets_between_takes() {
+        let id = ids(1)[0];
+        let mut cache: AbsCache<u8> = AbsCache::new(1 << 20);
+        assert_eq!(cache.take_hit_pct(), None);
+        let v = vals("[1]");
+        for _ in 0..4 {
+            cache.get_or_insert(&0, id, || TermAbs::of_values(&v));
+        }
+        assert_eq!(cache.take_hit_pct(), Some(75));
+        assert_eq!(cache.take_hit_pct(), None);
+    }
+
+    #[test]
+    fn eviction_drops_the_coldest_slab_but_never_the_current_one() {
+        let id = ids(1)[0];
+        // Budget below two slabs' footprint: inserting under a second
+        // key must evict the first, and a third insert evicts the
+        // second — never the slab being written.
+        let v = vals("[1 2 3 4 5 6 7 8]");
+        let one = TermAbs::of_values(&v).approx_bytes() + 256;
+        let mut cache: AbsCache<u8> = AbsCache::new(one);
+        cache.get_or_insert(&0, id, || TermAbs::of_values(&v));
+        cache.get_or_insert(&1, id, || TermAbs::of_values(&v));
+        // Key 0 was evicted: looking it up again is a miss.
+        cache.get_or_insert(&0, id, || TermAbs::of_values(&v));
+        assert_eq!(cache.totals(), (0, 3));
+        assert!(cache.approx_bytes() <= 2 * one);
+    }
+
+    #[test]
+    fn budget_never_evicts_the_only_slab() {
+        let id = ids(1)[0];
+        let mut cache: AbsCache<u8> = AbsCache::new(1);
+        let v = vals("[1 2 3]");
+        let a = cache.get_or_insert(&0, id, || TermAbs::of_values(&v));
+        let b = cache.get_or_insert(&0, id, || TermAbs::of_values(&v));
+        assert!(Arc::ptr_eq(&a, &b), "current slab must survive eviction");
+    }
+
+    #[test]
+    fn term_abs_bytes_grow_with_content() {
+        let small = TermAbs::of_values(&vals("[1]"));
+        let big = TermAbs::of_values(&vals("[1 2 3 4 5 6 7 8 9]"));
+        assert!(big.approx_bytes() > small.approx_bytes());
+        assert!(small.approx_bytes() > 0);
+    }
+}

@@ -132,6 +132,31 @@ pub fn multiset_included(sub: &[Value], sup: &[Value]) -> bool {
     })
 }
 
+/// Multiset of element occurrence counts — the carrier of the
+/// cardinality domain.
+pub fn value_counts(xs: &[Value]) -> HashMap<&Value, usize> {
+    let mut counts: HashMap<&Value, usize> = HashMap::new();
+    for v in xs {
+        *counts.entry(v).or_default() += 1;
+    }
+    counts
+}
+
+/// Cardinality-domain check: `true` when every distinct value of `sup`
+/// occurs in `sub` either zero times or exactly as often as in `sup`
+/// (and `sub` introduces no foreign values). A `filter` predicate closes
+/// over a fixed environment within one row, so equal elements get the
+/// same verdict: the output keeps *all* or *none* of each value's
+/// occurrences. Together with [`is_subsequence`] this is *complete* for
+/// filter refutation — an output passing both equals `filter_K(sup)` for
+/// the kept-value set `K = {v : count_sub(v) > 0}`.
+pub fn counts_all_or_none(sub: &[Value], sup: &[Value]) -> bool {
+    let have = value_counts(sup);
+    let kept = value_counts(sub);
+    kept.iter()
+        .all(|(v, n)| have.get(v).is_some_and(|m| n == m))
+}
+
 /// Ordering-domain check: `true` if `sub` is an order-preserving
 /// subsequence of `sup`. Subsumes [`multiset_included`] and the length
 /// comparison; the deduction rule for `filter` refutes on exactly this
@@ -199,6 +224,22 @@ mod tests {
         assert!(multiset_included(&vals("[]"), &vals("[]")));
         assert!(!multiset_included(&vals("[1 1]"), &vals("[1 2]")));
         assert!(!multiset_included(&vals("[4]"), &vals("[1 2 3]")));
+    }
+
+    #[test]
+    fn all_or_none_cardinality() {
+        // Keep all 5s and no 7s: fine.
+        assert!(counts_all_or_none(&vals("[5 5]"), &vals("[5 7 5]")));
+        // Keep nothing / everything: fine.
+        assert!(counts_all_or_none(&vals("[]"), &vals("[5 7 5]")));
+        assert!(counts_all_or_none(&vals("[5 7 5]"), &vals("[5 7 5]")));
+        // Keep one of two 5s: refuted — no predicate can split equals.
+        assert!(!counts_all_or_none(&vals("[5]"), &vals("[5 7 5]")));
+        assert!(!counts_all_or_none(&vals("[8 3]"), &vals("[8 3 8]")));
+        // Foreign values are refuted too (provenance usually fires first).
+        assert!(!counts_all_or_none(&vals("[9]"), &vals("[5 7]")));
+        // Duplicate-free rows are never refuted by cardinality.
+        assert!(counts_all_or_none(&vals("[2]"), &vals("[1 2 3]")));
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Static checks over `.l2` problem files — the `lambda2 lint` pass.
 //!
-//! Five checks run over a parsed [`ProblemFile`], each with a stable
+//! The checks run over a parsed [`ProblemFile`], each with a stable
 //! machine-readable code (see [`Code::name`]):
 //!
 //! * `parse-error` — the file is not structurally a problem (s-expression
@@ -12,6 +12,18 @@
 //!   the declared signature.
 //! * `contradictory-examples` — two examples agree on every input but
 //!   disagree on the output: no *function* satisfies them.
+//! * `duplicate-examples` — two examples are byte-identical (inputs *and*
+//!   output): the duplicate adds no constraint but costs deduction and
+//!   verification work on every row.
+//! * `constant-input` — a parameter holds the same value in every example
+//!   (with at least two examples): the synthesizer cannot distinguish it
+//!   from a constant, so the examples underdetermine its role.
+//! * `permutation-conflict` — two examples whose list inputs are
+//!   permutations of each other (all other inputs equal) have outputs
+//!   that conflict for *any* order-insensitive program (scalar outputs
+//!   differ, or list outputs differ as multisets). Advisory: fine if the
+//!   target genuinely depends on element order (`reverse`-style outputs,
+//!   which permute along with the inputs, are not flagged).
 //! * `unsat-abstract` — the collection-growth analysis
 //!   ([`reach::refute_example`]) proves no program over the declared
 //!   library maps some example's inputs to its output.
@@ -42,6 +54,13 @@ pub enum Code {
     TypeMismatch,
     /// Equal inputs mapped to different outputs.
     ContradictoryExamples,
+    /// Two examples are identical in inputs and output.
+    DuplicateExamples,
+    /// A parameter holds the same value in every example.
+    ConstantInput,
+    /// Permuted list inputs with outputs no order-insensitive program
+    /// can produce.
+    PermutationConflict,
     /// Abstractly unsatisfiable: no program over the library fits.
     UnsatAbstract,
     /// A library binding is declared more than once.
@@ -57,6 +76,9 @@ impl Code {
             Code::ParseError => "parse-error",
             Code::TypeMismatch => "type-mismatch",
             Code::ContradictoryExamples => "contradictory-examples",
+            Code::DuplicateExamples => "duplicate-examples",
+            Code::ConstantInput => "constant-input",
+            Code::PermutationConflict => "permutation-conflict",
             Code::UnsatAbstract => "unsat-abstract",
             Code::LibraryShadowed => "library-shadowed",
             Code::LibraryUnused => "library-unused",
@@ -108,6 +130,9 @@ pub fn lint_file(file: &ProblemFile) -> Vec<Diagnostic> {
     check_structure(file, &mut out);
     check_types(file, &mut out);
     check_contradictions(file, &mut out);
+    check_duplicates(file, &mut out);
+    check_constant_inputs(file, &mut out);
+    check_permutation_conflicts(file, &mut out);
     check_unsat(file, &mut out);
     check_library(file, &mut out);
     out
@@ -185,6 +210,100 @@ fn check_contradictions(file: &ProblemFile, out: &mut Vec<Diagnostic>) {
                     Code::ContradictoryExamples,
                     format!(
                         "examples {} and {} have identical inputs but outputs `{out_a}` vs `{out_b}`",
+                        i + 1,
+                        j + 1
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// Byte-identical example rows: redundant, and every search phase pays
+/// for the extra row. Each duplicate is reported once, against the first
+/// occurrence.
+fn check_duplicates(file: &ProblemFile, out: &mut Vec<Diagnostic>) {
+    for (j, ex_b) in file.examples.iter().enumerate() {
+        if let Some(i) = file.examples[..j].iter().position(|ex_a| ex_a == ex_b) {
+            out.push(Diagnostic::new(
+                Code::DuplicateExamples,
+                format!(
+                    "example {} duplicates example {} exactly; it adds no constraint",
+                    j + 1,
+                    i + 1
+                ),
+            ));
+        }
+    }
+}
+
+/// A parameter whose value never varies across (two or more) examples is
+/// indistinguishable from a literal constant to the synthesizer.
+fn check_constant_inputs(file: &ProblemFile, out: &mut Vec<Diagnostic>) {
+    if file.examples.len() < 2 {
+        return;
+    }
+    for (p, (pname, _)) in file.params.iter().enumerate() {
+        let mut values = file.examples.iter().map(|(ins, _)| ins.get(p));
+        let Some(Some(first)) = values.next() else {
+            continue; // arity mismatch rows are `type-mismatch`'s problem
+        };
+        if values.all(|v| v == Some(first)) {
+            out.push(Diagnostic::new(
+                Code::ConstantInput,
+                format!(
+                    "parameter `{pname}` is `{first}` in every example; the examples \
+                     cannot distinguish it from a constant"
+                ),
+            ));
+        }
+    }
+}
+
+/// Two values are equal as multisets (same elements, same counts).
+fn multiset_eq(a: &[Value], b: &[Value]) -> bool {
+    super::domain::value_counts(a) == super::domain::value_counts(b)
+}
+
+/// Permuted list inputs whose outputs conflict for every order-insensitive
+/// program. Outputs that permute along with the inputs (multiset-equal
+/// lists) are consistent with an order-*sensitive* program and also with
+/// an order-insensitive one composed with a reordering, so only outputs
+/// that differ beyond ordering are flagged — and only as advice.
+fn check_permutation_conflicts(file: &ProblemFile, out: &mut Vec<Diagnostic>) {
+    let arity = file.params.len();
+    for (i, (ins_a, out_a)) in file.examples.iter().enumerate() {
+        for (j, (ins_b, out_b)) in file.examples.iter().enumerate().skip(i + 1) {
+            if ins_a.len() != arity || ins_b.len() != arity {
+                continue;
+            }
+            let mut permuted = false;
+            let comparable = ins_a.iter().zip(ins_b).all(|(a, b)| {
+                if a == b {
+                    return true;
+                }
+                match (a.as_list(), b.as_list()) {
+                    (Some(xa), Some(xb)) if multiset_eq(xa, xb) => {
+                        permuted = true;
+                        true
+                    }
+                    _ => false,
+                }
+            });
+            if !comparable || !permuted {
+                continue;
+            }
+            let conflict = match (out_a.as_list(), out_b.as_list()) {
+                (Some(ya), Some(yb)) => !multiset_eq(ya, yb),
+                _ => out_a != out_b,
+            };
+            if conflict {
+                out.push(Diagnostic::new(
+                    Code::PermutationConflict,
+                    format!(
+                        "examples {} and {} have permuted list inputs but outputs \
+                         `{out_a}` vs `{out_b}`; no order-insensitive program satisfies \
+                         both (fine if the target depends on element order)",
                         i + 1,
                         j + 1
                     ),
@@ -320,16 +439,72 @@ mod tests {
 
     #[test]
     fn contradictory_examples_are_reported() {
+        // (The unvarying `l` also legitimately draws `constant-input`.)
         let src = "(problem p (params (l [int])) (returns int)\
                    (example ([1 2]) 1) (example ([1 2]) 2))";
         let diags = lint_source(src);
-        assert_eq!(diags.len(), 1);
-        assert_eq!(diags[0].code, Code::ContradictoryExamples);
+        assert_eq!(codes(src), vec!["contradictory-examples", "constant-input"]);
         assert!(diags[0].message.contains("examples 1 and 2"));
-        // Equal inputs with equal outputs are redundant, not contradictory.
+        // Equal inputs with equal outputs are redundant, not contradictory
+        // — the duplicate-examples check owns that case.
         let src = "(problem p (params (l [int])) (returns int)\
                    (example ([1 2]) 1) (example ([1 2]) 1))";
+        assert_eq!(codes(src), vec!["duplicate-examples", "constant-input"]);
+    }
+
+    #[test]
+    fn duplicate_examples_are_reported_once_per_duplicate() {
+        let src = "(problem p (params (l [int])) (returns int)\
+                   (example ([1]) 1) (example ([2]) 2) (example ([1]) 1) (example ([1]) 1))";
+        let diags = lint_source(src);
+        assert_eq!(
+            diags.iter().map(|d| d.code).collect::<Vec<_>>(),
+            vec![Code::DuplicateExamples, Code::DuplicateExamples]
+        );
+        // Both duplicates point at the first occurrence.
+        assert!(diags[0].message.contains("example 3 duplicates example 1"));
+        assert!(diags[1].message.contains("example 4 duplicates example 1"));
+    }
+
+    #[test]
+    fn constant_inputs_are_reported() {
+        let src = "(problem p (params (l [int]) (n int)) (returns int)\
+                   (example ([1 2] 7) 1) (example ([3] 7) 3))";
+        let diags = lint_source(src);
+        assert_eq!(codes(src), vec!["constant-input"]);
+        assert!(diags[0].message.contains("parameter `n`"));
+        assert!(diags[0].message.contains("`7`"));
+        // A single example cannot establish constancy.
+        let src = "(problem p (params (n int)) (returns int) (example (7) 7))";
         assert!(lint_source(src).is_empty());
+        // A varying parameter is clean.
+        let src = "(problem p (params (n int)) (returns int)\
+                   (example (7) 7) (example (8) 8))";
+        assert!(lint_source(src).is_empty());
+    }
+
+    #[test]
+    fn permutation_conflicts_are_reported() {
+        // Scalar outputs that differ on permuted inputs: no
+        // order-insensitive program (sum, max, …) satisfies both.
+        let src = "(problem p (params (l [int])) (returns int)\
+                   (example ([1 2]) 3) (example ([2 1]) 4))";
+        let diags = lint_source(src);
+        assert_eq!(codes(src), vec!["permutation-conflict"]);
+        assert!(diags[0].message.contains("examples 1 and 2"));
+        // `reverse`-style outputs permute along with the inputs: clean.
+        let src = "(problem p (params (l [int])) (returns [int])\
+                   (example ([1 2]) [2 1]) (example ([2 1]) [1 2]))";
+        assert!(lint_source(src).is_empty());
+        // A second non-list parameter that differs suppresses the check
+        // (the rows are not a pure permutation of one another).
+        let src = "(problem p (params (l [int]) (n int)) (returns int)\
+                   (example ([1 2] 0) 3) (example ([2 1] 1) 4))";
+        assert!(lint_source(src).is_empty());
+        // List outputs differing as multisets on permuted inputs: flagged.
+        let src = "(problem p (params (l [int])) (returns [int])\
+                   (example ([1 2]) [1]) (example ([2 1]) [2 2]))";
+        assert_eq!(codes(src), vec!["permutation-conflict"]);
     }
 
     #[test]

@@ -1,158 +1,261 @@
 //! Per-combinator abstract transfer functions.
 //!
-//! [`refute_expansion`] runs every applicable domain check for a
-//! combinator hypothesis against its concrete example rows. Each check is
-//! a *necessary condition for satisfiability* that is **strictly implied**
-//! by the corresponding deduction rule's refutation condition in
-//! [`crate::deduce`] — see the module docs of [`crate::analyze`] for the
-//! soundness argument and the per-combinator subsumption table.
+//! [`refute_expansion_tiered`] runs every applicable domain check for a
+//! combinator hypothesis against its concrete example rows. The dispatch
+//! iterates [`DOMAIN_ORDER`] and fires the first domain whose check
+//! refutes, so the reported [`RefuteDomain`] is always the *weakest*
+//! sufficient one — the order is enforced by construction, shared with
+//! reporting, and unit-tested below.
 //!
-//! The checks are ordered coarse-to-fine within each combinator (shape
-//! before length before provenance before ordering) so the reported
-//! [`RefuteDomain`] names the *weakest* domain that already suffices.
+//! Attribution-tier checks are necessary conditions for satisfiability
+//! that are **strictly implied** by the corresponding deduction rule's
+//! refutation condition in [`crate::deduce`]; pruning-tier checks
+//! (cardinality) refute hypotheses deduction would keep — see the module
+//! docs of [`crate::analyze`] for the soundness arguments and the
+//! per-combinator subsumption table.
+
+use std::collections::HashMap;
 
 use lambda2_lang::ast::Comb;
 use lambda2_lang::value::Value;
 
-use super::domain::{abs_of, is_subsequence, multiset_included, AbsShape};
-use super::{RefuteDomain, Verdict};
+use super::cache::{AbsArgs, TermAbs};
+use super::domain::{is_subsequence, AbsShape, Interval};
+use super::{RefuteDomain, Tier, Verdict, DOMAIN_ORDER};
 use crate::spec::ExampleRow;
 
 /// Statically refutes a combinator hypothesis `C ◻f [init] coll` against
-/// its example rows, or returns [`Verdict::Unknown`].
+/// its example rows with *every* domain enabled (both tiers), or returns
+/// [`Verdict::Unknown`]. This is the full-power entry used by tests,
+/// lint, and witness suites; the search uses
+/// [`refute_expansion_tiered`] to respect `SearchOptions::static_prune`.
 ///
 /// `coll` holds the evaluated collection argument per row (aligned with
 /// `rows`); `init` likewise for fold combinators (`None` otherwise, as in
 /// [`crate::deduce::deduce`]).
 ///
-/// Every refutation returned here is sound: the corresponding deduction
-/// rule would also refute, and no completion of the hypothesis can satisfy
-/// the rows.
+/// Every refutation returned here is sound: no completion of the
+/// hypothesis can satisfy the rows.
 pub fn refute_expansion(
     comb: Comb,
     rows: &[ExampleRow],
     coll: &[Value],
     init: Option<&[Value]>,
 ) -> Verdict {
+    refute_expansion_tiered(comb, rows, coll, init, true)
+}
+
+/// [`refute_expansion`] with the pruning tier gated by `prune`: when
+/// `false`, only attribution-tier domains run and the verdict is
+/// strictly implied by deduction.
+pub fn refute_expansion_tiered(
+    comb: Comb,
+    rows: &[ExampleRow],
+    coll: &[Value],
+    init: Option<&[Value]>,
+    prune: bool,
+) -> Verdict {
+    let coll_abs = TermAbs::of_values(coll);
+    let out_abs = TermAbs::of_outputs(rows);
+    refute_expansion_abs(
+        comb,
+        rows,
+        coll,
+        AbsArgs {
+            coll: &coll_abs,
+            out: &out_abs,
+        },
+        init,
+        prune,
+    )
+}
+
+/// [`refute_expansion_tiered`] consuming *memoized* abstractions: the
+/// search computes [`TermAbs`] once per term via
+/// [`crate::analyze::AbsCache`] and hands it down here, so the shape,
+/// length, provenance, and cardinality domains read the cached
+/// intervals and count multisets instead of re-deriving them per
+/// (combinator, candidate) pair. `abs` must abstract exactly `coll` and
+/// the rows' outputs — [`refute_expansion_tiered`] is the build-locally
+/// wrapper.
+pub fn refute_expansion_abs(
+    comb: Comb,
+    rows: &[ExampleRow],
+    coll: &[Value],
+    abs: AbsArgs<'_>,
+    init: Option<&[Value]>,
+    prune: bool,
+) -> Verdict {
     debug_assert_eq!(coll.len(), rows.len());
+    debug_assert_eq!(abs.coll.rows.len(), rows.len());
+    debug_assert_eq!(abs.out.rows.len(), rows.len());
     debug_assert_eq!(init.is_some(), comb.init_index().is_some());
-    match comb {
-        Comb::Map => refute_map(rows, coll),
-        Comb::Filter => refute_filter(rows, coll),
-        Comb::Foldl | Comb::Foldr | Comb::Recl => {
-            refute_list_fold(rows, coll, init.expect("fold has init"))
+    for d in DOMAIN_ORDER {
+        if !prune && d.tier() == Tier::Pruning {
+            continue;
         }
-        Comb::Mapt => refute_mapt(rows, coll),
-        Comb::Foldt => refute_tree_fold(rows, coll, init.expect("fold has init")),
-    }
-}
-
-/// `map ◻f c` — shape: collection and output are lists; length: the
-/// output's length interval must meet the collection's (singletons here,
-/// so: equality). Implied by `deduce_map`'s list/length refutations.
-fn refute_map(rows: &[ExampleRow], coll: &[Value]) -> Verdict {
-    for (row, cv) in rows.iter().zip(coll) {
-        let (AbsShape::List(lin), AbsShape::List(lout)) = (abs_of(cv), abs_of(&row.output)) else {
-            return Verdict::Refuted(RefuteDomain::Shape);
-        };
-        if lin.disjoint(lout) {
-            return Verdict::Refuted(RefuteDomain::Length);
+        if domain_refutes(comb, d, rows, coll, abs, init) {
+            return Verdict::Refuted(d);
         }
     }
     Verdict::Unknown
 }
 
-/// `filter ◻p c` — shape: both lists; length: output no longer than the
-/// collection; provenance: output elements drawn from the collection's
-/// multiset; ordering: output is a subsequence. Each is implied by
-/// `deduce_filter`'s single `is_subsequence` refutation (subsequence ⇒
-/// multiset inclusion ⇒ length ≤).
-fn refute_filter(rows: &[ExampleRow], coll: &[Value]) -> Verdict {
-    for (row, cv) in rows.iter().zip(coll) {
-        let (Some(xs), Some(ys)) = (cv.as_list(), row.output.as_list()) else {
-            return Verdict::Refuted(RefuteDomain::Shape);
-        };
-        let (AbsShape::List(lin), AbsShape::List(lout)) = (abs_of(cv), abs_of(&row.output)) else {
-            unreachable!("both checked as lists");
-        };
-        if lout.definitely_exceeds(lin) {
-            return Verdict::Refuted(RefuteDomain::Length);
+/// Whether `domain` *alone* refutes the hypothesis. Each arm checks its
+/// own applicability preconditions (e.g. the length domain only compares
+/// rows where both sides abstract to lists), so the checks are
+/// independent and [`refute_expansion_abs`] can order them purely by
+/// [`DOMAIN_ORDER`].
+///
+/// Shape, length, provenance, and cardinality read the memoized
+/// abstractions in `abs`; order, init, and congruence compare the raw
+/// values (element order and pointwise images are deliberately *not*
+/// abstracted — they are cheap to read directly and expensive to carry).
+fn domain_refutes(
+    comb: Comb,
+    domain: RefuteDomain,
+    rows: &[ExampleRow],
+    coll: &[Value],
+    abs: AbsArgs<'_>,
+    init: Option<&[Value]>,
+) -> bool {
+    use RefuteDomain as D;
+    let pairs = || rows.iter().zip(coll);
+    let each = || 0..rows.len();
+    match (comb, domain) {
+        // `map ◻f c`: output is the pointwise image of the collection.
+        (Comb::Map, D::Shape) => each().any(|i| list_intervals(abs, i).is_none()),
+        (Comb::Map, D::Length) => {
+            each().any(|i| list_intervals(abs, i).is_some_and(|(lin, lout)| lin.disjoint(lout)))
         }
-        if !multiset_included(ys, xs) {
-            return Verdict::Refuted(RefuteDomain::Provenance);
+        (Comb::Map, D::Congruence) => pairs().any(|(row, cv)| {
+            let (Some(xs), Some(ys)) = (cv.as_list(), row.output.as_list()) else {
+                return false;
+            };
+            xs.len() == ys.len() && pointwise_conflict(xs.iter().zip(ys))
+        }),
+
+        // `filter ◻p c`: output keeps a subset of the collection.
+        (Comb::Filter, D::Shape) => each().any(|i| list_intervals(abs, i).is_none()),
+        (Comb::Filter, D::Length) => each().any(|i| {
+            list_intervals(abs, i).is_some_and(|(lin, lout)| lout.definitely_exceeds(lin))
+        }),
+        (Comb::Filter, D::Provenance) => each().any(|i| {
+            list_counts(abs, i).is_some_and(|(kept, have)| {
+                !kept
+                    .iter()
+                    .all(|(v, n)| have.get(v).is_some_and(|m| n <= m))
+            })
+        }),
+        (Comb::Filter, D::Order) => pairs().any(|(row, cv)| {
+            matches!((cv.as_list(), row.output.as_list()),
+                (Some(xs), Some(ys)) if !is_subsequence(ys, xs))
+        }),
+        (Comb::Filter, D::Cardinality) => each().any(|i| {
+            list_counts(abs, i)
+                .is_some_and(|(kept, have)| !kept.iter().all(|(v, n)| have.get(v) == Some(n)))
+        }),
+
+        // `foldl/foldr/recl ◻f e c`: an empty-collection row forces the
+        // output to be the initial value.
+        (Comb::Foldl | Comb::Foldr | Comb::Recl, D::Shape) => {
+            each().any(|i| !matches!(abs.coll.rows[i].shape, AbsShape::List(_)))
         }
-        if !is_subsequence(ys, xs) {
-            return Verdict::Refuted(RefuteDomain::Order);
+        (Comb::Foldl | Comb::Foldr | Comb::Recl, D::Init) => pairs()
+            .zip(init.expect("fold has init"))
+            .any(|((row, cv), iv)| {
+                cv.as_list().is_some_and(|xs| xs.is_empty()) && row.output != *iv
+            }),
+
+        // `mapt ◻f c`: output tree has exactly the collection's shape
+        // (the length domain sees only the coarser size/height
+        // intervals, so it stays the weaker check).
+        (Comb::Mapt, D::Shape) => {
+            pairs().any(|(row, cv)| match (cv.as_tree(), row.output.as_tree()) {
+                (Some(tin), Some(tout)) => !tin.same_shape(tout),
+                _ => true,
+            })
         }
+        (Comb::Mapt, D::Length) => each().any(|i| {
+            let (
+                AbsShape::Tree {
+                    size: sin,
+                    height: hin,
+                },
+                AbsShape::Tree {
+                    size: sout,
+                    height: hout,
+                },
+            ) = (&abs.coll.rows[i].shape, &abs.out.rows[i].shape)
+            else {
+                return false;
+            };
+            sin.disjoint(*sout) || hin.disjoint(*hout)
+        }),
+        (Comb::Mapt, D::Congruence) => pairs().any(|(row, cv)| {
+            let (Some(tin), Some(tout)) = (cv.as_tree(), row.output.as_tree()) else {
+                return false;
+            };
+            tin.same_shape(tout) && pointwise_conflict(tin.values().into_iter().zip(tout.values()))
+        }),
+
+        // `foldt ◻f e c`: an empty-tree row forces the output to be the
+        // initial value.
+        (Comb::Foldt, D::Shape) => {
+            each().any(|i| !matches!(abs.coll.rows[i].shape, AbsShape::Tree { .. }))
+        }
+        (Comb::Foldt, D::Init) => pairs()
+            .zip(init.expect("fold has init"))
+            .any(|((row, cv), iv)| cv.as_tree().is_some_and(|t| t.is_empty()) && row.output != *iv),
+
+        // The remaining (combinator, domain) pairs have no check.
+        _ => false,
     }
-    Verdict::Unknown
 }
 
-/// `foldl/foldr/recl ◻f e c` — shape: collections are lists; init: an
-/// empty-collection row forces the output to be the initial value. Implied
-/// by `deduce_fold`'s list check and base check.
-fn refute_list_fold(rows: &[ExampleRow], coll: &[Value], init: &[Value]) -> Verdict {
-    for ((row, cv), iv) in rows.iter().zip(coll).zip(init) {
-        let Some(xs) = cv.as_list() else {
-            return Verdict::Refuted(RefuteDomain::Shape);
-        };
-        if xs.is_empty() && row.output != *iv {
-            return Verdict::Refuted(RefuteDomain::Init);
-        }
+/// Row `i`'s (collection, output) length intervals when both abstract
+/// to lists.
+fn list_intervals(abs: AbsArgs<'_>, i: usize) -> Option<(Interval, Interval)> {
+    match (&abs.coll.rows[i].shape, &abs.out.rows[i].shape) {
+        (AbsShape::List(lin), AbsShape::List(lout)) => Some((*lin, *lout)),
+        _ => None,
     }
-    Verdict::Unknown
 }
 
-/// `mapt ◻f c` — shape: collection and output are trees of identical
-/// shape; length/size: equal node counts and heights (checked first, as
-/// the coarser domain). Implied by `deduce_mapt`'s tree/`same_shape`
-/// refutations, since identical shape forces equal size and height.
-fn refute_mapt(rows: &[ExampleRow], coll: &[Value]) -> Verdict {
-    for (row, cv) in rows.iter().zip(coll) {
-        let (Some(tin), Some(tout)) = (cv.as_tree(), row.output.as_tree()) else {
-            return Verdict::Refuted(RefuteDomain::Shape);
-        };
-        let (
-            AbsShape::Tree {
-                size: sin,
-                height: hin,
-            },
-            AbsShape::Tree {
-                size: sout,
-                height: hout,
-            },
-        ) = (abs_of(cv), abs_of(&row.output))
-        else {
-            unreachable!("both checked as trees");
-        };
-        if sin.disjoint(sout) || hin.disjoint(hout) {
-            return Verdict::Refuted(RefuteDomain::Length);
-        }
-        if !tin.same_shape(tout) {
-            return Verdict::Refuted(RefuteDomain::Shape);
-        }
+/// Row `i`'s (output, collection) element-count multisets when both
+/// abstract to lists — (kept, have) in filter terms.
+#[allow(clippy::type_complexity)]
+fn list_counts(abs: AbsArgs<'_>, i: usize) -> Option<(&HashMap<Value, u32>, &HashMap<Value, u32>)> {
+    match (&abs.out.rows[i].counts, &abs.coll.rows[i].counts) {
+        (Some(kept), Some(have)) => Some((kept, have)),
+        _ => None,
     }
-    Verdict::Unknown
 }
 
-/// `foldt ◻f e c` — shape: collections are trees; init: an empty-tree row
-/// forces the output to be the initial value. Implied by `deduce_foldt`'s
-/// tree check and empty-root check.
-fn refute_tree_fold(rows: &[ExampleRow], coll: &[Value], init: &[Value]) -> Verdict {
-    for ((row, cv), iv) in rows.iter().zip(coll).zip(init) {
-        let Some(t) = cv.as_tree() else {
-            return Verdict::Refuted(RefuteDomain::Shape);
-        };
-        if t.is_empty() && row.output != *iv {
-            return Verdict::Refuted(RefuteDomain::Init);
+/// Congruence conflict: two equal inputs paired with different outputs.
+/// Sound within one example row because the hole sees a fixed environment
+/// there — equal elements must map to equal results.
+fn pointwise_conflict<'a, I>(pairs: I) -> bool
+where
+    I: Iterator<Item = (&'a Value, &'a Value)>,
+{
+    let mut image: HashMap<&Value, &Value> = HashMap::new();
+    for (vi, vo) in pairs {
+        match image.get(vi) {
+            Some(prev) if *prev != vo => return true,
+            Some(_) => {}
+            None => {
+                image.insert(vi, vo);
+            }
         }
     }
-    Verdict::Unknown
+    false
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::analyze::oracle;
     use crate::deduce::testutil::{rows_on_var, sym, val};
     use crate::deduce::{deduce, Outcome};
 
@@ -170,10 +273,12 @@ mod tests {
         (verdict, outcome)
     }
 
-    /// Every static refutation in these cases is confirmed by deduction —
-    /// the in-engine invariant that `check-invariants` asserts at runtime.
+    /// Every attribution-tier refutation in these cases is confirmed by
+    /// deduction — the in-engine invariant that `check-invariants`
+    /// asserts at runtime.
     fn assert_refuted(case: (Verdict, Outcome), domain: RefuteDomain) {
         assert_eq!(case.0, Verdict::Refuted(domain));
+        assert_eq!(domain.tier(), Tier::Attribution, "use assert_pruned");
         assert!(
             matches!(case.1, Outcome::Refuted),
             "static refutation not confirmed by deduction"
@@ -190,11 +295,16 @@ mod tests {
             check(Comb::Map, &[("[1 2]", "3")], None, &["x"]),
             RefuteDomain::Shape,
         );
-        // Pointwise conflicts are beyond the abstract domains: deduction
-        // refutes, the analyzer stays Unknown (soundness, not completeness).
-        let (v, o) = check(Comb::Map, &[("[1 1]", "[2 9]")], None, &["x"]);
+        // Pointwise conflicts within one row are the congruence domain;
+        // deduction confirms (the conflicting sub-spec rows collide).
+        assert_refuted(
+            check(Comb::Map, &[("[1 1]", "[2 9]")], None, &["x"]),
+            RefuteDomain::Congruence,
+        );
+        // Equal elements mapped equally: consistent, stays Unknown.
+        let (v, o) = check(Comb::Map, &[("[1 1 2]", "[5 5 6]")], None, &["x"]);
         assert_eq!(v, Verdict::Unknown);
-        assert!(matches!(o, Outcome::Refuted));
+        assert!(matches!(o, Outcome::Deduced(_)));
     }
 
     #[test]
@@ -215,6 +325,40 @@ mod tests {
             check(Comb::Filter, &[("[1 2]", "7")], None, &["x"]),
             RefuteDomain::Shape,
         );
+    }
+
+    #[test]
+    fn filter_cardinality_refutes_where_deduction_cannot() {
+        // `[5 7 5] → [5]` keeps one of two equal elements: no predicate
+        // can do that, but deduction deliberately skips the ambiguous
+        // duplicate rows and stays open.
+        let (v, o) = check(Comb::Filter, &[("[5 7 5]", "[5]")], None, &["x"]);
+        assert_eq!(v, Verdict::Refuted(RefuteDomain::Cardinality));
+        assert!(
+            matches!(o, Outcome::Deduced(_)),
+            "deduction should NOT refute this — that's the point of the pruning tier"
+        );
+        // The bounded brute-force oracle re-proves the refutation instead.
+        let (rows, coll) = rows_on_var("l", &[("[5 7 5]", "[5]")]);
+        assert!(oracle::no_filter_completion(&rows, &coll.values));
+
+        // Same for the droplast-style row.
+        let (v, _) = check(Comb::Filter, &[("[8 3 8]", "[8 3]")], None, &["x"]);
+        assert_eq!(v, Verdict::Refuted(RefuteDomain::Cardinality));
+
+        // With pruning off, the tiered entry leaves it Unknown.
+        let (rows, coll) = rows_on_var("l", &[("[5 7 5]", "[5]")]);
+        assert_eq!(
+            refute_expansion_tiered(Comb::Filter, &rows, &coll.values, None, false),
+            Verdict::Unknown
+        );
+    }
+
+    #[test]
+    fn filter_all_or_none_rows_stay_unknown() {
+        // Keeping both 5s (all occurrences) is realizable: `x = 5`.
+        let (v, _) = check(Comb::Filter, &[("[5 7 5]", "[5 5]")], None, &["x"]);
+        assert_eq!(v, Verdict::Unknown);
     }
 
     #[test]
@@ -263,6 +407,11 @@ mod tests {
             ),
             RefuteDomain::Shape,
         );
+        // Equal node values sent to different outputs: congruence.
+        assert_refuted(
+            check(Comb::Mapt, &[("{1 {1}}", "{2 {3}}")], None, &["x"]),
+            RefuteDomain::Congruence,
+        );
         assert_refuted(
             check(Comb::Foldt, &[("{}", "5")], Some("0"), &["v", "rs"]),
             RefuteDomain::Init,
@@ -292,6 +441,65 @@ mod tests {
         for (comb, pairs, init, binders) in cases {
             let (v, _) = check(*comb, pairs, *init, binders);
             assert_eq!(v, Verdict::Unknown, "{comb:?}");
+        }
+    }
+
+    /// Satellite invariant: the reported domain is always the first entry
+    /// of [`DOMAIN_ORDER`] whose check individually refutes — the weakest
+    /// sufficient evidence, by the table the dispatch itself iterates.
+    #[test]
+    fn reported_domain_is_the_weakest_sufficient_one() {
+        let cases: &[UnknownCase] = &[
+            (Comb::Map, &[("[1 2]", "[2]")], None, &["x"]),
+            (Comb::Map, &[("[1 2]", "3")], None, &["x"]),
+            (Comb::Map, &[("[1 1]", "[2 9]")], None, &["x"]),
+            // Mixed rows: a coarser domain fires on a *later* row than a
+            // finer one — order must still win over row position.
+            (
+                Comb::Map,
+                &[("[1 1]", "[2 9]"), ("[1 2]", "[2]")],
+                None,
+                &["x"],
+            ),
+            (Comb::Filter, &[("[1 2]", "[1 2 3]")], None, &["x"]),
+            (Comb::Filter, &[("[1 2]", "[3]")], None, &["x"]),
+            (Comb::Filter, &[("[1 2]", "[2 1]")], None, &["x"]),
+            (Comb::Filter, &[("[5 7 5]", "[5]")], None, &["x"]),
+            (
+                Comb::Filter,
+                &[("[5 7 5]", "[5]"), ("[1 2]", "[2 1]")],
+                None,
+                &["x"],
+            ),
+            (Comb::Foldl, &[("[]", "5")], Some("0"), &["a", "x"]),
+            (Comb::Mapt, &[("{1 {2}}", "{1}")], None, &["x"]),
+            (Comb::Mapt, &[("{1 {1}}", "{2 {3}}")], None, &["x"]),
+            (Comb::Foldt, &[("{}", "5")], Some("0"), &["v", "rs"]),
+        ];
+        for (comb, pairs, init, _) in cases {
+            let (rows, coll) = rows_on_var("l", pairs);
+            let init_vals: Option<Vec<Value>> = init.map(|s| vec![val(s); rows.len()]);
+            let verdict = refute_expansion(*comb, &rows, &coll.values, init_vals.as_deref());
+            let Verdict::Refuted(reported) = verdict else {
+                panic!("{comb:?} {pairs:?}: expected a refutation");
+            };
+            let coll_abs = TermAbs::of_values(&coll.values);
+            let out_abs = TermAbs::of_outputs(&rows);
+            let abs = AbsArgs {
+                coll: &coll_abs,
+                out: &out_abs,
+            };
+            let weakest = DOMAIN_ORDER
+                .into_iter()
+                .find(|d| domain_refutes(*comb, *d, &rows, &coll.values, abs, init_vals.as_deref()))
+                .expect("some domain refutes");
+            assert_eq!(
+                reported,
+                weakest,
+                "{comb:?} {pairs:?}: reported {} but weakest sufficient is {}",
+                reported.name(),
+                weakest.name()
+            );
         }
     }
 }

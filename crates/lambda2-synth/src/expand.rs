@@ -20,7 +20,9 @@ use lambda2_lang::symbol::Symbol;
 use lambda2_lang::ty::{Subst, Type};
 use lambda2_lang::value::Value;
 
-use crate::analyze::{refute_expansion, RefuteDomain, Verdict};
+use crate::analyze::{
+    refute_expansion_abs, refute_expansion_tiered, AbsArgs, RefuteDomain, Verdict,
+};
 use crate::cost::CostModel;
 use crate::deduce::{deduce_within, CollectionArg, Outcome};
 use crate::govern::{Budget, BudgetExceeded};
@@ -34,10 +36,11 @@ pub enum ExpandFail {
     /// Deduction proved no completion can satisfy the hole's rows.
     Refuted,
     /// The abstract-interpretation pre-pass ([`crate::analyze`]) proved no
-    /// completion can satisfy the hole's rows, before deduction ran. Every
-    /// static refutation is also a deduction refutation (the analyzer's
-    /// checks are strictly weaker), so this only changes *attribution*,
-    /// never the set of planned templates.
+    /// completion can satisfy the hole's rows, before deduction ran.
+    /// Attribution-tier domains only change *attribution* (deduction
+    /// would refute too); pruning-tier domains (`RefuteDomain::tier()`)
+    /// remove templates deduction would have planned — still sound, the
+    /// refuted hypothesis has no completion.
     StaticRefuted(RefuteDomain),
     /// The resource budget tripped mid-planning; the caller should abort
     /// its planning sweep, not count a refutation.
@@ -131,6 +134,8 @@ pub fn plan_expansion(
         costs,
         deduction_enabled,
         true,
+        true,
+        None,
         &Budget::unlimited(),
     )
 }
@@ -157,6 +162,8 @@ pub fn plan_expansion_within(
     costs: &CostModel,
     deduction_enabled: bool,
     analysis: bool,
+    prune: bool,
+    abs: Option<AbsArgs<'_>>,
     budget: &Budget,
 ) -> Result<Template, ExpandFail> {
     debug_assert_eq!(init_cand.is_some(), comb.init_index().is_some());
@@ -234,34 +241,72 @@ pub fn plan_expansion_within(
     let binders = binder_symbols(comb, &taken);
 
     // --- Abstract pre-pass --------------------------------------------------
-    // Runs only when deduction is on: every analyzer check is strictly
+    // Runs only when deduction is on: attribution-tier checks are strictly
     // weaker than the corresponding deduction rule, so with deduction off
-    // (the paper's ablation) the analyzer must not prune either.
+    // (the paper's ablation) the analyzer must not prune either. The
+    // pruning tier rides the same gate — its refutations replace work
+    // deduction *and* enumeration would otherwise do.
     let init_values = init_cand.map(|c| c.values.as_slice());
     if analysis && deduction_enabled {
-        if let Verdict::Refuted(domain) =
-            refute_expansion(comb, info.spec.rows(), &cand.values, init_values)
-        {
+        // With memoized abstractions in hand (the search's `AbsCache`
+        // path), consume them; otherwise build them locally.
+        let verdict = match abs {
+            Some(a) => {
+                refute_expansion_abs(comb, info.spec.rows(), &cand.values, a, init_values, prune)
+            }
+            None => {
+                refute_expansion_tiered(comb, info.spec.rows(), &cand.values, init_values, prune)
+            }
+        };
+        #[cfg(feature = "check-invariants")]
+        if abs.is_some() {
+            // Cached abstractions must be indistinguishable from fresh
+            // ones at the verdict level.
+            assert_eq!(
+                verdict,
+                refute_expansion_tiered(comb, info.spec.rows(), &cand.values, init_values, prune),
+                "memoized abstraction changed the verdict for {comb:?}"
+            );
+        }
+        if let Verdict::Refuted(domain) = verdict {
             #[cfg(feature = "check-invariants")]
             {
-                // Soundness cross-check: deduction must agree with every
-                // static refutation (analyzer ⊆ deduction).
-                let arg = CollectionArg {
-                    values: cand.values.clone(),
-                    var: None,
-                };
-                let outcome = crate::deduce::deduce(
-                    comb,
-                    info.spec.rows(),
-                    &arg,
-                    init_values,
-                    &binders,
-                    true,
-                );
-                assert!(
-                    matches!(outcome, Outcome::Refuted),
-                    "static refutation ({domain:?}) not confirmed by deduction for {comb:?}"
-                );
+                // Soundness cross-check at the refutation site, by tier:
+                // attribution verdicts must be confirmed by deduction
+                // (analyzer ⊆ deduction); pruning verdicts can't be —
+                // deduction is strictly weaker there — so the bounded
+                // brute-force oracle re-proves them instead.
+                match domain.tier() {
+                    crate::analyze::Tier::Attribution => {
+                        let arg = CollectionArg {
+                            values: cand.values.clone(),
+                            var: None,
+                        };
+                        let outcome = crate::deduce::deduce(
+                            comb,
+                            info.spec.rows(),
+                            &arg,
+                            init_values,
+                            &binders,
+                            true,
+                        );
+                        assert!(
+                            matches!(outcome, Outcome::Refuted),
+                            "static refutation ({domain:?}) not confirmed by deduction for {comb:?}"
+                        );
+                    }
+                    crate::analyze::Tier::Pruning => {
+                        assert!(
+                            crate::analyze::oracle::reprove_pruned(
+                                comb,
+                                domain,
+                                info.spec.rows(),
+                                &cand.values,
+                            ),
+                            "pruned refutation ({domain:?}) not confirmed by the oracle for {comb:?}"
+                        );
+                    }
+                }
             }
             return Err(ExpandFail::StaticRefuted(domain));
         }
@@ -641,10 +686,50 @@ mod tests {
             &CostModel::default(),
             true,
             false,
+            false,
+            None,
             &Budget::unlimited(),
         )
         .unwrap_err();
         assert_eq!(err, ExpandFail::Refuted);
+    }
+
+    #[test]
+    fn filter_expansion_prunes_on_cardinality() {
+        let (h, vals) = root_with_examples(&[("[5 7 5]", "[5]")], Type::list(Type::Int));
+        let (_, info) = h.first_hole().unwrap();
+        let info = info.clone();
+        let expr = Arc::new(Expr::var("l"));
+        let ty = Type::list(Type::Int);
+        // With pruning on, the cardinality domain refutes before deduction
+        // runs — and under `check-invariants` the brute-force oracle
+        // re-proves the verdict at this site (deduction cannot: it skips
+        // partially-kept duplicates).
+        let err = plan_expansion(
+            &info,
+            Comb::Filter,
+            &var_candidate(&expr, &ty, vals.clone()),
+            None,
+            &CostModel::default(),
+            true,
+        )
+        .unwrap_err();
+        assert_eq!(err, ExpandFail::StaticRefuted(RefuteDomain::Cardinality));
+        // With pruning off, deduction keeps the hypothesis open and a
+        // template is planned — exactly the work pruning removes.
+        let t = plan_expansion_within(
+            &info,
+            Comb::Filter,
+            &var_candidate(&expr, &ty, vals),
+            None,
+            &CostModel::default(),
+            true,
+            true,
+            false,
+            None,
+            &Budget::unlimited(),
+        );
+        assert!(t.is_ok(), "{t:?}");
     }
 
     #[test]

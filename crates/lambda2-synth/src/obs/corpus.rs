@@ -129,6 +129,7 @@ pub fn options_fingerprint(options: &SearchOptions) -> String {
     let SearchOptions {
         deduction,
         static_analysis,
+        static_prune,
         max_term_cost,
         max_term_cost_blind,
         max_collection_cost,
@@ -173,6 +174,14 @@ pub fn options_fingerprint(options: &SearchOptions) -> String {
     // distributions differ even though counters do not).
     if *jobs != 1 {
         pairs.push(("jobs", jobs.to_string()));
+    }
+    // Pruning is proven (by differential test) to keep programs and costs
+    // byte-identical, and it ships default-on — so the default keeps the
+    // fingerprints of every record written before the flag existed, and
+    // only the `--no-static-prune` ablation forks its own baseline (its
+    // counters genuinely differ: pruned work comes back).
+    if !*static_prune {
+        pairs.push(("static_prune", static_prune.to_string()));
     }
     pairs.extend([
         ("max_collection_cost", max_collection_cost.to_string()),

@@ -159,8 +159,13 @@ pub enum TraceEvent {
         /// Rendered initial-value candidate (folds only).
         init: Option<String>,
         /// Stable name of the abstract domain that proved the refutation
-        /// (`shape`, `length`, `provenance`, `order`, `init`).
+        /// (`shape`, `length`, `provenance`, `order`, `init`,
+        /// `cardinality`, `congruence`).
         domain: &'static str,
+        /// `true` for pruning-tier domains: the refutation removed work
+        /// deduction would have kept (serialized only when set, so
+        /// attribution-tier events keep their historical shape).
+        pruned: bool,
     },
     /// A closing stream advanced to a new term-cost tier.
     Tier {
@@ -283,6 +288,7 @@ impl TraceEvent {
                 coll,
                 init,
                 domain,
+                pruned,
             } => {
                 let mut pairs = vec![
                     v,
@@ -294,6 +300,9 @@ impl TraceEvent {
                     pairs.push(("init", init.as_str().into()));
                 }
                 pairs.push(("domain", (*domain).into()));
+                if *pruned {
+                    pairs.push(("pruned", true.into()));
+                }
                 Json::obj(pairs)
             }
             TraceEvent::Tier { tier, cost, fills } => Json::obj([
@@ -679,6 +688,7 @@ mod tests {
             coll: "l".into(),
             init: None,
             domain: "length",
+            pruned: false,
         };
         assert_eq!(
             ev.to_json().to_string(),
@@ -689,10 +699,22 @@ mod tests {
             coll: "l".into(),
             init: Some("0".into()),
             domain: "init",
+            pruned: false,
         };
         assert_eq!(
             ev.to_json().to_string(),
             r#"{"v":1,"ev":"static-refute","comb":"foldl","coll":"l","init":"0","domain":"init"}"#
+        );
+        let ev = TraceEvent::StaticRefute {
+            comb: "filter",
+            coll: "l".into(),
+            init: None,
+            domain: "cardinality",
+            pruned: true,
+        };
+        assert_eq!(
+            ev.to_json().to_string(),
+            r#"{"v":1,"ev":"static-refute","comb":"filter","coll":"l","domain":"cardinality","pruned":true}"#
         );
         let ev = TraceEvent::Progress {
             budget: BudgetSnapshot {

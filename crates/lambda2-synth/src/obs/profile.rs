@@ -309,6 +309,10 @@ pub struct Summary {
     pub refute_reasons: BTreeMap<String, u64>,
     /// Static refutations by abstract domain (`length`, `shape`, …).
     pub static_domains: BTreeMap<String, u64>,
+    /// Pruning-tier static refutations by domain (`cardinality`, …):
+    /// refutations deduction could not have made, subtracted from real
+    /// search work. Disjoint from [`Summary::static_domains`].
+    pub pruned_domains: BTreeMap<String, u64>,
     /// Verification passes.
     pub verify_ok: u64,
     /// Verification failures.
@@ -379,6 +383,7 @@ impl Summary {
             ),
             ("refute_reasons".to_owned(), count_map(&self.refute_reasons)),
             ("static_domains".to_owned(), count_map(&self.static_domains)),
+            ("pruned_domains".to_owned(), count_map(&self.pruned_domains)),
             ("verify_ok".to_owned(), self.verify_ok.into()),
             ("verify_fail".to_owned(), self.verify_fail.into()),
             ("store_creates".to_owned(), self.store_creates.into()),
@@ -471,7 +476,10 @@ impl Summary {
             );
         }
         let _ = writeln!(out, "\nrefutations by rule:");
-        if self.refute_reasons.is_empty() && self.static_domains.is_empty() {
+        if self.refute_reasons.is_empty()
+            && self.static_domains.is_empty()
+            && self.pruned_domains.is_empty()
+        {
             let _ = writeln!(out, "  (none recorded in this trace)");
         }
         for (reason, n) in &self.refute_reasons {
@@ -486,6 +494,17 @@ impl Summary {
         }
         for (domain, n) in &self.static_domains {
             let label = format!("static:{domain}");
+            match self.yield_per_ms(*n) {
+                Some(y) => {
+                    let _ = writeln!(out, "  {label:<14} {n:>8}   ({y:.0}/ms of deduction)");
+                }
+                None => {
+                    let _ = writeln!(out, "  {label:<14} {n:>8}");
+                }
+            }
+        }
+        for (domain, n) in &self.pruned_domains {
+            let label = format!("prune:{domain}");
             match self.yield_per_ms(*n) {
                 Some(y) => {
                     let _ = writeln!(out, "  {label:<14} {n:>8}   ({y:.0}/ms of deduction)");
@@ -587,7 +606,13 @@ pub fn summarize(trace: &Trace) -> Summary {
             }
             Some("static-refute") => {
                 let domain = str_of(ev, "domain").unwrap_or_else(|| "?".to_owned());
-                *s.static_domains.entry(domain).or_default() += 1;
+                // The serializer only emits `pruned` when true (pruning
+                // tier); attribution-tier events omit it.
+                if ev.get("pruned") == Some(&Json::Bool(true)) {
+                    *s.pruned_domains.entry(domain).or_default() += 1;
+                } else {
+                    *s.static_domains.entry(domain).or_default() += 1;
+                }
                 if let Some(comb) = str_of(ev, "comb") {
                     s.combs.entry(comb).or_default().static_refuted += 1;
                 }
@@ -835,28 +860,35 @@ mod tests {
             r#"{"v":1,"t_us":100,"ev":"store","action":"create","terms":0,"bytes":0}"#,
             r#"{"v":1,"t_us":300,"ev":"refute","comb":"map","coll":"l","reason":"deduction"}"#,
             r#"{"v":1,"t_us":350,"ev":"static-refute","comb":"mapt","coll":"l","domain":"shape"}"#,
+            r#"{"v":1,"t_us":375,"ev":"static-refute","comb":"filter","coll":"l","domain":"cardinality","pruned":true}"#,
             r#"{"v":1,"t_us":400,"ev":"plan","comb":"filter","coll":"l","delta_cost":4,"rows":3}"#,
             r#"{"v":1,"t_us":900,"ev":"verify","ok":true,"cost":7,"program":"(filter f l)"}"#,
         ]
         .join("\n");
         let trace = parse_trace(&src).unwrap();
         let s = summarize(&trace);
-        assert_eq!(s.events, 6);
+        assert_eq!(s.events, 7);
         assert_eq!(s.pops_by_kind.get("hyp"), Some(&1));
         assert_eq!(s.pop_costs.get(&1), Some(&1));
         let filter = s.combs.get("filter").unwrap();
         assert_eq!((filter.plans, filter.rows_inferred), (1, 3));
+        // The pruned cardinality refutation counts toward filter's
+        // static_refuted column but lands in pruned_domains, not
+        // static_domains.
+        assert_eq!(filter.static_refuted, 1);
         assert_eq!(s.combs.get("map").unwrap().refuted, 1);
         assert_eq!(s.combs.get("mapt").unwrap().static_refuted, 1);
         assert_eq!(s.refute_reasons.get("deduction"), Some(&1));
         assert_eq!(s.static_domains.get("shape"), Some(&1));
+        assert_eq!(s.static_domains.get("cardinality"), None);
+        assert_eq!(s.pruned_domains.get("cardinality"), Some(&1));
         assert_eq!(s.store_creates, 1);
         assert_eq!(s.verify_ok, 1);
         assert_eq!(s.solution, Some(("(filter f l)".to_owned(), 7)));
         let t = s.time.as_ref().unwrap();
         assert_eq!(t.total_us, 900);
         // store@100 ends 100us of enumerate; refute@300 + static@350 +
-        // plan@400 end 300us of deduce; verify@900 ends 500us.
+        // pruned@375 + plan@400 end 300us of deduce; verify@900 ends 500us.
         assert_eq!(t.enumerate_us, 100);
         assert_eq!(t.deduce_us, 300);
         assert_eq!(t.verify_us, 500);
@@ -869,6 +901,8 @@ mod tests {
         assert!((y - 1.0 / 0.3).abs() < 1e-9, "{y}");
         let text = s.render_text();
         assert!(text.contains("filter"));
+        assert!(text.contains("static:shape"));
+        assert!(text.contains("prune:cardinality"));
         assert!(text.contains("time attribution"));
         let j = s.to_json();
         assert_eq!(json::parse(&j.to_string()).unwrap(), j);

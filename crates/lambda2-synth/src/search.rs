@@ -39,6 +39,7 @@ use lambda2_lang::ast::{Comb, Expr, HoleId};
 use lambda2_lang::env::Env;
 use lambda2_lang::ty::Type;
 
+use crate::analyze::{AbsArgs, AbsCache, TermAbs};
 use crate::cost::CostModel;
 use crate::enumerate::{canonical, EnumLimits, StoreKey, TermStore, WarmCache};
 use crate::expand::{
@@ -74,6 +75,18 @@ pub struct SearchOptions {
     /// [`Stats::static_refutations`]: crate::stats::Stats::static_refutations
     /// [`Stats::refuted`]: crate::stats::Stats::refuted
     pub static_analysis: bool,
+    /// Additionally run the analyzer's *pruning-tier* domains
+    /// (cardinality), which refute hypotheses deduction would keep and so
+    /// remove real search work. Sound: pruned hypotheses provably have no
+    /// completion, so the synthesized program and its cost are identical
+    /// on/off while `enumerated_terms` only drops (held to by the
+    /// differential suite in `tests/static_analysis.rs`). Pruned
+    /// refutations are counted in [`Stats::pruned_refutations`] and
+    /// re-proved by a brute-force oracle under `check-invariants`.
+    /// Ignored when `static_analysis` or `deduction` is off.
+    ///
+    /// [`Stats::pruned_refutations`]: crate::stats::Stats::pruned_refutations
+    pub static_prune: bool,
     /// Maximum cost of an enumerated closing term per hole.
     pub max_term_cost: u32,
     /// Maximum closing-term cost for *blind* holes (holes with an empty
@@ -183,6 +196,7 @@ impl Default for SearchOptions {
         SearchOptions {
             deduction: true,
             static_analysis: true,
+            static_prune: true,
             max_term_cost: 12,
             max_term_cost_blind: 6,
             max_collection_cost: 1,
@@ -492,6 +506,10 @@ pub fn search_governed_warm(
     let mut stores: HashMap<StoreKey, (TermStore, u64)> = HashMap::new();
     let mut store_tick: u64 = 0;
     let mut templates: HashMap<(StoreKey, Type), Arc<Vec<Planned>>> = HashMap::new();
+    // Memoized per-term abstractions for the refutation pre-pass, keyed
+    // like the stores whose arenas mint the term ids; a small slice of
+    // the term byte budget bounds it.
+    let mut abs_cache: AbsCache<StoreKey> = AbsCache::new(options.max_store_bytes / 8);
     let mut queue: BinaryHeap<Entry> = BinaryHeap::new();
     let mut seq: u64 = 0;
     let mut next_hole: HoleId = 1;
@@ -787,7 +805,7 @@ pub fn search_governed_warm(
                                         .error_free(arg_cost)
                                         .into_iter()
                                         .map(|(t, vals)| {
-                                            (store.expr_of(t), t.ty.clone(), vals, t.cost)
+                                            (store.expr_of(t), t.ty.clone(), vals, t.cost, t.term)
                                         })
                                         .collect();
                                     note_phase(
@@ -798,6 +816,9 @@ pub fn search_governed_warm(
                                     );
 
                                     let t_deduce = Instant::now();
+                                    // The spec's output abstraction is shared by every
+                                    // (combinator, candidate) pair of this sweep.
+                                    let out_abs = TermAbs::of_outputs(info.spec.rows());
                                     let mut planned = Vec::new();
                                     for &comb in library.combs() {
                                         // Cheap shape pre-filter on the hole type.
@@ -813,7 +834,7 @@ pub fn search_governed_warm(
                                         if !hole_ok {
                                             continue;
                                         }
-                                        for (expr, ty, vals, cost) in &pool {
+                                        for (expr, ty, vals, cost, term) in &pool {
                                             // Shape pre-filter on the collection.
                                             let coll_ok = *cost <= options.max_collection_cost
                                                 && if comb.is_tree() {
@@ -824,6 +845,17 @@ pub fn search_governed_warm(
                                             if !coll_ok {
                                                 continue;
                                             }
+                                            // The candidate's abstraction is memoized per
+                                            // term id: combinator number two onward (and
+                                            // any later sweep reusing this store) hits.
+                                            let coll_abs =
+                                                abs_cache.get_or_insert(&tkey.0, *term, || {
+                                                    TermAbs::of_values(vals)
+                                                });
+                                            let abs = AbsArgs {
+                                                coll: &coll_abs,
+                                                out: &out_abs,
+                                            };
                                             let cand = Candidate {
                                                 expr,
                                                 ty,
@@ -839,6 +871,8 @@ pub fn search_governed_warm(
                                                     &costs,
                                                     options.deduction,
                                                     options.static_analysis,
+                                                    options.static_prune,
+                                                    Some(abs),
                                                     budget,
                                                 ) {
                                                     PlanOutcome::Planned(t) => {
@@ -864,8 +898,13 @@ pub fn search_governed_warm(
                                                     }
                                                     PlanOutcome::Rejected(fail) => {
                                                         refute(
-                                                            &mut stats, tracer, fail, comb, expr,
+                                                            &mut stats,
+                                                            tracer,
+                                                            fail,
+                                                            comb,
+                                                            expr,
                                                             None,
+                                                            options.metrics,
                                                         );
                                                     }
                                                     PlanOutcome::Fault(detail) => {
@@ -912,7 +951,7 @@ pub fn search_governed_warm(
                                             } else {
                                                 options.max_init_cost
                                             };
-                                            for (ie, ity, ivals, icost) in &pool {
+                                            for (ie, ity, ivals, icost, _) in &pool {
                                                 if *icost > init_budget
                                                     || !crate::enumerate::unifiable(ity, &info.ty)
                                                 {
@@ -947,6 +986,8 @@ pub fn search_governed_warm(
                                                     &costs,
                                                     options.deduction,
                                                     options.static_analysis,
+                                                    options.static_prune,
+                                                    Some(abs),
                                                     budget,
                                                 ) {
                                                     PlanOutcome::Planned(t) => {
@@ -978,6 +1019,7 @@ pub fn search_governed_warm(
                                                             comb,
                                                             expr,
                                                             Some(ie),
+                                                            options.metrics,
                                                         );
                                                     }
                                                     PlanOutcome::Fault(detail) => {
@@ -1010,6 +1052,11 @@ pub fn search_governed_warm(
                                         options.metrics,
                                         t_deduce.elapsed(),
                                     );
+                                    if options.metrics {
+                                        if let Some(pct) = abs_cache.take_hit_pct() {
+                                            stats.metrics.abs_cache_hit_pct.record(pct);
+                                        }
+                                    }
                                     let planned = Arc::new(planned);
                                     templates.insert(tkey, Arc::clone(&planned));
                                     evict_stores(
@@ -1592,6 +1639,8 @@ fn plan_isolated(
     costs: &CostModel,
     deduction: bool,
     analysis: bool,
+    prune: bool,
+    abs: Option<AbsArgs<'_>>,
     budget: &Budget,
 ) -> PlanOutcome {
     let injected = failpoints::check("deduce.plan");
@@ -1599,7 +1648,9 @@ fn plan_isolated(
         if let Some(FailAction::Panic) = injected {
             panic!("injected panic at deduce.plan");
         }
-        plan_expansion_within(info, comb, cand, init, costs, deduction, analysis, budget)
+        plan_expansion_within(
+            info, comb, cand, init, costs, deduction, analysis, prune, abs, budget,
+        )
     }));
     match run {
         Ok(Ok(t)) => PlanOutcome::Planned(t),
@@ -1742,6 +1793,7 @@ fn refute(
     comb: Comb,
     coll: &Arc<lambda2_lang::ast::Expr>,
     init: Option<&Arc<lambda2_lang::ast::Expr>>,
+    record_metrics: bool,
 ) {
     let reason = match fail {
         ExpandFail::Refuted => {
@@ -1749,15 +1801,31 @@ fn refute(
             RefuteReason::Deduction
         }
         ExpandFail::StaticRefuted(domain) => {
-            // Static refutations get their own counter and trace event —
-            // disjoint from `refuted`, so on/off ablations compare cleanly.
-            stats.static_refutations += 1;
+            // Static refutations get their own counters and trace event —
+            // disjoint from `refuted`, so on/off ablations compare
+            // cleanly; pruning-tier verdicts are split out again because
+            // each one is work deduction would *not* have removed.
+            let pruned = domain.tier() == crate::analyze::Tier::Pruning;
+            if pruned {
+                stats.pruned_refutations += 1;
+            } else {
+                stats.static_refutations += 1;
+            }
+            if record_metrics {
+                // 1-based DOMAIN_ORDER index, so histogram buckets line
+                // up with the coarse-to-fine domain table.
+                stats
+                    .metrics
+                    .static_refute_domain
+                    .record(domain.order_index() as u64 + 1);
+            }
             if tracer.enabled() {
                 tracer.emit(TraceEvent::StaticRefute {
                     comb: comb.name(),
                     coll: coll.to_string(),
                     init: init.map(|e| e.to_string()),
                     domain: domain.name(),
+                    pruned,
                 });
             }
             return;
@@ -2182,12 +2250,13 @@ mod tests {
 
     /// Every deterministic counter in [`Stats`] (wall-clock phase totals
     /// and latency histograms excluded — they measure real time).
-    fn counter_snapshot(s: &Stats) -> [u64; 13] {
+    fn counter_snapshot(s: &Stats) -> [u64; 14] {
         [
             s.popped,
             s.expansions,
             s.refuted,
             s.static_refutations,
+            s.pruned_refutations,
             s.ill_typed,
             s.closings,
             s.verified,

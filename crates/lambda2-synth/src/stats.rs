@@ -18,9 +18,16 @@ pub struct Stats {
     /// Combinator expansions refuted by deduction.
     pub refuted: u64,
     /// Combinator expansions refuted by the abstract-interpretation
-    /// pre-pass ([`crate::analyze`]) before deduction ran. Disjoint from
-    /// `refuted`: each hypothesis is counted in exactly one of the two.
+    /// pre-pass ([`crate::analyze`]) before deduction ran, in an
+    /// *attribution-tier* domain — deduction would have refuted too.
+    /// Disjoint from `refuted`: each hypothesis is counted in exactly one
+    /// of the two.
     pub static_refutations: u64,
+    /// Combinator expansions refuted by a *pruning-tier* domain
+    /// (`SearchOptions::static_prune`) — hypotheses deduction would have
+    /// kept, so each one is search work genuinely removed. Disjoint from
+    /// both `refuted` and `static_refutations`.
+    pub pruned_refutations: u64,
     /// Combinator expansions rejected by typing.
     pub ill_typed: u64,
     /// Hole closings attempted (terms that matched a hole's spec).
@@ -63,6 +70,7 @@ impl Stats {
         self.expansions += other.expansions;
         self.refuted += other.refuted;
         self.static_refutations += other.static_refutations;
+        self.pruned_refutations += other.pruned_refutations;
         self.ill_typed += other.ill_typed;
         self.closings += other.closings;
         self.verified += other.verified;
@@ -86,6 +94,7 @@ impl Stats {
             ("expansions", self.expansions.into()),
             ("refuted", self.refuted.into()),
             ("static_refutations", self.static_refutations.into()),
+            ("pruned_refutations", self.pruned_refutations.into()),
             ("ill_typed", self.ill_typed.into()),
             ("closings", self.closings.into()),
             ("verified", self.verified.into()),
@@ -110,12 +119,14 @@ impl fmt::Display for Stats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "popped={} expansions={} refuted={} static-refuted={} ill-typed={} closings={} \
-             verified={} (failed {}) terms={} store-hits={} store-evictions={} faults={}",
+            "popped={} expansions={} refuted={} static-refuted={} pruned={} ill-typed={} \
+             closings={} verified={} (failed {}) terms={} store-hits={} store-evictions={} \
+             faults={}",
             self.popped,
             self.expansions,
             self.refuted,
             self.static_refutations,
+            self.pruned_refutations,
             self.ill_typed,
             self.closings,
             self.verified,
@@ -194,6 +205,7 @@ mod tests {
             expansions: 2,
             refuted: 3,
             static_refutations: 12,
+            pruned_refutations: 14,
             ill_typed: 4,
             closings: 5,
             verified: 6,
@@ -224,6 +236,7 @@ mod tests {
         assert_eq!(a.store_evictions, 20);
         assert_eq!(a.faults, 22);
         assert_eq!(a.static_refutations, 24);
+        assert_eq!(a.pruned_refutations, 28);
         assert_eq!(a.phases.total(), Duration::from_millis(20));
     }
 
@@ -235,6 +248,7 @@ mod tests {
             "expansions",
             "refuted",
             "static-refuted",
+            "pruned",
             "closings",
             "verified",
             "terms",
@@ -254,6 +268,7 @@ mod tests {
             "expansions",
             "refuted",
             "static_refutations",
+            "pruned_refutations",
             "ill_typed",
             "closings",
             "verified",

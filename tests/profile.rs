@@ -282,6 +282,7 @@ fn every_trace_event_variant_round_trips_through_the_parser() {
             coll: "l".into(),
             init: None,
             domain: "length",
+            pruned: false,
         },
         TraceEvent::Tier {
             tier: 2,

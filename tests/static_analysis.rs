@@ -1,22 +1,28 @@
 //! Soundness of the abstract-interpretation refutation pre-pass.
 //!
-//! The analyzer ([`lambda2::synth::analyze`]) must never refute an
-//! expansion that deduction would admit: its checks are strictly weaker
-//! than the deduction rules they shadow. Two consequences are tested here:
+//! The analyzer ([`lambda2::synth::analyze`]) has two tiers with distinct
+//! contracts, and both are tested differentially here:
 //!
-//! 1. **Differential identity** — synthesis with the analyzer on returns a
-//!    byte-identical program at an identical cost to synthesis with it
-//!    off, on every suite problem and every committed problem file, while
-//!    the *sum* of refutation counters is preserved (`refuted + static`
-//!    on == `refuted` off). Zero false refutations, by construction.
-//! 2. **Brute-force refutation witness** — for hypotheses the analyzer
-//!    refutes, no small lambda body completes them: every candidate body
-//!    up to a bounded depth fails some example row.
+//! 1. **Attribution identity** — the attribution-tier checks are strictly
+//!    weaker than the deduction rules they shadow, so synthesis with the
+//!    analyzer on (pruning pinned off) returns a byte-identical program at
+//!    an identical cost *and identical search counters* to synthesis with
+//!    it off, while the *sum* of refutation counters is preserved
+//!    (`refuted + static` on == `refuted` off).
+//! 2. **Pruning soundness** — the pruning tier (cardinality) refutes
+//!    hypotheses deduction keeps, so `enumerated_terms`/`popped` may only
+//!    *drop* with it on, while the synthesized program and cost stay
+//!    byte-identical: pruning removes only refutable work, never the
+//!    minimal solution.
+//! 3. **Brute-force refutation witness** — for hypotheses the analyzer
+//!    refutes (including pruning-tier ones), no small lambda body
+//!    completes them: every candidate body up to a bounded depth fails
+//!    some example row.
 
 use std::time::Duration;
 
 use lambda2::suite::catalog;
-use lambda2::synth::analyze::{refute_expansion, Verdict};
+use lambda2::synth::analyze::{refute_expansion, RefuteDomain, Verdict};
 use lambda2::synth::spec::ExampleRow;
 use lambda2::synth::{parse_problem, Problem, SearchOptions, Synthesizer};
 use lambda2_lang::ast::Comb;
@@ -32,6 +38,9 @@ fn synthesizer(analysis: bool, secs: u64) -> Synthesizer {
         ..SearchOptions::default()
     })
     .static_analysis(analysis)
+    // The attribution differential compares against deduction alone;
+    // pruning genuinely changes the frontier and has its own suite below.
+    .static_prune(false)
 }
 
 /// Synthesizes `problem` with the analyzer on and off and asserts the
@@ -52,7 +61,9 @@ fn differential_on_off(
     secs: u64,
 ) -> Result<u64, String> {
     let build = |analysis: bool| match &opts {
-        Some(o) => Synthesizer::with_options(o.clone()).static_analysis(analysis),
+        Some(o) => Synthesizer::with_options(o.clone())
+            .static_analysis(analysis)
+            .static_prune(false),
         None => synthesizer(analysis, secs),
     };
     let on = build(true).synthesize(problem);
@@ -177,6 +188,230 @@ fn full_suite_is_identical_on_and_off() {
         }
         outcome.unwrap_or_else(|msg| panic!("{msg} — persists across retries"));
     }
+}
+
+// --- Pruning-tier differential -----------------------------------------
+
+/// Outcome of one prune-on vs prune-off comparison.
+struct PruneDelta {
+    pruned: u64,
+    enumerated_on: u64,
+    enumerated_off: u64,
+    popped_on: u64,
+    popped_off: u64,
+}
+
+/// Synthesizes `problem` with the pruning tier on and off (analyzer on in
+/// both arms) and asserts pruning is *conservative*: identical program and
+/// cost, search counters only ever drop. Timeout-induced solvability
+/// flips are returned as `Err` for the caller to retry, as in
+/// [`differential_on_off`].
+fn prune_differential(
+    problem: &Problem,
+    opts: Option<SearchOptions>,
+    secs: u64,
+) -> Result<PruneDelta, String> {
+    let build = |prune: bool| {
+        let base = match &opts {
+            Some(o) => o.clone(),
+            None => SearchOptions {
+                timeout: Some(Duration::from_secs(secs)),
+                ..SearchOptions::default()
+            },
+        };
+        Synthesizer::with_options(base).static_prune(prune)
+    };
+    let on = build(true).synthesize(problem);
+    let off = build(false).synthesize(problem);
+    if on.is_ok() != off.is_ok() {
+        let timed_out = [&on, &off]
+            .iter()
+            .any(|r| matches!(r, Err(lambda2::synth::SynthError::Timeout)));
+        if timed_out {
+            return Err(format!(
+                "{}: solvability flipped at the wall-clock budget (prune on: {}, off: {})",
+                problem.name(),
+                on.is_ok(),
+                off.is_ok()
+            ));
+        }
+    }
+    match (on, off) {
+        (Ok(on), Ok(off)) => {
+            assert_eq!(
+                on.program.body().to_string(),
+                off.program.body().to_string(),
+                "{}: pruning changed the synthesized program",
+                problem.name()
+            );
+            assert_eq!(
+                on.cost,
+                off.cost,
+                "{}: pruning changed the program cost",
+                problem.name()
+            );
+            assert_eq!(
+                off.stats.pruned_refutations,
+                0,
+                "{}: pruned refutations counted with pruning off",
+                problem.name()
+            );
+            assert!(
+                on.stats.enumerated_terms <= off.stats.enumerated_terms,
+                "{}: pruning *increased* enumerated terms ({} > {})",
+                problem.name(),
+                on.stats.enumerated_terms,
+                off.stats.enumerated_terms
+            );
+            assert!(
+                on.stats.popped <= off.stats.popped,
+                "{}: pruning *increased* pops ({} > {})",
+                problem.name(),
+                on.stats.popped,
+                off.stats.popped
+            );
+            Ok(PruneDelta {
+                pruned: on.stats.pruned_refutations,
+                enumerated_on: on.stats.enumerated_terms,
+                enumerated_off: off.stats.enumerated_terms,
+                popped_on: on.stats.popped,
+                popped_off: off.stats.popped,
+            })
+        }
+        (Err(a), Err(b)) => {
+            assert_eq!(
+                format!("{a:?}"),
+                format!("{b:?}"),
+                "{}: pruning changed the failure mode",
+                problem.name()
+            );
+            Ok(PruneDelta {
+                pruned: 0,
+                enumerated_on: 0,
+                enumerated_off: 0,
+                popped_on: 0,
+                popped_off: 0,
+            })
+        }
+        (on, off) => panic!(
+            "{}: pruning changed solvability (on: {}, off: {})",
+            problem.name(),
+            on.is_ok(),
+            off.is_ok()
+        ),
+    }
+}
+
+/// Quick pruning differential: the cheap fixed set plus the
+/// duplicate-bearing problems built to make cardinality fire. Pruning
+/// must actually remove work somewhere (strict enumerated-term drop) and
+/// must refute something, while every result stays byte-identical.
+#[test]
+fn quick_prune_differential_is_conservative_and_productive() {
+    let mut pruned_total = 0u64;
+    let mut strict_drops = 0usize;
+    for name in QUICK.iter().copied().chain(["remove", "headrun", "taken"]) {
+        let bench = lambda2::suite::by_name(name).expect("known benchmark");
+        let d = prune_differential(&bench.problem, None, 60).unwrap_or_else(|msg| panic!("{msg}"));
+        pruned_total += d.pruned;
+        if d.enumerated_on < d.enumerated_off {
+            strict_drops += 1;
+        }
+    }
+    assert!(
+        pruned_total > 0,
+        "the pruning tier refuted nothing across the quick sweep"
+    );
+    assert!(
+        strict_drops > 0,
+        "pruning never strictly shrank the enumerated-term count"
+    );
+}
+
+/// The sentinel: `rmall` is a genuine filter whose examples keep
+/// all-or-none occurrences of every value, so the cardinality domain must
+/// stay silent on the solution hypothesis and the filter program must
+/// survive pruning.
+#[test]
+fn prune_keeps_the_genuine_filter_solution() {
+    let bench = lambda2::suite::by_name("rmall").expect("rmall benchmark");
+    let result = Synthesizer::with_options(SearchOptions {
+        timeout: Some(Duration::from_secs(60)),
+        ..SearchOptions::default()
+    })
+    .synthesize(&bench.problem)
+    .expect("rmall is solvable with pruning on");
+    assert!(
+        result.program.body().to_string().contains("filter"),
+        "expected a filter solution, got {}",
+        result.program.body()
+    );
+}
+
+/// Full-catalog pruning differential — every problem, byte-identical
+/// programs and costs, counters only drop, and the drop is *strict* in at
+/// least 10 problems (the duplicate-bearing family exists to guarantee
+/// this). Slow in debug builds; CI runs it in release with
+/// `--include-ignored`.
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "slow in debug builds; run in release (cargo test --release -- --include-ignored)"
+)]
+fn full_suite_prune_differential_is_conservative_and_productive() {
+    let mut strict_drops = 0usize;
+    let mut pruned_total = 0u64;
+    for bench in catalog() {
+        let options = bench.tune(SearchOptions::default());
+        let mut outcome = Err("unreachable".to_owned());
+        for secs in [120u64, 240, 480] {
+            let mut options = options.clone();
+            options.timeout = Some(Duration::from_secs(secs));
+            outcome = prune_differential(&bench.problem, Some(options), secs);
+            if outcome.is_ok() {
+                break;
+            }
+        }
+        let d = outcome.unwrap_or_else(|msg| panic!("{msg} — persists across retries"));
+        pruned_total += d.pruned;
+        if d.enumerated_on < d.enumerated_off || d.popped_on < d.popped_off {
+            strict_drops += 1;
+        }
+    }
+    assert!(pruned_total > 0, "pruning refuted nothing catalog-wide");
+    assert!(
+        strict_drops >= 10,
+        "pruning strictly shrank the search in only {strict_drops} problems (need 10)"
+    );
+}
+
+/// The `check-invariants` re-prove hook: under the feature, every
+/// pruning-tier refutation is re-proved *at the refutation site* by the
+/// bounded brute-force oracle (not by deduction, which is strictly weaker
+/// there). This test makes the hook fire on a real search: the examples
+/// carry a partially-kept duplicate, so the filter hypothesis over `l` is
+/// cardinality-pruned — an unsound verdict would panic inside the hook.
+#[cfg(feature = "check-invariants")]
+#[test]
+fn pruned_refutations_reprove_under_check_invariants() {
+    let problem = Problem::builder("dup_tail")
+        .param("l", "[int]")
+        .returns("[int]")
+        .example(&["[7 4 7]"], "[4 7]")
+        .example(&["[5]"], "[]")
+        .example(&["[2 9 4]"], "[9 4]")
+        .build()
+        .unwrap();
+    let result = Synthesizer::with_options(SearchOptions {
+        timeout: Some(Duration::from_secs(60)),
+        ..SearchOptions::default()
+    })
+    .synthesize(&problem)
+    .expect("dup_tail is solvable (cdr)");
+    assert!(
+        result.stats.pruned_refutations > 0,
+        "expected the cardinality domain to prune the filter hypothesis"
+    );
 }
 
 fn committed_problem_files() -> Vec<Problem> {
@@ -338,5 +573,58 @@ fn refuted_foldt_has_no_small_completion() {
         Some("5"),
         &["v", "rs"],
         &int_terms(&["v"], 2),
+    );
+}
+
+/// Asserts the analyzer's verdict on a filter hypothesis is a refutation
+/// by exactly the cardinality domain — i.e. deduction's coarser domains
+/// (length, provenance, order) all pass, so the refutation is pruning-tier
+/// work the deduction rules could not have done.
+fn assert_cardinality_verdict(pairs: &[(&str, &str)]) {
+    let l = Symbol::intern("l");
+    let mut rows = Vec::new();
+    let mut coll = Vec::new();
+    for (i, o) in pairs {
+        let iv = parse_value(i).unwrap();
+        rows.push(ExampleRow::new(
+            Env::empty().bind(l, iv.clone()),
+            parse_value(o).unwrap(),
+        ));
+        coll.push(iv);
+    }
+    assert_eq!(
+        refute_expansion(Comb::Filter, &rows, &coll, None),
+        Verdict::Refuted(RefuteDomain::Cardinality),
+        "{pairs:?}"
+    );
+}
+
+#[test]
+fn cardinality_refuted_filter_has_no_small_completion() {
+    // [5 7 5] -> [5] keeps one of two 5s: a predicate gives equal
+    // elements the same verdict, so no filter body exists — yet the
+    // output is a subsequence drawn from the input multiset, so the
+    // attribution-tier domains (and deduction) all pass.
+    assert_cardinality_verdict(&[("[5 7 5]", "[5]")]);
+    assert_refutation_has_no_completion(
+        Comb::Filter,
+        &[("[5 7 5]", "[5]")],
+        None,
+        &["x"],
+        &bool_terms(&["x"]),
+    );
+}
+
+#[test]
+fn cardinality_refuted_multirow_filter_has_no_small_completion() {
+    // [8 3 8] -> [8 3] keeps one of two 8s; the clean second row must not
+    // mask the refutation.
+    assert_cardinality_verdict(&[("[8 3 8]", "[8 3]"), ("[1 2]", "[1 2]")]);
+    assert_refutation_has_no_completion(
+        Comb::Filter,
+        &[("[8 3 8]", "[8 3]"), ("[1 2]", "[1 2]")],
+        None,
+        &["x"],
+        &bool_terms(&["x"]),
     );
 }
