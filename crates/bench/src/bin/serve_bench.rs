@@ -11,8 +11,16 @@
 //! Writes `results/BENCH_serve.json` in the measurement shape
 //! `l2 corpus ingest` accepts.
 //!
-//! Usage: `cargo run -p bench --release --bin serve_bench [-- --quick]`
+//! With `--access-log <path>` (optionally plus `--slow-trace-ms <n>
+//! --slow-trace-dir <dir>`) the sweep also exercises the daemon's
+//! observability plane, then self-verifies the log after the drain:
+//! the offline analysis must see every request, agree with the daemon's
+//! own shed count exactly, and report p50 <= p99.
+//!
+//! Usage: `cargo run -p bench --release --bin serve_bench [-- --quick]
+//! [-- --access-log <path> --slow-trace-ms <n> --slow-trace-dir <dir>]`
 
+use std::path::PathBuf;
 use std::sync::atomic::Ordering;
 use std::sync::mpsc;
 use std::thread;
@@ -20,7 +28,7 @@ use std::time::{Duration, Instant};
 
 use bench::{render_table, write_bench_json, Json};
 use lambda2_synth::serve::Client;
-use lambda2_synth::{Measurement, ServeConfig, Server, Stats};
+use lambda2_synth::{load_access_log, AccessReport, Measurement, ServeConfig, Server, Stats};
 
 /// Quick problems with default libraries in `.l2` surface syntax — the
 /// same documents `l2 client` sends from files. All solve in well under
@@ -94,7 +102,35 @@ fn quantile_us(latencies: &[u64], q: f64) -> u64 {
 }
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let mut quick = false;
+    let mut access_log: Option<PathBuf> = None;
+    let mut slow_trace_ms: Option<u64> = None;
+    let mut slow_trace_dir: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--access-log" => {
+                access_log = Some(PathBuf::from(
+                    args.next().expect("--access-log requires a path"),
+                ));
+            }
+            "--slow-trace-ms" => {
+                slow_trace_ms = Some(
+                    args.next()
+                        .expect("--slow-trace-ms requires a count")
+                        .parse()
+                        .expect("--slow-trace-ms: whole milliseconds"),
+                );
+            }
+            "--slow-trace-dir" => {
+                slow_trace_dir = Some(PathBuf::from(
+                    args.next().expect("--slow-trace-dir requires a path"),
+                ));
+            }
+            other => panic!("unknown argument `{other}`"),
+        }
+    }
     let workers = 2usize;
     let queue = 4usize;
     let timeout_ms = 10_000u64;
@@ -110,6 +146,9 @@ fn main() {
         workers,
         queue_capacity: queue,
         default_timeout: Duration::from_millis(timeout_ms),
+        access_log: access_log.clone(),
+        slow_trace_ms,
+        slow_trace_dir,
         ..ServeConfig::default()
     })
     .expect("bind an ephemeral port");
@@ -254,6 +293,27 @@ fn main() {
         summary.drain_elapsed.as_secs_f64() * 1e3,
     );
     assert_eq!(summary.crashed, 0, "no request may crash the daemon");
+
+    if let Some(log_path) = &access_log {
+        let records = load_access_log(log_path).expect("parse every access-log line");
+        let report = AccessReport::analyze(&records);
+        println!(
+            "access log: {} records, shed {}, service p50/p99 {:.1}/{:.1} ms",
+            report.requests,
+            report.shed,
+            report.service_ms(0.5),
+            report.service_ms(0.99),
+        );
+        assert!(report.requests > 0, "access log must see the sweep");
+        assert_eq!(
+            report.shed, summary.shed,
+            "offline shed count must match the daemon's own accounting"
+        );
+        assert!(
+            report.service_ms(0.5) <= report.service_ms(0.99),
+            "service p50 must not exceed p99"
+        );
+    }
 
     let meta: Vec<(&'static str, Json)> = vec![
         ("workers", workers.into()),

@@ -131,10 +131,10 @@ use lambda2_synth::par::{
 use lambda2_synth::serve::{request_with_retry, Backoff};
 use lambda2_synth::{
     aggregate, collapse_tree, diff_traces, ingest_bench, ingest_measurement, lint_source,
-    load_records, load_trace, options_fingerprint, parse_problem, regress, render_html, summarize,
-    Corpus, DiffOutcome, FindingKind, JsonlTracer, Measurement, Problem, RegressThresholds,
-    RunRecord, SearchOptions, SearchReport, ServeConfig, Server, Synthesizer, TraceEvent, Tracer,
-    Weight,
+    load_access_log, load_records, load_trace, options_fingerprint, parse_problem, regress,
+    render_access_html, render_html, summarize, AccessReport, Corpus, DiffOutcome, FindingKind,
+    JsonlTracer, Measurement, Problem, RegressThresholds, RunRecord, SearchOptions, SearchReport,
+    ServeConfig, Server, Synthesizer, TraceEvent, Tracer, Weight,
 };
 
 /// Default daemon address shared by `l2 serve` and `l2 client`.
@@ -192,6 +192,14 @@ struct Flags {
     warm_bytes: Option<usize>,
     /// `serve`: drain grace for in-flight jobs, in milliseconds.
     drain_grace_ms: Option<u64>,
+    /// `serve`: append one JSONL access record per request to this file.
+    access_log: Option<PathBuf>,
+    /// `serve`: capture a full search trace for requests at or above
+    /// this many milliseconds of service time.
+    slow_trace_ms: Option<u64>,
+    /// `serve`: directory where slow-request traces are written, one
+    /// `<req_id>.jsonl` per captured request.
+    slow_trace_dir: Option<PathBuf>,
     /// `client`: retry budget for sheds and transport errors.
     retries: Option<u32>,
     /// `client`: base backoff delay, in milliseconds.
@@ -259,6 +267,17 @@ impl Flags {
                 "--drain-grace-ms" => {
                     flags.drain_grace_ms = Some(ms_arg("--drain-grace-ms", it.next())?);
                 }
+                "--access-log" => match it.next() {
+                    Some(path) => flags.access_log = Some(PathBuf::from(path)),
+                    None => return Err("--access-log requires a file path".into()),
+                },
+                "--slow-trace-ms" => {
+                    flags.slow_trace_ms = Some(ms_arg("--slow-trace-ms", it.next())?);
+                }
+                "--slow-trace-dir" => match it.next() {
+                    Some(dir) => flags.slow_trace_dir = Some(PathBuf::from(dir)),
+                    None => return Err("--slow-trace-dir requires a directory path".into()),
+                },
                 "--backoff-ms" => flags.backoff_ms = Some(ms_arg("--backoff-ms", it.next())?),
                 "--addr" => match it.next() {
                     Some(addr) => flags.addr = Some(addr),
@@ -394,6 +413,7 @@ fn main() -> ExitCode {
                  l2 profile summary|tree|diff|report <trace.jsonl>...\n  \
                  l2 corpus ingest|list|stats|regress ...\n  \
                  l2 serve [serve flags]\n  \
+                 l2 serve report <access.jsonl> [--json] [--out <html>]\n  \
                  l2 client synth <problem.l2>... | ping | stats | shutdown\n\
                  flags: --trace <path>  --stats-json[=<path>]  --corpus <dir>  \
                  --progress  --timeout-ms <n>  \
@@ -404,9 +424,10 @@ fn main() -> ExitCode {
                  --no-wall-check\n\
                  serve flags: --addr <a>  --jobs <n>  --queue <n>  --timeout-ms <n>  \
                  --max-timeout-ms <n>  --warm-bytes <n>  --drain-grace-ms <n>  \
-                 --corpus <dir>\n\
+                 --corpus <dir>  --access-log <path>  --slow-trace-ms <n>  \
+                 --slow-trace-dir <dir>\n\
                  client flags: --addr <a>  --retries <n>  --backoff-ms <n>  \
-                 --seed <n>  --timeout-ms <n>  --portfolio"
+                 --seed <n>  --timeout-ms <n>  --portfolio  --json"
             );
             return ExitCode::from(2);
         }
@@ -1318,9 +1339,22 @@ fn cmd_corpus(args: &[String], flags: &Flags) -> ExitCode {
 /// `--max-timeout-ms`). Exit codes: 0 after a clean drain, 1 on a fatal
 /// listener error, 2 on usage or bind errors.
 fn cmd_serve(args: &[String], flags: &Flags) -> ExitCode {
+    if args.first().map(String::as_str) == Some("report") {
+        return cmd_serve_report(&args[1..], flags);
+    }
     if let Some(extra) = args.first() {
         eprintln!("error: serve takes no positional arguments (got `{extra}`)");
         return ExitCode::from(2);
+    }
+    if flags.slow_trace_ms.is_some() != flags.slow_trace_dir.is_some() {
+        eprintln!("error: --slow-trace-ms and --slow-trace-dir must be given together");
+        return ExitCode::from(2);
+    }
+    if let Some(path) = &flags.access_log {
+        if let Err(msg) = validate_out_path("--access-log", path) {
+            eprintln!("error: {msg}");
+            return ExitCode::from(2);
+        }
     }
     let mut config = ServeConfig {
         addr: flags
@@ -1329,6 +1363,9 @@ fn cmd_serve(args: &[String], flags: &Flags) -> ExitCode {
             .unwrap_or_else(|| DEFAULT_SERVE_ADDR.to_owned()),
         options: flags.apply(SearchOptions::default()),
         corpus_dir: flags.corpus.clone(),
+        access_log: flags.access_log.clone(),
+        slow_trace_ms: flags.slow_trace_ms,
+        slow_trace_dir: flags.slow_trace_dir.clone(),
         ..ServeConfig::default()
     };
     if let Some(jobs) = flags.jobs {
@@ -1361,12 +1398,17 @@ fn cmd_serve(args: &[String], flags: &Flags) -> ExitCode {
     match server.run() {
         Ok(summary) => {
             eprintln!(
-                "serve: drained in {:.1} ms ({} accepted, {} solved, {} shed, {} crashed)",
+                "serve: drained in {:.1} ms ({} accepted, {} solved, {} shed, {} crashed; \
+                 service p50/p99 {:.1}/{:.1} ms, queue wait p50/p99 {:.1}/{:.1} ms)",
                 summary.drain_elapsed.as_secs_f64() * 1e3,
                 summary.accepted,
                 summary.solved,
                 summary.shed,
                 summary.crashed,
+                summary.latency_ms(true, 0.5),
+                summary.latency_ms(true, 0.99),
+                summary.latency_ms(false, 0.5),
+                summary.latency_ms(false, 0.99),
             );
             emit_line(summary.to_json());
             ExitCode::SUCCESS
@@ -1374,6 +1416,44 @@ fn cmd_serve(args: &[String], flags: &Flags) -> ExitCode {
         Err(e) => {
             eprintln!("error: serve: {e}");
             ExitCode::FAILURE
+        }
+    }
+}
+
+/// `l2 serve report <access.jsonl>` — offline analyzer for a daemon's
+/// access log. Prints a human-readable summary (or the full analysis as
+/// one JSON line with `--json`) and writes a self-contained HTML
+/// dashboard next to the log (or to `--out`). Exit codes: 0 on success,
+/// 2 on usage errors or an unreadable/invalid log.
+fn cmd_serve_report(args: &[String], flags: &Flags) -> ExitCode {
+    let [log_path] = args else {
+        eprintln!("usage: l2 serve report <access.jsonl> [--json] [--out <html>]");
+        return ExitCode::from(2);
+    };
+    let records = match load_access_log(std::path::Path::new(log_path)) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let report = AccessReport::analyze(&records);
+    if flags.json {
+        emit_line(report.to_json());
+    } else {
+        emit(&report.render_text());
+    }
+    let html = render_access_html(&report, log_path);
+    let default_out = PathBuf::from(log_path).with_extension("html");
+    let out = flags.out.clone().unwrap_or(default_out);
+    match std::fs::write(&out, html) {
+        Ok(()) => {
+            eprintln!("dashboard -> {}", out.display());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: writing {}: {e}", out.display());
+            ExitCode::from(2)
         }
     }
 }
@@ -1422,11 +1502,14 @@ fn watch_signals(_control: std::sync::Arc<std::sync::atomic::AtomicBool>) {}
 
 /// `l2 client` — sends requests to a running daemon, retrying sheds and
 /// transport failures with seeded jittered backoff. Every response
-/// document is printed as one JSON line on stdout; a short human summary
-/// goes to stderr. Exit codes: 0 all requests `ok`, 1 any request failed
-/// (`error`/`unsolved`/`shutting_down`, or transport failure after
-/// retries), 2 usage or local I/O error, 3 otherwise-healthy runs where
-/// the daemon answered `overloaded` even after the retry budget.
+/// document is printed as one JSON line on stdout, except `stats`, which
+/// renders a human-readable counter table by default (pass `--json` for
+/// the raw reply line); a short human summary goes to stderr. Exit
+/// codes: 0 all requests `ok`, 1 any request failed (`error`/`unsolved`/
+/// `shutting_down`, a `stats` reply without a server object, or
+/// transport failure after retries), 2 usage or local I/O error, 3
+/// otherwise-healthy runs where the daemon answered `overloaded` even
+/// after the retry budget.
 fn cmd_client(args: &[String], flags: &Flags) -> ExitCode {
     let addr = flags.addr.as_deref().unwrap_or(DEFAULT_SERVE_ADDR);
     let retries = flags.retries.unwrap_or(0);
@@ -1483,10 +1566,24 @@ fn cmd_client(args: &[String], flags: &Flags) -> ExitCode {
     let mut failed = false;
     let mut overloaded = false;
     for (label, request) in &requests {
+        let is_stats = request.get("op").and_then(Json::as_str) == Some("stats");
         match request_with_retry(addr, request, retries, &mut backoff) {
             Ok(resp) => {
-                emit_line(&resp);
+                if !is_stats || flags.json {
+                    emit_line(&resp);
+                }
                 match resp.get("status").and_then(Json::as_str) {
+                    Some("ok") if is_stats => match resp.get("server") {
+                        Some(server @ Json::Obj(_)) => {
+                            if !flags.json {
+                                emit(&render_server_stats(server));
+                            }
+                        }
+                        _ => {
+                            failed = true;
+                            eprintln!("{label}: ok reply carries no `server` counters object");
+                        }
+                    },
                     Some("ok") => {
                         if let Some(program) = resp.get("program").and_then(Json::as_str) {
                             eprintln!("{label}: {program}");
@@ -1524,6 +1621,48 @@ fn cmd_client(args: &[String], flags: &Flags) -> ExitCode {
     } else {
         ExitCode::SUCCESS
     }
+}
+
+/// Renders a daemon's `stats` counters object as an aligned
+/// human-readable table: scalars one per row, histogram summaries
+/// (`queue_wait_us`, `service_us`, `frame_bytes`) inlined as
+/// `count/p50/p99/mean/max`, and count maps (per-op, per-client) as
+/// indented sub-rows. Field order follows the reply, so new server
+/// counters show up without a client change.
+fn render_server_stats(server: &Json) -> String {
+    fn scalar(v: &Json) -> String {
+        match v {
+            Json::Float(f) => format!("{f:.1}"),
+            other => other.to_string(),
+        }
+    }
+    let Json::Obj(pairs) = server else {
+        return String::new();
+    };
+    let mut out = String::new();
+    for (key, value) in pairs {
+        match value {
+            Json::Obj(sub) if sub.iter().any(|(k, _)| k == "count") => {
+                let mut line = format!("{key:<26}");
+                for field in ["count", "p50", "p99", "mean", "max"] {
+                    if let Some(v) = value.get(field) {
+                        line.push_str(&format!(" {field} {}", scalar(v)));
+                    }
+                }
+                out.push_str(&line);
+                out.push('\n');
+            }
+            Json::Obj(sub) => {
+                out.push_str(key);
+                out.push('\n');
+                for (name, n) in sub {
+                    out.push_str(&format!("  {name:<24} {}\n", scalar(n)));
+                }
+            }
+            other => out.push_str(&format!("{key:<26} {}\n", scalar(other))),
+        }
+    }
+    out
 }
 
 fn cmd_list() -> Result<(), String> {

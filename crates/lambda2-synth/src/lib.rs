@@ -86,7 +86,7 @@ pub use obs::profile::{
     collapse_tree, diff_traces, load_trace, parse_trace, summarize, DiffOutcome, ProfileError,
     Summary, Trace, Weight,
 };
-pub use obs::report::render_html;
+pub use obs::report::{render_access_html, render_html};
 pub use obs::{
     CollectTracer, JsonlTracer, NoopTracer, PhaseTimes, TraceEvent, Tracer, SCHEMA_VERSION,
 };
@@ -99,7 +99,10 @@ pub use search::{
     search_governed, search_governed_warm, warm_config_fingerprint, SearchOptions, SynthError,
     Synthesis,
 };
-pub use serve::{ServeConfig, ServeSummary, Server};
+pub use serve::{
+    load_access_log, AccessError, AccessLog, AccessRecord, AccessReport, ServeConfig, ServeSummary,
+    Server,
+};
 pub use spec::{ExampleRow, Spec};
 pub use stats::{Measurement, Stats};
 pub use synthesizer::Synthesizer;

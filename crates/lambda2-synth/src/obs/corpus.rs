@@ -258,6 +258,27 @@ impl RunRecord {
         }
     }
 
+    /// Wraps a [`Measurement`] taken by the serve daemon, keyed by the
+    /// server-assigned request ID: the ID is stored as a `req_id` string
+    /// inside the run object, where it joins the record to the matching
+    /// access-log line and slow-trace file without perturbing anything
+    /// [`counters`](RunRecord::counters) reads (which keeps only
+    /// integer-valued fields). `l2 corpus regress` therefore gates served
+    /// traffic exactly like local runs.
+    pub fn of_served_request(m: &Measurement, fingerprint: &str, req_id: &str) -> RunRecord {
+        let mut record = RunRecord::of_measurement(m, fingerprint);
+        if let Json::Obj(pairs) = &mut record.run {
+            pairs.push(("req_id".to_owned(), req_id.into()));
+        }
+        record
+    }
+
+    /// The serve request ID this record was keyed by, when it came from
+    /// [`of_served_request`](RunRecord::of_served_request).
+    pub fn req_id(&self) -> Option<&str> {
+        self.run.get("req_id").and_then(Json::as_str)
+    }
+
     /// Serializes the record to its JSONL line form.
     pub fn to_json(&self) -> Json {
         Json::obj([
@@ -897,6 +918,28 @@ mod tests {
             .counters()
             .iter()
             .any(|(k, v)| k == "popped" && *v == 40));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn served_records_round_trip_their_request_id_inertly() {
+        let dir = temp_dir("served");
+        let corpus = Corpus::open(&dir).unwrap();
+        let fp = options_fingerprint(&SearchOptions::default());
+        let m = measurement("evens", true, 7, 12, 40);
+        let local = RunRecord::of_measurement(&m, &fp);
+        let served = RunRecord::of_served_request(&m, &fp, "c3-r1");
+        assert_eq!(served.req_id(), Some("c3-r1"));
+        assert_eq!(local.req_id(), None);
+        // The key is inert for regression gating: same counters, same
+        // grouping identity.
+        assert_eq!(served.counters(), local.counters());
+        assert_eq!(served.problem, local.problem);
+        assert_eq!(served.fingerprint, local.fingerprint);
+        corpus.append(std::slice::from_ref(&served)).unwrap();
+        let loaded = corpus.load().unwrap();
+        assert_eq!(loaded, vec![served]);
+        assert_eq!(loaded[0].req_id(), Some("c3-r1"));
         let _ = fs::remove_dir_all(&dir);
     }
 

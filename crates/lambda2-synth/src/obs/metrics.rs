@@ -229,6 +229,20 @@ impl Histogram {
         }
         Json::obj(pairs)
     }
+
+    /// Serializes a one-line summary — `count`, and when non-empty `p50`,
+    /// `p99`, `mean`, `max` — for surfaces that want the headline numbers
+    /// without the bucket table (the serve `stats` op, drain summaries).
+    pub fn summary_json(&self) -> Json {
+        let mut pairs = vec![("count", self.count.into())];
+        if self.count > 0 {
+            pairs.push(("p50", self.quantile(0.5).unwrap_or(0).into()));
+            pairs.push(("p99", self.quantile(0.99).unwrap_or(0).into()));
+            pairs.push(("mean", Json::Float(self.mean().unwrap_or(0.0))));
+            pairs.push(("max", self.max.into()));
+        }
+        Json::obj(pairs)
+    }
 }
 
 /// Every histogram the synthesis engine records, snapshotted into
@@ -439,6 +453,24 @@ mod tests {
         assert_eq!(ab.over_count(), 1);
         assert_eq!(ab.min(), Some(1));
         assert_eq!(ab.max(), Some(1 << 41));
+    }
+
+    #[test]
+    fn summary_json_reports_quantiles_in_order() {
+        let mut h = Histogram::new(EXP2_BOUNDS);
+        for v in [10u64, 20, 30, 40, 5000] {
+            h.record(v);
+        }
+        let j = h.summary_json();
+        assert_eq!(j.get("count").unwrap().as_u64(), Some(5));
+        let p50 = j.get("p50").unwrap().as_u64().unwrap();
+        let p99 = j.get("p99").unwrap().as_u64().unwrap();
+        assert!(p50 <= p99, "p50 {p50} must not exceed p99 {p99}");
+        assert_eq!(j.get("max").unwrap().as_u64(), Some(5000));
+        // Empty histograms summarize to a bare count.
+        let empty = Histogram::new(EXP2_BOUNDS).summary_json();
+        assert_eq!(empty.get("count").unwrap().as_u64(), Some(0));
+        assert_eq!(empty.get("p50"), None);
     }
 
     #[test]

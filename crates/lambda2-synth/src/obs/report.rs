@@ -6,10 +6,16 @@
 //! file can be archived as a CI artifact or mailed around and will render
 //! identically anywhere. Charts are plain `<div>` bars sized inline;
 //! styling is one embedded `<style>` block.
+//!
+//! [`render_access_html`] renders the serve access-log analysis
+//! ([`AccessReport`](crate::serve::access::AccessReport), `l2 serve
+//! report`) as a dashboard under the same self-containment contract.
 
 use std::fmt::Write as _;
 
+use super::metrics::Histogram;
 use super::profile::{self, Summary, Trace, Weight};
+use crate::serve::access::AccessReport;
 
 /// Escapes text for HTML element content and attribute values.
 fn esc(s: &str) -> String {
@@ -258,6 +264,125 @@ fn render_stores(out: &mut String, s: &Summary) {
     let _ = writeln!(out, "</table>");
 }
 
+/// Renders an access-log analysis as a single self-contained HTML
+/// dashboard: headline throughput/shed/latency numbers, status and op
+/// breakdowns as bar charts, latency quantile tables, and per-client and
+/// per-problem tables. Same contract as [`render_html`]: no external
+/// assets of any kind.
+///
+/// `source` names the log in the page header (typically its file path).
+pub fn render_access_html(report: &AccessReport, source: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "<!DOCTYPE html>\n<html lang=\"en\"><head><meta charset=\"utf-8\">\
+         <title>lambda2 serve report: {}</title><style>{}</style></head><body>",
+        esc(source),
+        STYLE
+    );
+    let _ = writeln!(out, "<h1>λ² serve access report</h1>");
+    let _ = writeln!(
+        out,
+        r#"<p class="meta">access log: <code>{}</code> — {} request(s) over {:.1} s</p>"#,
+        esc(source),
+        report.requests,
+        report.span_ms / 1e3
+    );
+    let _ = writeln!(
+        out,
+        "<p>throughput <b>{:.1} req/s</b> · sheds <b>{}</b> ({:.1}%) · crashes <b>{}</b> \
+         · warm-cache hits <b>{}</b></p>",
+        report.throughput_rps(),
+        report.shed,
+        report.shed_rate() * 100.0,
+        report.crashed,
+        report.warm_hits
+    );
+
+    section(&mut out, "Latency");
+    if report.service_us.is_empty() && report.queue_wait_us.is_empty() {
+        empty_note(&mut out, "timed requests");
+    } else {
+        let _ = writeln!(
+            out,
+            r#"<table><tr><th>distribution</th><th class="num">count</th><th class="num">p50 ms</th><th class="num">p90 ms</th><th class="num">p99 ms</th><th class="num">max ms</th></tr>"#
+        );
+        let mut latency_row = |label: &str, h: &Histogram| {
+            let ms = |q: f64| h.quantile(q).unwrap_or(0) as f64 / 1e3;
+            let _ = writeln!(
+                out,
+                r#"<tr><td class="lbl">{}</td><td class="num">{}</td><td class="num">{:.1}</td><td class="num">{:.1}</td><td class="num">{:.1}</td><td class="num">{:.1}</td></tr>"#,
+                esc(label),
+                h.count(),
+                ms(0.5),
+                ms(0.9),
+                ms(0.99),
+                h.max().unwrap_or(0) as f64 / 1e3
+            );
+        };
+        latency_row("service", &report.service_us);
+        latency_row("queue wait", &report.queue_wait_us);
+        let _ = writeln!(out, "</table>");
+    }
+
+    let count_section = |out: &mut String, title: &str, what: &str, m: &[(&String, &u64)]| {
+        section(out, title);
+        if m.is_empty() {
+            empty_note(out, what);
+            return;
+        }
+        let max = m.iter().map(|(_, &n)| n).max().unwrap_or(0);
+        let _ = writeln!(out, "<table>");
+        for (label, &n) in m {
+            bar_row(out, label, n, max);
+        }
+        let _ = writeln!(out, "</table>");
+    };
+    count_section(
+        &mut out,
+        "Requests by status",
+        "requests",
+        &report.statuses.iter().collect::<Vec<_>>(),
+    );
+    count_section(
+        &mut out,
+        "Requests by op",
+        "requests",
+        &report.ops.iter().collect::<Vec<_>>(),
+    );
+
+    section(&mut out, "Clients");
+    if report.clients.is_empty() {
+        empty_note(&mut out, "clients");
+    } else {
+        let _ = writeln!(
+            out,
+            r#"<table><tr><th>peer</th><th class="num">requests</th><th class="num">ok</th><th class="num">shed</th></tr>"#
+        );
+        for (peer, c) in &report.clients {
+            let _ = writeln!(
+                out,
+                r#"<tr><td class="lbl">{}</td><td class="num">{}</td><td class="num">{}</td><td class="num">{}</td></tr>"#,
+                esc(peer),
+                c.requests,
+                c.ok,
+                c.shed
+            );
+        }
+        let _ = writeln!(out, "</table>");
+    }
+
+    count_section(
+        &mut out,
+        "Requests by problem",
+        "named problems",
+        &report.problems.iter().collect::<Vec<_>>(),
+    );
+
+    let _ = writeln!(out, "</body></html>");
+    out
+}
+
 fn render_stacks(out: &mut String, trace: &Trace) {
     section(out, "Hot derivation stacks");
     // Pops-weighted collapse never fails.
@@ -332,6 +457,62 @@ mod tests {
         assert!(html.contains("No refutations recorded"));
         assert!(html.contains("No popped-cost metrics recorded"));
         assert!(html.contains("No derivation stacks recorded"));
+    }
+
+    #[test]
+    fn access_html_is_self_contained_and_escaped() {
+        use crate::serve::access::{AccessRecord, AccessReport};
+        let records = vec![
+            AccessRecord {
+                t_ms: 1.0,
+                req_id: "c1-r1".to_owned(),
+                op: "synth".to_owned(),
+                peer: "10.0.0.<7>".to_owned(),
+                status: "ok".to_owned(),
+                frame_bytes: 64,
+                queue_wait_ms: Some(0.2),
+                service_ms: Some(7.5),
+                warm_hits: Some(1),
+                shed: false,
+                crashed: false,
+                problem: Some("evens<odd>".to_owned()),
+                fingerprint: Some("cafe".to_owned()),
+            },
+            AccessRecord {
+                t_ms: 900.0,
+                req_id: "c2-r1".to_owned(),
+                op: "synth".to_owned(),
+                peer: "10.0.0.<7>".to_owned(),
+                status: "overloaded".to_owned(),
+                frame_bytes: 64,
+                queue_wait_ms: None,
+                service_ms: None,
+                warm_hits: None,
+                shed: true,
+                crashed: false,
+                problem: Some("evens<odd>".to_owned()),
+                fingerprint: None,
+            },
+        ];
+        let report = AccessReport::analyze(&records);
+        let html = render_access_html(&report, "logs/<serve>.jsonl");
+        assert!(html.starts_with("<!DOCTYPE html>"));
+        assert!(html.ends_with("</body></html>\n"));
+        for needle in [
+            "http://", "https://", "src=", "<link", "<script", "@import", "url(",
+        ] {
+            assert!(!html.contains(needle), "external reference: {needle}");
+        }
+        // Names flow through escaped.
+        assert!(html.contains("logs/&lt;serve&gt;.jsonl"));
+        assert!(html.contains("10.0.0.&lt;7&gt;"));
+        assert!(html.contains("evens&lt;odd&gt;"));
+        assert!(html.contains("Requests by status"));
+        assert!(html.contains("overloaded"));
+        // An empty log renders notes, not bare headers.
+        let empty = render_access_html(&AccessReport::analyze(&[]), "empty.jsonl");
+        assert!(empty.contains("No timed requests recorded"));
+        assert!(empty.contains("No clients recorded"));
     }
 
     #[test]

@@ -12,6 +12,14 @@
 //!   pool with per-request budgets/cancellation, `catch_unwind` crash
 //!   isolation, per-worker warm term-store caches, and graceful drain.
 //! * [`client`] — connection + call helpers and seeded jittered retry.
+//! * [`access`] — per-request observability: every request gets a stable
+//!   server-assigned ID (`c<conn>-r<n>`, echoed in the reply as
+//!   `req_id`), and with `--access-log` each is accounted by one
+//!   schema-versioned JSONL [`AccessRecord`](access::AccessRecord) line;
+//!   the offline [`AccessReport`](access::AccessReport) analyzer backs
+//!   `l2 serve report`. All of it is observation-only — the differential
+//!   test in `tests/serve.rs` proves replies are byte-identical with the
+//!   whole layer on or off.
 //!
 //! The daemon and `l2 synth` share one code path
 //! ([`crate::Synthesizer::synthesize_report_warm`]), so a served problem
@@ -19,11 +27,13 @@
 //! under the same options — the differential tests in `tests/serve.rs`
 //! hold the bridge.
 
+pub mod access;
 pub mod client;
 pub mod frame;
 pub mod proto;
 pub mod server;
 
+pub use access::{load_access_log, AccessError, AccessLog, AccessRecord, AccessReport};
 pub use client::{request_with_retry, Backoff, Client, ClientError};
 pub use frame::{write_frame, FrameError, FrameReader, MAX_FRAME_BYTES};
 pub use proto::{parse_request, JsonProblem, ReqOp, Request, PROTO_VERSION};

@@ -279,6 +279,24 @@ pub fn resp_stats(id: Option<&str>, server: Json) -> Json {
     Json::Obj(pairs)
 }
 
+/// Stamps the server-assigned request ID onto a response object.
+///
+/// Distinct from the client-assigned `"id"` correlation field: `req_id`
+/// is minted by the server (`c<conn>-r<n>`), appears on *every* reply,
+/// and is the join key for the access log, per-served-job corpus records,
+/// and slow-trace filenames. Applied once at the connection loop so no
+/// response builder can forget it. Non-object responses (which the
+/// protocol never produces) pass through untouched.
+pub fn tag_req_id(resp: Json, req_id: &str) -> Json {
+    match resp {
+        Json::Obj(mut pairs) => {
+            pairs.push(("req_id".to_owned(), req_id.into()));
+            Json::Obj(pairs)
+        }
+        other => other,
+    }
+}
+
 fn attempts_json(report: &SearchReport) -> Json {
     Json::Arr(report.attempts.iter().map(Attempt::to_json).collect())
 }
@@ -360,6 +378,16 @@ mod tests {
             let err = parse_request(payload).unwrap_err();
             assert!(err.contains(needle), "`{err}` should mention `{needle}`");
         }
+    }
+
+    #[test]
+    fn req_id_tagging_is_additive_and_distinct_from_client_id() {
+        let tagged = tag_req_id(resp_pong(Some("client-7")), "c3-r2");
+        assert_eq!(tagged.get("req_id").unwrap().as_str(), Some("c3-r2"));
+        assert_eq!(tagged.get("id").unwrap().as_str(), Some("client-7"));
+        let parsed = json::parse(&tagged.to_string()).unwrap();
+        assert_eq!(parsed.get("req_id").unwrap().as_str(), Some("c3-r2"));
+        assert_eq!(tag_req_id(Json::Null, "c1-r1"), Json::Null);
     }
 
     #[test]

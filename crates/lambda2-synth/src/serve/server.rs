@@ -50,15 +50,43 @@
 //! get [`ServeConfig::drain_grace`] to finish and are then cancelled via
 //! their [`CancelToken`]s. Corpus writes flush per record, so there is
 //! nothing left to lose at exit.
+//!
+//! # Observability
+//!
+//! Every request is assigned a stable server-side ID (`c<conn>-r<n>`,
+//! echoed in the reply as `req_id`) and accounted exactly once:
+//!
+//! * **Access log** ([`ServeConfig::access_log`]) — one
+//!   [`AccessRecord`] JSONL line per request, written by whichever side
+//!   *decides* the request: the connection thread for non-synthesis ops
+//!   and admission rejections (parse errors, invalid problems, sheds,
+//!   drain refusals), the worker for every admitted job (it alone knows
+//!   queue wait, service time, warm-cache hits, and crash outcome).
+//! * **Live histograms** — queue wait, service time, and frame sizes,
+//!   plus per-op and per-client request counts, kept in [`Shared`] and
+//!   surfaced through the `stats` op and the final [`ServeSummary`].
+//! * **Slow-trace capture** ([`ServeConfig::slow_trace_ms`] +
+//!   [`ServeConfig::slow_trace_dir`]) — jobs at or over the threshold
+//!   have their full JSONL search trace (buffered in memory during the
+//!   run) written to `<dir>/<req_id>.jsonl`, readable by `l2 profile`.
+//! * **Corpus records** — with [`ServeConfig::corpus_dir`] set, each
+//!   finished job appends a [`RunRecord`] keyed by `req_id`, so
+//!   `l2 corpus regress` gates served traffic like local runs.
+//!
+//! All of it is observation-only: the engine runs identically with every
+//! layer on or off (tracing is emit-only by construction; the access log
+//! and histograms read outcomes, never influence them), and the
+//! differential test in `tests/serve.rs` holds served replies
+//! byte-identical either way.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::io::{self, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, RecvTimeoutError, TrySendError};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::thread;
 use std::time::{Duration, Instant};
 
@@ -70,13 +98,15 @@ use crate::govern::{CancelToken, SearchReport};
 use crate::l2file;
 use crate::obs::corpus::{options_fingerprint, Corpus, RunRecord};
 use crate::obs::json::Json;
-use crate::obs::NoopTracer;
+use crate::obs::metrics::{Histogram, EXP2_BOUNDS};
+use crate::obs::{JsonlTracer, NoopTracer, Tracer};
 use crate::par::portfolio_report_traced;
 use crate::problem::Problem;
 use crate::search::SearchOptions;
 use crate::stats::Measurement;
 use crate::synthesizer::Synthesizer;
 
+use super::access::{AccessLog, AccessRecord};
 use super::frame::{write_frame, FrameError, FrameReader, MAX_FRAME_BYTES};
 use super::proto::{self, ReqOp, Request};
 
@@ -116,8 +146,19 @@ pub struct ServeConfig {
     /// [`SearchOptions::timeout`].
     pub options: SearchOptions,
     /// When set, every finished synthesis is appended to this run-corpus
-    /// directory (same records `l2 bench --corpus` writes).
+    /// directory (same records `l2 bench --corpus` writes), keyed by the
+    /// server-assigned request ID.
     pub corpus_dir: Option<PathBuf>,
+    /// When set, every request appends one [`AccessRecord`] JSONL line
+    /// to this file (created if absent, appended to otherwise).
+    pub access_log: Option<PathBuf>,
+    /// Service-time threshold (milliseconds) at or above which a job's
+    /// full search trace is kept; requires [`ServeConfig::slow_trace_dir`].
+    /// `Some(0)` captures every job.
+    pub slow_trace_ms: Option<u64>,
+    /// Directory receiving `<req_id>.jsonl` slow traces (created on
+    /// startup); requires [`ServeConfig::slow_trace_ms`].
+    pub slow_trace_dir: Option<PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -134,6 +175,9 @@ impl Default for ServeConfig {
             read_timeout: Duration::from_millis(50),
             options: SearchOptions::default(),
             corpus_dir: None,
+            access_log: None,
+            slow_trace_ms: None,
+            slow_trace_dir: None,
         }
     }
 }
@@ -156,6 +200,20 @@ impl Conn {
             Conn::Tcp(s) => s.set_read_timeout(Some(t)),
             #[cfg(unix)]
             Conn::Unix(s) => s.set_read_timeout(Some(t)),
+        }
+    }
+
+    /// The client's identity for per-client accounting: the source IP
+    /// (port stripped — one host, one bucket) for TCP, `unix` for
+    /// Unix-domain sockets.
+    fn peer(&self) -> String {
+        match self {
+            Conn::Tcp(s) => s
+                .peer_addr()
+                .map(|a| a.ip().to_string())
+                .unwrap_or_else(|_| "unknown".to_owned()),
+            #[cfg(unix)]
+            Conn::Unix(_) => "unix".to_owned(),
         }
     }
 }
@@ -187,6 +245,40 @@ impl Write for Conn {
     }
 }
 
+/// Live request-shape distributions, mutex-guarded in [`Shared`]: the
+/// instruments behind the enriched `stats` op. Lock traffic is one short
+/// critical section per request (plus one per completed job), far off
+/// any search hot path.
+struct ServeMetrics {
+    /// Queue wait of every executed job, microseconds.
+    queue_wait_us: Histogram,
+    /// Service time of every executed job (crashed included),
+    /// microseconds.
+    service_us: Histogram,
+    /// Request frame payload sizes, bytes.
+    frame_bytes: Histogram,
+    /// Requests per op (`synth`, `ping`, `stats`, `shutdown`, `invalid`).
+    ops: BTreeMap<String, u64>,
+    /// Requests per client peer (IP for TCP, `unix` for sockets).
+    clients: BTreeMap<String, u64>,
+}
+
+impl ServeMetrics {
+    fn new() -> ServeMetrics {
+        ServeMetrics {
+            queue_wait_us: Histogram::new(EXP2_BOUNDS),
+            service_us: Histogram::new(EXP2_BOUNDS),
+            frame_bytes: Histogram::new(EXP2_BOUNDS),
+            ops: BTreeMap::new(),
+            clients: BTreeMap::new(),
+        }
+    }
+}
+
+fn count_map_json(m: &BTreeMap<String, u64>) -> Json {
+    Json::Obj(m.iter().map(|(k, v)| (k.clone(), (*v).into())).collect())
+}
+
 /// Counters the daemon keeps while serving; snapshotted by the `stats`
 /// op and folded into the final [`ServeSummary`].
 struct Shared {
@@ -216,8 +308,12 @@ struct Shared {
     ewma_us: AtomicU64,
     /// Job sequence numbers (cancel-registry keys).
     seq: AtomicU64,
+    /// Slow traces captured to [`ServeConfig::slow_trace_dir`].
+    slow_traces: AtomicU64,
     /// Cancel tokens of in-flight jobs, for drain.
     cancels: Mutex<HashMap<u64, CancelToken>>,
+    /// Live request-shape histograms and per-op/per-client counts.
+    metrics: Mutex<ServeMetrics>,
     started: Instant,
 }
 
@@ -237,9 +333,41 @@ impl Shared {
             warm_hits: AtomicU64::new(0),
             ewma_us: AtomicU64::new(0),
             seq: AtomicU64::new(0),
+            slow_traces: AtomicU64::new(0),
             cancels: Mutex::new(HashMap::new()),
+            metrics: Mutex::new(ServeMetrics::new()),
             started: Instant::now(),
         }
+    }
+
+    /// Milliseconds since the daemon started — the access log's clock.
+    fn t_ms(&self) -> f64 {
+        self.started.elapsed().as_secs_f64() * 1e3
+    }
+
+    /// Locks the live metrics, recovering from a poisoned lock (a panic
+    /// while holding it leaves counters merely stale, never corrupt
+    /// enough to justify wedging every later request).
+    fn metrics(&self) -> std::sync::MutexGuard<'_, ServeMetrics> {
+        self.metrics.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Accounts one inbound request's shape (called once per request on
+    /// the connection thread, before dispatch).
+    fn record_request_shape(&self, op: &str, peer: &str, frame_bytes: u64) {
+        let mut m = self.metrics();
+        m.frame_bytes.record(frame_bytes);
+        *m.ops.entry(op.to_owned()).or_default() += 1;
+        *m.clients.entry(peer.to_owned()).or_default() += 1;
+    }
+
+    /// Accounts one executed job's latencies.
+    fn record_timings(&self, queue_wait: Duration, service: Duration) {
+        let mut m = self.metrics();
+        m.queue_wait_us
+            .record(queue_wait.as_micros().min(u128::from(u64::MAX)) as u64);
+        m.service_us
+            .record(service.as_micros().min(u128::from(u64::MAX)) as u64);
     }
 
     fn register_cancel(&self, seq: u64, token: CancelToken) {
@@ -285,7 +413,9 @@ impl Shared {
         )
     }
 
-    fn snapshot_json(&self, config: &ServeConfig) -> Json {
+    fn snapshot_json(&self, config: &ServeConfig, warm: &WarmCache) -> Json {
+        let (warm_lookups_hit, warm_lookups_miss, warm_evictions) = warm.counters();
+        let m = self.metrics();
         Json::obj([
             (
                 "uptime_ms",
@@ -311,6 +441,20 @@ impl Shared {
                 "ewma_service_us",
                 self.ewma_us.load(Ordering::Relaxed).into(),
             ),
+            (
+                "slow_traces",
+                self.slow_traces.load(Ordering::Relaxed).into(),
+            ),
+            ("warm_cache_entries", warm.len().into()),
+            ("warm_cache_bytes", warm.approx_bytes().into()),
+            ("warm_cache_lookup_hits", warm_lookups_hit.into()),
+            ("warm_cache_lookup_misses", warm_lookups_miss.into()),
+            ("warm_cache_evictions", warm_evictions.into()),
+            ("queue_wait_us", m.queue_wait_us.summary_json()),
+            ("service_us", m.service_us.summary_json()),
+            ("frame_bytes", m.frame_bytes.summary_json()),
+            ("ops", count_map_json(&m.ops)),
+            ("clients", count_map_json(&m.clients)),
         ])
     }
 }
@@ -334,12 +478,20 @@ pub struct ServeSummary {
     pub rejected: u64,
     /// Queued jobs answered `shutting_down` at drain.
     pub drained: u64,
+    /// Slow traces captured.
+    pub slow_traces: u64,
     /// Wall-clock from drain start to full stop.
     pub drain_elapsed: Duration,
+    /// Queue-wait distribution over every executed job, microseconds.
+    pub queue_wait_us: Histogram,
+    /// Service-time distribution over every executed job, microseconds.
+    pub service_us: Histogram,
 }
 
 impl ServeSummary {
-    /// Serializes the summary as a JSON object.
+    /// Serializes the summary as a JSON object, latency summaries
+    /// included — a clean shutdown leaves a usable one-line capacity
+    /// record, not just counts.
     pub fn to_json(&self) -> Json {
         Json::obj([
             ("connections", self.connections.into()),
@@ -350,11 +502,26 @@ impl ServeSummary {
             ("crashed", self.crashed.into()),
             ("rejected", self.rejected.into()),
             ("drained", self.drained.into()),
+            ("slow_traces", self.slow_traces.into()),
             (
                 "drain_elapsed_ms",
                 Json::Float(self.drain_elapsed.as_secs_f64() * 1e3),
             ),
+            ("queue_wait_us", self.queue_wait_us.summary_json()),
+            ("service_us", self.service_us.summary_json()),
         ])
+    }
+
+    /// A latency quantile in milliseconds (0 when no job was timed):
+    /// `service` selects service time, otherwise queue wait. Backs the
+    /// CLI's one-line drain record.
+    pub fn latency_ms(&self, service: bool, q: f64) -> f64 {
+        let h = if service {
+            &self.service_us
+        } else {
+            &self.queue_wait_us
+        };
+        h.quantile(q).unwrap_or(0) as f64 / 1e3
     }
 }
 
@@ -390,6 +557,13 @@ fn retry_hint_ms(ewma_us: u64, depth: usize, workers: usize) -> u64 {
 /// crosses directly) and a reply channel the worker answers exactly once.
 struct Job {
     seq: u64,
+    /// Server-assigned request ID (`c<conn>-r<n>`): the access-log key,
+    /// corpus key, and slow-trace filename.
+    req_id: String,
+    /// Client peer, carried for the worker-side access record.
+    peer: String,
+    /// Request frame payload size, carried for the access record.
+    frame_bytes: u64,
     id: Option<String>,
     spec: Problem,
     timeout: Duration,
@@ -479,6 +653,13 @@ impl Server {
             Some(dir) => Some(Corpus::open(dir).map_err(|e| io::Error::other(e.to_string()))?),
             None => None,
         };
+        let access = match &config.access_log {
+            Some(path) => Some(AccessLog::open(path).map_err(|e| io::Error::other(e.to_string()))?),
+            None => None,
+        };
+        if let Some(dir) = &config.slow_trace_dir {
+            std::fs::create_dir_all(dir)?;
+        }
         let shared = Shared::new();
         let (job_tx, job_rx) = mpsc::sync_channel::<Job>(config.queue_capacity);
         let job_rx = Mutex::new(job_rx);
@@ -491,7 +672,15 @@ impl Server {
         thread::scope(|scope| {
             for _ in 0..config.workers.max(1) {
                 scope.spawn(|| {
-                    worker_loop(&config, &shared, &control, &job_rx, &warm, corpus.as_ref())
+                    worker_loop(
+                        &config,
+                        &shared,
+                        &control,
+                        &job_rx,
+                        &warm,
+                        corpus.as_ref(),
+                        access.as_ref(),
+                    )
                 });
             }
             while !control.load(Ordering::SeqCst) {
@@ -502,10 +691,15 @@ impl Server {
                 };
                 match accepted {
                     Ok(conn) => {
-                        shared.connections.fetch_add(1, Ordering::Relaxed);
+                        let conn_no = shared.connections.fetch_add(1, Ordering::Relaxed) + 1;
                         let tx = job_tx.clone();
                         let (config, shared, control) = (&config, &shared, &control);
-                        scope.spawn(move || connection_loop(conn, config, shared, control, tx));
+                        let (warm, access) = (&warm, access.as_ref());
+                        scope.spawn(move || {
+                            connection_loop(
+                                conn, conn_no, config, shared, control, tx, warm, access,
+                            )
+                        });
                     }
                     Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                         thread::sleep(Duration::from_millis(10));
@@ -534,6 +728,10 @@ impl Server {
         if let Some(e) = listen_error {
             return Err(e);
         }
+        let (queue_wait_us, service_us) = {
+            let m = shared.metrics();
+            (m.queue_wait_us.clone(), m.service_us.clone())
+        };
         Ok(ServeSummary {
             connections: shared.connections.load(Ordering::Relaxed),
             accepted: shared.accepted.load(Ordering::Relaxed),
@@ -543,8 +741,53 @@ impl Server {
             crashed: shared.crashed.load(Ordering::Relaxed),
             rejected: shared.rejected.load(Ordering::Relaxed),
             drained: shared.drained.load(Ordering::Relaxed),
+            slow_traces: shared.slow_traces.load(Ordering::Relaxed),
             drain_elapsed: drain_started_at.map_or(Duration::ZERO, |t| t.elapsed()),
+            queue_wait_us,
+            service_us,
         })
+    }
+}
+
+/// Per-request context a connection thread hands to the dispatchers:
+/// the minted request ID, the client identity, and the access log.
+struct RequestCtx<'a> {
+    req_id: String,
+    peer: &'a str,
+    frame_bytes: u64,
+    access: Option<&'a AccessLog>,
+}
+
+impl RequestCtx<'_> {
+    /// A record skeleton for requests decided on the connection thread
+    /// (non-synthesis ops and admission rejections): no queue wait, no
+    /// service time — the request never reached a worker.
+    fn record(&self, shared: &Shared, op: &str, status: &str) -> AccessRecord {
+        AccessRecord {
+            t_ms: shared.t_ms(),
+            req_id: self.req_id.clone(),
+            op: op.to_owned(),
+            peer: self.peer.to_owned(),
+            status: status.to_owned(),
+            frame_bytes: self.frame_bytes,
+            queue_wait_ms: None,
+            service_ms: None,
+            warm_hits: None,
+            shed: false,
+            crashed: false,
+            problem: None,
+            fingerprint: None,
+        }
+    }
+}
+
+/// Appends one access record, reporting (never propagating) failures:
+/// telemetry must not take down a request.
+fn append_access(access: Option<&AccessLog>, record: &AccessRecord) {
+    if let Some(log) = access {
+        if let Err(e) = log.append(record) {
+            eprintln!("warning: access-log append failed: {e}");
+        }
     }
 }
 
@@ -552,17 +795,26 @@ impl Server {
 /// request. Framing errors close the connection; *protocol* errors
 /// (bad JSON, invalid problems) are answered structurally and the
 /// connection keeps going — the framing layer is still in sync.
+///
+/// Every request is stamped with a server-assigned ID (`c<conn>-r<n>`)
+/// before dispatch; the reply carries it back as `req_id`.
+#[allow(clippy::too_many_arguments)]
 fn connection_loop(
     mut conn: Conn,
+    conn_no: u64,
     config: &ServeConfig,
     shared: &Shared,
     control: &AtomicBool,
     job_tx: mpsc::SyncSender<Job>,
+    warm: &WarmCache,
+    access: Option<&AccessLog>,
 ) {
     if conn.set_read_timeout(config.read_timeout).is_err() {
         return;
     }
+    let peer = conn.peer();
     let mut reader = FrameReader::new(config.max_frame_bytes);
+    let mut req_no = 0u64;
     loop {
         let payload = match reader.read_frame(&mut conn) {
             Ok(Some(p)) => p,
@@ -575,50 +827,84 @@ fn connection_loop(
             }
             Err(_) => return,
         };
-        let reply = handle_payload(&payload, config, shared, control, &job_tx);
+        req_no += 1;
+        let ctx = RequestCtx {
+            req_id: format!("c{conn_no}-r{req_no}"),
+            peer: &peer,
+            frame_bytes: payload.len() as u64,
+            access,
+        };
+        let reply = handle_payload(&payload, config, shared, control, &job_tx, warm, &ctx);
+        let reply = proto::tag_req_id(reply, &ctx.req_id);
         if write_frame(&mut conn, reply.to_string().as_bytes()).is_err() {
             return;
         }
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn handle_payload(
     payload: &[u8],
     config: &ServeConfig,
     shared: &Shared,
     control: &AtomicBool,
     job_tx: &mpsc::SyncSender<Job>,
+    warm: &WarmCache,
+    ctx: &RequestCtx<'_>,
 ) -> Json {
     let req = match proto::parse_request(payload) {
         Ok(r) => r,
         Err(msg) => {
             shared.rejected.fetch_add(1, Ordering::Relaxed);
+            shared.record_request_shape("invalid", ctx.peer, ctx.frame_bytes);
+            append_access(ctx.access, &ctx.record(shared, "invalid", "error"));
             return proto::resp_error(None, &msg);
         }
     };
+    let op = match req.op {
+        ReqOp::Ping => "ping",
+        ReqOp::Stats => "stats",
+        ReqOp::Shutdown => "shutdown",
+        ReqOp::Synth => "synth",
+    };
+    shared.record_request_shape(op, ctx.peer, ctx.frame_bytes);
     let id = req.id.clone();
     match req.op {
-        ReqOp::Ping => proto::resp_pong(id.as_deref()),
-        ReqOp::Stats => proto::resp_stats(id.as_deref(), shared.snapshot_json(config)),
+        ReqOp::Ping => {
+            append_access(ctx.access, &ctx.record(shared, op, "ok"));
+            proto::resp_pong(id.as_deref())
+        }
+        ReqOp::Stats => {
+            append_access(ctx.access, &ctx.record(shared, op, "ok"));
+            proto::resp_stats(id.as_deref(), shared.snapshot_json(config, warm))
+        }
         ReqOp::Shutdown => {
             control.store(true, Ordering::SeqCst);
+            append_access(ctx.access, &ctx.record(shared, op, "ok"));
             proto::resp_draining(id.as_deref())
         }
-        ReqOp::Synth => admit_synth(req, config, shared, control, job_tx),
+        ReqOp::Synth => admit_synth(req, config, shared, control, job_tx, ctx),
     }
 }
 
 /// Validates a synth request on the connection thread (cheap, and bad
 /// problems never consume a queue slot), then runs admission control.
+///
+/// Access-record discipline: this function writes the record for every
+/// request it *decides* (drain refusal, invalid problem, shed,
+/// disconnected queue); an admitted job's record is written by the
+/// worker, which alone knows queue wait, service time, and outcome.
 fn admit_synth(
     req: Request,
     config: &ServeConfig,
     shared: &Shared,
     control: &AtomicBool,
     job_tx: &mpsc::SyncSender<Job>,
+    ctx: &RequestCtx<'_>,
 ) -> Json {
     let id = req.id.clone();
     if control.load(Ordering::SeqCst) {
+        append_access(ctx.access, &ctx.record(shared, "synth", "shutting_down"));
         return proto::resp_shutting_down(id.as_deref());
     }
     let problem: Result<Problem, String> = match (&req.problem_source, &req.problem_json) {
@@ -630,6 +916,7 @@ fn admit_synth(
         Ok(p) => p,
         Err(msg) => {
             shared.rejected.fetch_add(1, Ordering::Relaxed);
+            append_access(ctx.access, &ctx.record(shared, "synth", "error"));
             return proto::resp_error(id.as_deref(), &format!("invalid problem: {msg}"));
         }
     };
@@ -639,8 +926,12 @@ fn admit_synth(
         .unwrap_or(config.default_timeout)
         .min(config.max_timeout);
     let (reply_tx, reply_rx) = mpsc::channel();
+    let problem_name = problem.name().to_owned();
     let job = Job {
         seq: shared.seq.fetch_add(1, Ordering::Relaxed),
+        req_id: ctx.req_id.clone(),
+        peer: ctx.peer.to_owned(),
+        frame_bytes: ctx.frame_bytes,
         id: id.clone(),
         spec: problem,
         timeout,
@@ -662,13 +953,20 @@ fn admit_synth(
         }
         Err(TrySendError::Full(_)) => {
             shared.shed.fetch_add(1, Ordering::Relaxed);
+            let mut record = ctx.record(shared, "synth", "overloaded");
+            record.shed = true;
+            record.problem = Some(problem_name);
+            append_access(ctx.access, &record);
             proto::resp_overloaded(
                 id.as_deref(),
                 shared.retry_after_ms(config.workers),
                 shared.depth.load(Ordering::Relaxed),
             )
         }
-        Err(TrySendError::Disconnected(_)) => proto::resp_shutting_down(id.as_deref()),
+        Err(TrySendError::Disconnected(_)) => {
+            append_access(ctx.access, &ctx.record(shared, "synth", "shutting_down"));
+            proto::resp_shutting_down(id.as_deref())
+        }
     }
 }
 
@@ -679,6 +977,7 @@ fn worker_loop(
     job_rx: &Mutex<mpsc::Receiver<Job>>,
     warm: &WarmCache,
     corpus: Option<&Corpus>,
+    access: Option<&AccessLog>,
 ) {
     loop {
         let next = {
@@ -693,10 +992,28 @@ fn worker_loop(
                 shared.depth.fetch_sub(1, Ordering::SeqCst);
                 if control.load(Ordering::SeqCst) {
                     shared.drained.fetch_add(1, Ordering::Relaxed);
+                    append_access(
+                        access,
+                        &AccessRecord {
+                            t_ms: shared.t_ms(),
+                            req_id: job.req_id.clone(),
+                            op: "synth".to_owned(),
+                            peer: job.peer.clone(),
+                            status: "shutting_down".to_owned(),
+                            frame_bytes: job.frame_bytes,
+                            queue_wait_ms: Some(job.enqueued.elapsed().as_secs_f64() * 1e3),
+                            service_ms: None,
+                            warm_hits: None,
+                            shed: false,
+                            crashed: false,
+                            problem: Some(job.spec.name().to_owned()),
+                            fingerprint: None,
+                        },
+                    );
                     let _ = job.reply.send(proto::resp_shutting_down(job.id.as_deref()));
                     continue;
                 }
-                execute(job, config, shared, warm, corpus);
+                execute(job, config, shared, warm, corpus, access);
             }
             Err(RecvTimeoutError::Timeout) => {
                 if control.load(Ordering::SeqCst) {
@@ -705,6 +1022,33 @@ fn worker_loop(
             }
             Err(RecvTimeoutError::Disconnected) => return,
         }
+    }
+}
+
+/// An in-memory byte sink for per-request trace capture: the
+/// [`JsonlTracer`] writes into it during the search, and the buffer is
+/// persisted to `<slow_trace_dir>/<req_id>.jsonl` afterwards only when
+/// the job proved slow — capture cost without the decision having to be
+/// made up front.
+#[derive(Clone, Default)]
+struct TraceBuf(Arc<Mutex<Vec<u8>>>);
+
+impl TraceBuf {
+    fn take(&self) -> Vec<u8> {
+        std::mem::take(&mut *self.0.lock().unwrap_or_else(PoisonError::into_inner))
+    }
+}
+
+impl Write for TraceBuf {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.0
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
     }
 }
 
@@ -717,8 +1061,10 @@ fn execute(
     shared: &Shared,
     warm: &WarmCache,
     corpus: Option<&Corpus>,
+    access: Option<&AccessLog>,
 ) {
-    let queue_wait_ms = job.enqueued.elapsed().as_secs_f64() * 1e3;
+    let queue_wait = job.enqueued.elapsed();
+    let queue_wait_ms = queue_wait.as_secs_f64() * 1e3;
     let problem = job.spec;
     let mut options = config.options.clone();
     options.timeout = Some(job.timeout);
@@ -737,6 +1083,19 @@ fn execute(
             return;
         }
     }
+    // Slow-trace capture: when configured, the search runs against a
+    // JSONL tracer writing into an in-memory buffer; the buffer is kept
+    // only if the job proves slow. Tracing is emit-only by construction
+    // (the engine never reads events), so the dyn swap cannot perturb
+    // the search — the differential test in `tests/serve.rs` enforces it.
+    let slow_capture = config.slow_trace_ms.is_some() && config.slow_trace_dir.is_some();
+    let trace_buf = TraceBuf::default();
+    let mut slow_tracer = slow_capture.then(|| JsonlTracer::new(trace_buf.clone()));
+    let mut noop = NoopTracer;
+    let tracer: &mut dyn Tracer = match slow_tracer.as_mut() {
+        Some(t) => t,
+        None => &mut noop,
+    };
     let started = Instant::now();
     let result = catch_unwind(AssertUnwindSafe(|| {
         // The one failpoint site that models an *unguarded* engine panic
@@ -751,21 +1110,56 @@ fn execute(
         if job.portfolio {
             // Portfolio rungs race on their own threads with their own
             // budgets and skip the warm cache.
-            portfolio_report_traced(&problem, &options, &mut NoopTracer)
+            portfolio_report_traced(&problem, &options, tracer)
         } else {
             Synthesizer::with_options(options.clone()).synthesize_report_warm(
                 &problem,
-                &mut NoopTracer,
+                tracer,
                 Some(&token),
                 Some(warm),
             )
         }
     }));
+    let elapsed = started.elapsed();
     #[cfg(feature = "failpoints")]
     crate::failpoints::reset();
     shared.in_flight.fetch_sub(1, Ordering::SeqCst);
     shared.unregister_cancel(job.seq);
     shared.completed.fetch_add(1, Ordering::Relaxed);
+    shared.record_timings(queue_wait, elapsed);
+    if let Some(tracer) = slow_tracer {
+        let _ = tracer.finish();
+        if let Some(dir) = &config.slow_trace_dir {
+            if elapsed.as_millis() as u64 >= config.slow_trace_ms.unwrap_or(0) {
+                let path = dir.join(format!("{}.jsonl", job.req_id));
+                match std::fs::write(&path, trace_buf.take()) {
+                    Ok(()) => {
+                        shared.slow_traces.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(e) => eprintln!(
+                        "warning: slow-trace write to {} failed: {e}",
+                        path.display()
+                    ),
+                }
+            }
+        }
+    }
+    let fingerprint = (access.is_some() || corpus.is_some()).then(|| options_fingerprint(&options));
+    let mut record = AccessRecord {
+        t_ms: shared.t_ms(),
+        req_id: job.req_id.clone(),
+        op: "synth".to_owned(),
+        peer: job.peer.clone(),
+        status: String::new(),
+        frame_bytes: job.frame_bytes,
+        queue_wait_ms: Some(queue_wait_ms),
+        service_ms: Some(elapsed.as_secs_f64() * 1e3),
+        warm_hits: None,
+        shed: false,
+        crashed: false,
+        problem: Some(problem.name().to_owned()),
+        fingerprint: fingerprint.clone(),
+    };
     let reply = match result {
         Ok(report) => {
             shared
@@ -774,11 +1168,21 @@ fn execute(
             if report.outcome.is_ok() {
                 shared.solved.fetch_add(1, Ordering::Relaxed);
             }
-            shared.record_service(started.elapsed());
+            shared.record_service(elapsed);
+            record.status = if report.outcome.is_ok() {
+                "ok".to_owned()
+            } else {
+                "unsolved".to_owned()
+            };
+            record.warm_hits = Some(report.stats.warm_hits);
             if let Some(corpus) = corpus {
                 let m = measurement_of_report(&problem, &report);
-                let record = RunRecord::of_measurement(&m, &options_fingerprint(&options));
-                if let Err(e) = corpus.append(&[record]) {
+                let run = RunRecord::of_served_request(
+                    &m,
+                    fingerprint.as_deref().unwrap_or_default(),
+                    &job.req_id,
+                );
+                if let Err(e) = corpus.append(&[run]) {
                     eprintln!("warning: corpus append failed: {e}");
                 }
             }
@@ -786,12 +1190,15 @@ fn execute(
         }
         Err(payload) => {
             shared.crashed.fetch_add(1, Ordering::Relaxed);
+            record.status = "error".to_owned();
+            record.crashed = true;
             proto::resp_error(
                 job.id.as_deref(),
                 &format!("synthesis crashed: {}", panic_message(payload.as_ref())),
             )
         }
     };
+    append_access(access, &record);
     let _ = job.reply.send(reply);
 }
 

@@ -7,6 +7,7 @@
 //! crash-isolation test lives behind `--features failpoints` alongside
 //! the rest of the fault-injection suite.
 
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread;
@@ -16,7 +17,9 @@ use lambda2::synth::obs::json::Json;
 use lambda2::synth::serve::{
     frame, Backoff, Client, ClientError, ServeConfig, ServeSummary, Server,
 };
-use lambda2::synth::{parse_problem, SearchOptions, Synthesizer};
+use lambda2::synth::{
+    load_access_log, load_records, parse_problem, AccessReport, Corpus, SearchOptions, Synthesizer,
+};
 
 /// Problems with default libraries, rendered in `.l2` surface syntax —
 /// the same documents `l2 client` would send from a file.
@@ -384,6 +387,286 @@ fn stats_op_reports_counters() {
     assert_eq!(server.get("completed").and_then(Json::as_u64), Some(1));
     assert_eq!(server.get("solved").and_then(Json::as_u64), Some(1));
     stop(&control, handle);
+}
+
+/// A fresh, empty scratch directory under the system temp dir.
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("lambda2-serve-obs-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+/// The observability plane is observation-only: a fixed request
+/// sequence against a daemon with everything ON (access log, slow-trace
+/// capture at threshold 0, corpus records) returns byte-identical
+/// programs, costs, attempt ladders, statuses, and request IDs to the
+/// same sequence with everything OFF — and the ON run leaves exactly
+/// the expected artifacts behind.
+#[test]
+fn observability_is_observation_only_and_leaves_artifacts() {
+    let dir = temp_dir("diff");
+    let run = |observe: bool| {
+        let config = if observe {
+            ServeConfig {
+                workers: 1,
+                access_log: Some(dir.join("access.jsonl")),
+                slow_trace_ms: Some(0),
+                slow_trace_dir: Some(dir.join("slow")),
+                corpus_dir: Some(dir.join("corpus")),
+                ..ServeConfig::default()
+            }
+        } else {
+            ServeConfig {
+                workers: 1,
+                ..ServeConfig::default()
+            }
+        };
+        let (addr, control, handle) = start(config);
+        let mut client = Client::connect(&addr).expect("connect");
+        let mut replies = Vec::new();
+        replies.push(
+            client
+                .call(&Json::obj([("op", "ping".into())]))
+                .expect("ping"),
+        );
+        for src in [EVENS, ROTATE] {
+            replies.push(client.call(&synth_req("d", src, 30_000)).expect("synth"));
+        }
+        replies.push(
+            client
+                .call(&synth_req(
+                    "bad",
+                    "(problem oops (params (l [int])))",
+                    1_000,
+                ))
+                .expect("invalid problem answered"),
+        );
+        replies.push(client.call(&synth_req("d", INCRS, 30_000)).expect("synth"));
+        replies.push(
+            client
+                .call(&Json::obj([("op", "stats".into())]))
+                .expect("stats"),
+        );
+        (replies, stop(&control, handle))
+    };
+    let (on, on_summary) = run(true);
+    let (off, off_summary) = run(false);
+
+    // Result-bearing fields are identical reply by reply — including the
+    // request IDs, which are minted whether or not anything records them.
+    assert_eq!(on.len(), off.len());
+    for (a, b) in on.iter().zip(&off) {
+        for field in ["status", "program", "req_id", "error"] {
+            assert_eq!(
+                a.get(field).and_then(Json::as_str),
+                b.get(field).and_then(Json::as_str),
+                "field `{field}` must not depend on observability"
+            );
+        }
+        assert_eq!(
+            a.get("cost").and_then(Json::as_u64),
+            b.get("cost").and_then(Json::as_u64)
+        );
+        let rungs = |r: &Json| -> Vec<String> {
+            r.get("attempts")
+                .and_then(Json::as_arr)
+                .map(|arr| {
+                    arr.iter()
+                        .filter_map(|at| at.get("rung").and_then(Json::as_str))
+                        .map(ToOwned::to_owned)
+                        .collect()
+                })
+                .unwrap_or_default()
+        };
+        assert_eq!(rungs(a), rungs(b), "attempt ladder must be identical");
+    }
+    // The integer counters in the final `stats` reply agree too.
+    let counters = |r: &Json| -> Vec<Option<u64>> {
+        let server = r.get("server").expect("server counters");
+        [
+            "accepted",
+            "completed",
+            "solved",
+            "shed",
+            "crashed",
+            "rejected",
+            "drained",
+        ]
+        .iter()
+        .map(|k| server.get(k).and_then(Json::as_u64))
+        .collect()
+    };
+    assert_eq!(counters(&on[5]), counters(&off[5]));
+    assert_eq!(on_summary.solved, off_summary.solved);
+
+    // Artifacts of the ON run. Access log: one whole record per request,
+    // in order, with the daemon's own request IDs.
+    let records = load_access_log(&dir.join("access.jsonl")).expect("parse access log");
+    assert_eq!(records.len(), 6);
+    let ids: Vec<&str> = records.iter().map(|r| r.req_id.as_str()).collect();
+    assert_eq!(ids, ["c1-r1", "c1-r2", "c1-r3", "c1-r4", "c1-r5", "c1-r6"]);
+    let statuses: Vec<&str> = records.iter().map(|r| r.status.as_str()).collect();
+    assert_eq!(statuses, ["ok", "ok", "ok", "error", "ok", "ok"]);
+    for r in &records {
+        assert!(
+            !r.shed && !r.crashed,
+            "nothing was shed or crashed: {ids:?}"
+        );
+    }
+    // Executed jobs carry timings, a problem name, and an options
+    // fingerprint; connection-thread records do not.
+    for executed in [&records[1], &records[2], &records[4]] {
+        assert!(executed.service_ms.is_some(), "{}", executed.req_id);
+        assert!(executed.queue_wait_ms.is_some());
+        assert!(executed.problem.is_some());
+        assert!(executed.fingerprint.is_some());
+    }
+    assert!(records[0].service_ms.is_none(), "ping decides on the spot");
+
+    // Slow traces at threshold 0: one non-empty file per executed job,
+    // named by request ID.
+    assert_eq!(on_summary.slow_traces, 3, "{on_summary:?}");
+    for id in ["c1-r2", "c1-r3", "c1-r5"] {
+        let trace = dir.join("slow").join(format!("{id}.jsonl"));
+        let meta = std::fs::metadata(&trace).expect("slow trace exists");
+        assert!(meta.len() > 0, "{id}: slow trace is non-empty");
+    }
+    assert_eq!(
+        std::fs::read_dir(dir.join("slow")).unwrap().count(),
+        3,
+        "no extra slow traces"
+    );
+
+    // Corpus records are keyed by the same request IDs.
+    let store = Corpus::open(&dir.join("corpus"))
+        .expect("corpus")
+        .store_path();
+    let runs = load_records(&store).expect("parse corpus");
+    let run_ids: Vec<&str> = runs.iter().filter_map(|r| r.req_id()).collect();
+    assert_eq!(run_ids, ["c1-r2", "c1-r3", "c1-r5"]);
+}
+
+/// The access-log writer under load: concurrent connection threads and
+/// workers append records to one file, and every line must still be a
+/// whole, parseable record — `load_access_log` fails on any torn write.
+/// Every request (ok or shed) produces exactly one record with a unique
+/// request ID, and the offline analysis agrees with the daemon's own
+/// shed accounting.
+#[test]
+fn access_log_interleaves_whole_lines_under_saturation() {
+    let dir = temp_dir("torn");
+    let log = dir.join("access.jsonl");
+    let config = ServeConfig {
+        workers: 2,
+        queue_capacity: 2,
+        access_log: Some(log.clone()),
+        ..ServeConfig::default()
+    };
+    let (addr, control, handle) = start(config);
+
+    let clients = 8usize;
+    let per_client = 6u64;
+    let mut oks = 0u64;
+    let mut sheds = 0u64;
+    thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let addr = &addr;
+                scope.spawn(move || {
+                    let mut c_ok = 0u64;
+                    let mut c_shed = 0u64;
+                    let mut client = Client::connect(addr).expect("connect");
+                    for r in 0..per_client {
+                        let src = [EVENS, ROTATE, INCRS][(c + r as usize) % 3];
+                        let resp = client
+                            .call(&synth_req(&format!("l{c}-{r}"), src, 30_000))
+                            .expect("answered");
+                        match status_of(&resp) {
+                            "ok" => c_ok += 1,
+                            "overloaded" => c_shed += 1,
+                            other => panic!("unexpected status {other}"),
+                        }
+                    }
+                    (c_ok, c_shed)
+                })
+            })
+            .collect();
+        for h in handles {
+            let (c_ok, c_shed) = h.join().expect("client thread");
+            oks += c_ok;
+            sheds += c_shed;
+        }
+    });
+    let summary = stop(&control, handle);
+
+    let records = load_access_log(&log).expect("every line parses — no torn writes");
+    let total = clients as u64 * per_client;
+    assert_eq!(records.len() as u64, total, "one record per request");
+    let mut ids: Vec<&str> = records.iter().map(|r| r.req_id.as_str()).collect();
+    ids.sort_unstable();
+    ids.dedup();
+    assert_eq!(ids.len() as u64, total, "request IDs are unique");
+
+    let report = AccessReport::analyze(&records);
+    assert_eq!(report.requests, total);
+    assert_eq!(report.shed, summary.shed, "analysis matches the daemon");
+    assert_eq!(report.shed, sheds, "analysis matches the clients");
+    assert_eq!(report.statuses.get("ok").copied().unwrap_or(0), oks);
+    assert!(
+        report.service_ms(0.5) <= report.service_ms(0.99),
+        "p50 <= p99"
+    );
+}
+
+/// Live histograms ride the `stats` op and the final summary even with
+/// every observability flag off — they are part of the daemon's shared
+/// state, not the access log.
+#[test]
+fn stats_and_summary_carry_latency_histograms() {
+    let (addr, control, handle) = start(ServeConfig::default());
+    let mut c = Client::connect(&addr).expect("connect");
+    for src in [EVENS, ROTATE] {
+        let resp = c.call(&synth_req("h", src, 30_000)).expect("synth");
+        assert_eq!(status_of(&resp), "ok");
+    }
+    let stats = c.call(&Json::obj([("op", "stats".into())])).expect("stats");
+    assert_eq!(stats.get("req_id").and_then(Json::as_str), Some("c1-r3"));
+    let server = stats.get("server").expect("server counters");
+    for hist in ["queue_wait_us", "service_us", "frame_bytes"] {
+        let count = server
+            .get(hist)
+            .and_then(|h| h.get("count"))
+            .and_then(Json::as_u64)
+            .unwrap_or_else(|| panic!("stats carries `{hist}` summary"));
+        assert!(count >= 2, "{hist}: {count} observations");
+    }
+    assert_eq!(
+        server
+            .get("ops")
+            .and_then(|o| o.get("synth"))
+            .and_then(Json::as_u64),
+        Some(2)
+    );
+    assert!(
+        server
+            .get("clients")
+            .map(|c| matches!(c, Json::Obj(pairs) if !pairs.is_empty()))
+            .unwrap_or(false),
+        "per-client counts present"
+    );
+    assert_eq!(server.get("slow_traces").and_then(Json::as_u64), Some(0));
+    assert!(server
+        .get("warm_cache_bytes")
+        .and_then(Json::as_u64)
+        .is_some());
+
+    let summary = stop(&control, handle);
+    assert_eq!(summary.service_us.count(), 2);
+    assert_eq!(summary.queue_wait_us.count(), 2);
+    assert!(summary.latency_ms(true, 0.5) <= summary.latency_ms(true, 0.99));
+    let j = summary.to_json();
+    assert!(j.get("service_us").and_then(|h| h.get("count")).is_some());
 }
 
 /// Crash isolation under fault injection: a request that panics inside
